@@ -1,0 +1,106 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! component computation, balanced-separator checking, global vs local
+//! subedge generation, and the exact-rational LP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperbench_bench::representatives;
+use hyperbench_core::components::{connected_components, u_components};
+use hyperbench_core::separators::{is_balanced_separator, separator_vertices};
+use hyperbench_core::subedges::{global_subedges, local_subedges, SubedgeConfig};
+use hyperbench_core::{BitSet, EdgeId};
+use hyperbench_lp::cover::fractional_edge_cover;
+
+fn bench(c: &mut Criterion) {
+    let reps = representatives();
+    // The CSP Other representative is the largest instance.
+    let (_, big) = reps
+        .iter()
+        .max_by_key(|(_, h)| h.num_edges())
+        .expect("non-empty");
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(20);
+
+    let scope: Vec<EdgeId> = big.edge_ids().collect();
+    g.bench_function("connected_components/big", |b| {
+        b.iter(|| connected_components(big).len())
+    });
+    let sep = separator_vertices(big, &scope[..scope.len().min(3)]);
+    g.bench_function("u_components/big", |b| {
+        b.iter(|| u_components(big, &sep, &scope).components.len())
+    });
+    g.bench_function("balanced_check/big", |b| {
+        b.iter(|| is_balanced_separator(big, &sep, &scope))
+    });
+
+    // Global vs local subedge generation (GlobalBIP vs LocalBIP's core
+    // trade-off, §4.2 vs §4.3).
+    let cfg = SubedgeConfig::default();
+    let (_, medium) = reps
+        .iter()
+        .find(|(c, _)| c.name() == "CSP Application")
+        .expect("csp app representative");
+    g.bench_function("subedges_global_k2", |b| {
+        b.iter(|| global_subedges(medium, 2, &cfg).map(|f| f.len()))
+    });
+    let comp: Vec<EdgeId> = medium.edge_ids().take(medium.num_edges() / 2).collect();
+    g.bench_function("subedges_local_k2", |b| {
+        b.iter(|| local_subedges(medium, 2, &comp, &cfg).map(|f| f.len()))
+    });
+
+    // Exact-rational LP on a full-vertex bag.
+    g.bench_function("lp_fractional_cover", |b| {
+        let bag = BitSet::full(medium.num_vertices());
+        b.iter(|| fractional_edge_cover(medium, &bag).unwrap().weight)
+    });
+
+    // GYO acyclicity vs the k=1 backtracking search.
+    g.bench_function("acyclicity_gyo", |b| {
+        b.iter(|| hyperbench_core::gyo::is_acyclic(medium))
+    });
+    g.bench_function("acyclicity_detk_k1", |b| {
+        b.iter(|| {
+            hyperbench_decomp::detk::decompose_hd(
+                medium,
+                1,
+                &hyperbench_decomp::budget::Budget::unlimited(),
+            )
+        })
+    });
+
+    // BalSep vs the hybrid strategy at switch depth 2 (§7 future work).
+    {
+        use hyperbench_decomp::balsep::{decompose_balsep, decompose_hybrid, BalsepConfig};
+        use hyperbench_decomp::budget::Budget;
+        use std::time::Duration;
+        let bcfg = BalsepConfig::default();
+        g.bench_function("check_ghd2_balsep", |b| {
+            b.iter(|| {
+                decompose_balsep(
+                    medium,
+                    2,
+                    &Budget::with_timeout(Duration::from_millis(300)),
+                    &bcfg,
+                )
+                .is_found()
+            })
+        });
+        g.bench_function("check_ghd2_hybrid_d2", |b| {
+            b.iter(|| {
+                decompose_hybrid(
+                    medium,
+                    2,
+                    &Budget::with_timeout(Duration::from_millis(300)),
+                    &bcfg,
+                    2,
+                )
+                .is_found()
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 3 bench: size-metric extraction and bucketing over a benchmark
+//! slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperbench_bench::benchmark_slice;
+use hyperbench_core::stats::{arity_bucket, count_bucket, size_metrics};
+
+fn bench(c: &mut Criterion) {
+    let instances = benchmark_slice(4);
+    let mut g = c.benchmark_group("fig3_sizes");
+    g.bench_function("metrics_and_buckets", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for inst in &instances {
+                let m = size_metrics(&inst.hypergraph);
+                acc += count_bucket(m.vertices) + count_bucket(m.edges) + arity_bucket(m.arity);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

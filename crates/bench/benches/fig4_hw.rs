@@ -1,0 +1,21 @@
+//! Figure 4 bench: the iterative hw computation per class representative.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperbench_bench::representatives;
+use hyperbench_decomp::driver::hypertree_width;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let reps = representatives();
+    let mut g = c.benchmark_group("fig4_hw_search");
+    g.sample_size(10);
+    for (class, h) in &reps {
+        g.bench_function(class.name(), |b| {
+            b.iter(|| hypertree_width(h, 5, Duration::from_millis(200)).upper)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 5 bench: Pearson correlation matrix over the benchmark metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperbench_bench::benchmark_slice;
+use hyperbench_core::properties::structural_properties;
+use hyperbench_harness::corr::correlation_matrix;
+
+fn bench(c: &mut Criterion) {
+    // Precompute metric columns once; the bench measures the matrix math
+    // plus a properties pass.
+    let instances = benchmark_slice(3);
+    let mut g = c.benchmark_group("fig5_correlation");
+    g.sample_size(10);
+    g.bench_function("properties_plus_matrix", |b| {
+        b.iter(|| {
+            let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 5];
+            for inst in &instances {
+                let h = &inst.hypergraph;
+                let p = structural_properties(h, 200_000);
+                cols[0].push(h.num_vertices() as f64);
+                cols[1].push(h.num_edges() as f64);
+                cols[2].push(h.arity() as f64);
+                cols[3].push(p.degree as f64);
+                cols[4].push(p.bip as f64);
+            }
+            correlation_matrix(&cols)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table 1 bench: the acyclicity probe (`Check(HD,1)`) that produces the
+//! "hw >= 2" column, over one instance per collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperbench_bench::benchmark_slice;
+use hyperbench_decomp::budget::Budget;
+use hyperbench_decomp::driver::check_hd;
+
+fn bench(c: &mut Criterion) {
+    let instances = benchmark_slice(1);
+    let mut g = c.benchmark_group("table1_acyclicity_probe");
+    g.sample_size(10);
+    for inst in &instances {
+        g.bench_function(inst.collection, |b| {
+            b.iter(|| check_hd(&inst.hypergraph, 1, &Budget::unlimited()).label())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

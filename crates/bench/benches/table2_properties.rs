@@ -1,0 +1,32 @@
+//! Table 2 bench: degree, BIP, 3/4-BMIP and VC-dimension per class
+//! representative.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperbench_bench::representatives;
+use hyperbench_core::properties::{
+    degree, intersection_size, multi_intersection_size, vc_dimension,
+};
+
+fn bench(c: &mut Criterion) {
+    let reps = representatives();
+    let mut g = c.benchmark_group("table2_properties");
+    g.sample_size(10);
+    for (class, h) in &reps {
+        g.bench_function(format!("degree/{}", class.name()), |b| {
+            b.iter(|| degree(h))
+        });
+        g.bench_function(format!("bip/{}", class.name()), |b| {
+            b.iter(|| intersection_size(h))
+        });
+        g.bench_function(format!("bmip4/{}", class.name()), |b| {
+            b.iter(|| multi_intersection_size(h, 4))
+        });
+        g.bench_function(format!("vc_dim/{}", class.name()), |b| {
+            b.iter(|| vc_dimension(h, 10_000_000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

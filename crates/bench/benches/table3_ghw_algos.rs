@@ -1,0 +1,36 @@
+//! Table 3 bench: GlobalBIP vs LocalBIP vs BalSep on `Check(GHD,k-1)` for
+//! instances of known hw — the paper's central algorithm comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperbench_bench::instances_with_hw;
+use hyperbench_core::subedges::SubedgeConfig;
+use hyperbench_decomp::budget::Budget;
+use hyperbench_decomp::driver::{check_ghd, GhdAlgorithm};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let group_instances = instances_with_hw(2, 4, 3);
+    let cfg = SubedgeConfig::default();
+    let mut g = c.benchmark_group("table3_ghw_algorithms");
+    g.sample_size(10);
+    for (i, (k, h)) in group_instances.iter().enumerate() {
+        for algo in GhdAlgorithm::ALL {
+            g.bench_function(format!("{}/hw{}_i{}", algo.name(), k, i), |b| {
+                b.iter(|| {
+                    check_ghd(
+                        h,
+                        k - 1,
+                        algo,
+                        &Budget::with_timeout(Duration::from_millis(300)),
+                        &cfg,
+                    )
+                    .label()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

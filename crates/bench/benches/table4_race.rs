@@ -1,0 +1,23 @@
+//! Table 4 bench: the first-of-three GHD race.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperbench_bench::instances_with_hw;
+use hyperbench_core::subedges::SubedgeConfig;
+use hyperbench_decomp::driver::race_ghd;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let instances = instances_with_hw(2, 4, 3);
+    let cfg = SubedgeConfig::default();
+    let mut g = c.benchmark_group("table4_race");
+    g.sample_size(10);
+    for (i, (k, h)) in instances.iter().enumerate() {
+        g.bench_function(format!("race/hw{}_i{}", k, i), |b| {
+            b.iter(|| race_ghd(h, k - 1, Duration::from_millis(300), &cfg).outcome.label())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 5 bench: ImproveHD — one LP per bag of an existing HD.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperbench_bench::instances_with_hw;
+use hyperbench_decomp::budget::Budget;
+use hyperbench_decomp::detk::{decompose_hd, SearchResult};
+use hyperbench_decomp::improve::improve_hd;
+
+fn bench(c: &mut Criterion) {
+    let instances = instances_with_hw(2, 4, 3);
+    let mut g = c.benchmark_group("table5_improve_hd");
+    g.sample_size(10);
+    for (i, (k, h)) in instances.iter().enumerate() {
+        let SearchResult::Found(d) = decompose_hd(h, *k, &Budget::unlimited()) else {
+            continue;
+        };
+        g.bench_function(format!("improve/hw{}_i{}", k, i), |b| {
+            b.iter(|| improve_hd(h, &d).unwrap().fractional_width())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

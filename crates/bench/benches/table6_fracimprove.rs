@@ -1,0 +1,28 @@
+//! Table 6 bench: FracImproveHD — the LP-pruned HD search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperbench_bench::instances_with_hw;
+use hyperbench_decomp::budget::Budget;
+use hyperbench_decomp::improve::frac_improvement_bucket;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let instances = instances_with_hw(2, 3, 3);
+    let mut g = c.benchmark_group("table6_frac_improve");
+    g.sample_size(10);
+    for (i, (k, h)) in instances.iter().enumerate() {
+        g.bench_function(format!("frac/hw{}_i{}", k, i), |b| {
+            b.iter(|| {
+                frac_improvement_bucket(
+                    h,
+                    *k,
+                    &Budget::with_timeout(Duration::from_millis(400)),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

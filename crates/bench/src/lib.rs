@@ -1,0 +1,53 @@
+//! Shared fixtures for the criterion benches: deterministic slices of the
+//! generated benchmark, grouped the way the paper's tables group them.
+
+use hyperbench_core::Hypergraph;
+use hyperbench_datagen::{generate_collection, BenchClass, Instance, TABLE1};
+
+/// A small, deterministic slice of every collection (a few instances
+/// each), used by the per-table benches.
+pub fn benchmark_slice(per_collection: usize) -> Vec<Instance> {
+    TABLE1
+        .iter()
+        .flat_map(|spec| {
+            let scale = per_collection as f64 / spec.count as f64;
+            let mut v = generate_collection(spec, 42, scale);
+            v.truncate(per_collection);
+            v
+        })
+        .collect()
+}
+
+/// One representative hypergraph per benchmark class.
+pub fn representatives() -> Vec<(BenchClass, Hypergraph)> {
+    let mut out = Vec::new();
+    for class in BenchClass::ALL {
+        let spec = TABLE1.iter().find(|s| s.class == class).unwrap();
+        let inst = generate_collection(spec, 42, 1.0 / spec.count as f64)
+            .into_iter()
+            .next()
+            .expect("at least one instance");
+        out.push((class, inst.hypergraph));
+    }
+    out
+}
+
+/// Cyclic instances whose hw lies in the given range — the grouping used
+/// by Tables 3–6. Computed with a generous budget.
+pub fn instances_with_hw(lo: usize, hi: usize, max_instances: usize) -> Vec<(usize, Hypergraph)> {
+    use hyperbench_decomp::driver::hypertree_width;
+    use std::time::Duration;
+    let mut out = Vec::new();
+    for inst in benchmark_slice(6) {
+        if out.len() >= max_instances {
+            break;
+        }
+        let hw = hypertree_width(&inst.hypergraph, hi + 1, Duration::from_millis(300));
+        if let Some(k) = hw.upper {
+            if (lo..=hi).contains(&k) {
+                out.push((k, inst.hypergraph));
+            }
+        }
+    }
+    out
+}

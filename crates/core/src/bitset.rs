@@ -1,0 +1,346 @@
+//! A dense, growable bitset over `u32` identifiers.
+//!
+//! Used throughout the workspace for vertex sets and edge sets. The
+//! representation is a `Vec<u64>` of blocks; all operations keep the unused
+//! high bits of the last block zeroed so that equality, hashing and popcounts
+//! are exact.
+
+/// A dense bitset over small non-negative integers (vertex or edge ids).
+///
+/// Equality and hashing are semantic: two bitsets holding the same elements
+/// compare equal regardless of their internal capacities.
+#[derive(Clone, Default)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+}
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.blocks.len().max(other.blocks.len());
+        (0..n).all(|i| {
+            self.blocks.get(i).copied().unwrap_or(0) == other.blocks.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for BitSet {}
+
+impl std::hash::Hash for BitSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash only up to the last non-zero block so equal sets hash equally.
+        let mut end = self.blocks.len();
+        while end > 0 && self.blocks[end - 1] == 0 {
+            end -= 1;
+        }
+        self.blocks[..end].hash(state);
+    }
+}
+
+const BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        BitSet { blocks: Vec::new() }
+    }
+
+    /// Creates an empty bitset with room for ids `< capacity` without
+    /// reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitSet {
+            blocks: vec![0; capacity.div_ceil(BITS)],
+        }
+    }
+
+    /// Creates a bitset containing all ids `0..n`.
+    pub fn full(n: usize) -> Self {
+        let mut s = BitSet::with_capacity(n);
+        for i in 0..n {
+            s.insert(i as u32);
+        }
+        s
+    }
+
+    /// Builds a bitset from an iterator of ids.
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator
+    pub fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Builds a bitset from a slice of ids.
+    pub fn from_slice(items: &[u32]) -> Self {
+        Self::from_iter(items.iter().copied())
+    }
+
+    fn grow_for(&mut self, bit: u32) {
+        let needed = (bit as usize) / BITS + 1;
+        if self.blocks.len() < needed {
+            self.blocks.resize(needed, 0);
+        }
+    }
+
+    /// Inserts `bit`. Returns `true` if it was newly inserted.
+    pub fn insert(&mut self, bit: u32) -> bool {
+        self.grow_for(bit);
+        let (b, m) = (bit as usize / BITS, 1u64 << (bit as usize % BITS));
+        let was = self.blocks[b] & m != 0;
+        self.blocks[b] |= m;
+        !was
+    }
+
+    /// Removes `bit`. Returns `true` if it was present.
+    pub fn remove(&mut self, bit: u32) -> bool {
+        let b = bit as usize / BITS;
+        if b >= self.blocks.len() {
+            return false;
+        }
+        let m = 1u64 << (bit as usize % BITS);
+        let was = self.blocks[b] & m != 0;
+        self.blocks[b] &= !m;
+        was
+    }
+
+    /// Tests membership.
+    #[inline]
+    pub fn contains(&self, bit: u32) -> bool {
+        let b = bit as usize / BITS;
+        b < self.blocks.len() && self.blocks[b] & (1u64 << (bit as usize % BITS)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Removes all elements, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+    }
+
+    fn align_to(&mut self, other: &BitSet) {
+        if self.blocks.len() < other.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+    }
+
+    /// `self ∪= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        self.align_to(other);
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (i, a) in self.blocks.iter_mut().enumerate() {
+            *a &= other.blocks.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// `self \= other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (i, a) in self.blocks.iter_mut().enumerate() {
+            *a &= !other.blocks.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Returns `self ∪ other` as a new set.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Returns `self \ other` as a new set.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// `|self ∩ other|` without allocating.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self ∩ other` is non-empty, without allocating.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.blocks
+            .iter()
+            .enumerate()
+            .all(|(i, a)| a & !other.blocks.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Whether `self ⊂ other` (proper subset).
+    pub fn is_proper_subset(&self, other: &BitSet) -> bool {
+        self.is_subset(other) && self.len() < other.len()
+    }
+
+    /// Iterates over the ids in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            blocks: &self.blocks,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the ids into a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// The smallest element, if any.
+    pub fn min(&self) -> Option<u32> {
+        self.iter().next()
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        BitSet::from_iter(iter)
+    }
+}
+
+/// Iterator over the set bits of a [`BitSet`] in increasing order.
+pub struct Iter<'a> {
+    blocks: &'a [u64],
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                return Some((self.block_idx * BITS) as u32 + tz);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_across_blocks() {
+        let mut s = BitSet::new();
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(1000);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 1000]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = BitSet::from_slice(&[1, 2, 3, 70]);
+        let b = BitSet::from_slice(&[2, 3, 4]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 4, 70]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![2, 3]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 70]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn subset_relations_with_different_block_counts() {
+        let small = BitSet::from_slice(&[1, 2]);
+        let large = BitSet::from_slice(&[1, 2, 200]);
+        assert!(small.is_subset(&large));
+        assert!(!large.is_subset(&small));
+        assert!(small.is_proper_subset(&large));
+        assert!(!small.is_proper_subset(&small.clone()));
+        // A set with trailing empty blocks is still a subset.
+        let mut trailing = BitSet::from_slice(&[1, 2, 300]);
+        trailing.remove(300);
+        assert!(trailing.is_subset(&small));
+        assert_eq!(trailing, trailing.clone());
+    }
+
+    #[test]
+    fn full_and_min() {
+        let s = BitSet::full(130);
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.min(), Some(0));
+        assert_eq!(BitSet::new().min(), None);
+    }
+
+    #[test]
+    fn intersects_empty_is_false() {
+        let a = BitSet::from_slice(&[5]);
+        let b = BitSet::new();
+        assert!(!a.intersects(&b));
+        assert!(!b.intersects(&a));
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_capacity() {
+        use std::collections::HashSet;
+        let mut a = BitSet::with_capacity(1000);
+        a.insert(3);
+        let b = BitSet::from_slice(&[3]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

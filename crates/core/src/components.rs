@@ -1,0 +1,303 @@
+//! `[U]`-components and connected components (§3.3 of the paper).
+//!
+//! Two edges `e1, e2` are `[U]`-adjacent if `(e1 ∩ e2) \ U ≠ ∅`;
+//! `[U]`-connectedness is the transitive closure and a `[U]`-component is a
+//! maximal `[U]`-connected edge set. Edges entirely contained in `U` belong
+//! to no component (they form the "covered" class `C0`).
+//!
+//! The functions here come in two flavours: over a [`Hypergraph`] scope
+//! (used by the HD algorithm) and over an arbitrary list of vertex sets
+//! (used by BalSep, whose *extended subhypergraphs* mix regular and special
+//! edges).
+
+use crate::bitset::BitSet;
+use crate::hypergraph::{EdgeId, Hypergraph};
+
+/// Result of a `[U]`-component computation over hypergraph edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UComponents {
+    /// The `[U]`-components; each is a sorted list of edge ids.
+    pub components: Vec<Vec<EdgeId>>,
+    /// Edges of the scope entirely contained in `U` (the class `C0`).
+    pub covered: Vec<EdgeId>,
+}
+
+/// A tiny union-find used for component computations.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Computes the `[U]`-components of the subhypergraph given by `scope`
+/// (a set of edge ids of `h`), where `u` is a set of vertex ids.
+///
+/// Edges of `scope` with all vertices in `u` are reported in
+/// [`UComponents::covered`] and belong to no component.
+pub fn u_components(h: &Hypergraph, u: &BitSet, scope: &[EdgeId]) -> UComponents {
+    let n = scope.len();
+    let mut uf = UnionFind::new(n);
+    // vertex -> local index of first scope edge seen containing it (outside u)
+    let mut seen: Vec<u32> = vec![u32::MAX; h.num_vertices()];
+    let mut covered_flags = vec![false; n];
+
+    for (local, &e) in scope.iter().enumerate() {
+        let mut all_in_u = true;
+        for &v in h.edge(e) {
+            if u.contains(v) {
+                continue;
+            }
+            all_in_u = false;
+            let s = seen[v as usize];
+            if s == u32::MAX {
+                seen[v as usize] = local as u32;
+            } else {
+                uf.union(s, local as u32);
+            }
+        }
+        covered_flags[local] = all_in_u;
+    }
+
+    collect(scope, covered_flags, &mut uf)
+}
+
+#[allow(clippy::needless_range_loop)] // `local` indexes two parallel arrays
+fn collect(scope: &[EdgeId], covered_flags: Vec<bool>, uf: &mut UnionFind) -> UComponents {
+    let n = scope.len();
+    let mut root_to_comp: Vec<i32> = vec![-1; n];
+    let mut components: Vec<Vec<EdgeId>> = Vec::new();
+    let mut covered = Vec::new();
+    for local in 0..n {
+        if covered_flags[local] {
+            covered.push(scope[local]);
+            continue;
+        }
+        let root = uf.find(local as u32) as usize;
+        let idx = if root_to_comp[root] >= 0 {
+            root_to_comp[root] as usize
+        } else {
+            root_to_comp[root] = components.len() as i32;
+            components.push(Vec::new());
+            components.len() - 1
+        };
+        components[idx].push(scope[local]);
+    }
+    UComponents {
+        components,
+        covered,
+    }
+}
+
+/// Connected components of the whole hypergraph (i.e. `[∅]`-components).
+pub fn connected_components(h: &Hypergraph) -> Vec<Vec<EdgeId>> {
+    let scope: Vec<EdgeId> = h.edge_ids().collect();
+    u_components(h, &BitSet::new(), &scope).components
+}
+
+/// Whether the hypergraph is connected (trivially true when it has ≤ 1 edge).
+pub fn is_connected(h: &Hypergraph) -> bool {
+    connected_components(h).len() <= 1
+}
+
+/// Result of a `[U]`-component computation over arbitrary vertex sets
+/// (indices refer to positions in the input slice).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetComponents {
+    /// Components as sorted lists of input indices.
+    pub components: Vec<Vec<usize>>,
+    /// Indices of sets entirely contained in `u`.
+    pub covered: Vec<usize>,
+}
+
+/// Computes `[u]`-components of an arbitrary family of vertex sets.
+///
+/// This is the extended-subhypergraph variant (Definition 6 of the paper):
+/// the family may mix regular edges and *special edges*. `num_vertices`
+/// bounds the vertex id space.
+#[allow(clippy::needless_range_loop)] // `local` indexes two parallel arrays
+pub fn u_components_of_sets(num_vertices: usize, sets: &[&BitSet], u: &BitSet) -> SetComponents {
+    let n = sets.len();
+    let mut uf = UnionFind::new(n);
+    let mut seen: Vec<u32> = vec![u32::MAX; num_vertices];
+    let mut covered_flags = vec![false; n];
+
+    for (local, s) in sets.iter().enumerate() {
+        let mut all_in_u = true;
+        for v in s.iter() {
+            if u.contains(v) {
+                continue;
+            }
+            all_in_u = false;
+            let first = seen[v as usize];
+            if first == u32::MAX {
+                seen[v as usize] = local as u32;
+            } else {
+                uf.union(first, local as u32);
+            }
+        }
+        covered_flags[local] = all_in_u;
+    }
+
+    let mut root_to_comp: Vec<i32> = vec![-1; n];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut covered = Vec::new();
+    for local in 0..n {
+        if covered_flags[local] {
+            covered.push(local);
+            continue;
+        }
+        let root = uf.find(local as u32) as usize;
+        let idx = if root_to_comp[root] >= 0 {
+            root_to_comp[root] as usize
+        } else {
+            root_to_comp[root] = components.len() as i32;
+            components.push(Vec::new());
+            components.len() - 1
+        };
+        components[idx].push(local);
+    }
+    SetComponents {
+        components,
+        covered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_edges;
+
+    fn path4() -> Hypergraph {
+        // e0: {a,b}, e1: {b,c}, e2: {c,d}, e3: {d,e}
+        hypergraph_from_edges(&[
+            ("e0", &["a", "b"]),
+            ("e1", &["b", "c"]),
+            ("e2", &["c", "d"]),
+            ("e3", &["d", "e"]),
+        ])
+    }
+
+    #[test]
+    fn whole_graph_is_one_component() {
+        let h = path4();
+        let comps = connected_components(&h);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 4);
+        assert!(is_connected(&h));
+    }
+
+    #[test]
+    fn removing_middle_vertex_splits_path() {
+        let h = path4();
+        let c = h.vertex_by_name("c").unwrap();
+        let u = BitSet::from_slice(&[c]);
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        let r = u_components(&h, &u, &scope);
+        assert_eq!(r.components.len(), 2);
+        assert!(r.covered.is_empty());
+        let sizes: Vec<usize> = r.components.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn covered_edges_form_c0() {
+        let h = path4();
+        let a = h.vertex_by_name("a").unwrap();
+        let b = h.vertex_by_name("b").unwrap();
+        let u = BitSet::from_slice(&[a, b]);
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        let r = u_components(&h, &u, &scope);
+        assert_eq!(r.covered, vec![0]); // e0 ⊆ {a,b}
+        assert_eq!(r.components.len(), 1); // e1,e2,e3 still connected
+        assert_eq!(r.components[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scope_restricts_components() {
+        let h = path4();
+        let r = u_components(&h, &BitSet::new(), &[0, 2]);
+        // e0 and e2 share no vertex: two components.
+        assert_eq!(r.components.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let h = hypergraph_from_edges(&[("e0", &["a", "b"]), ("e1", &["x", "y"])]);
+        assert!(!is_connected(&h));
+        assert_eq!(connected_components(&h).len(), 2);
+    }
+
+    #[test]
+    fn set_components_with_special_edges() {
+        let h = path4();
+        // Treat a "special edge" {b, d} as an extra set: it bridges the two
+        // halves of the path even when c is removed.
+        let b = h.vertex_by_name("b").unwrap();
+        let c = h.vertex_by_name("c").unwrap();
+        let d = h.vertex_by_name("d").unwrap();
+        let special = BitSet::from_slice(&[b, d]);
+        let sets: Vec<&BitSet> = h
+            .edge_ids()
+            .map(|e| h.edge_set(e))
+            .chain(std::iter::once(&special))
+            .collect();
+        let u = BitSet::from_slice(&[c]);
+        let r = u_components_of_sets(h.num_vertices(), &sets, &u);
+        assert_eq!(r.components.len(), 1, "special edge bridges the split");
+        assert_eq!(r.components[0].len(), 5);
+    }
+
+    #[test]
+    fn set_components_covered() {
+        let h = path4();
+        let a = h.vertex_by_name("a").unwrap();
+        let b = h.vertex_by_name("b").unwrap();
+        let special = BitSet::from_slice(&[a]);
+        let sets: Vec<&BitSet> = vec![h.edge_set(0), &special];
+        let u = BitSet::from_slice(&[a, b]);
+        let r = u_components_of_sets(h.num_vertices(), &sets, &u);
+        assert_eq!(r.covered, vec![0, 1]);
+        assert!(r.components.is_empty());
+    }
+
+    #[test]
+    fn components_partition_scope() {
+        let h = path4();
+        let b = h.vertex_by_name("b").unwrap();
+        let u = BitSet::from_slice(&[b]);
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        let r = u_components(&h, &u, &scope);
+        let mut all: Vec<EdgeId> = r.components.concat();
+        all.extend_from_slice(&r.covered);
+        all.sort_unstable();
+        assert_eq!(all, scope);
+    }
+}

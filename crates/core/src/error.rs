@@ -1,0 +1,46 @@
+//! Error types for the core crate.
+
+/// Errors produced by core hypergraph operations and parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A parse error in the HG text format, with 1-based line number.
+    Parse { line: usize, message: String },
+    /// A structural analysis ran out of its computation budget
+    /// (e.g. VC-dimension on a huge instance, or `f(H,k)` explosion).
+    BudgetExhausted { what: &'static str },
+    /// An operation received an argument outside its domain.
+    Invalid(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CoreError::BudgetExhausted { what } => {
+                write!(f, "computation budget exhausted while computing {what}")
+            }
+            CoreError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CoreError::Parse {
+            line: 3,
+            message: "bad edge".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: bad edge");
+        let b = CoreError::BudgetExhausted { what: "f(H,k)" };
+        assert!(b.to_string().contains("f(H,k)"));
+        assert!(CoreError::Invalid("x".into()).to_string().contains('x'));
+    }
+}

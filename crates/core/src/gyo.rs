@@ -1,0 +1,293 @@
+//! GYO reduction (Graham / Yu–Özsoyoğlu): linear-time α-acyclicity testing
+//! and hypergraph simplification.
+//!
+//! A hypergraph is α-acyclic — equivalently, `hw = 1` — iff repeatedly
+//! (a) removing *ear vertices* (vertices occurring in exactly one edge) and
+//! (b) removing edges contained in other edges reduces it to at most one
+//! empty edge. The reduction doubles as the simplification preprocessing
+//! the follow-up work of Gottlob, Okulmus & Pichler applies before GHD
+//! computation: the *irreducible core* left over is what the expensive
+//! search actually has to decompose.
+//!
+//! `check_hd(·, 1, ·)` uses [`is_acyclic`] as its fast path: the paper's
+//! Figure-4 runs determine acyclicity for thousands of instances in
+//! "0 seconds", which matches this linear-time test rather than a
+//! width-1 backtracking search.
+
+use crate::bitset::BitSet;
+use crate::hypergraph::{EdgeId, Hypergraph};
+
+/// The result of running the GYO reduction to a fixpoint.
+#[derive(Debug, Clone)]
+pub struct GyoReduction {
+    /// Edges that survive (as sets of surviving vertices); empty iff the
+    /// hypergraph is α-acyclic.
+    pub core: Vec<(EdgeId, BitSet)>,
+    /// Number of ear-vertex removals performed.
+    pub vertices_removed: usize,
+    /// Number of contained-edge removals performed.
+    pub edges_removed: usize,
+}
+
+impl GyoReduction {
+    /// Whether the reduction emptied the hypergraph (α-acyclicity).
+    pub fn is_acyclic(&self) -> bool {
+        self.core.is_empty()
+    }
+}
+
+/// Runs the GYO reduction to a fixpoint.
+pub fn gyo_reduce(h: &Hypergraph) -> GyoReduction {
+    let mut edges: Vec<BitSet> = (0..h.num_edges() as EdgeId)
+        .map(|e| h.edge_set(e).clone())
+        .collect();
+    let mut alive: Vec<bool> = vec![true; edges.len()];
+    // occurrence counts per vertex
+    let mut occ: Vec<u32> = vec![0; h.num_vertices()];
+    for es in &edges {
+        for v in es.iter() {
+            occ[v as usize] += 1;
+        }
+    }
+    let mut vertices_removed = 0usize;
+    let mut edges_removed = 0usize;
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // (a) Remove ear vertices.
+        for (i, es) in edges.iter_mut().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let ears: Vec<u32> = es.iter().filter(|&v| occ[v as usize] == 1).collect();
+            for v in ears {
+                es.remove(v);
+                occ[v as usize] = 0;
+                vertices_removed += 1;
+                changed = true;
+            }
+        }
+        // (b) Remove empty edges and edges contained in another live edge.
+        for i in 0..edges.len() {
+            if !alive[i] {
+                continue;
+            }
+            if edges[i].is_empty() {
+                alive[i] = false;
+                edges_removed += 1;
+                changed = true;
+                continue;
+            }
+            for j in 0..edges.len() {
+                if i == j || !alive[j] {
+                    continue;
+                }
+                // Contained in j (ties broken by index to kill only one of
+                // two equal edges).
+                if edges[i].is_subset(&edges[j]) && (edges[i] != edges[j] || i > j) {
+                    for v in edges[i].iter() {
+                        occ[v as usize] -= 1;
+                    }
+                    alive[i] = false;
+                    edges_removed += 1;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    let core = edges
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, es)| alive[i].then_some((i as EdgeId, es)))
+        .collect();
+    GyoReduction {
+        core,
+        vertices_removed,
+        edges_removed,
+    }
+}
+
+/// Linear-time α-acyclicity check (`hw(H) = 1` for non-empty `H`).
+pub fn is_acyclic(h: &Hypergraph) -> bool {
+    gyo_reduce(h).is_acyclic()
+}
+
+/// Builds a width-1 *join tree* decomposition for an acyclic hypergraph:
+/// each edge becomes a node, connected along the GYO elimination order.
+/// Returns `None` if `h` is not acyclic.
+///
+/// The construction follows the classic argument: when edge `e` becomes
+/// removable (contained in a live edge `w`), hang `e`'s node below `w`'s.
+pub fn join_tree(h: &Hypergraph) -> Option<Vec<(EdgeId, Option<EdgeId>)>> {
+    let m = h.num_edges();
+    if m == 0 {
+        return Some(Vec::new());
+    }
+    let mut edges: Vec<BitSet> = (0..m as EdgeId).map(|e| h.edge_set(e).clone()).collect();
+    let mut alive: Vec<bool> = vec![true; m];
+    let mut occ: Vec<u32> = vec![0; h.num_vertices()];
+    for es in &edges {
+        for v in es.iter() {
+            occ[v as usize] += 1;
+        }
+    }
+    let mut parent: Vec<Option<EdgeId>> = vec![None; m];
+    let mut remaining = m;
+
+    let mut changed = true;
+    while remaining > 1 && changed {
+        changed = false;
+        for (i, es) in edges.iter_mut().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let ears: Vec<u32> = es.iter().filter(|&v| occ[v as usize] == 1).collect();
+            for v in ears {
+                es.remove(v);
+                occ[v as usize] = 0;
+                changed = true;
+            }
+        }
+        for i in 0..m {
+            if !alive[i] || remaining == 1 {
+                continue;
+            }
+            for j in 0..m {
+                if i == j || !alive[j] {
+                    continue;
+                }
+                if edges[i].is_subset(&edges[j]) && (edges[i] != edges[j] || i > j) {
+                    parent[i] = Some(j as EdgeId);
+                    for v in edges[i].iter() {
+                        occ[v as usize] -= 1;
+                    }
+                    alive[i] = false;
+                    remaining -= 1;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    if remaining > 1 {
+        return None;
+    }
+    Some(
+        (0..m)
+            .map(|i| (i as EdgeId, parent[i]))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_edges;
+
+    #[test]
+    fn path_is_acyclic() {
+        let h = hypergraph_from_edges(&[
+            ("e0", &["a", "b"]),
+            ("e1", &["b", "c"]),
+            ("e2", &["c", "d"]),
+        ]);
+        let r = gyo_reduce(&h);
+        assert!(r.is_acyclic());
+        assert!(is_acyclic(&h));
+    }
+
+    #[test]
+    fn triangle_is_cyclic_with_core_intact() {
+        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let r = gyo_reduce(&h);
+        assert!(!r.is_acyclic());
+        assert_eq!(r.core.len(), 3, "the triangle is its own GYO core");
+        assert!(!is_acyclic(&h));
+    }
+
+    #[test]
+    fn cyclic_core_with_acyclic_appendage() {
+        // Triangle plus a dangling path: the reduction strips the path.
+        let h = hypergraph_from_edges(&[
+            ("R", &["a", "b"]),
+            ("S", &["b", "c"]),
+            ("T", &["c", "a"]),
+            ("tail1", &["a", "x"]),
+            ("tail2", &["x", "y"]),
+        ]);
+        let r = gyo_reduce(&h);
+        assert_eq!(r.core.len(), 3);
+        assert!(r.edges_removed >= 2);
+    }
+
+    #[test]
+    fn alpha_acyclicity_is_not_graph_acyclicity() {
+        // A big edge covering a "cycle" of binary edges is α-acyclic.
+        let h = hypergraph_from_edges(&[
+            ("big", &["a", "b", "c"]),
+            ("e0", &["a", "b"]),
+            ("e1", &["b", "c"]),
+            ("e2", &["c", "a"]),
+        ]);
+        assert!(is_acyclic(&h));
+    }
+
+    #[test]
+    fn star_and_single_edge() {
+        let star = hypergraph_from_edges(&[
+            ("e0", &["c", "x"]),
+            ("e1", &["c", "y"]),
+            ("e2", &["c", "z"]),
+        ]);
+        assert!(is_acyclic(&star));
+        let single = hypergraph_from_edges(&[("e", &["a", "b", "c"])]);
+        assert!(is_acyclic(&single));
+        let empty = hypergraph_from_edges(&[]);
+        assert!(is_acyclic(&empty));
+    }
+
+    #[test]
+    fn join_tree_of_acyclic_graph() {
+        let h = hypergraph_from_edges(&[
+            ("e0", &["a", "b"]),
+            ("e1", &["b", "c"]),
+            ("e2", &["c", "d"]),
+            ("e3", &["c", "e"]),
+        ]);
+        let jt = join_tree(&h).expect("acyclic");
+        assert_eq!(jt.len(), 4);
+        let roots = jt.iter().filter(|(_, p)| p.is_none()).count();
+        assert_eq!(roots, 1);
+        // Running-intersection sanity: a child's intersection with the rest
+        // of the tree is contained in its parent.
+        for (e, p) in &jt {
+            if let Some(p) = p {
+                let inter = h.edge_set(*e).intersection(h.edge_set(*p));
+                // every shared vertex between e and any other edge must be
+                // in some ancestor chain; weak check: child ∩ parent ≠ ∅
+                // for connected hypergraphs.
+                assert!(!inter.is_empty() || h.edge(*e).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn join_tree_rejects_cyclic() {
+        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        assert!(join_tree(&h).is_none());
+    }
+
+    #[test]
+    fn duplicate_edges_reduce() {
+        let h = {
+            let mut b = crate::HypergraphBuilder::new();
+            b.add_edge("e0", &["a", "b"]);
+            b.add_edge("e1", &["b", "a"]);
+            b.build()
+        };
+        assert!(is_acyclic(&h));
+    }
+}

@@ -1,0 +1,111 @@
+//! Separators and balanced separators (§3.3, §4.4 of the paper).
+//!
+//! A separator is a set `S ⊆ E(H)` of edges, identified with the vertex set
+//! `W = ⋃ S`. `S` is a *balanced separator* of an (extended sub)hypergraph
+//! if every `[S]`-component has at most half of its edges.
+
+use crate::bitset::BitSet;
+use crate::components::{u_components, u_components_of_sets};
+use crate::hypergraph::{EdgeId, Hypergraph};
+
+/// The vertex set `⋃ S` of a set of edges.
+pub fn separator_vertices(h: &Hypergraph, edges: &[EdgeId]) -> BitSet {
+    h.vertices_of_edges(edges)
+}
+
+/// Whether the vertex set `u` is a balanced separator of the subhypergraph
+/// given by `scope`: every `[u]`-component of `scope` must have size
+/// `≤ |scope| / 2` (Definition 7; note the bound counts all edges of the
+/// scope, including those covered by `u`).
+pub fn is_balanced_separator(h: &Hypergraph, u: &BitSet, scope: &[EdgeId]) -> bool {
+    let total = scope.len();
+    let comps = u_components(h, u, scope);
+    comps.components.iter().all(|c| 2 * c.len() <= total)
+}
+
+/// Balanced-separator check over an arbitrary family of vertex sets
+/// (the extended-subhypergraph case used by BalSep).
+pub fn is_balanced_separator_of_sets(num_vertices: usize, sets: &[&BitSet], u: &BitSet) -> bool {
+    let total = sets.len();
+    let comps = u_components_of_sets(num_vertices, sets, u);
+    comps.components.iter().all(|c| 2 * c.len() <= total)
+}
+
+/// Size of the largest `[u]`-component of `scope` (0 if everything is
+/// covered). Useful for heuristics and diagnostics.
+pub fn max_component_size(h: &Hypergraph, u: &BitSet, scope: &[EdgeId]) -> usize {
+    u_components(h, u, scope)
+        .components
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_edges;
+
+    fn path5() -> Hypergraph {
+        hypergraph_from_edges(&[
+            ("e0", &["a", "b"]),
+            ("e1", &["b", "c"]),
+            ("e2", &["c", "d"]),
+            ("e3", &["d", "e"]),
+            ("e4", &["e", "f"]),
+        ])
+    }
+
+    #[test]
+    fn middle_edge_is_balanced() {
+        let h = path5();
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        // Removing e2's vertices {c,d} leaves components {e0,e1} and {e3,e4}.
+        let u = separator_vertices(&h, &[2]);
+        assert!(is_balanced_separator(&h, &u, &scope));
+        assert_eq!(max_component_size(&h, &u, &scope), 2);
+    }
+
+    #[test]
+    fn end_edge_is_not_balanced() {
+        let h = path5();
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        // Removing e0's vertices leaves the 4-edge tail {e1..e4} connected:
+        // 4 > 5/2.
+        let u = separator_vertices(&h, &[0]);
+        assert!(!is_balanced_separator(&h, &u, &scope));
+        assert_eq!(max_component_size(&h, &u, &scope), 4);
+    }
+
+    #[test]
+    fn empty_separator_of_connected_graph_unbalanced() {
+        let h = path5();
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        assert!(!is_balanced_separator(&h, &BitSet::new(), &scope));
+    }
+
+    #[test]
+    fn covering_everything_is_trivially_balanced() {
+        let h = path5();
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        let u = BitSet::full(h.num_vertices());
+        assert!(is_balanced_separator(&h, &u, &scope));
+        assert_eq!(max_component_size(&h, &u, &scope), 0);
+    }
+
+    #[test]
+    fn sets_variant_agrees_with_hypergraph_variant() {
+        let h = path5();
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        let sets: Vec<&BitSet> = scope.iter().map(|&e| h.edge_set(e)).collect();
+        for e in h.edge_ids() {
+            let u = separator_vertices(&h, &[e]);
+            assert_eq!(
+                is_balanced_separator(&h, &u, &scope),
+                is_balanced_separator_of_sets(h.num_vertices(), &sets, &u),
+                "edge {e}"
+            );
+        }
+    }
+}

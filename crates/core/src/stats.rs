@@ -1,0 +1,131 @@
+//! Size metrics and the bucket scheme of Figure 3 of the paper.
+
+use crate::hypergraph::Hypergraph;
+
+/// The three size metrics shown in Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeMetrics {
+    /// `|V(H)|`.
+    pub vertices: usize,
+    /// `|E(H)|`.
+    pub edges: usize,
+    /// Maximum edge size.
+    pub arity: usize,
+}
+
+/// Computes the Figure-3 size metrics.
+pub fn size_metrics(h: &Hypergraph) -> SizeMetrics {
+    SizeMetrics {
+        vertices: h.num_vertices(),
+        edges: h.num_edges(),
+        arity: h.arity(),
+    }
+}
+
+/// The vertex/edge-count buckets of Figure 3:
+/// `1–10, 11–20, 21–30, 31–40, 41–50, >50`.
+pub const COUNT_BUCKETS: [&str; 6] = ["1-10", "11-20", "21-30", "31-40", "41-50", ">50"];
+
+/// The arity buckets of Figure 3: `1–5, 6–10, 11–15, 16–20, >20`.
+pub const ARITY_BUCKETS: [&str; 5] = ["1-5", "6-10", "11-15", "16-20", ">20"];
+
+/// Bucket index (into [`COUNT_BUCKETS`]) for a vertex or edge count.
+pub fn count_bucket(n: usize) -> usize {
+    match n {
+        0..=10 => 0,
+        11..=20 => 1,
+        21..=30 => 2,
+        31..=40 => 3,
+        41..=50 => 4,
+        _ => 5,
+    }
+}
+
+/// Bucket index (into [`ARITY_BUCKETS`]) for an arity.
+pub fn arity_bucket(n: usize) -> usize {
+    match n {
+        0..=5 => 0,
+        6..=10 => 1,
+        11..=15 => 2,
+        16..=20 => 3,
+        _ => 4,
+    }
+}
+
+/// A histogram over the Figure-3 buckets, as percentages.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BucketHistogram {
+    /// Raw counts per bucket.
+    pub counts: Vec<usize>,
+}
+
+impl BucketHistogram {
+    /// Creates an empty histogram with `n` buckets.
+    pub fn new(n: usize) -> Self {
+        BucketHistogram {
+            counts: vec![0; n],
+        }
+    }
+
+    /// Records one observation in `bucket`.
+    pub fn record(&mut self, bucket: usize) {
+        self.counts[bucket] += 1;
+    }
+
+    /// Percentage (0–100) per bucket; zeros when empty.
+    pub fn percentages(&self) -> Vec<f64> {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| 100.0 * c as f64 / total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_edges;
+
+    #[test]
+    fn metrics_of_small_graph() {
+        let h = hypergraph_from_edges(&[("e", &["a", "b", "c"]), ("f", &["c", "d"])]);
+        let m = size_metrics(&h);
+        assert_eq!(m.vertices, 4);
+        assert_eq!(m.edges, 2);
+        assert_eq!(m.arity, 3);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(count_bucket(1), 0);
+        assert_eq!(count_bucket(10), 0);
+        assert_eq!(count_bucket(11), 1);
+        assert_eq!(count_bucket(50), 4);
+        assert_eq!(count_bucket(51), 5);
+        assert_eq!(arity_bucket(5), 0);
+        assert_eq!(arity_bucket(6), 1);
+        assert_eq!(arity_bucket(20), 3);
+        assert_eq!(arity_bucket(21), 4);
+    }
+
+    #[test]
+    fn histogram_percentages() {
+        let mut hist = BucketHistogram::new(3);
+        hist.record(0);
+        hist.record(0);
+        hist.record(2);
+        hist.record(2);
+        let p = hist.percentages();
+        assert_eq!(p, vec![50.0, 0.0, 50.0]);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let hist = BucketHistogram::new(2);
+        assert_eq!(hist.percentages(), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Hypergraph transformations: induced subhypergraphs, vertex removal and
+//! the primal (Gaifman) graph. These are the building blocks the paper's
+//! related work uses (e.g. Bonifati et al. compute *treewidth* on the
+//! primal graph of graph-shaped queries, §2).
+
+use crate::bitset::BitSet;
+use crate::builder::HypergraphBuilder;
+use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
+
+/// The subhypergraph on a subset of edges (vertex names preserved,
+/// isolated vertices dropped).
+pub fn edge_induced(h: &Hypergraph, edges: &[EdgeId]) -> Hypergraph {
+    let mut b = HypergraphBuilder::named(format!("{}[edges]", h.name()));
+    for &e in edges {
+        let names: Vec<&str> = h.edge(e).iter().map(|&v| h.vertex_name(v)).collect();
+        b.add_edge(h.edge_name(e), &names);
+    }
+    b.build()
+}
+
+/// Removes a set of vertices, dropping emptied edges and (optionally)
+/// deduplicating edges that become equal — the residual hypergraph the
+/// component machinery reasons about, materialized.
+pub fn remove_vertices(h: &Hypergraph, remove: &BitSet) -> Hypergraph {
+    let mut b = HypergraphBuilder::named(format!("{}-V", h.name())).dedupe_edges(true);
+    for e in h.edge_ids() {
+        let names: Vec<&str> = h
+            .edge(e)
+            .iter()
+            .filter(|&&v| !remove.contains(v))
+            .map(|&v| h.vertex_name(v))
+            .collect();
+        if !names.is_empty() {
+            b.add_edge(h.edge_name(e), &names);
+        }
+    }
+    b.build()
+}
+
+/// The primal (Gaifman) graph: one binary edge per pair of vertices that
+/// co-occur in some hyperedge. Returned as an adjacency list indexed by
+/// the original vertex ids.
+pub fn primal_graph(h: &Hypergraph) -> Vec<Vec<VertexId>> {
+    let n = h.num_vertices();
+    let mut adj: Vec<BitSet> = vec![BitSet::with_capacity(n); n];
+    for e in h.edge_ids() {
+        let vs = h.edge(e);
+        for (i, &u) in vs.iter().enumerate() {
+            for &w in &vs[i + 1..] {
+                adj[u as usize].insert(w);
+                adj[w as usize].insert(u);
+            }
+        }
+    }
+    adj.into_iter().map(|s| s.to_vec()).collect()
+}
+
+/// Number of edges of the primal graph.
+pub fn primal_edge_count(h: &Hypergraph) -> usize {
+    primal_graph(h).iter().map(Vec::len).sum::<usize>() / 2
+}
+
+/// Whether the set of hyperedges is an *edge clique cover* of the primal
+/// graph with fewer cliques than vertices (`n > m`) — the Korhonen
+/// fixed-parameter condition the paper reports holds for ~23% of CSP
+/// instances (§2).
+pub fn has_small_clique_cover(h: &Hypergraph) -> bool {
+    h.num_vertices() > h.num_edges()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_edges;
+
+    fn triangle_plus_tail() -> Hypergraph {
+        hypergraph_from_edges(&[
+            ("R", &["a", "b"]),
+            ("S", &["b", "c"]),
+            ("T", &["c", "a"]),
+            ("tail", &["a", "x"]),
+        ])
+    }
+
+    #[test]
+    fn edge_induced_keeps_names() {
+        let h = triangle_plus_tail();
+        let sub = edge_induced(&h, &[0, 1]);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(sub.num_vertices(), 3);
+        assert!(sub.vertex_by_name("a").is_some());
+        assert!(sub.vertex_by_name("x").is_none());
+    }
+
+    #[test]
+    fn remove_vertices_drops_empty_edges() {
+        let h = triangle_plus_tail();
+        let a = h.vertex_by_name("a").unwrap();
+        let x = h.vertex_by_name("x").unwrap();
+        let removed = remove_vertices(&h, &BitSet::from_slice(&[a, x]));
+        // tail becomes empty and disappears; R,T shrink to single vertices.
+        assert_eq!(removed.num_edges(), 3);
+        assert!(removed.vertex_by_name("a").is_none());
+    }
+
+    #[test]
+    fn primal_graph_of_triangle() {
+        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let adj = primal_graph(&h);
+        assert_eq!(primal_edge_count(&h), 3);
+        for row in &adj {
+            assert_eq!(row.len(), 2);
+        }
+    }
+
+    #[test]
+    fn primal_graph_of_big_edge_is_clique() {
+        let h = hypergraph_from_edges(&[("e", &["a", "b", "c", "d"])]);
+        assert_eq!(primal_edge_count(&h), 6);
+    }
+
+    #[test]
+    fn clique_cover_condition() {
+        // 4 vertices, 3 edges → n > m holds.
+        let h = hypergraph_from_edges(&[("e0", &["a", "b"]), ("e1", &["b", "c"]), ("e2", &["c", "d"])]);
+        assert!(has_small_clique_cover(&h));
+        let dense = hypergraph_from_edges(&[
+            ("e0", &["a", "b"]),
+            ("e1", &["b", "c"]),
+            ("e2", &["c", "a"]),
+        ]);
+        assert!(!has_small_clique_cover(&dense));
+    }
+}

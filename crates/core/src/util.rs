@@ -1,0 +1,229 @@
+//! Small shared utilities: k-combination enumeration and subset iteration.
+
+/// Iterates over all `k`-element index combinations of `0..n` in
+/// lexicographic order.
+///
+/// Yields slices via a visitor callback to avoid per-combination allocation.
+/// Returns `false` if the visitor aborted the enumeration early.
+pub fn for_each_combination<F: FnMut(&[usize]) -> bool>(n: usize, k: usize, mut visit: F) -> bool {
+    if k > n {
+        return true;
+    }
+    if k == 0 {
+        return visit(&[]);
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        if !visit(&idx) {
+            return false;
+        }
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return true;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return true;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// An allocating iterator over all combinations of sizes `1..=k` of `0..n`,
+/// ordered by increasing size then lexicographically.
+pub struct CombinationsUpTo {
+    n: usize,
+    k: usize,
+    size: usize,
+    idx: Vec<usize>,
+    done: bool,
+}
+
+impl CombinationsUpTo {
+    /// Creates the iterator. `k` is clamped to `n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        let k = k.min(n);
+        CombinationsUpTo {
+            n,
+            k,
+            size: 1,
+            idx: Vec::new(),
+            done: k == 0 || n == 0,
+        }
+    }
+}
+
+impl Iterator for CombinationsUpTo {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        if self.idx.is_empty() {
+            self.idx = (0..self.size).collect();
+            return Some(self.idx.clone());
+        }
+        // Advance within the current size.
+        let k = self.size;
+        let n = self.n;
+        let mut i = k;
+        loop {
+            if i == 0 {
+                // Move to the next size.
+                self.size += 1;
+                if self.size > self.k {
+                    self.done = true;
+                    return None;
+                }
+                self.idx = (0..self.size).collect();
+                return Some(self.idx.clone());
+            }
+            i -= 1;
+            if self.idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                self.size += 1;
+                if self.size > self.k {
+                    self.done = true;
+                    return None;
+                }
+                self.idx = (0..self.size).collect();
+                return Some(self.idx.clone());
+            }
+        }
+        self.idx[i] += 1;
+        for j in i + 1..k {
+            self.idx[j] = self.idx[j - 1] + 1;
+        }
+        Some(self.idx.clone())
+    }
+}
+
+/// Enumerates all subsets of `items` (including the empty set) via a visitor.
+/// Intended for small `items` (`|items| ≤ 20` or so). Returns `false` if the
+/// visitor aborted early.
+pub fn for_each_subset<T: Copy, F: FnMut(&[T]) -> bool>(items: &[T], mut visit: F) -> bool {
+    assert!(items.len() <= 30, "subset enumeration limited to 30 items");
+    let mut buf = Vec::with_capacity(items.len());
+    for mask in 0u64..(1u64 << items.len()) {
+        buf.clear();
+        for (i, &it) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                buf.push(it);
+            }
+        }
+        if !visit(&buf) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Binomial coefficient with saturation, used for budget estimates.
+pub fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u64) / (i as u64 + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinations_exact_count() {
+        let mut count = 0;
+        for_each_combination(5, 3, |c| {
+            assert_eq!(c.len(), 3);
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+            count += 1;
+            true
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn combinations_k_zero_and_k_gt_n() {
+        let mut saw_empty = false;
+        for_each_combination(3, 0, |c| {
+            saw_empty = c.is_empty();
+            true
+        });
+        assert!(saw_empty);
+        let mut count = 0;
+        for_each_combination(2, 3, |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn combinations_early_abort() {
+        let mut count = 0;
+        let finished = for_each_combination(6, 2, |_| {
+            count += 1;
+            count < 4
+        });
+        assert!(!finished);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn combinations_up_to_orders_by_size() {
+        let all: Vec<Vec<usize>> = CombinationsUpTo::new(3, 2).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2]
+            ]
+        );
+    }
+
+    #[test]
+    fn combinations_up_to_k_clamped() {
+        let all: Vec<Vec<usize>> = CombinationsUpTo::new(2, 10).collect();
+        assert_eq!(all.len(), 3); // {0},{1},{0,1}
+        assert_eq!(CombinationsUpTo::new(0, 3).count(), 0);
+    }
+
+    #[test]
+    fn subsets_count() {
+        let mut n = 0;
+        for_each_subset(&[1, 2, 3], |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for the XCSP pipeline.
+
+/// Errors produced while parsing XML or interpreting XCSP content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CspError {
+    /// Malformed XML at a byte offset.
+    Xml { offset: usize, message: String },
+    /// Structurally valid XML that is not a usable XCSP instance.
+    Model(String),
+}
+
+impl std::fmt::Display for CspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CspError::Xml { offset, message } => {
+                write!(f, "XML error at offset {offset}: {message}")
+            }
+            CspError::Model(m) => write!(f, "XCSP model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CspError::Xml {
+            offset: 4,
+            message: "oops".into(),
+        };
+        assert!(e.to_string().contains("offset 4"));
+        assert!(CspError::Model("bad".into()).to_string().contains("bad"));
+    }
+}

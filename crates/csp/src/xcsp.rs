@@ -1,0 +1,368 @@
+//! Parsing the XCSP3 fragment used by the HyperBench CSP collections and
+//! converting instances to hypergraphs (§5.5 of the paper).
+//!
+//! Supported: `<var>`, `<array>` (1- and 2-dimensional), `<extension>`
+//! (with `<list>`/`<supports>`/`<conflicts>`), `<intension>` (functional
+//! expressions), `<allDifferent>`, `<sum>`, and `<group>` templates with
+//! `%i` placeholders and `<args>` rows. Everything else contributes a
+//! constraint scope if its variables can be recognized, mirroring the
+//! paper's callback-based conversion.
+
+use std::collections::HashSet;
+
+use hyperbench_core::{Hypergraph, HypergraphBuilder};
+
+use crate::error::CspError;
+use crate::xml::{parse_xml, Element};
+
+/// A parsed XCSP instance reduced to what the hypergraph needs.
+#[derive(Debug, Clone)]
+pub struct XcspInstance {
+    /// All declared variable names (arrays expanded).
+    pub variables: Vec<String>,
+    /// Constraint scopes.
+    pub constraints: Vec<Constraint>,
+    /// Number of constraints declared as `<extension>`.
+    pub extensional_count: usize,
+}
+
+/// One constraint: a kind tag and its scope (variable names).
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// The XML tag (`extension`, `intension`, …).
+    pub kind: String,
+    /// The variables the constraint ranges over.
+    pub scope: Vec<String>,
+}
+
+/// Parses an XCSP3 document.
+pub fn parse_xcsp(text: &str) -> Result<XcspInstance, CspError> {
+    let root = parse_xml(text)?;
+    if root.name != "instance" {
+        return Err(CspError::Model(format!(
+            "expected <instance> root, found <{}>",
+            root.name
+        )));
+    }
+    let vars_el = root
+        .child_named("variables")
+        .ok_or_else(|| CspError::Model("missing <variables>".into()))?;
+
+    let mut variables: Vec<String> = Vec::new();
+    for v in vars_el.child_elements() {
+        match v.name.as_str() {
+            "var" => {
+                let id = v
+                    .attr("id")
+                    .ok_or_else(|| CspError::Model("<var> without id".into()))?;
+                variables.push(id.to_string());
+            }
+            "array" => {
+                let id = v
+                    .attr("id")
+                    .ok_or_else(|| CspError::Model("<array> without id".into()))?;
+                let size = v
+                    .attr("size")
+                    .ok_or_else(|| CspError::Model("<array> without size".into()))?;
+                let dims = parse_dims(size)?;
+                match dims.as_slice() {
+                    [n] => {
+                        for i in 0..*n {
+                            variables.push(format!("{id}[{i}]"));
+                        }
+                    }
+                    [n, m] => {
+                        for i in 0..*n {
+                            for j in 0..*m {
+                                variables.push(format!("{id}[{i}][{j}]"));
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(CspError::Model(format!(
+                            "unsupported array dimensionality: {size}"
+                        )))
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let var_set: HashSet<&str> = variables.iter().map(String::as_str).collect();
+    let mut constraints = Vec::new();
+    let mut extensional_count = 0usize;
+    if let Some(cons_el) = root.child_named("constraints") {
+        for c in cons_el.child_elements() {
+            collect_constraints(
+                c,
+                &variables,
+                &var_set,
+                &mut constraints,
+                &mut extensional_count,
+            )?;
+        }
+    }
+
+    Ok(XcspInstance {
+        variables,
+        constraints,
+        extensional_count,
+    })
+}
+
+fn parse_dims(size: &str) -> Result<Vec<usize>, CspError> {
+    let mut dims = Vec::new();
+    let mut rest = size.trim();
+    while let Some(open) = rest.find('[') {
+        let close = rest[open..]
+            .find(']')
+            .ok_or_else(|| CspError::Model(format!("malformed size: {size}")))?;
+        let n: usize = rest[open + 1..open + close]
+            .trim()
+            .parse()
+            .map_err(|_| CspError::Model(format!("malformed size: {size}")))?;
+        dims.push(n);
+        rest = &rest[open + close + 1..];
+    }
+    if dims.is_empty() {
+        return Err(CspError::Model(format!("malformed size: {size}")));
+    }
+    Ok(dims)
+}
+
+#[allow(clippy::only_used_in_recursion)] // kept for signature clarity
+fn collect_constraints(
+    el: &Element,
+    variables: &[String],
+    var_set: &HashSet<&str>,
+    out: &mut Vec<Constraint>,
+    extensional_count: &mut usize,
+) -> Result<(), CspError> {
+    match el.name.as_str() {
+        "group" => {
+            // A template constraint with %0, %1 … placeholders plus one
+            // <args> row per instantiation.
+            let template = el
+                .child_elements()
+                .find(|e| e.name != "args")
+                .ok_or_else(|| CspError::Model("<group> without template".into()))?;
+            for args in el.children_named("args") {
+                let arg_vars: Vec<String> = tokens_of(&args.text())
+                    .into_iter()
+                    .filter(|t| var_set.contains(t.as_str()))
+                    .collect();
+                if arg_vars.is_empty() {
+                    continue;
+                }
+                if template.name == "extension" {
+                    *extensional_count += 1;
+                }
+                out.push(Constraint {
+                    kind: template.name.clone(),
+                    scope: arg_vars,
+                });
+            }
+            Ok(())
+        }
+        "block" => {
+            for c in el.child_elements() {
+                collect_constraints(c, variables, var_set, out, extensional_count)?;
+            }
+            Ok(())
+        }
+        kind => {
+            // Scope = the declared variables mentioned anywhere inside.
+            // For <extension>, prefer the <list> child (supports tuples may
+            // contain numbers only, so this is also correct and faster).
+            let text = if let Some(list) = el.child_named("list") {
+                list.deep_text()
+            } else {
+                el.deep_text()
+            };
+            let mut scope: Vec<String> = Vec::new();
+            let mut seen: HashSet<&str> = HashSet::new();
+            for tok in tokens_of(&text) {
+                if let Some(&v) = var_set.get(tok.as_str()) {
+                    if seen.insert(v) {
+                        scope.push(v.to_string());
+                    }
+                }
+            }
+            if scope.is_empty() {
+                return Ok(());
+            }
+            if kind == "extension" {
+                *extensional_count += 1;
+            }
+            out.push(Constraint {
+                kind: kind.to_string(),
+                scope,
+            });
+            Ok(())
+        }
+    }
+}
+
+/// Splits text into identifier-like tokens (variable mentions), keeping
+/// array subscripts attached (`y[3]`, `g[0][2]`).
+fn tokens_of(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Converts an instance to a hypergraph: vertices are variables occurring
+/// in at least one constraint, edges are constraint scopes (duplicates
+/// merged).
+pub fn to_hypergraph(inst: &XcspInstance, name: &str) -> Hypergraph {
+    let mut b = HypergraphBuilder::named(name).dedupe_edges(true);
+    for (i, c) in inst.constraints.iter().enumerate() {
+        let refs: Vec<&str> = c.scope.iter().map(String::as_str).collect();
+        b.add_edge(&format!("c{i}_{}", c.kind), &refs);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"
+    <instance format="XCSP3" type="CSP">
+      <variables>
+        <var id="x"> 0..3 </var>
+        <var id="y"> 0..3 </var>
+        <array id="z" size="[3]"> 0..1 </array>
+      </variables>
+      <constraints>
+        <extension>
+          <list> x y </list>
+          <supports> (0,1)(1,2) </supports>
+        </extension>
+        <extension>
+          <list> y z[0] z[1] </list>
+          <conflicts> (0,0,0) </conflicts>
+        </extension>
+        <allDifferent> z[0] z[1] z[2] </allDifferent>
+      </constraints>
+    </instance>"#;
+
+    #[test]
+    fn parses_small_instance() {
+        let inst = parse_xcsp(SMALL).unwrap();
+        assert_eq!(inst.variables.len(), 5); // x, y, z[0..2]
+        assert_eq!(inst.constraints.len(), 3);
+        assert_eq!(inst.extensional_count, 2);
+        assert_eq!(inst.constraints[0].scope, vec!["x", "y"]);
+        assert_eq!(inst.constraints[2].scope.len(), 3);
+    }
+
+    #[test]
+    fn hypergraph_shape() {
+        let inst = parse_xcsp(SMALL).unwrap();
+        let h = to_hypergraph(&inst, "small");
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.num_vertices(), 5);
+        assert_eq!(h.arity(), 3);
+    }
+
+    #[test]
+    fn group_template_expansion() {
+        let text = r#"
+        <instance format="XCSP3" type="CSP">
+          <variables>
+            <array id="v" size="[4]"> 0..1 </array>
+          </variables>
+          <constraints>
+            <group>
+              <extension>
+                <list> %0 %1 </list>
+                <supports> (0,1) </supports>
+              </extension>
+              <args> v[0] v[1] </args>
+              <args> v[1] v[2] </args>
+              <args> v[2] v[3] </args>
+            </group>
+          </constraints>
+        </instance>"#;
+        let inst = parse_xcsp(text).unwrap();
+        assert_eq!(inst.constraints.len(), 3);
+        assert_eq!(inst.extensional_count, 3);
+        let h = to_hypergraph(&inst, "g");
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.num_vertices(), 4);
+    }
+
+    #[test]
+    fn two_dimensional_arrays() {
+        let text = r#"
+        <instance format="XCSP3" type="CSP">
+          <variables><array id="g" size="[2][2]"> 0..1 </array></variables>
+          <constraints>
+            <intension> eq(add(g[0][0],g[1][1]),g[0][1]) </intension>
+          </constraints>
+        </instance>"#;
+        let inst = parse_xcsp(text).unwrap();
+        assert_eq!(inst.variables.len(), 4);
+        assert_eq!(inst.constraints[0].scope.len(), 3);
+    }
+
+    #[test]
+    fn sum_constraint_scope() {
+        let text = r#"
+        <instance format="XCSP3" type="CSP">
+          <variables>
+            <var id="a"> 0..9 </var><var id="b"> 0..9 </var><var id="c"> 0..9 </var>
+          </variables>
+          <constraints>
+            <sum>
+              <list> a b c </list>
+              <condition> (eq, 10) </condition>
+            </sum>
+          </constraints>
+        </instance>"#;
+        let inst = parse_xcsp(text).unwrap();
+        assert_eq!(inst.constraints[0].scope.len(), 3);
+        assert_eq!(inst.extensional_count, 0);
+    }
+
+    #[test]
+    fn duplicate_scopes_merge_in_hypergraph() {
+        let text = r#"
+        <instance format="XCSP3" type="CSP">
+          <variables><var id="x"> 0..1 </var><var id="y"> 0..1 </var></variables>
+          <constraints>
+            <extension><list> x y </list><supports> (0,0) </supports></extension>
+            <extension><list> y x </list><supports> (1,1) </supports></extension>
+          </constraints>
+        </instance>"#;
+        let inst = parse_xcsp(text).unwrap();
+        assert_eq!(inst.constraints.len(), 2);
+        let h = to_hypergraph(&inst, "d");
+        assert_eq!(h.num_edges(), 1);
+    }
+
+    #[test]
+    fn missing_variables_is_error() {
+        assert!(matches!(
+            parse_xcsp("<instance><constraints/></instance>"),
+            Err(CspError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_root_is_error() {
+        assert!(parse_xcsp("<data/>").is_err());
+    }
+}

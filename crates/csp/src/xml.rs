@@ -1,0 +1,342 @@
+//! A minimal, dependency-free XML parser sufficient for XCSP3 instance
+//! files: elements, attributes, text content, comments, processing
+//! instructions and the basic entities (`&lt;` `&gt;` `&amp;` `&quot;`
+//! `&apos;`). No namespaces, DTDs or CDATA.
+
+use crate::error::CspError;
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A child node: element or text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Text content (entity-decoded, whitespace preserved).
+    Text(String),
+}
+
+impl Element {
+    /// The value of attribute `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.children.iter().filter_map(move |c| match c {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// The first child element with the given tag name.
+    pub fn child_named<'a>(&'a self, name: &str) -> Option<&'a Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// All child elements.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|c| match c {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of this element (direct children only).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            if let Node::Text(t) = c {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Concatenated text content including nested elements.
+    pub fn deep_text(&self) -> String {
+        let mut out = String::new();
+        fn walk(e: &Element, out: &mut String) {
+            for c in &e.children {
+                match c {
+                    Node::Text(t) => out.push_str(t),
+                    Node::Element(el) => {
+                        out.push(' ');
+                        walk(el, out);
+                        out.push(' ');
+                    }
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// Parses an XML document, returning its root element.
+pub fn parse_xml(input: &str) -> Result<Element, CspError> {
+    let mut p = XmlParser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    p.skip_prolog();
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("content after document root"));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn err(&self, message: &str) -> CspError {
+        CspError::Xml {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && (self.bytes[self.pos] as char).is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_prolog(&mut self) {
+        self.skip_misc();
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                if let Some(end) = self.input[self.pos..].find("?>") {
+                    self.pos += end + 2;
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            if self.starts_with("<!--") {
+                if let Some(end) = self.input[self.pos..].find("-->") {
+                    self.pos += end + 3;
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            if self.starts_with("<!") {
+                // DOCTYPE and friends: skip to '>'.
+                if let Some(end) = self.input[self.pos..].find('>') {
+                    self.pos += end + 1;
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            break;
+        }
+    }
+
+    fn name(&mut self) -> Result<String, CspError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos] as char;
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected name"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, CspError> {
+        if !self.starts_with("<") {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.starts_with("/>") {
+                self.pos += 2;
+                return Ok(Element {
+                    name,
+                    attrs,
+                    children: Vec::new(),
+                });
+            }
+            if self.starts_with(">") {
+                self.pos += 1;
+                break;
+            }
+            let aname = self.name()?;
+            self.skip_ws();
+            if !self.starts_with("=") {
+                return Err(self.err("expected '=' in attribute"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let quote = match self.bytes.get(self.pos) {
+                Some(b'"') => '"',
+                Some(b'\'') => '\'',
+                _ => return Err(self.err("expected quoted attribute value")),
+            };
+            self.pos += 1;
+            let start = self.pos;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] as char != quote {
+                self.pos += 1;
+            }
+            if self.pos >= self.bytes.len() {
+                return Err(self.err("unterminated attribute value"));
+            }
+            let value = decode_entities(&self.input[start..self.pos]);
+            self.pos += 1;
+            attrs.push((aname, value));
+        }
+
+        // Children until the closing tag.
+        let mut children = Vec::new();
+        loop {
+            if self.starts_with("<!--") {
+                if let Some(end) = self.input[self.pos..].find("-->") {
+                    self.pos += end + 3;
+                    continue;
+                }
+                return Err(self.err("unterminated comment"));
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let closing = self.name()?;
+                if closing != name {
+                    return Err(self.err(&format!(
+                        "mismatched closing tag: expected </{name}>, found </{closing}>"
+                    )));
+                }
+                self.skip_ws();
+                if !self.starts_with(">") {
+                    return Err(self.err("expected '>' after closing tag name"));
+                }
+                self.pos += 1;
+                return Ok(Element {
+                    name,
+                    attrs,
+                    children,
+                });
+            }
+            if self.starts_with("<") {
+                children.push(Node::Element(self.parse_element()?));
+                continue;
+            }
+            if self.pos >= self.bytes.len() {
+                return Err(self.err("unexpected end of document"));
+            }
+            // Text run.
+            let start = self.pos;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            let text = decode_entities(&self.input[start..self.pos]);
+            if !text.trim().is_empty() {
+                children.push(Node::Text(text));
+            }
+        }
+    }
+}
+
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_document() {
+        let e = parse_xml("<a x=\"1\"><b>hi</b><b/></a>").unwrap();
+        assert_eq!(e.name, "a");
+        assert_eq!(e.attr("x"), Some("1"));
+        assert_eq!(e.children_named("b").count(), 2);
+        assert_eq!(e.child_named("b").unwrap().text(), "hi");
+    }
+
+    #[test]
+    fn prolog_and_comments() {
+        let e = parse_xml("<?xml version=\"1.0\"?><!-- c --><r><!-- inner -->t</r>").unwrap();
+        assert_eq!(e.name, "r");
+        assert_eq!(e.text(), "t");
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let e = parse_xml("<r a='&lt;3'>&amp;&gt;</r>").unwrap();
+        assert_eq!(e.attr("a"), Some("<3"));
+        assert_eq!(e.text(), "&>");
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(parse_xml("<a></b>").is_err());
+    }
+
+    #[test]
+    fn trailing_content_error() {
+        assert!(parse_xml("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn deep_text_crosses_elements() {
+        let e = parse_xml("<r>a<b>c</b>d</r>").unwrap();
+        let t = e.deep_text();
+        assert!(t.contains('a') && t.contains('c') && t.contains('d'));
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let e = parse_xml("<r a='x y'/>").unwrap();
+        assert_eq!(e.attr("a"), Some("x y"));
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let e = parse_xml("<r>  <b/>  </r>").unwrap();
+        assert_eq!(e.children.len(), 1);
+    }
+}

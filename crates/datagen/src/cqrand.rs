@@ -1,0 +1,120 @@
+//! The random-CQ generator (the "random" option of the MiniCon-style query
+//! generator of Pottinger & Halevy, used by the paper to create the
+//! CQ Random collection, §5.6).
+//!
+//! Parameters match the paper: 5–100 vertices, 3–50 edges, arities 3–20.
+//! Each atom draws its variables uniformly from the vertex pool; the
+//! connected option keeps queries connected (as join queries are).
+
+use hyperbench_core::{Hypergraph, HypergraphBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters of one random CQ.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomCqParams {
+    /// Number of variables in the pool.
+    pub vertices: usize,
+    /// Number of atoms.
+    pub edges: usize,
+    /// Maximum atom arity.
+    pub max_arity: usize,
+    /// Minimum atom arity.
+    pub min_arity: usize,
+}
+
+impl RandomCqParams {
+    /// Draws parameters from the paper's published ranges
+    /// (5–100 vertices, 3–50 edges, arity 3–20).
+    pub fn paper_ranges(rng: &mut StdRng) -> RandomCqParams {
+        RandomCqParams {
+            vertices: rng.gen_range(5..=100),
+            edges: rng.gen_range(3..=50),
+            max_arity: rng.gen_range(3..=20),
+            min_arity: 3,
+        }
+    }
+}
+
+/// Generates one random CQ hypergraph.
+pub fn random_cq(name: &str, p: RandomCqParams, rng: &mut StdRng) -> Hypergraph {
+    let mut b = HypergraphBuilder::named(name).dedupe_edges(true);
+    let pool: Vec<String> = (0..p.vertices).map(|i| format!("x{i}")).collect();
+    for e in 0..p.edges {
+        let arity = rng
+            .gen_range(p.min_arity..=p.max_arity.max(p.min_arity))
+            .min(p.vertices);
+        // Sample `arity` distinct variables.
+        let mut idx: Vec<usize> = (0..p.vertices).collect();
+        idx.shuffle(rng);
+        let vars: Vec<&str> = idx[..arity].iter().map(|&i| pool[i].as_str()).collect();
+        b.add_edge(&format!("r{e}"), &vars);
+    }
+    b.build()
+}
+
+/// The CQ Random collection: `count` instances with paper-range parameters.
+pub fn cq_random_collection(count: usize, rng: &mut StdRng) -> Vec<Hypergraph> {
+    (0..count)
+        .map(|i| {
+            let p = RandomCqParams::paper_ranges(rng);
+            random_cq(&format!("random/q{i}"), p, rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_parameters() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = RandomCqParams {
+            vertices: 20,
+            edges: 10,
+            max_arity: 5,
+            min_arity: 3,
+        };
+        let h = random_cq("t", p, &mut rng);
+        assert!(h.num_edges() <= 10); // duplicates may collapse
+        assert!(h.num_edges() >= 8);
+        assert!(h.arity() <= 5);
+        assert!(h.num_vertices() <= 20);
+        for e in h.edge_ids() {
+            assert!(h.edge(e).len() >= 3);
+        }
+    }
+
+    #[test]
+    fn arity_clamped_to_pool() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = RandomCqParams {
+            vertices: 4,
+            edges: 3,
+            max_arity: 10,
+            min_arity: 3,
+        };
+        let h = random_cq("t", p, &mut rng);
+        assert!(h.arity() <= 4);
+    }
+
+    #[test]
+    fn paper_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let p = RandomCqParams::paper_ranges(&mut rng);
+            assert!((5..=100).contains(&p.vertices));
+            assert!((3..=50).contains(&p.edges));
+            assert!((3..=20).contains(&p.max_arity));
+        }
+    }
+
+    #[test]
+    fn collection_count() {
+        let mut rng = StdRng::seed_from_u64(14);
+        assert_eq!(cq_random_collection(20, &mut rng).len(), 20);
+    }
+}

@@ -1,0 +1,208 @@
+//! Structured CSP generators for the CSP Application collection.
+//!
+//! The XCSP instances the paper selected are extensional constraint
+//! networks from concrete applications with fewer than 100 constraints
+//! (§5.5). The families here produce the same structural signatures —
+//! bounded intersections, moderate degree, hw mostly ≤ 5 but not tiny —
+//! and are emitted as XCSP3 *XML text* so the [`hyperbench_csp`] pipeline
+//! is exercised end to end:
+//!
+//! * **grid**: binary adjacency constraints on an `r×c` grid (radio-link
+//!   frequency assignment style);
+//! * **coloring**: binary constraints along a ring-with-chords graph;
+//! * **scheduling**: job-shop style — jobs × machines, ternary
+//!   precedence constraints along jobs and disjunctive pairs on machines;
+//! * **crossword**: word slots crossing at shared cells (classic
+//!   extensional CSP; arity = word length).
+
+use hyperbench_csp::xcsp_to_hypergraph;
+use hyperbench_core::Hypergraph;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn xml_instance(vars: &[String], constraints: &[Vec<String>]) -> String {
+    let mut s = String::from("<instance format=\"XCSP3\" type=\"CSP\">\n  <variables>\n");
+    for v in vars {
+        s.push_str(&format!("    <var id=\"{v}\"> 0..7 </var>\n"));
+    }
+    s.push_str("  </variables>\n  <constraints>\n");
+    for scope in constraints {
+        s.push_str("    <extension>\n      <list> ");
+        s.push_str(&scope.join(" "));
+        s.push_str(" </list>\n      <supports> (0,1) </supports>\n    </extension>\n");
+    }
+    s.push_str("  </constraints>\n</instance>\n");
+    s
+}
+
+/// An `r×c` grid of binary adjacency constraints.
+pub fn grid_csp_xml(r: usize, c: usize) -> String {
+    let var = |i: usize, j: usize| format!("g_{i}_{j}");
+    let mut vars = Vec::new();
+    for i in 0..r {
+        for j in 0..c {
+            vars.push(var(i, j));
+        }
+    }
+    let mut cons = Vec::new();
+    for i in 0..r {
+        for j in 0..c {
+            if j + 1 < c {
+                cons.push(vec![var(i, j), var(i, j + 1)]);
+            }
+            if i + 1 < r {
+                cons.push(vec![var(i, j), var(i + 1, j)]);
+            }
+        }
+    }
+    xml_instance(&vars, &cons)
+}
+
+/// A ring of `n` vertices with `chords` extra chords (graph coloring).
+pub fn coloring_csp_xml(n: usize, chords: usize, rng: &mut StdRng) -> String {
+    let var = |i: usize| format!("n{i}");
+    let vars: Vec<String> = (0..n).map(var).collect();
+    let mut cons: Vec<Vec<String>> = (0..n)
+        .map(|i| vec![var(i), var((i + 1) % n)])
+        .collect();
+    for _ in 0..chords {
+        let i = rng.gen_range(0..n);
+        let off = rng.gen_range(2..n.max(3) - 1);
+        let j = (i + off) % n;
+        if i != j {
+            cons.push(vec![var(i), var(j)]);
+        }
+    }
+    xml_instance(&vars, &cons)
+}
+
+/// Job-shop style scheduling: `jobs × machines` task variables, ternary
+/// precedence constraints along each job, binary disjunctive constraints
+/// between consecutive jobs on each machine.
+pub fn scheduling_csp_xml(jobs: usize, machines: usize) -> String {
+    let var = |j: usize, m: usize| format!("task_{j}_{m}");
+    let mut vars = Vec::new();
+    for j in 0..jobs {
+        for m in 0..machines {
+            vars.push(var(j, m));
+        }
+    }
+    let mut cons = Vec::new();
+    for j in 0..jobs {
+        for m in 0..machines.saturating_sub(2) {
+            cons.push(vec![var(j, m), var(j, m + 1), var(j, m + 2)]);
+        }
+    }
+    for m in 0..machines {
+        for j in 0..jobs.saturating_sub(1) {
+            cons.push(vec![var(j, m), var(j + 1, m)]);
+        }
+    }
+    xml_instance(&vars, &cons)
+}
+
+/// Crossword-style: `across × down` word slots crossing at cells.
+/// Arity = word length, giving the collection its higher-arity tail.
+pub fn crossword_csp_xml(across: usize, down: usize) -> String {
+    // Grid cells are the variables; each row segment and column segment is
+    // one extensional constraint (a word).
+    let cell = |i: usize, j: usize| format!("cell_{i}_{j}");
+    let mut vars = Vec::new();
+    for i in 0..across {
+        for j in 0..down {
+            vars.push(cell(i, j));
+        }
+    }
+    let mut cons = Vec::new();
+    for i in 0..across {
+        cons.push((0..down).map(|j| cell(i, j)).collect());
+    }
+    for j in 0..down {
+        cons.push((0..across).map(|i| cell(i, j)).collect());
+    }
+    xml_instance(&vars, &cons)
+}
+
+/// The CSP Application collection: a deterministic mix of the four
+/// families, sized to stay under 100 constraints per instance (the
+/// paper's selection criterion). Sizes are drawn so that, as in Figure 4,
+/// a solid majority — but *not* all — instances have hw ≤ 5, with a tail
+/// of genuinely hard ones (large crosswords and dense grids).
+pub fn csp_application_collection(count: usize, rng: &mut StdRng) -> Vec<Hypergraph> {
+    (0..count)
+        .map(|i| {
+            let name = format!("xcsp/app{i}");
+            let xml = match i % 4 {
+                0 => {
+                    // 2rc - r - c < 100 caps grids at 7×7.
+                    let r = rng.gen_range(3..=7);
+                    let c = rng.gen_range(3..=7);
+                    grid_csp_xml(r, c)
+                }
+                1 => {
+                    let n = rng.gen_range(8..=30);
+                    let chords = rng.gen_range(2..=8);
+                    coloring_csp_xml(n, chords, rng)
+                }
+                2 => {
+                    let jobs = rng.gen_range(3..=7);
+                    let machines = rng.gen_range(4..=8);
+                    scheduling_csp_xml(jobs, machines)
+                }
+                _ => {
+                    let a = rng.gen_range(3..=9);
+                    let d = rng.gen_range(3..=9);
+                    crossword_csp_xml(a, d)
+                }
+            };
+            xcsp_to_hypergraph(&xml, &name).expect("generated XCSP must parse")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_counts() {
+        let h = xcsp_to_hypergraph(&grid_csp_xml(3, 4), "g").unwrap();
+        assert_eq!(h.num_vertices(), 12);
+        // Horizontal: 3*3, vertical: 2*4 → 17 edges.
+        assert_eq!(h.num_edges(), 17);
+        assert_eq!(h.arity(), 2);
+    }
+
+    #[test]
+    fn coloring_is_cyclic_ring() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let h = xcsp_to_hypergraph(&coloring_csp_xml(8, 2, &mut rng), "c").unwrap();
+        assert!(h.num_edges() >= 8);
+        assert_eq!(h.num_vertices(), 8);
+    }
+
+    #[test]
+    fn scheduling_has_ternary_edges() {
+        let h = xcsp_to_hypergraph(&scheduling_csp_xml(4, 5), "s").unwrap();
+        assert_eq!(h.arity(), 3);
+        assert_eq!(h.num_vertices(), 20);
+    }
+
+    #[test]
+    fn crossword_arity_is_word_length() {
+        let h = xcsp_to_hypergraph(&crossword_csp_xml(4, 6), "x").unwrap();
+        assert_eq!(h.arity(), 6);
+        assert_eq!(h.num_edges(), 10);
+        assert_eq!(h.num_vertices(), 24);
+    }
+
+    #[test]
+    fn collection_under_100_constraints() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for h in csp_application_collection(40, &mut rng) {
+            assert!(h.num_edges() < 100, "{} has {} edges", h.name(), h.num_edges());
+            assert!(h.num_edges() >= 3);
+        }
+    }
+}

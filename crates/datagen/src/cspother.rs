@@ -1,0 +1,162 @@
+//! The `CSP Other` collection: the DBAI hypergraph library families
+//! (§5.5) — DaimlerChrysler-style configuration systems, ISCAS-style
+//! circuit translations, and grids from pebbling problems. These are the
+//! "difficult to decompose" instances of the paper (largest sizes, long
+//! no-answers in Figure 4), generated directly as hypergraphs.
+
+use hyperbench_core::{Hypergraph, HypergraphBuilder};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A pebbling grid: one hyperedge per cell over the cell and its right and
+/// lower neighbours.
+pub fn pebbling_grid(name: &str, r: usize, c: usize) -> Hypergraph {
+    let mut b = HypergraphBuilder::named(name).dedupe_edges(true);
+    let v = |i: usize, j: usize| format!("p{i}_{j}");
+    for i in 0..r {
+        for j in 0..c {
+            let mut vs = vec![v(i, j)];
+            if j + 1 < c {
+                vs.push(v(i, j + 1));
+            }
+            if i + 1 < r {
+                vs.push(v(i + 1, j));
+            }
+            if vs.len() > 1 {
+                let refs: Vec<&str> = vs.iter().map(String::as_str).collect();
+                b.add_edge(&format!("cell{i}_{j}"), &refs);
+            }
+        }
+    }
+    b.build()
+}
+
+/// An ISCAS-style circuit: a DAG of gates; each gate contributes an edge
+/// over its output signal and 2–4 input signals drawn from earlier levels.
+pub fn circuit(name: &str, inputs: usize, gates: usize, rng: &mut StdRng) -> Hypergraph {
+    let mut b = HypergraphBuilder::named(name).dedupe_edges(true);
+    let mut signals: Vec<String> = (0..inputs).map(|i| format!("in{i}")).collect();
+    for g in 0..gates {
+        let fan_in = rng.gen_range(2..=4).min(signals.len());
+        let out = format!("g{g}");
+        let mut vs = vec![out.clone()];
+        // Prefer recent signals (locality, as in real netlists).
+        for _ in 0..fan_in {
+            let lo = signals.len().saturating_sub(12);
+            let pick = rng.gen_range(lo..signals.len());
+            vs.push(signals[pick].clone());
+        }
+        let refs: Vec<&str> = vs.iter().map(String::as_str).collect();
+        b.add_edge(&format!("gate{g}"), &refs);
+        signals.push(out);
+    }
+    b.build()
+}
+
+/// A DaimlerChrysler-style configuration system: a backbone of shared
+/// option variables plus component clusters ("ECUs") with higher-arity
+/// rule edges that overlap the backbone.
+pub fn configuration(name: &str, clusters: usize, rng: &mut StdRng) -> Hypergraph {
+    let mut b = HypergraphBuilder::named(name).dedupe_edges(true);
+    let backbone: Vec<String> = (0..rng.gen_range(4..=8))
+        .map(|i| format!("opt{i}"))
+        .collect();
+    let mut e = 0usize;
+    for cl in 0..clusters {
+        let locals: Vec<String> = (0..rng.gen_range(3..=6))
+            .map(|i| format!("c{cl}_v{i}"))
+            .collect();
+        // Rules inside the cluster.
+        for _ in 0..rng.gen_range(2..=5) {
+            let arity = rng.gen_range(2..=locals.len().min(4));
+            let mut vs: Vec<&str> = Vec::new();
+            for a in 0..arity {
+                vs.push(locals[(a * 7 + e) % locals.len()].as_str());
+            }
+            vs.sort_unstable();
+            vs.dedup();
+            // One backbone option ties the rule to the global structure.
+            let opt = &backbone[rng.gen_range(0..backbone.len())];
+            vs.push(opt.as_str());
+            b.add_edge(&format!("rule{e}"), &vs);
+            e += 1;
+        }
+        // One cross-cluster constraint per cluster pair neighbourhood.
+        if cl > 0 {
+            let prev = format!("c{}_v0", cl - 1);
+            let here = format!("c{cl}_v0");
+            let opt = backbone[rng.gen_range(0..backbone.len())].clone();
+            b.add_edge(&format!("link{e}"), &[prev.as_str(), here.as_str(), opt.as_str()]);
+            e += 1;
+        }
+    }
+    b.build()
+}
+
+/// The CSP Other collection: 82 instances mixing the three families,
+/// including the largest hypergraphs of the benchmark.
+pub fn csp_other_collection(count: usize, rng: &mut StdRng) -> Vec<Hypergraph> {
+    (0..count)
+        .map(|i| {
+            let name = format!("other/h{i}");
+            match i % 3 {
+                0 => {
+                    let r = rng.gen_range(5..=16);
+                    let c = rng.gen_range(5..=16);
+                    pebbling_grid(&name, r, c)
+                }
+                1 => {
+                    let inputs = rng.gen_range(5..=20);
+                    let gates = rng.gen_range(50..=400);
+                    circuit(&name, inputs, gates, rng)
+                }
+                _ => {
+                    let clusters = rng.gen_range(8..=40);
+                    configuration(&name, clusters, rng)
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_shape() {
+        let h = pebbling_grid("g", 4, 4);
+        assert_eq!(h.num_vertices(), 16);
+        assert!(h.num_edges() >= 12);
+        assert!(h.arity() <= 3);
+    }
+
+    #[test]
+    fn circuit_is_connected_dag_cover() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let h = circuit("c", 8, 50, &mut rng);
+        assert_eq!(h.num_edges(), 50);
+        assert!(h.arity() <= 5);
+        assert!(hyperbench_core::components::is_connected(&h));
+    }
+
+    #[test]
+    fn configuration_overlaps_backbone() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let h = configuration("d", 6, &mut rng);
+        assert!(h.num_edges() >= 10);
+        // Backbone options give vertices of high degree.
+        let max_deg = hyperbench_core::properties::degree(&h);
+        assert!(max_deg >= 3);
+    }
+
+    #[test]
+    fn collection_counts_and_sizes() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let hs = csp_other_collection(12, &mut rng);
+        assert_eq!(hs.len(), 12);
+        // The class contains the big instances of the benchmark.
+        assert!(hs.iter().any(|h| h.num_edges() > 50));
+    }
+}

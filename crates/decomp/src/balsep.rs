@@ -1,0 +1,783 @@
+//! BalSep (Algorithm 2 of the paper, §4.4): GHD computation via *balanced
+//! separators*.
+//!
+//! Every GHD of width ≤ k has a node whose cover is a balanced separator
+//! (Lemma 1, after Adler, Gottlob & Grohe), so the search only ever guesses
+//! covers whose `[B(λ)]`-components contain at most half of the current
+//! edges. Recursion operates on *extended subhypergraphs* `H' ∪ Sp`: a set
+//! of regular edges plus *special edges* (bags of ancestor separators) that
+//! must reappear as leaves (`λ = {s}`, `B = s`) so the recursive results can
+//! be glued back together (Function `BuildGHD`).
+//!
+//! Because components shrink geometrically, the recursion depth is
+//! `O(log |E(H)|)` — and negative instances die quickly when no balanced
+//! separator exists at all, which is exactly the behaviour the paper
+//! reports (BalSep "works particularly well ... when the test if ghw ≤ k
+//! gives a 'no'-answer").
+//!
+//! ## Separator iterator
+//!
+//! Stage 1 tries all `≤ k`-combinations of full edges of `H` and keeps the
+//! balanced ones. Stage 2 (needed for completeness, see §4.4.1: the
+//! iterator "uses subedges of H to generate separators corresponding to
+//! elements of the set f(H,k)") revisits every *balanced* full combination
+//! and substitutes subedges for its members. This restriction is lossless:
+//! if a mixed combination is balanced, the full combination of its parent
+//! edges covers a superset of vertices, so it is balanced too — hence every
+//! balanced mixed separator is a substitution instance of some balanced
+//! full combination. Subedge enumeration is budgeted; when the budget
+//! trips, an exhausted search is reported as *uncertified* rather than "no".
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use hyperbench_core::components::u_components_of_sets;
+use hyperbench_core::subedges::{global_subedges, SubedgeConfig};
+use hyperbench_core::util::CombinationsUpTo;
+use hyperbench_core::{BitSet, EdgeId, Hypergraph, VertexId};
+
+use crate::budget::{Budget, Stopped, Ticker};
+use crate::detk::SearchResult;
+use crate::tree::{CoverAtom, Decomposition};
+
+/// Configuration for the BalSep search.
+#[derive(Debug, Clone)]
+pub struct BalsepConfig {
+    /// Whether stage 2 (subedge separators) runs at all. Without it, "no"
+    /// answers are not certified (reported as uncertified).
+    pub use_subedges: bool,
+    /// Budgets for the `f(H,k)` enumeration.
+    pub subedge_cfg: SubedgeConfig,
+    /// Cap on substitution variants tried per balanced full combination.
+    pub max_variants_per_combo: u64,
+}
+
+impl Default for BalsepConfig {
+    fn default() -> Self {
+        BalsepConfig {
+            use_subedges: true,
+            subedge_cfg: SubedgeConfig::default(),
+            max_variants_per_combo: 50_000,
+        }
+    }
+}
+
+/// Solves `Check(GHD,k)` for `h` via balanced separators.
+pub fn decompose_balsep(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+    cfg: &BalsepConfig,
+) -> SearchResult {
+    run_search(h, k, budget, cfg, None)
+}
+
+/// The *hybrid* strategy sketched in the paper's future work (§7) and
+/// realized by the Gottlob–Okulmus–Pichler follow-up: apply the balanced
+/// separator recursion only down to `depth_limit` to split a large
+/// hypergraph into small components, then let the (subedge-aware) detk
+/// engine finish each component. Combines BalSep's fast splitting with
+/// detk's fast endgame.
+pub fn decompose_hybrid(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+    cfg: &BalsepConfig,
+    depth_limit: usize,
+) -> SearchResult {
+    run_search(h, k, budget, cfg, Some(depth_limit))
+}
+
+fn run_search(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+    cfg: &BalsepConfig,
+    hybrid_depth: Option<usize>,
+) -> SearchResult {
+    if h.num_edges() == 0 {
+        return SearchResult::Found(Decomposition::new(BitSet::new(), Vec::new()));
+    }
+    if k == 0 {
+        return SearchResult::NotFound;
+    }
+    let mut search = BalsepSearch::new(h, k, budget, cfg, hybrid_depth);
+    let ext: Vec<XEdge> = h.edge_ids().map(XEdge::Regular).collect();
+    match search.decompose(&ext, 0) {
+        Ok(Some(xtree)) => {
+            let d = xtree.into_decomposition();
+            SearchResult::Found(d)
+        }
+        Ok(None) => {
+            if search.subedges_capped || !cfg.use_subedges {
+                SearchResult::NotFoundUncertified
+            } else {
+                SearchResult::NotFound
+            }
+        }
+        Err(Stopped) => SearchResult::Stopped,
+    }
+}
+
+/// An edge of an extended subhypergraph: a regular edge of `H` or a special
+/// edge (an ancestor bag).
+#[derive(Clone)]
+enum XEdge {
+    Regular(EdgeId),
+    Special(Rc<BitSet>),
+}
+
+impl XEdge {
+    fn vertices<'a>(&'a self, h: &'a Hypergraph) -> &'a BitSet {
+        match self {
+            XEdge::Regular(e) => h.edge_set(*e),
+            XEdge::Special(s) => s,
+        }
+    }
+}
+
+/// Cover of an internal tree node: regular atoms or a single special edge.
+#[derive(Clone)]
+enum XCover {
+    Atoms(Vec<CoverAtom>),
+    Special(Rc<BitSet>),
+}
+
+struct XNode {
+    bag: BitSet,
+    cover: XCover,
+    children: Vec<usize>,
+    parent: Option<usize>,
+}
+
+/// Internal tree able to carry special-edge leaves during assembly.
+struct XTree {
+    nodes: Vec<XNode>,
+    root: usize,
+}
+
+impl XTree {
+    fn new(bag: BitSet, cover: XCover) -> XTree {
+        XTree {
+            nodes: vec![XNode {
+                bag,
+                cover,
+                children: Vec::new(),
+                parent: None,
+            }],
+            root: 0,
+        }
+    }
+
+    fn add_child(&mut self, parent: usize, bag: BitSet, cover: XCover) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(XNode {
+            bag,
+            cover,
+            children: Vec::new(),
+            parent: Some(parent),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Finds a node whose cover is `Special(s)` for the given vertex set.
+    fn find_special(&self, s: &BitSet) -> Option<usize> {
+        self.nodes.iter().position(|n| match &n.cover {
+            XCover::Special(sp) => sp.as_ref() == s,
+            _ => false,
+        })
+    }
+
+    /// Re-roots in place at `new_root`.
+    fn reroot(&mut self, new_root: usize) {
+        let mut path = Vec::new();
+        let mut cur = Some(new_root);
+        while let Some(u) = cur {
+            path.push(u);
+            cur = self.nodes[u].parent;
+        }
+        for w in path.windows(2) {
+            let (child, parent) = (w[0], w[1]);
+            self.nodes[parent].children.retain(|&c| c != child);
+            self.nodes[child].children.push(parent);
+            self.nodes[parent].parent = Some(child);
+        }
+        self.nodes[new_root].parent = None;
+        self.root = new_root;
+    }
+
+    /// Grafts the subtree of `other` rooted at `other_id` under `parent`.
+    fn graft(&mut self, parent: usize, other: &XTree, other_id: usize) {
+        let o = &other.nodes[other_id];
+        let here = self.add_child(parent, o.bag.clone(), o.cover.clone());
+        for &c in &o.children {
+            self.graft(here, other, c);
+        }
+    }
+
+    /// Grafts a plain [`Decomposition`] subtree (from the detk engine)
+    /// under `parent`.
+    fn graft_decomposition(&mut self, parent: usize, d: &Decomposition, node: crate::tree::NodeId) {
+        let n = d.node(node);
+        let here = self.add_child(parent, n.bag.clone(), XCover::Atoms(n.cover.clone()));
+        for &c in &n.children {
+            self.graft_decomposition(here, d, c);
+        }
+    }
+
+    /// Converts into a public [`Decomposition`]. Panics if any special-edge
+    /// node survived assembly (they must all be consumed at their creating
+    /// level).
+    fn into_decomposition(self) -> Decomposition {
+        let root = self.root;
+        let mut d = match &self.nodes[root].cover {
+            XCover::Atoms(atoms) => {
+                Decomposition::new(self.nodes[root].bag.clone(), atoms.clone())
+            }
+            XCover::Special(_) => unreachable!("special edge at root after assembly"),
+        };
+        let mut stack: Vec<(usize, usize)> = self.nodes[root]
+            .children
+            .iter()
+            .map(|&c| (c, d.root()))
+            .collect();
+        while let Some((x_id, d_parent)) = stack.pop() {
+            let n = &self.nodes[x_id];
+            let atoms = match &n.cover {
+                XCover::Atoms(a) => a.clone(),
+                XCover::Special(_) => {
+                    unreachable!("special edge survived assembly")
+                }
+            };
+            let here = d.add_child(d_parent, n.bag.clone(), atoms);
+            for &c in &n.children {
+                stack.push((c, here));
+            }
+        }
+        d
+    }
+}
+
+/// Canonical memo key of an extended subhypergraph.
+type ExtKey = (Box<[EdgeId]>, Vec<Box<[VertexId]>>);
+
+fn ext_key(h: &Hypergraph, ext: &[XEdge]) -> ExtKey {
+    let mut regs: Vec<EdgeId> = Vec::new();
+    let mut specials: Vec<Box<[VertexId]>> = Vec::new();
+    for x in ext {
+        match x {
+            XEdge::Regular(e) => regs.push(*e),
+            XEdge::Special(s) => specials.push(s.to_vec().into_boxed_slice()),
+        }
+    }
+    let _ = h;
+    regs.sort_unstable();
+    specials.sort();
+    (regs.into_boxed_slice(), specials)
+}
+
+struct BalsepSearch<'h> {
+    h: &'h Hypergraph,
+    k: usize,
+    budget: Budget,
+    ticker: Ticker,
+    cfg: BalsepConfig,
+    fail_memo: HashSet<ExtKey>,
+    /// Subedges of `f(H,k)` grouped by parent edge (computed lazily).
+    subedges_by_parent: Option<Rc<HashMap<EdgeId, Vec<Rc<BitSet>>>>>,
+    subedges_capped: bool,
+    /// `Some(d)`: switch to the detk engine below recursion depth `d`
+    /// (the hybrid strategy).
+    hybrid_depth: Option<usize>,
+}
+
+impl<'h> BalsepSearch<'h> {
+    fn new(
+        h: &'h Hypergraph,
+        k: usize,
+        budget: &Budget,
+        cfg: &BalsepConfig,
+        hybrid_depth: Option<usize>,
+    ) -> Self {
+        BalsepSearch {
+            h,
+            k,
+            budget: budget.clone(),
+            ticker: Ticker::new(budget),
+            cfg: cfg.clone(),
+            fail_memo: HashSet::new(),
+            subedges_by_parent: None,
+            subedges_capped: false,
+            hybrid_depth,
+        }
+    }
+
+    /// Function `Decompose` of Algorithm 2.
+    fn decompose(&mut self, ext: &[XEdge], depth: usize) -> Result<Option<XTree>, Stopped> {
+        self.ticker.tick()?;
+
+        // Base cases (lines 5–12).
+        if ext.len() == 1 {
+            let bag = ext[0].vertices(self.h).clone();
+            return Ok(Some(XTree::new(bag, self.cover_of(&ext[0]))));
+        }
+        if ext.len() == 2 {
+            let b0 = ext[0].vertices(self.h).clone();
+            let b1 = ext[1].vertices(self.h).clone();
+            let mut t = XTree::new(b0, self.cover_of(&ext[0]));
+            t.add_child(0, b1, self.cover_of(&ext[1]));
+            return Ok(Some(t));
+        }
+
+        let key = ext_key(self.h, ext);
+        if self.fail_memo.contains(&key) {
+            return Ok(None);
+        }
+
+        // The vertex set of the extended subhypergraph.
+        let mut ext_vertices = BitSet::with_capacity(self.h.num_vertices());
+        for x in ext {
+            ext_vertices.union_with(x.vertices(self.h));
+        }
+
+        // Candidate separator edges: full edges of H meeting the scope.
+        let candidates: Vec<EdgeId> = self
+            .h
+            .edge_ids()
+            .filter(|&e| self.h.edge_set(e).intersects(&ext_vertices))
+            .collect();
+
+        let sets: Vec<&BitSet> = ext.iter().map(|x| x.vertices(self.h)).collect();
+        let total = ext.len();
+
+        // Stage 1: full-edge combinations; remember balanced ones.
+        let mut balanced_full: Vec<Vec<EdgeId>> = Vec::new();
+        for combo_idx in CombinationsUpTo::new(candidates.len(), self.k) {
+            self.ticker.tick()?;
+            let combo: Vec<EdgeId> = combo_idx.iter().map(|&i| candidates[i]).collect();
+            let mut union = BitSet::with_capacity(self.h.num_vertices());
+            for &e in &combo {
+                union.union_with(self.h.edge_set(e));
+            }
+            let comps = u_components_of_sets(self.h.num_vertices(), &sets, &union);
+            if comps.components.iter().any(|c| 2 * c.len() > total) {
+                continue;
+            }
+            balanced_full.push(combo.clone());
+            let cover: Vec<CoverAtom> = combo.iter().map(|&e| CoverAtom::Edge(e)).collect();
+            if let Some(t) = self.try_separator(ext, &ext_vertices, &sets, cover, &union, depth)? {
+                return Ok(Some(t));
+            }
+        }
+
+        // Stage 2: substitute subedges into balanced full combinations.
+        if self.cfg.use_subedges && !balanced_full.is_empty() {
+            let by_parent = self.subedge_table()?;
+            if let Some(by_parent) = by_parent {
+                for combo in &balanced_full {
+                    if let Some(t) = self.try_variants(
+                        ext,
+                        &ext_vertices,
+                        &sets,
+                        combo,
+                        &by_parent,
+                        total,
+                        depth,
+                    )? {
+                        return Ok(Some(t));
+                    }
+                }
+            }
+        }
+
+        self.fail_memo.insert(key);
+        Ok(None)
+    }
+
+    fn cover_of(&self, x: &XEdge) -> XCover {
+        match x {
+            XEdge::Regular(e) => XCover::Atoms(vec![CoverAtom::Edge(*e)]),
+            XEdge::Special(s) => XCover::Special(s.clone()),
+        }
+    }
+
+    /// Lazily computes `f(H,k)` grouped by parent edge.
+    #[allow(clippy::type_complexity)]
+    fn subedge_table(&mut self) -> Result<Option<Rc<HashMap<EdgeId, Vec<Rc<BitSet>>>>>, Stopped> {
+        if self.subedges_capped {
+            return Ok(None);
+        }
+        if let Some(t) = &self.subedges_by_parent {
+            return Ok(Some(t.clone()));
+        }
+        self.ticker.check_now()?;
+        match global_subedges(self.h, self.k, &self.cfg.subedge_cfg) {
+            Ok(family) => {
+                let mut map: HashMap<EdgeId, Vec<Rc<BitSet>>> = HashMap::new();
+                for s in family {
+                    map.entry(s.parent).or_default().push(Rc::new(s.to_bitset()));
+                }
+                let rc = Rc::new(map);
+                self.subedges_by_parent = Some(rc.clone());
+                Ok(Some(rc))
+            }
+            Err(_) => {
+                self.subedges_capped = true;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Enumerates substitution variants of a balanced full combination:
+    /// every member edge is replaced by itself or by one-or-more of its
+    /// subedges, keeping the total number of atoms ≤ k. The all-full
+    /// variant is skipped (stage 1 handled it).
+    #[allow(clippy::too_many_arguments)]
+    fn try_variants(
+        &mut self,
+        ext: &[XEdge],
+        ext_vertices: &BitSet,
+        sets: &[&BitSet],
+        combo: &[EdgeId],
+        by_parent: &HashMap<EdgeId, Vec<Rc<BitSet>>>,
+        total: usize,
+        depth: usize,
+    ) -> Result<Option<XTree>, Stopped> {
+        // Per-parent choices: the full edge, or a single subedge meeting the
+        // scope. (Multi-subedge substitutions of the same parent are covered
+        // by the smaller parent combination, which stage 1 also collected.)
+        let mut choices: Vec<Vec<(CoverAtom, Rc<BitSet>)>> = Vec::with_capacity(combo.len());
+        for &e in combo {
+            let mut opts: Vec<(CoverAtom, Rc<BitSet>)> = vec![(
+                CoverAtom::Edge(e),
+                Rc::new(self.h.edge_set(e).clone()),
+            )];
+            if let Some(subs) = by_parent.get(&e) {
+                for s in subs {
+                    if s.intersects(ext_vertices) {
+                        opts.push((
+                            CoverAtom::Subedge {
+                                parent: e,
+                                vertices: s.as_ref().clone(),
+                            },
+                            s.clone(),
+                        ));
+                    }
+                }
+            }
+            choices.push(opts);
+        }
+
+        let mut variants_tried: u64 = 0;
+        let mut selection: Vec<usize> = vec![0; combo.len()];
+        // Odometer enumeration over the choice product, skipping all-zeros.
+        loop {
+            // Advance odometer.
+            let mut pos = 0;
+            loop {
+                if pos == selection.len() {
+                    return Ok(None);
+                }
+                selection[pos] += 1;
+                if selection[pos] < choices[pos].len() {
+                    break;
+                }
+                selection[pos] = 0;
+                pos += 1;
+            }
+            self.ticker.tick()?;
+            variants_tried += 1;
+            if variants_tried > self.cfg.max_variants_per_combo {
+                self.subedges_capped = true;
+                return Ok(None);
+            }
+
+            let mut union = BitSet::with_capacity(self.h.num_vertices());
+            let mut cover: Vec<CoverAtom> = Vec::with_capacity(combo.len());
+            for (i, &sel) in selection.iter().enumerate() {
+                let (atom, verts) = &choices[i][sel];
+                union.union_with(verts);
+                cover.push(atom.clone());
+            }
+            // Re-check balance: trimming can unbalance a separator.
+            let comps = u_components_of_sets(self.h.num_vertices(), sets, &union);
+            if comps.components.iter().any(|c| 2 * c.len() > total) {
+                continue;
+            }
+            if let Some(t) =
+                self.try_separator(ext, ext_vertices, sets, cover, &union, depth)?
+            {
+                return Ok(Some(t));
+            }
+        }
+    }
+
+    /// Lines 15–27 of Algorithm 2 plus Functions `ComputeSubhypergraphs`
+    /// and `BuildGHD`: fix `B_u = B(λ) ∩ V(H'∪Sp)`, recurse on each
+    /// `[B_u]`-component extended with the new special edge `B_u`, and glue.
+    ///
+    /// In hybrid mode, components below the depth limit that carry no
+    /// inherited special edges are handed to the detk engine instead
+    /// (connector = `B_u ∩ V(component)`), and their decompositions are
+    /// grafted directly under `u`.
+    #[allow(clippy::too_many_arguments)]
+    fn try_separator(
+        &mut self,
+        ext: &[XEdge],
+        ext_vertices: &BitSet,
+        sets: &[&BitSet],
+        cover: Vec<CoverAtom>,
+        union: &BitSet,
+        depth: usize,
+    ) -> Result<Option<XTree>, Stopped> {
+        let mut bag = union.clone();
+        bag.intersect_with(ext_vertices);
+        if bag.is_empty() {
+            return Ok(None);
+        }
+        let special = Rc::new(bag.clone());
+        let switch_to_detk = self.hybrid_depth.map(|d| depth + 1 >= d).unwrap_or(false);
+
+        let comps = u_components_of_sets(self.h.num_vertices(), sets, &bag);
+        // Recurse on each component (plus the new special edge).
+        let mut child_trees: Vec<XTree> = Vec::with_capacity(comps.components.len());
+        let mut detk_children: Vec<Decomposition> = Vec::new();
+        for comp in &comps.components {
+            let regulars: Vec<EdgeId> = comp
+                .iter()
+                .filter_map(|&i| match &ext[i] {
+                    XEdge::Regular(e) => Some(*e),
+                    XEdge::Special(_) => None,
+                })
+                .collect();
+            let pure_regular = regulars.len() == comp.len();
+            if switch_to_detk && pure_regular {
+                let mut conn = self.h.vertices_of_edges(&regulars);
+                conn.intersect_with(&bag);
+                match crate::detk::decompose_component(
+                    self.h,
+                    self.k,
+                    &self.budget,
+                    Some(&self.cfg.subedge_cfg),
+                    &regulars,
+                    &conn.to_vec(),
+                ) {
+                    SearchResult::Found(d) => detk_children.push(d),
+                    SearchResult::NotFound => return Ok(None),
+                    SearchResult::NotFoundUncertified => {
+                        self.subedges_capped = true;
+                        return Ok(None);
+                    }
+                    SearchResult::Stopped => return Err(Stopped),
+                }
+                continue;
+            }
+            let mut child_ext: Vec<XEdge> = comp.iter().map(|&i| ext[i].clone()).collect();
+            child_ext.push(XEdge::Special(special.clone()));
+            match self.decompose(&child_ext, depth + 1)? {
+                Some(t) => child_trees.push(t),
+                None => return Ok(None),
+            }
+        }
+
+        // Assemble: root u = (bag, λ).
+        let mut tree = XTree::new(bag.clone(), XCover::Atoms(cover));
+        // Covered special edges of this call reappear as leaves under u.
+        for &i in &comps.covered {
+            if let XEdge::Special(s) = &ext[i] {
+                tree.add_child(0, s.as_ref().clone(), XCover::Special(s.clone()));
+            }
+        }
+        // Each child tree contains exactly one leafed occurrence of the new
+        // special B_u: re-root there, then hang its children under u.
+        for mut child in child_trees {
+            let at = child
+                .find_special(&bag)
+                .expect("child decomposition must contain the new special edge");
+            child.reroot(at);
+            let kids: Vec<usize> = child.nodes[at].children.clone();
+            for c in kids {
+                tree.graft(0, &child, c);
+            }
+        }
+        // detk children hang directly under u: their root bags cover the
+        // connector, which contains every vertex shared with u.
+        for d in detk_children {
+            tree.graft_decomposition(0, &d, d.root());
+        }
+        Ok(Some(tree))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_ghd_with_width;
+    use hyperbench_core::builder::hypergraph_from_edges;
+
+    fn cfg() -> BalsepConfig {
+        BalsepConfig::default()
+    }
+
+    fn check(h: &Hypergraph, k: usize) -> SearchResult {
+        decompose_balsep(h, k, &Budget::unlimited(), &cfg())
+    }
+
+    #[test]
+    fn acyclic_path() {
+        let h = hypergraph_from_edges(&[
+            ("e0", &["a", "b"]),
+            ("e1", &["b", "c"]),
+            ("e2", &["c", "d"]),
+            ("e3", &["d", "e"]),
+        ]);
+        match check(&h, 1) {
+            SearchResult::Found(d) => {
+                validate_ghd_with_width(&h, &d, 1).unwrap();
+            }
+            other => panic!("expected GHD of width 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn triangle_no_at_1_yes_at_2() {
+        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        assert!(matches!(check(&h, 1), SearchResult::NotFound));
+        match check(&h, 2) {
+            SearchResult::Found(d) => validate_ghd_with_width(&h, &d, 2).unwrap(),
+            other => panic!("expected GHD of width 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn larger_cycle() {
+        let mut b = hyperbench_core::HypergraphBuilder::new();
+        for i in 0..8 {
+            b.add_edge(
+                &format!("e{i}"),
+                &[format!("v{i}"), format!("v{}", (i + 1) % 8)],
+            );
+        }
+        let h = b.build();
+        assert!(matches!(check(&h, 1), SearchResult::NotFound));
+        match check(&h, 2) {
+            SearchResult::Found(d) => validate_ghd_with_width(&h, &d, 2).unwrap(),
+            other => panic!("expected GHD of width 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let h = hypergraph_from_edges(&[
+            ("e0", &["a", "b"]),
+            ("e1", &["b", "c"]),
+            ("e2", &["x", "y"]),
+        ]);
+        match check(&h, 1) {
+            SearchResult::Found(d) => validate_ghd_with_width(&h, &d, 1).unwrap(),
+            other => panic!("expected GHD of width 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_and_double_edge() {
+        let h1 = hypergraph_from_edges(&[("e", &["a", "b"])]);
+        assert!(matches!(check(&h1, 1), SearchResult::Found(_)));
+        let h2 = hypergraph_from_edges(&[("e", &["a", "b"]), ("f", &["b", "c"])]);
+        match check(&h2, 1) {
+            SearchResult::Found(d) => validate_ghd_with_width(&h2, &d, 1).unwrap(),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn without_subedges_no_is_uncertified() {
+        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let c = BalsepConfig {
+            use_subedges: false,
+            ..BalsepConfig::default()
+        };
+        assert!(matches!(
+            decompose_balsep(&h, 1, &Budget::unlimited(), &c),
+            SearchResult::NotFoundUncertified
+        ));
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let mut b = hyperbench_core::HypergraphBuilder::new();
+        for i in 0..12 {
+            for j in (i + 1)..12 {
+                b.add_edge(&format!("e{i}_{j}"), &[format!("v{i}"), format!("v{j}")]);
+            }
+        }
+        let h = b.build();
+        let budget = Budget::with_timeout(std::time::Duration::from_micros(1));
+        assert!(matches!(
+            decompose_balsep(&h, 3, &budget, &cfg()),
+            SearchResult::Stopped
+        ));
+    }
+
+    #[test]
+    fn hybrid_agrees_with_balsep() {
+        use crate::validate::validate_ghd_with_width;
+        let mut b = hyperbench_core::HypergraphBuilder::new();
+        for i in 0..10 {
+            b.add_edge(
+                &format!("e{i}"),
+                &[format!("v{i}"), format!("v{}", (i + 1) % 10)],
+            );
+        }
+        b.add_edge("chord", &["v0", "v5"]);
+        let h = b.build();
+        for depth in [0usize, 1, 2] {
+            // hw of this graph is 2: the hybrid must agree at k=1 (no) and
+            // k=2 (yes) for every switch depth.
+            assert!(
+                matches!(
+                    decompose_hybrid(&h, 1, &Budget::unlimited(), &cfg(), depth),
+                    SearchResult::NotFound
+                ),
+                "depth {depth}"
+            );
+            match decompose_hybrid(&h, 2, &Budget::unlimited(), &cfg(), depth) {
+                SearchResult::Found(d) => validate_ghd_with_width(&h, &d, 2).unwrap(),
+                other => panic!("depth {depth}: expected GHD, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_depth_zero_is_all_detk() {
+        // With depth 0 every component after the first split goes to detk.
+        let h = hypergraph_from_edges(&[
+            ("e0", &["a", "b"]),
+            ("e1", &["b", "c"]),
+            ("e2", &["c", "d"]),
+            ("e3", &["d", "e"]),
+            ("e4", &["e", "a"]),
+        ]);
+        match decompose_hybrid(&h, 2, &Budget::unlimited(), &cfg(), 0) {
+            SearchResult::Found(d) => {
+                crate::validate::validate_ghd_with_width(&h, &d, 2).unwrap()
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ghd_found_on_hypergraph_with_big_edges() {
+        let h = hypergraph_from_edges(&[
+            ("e1", &["a", "b", "c"]),
+            ("e2", &["c", "d", "e"]),
+            ("e3", &["e", "f", "a"]),
+            ("e4", &["b", "d", "f"]),
+        ]);
+        match check(&h, 2) {
+            SearchResult::Found(d) => validate_ghd_with_width(&h, &d, 2).unwrap(),
+            other => panic!("expected GHD of width 2, got {other:?}"),
+        }
+    }
+}

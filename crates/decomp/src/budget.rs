@@ -1,0 +1,159 @@
+//! Search budgets: deadlines and cooperative cancellation.
+//!
+//! Every decomposition search accepts a [`Budget`]. Budgets carry an
+//! optional wall-clock deadline (the paper uses a 3600 s timeout; the
+//! laptop-scale harness uses much smaller ones) and an optional shared
+//! cancellation flag used by the first-of-three GHD race (§6.4).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A search budget. Cheap to clone; clones share the cancellation flag.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// A budget that never expires.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A budget expiring `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Budget {
+        Budget {
+            deadline: Some(Instant::now() + timeout),
+            cancel: None,
+        }
+    }
+
+    /// Attaches a shared cancellation flag (for races).
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Budget {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Whether the budget is exhausted (deadline passed or cancelled).
+    pub fn is_stopped(&self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Signals cancellation to every clone of this budget.
+    pub fn cancel(&self) {
+        if let Some(c) = &self.cancel {
+            c.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Marker error: the search was stopped by its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stopped;
+
+/// A tick counter that polls a [`Budget`] every `INTERVAL` ticks, keeping
+/// the `Instant::now()` syscall off the hot path.
+pub struct Ticker {
+    budget: Budget,
+    count: u64,
+}
+
+impl Ticker {
+    const INTERVAL: u64 = 1024;
+
+    /// Wraps a budget.
+    pub fn new(budget: &Budget) -> Ticker {
+        Ticker {
+            budget: budget.clone(),
+            count: 0,
+        }
+    }
+
+    /// Counts one unit of work; returns `Err(Stopped)` when the budget has
+    /// expired (checked every 1024 ticks).
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), Stopped> {
+        self.count += 1;
+        if self.count.is_multiple_of(Self::INTERVAL) && self.budget.is_stopped() {
+            return Err(Stopped);
+        }
+        Ok(())
+    }
+
+    /// Forces an immediate budget check.
+    pub fn check_now(&self) -> Result<(), Stopped> {
+        if self.budget.is_stopped() {
+            Err(Stopped)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Total ticks counted (diagnostics).
+    pub fn ticks(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_stops() {
+        let b = Budget::unlimited();
+        assert!(!b.is_stopped());
+        let mut t = Ticker::new(&b);
+        for _ in 0..10_000 {
+            assert!(t.tick().is_ok());
+        }
+        assert_eq!(t.ticks(), 10_000);
+    }
+
+    #[test]
+    fn deadline_stops() {
+        let b = Budget::with_timeout(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(b.is_stopped());
+        let t = Ticker::new(&b);
+        assert_eq!(t.check_now(), Err(Stopped));
+    }
+
+    #[test]
+    fn cancel_flag_is_shared() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b1 = Budget::unlimited().with_cancel_flag(flag.clone());
+        let b2 = b1.clone();
+        assert!(!b2.is_stopped());
+        b1.cancel();
+        assert!(b2.is_stopped());
+    }
+
+    #[test]
+    fn ticker_detects_cancel_within_interval() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = Budget::unlimited().with_cancel_flag(flag);
+        let mut t = Ticker::new(&b);
+        b.cancel();
+        let mut stopped = false;
+        for _ in 0..2048 {
+            if t.tick().is_err() {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped);
+    }
+}

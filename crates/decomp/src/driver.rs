@@ -1,0 +1,473 @@
+//! Width-search drivers: `Check(HD,k)` / `Check(GHD,k)` wrappers with
+//! uniform outcomes, the iterative hw search of §6.2 (Figure 4) and the
+//! "run GlobalBIP, LocalBIP and BalSep in parallel and take the first one
+//! to terminate" race of §6.4 (Table 4).
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hyperbench_core::subedges::SubedgeConfig;
+use hyperbench_core::Hypergraph;
+
+use crate::balsep::{decompose_balsep, BalsepConfig};
+use crate::budget::Budget;
+use crate::detk::{decompose_hd, SearchResult};
+use crate::globalbip::decompose_globalbip;
+use crate::localbip::decompose_localbip;
+use crate::tree::Decomposition;
+
+/// Outcome of a `Check(decomposition, k)` run.
+#[derive(Debug)]
+pub enum Outcome {
+    /// A decomposition of width ≤ k (the "yes" certificate).
+    Yes(Decomposition),
+    /// Certified: no decomposition of width ≤ k exists.
+    No,
+    /// The search was stopped (deadline, cancellation, or a truncated
+    /// subedge enumeration that prevents certification).
+    Timeout,
+}
+
+impl Outcome {
+    /// Whether this is a definitive answer (yes or no).
+    pub fn is_decided(&self) -> bool {
+        !matches!(self, Outcome::Timeout)
+    }
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Yes(_) => "yes",
+            Outcome::No => "no",
+            Outcome::Timeout => "timeout",
+        }
+    }
+}
+
+impl From<SearchResult> for Outcome {
+    fn from(r: SearchResult) -> Outcome {
+        match r {
+            SearchResult::Found(d) => Outcome::Yes(d),
+            SearchResult::NotFound => Outcome::No,
+            SearchResult::NotFoundUncertified | SearchResult::Stopped => Outcome::Timeout,
+        }
+    }
+}
+
+/// Solves `Check(HD,k)`.
+///
+/// `k = 1` is answered by the linear-time GYO reduction (α-acyclicity is
+/// equivalent to hw = 1), which is how the paper's Figure-4 pipeline can
+/// classify thousands of instances "in 0 seconds"; larger `k` runs the
+/// backtracking search.
+pub fn check_hd(h: &Hypergraph, k: usize, budget: &Budget) -> Outcome {
+    if k == 1 && h.num_edges() > 0 {
+        return match hyperbench_core::gyo::join_tree(h) {
+            Some(jt) => Outcome::Yes(join_tree_to_decomposition(h, &jt)),
+            None => Outcome::No,
+        };
+    }
+    decompose_hd(h, k, budget).into()
+}
+
+/// Converts a GYO join tree (edge, parent) list into a width-1
+/// decomposition: one node per edge, bag = the edge.
+fn join_tree_to_decomposition(
+    h: &Hypergraph,
+    jt: &[(hyperbench_core::EdgeId, Option<hyperbench_core::EdgeId>)],
+) -> Decomposition {
+    use crate::tree::CoverAtom;
+    if jt.is_empty() {
+        return Decomposition::new(hyperbench_core::BitSet::new(), Vec::new());
+    }
+    let root_edge = jt
+        .iter()
+        .find(|(_, p)| p.is_none())
+        .expect("join tree has a root")
+        .0;
+    let mut d = Decomposition::new(
+        h.edge_set(root_edge).clone(),
+        vec![CoverAtom::Edge(root_edge)],
+    );
+    // node id per edge, built top-down.
+    let mut node_of: Vec<Option<crate::tree::NodeId>> = vec![None; jt.len()];
+    node_of[root_edge as usize] = Some(d.root());
+    let mut placed = 1;
+    while placed < jt.len() {
+        let mut progressed = false;
+        for &(e, p) in jt {
+            if node_of[e as usize].is_some() {
+                continue;
+            }
+            let Some(p) = p else { continue };
+            if let Some(pn) = node_of[p as usize] {
+                let id = d.add_child(pn, h.edge_set(e).clone(), vec![CoverAtom::Edge(e)]);
+                node_of[e as usize] = Some(id);
+                placed += 1;
+                progressed = true;
+            }
+        }
+        assert!(progressed, "join tree contains a parent cycle");
+    }
+    d
+}
+
+/// The three GHD algorithms of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GhdAlgorithm {
+    /// Algorithm 1 (§4.2): materialize `f(H,k)` globally.
+    GlobalBip,
+    /// §4.3: subedges computed per node.
+    LocalBip,
+    /// Algorithm 2 (§4.4): balanced separators.
+    BalSep,
+}
+
+impl GhdAlgorithm {
+    /// All three, in the paper's presentation order.
+    pub const ALL: [GhdAlgorithm; 3] = [
+        GhdAlgorithm::GlobalBip,
+        GhdAlgorithm::LocalBip,
+        GhdAlgorithm::BalSep,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GhdAlgorithm::GlobalBip => "GlobalBIP",
+            GhdAlgorithm::LocalBip => "LocalBIP",
+            GhdAlgorithm::BalSep => "BalSep",
+        }
+    }
+}
+
+/// Solves `Check(GHD,k)` with the selected algorithm.
+pub fn check_ghd(
+    h: &Hypergraph,
+    k: usize,
+    algo: GhdAlgorithm,
+    budget: &Budget,
+    cfg: &SubedgeConfig,
+) -> Outcome {
+    match algo {
+        GhdAlgorithm::GlobalBip => decompose_globalbip(h, k, budget, cfg).into(),
+        GhdAlgorithm::LocalBip => decompose_localbip(h, k, budget, cfg).into(),
+        GhdAlgorithm::BalSep => {
+            let bcfg = BalsepConfig {
+                subedge_cfg: *cfg,
+                ..BalsepConfig::default()
+            };
+            decompose_balsep(h, k, budget, &bcfg).into()
+        }
+    }
+}
+
+/// Solves `Check(GHD,k)` with the hybrid strategy (§7 future work): the
+/// balanced-separator recursion splits the hypergraph down to
+/// `switch_depth`, then the detk engine decomposes the small components.
+pub fn check_ghd_hybrid(
+    h: &Hypergraph,
+    k: usize,
+    switch_depth: usize,
+    budget: &Budget,
+    cfg: &SubedgeConfig,
+) -> Outcome {
+    let bcfg = BalsepConfig {
+        subedge_cfg: *cfg,
+        ..BalsepConfig::default()
+    };
+    crate::balsep::decompose_hybrid(h, k, budget, &bcfg, switch_depth).into()
+}
+
+/// Result of the first-of-three race (§6.4, Table 4).
+#[derive(Debug)]
+pub struct RaceResult {
+    /// The first definitive outcome (or `Timeout` if none).
+    pub outcome: Outcome,
+    /// Which algorithm produced it (`None` on timeout).
+    pub winner: Option<GhdAlgorithm>,
+    /// Wall-clock time of the race.
+    pub elapsed: Duration,
+}
+
+/// Runs all three GHD algorithms in parallel on `Check(GHD,k)`; the first
+/// definitive answer wins and the losers are cancelled. This mirrors the
+/// paper's §6.4 setup: "we run our three algorithms in parallel and stop
+/// the computation as soon as one terminates."
+pub fn race_ghd(h: &Hypergraph, k: usize, timeout: Duration, cfg: &SubedgeConfig) -> RaceResult {
+    let start = Instant::now();
+    let flag = Arc::new(AtomicBool::new(false));
+    let budget = Budget::with_timeout(timeout).with_cancel_flag(flag);
+
+    let result = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for algo in GhdAlgorithm::ALL {
+            let budget = budget.clone();
+            let handle = scope.spawn(move |_| {
+                let out = check_ghd(h, k, algo, &budget, cfg);
+                if out.is_decided() {
+                    budget.cancel();
+                }
+                (algo, out)
+            });
+            handles.push(handle);
+        }
+        let mut winner: Option<(GhdAlgorithm, Outcome)> = None;
+        for handle in handles {
+            let (algo, out) = handle.join().expect("race thread panicked");
+            if out.is_decided() && winner.is_none() {
+                winner = Some((algo, out));
+            }
+        }
+        winner
+    })
+    .expect("race scope panicked");
+
+    match result {
+        Some((algo, outcome)) => RaceResult {
+            outcome,
+            winner: Some(algo),
+            elapsed: start.elapsed(),
+        },
+        None => RaceResult {
+            outcome: Outcome::Timeout,
+            winner: None,
+            elapsed: start.elapsed(),
+        },
+    }
+}
+
+/// Per-`k` record of an iterative width search (one bar of Figure 4).
+#[derive(Debug)]
+pub struct KStep {
+    /// The `k` that was checked.
+    pub k: usize,
+    /// The outcome of `Check(HD,k)`.
+    pub outcome: Outcome,
+    /// Time spent on this check.
+    pub elapsed: Duration,
+}
+
+/// Result of the iterative hw computation.
+#[derive(Debug)]
+pub struct HwResult {
+    /// One entry per `k` tried, in increasing order.
+    pub steps: Vec<KStep>,
+    /// Smallest `k` with a yes-answer, if any.
+    pub upper: Option<usize>,
+    /// Largest `k` with a certified no-answer plus one, i.e. a lower bound
+    /// on hw (1 when nothing was certified).
+    pub lower: usize,
+}
+
+impl HwResult {
+    /// The exact hypertree width, when the search pinned it down
+    /// (upper bound met by certified no at `upper - 1`).
+    pub fn exact(&self) -> Option<usize> {
+        match self.upper {
+            Some(u) if self.lower == u => Some(u),
+            _ => None,
+        }
+    }
+}
+
+/// Iteratively solves `Check(HD,k)` for `k = 1, 2, …` (the procedure behind
+/// Figure 4): stops at the first yes-answer or at `k_max`. Each check gets
+/// its own timeout. A timeout at some `k` does not stop the progression —
+/// like the paper, the search continues with larger `k` (hw may still be
+/// bounded from above even when a smaller `k` timed out).
+pub fn hypertree_width(h: &Hypergraph, k_max: usize, per_check: Duration) -> HwResult {
+    let mut steps = Vec::new();
+    let mut lower = 1usize;
+    let mut upper = None;
+    let mut contiguous_no = true;
+    for k in 1..=k_max {
+        let start = Instant::now();
+        let outcome = check_hd(h, k, &Budget::with_timeout(per_check));
+        let elapsed = start.elapsed();
+        let done = matches!(outcome, Outcome::Yes(_));
+        if contiguous_no {
+            match outcome {
+                Outcome::No => lower = k + 1,
+                _ => contiguous_no = false,
+            }
+        }
+        steps.push(KStep {
+            k,
+            outcome,
+            elapsed,
+        });
+        if done {
+            upper = Some(k);
+            break;
+        }
+    }
+    HwResult {
+        steps,
+        upper,
+        lower,
+    }
+}
+
+/// Attempts to close an hw gap with a GHD no-answer (§6.4's final
+/// observation): when the analysis established `hw ≤ u` but timed out on
+/// `Check(HD, u−1)`, a *certified* `Check(GHD, u−1) = no` implies
+/// `ghw > u−1`, hence `hw > u−1`, pinning `hw = u` exactly. The paper
+/// closed 297 of 827 open gaps this way.
+///
+/// Returns the new exact hw if the gap closed.
+pub fn close_hw_gap_with_ghw(
+    h: &Hypergraph,
+    hw_upper: usize,
+    hw_lower: usize,
+    budget: &Budget,
+    cfg: &SubedgeConfig,
+) -> Option<usize> {
+    if hw_lower >= hw_upper || hw_upper == 0 {
+        return None; // no gap
+    }
+    // BalSep is the paper's weapon of choice for fast no-answers.
+    match check_ghd(h, hw_upper - 1, GhdAlgorithm::BalSep, budget, cfg) {
+        Outcome::No => Some(hw_upper),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperbench_core::builder::hypergraph_from_edges;
+
+    fn triangle() -> Hypergraph {
+        hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])])
+    }
+
+    #[test]
+    fn hw_of_triangle_is_two() {
+        let r = hypertree_width(&triangle(), 5, Duration::from_secs(10));
+        assert_eq!(r.upper, Some(2));
+        assert_eq!(r.lower, 2);
+        assert_eq!(r.exact(), Some(2));
+        assert_eq!(r.steps.len(), 2);
+        assert_eq!(r.steps[0].outcome.label(), "no");
+        assert_eq!(r.steps[1].outcome.label(), "yes");
+    }
+
+    #[test]
+    fn hw_of_acyclic_is_one() {
+        let h = hypergraph_from_edges(&[("e", &["a", "b"]), ("f", &["b", "c"])]);
+        let r = hypertree_width(&h, 3, Duration::from_secs(10));
+        assert_eq!(r.exact(), Some(1));
+    }
+
+    #[test]
+    fn kmax_respected() {
+        let r = hypertree_width(&triangle(), 1, Duration::from_secs(10));
+        assert_eq!(r.upper, None);
+        assert_eq!(r.lower, 2);
+        assert_eq!(r.exact(), None);
+    }
+
+    #[test]
+    fn all_ghd_algorithms_agree_on_triangle() {
+        let h = triangle();
+        let cfg = SubedgeConfig::default();
+        for algo in GhdAlgorithm::ALL {
+            let no = check_ghd(&h, 1, algo, &Budget::unlimited(), &cfg);
+            assert_eq!(no.label(), "no", "{}", algo.name());
+            let yes = check_ghd(&h, 2, algo, &Budget::unlimited(), &cfg);
+            assert_eq!(yes.label(), "yes", "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn race_returns_definitive_answer() {
+        let h = triangle();
+        let r = race_ghd(&h, 2, Duration::from_secs(20), &SubedgeConfig::default());
+        assert_eq!(r.outcome.label(), "yes");
+        assert!(r.winner.is_some());
+    }
+
+    #[test]
+    fn race_no_answer() {
+        let h = triangle();
+        let r = race_ghd(&h, 1, Duration::from_secs(20), &SubedgeConfig::default());
+        assert_eq!(r.outcome.label(), "no");
+    }
+
+    #[test]
+    fn outcome_labels() {
+        assert_eq!(Outcome::No.label(), "no");
+        assert_eq!(Outcome::Timeout.label(), "timeout");
+        assert!(!Outcome::Timeout.is_decided());
+    }
+
+    #[test]
+    fn gyo_fast_path_produces_valid_width1_hds() {
+        use crate::validate::validate_hd;
+        // Connected star, a branching tree, and a disconnected forest.
+        let cases = [
+            hypergraph_from_edges(&[("e0", &["c", "x"]), ("e1", &["c", "y"]), ("e2", &["c", "z"])]),
+            hypergraph_from_edges(&[
+                ("e0", &["a", "b"]),
+                ("e1", &["b", "c"]),
+                ("e2", &["b", "d"]),
+                ("e3", &["d", "e"]),
+            ]),
+            hypergraph_from_edges(&[("e0", &["a", "b"]), ("e1", &["x", "y"])]),
+        ];
+        for h in &cases {
+            match check_hd(h, 1, &Budget::unlimited()) {
+                Outcome::Yes(d) => {
+                    validate_hd(h, &d).unwrap();
+                    assert_eq!(d.width(), 1);
+                    assert_eq!(d.len(), h.num_edges());
+                }
+                other => panic!("expected width-1 HD, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn gap_closing_on_triangle() {
+        // Pretend the analysis only knows hw ∈ [1, 2] for the triangle;
+        // the certified GHD no-answer at k=1 closes the gap to hw = 2.
+        let h = triangle();
+        let closed = close_hw_gap_with_ghw(
+            &h,
+            2,
+            1,
+            &Budget::unlimited(),
+            &SubedgeConfig::default(),
+        );
+        assert_eq!(closed, Some(2));
+        // No gap → no work.
+        assert_eq!(
+            close_hw_gap_with_ghw(&h, 2, 2, &Budget::unlimited(), &SubedgeConfig::default()),
+            None
+        );
+    }
+
+    #[test]
+    fn gap_closing_respects_yes_answers() {
+        // For an acyclic hypergraph wrongly reported as hw ∈ [1,2], the
+        // GHD check at k=1 answers *yes*, so the gap must NOT close to 2.
+        let h = hypergraph_from_edges(&[("e", &["a", "b"]), ("f", &["b", "c"])]);
+        assert_eq!(
+            close_hw_gap_with_ghw(&h, 2, 1, &Budget::unlimited(), &SubedgeConfig::default()),
+            None
+        );
+    }
+
+    #[test]
+    fn gyo_fast_path_agrees_with_search_on_cyclic() {
+        let h = triangle();
+        assert_eq!(check_hd(&h, 1, &Budget::unlimited()).label(), "no");
+        // The backtracking search agrees.
+        assert!(matches!(
+            crate::detk::decompose_hd(&h, 1, &Budget::unlimited()),
+            crate::detk::SearchResult::NotFound
+        ));
+    }
+}

@@ -1,0 +1,540 @@
+//! Fractionally improved decompositions (§6.5 of the paper):
+//!
+//! * [`improve_hd`] (`ImproveHD`): take an existing (G)HD and replace every
+//!   integral cover `λ_u` by an optimal fractional cover `γ_u` of the same
+//!   bag. Cheap (one LP per node) but entirely dependent on the given HD.
+//! * [`frac_improve_check`] (`FracImproveHD`): search over *all* HDs of
+//!   width ≤ k for one whose bags all have fractional cover weight ≤ k′,
+//!   making the result independent of any particular starting HD.
+//!
+//! As in the paper's implementation (which extends DetKDecomp), the search
+//! ranges over the canonical HDs produced by the detk normal form — bags
+//! are `B(λ) ∩ (V(C) ∪ Conn)` — so the reported optimum is an upper bound
+//! on the best improvement over arbitrary HDs.
+
+use std::collections::{HashMap, HashSet};
+
+use hyperbench_core::components::u_components;
+use hyperbench_core::{BitSet, EdgeId, Hypergraph, VertexId};
+use hyperbench_lp::cover::{fractional_edge_cover, FractionalCover};
+use hyperbench_lp::{LpError, Rational};
+
+use crate::budget::{Budget, Stopped, Ticker};
+use crate::tree::{CoverAtom, Decomposition};
+
+/// A fractional hypertree decomposition: a tree with per-node fractional
+/// covers (the integral covers of the underlying tree are kept for
+/// reference).
+#[derive(Debug, Clone)]
+pub struct FractionalDecomposition {
+    /// The tree (bags and integral covers).
+    pub tree: Decomposition,
+    /// Per-node optimal fractional covers, indexed by node id.
+    pub covers: Vec<FractionalCover>,
+}
+
+impl FractionalDecomposition {
+    /// The fractional width: `max_u weight(γ_u)`.
+    pub fn fractional_width(&self) -> Rational {
+        self.covers
+            .iter()
+            .map(|c| c.weight)
+            .max()
+            .unwrap_or(Rational::ZERO)
+    }
+}
+
+/// `ImproveHD`: computes, for each bag of `d`, an optimal fractional edge
+/// cover, yielding an FHD with the same tree.
+pub fn improve_hd(h: &Hypergraph, d: &Decomposition) -> Result<FractionalDecomposition, LpError> {
+    let mut covers = Vec::with_capacity(d.len());
+    for n in d.nodes() {
+        covers.push(fractional_edge_cover(h, &n.bag)?);
+    }
+    Ok(FractionalDecomposition {
+        tree: d.clone(),
+        covers,
+    })
+}
+
+/// Outcome of a `FracImproveHD` feasibility check.
+#[derive(Debug)]
+pub enum FracOutcome {
+    /// An HD of width ≤ k with fractional width ≤ k′ exists.
+    Yes(FractionalDecomposition),
+    /// No such HD exists (within the canonical search space).
+    No,
+    /// Budget expired.
+    Timeout,
+}
+
+impl FracOutcome {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FracOutcome::Yes(_) => "yes",
+            FracOutcome::No => "no",
+            FracOutcome::Timeout => "timeout",
+        }
+    }
+}
+
+/// `FracImproveHD`: searches for an HD of `h` of width ≤ `k` whose bags all
+/// have fractional cover weight ≤ `k_prime`.
+pub fn frac_improve_check(
+    h: &Hypergraph,
+    k: usize,
+    k_prime: Rational,
+    budget: &Budget,
+) -> FracOutcome {
+    if h.num_edges() == 0 {
+        return FracOutcome::Yes(FractionalDecomposition {
+            tree: Decomposition::new(BitSet::new(), Vec::new()),
+            covers: vec![],
+        });
+    }
+    if k == 0 {
+        return FracOutcome::No;
+    }
+    let mut s = FracSearch {
+        h,
+        k,
+        k_prime,
+        ticker: Ticker::new(budget),
+        fail_memo: HashSet::new(),
+        lp_cache: HashMap::new(),
+        lp_failed: false,
+    };
+    let all: Vec<EdgeId> = h.edge_ids().collect();
+    match s.rec(&all, &[]) {
+        Ok(Some(d)) => match improve_hd(h, &d) {
+            Ok(fd) => FracOutcome::Yes(fd),
+            Err(_) => FracOutcome::Timeout,
+        },
+        Ok(None) => {
+            if s.lp_failed {
+                FracOutcome::Timeout
+            } else {
+                FracOutcome::No
+            }
+        }
+        Err(Stopped) => FracOutcome::Timeout,
+    }
+}
+
+/// Computes the best fractional width achievable by `FracImproveHD` within
+/// the HDs of width ≤ `k`, by binary search over the `grid_denominator`-ths
+/// grid (the paper uses tenths). Returns the smallest feasible `k'`, or
+/// `None` if even `k' = k` times out.
+///
+/// This is the fhw *upper bound* the paper reports for every instance
+/// ("for all of these hypergraphs we have established at least some upper
+/// bound on the fhw", §2): fhw(H) ≤ returned value.
+pub fn best_fractional_width(
+    h: &Hypergraph,
+    k: usize,
+    grid_denominator: i64,
+    budget: &Budget,
+) -> Option<Rational> {
+    assert!(grid_denominator >= 1);
+    // Feasibility is monotone in k'; search over numerators in
+    // [denominator, k*denominator] (k' ranges over [1, k]).
+    let den = grid_denominator as i128;
+    let mut lo = den; // k' = 1
+    let mut hi = Rational::from_int(k as i64).numerator() * den; // k' = k
+    // Establish the upper end first: if even k' = k fails, give up.
+    match frac_improve_check(h, k, Rational::new(hi, den), budget) {
+        FracOutcome::Yes(_) => {}
+        _ => return None,
+    }
+    let mut best = Rational::new(hi, den);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match frac_improve_check(h, k, Rational::new(mid, den), budget) {
+            FracOutcome::Yes(fd) => {
+                // The achieved width can undershoot the probe.
+                let achieved = fd.fractional_width();
+                if achieved < best {
+                    best = achieved;
+                }
+                hi = mid;
+            }
+            FracOutcome::No => lo = mid + 1,
+            FracOutcome::Timeout => return Some(best),
+        }
+    }
+    let final_probe = Rational::new(lo, den);
+    if final_probe < best {
+        best = final_probe;
+    }
+    Some(best)
+}
+
+/// The improvement buckets of Tables 5 and 6: by how much `k − k′` the
+/// fractional width improves on the integral width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImprovementBucket {
+    /// Improvement ≥ 1.
+    AtLeastOne,
+    /// Improvement in `[0.5, 1)`.
+    HalfToOne,
+    /// Improvement in `[0.1, 0.5)`.
+    TenthToHalf,
+    /// Improvement < 0.1 (reported as "no" in the paper).
+    No,
+}
+
+impl ImprovementBucket {
+    /// Classifies an improvement `c = k − k′`.
+    pub fn classify(k: usize, k_prime: Rational) -> ImprovementBucket {
+        let c = Rational::from_int(k as i64)
+            .checked_sub(&k_prime)
+            .unwrap_or(Rational::ZERO);
+        if c >= Rational::ONE {
+            ImprovementBucket::AtLeastOne
+        } else if c >= Rational::new(1, 2) {
+            ImprovementBucket::HalfToOne
+        } else if c >= Rational::new(1, 10) {
+            ImprovementBucket::TenthToHalf
+        } else {
+            ImprovementBucket::No
+        }
+    }
+
+    /// The paper's column header.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ImprovementBucket::AtLeastOne => ">=1",
+            ImprovementBucket::HalfToOne => "[0.5,1)",
+            ImprovementBucket::TenthToHalf => "[0.1,0.5)",
+            ImprovementBucket::No => "no",
+        }
+    }
+}
+
+/// Classifies the `FracImproveHD` improvement for an instance of hw ≤ `k`
+/// with at most three feasibility probes (`k−1`, `k−1/2`, `k−1/10`), the
+/// granularity of Table 6. Returns `None` on timeout.
+pub fn frac_improvement_bucket(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+) -> Option<ImprovementBucket> {
+    let probes = [
+        (Rational::from_int(k as i64 - 1), ImprovementBucket::AtLeastOne),
+        (
+            Rational::from_int(k as i64).checked_sub(&Rational::new(1, 2)).ok()?,
+            ImprovementBucket::HalfToOne,
+        ),
+        (
+            Rational::from_int(k as i64).checked_sub(&Rational::new(1, 10)).ok()?,
+            ImprovementBucket::TenthToHalf,
+        ),
+    ];
+    for (k_prime, bucket) in probes {
+        if k_prime <= Rational::ZERO {
+            continue;
+        }
+        match frac_improve_check(h, k, k_prime, budget) {
+            FracOutcome::Yes(_) => return Some(bucket),
+            FracOutcome::No => continue,
+            FracOutcome::Timeout => return None,
+        }
+    }
+    Some(ImprovementBucket::No)
+}
+
+/// Memo key: (component edge ids, connector vertex ids), both sorted.
+type CompConnKey = (Box<[EdgeId]>, Box<[VertexId]>);
+
+struct FracSearch<'h> {
+    h: &'h Hypergraph,
+    k: usize,
+    k_prime: Rational,
+    ticker: Ticker,
+    fail_memo: HashSet<CompConnKey>,
+    lp_cache: HashMap<BitSet, Rational>,
+    lp_failed: bool,
+}
+
+impl<'h> FracSearch<'h> {
+    fn bag_ok(&mut self, bag: &BitSet) -> bool {
+        if let Some(w) = self.lp_cache.get(bag) {
+            return *w <= self.k_prime;
+        }
+        match fractional_edge_cover(self.h, bag) {
+            Ok(c) => {
+                let ok = c.weight <= self.k_prime;
+                self.lp_cache.insert(bag.clone(), c.weight);
+                ok
+            }
+            Err(_) => {
+                self.lp_failed = true;
+                false
+            }
+        }
+    }
+
+    fn rec(
+        &mut self,
+        comp: &[EdgeId],
+        conn_sorted: &[VertexId],
+    ) -> Result<Option<Decomposition>, Stopped> {
+        self.ticker.tick()?;
+        let key: CompConnKey = (
+            comp.to_vec().into_boxed_slice(),
+            conn_sorted.to_vec().into_boxed_slice(),
+        );
+        if self.fail_memo.contains(&key) {
+            return Ok(None);
+        }
+        let comp_vertices = self.h.vertices_of_edges(comp);
+        let conn = BitSet::from_slice(conn_sorted);
+        let mut scope = comp_vertices.clone();
+        scope.union_with(&conn);
+        let mut new_vertices = comp_vertices;
+        new_vertices.difference_with(&conn);
+
+        let candidates: Vec<EdgeId> = self
+            .h
+            .edge_ids()
+            .filter(|&e| self.h.edge_set(e).intersects(&scope))
+            .collect();
+
+        let mut chosen: Vec<EdgeId> = Vec::with_capacity(self.k);
+        let mut union = BitSet::with_capacity(self.h.num_vertices());
+        let r = self.combo_rec(
+            comp,
+            &scope,
+            &conn,
+            &new_vertices,
+            &candidates,
+            0,
+            &mut chosen,
+            &mut union,
+        )?;
+        if r.is_none() {
+            self.fail_memo.insert(key);
+        }
+        Ok(r)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn combo_rec(
+        &mut self,
+        comp: &[EdgeId],
+        scope: &BitSet,
+        conn: &BitSet,
+        new_vertices: &BitSet,
+        candidates: &[EdgeId],
+        start: usize,
+        chosen: &mut Vec<EdgeId>,
+        union: &mut BitSet,
+    ) -> Result<Option<Decomposition>, Stopped> {
+        if !chosen.is_empty() && conn.is_subset(union) && union.intersects(new_vertices) {
+            self.ticker.tick()?;
+            if let Some(d) = self.try_separator(comp, scope, chosen, union)? {
+                return Ok(Some(d));
+            }
+        }
+        if chosen.len() == self.k {
+            return Ok(None);
+        }
+        for i in start..candidates.len() {
+            self.ticker.tick()?;
+            let e = candidates[i];
+            let verts = self.h.edge_set(e);
+            let useful = {
+                let mut uc = conn.difference(union);
+                uc.intersect_with(verts);
+                !uc.is_empty() || verts.intersects(new_vertices)
+            };
+            if !useful {
+                continue;
+            }
+            let before = union.clone();
+            union.union_with(verts);
+            chosen.push(e);
+            let r = self.combo_rec(
+                comp,
+                scope,
+                conn,
+                new_vertices,
+                candidates,
+                i + 1,
+                chosen,
+                union,
+            )?;
+            chosen.pop();
+            *union = before;
+            if let Some(d) = r {
+                return Ok(Some(d));
+            }
+        }
+        Ok(None)
+    }
+
+    fn try_separator(
+        &mut self,
+        comp: &[EdgeId],
+        scope: &BitSet,
+        chosen: &[EdgeId],
+        union: &BitSet,
+    ) -> Result<Option<Decomposition>, Stopped> {
+        let mut bag = union.clone();
+        bag.intersect_with(scope);
+        // The FracImproveHD pruning: the bag's fractional cover must fit k'.
+        if !self.bag_ok(&bag) {
+            return Ok(None);
+        }
+        let parts = u_components(self.h, &bag, comp);
+        let mut children = Vec::with_capacity(parts.components.len());
+        for child_comp in &parts.components {
+            let mut child_conn = self.h.vertices_of_edges(child_comp);
+            child_conn.intersect_with(&bag);
+            match self.rec(child_comp, &child_conn.to_vec())? {
+                Some(d) => children.push(d),
+                None => return Ok(None),
+            }
+        }
+        let cover: Vec<CoverAtom> = chosen.iter().map(|&e| CoverAtom::Edge(e)).collect();
+        let mut d = Decomposition::new(bag, cover);
+        for child in &children {
+            d.graft(d.root(), child, child.root());
+        }
+        Ok(Some(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detk::{decompose_hd, SearchResult};
+    use crate::validate::validate_hd;
+
+    use hyperbench_core::builder::hypergraph_from_edges;
+
+    fn triangle() -> Hypergraph {
+        hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])])
+    }
+
+    #[test]
+    fn improve_triangle_hd() {
+        let h = triangle();
+        let d = match decompose_hd(&h, 2, &Budget::unlimited()) {
+            SearchResult::Found(d) => d,
+            other => panic!("{other:?}"),
+        };
+        let fd = improve_hd(&h, &d).unwrap();
+        // The triangle's fhw is 3/2; the HD found has a bag of all three
+        // vertices or two bags of two — either way fractional width ≤ 2 and
+        // ≥ 1.
+        assert!(fd.fractional_width() <= Rational::from_int(2));
+        assert!(fd.fractional_width() >= Rational::ONE);
+        assert_eq!(fd.covers.len(), fd.tree.len());
+    }
+
+    #[test]
+    fn frac_improve_triangle_reaches_three_halves() {
+        let h = triangle();
+        // An HD of width ≤ 2 with fractional width ≤ 3/2 exists (single
+        // node containing the whole triangle).
+        match frac_improve_check(&h, 2, Rational::new(3, 2), &Budget::unlimited()) {
+            FracOutcome::Yes(fd) => {
+                assert!(fd.fractional_width() <= Rational::new(3, 2));
+                validate_hd(&h, &fd.tree).unwrap();
+            }
+            other => panic!("expected yes, got {other:?}"),
+        }
+        // …but not below 3/2 (fhw of the triangle is exactly 3/2).
+        assert_eq!(
+            frac_improve_check(&h, 2, Rational::new(7, 5), &Budget::unlimited()).label(),
+            "no"
+        );
+    }
+
+    #[test]
+    fn improvement_buckets_classify() {
+        assert_eq!(
+            ImprovementBucket::classify(3, Rational::from_int(2)),
+            ImprovementBucket::AtLeastOne
+        );
+        assert_eq!(
+            ImprovementBucket::classify(2, Rational::new(3, 2)),
+            ImprovementBucket::HalfToOne
+        );
+        assert_eq!(
+            ImprovementBucket::classify(2, Rational::new(9, 5)),
+            ImprovementBucket::TenthToHalf
+        );
+        assert_eq!(
+            ImprovementBucket::classify(2, Rational::from_int(2)),
+            ImprovementBucket::No
+        );
+    }
+
+    #[test]
+    fn triangle_bucket_is_half_to_one() {
+        let h = triangle();
+        // hw = 2, best fractional = 3/2 → improvement 1/2 → [0.5,1).
+        let b = frac_improvement_bucket(&h, 2, &Budget::unlimited()).unwrap();
+        assert_eq!(b, ImprovementBucket::HalfToOne);
+    }
+
+    #[test]
+    fn acyclic_no_improvement() {
+        let h = hypergraph_from_edges(&[("e", &["a", "b"]), ("f", &["b", "c"])]);
+        // hw = 1; fractional width of single-edge bags is 1 → no improvement.
+        let b = frac_improvement_bucket(&h, 1, &Budget::unlimited()).unwrap();
+        assert_eq!(b, ImprovementBucket::No);
+    }
+
+    #[test]
+    fn best_fractional_width_of_triangle() {
+        let h = triangle();
+        // fhw(triangle) = 3/2, reachable within HDs of width 2.
+        let best = best_fractional_width(&h, 2, 10, &Budget::unlimited()).unwrap();
+        assert_eq!(best, Rational::new(3, 2));
+    }
+
+    #[test]
+    fn best_fractional_width_of_acyclic_is_one() {
+        let h = hypergraph_from_edges(&[("e", &["a", "b"]), ("f", &["b", "c"])]);
+        let best = best_fractional_width(&h, 1, 10, &Budget::unlimited()).unwrap();
+        assert_eq!(best, Rational::ONE);
+    }
+
+    #[test]
+    fn best_fractional_width_of_five_cycle() {
+        // C5: hw = 2; fhw = ... covering bags of a width-2 HD fractionally
+        // cannot beat 2 on the 3-vertex bags? The 5-cycle's optimal
+        // fractional bags: best known is 2 within HD trees of width ≤ 2
+        // (each canonical bag has 3-4 vertices over binary edges).
+        let h = hypergraph_from_edges(&[
+            ("e0", &["v0", "v1"]),
+            ("e1", &["v1", "v2"]),
+            ("e2", &["v2", "v3"]),
+            ("e3", &["v3", "v4"]),
+            ("e4", &["v4", "v0"]),
+        ]);
+        let best = best_fractional_width(&h, 2, 10, &Budget::unlimited()).unwrap();
+        assert!(best <= Rational::from_int(2));
+        assert!(best > Rational::ONE);
+    }
+
+    #[test]
+    fn timeout_propagates() {
+        let mut b = hyperbench_core::HypergraphBuilder::new();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                b.add_edge(&format!("e{i}_{j}"), &[format!("v{i}"), format!("v{j}")]);
+            }
+        }
+        let h = b.build();
+        let budget = Budget::with_timeout(std::time::Duration::from_micros(1));
+        assert_eq!(
+            frac_improve_check(&h, 3, Rational::new(5, 2), &budget).label(),
+            "timeout"
+        );
+    }
+}

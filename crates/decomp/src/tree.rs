@@ -1,0 +1,344 @@
+//! Decomposition trees: the common output type of all algorithms.
+//!
+//! A [`Decomposition`] is a rooted tree whose nodes carry a *bag*
+//! `B_u ⊆ V(H)` and an integral *edge cover* `λ_u` (§3.2 of the paper).
+//! Cover atoms are either full edges or *subedges* (subsets of an edge
+//! produced by the `f(H,k)` machinery of §4); subedges can be promoted to
+//! their parent edges to turn an HD of the extended hypergraph `H'` into a
+//! GHD of `H` (Algorithm 1, lines 6–10).
+
+use hyperbench_core::{BitSet, EdgeId, Hypergraph};
+
+/// Index of a node within a [`Decomposition`].
+pub type NodeId = usize;
+
+/// One atom of an integral edge cover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverAtom {
+    /// A full edge of the hypergraph.
+    Edge(EdgeId),
+    /// A subedge: `vertices ⊆ edge(parent)`.
+    Subedge {
+        /// The original edge containing the subedge.
+        parent: EdgeId,
+        /// The subedge's vertex set.
+        vertices: BitSet,
+    },
+}
+
+impl CoverAtom {
+    /// The vertex set this atom contributes to `B(λ)`.
+    pub fn vertices<'h>(&'h self, h: &'h Hypergraph) -> &'h BitSet {
+        match self {
+            CoverAtom::Edge(e) => h.edge_set(*e),
+            CoverAtom::Subedge { vertices, .. } => vertices,
+        }
+    }
+
+    /// The underlying original edge.
+    pub fn parent_edge(&self) -> EdgeId {
+        match self {
+            CoverAtom::Edge(e) => *e,
+            CoverAtom::Subedge { parent, .. } => *parent,
+        }
+    }
+}
+
+/// A node of a decomposition tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The bag `B_u`.
+    pub bag: BitSet,
+    /// The integral edge cover `λ_u`.
+    pub cover: Vec<CoverAtom>,
+    /// Child node ids.
+    pub children: Vec<NodeId>,
+    /// Parent node id (`None` for the root).
+    pub parent: Option<NodeId>,
+}
+
+/// A rooted decomposition tree (a TD/GHD/HD candidate; validity is checked
+/// by [`crate::validate`]).
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Decomposition {
+    /// Creates a decomposition with a single root node.
+    pub fn new(bag: BitSet, cover: Vec<CoverAtom>) -> Decomposition {
+        Decomposition {
+            nodes: vec![Node {
+                bag,
+                cover,
+                children: Vec::new(),
+                parent: None,
+            }],
+            root: 0,
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// All nodes (indexable by [`NodeId`]).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A single node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never true: trees have at least a root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a child node under `parent` and returns its id.
+    pub fn add_child(&mut self, parent: NodeId, bag: BitSet, cover: Vec<CoverAtom>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            bag,
+            cover,
+            children: Vec::new(),
+            parent: Some(parent),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Grafts `other`'s subtree rooted at `other_root` under `parent`,
+    /// returning the id of the copied subtree root.
+    pub fn graft(&mut self, parent: NodeId, other: &Decomposition, other_root: NodeId) -> NodeId {
+        let o = &other.nodes[other_root];
+        let here = self.add_child(parent, o.bag.clone(), o.cover.clone());
+        for &c in &o.children {
+            self.graft(here, other, c);
+        }
+        here
+    }
+
+    /// The width `max_u |λ_u|` (§3.2). Zero for a single empty node.
+    pub fn width(&self) -> usize {
+        self.nodes.iter().map(|n| n.cover.len()).max().unwrap_or(0)
+    }
+
+    /// `B(λ_u)`: the vertices covered by node `u`'s cover.
+    pub fn cover_vertices(&self, h: &Hypergraph, u: NodeId) -> BitSet {
+        let mut s = BitSet::with_capacity(h.num_vertices());
+        for atom in &self.nodes[u].cover {
+            s.union_with(atom.vertices(h));
+        }
+        s
+    }
+
+    /// `V(T_u)`: the union of all bags in the subtree rooted at `u`.
+    pub fn subtree_vertices(&self, u: NodeId) -> BitSet {
+        let mut s = self.nodes[u].bag.clone();
+        for &c in &self.nodes[u].children {
+            s.union_with(&self.subtree_vertices(c));
+        }
+        s
+    }
+
+    /// Replaces the cover of node `id` (used when rewriting λ-labels from an
+    /// extended hypergraph back to the original, Algorithm 1 lines 6–10).
+    pub fn replace_cover(&mut self, id: NodeId, cover: Vec<CoverAtom>) {
+        self.nodes[id].cover = cover;
+    }
+
+    /// Replaces every subedge atom by its parent full edge, deduplicating
+    /// atoms that collapse onto the same edge. This is the λ-label rewrite
+    /// of Algorithm 1 (lines 6–10): bags are unchanged, `B(λ)` only grows,
+    /// so a valid GHD stays valid and the width cannot increase.
+    pub fn promote_subedges(&mut self) {
+        for n in &mut self.nodes {
+            let mut edges: Vec<EdgeId> = n.cover.iter().map(CoverAtom::parent_edge).collect();
+            edges.sort_unstable();
+            edges.dedup();
+            n.cover = edges.into_iter().map(CoverAtom::Edge).collect();
+        }
+    }
+
+    /// Returns a copy of this tree re-rooted at `new_root` (same nodes and
+    /// edges, parent/child orientation reversed along the root path).
+    pub fn rerooted(&self, new_root: NodeId) -> Decomposition {
+        let mut copy = self.clone();
+        let mut path = Vec::new();
+        let mut cur = Some(new_root);
+        while let Some(u) = cur {
+            path.push(u);
+            cur = copy.nodes[u].parent;
+        }
+        // Reverse parent pointers along the path root←…←new_root.
+        for w in path.windows(2) {
+            let (child, parent) = (w[0], w[1]);
+            // parent loses child, child gains parent as a child.
+            copy.nodes[parent].children.retain(|&c| c != child);
+            copy.nodes[child].children.push(parent);
+            copy.nodes[parent].parent = Some(child);
+        }
+        copy.nodes[new_root].parent = None;
+        copy.root = new_root;
+        copy
+    }
+
+    /// Iterates node ids in depth-first pre-order from the root.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &c in self.nodes[u].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Pretty-prints the tree with vertex names resolved against `h`.
+    pub fn display(&self, h: &Hypergraph) -> String {
+        let mut out = String::new();
+        self.display_rec(h, self.root, 0, &mut out);
+        out
+    }
+
+    fn display_rec(&self, h: &Hypergraph, u: NodeId, depth: usize, out: &mut String) {
+        let n = &self.nodes[u];
+        let bag: Vec<&str> = n.bag.iter().map(|v| h.vertex_name(v)).collect();
+        let cover: Vec<String> = n
+            .cover
+            .iter()
+            .map(|a| match a {
+                CoverAtom::Edge(e) => h.edge_name(*e).to_string(),
+                CoverAtom::Subedge { parent, vertices } => {
+                    let vs: Vec<&str> = vertices.iter().map(|v| h.vertex_name(v)).collect();
+                    format!("{}⊇{{{}}}", h.edge_name(*parent), vs.join(","))
+                }
+            })
+            .collect();
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!(
+            "[{}] λ={{{}}}\n",
+            bag.join(","),
+            cover.join(",")
+        ));
+        for &c in &n.children {
+            self.display_rec(h, c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperbench_core::builder::hypergraph_from_edges;
+
+    fn h() -> Hypergraph {
+        hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "d"])])
+    }
+
+    fn chain_decomposition() -> Decomposition {
+        // R - S - T as a path of nodes.
+        let h = h();
+        let mut d = Decomposition::new(h.edge_set(0).clone(), vec![CoverAtom::Edge(0)]);
+        let s = d.add_child(0, h.edge_set(1).clone(), vec![CoverAtom::Edge(1)]);
+        d.add_child(s, h.edge_set(2).clone(), vec![CoverAtom::Edge(2)]);
+        d
+    }
+
+    #[test]
+    fn construction_and_width() {
+        let d = chain_decomposition();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.width(), 1);
+        assert_eq!(d.node(1).parent, Some(0));
+        assert_eq!(d.node(0).children, vec![1]);
+    }
+
+    #[test]
+    fn cover_and_subtree_vertices() {
+        let hg = h();
+        let d = chain_decomposition();
+        assert_eq!(d.cover_vertices(&hg, 0), *hg.edge_set(0));
+        let sub = d.subtree_vertices(1);
+        assert_eq!(sub.len(), 3); // {b,c} ∪ {c,d}
+        assert_eq!(d.subtree_vertices(0).len(), 4);
+    }
+
+    #[test]
+    fn promote_subedges_dedupes() {
+        let hg = h();
+        let mut d = Decomposition::new(
+            hg.edge_set(0).clone(),
+            vec![
+                CoverAtom::Subedge {
+                    parent: 0,
+                    vertices: BitSet::from_slice(&[0]),
+                },
+                CoverAtom::Edge(0),
+            ],
+        );
+        d.promote_subedges();
+        assert_eq!(d.node(0).cover, vec![CoverAtom::Edge(0)]);
+    }
+
+    #[test]
+    fn reroot_at_leaf() {
+        let d = chain_decomposition();
+        let r = d.rerooted(2);
+        assert_eq!(r.root(), 2);
+        assert_eq!(r.node(2).parent, None);
+        assert_eq!(r.node(2).children, vec![1]);
+        assert_eq!(r.node(1).children, vec![0]);
+        assert_eq!(r.node(0).children, Vec::<NodeId>::new());
+        // Same node count, same bags.
+        assert_eq!(r.len(), d.len());
+    }
+
+    #[test]
+    fn reroot_at_root_is_identity_shape() {
+        let d = chain_decomposition();
+        let r = d.rerooted(0);
+        assert_eq!(r.root(), 0);
+        assert_eq!(r.node(0).children, vec![1]);
+    }
+
+    #[test]
+    fn graft_copies_subtrees() {
+        let hg = h();
+        let mut d = Decomposition::new(hg.edge_set(0).clone(), vec![CoverAtom::Edge(0)]);
+        let other = chain_decomposition();
+        let copied = d.graft(0, &other, 1); // graft S-T chain
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.node(copied).cover, vec![CoverAtom::Edge(1)]);
+        assert_eq!(d.node(copied).children.len(), 1);
+    }
+
+    #[test]
+    fn preorder_covers_all_nodes() {
+        let d = chain_decomposition();
+        let order = d.preorder();
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], d.root());
+    }
+
+    #[test]
+    fn display_resolves_names() {
+        let hg = h();
+        let d = chain_decomposition();
+        let s = d.display(&hg);
+        assert!(s.contains("λ={R}"));
+        assert!(s.contains("[a,b]"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Machine checking of decomposition validity (§3.2 of the paper).
+//!
+//! * Condition 1 (edge coverage): every edge is contained in some bag.
+//! * Condition 2 (connectedness): for every vertex, the nodes whose bags
+//!   contain it form a connected subtree.
+//! * Condition 3 (cover): every bag is covered by its λ-label,
+//!   `B_u ⊆ B(λ_u)`.
+//! * Condition 4 (special condition, HDs only):
+//!   `V(T_u) ∩ B(λ_u) ⊆ B_u` for every node `u`.
+//!
+//! Additionally, subedge atoms must be genuine subsets of their parent
+//! edges. The paper leans on exactly this kind of verification — "upper
+//! bounds on the width are, in general, more reliable than lower bounds
+//! since it is easy to verify if a given decomposition indeed has the
+//! desired properties" (§2) — and indeed used it to find bugs in a
+//! competing SMT-based solver.
+
+use hyperbench_core::{BitSet, Hypergraph};
+
+use crate::tree::{CoverAtom, Decomposition, NodeId};
+
+/// A violated decomposition condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Condition 1: this edge is in no bag.
+    EdgeNotCovered { edge: u32 },
+    /// Condition 2: this vertex's nodes do not form a connected subtree.
+    VertexNotConnected { vertex: u32 },
+    /// Condition 3: the bag of `node` is not covered by its λ-label.
+    BagNotCovered { node: NodeId },
+    /// Condition 4 (HD only): the special condition fails at `node`.
+    SpecialConditionViolated { node: NodeId },
+    /// A subedge atom is not a subset of its parent edge.
+    MalformedSubedge { node: NodeId },
+    /// The requested width bound is exceeded.
+    WidthExceeded { width: usize, bound: usize },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::EdgeNotCovered { edge } => {
+                write!(f, "edge {edge} is contained in no bag")
+            }
+            ValidationError::VertexNotConnected { vertex } => {
+                write!(f, "vertex {vertex} violates the connectedness condition")
+            }
+            ValidationError::BagNotCovered { node } => {
+                write!(f, "bag of node {node} is not covered by its λ-label")
+            }
+            ValidationError::SpecialConditionViolated { node } => {
+                write!(f, "special condition violated at node {node}")
+            }
+            ValidationError::MalformedSubedge { node } => {
+                write!(f, "node {node} has a subedge not contained in its parent edge")
+            }
+            ValidationError::WidthExceeded { width, bound } => {
+                write!(f, "width {width} exceeds bound {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks that `d` is a valid *tree decomposition* of `h`
+/// (conditions 1 and 2).
+pub fn validate_td(h: &Hypergraph, d: &Decomposition) -> Result<(), ValidationError> {
+    // Condition 1.
+    'edges: for e in h.edge_ids() {
+        let es = h.edge_set(e);
+        for n in d.nodes() {
+            if es.is_subset(&n.bag) {
+                continue 'edges;
+            }
+        }
+        return Err(ValidationError::EdgeNotCovered { edge: e });
+    }
+
+    // Condition 2: for each vertex, the occurrence nodes must induce a
+    // connected subtree. Walk the tree once: a vertex's occurrences are
+    // connected iff the number of occurrence nodes whose parent does NOT
+    // contain the vertex is at most one ("topmost occurrence" is unique).
+    let mut top_count: Vec<u32> = vec![0; h.num_vertices()];
+    let mut occurs: Vec<bool> = vec![false; h.num_vertices()];
+    for (id, n) in d.nodes().iter().enumerate() {
+        for v in n.bag.iter() {
+            occurs[v as usize] = true;
+            let parent_has = n
+                .parent
+                .map(|p| d.node(p).bag.contains(v))
+                .unwrap_or(false);
+            if !parent_has {
+                top_count[v as usize] += 1;
+                if top_count[v as usize] > 1 {
+                    return Err(ValidationError::VertexNotConnected { vertex: v });
+                }
+            }
+        }
+        let _ = id;
+    }
+    Ok(())
+}
+
+/// Checks that `d` is a valid *generalized hypertree decomposition* of `h`
+/// (conditions 1–3 plus subedge well-formedness).
+pub fn validate_ghd(h: &Hypergraph, d: &Decomposition) -> Result<(), ValidationError> {
+    validate_td(h, d)?;
+    for (id, n) in d.nodes().iter().enumerate() {
+        for atom in &n.cover {
+            if let CoverAtom::Subedge { parent, vertices } = atom {
+                if !vertices.is_subset(h.edge_set(*parent)) {
+                    return Err(ValidationError::MalformedSubedge { node: id });
+                }
+            }
+        }
+        let covered = d.cover_vertices(h, id);
+        if !n.bag.is_subset(&covered) {
+            return Err(ValidationError::BagNotCovered { node: id });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `d` is a valid *hypertree decomposition* of `h`
+/// (conditions 1–4).
+pub fn validate_hd(h: &Hypergraph, d: &Decomposition) -> Result<(), ValidationError> {
+    validate_ghd(h, d)?;
+    for id in 0..d.len() {
+        let mut vt: BitSet = d.subtree_vertices(id);
+        vt.intersect_with(&d.cover_vertices(h, id));
+        if !vt.is_subset(&d.node(id).bag) {
+            return Err(ValidationError::SpecialConditionViolated { node: id });
+        }
+    }
+    Ok(())
+}
+
+/// Validates a GHD and additionally checks the width bound.
+pub fn validate_ghd_with_width(
+    h: &Hypergraph,
+    d: &Decomposition,
+    k: usize,
+) -> Result<(), ValidationError> {
+    validate_ghd(h, d)?;
+    let w = d.width();
+    if w > k {
+        return Err(ValidationError::WidthExceeded { width: w, bound: k });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperbench_core::builder::hypergraph_from_edges;
+
+    fn path3() -> Hypergraph {
+        hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "d"])])
+    }
+
+    fn valid_chain(h: &Hypergraph) -> Decomposition {
+        let mut d = Decomposition::new(h.edge_set(0).clone(), vec![CoverAtom::Edge(0)]);
+        let s = d.add_child(0, h.edge_set(1).clone(), vec![CoverAtom::Edge(1)]);
+        d.add_child(s, h.edge_set(2).clone(), vec![CoverAtom::Edge(2)]);
+        d
+    }
+
+    #[test]
+    fn valid_hd_passes_all_checks() {
+        let h = path3();
+        let d = valid_chain(&h);
+        assert_eq!(validate_td(&h, &d), Ok(()));
+        assert_eq!(validate_ghd(&h, &d), Ok(()));
+        assert_eq!(validate_hd(&h, &d), Ok(()));
+        assert_eq!(validate_ghd_with_width(&h, &d, 1), Ok(()));
+    }
+
+    #[test]
+    fn missing_edge_detected() {
+        let h = path3();
+        let d = Decomposition::new(h.edge_set(0).clone(), vec![CoverAtom::Edge(0)]);
+        assert!(matches!(
+            validate_td(&h, &d),
+            Err(ValidationError::EdgeNotCovered { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_vertex_detected() {
+        let h = path3();
+        // Put vertex 'a' in the root and in a grandchild, but not in the
+        // middle node.
+        let a = h.vertex_by_name("a").unwrap();
+        let mut d = Decomposition::new(h.edge_set(0).clone(), vec![CoverAtom::Edge(0)]);
+        let mid = d.add_child(0, h.edge_set(1).clone(), vec![CoverAtom::Edge(1)]);
+        let mut leaf_bag = h.edge_set(2).clone();
+        leaf_bag.insert(a);
+        d.add_child(mid, leaf_bag, vec![CoverAtom::Edge(2), CoverAtom::Edge(0)]);
+        assert_eq!(
+            validate_td(&h, &d),
+            Err(ValidationError::VertexNotConnected { vertex: a })
+        );
+    }
+
+    #[test]
+    fn uncovered_bag_detected() {
+        let h = path3();
+        let mut d = valid_chain(&h);
+        // Swap node 1's cover for an unrelated edge.
+        let bad = Decomposition::new(d.node(1).bag.clone(), vec![CoverAtom::Edge(2)]);
+        let _ = bad;
+        // Rebuild: root fine, child bag {b,c} covered by edge T={c,d}? No.
+        let mut d2 = Decomposition::new(h.edge_set(0).clone(), vec![CoverAtom::Edge(0)]);
+        let s = d2.add_child(0, h.edge_set(1).clone(), vec![CoverAtom::Edge(2)]);
+        d2.add_child(s, h.edge_set(2).clone(), vec![CoverAtom::Edge(2)]);
+        d = d2;
+        assert_eq!(
+            validate_ghd(&h, &d),
+            Err(ValidationError::BagNotCovered { node: 1 })
+        );
+    }
+
+    #[test]
+    fn special_condition_detected() {
+        // Classic HD vs GHD gap shape: root covers an edge but omits one of
+        // its vertices from the bag, and the vertex reappears below.
+        let h = hypergraph_from_edges(&[
+            ("e1", &["a", "b"]),
+            ("e2", &["b", "c"]),
+            ("e3", &["c", "a"]),
+        ]);
+        let a = h.vertex_by_name("a").unwrap();
+        let b = h.vertex_by_name("b").unwrap();
+        let c = h.vertex_by_name("c").unwrap();
+        // Root bag {b,c} covered by e2; child bag {a,b,c} covered by e1,e3.
+        // Root subtree contains 'a' via the child while λ_root = {e2}…
+        // use λ_root = {e1} instead: B(λ_root) = {a,b}, bag {b}. Then
+        // V(T_root) ∩ B(λ_root) = {a,b} ⊄ {b}.
+        let mut d = Decomposition::new(BitSet::from_slice(&[b]), vec![CoverAtom::Edge(0)]);
+        d.add_child(
+            0,
+            BitSet::from_slice(&[a, b, c]),
+            vec![CoverAtom::Edge(0), CoverAtom::Edge(1)],
+        );
+        // GHD conditions hold (every edge ⊆ child bag, covers fine)…
+        assert_eq!(validate_ghd(&h, &d), Ok(()));
+        // …but the special condition fails at the root.
+        assert_eq!(
+            validate_hd(&h, &d),
+            Err(ValidationError::SpecialConditionViolated { node: 0 })
+        );
+    }
+
+    #[test]
+    fn malformed_subedge_detected() {
+        let h = path3();
+        let d = Decomposition::new(
+            h.edge_set(0).clone(),
+            vec![CoverAtom::Subedge {
+                parent: 0,
+                vertices: BitSet::from_slice(&[0, 1, 2, 3]),
+            }],
+        );
+        // TD conditions fail too (edges not covered), so check directly.
+        let r = validate_ghd(&h, &d);
+        assert!(matches!(
+            r,
+            Err(ValidationError::MalformedSubedge { .. })
+                | Err(ValidationError::EdgeNotCovered { .. })
+        ));
+    }
+
+    #[test]
+    fn width_bound_enforced() {
+        let h = path3();
+        let d = valid_chain(&h);
+        assert!(matches!(
+            validate_ghd_with_width(&h, &d, 0),
+            Err(ValidationError::WidthExceeded { width: 1, bound: 0 })
+        ));
+    }
+
+    #[test]
+    fn subedge_cover_valid_when_contained() {
+        let h = path3();
+        let b = h.vertex_by_name("b").unwrap();
+        // Single-node decomposition of the subhypergraph {R}: bag {a,b}.
+        // Use the full graph but bags covering everything.
+        let mut all = BitSet::new();
+        for v in h.vertex_ids() {
+            all.insert(v);
+        }
+        let d = Decomposition::new(
+            all,
+            vec![
+                CoverAtom::Edge(0),
+                CoverAtom::Subedge {
+                    parent: 1,
+                    vertices: BitSet::from_slice(&[b]),
+                },
+                CoverAtom::Edge(2),
+            ],
+        );
+        // Bag {a,b,c,d} ⊆ {a,b} ∪ {b} ∪ {c,d}? Missing c → not covered…
+        // b from subedge; c only via T? T = {c,d} has c. So covered.
+        assert_eq!(validate_ghd(&h, &d), Ok(()));
+    }
+}

@@ -1,0 +1,79 @@
+//! Pearson correlation for the Figure-5 matrix.
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Full pairwise correlation matrix of column-major data.
+pub fn correlation_matrix(columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = columns.len();
+    let mut m = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        for j in 0..k {
+            m[i][j] = if i == j {
+                1.0
+            } else {
+                pearson(&columns[i], &columns[j])
+            };
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&x, &y).abs() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn matrix_diagonal_is_one() {
+        let cols = vec![vec![1.0, 2.0, 3.0], vec![3.0, 1.0, 2.0]];
+        let m = correlation_matrix(&cols);
+        assert_eq!(m[0][0], 1.0);
+        assert_eq!(m[1][1], 1.0);
+        assert!((m[0][1] - m[1][0]).abs() < 1e-12);
+    }
+}

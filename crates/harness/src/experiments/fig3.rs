@@ -1,0 +1,71 @@
+//! Figure 3: hypergraph size histograms (vertices, edges, arity) per
+//! benchmark class.
+
+use hyperbench_core::stats::{
+    arity_bucket, count_bucket, BucketHistogram, ARITY_BUCKETS, COUNT_BUCKETS,
+};
+use hyperbench_datagen::BenchClass;
+
+use crate::experiments::ExperimentReport;
+use crate::report::Table;
+use crate::AnalyzedBenchmark;
+
+/// Regenerates Figure 3 as percentage tables.
+pub fn run(bench: &AnalyzedBenchmark) -> ExperimentReport {
+    let mut body = String::new();
+    let mut small_arity = 0usize;
+    let mut total = 0usize;
+
+    for (metric, buckets) in [
+        ("Vertices", COUNT_BUCKETS.as_slice()),
+        ("Edges", COUNT_BUCKETS.as_slice()),
+        ("Arity", ARITY_BUCKETS.as_slice()),
+    ] {
+        body.push_str(&format!("### {metric}\n\n"));
+        let mut header: Vec<String> = vec!["class".to_string()];
+        header.extend(buckets.iter().map(|b| b.to_string()));
+        let mut t = Table::new(&header);
+        for class in BenchClass::ALL {
+            let mut hist = BucketHistogram::new(buckets.len());
+            for a in bench
+                .instances
+                .iter()
+                .filter(|a| a.instance.class == class)
+            {
+                let v = match metric {
+                    "Vertices" => a.record.sizes.vertices,
+                    "Edges" => a.record.sizes.edges,
+                    _ => a.record.sizes.arity,
+                };
+                let b = if metric == "Arity" {
+                    arity_bucket(v)
+                } else {
+                    count_bucket(v)
+                };
+                hist.record(b);
+                if metric == "Arity" {
+                    total += 1;
+                    if v < 5 {
+                        small_arity += 1;
+                    }
+                }
+            }
+            let mut row: Vec<String> = vec![class.name().to_string()];
+            row.extend(hist.percentages().iter().map(|p| format!("{p:.0}%")));
+            t.row(&row);
+        }
+        body.push_str(&t.render());
+        body.push('\n');
+    }
+
+    ExperimentReport {
+        id: "fig3",
+        title: "Hypergraph sizes".to_string(),
+        body,
+        checkpoints: vec![(
+            "instances with maximum arity < 5".into(),
+            "more than 50%".into(),
+            crate::report::pct(small_arity, total),
+        )],
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 1: overview of benchmark instances — per collection, the number
+//! of instances and how many have hw ≥ 2.
+
+use hyperbench_datagen::TABLE1;
+
+use crate::experiments::ExperimentReport;
+use crate::report::Table;
+use crate::AnalyzedBenchmark;
+
+/// Regenerates Table 1.
+pub fn run(bench: &AnalyzedBenchmark) -> ExperimentReport {
+    let mut t = Table::new(&["Benchmark", "No. instances", "hw >= 2 (measured)", "paper (full scale)"]);
+    let mut total = 0usize;
+    let mut total_cyclic = 0usize;
+    for spec in &TABLE1 {
+        let members: Vec<_> = bench
+            .instances
+            .iter()
+            .filter(|a| a.instance.collection == spec.name)
+            .collect();
+        let cyclic = members.iter().filter(|a| a.record.is_cyclic()).count();
+        total += members.len();
+        total_cyclic += cyclic;
+        t.row(&[
+            spec.name.to_string(),
+            members.len().to_string(),
+            cyclic.to_string(),
+            format!("{} / {}", spec.cyclic, spec.count),
+        ]);
+    }
+    t.row(&[
+        "Total".to_string(),
+        total.to_string(),
+        total_cyclic.to_string(),
+        "2,939 / 3,648".to_string(),
+    ]);
+
+    // Measured cyclic fraction should track the paper's 2939/3648 ≈ 80.6%.
+    let measured_frac = if total > 0 {
+        100.0 * total_cyclic as f64 / total as f64
+    } else {
+        0.0
+    };
+    ExperimentReport {
+        id: "table1",
+        title: "Overview of benchmark instances".to_string(),
+        body: t.render(),
+        checkpoints: vec![
+            (
+                "total instances (full scale)".into(),
+                "3648".into(),
+                format!("{total} at scale {:.3}", bench.config.scale),
+            ),
+            (
+                "cyclic fraction".into(),
+                "80.6%".into(),
+                format!("{measured_frac:.1}%"),
+            ),
+        ],
+    }
+}

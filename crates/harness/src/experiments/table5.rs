@@ -1,0 +1,108 @@
+//! Table 5: ImproveHD — take the HD found by the hw analysis and replace
+//! every integral cover by an optimal fractional cover; histogram of the
+//! achieved improvements `k − fractional width`.
+
+use hyperbench_decomp::budget::Budget;
+use hyperbench_decomp::detk::{decompose_hd, SearchResult};
+use hyperbench_decomp::improve::{improve_hd, ImprovementBucket};
+use hyperbench_lp::Rational;
+
+use crate::experiments::ExperimentReport;
+use crate::report::Table;
+use crate::{parallel_map, AnalyzedBenchmark, AnalyzedInstance};
+
+/// Outcome of one ImproveHD run.
+enum Improved {
+    Bucket(ImprovementBucket),
+    Timeout,
+}
+
+fn improve_one(a: &AnalyzedInstance, k: usize, budget_ms: u64) -> Improved {
+    // Re-derive the HD the analysis pass found (yes-answers are fast to
+    // reproduce; the budget guards the odd straggler).
+    let budget = Budget::with_timeout(std::time::Duration::from_millis(budget_ms));
+    let d = match decompose_hd(&a.instance.hypergraph, k, &budget) {
+        SearchResult::Found(d) => d,
+        _ => return Improved::Timeout,
+    };
+    match improve_hd(&a.instance.hypergraph, &d) {
+        Ok(fd) => Improved::Bucket(ImprovementBucket::classify(k, fd.fractional_width())),
+        Err(_) => Improved::Timeout,
+    }
+}
+
+/// Shared table layout for Tables 5 and 6.
+pub fn bucket_table(rows: &[(usize, [usize; 4], usize)]) -> Table {
+    let mut t = Table::new(&["hw", ">=1", "[0.5,1)", "[0.1,0.5)", "no", "timeout"]);
+    for (k, buckets, timeouts) in rows {
+        t.row(&[
+            k.to_string(),
+            buckets[0].to_string(),
+            buckets[1].to_string(),
+            buckets[2].to_string(),
+            buckets[3].to_string(),
+            timeouts.to_string(),
+        ]);
+    }
+    t
+}
+
+fn bucket_index(b: ImprovementBucket) -> usize {
+    match b {
+        ImprovementBucket::AtLeastOne => 0,
+        ImprovementBucket::HalfToOne => 1,
+        ImprovementBucket::TenthToHalf => 2,
+        ImprovementBucket::No => 3,
+    }
+}
+
+/// Regenerates Table 5.
+pub fn run(bench: &AnalyzedBenchmark) -> ExperimentReport {
+    let threads = bench.config.worker_count();
+    let budget_ms = bench.config.ghd_timeout.as_millis() as u64;
+    let mut rows: Vec<(usize, [usize; 4], usize)> = Vec::new();
+    let mut improved_total = 0usize;
+    let mut total = 0usize;
+
+    for k in 2..=6usize {
+        let group: Vec<&AnalyzedInstance> = bench
+            .instances
+            .iter()
+            .filter(|a| a.record.hw_upper == Some(k))
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        let results = parallel_map(&group, threads, |a| improve_one(a, k, budget_ms));
+        let mut buckets = [0usize; 4];
+        let mut timeouts = 0usize;
+        for r in results {
+            match r {
+                Improved::Bucket(b) => buckets[bucket_index(b)] += 1,
+                Improved::Timeout => timeouts += 1,
+            }
+        }
+        improved_total += buckets[0] + buckets[1] + buckets[2];
+        total += group.len();
+        rows.push((k, buckets, timeouts));
+    }
+
+    let body = if rows.is_empty() {
+        "No instances with hw in 2..=6 at this scale; increase --scale.\n".to_string()
+    } else {
+        bucket_table(&rows).render()
+    };
+
+    // Paper Table 5 at full scale: of 2,151 instances, 512 improved.
+    let _ = Rational::ONE;
+    ExperimentReport {
+        id: "table5",
+        title: "Instances improved by ImproveHD".to_string(),
+        body,
+        checkpoints: vec![(
+            "share of instances with any improvement ≥ 0.1".into(),
+            "~24% (512 of 2,151 across hw 2..6; most instances see none)".into(),
+            crate::report::pct(improved_total, total),
+        )],
+    }
+}

@@ -1,0 +1,78 @@
+//! Table 6: FracImproveHD — search over all HDs of width ≤ k for the best
+//! fractional improvement; histogram of achieved improvements.
+
+use hyperbench_decomp::budget::Budget;
+use hyperbench_decomp::improve::{frac_improvement_bucket, ImprovementBucket};
+
+use crate::experiments::table5::bucket_table;
+use crate::experiments::ExperimentReport;
+use crate::{parallel_map, AnalyzedBenchmark, AnalyzedInstance};
+
+fn bucket_index(b: ImprovementBucket) -> usize {
+    match b {
+        ImprovementBucket::AtLeastOne => 0,
+        ImprovementBucket::HalfToOne => 1,
+        ImprovementBucket::TenthToHalf => 2,
+        ImprovementBucket::No => 3,
+    }
+}
+
+/// Regenerates Table 6.
+pub fn run(bench: &AnalyzedBenchmark) -> ExperimentReport {
+    let threads = bench.config.worker_count();
+    let timeout = bench.config.ghd_timeout;
+    let mut rows: Vec<(usize, [usize; 4], usize)> = Vec::new();
+    let mut improved_total = 0usize;
+    let mut total = 0usize;
+    let mut timeouts_total = 0usize;
+
+    for k in 2..=6usize {
+        let group: Vec<&AnalyzedInstance> = bench
+            .instances
+            .iter()
+            .filter(|a| a.record.hw_upper == Some(k))
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        let results = parallel_map(&group, threads, |a| {
+            frac_improvement_bucket(&a.instance.hypergraph, k, &Budget::with_timeout(timeout))
+        });
+        let mut buckets = [0usize; 4];
+        let mut timeouts = 0usize;
+        for r in results {
+            match r {
+                Some(b) => buckets[bucket_index(b)] += 1,
+                None => timeouts += 1,
+            }
+        }
+        improved_total += buckets[0] + buckets[1] + buckets[2];
+        timeouts_total += timeouts;
+        total += group.len();
+        rows.push((k, buckets, timeouts));
+    }
+
+    let body = if rows.is_empty() {
+        "No instances with hw in 2..=6 at this scale; increase --scale.\n".to_string()
+    } else {
+        bucket_table(&rows).render()
+    };
+
+    ExperimentReport {
+        id: "table6",
+        title: "Instances improved by FracImproveHD".to_string(),
+        body,
+        checkpoints: vec![
+            (
+                "share improved (≥ 0.1) among non-timeout runs".into(),
+                "much higher than ImproveHD (e.g. at hw 4/5 nearly every solved case improves)".into(),
+                crate::report::pct(improved_total, total.saturating_sub(timeouts_total)),
+            ),
+            (
+                "timeouts".into(),
+                "substantial (FracImproveHD searches all HDs, 715 of 2,151)".into(),
+                format!("{timeouts_total} of {total}"),
+            ),
+        ],
+    }
+}

@@ -1,0 +1,266 @@
+//! The `hyperbench` CLI: generate the benchmark, analyze hypergraphs,
+//! compute decompositions and regenerate the paper's tables and figures.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hyperbench_core::format::{parse_hg_named, to_hg};
+use hyperbench_core::properties::structural_properties;
+use hyperbench_core::stats::size_metrics;
+use hyperbench_core::subedges::SubedgeConfig;
+use hyperbench_decomp::budget::Budget;
+use hyperbench_decomp::driver::{check_ghd, check_hd, GhdAlgorithm, Outcome};
+use hyperbench_harness::experiments;
+use hyperbench_harness::{analyze_benchmark, ExperimentConfig};
+use hyperbench_repo::{analyze_instance, AnalysisConfig, Repository};
+
+const USAGE: &str = "\
+hyperbench — a Rust reproduction of the HyperBench benchmark and tool
+
+USAGE:
+  hyperbench experiment <table1|table2|fig3|fig4|fig5|table3|table4|table5|table6|summary|all>
+             [--scale F] [--seed N] [--timeout-ms N] [--ghd-timeout-ms N]
+             [--kmax N] [--threads N]
+  hyperbench experiments-md [--out FILE] [same flags as experiment]
+  hyperbench gen --out DIR [--scale F] [--seed N]
+  hyperbench analyze --dir DIR [--timeout-ms N] [--kmax N]
+  hyperbench stats <FILE.hg>
+  hyperbench decompose <FILE.hg> --k N [--algo hd|globalbip|localbip|balsep|hybrid]
+             [--timeout-ms N]
+  hyperbench help
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+struct Flags {
+    values: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut values = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                values.push((name.to_string(), v.clone()));
+                i += 2;
+            } else {
+                positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(Flags { values, positional })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+}
+
+fn experiment_config(flags: &Flags) -> Result<ExperimentConfig, String> {
+    let d = ExperimentConfig::default();
+    Ok(ExperimentConfig {
+        seed: flags.get_parsed("seed", d.seed)?,
+        scale: flags.get_parsed("scale", d.scale)?,
+        per_check: Duration::from_millis(
+            flags.get_parsed("timeout-ms", d.per_check.as_millis() as u64)?,
+        ),
+        k_max: flags.get_parsed("kmax", d.k_max)?,
+        vc_budget: flags.get_parsed("vc-budget", d.vc_budget)?,
+        ghd_timeout: Duration::from_millis(
+            flags.get_parsed("ghd-timeout-ms", d.ghd_timeout.as_millis() as u64)?,
+        ),
+        threads: flags.get_parsed("threads", d.threads)?,
+    })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".to_string());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "experiment" => {
+            let id = flags
+                .positional
+                .first()
+                .ok_or("experiment id required")?
+                .clone();
+            let cfg = experiment_config(&flags)?;
+            eprintln!(
+                "generating benchmark (seed {}, scale {:.3}) and analyzing…",
+                cfg.seed, cfg.scale
+            );
+            let bench = analyze_benchmark(&cfg);
+            eprintln!("analyzed {} instances", bench.instances.len());
+            if id == "all" {
+                for r in experiments::run_all(&bench) {
+                    println!("{}", r.render());
+                }
+            } else {
+                let r = experiments::run(&id, &bench)
+                    .ok_or_else(|| format!("unknown experiment id {id}"))?;
+                println!("{}", r.render());
+            }
+            Ok(())
+        }
+        "experiments-md" => {
+            let cfg = experiment_config(&flags)?;
+            let out = flags.get("out").unwrap_or("EXPERIMENTS.md").to_string();
+            eprintln!(
+                "generating benchmark (seed {}, scale {:.3}) and analyzing…",
+                cfg.seed, cfg.scale
+            );
+            let bench = analyze_benchmark(&cfg);
+            let mut md = String::new();
+            md.push_str("# EXPERIMENTS — paper vs. measured\n\n");
+            md.push_str(&format!(
+                "Configuration: seed {}, scale {:.3} ({} instances), Check(HD,k) timeout {:?}, \
+                 GHD/FHD timeout {:?}, k_max {}.\n\n\
+                 The paper ran the full 3,648-instance benchmark with 3600 s timeouts on a \
+                 cluster of 2×12-core Xeon machines; this run is laptop-scale. Absolute counts \
+                 scale with the instance budget and timeouts — the *shapes* (who wins, where \
+                 timeouts cluster, how often hw = ghw) are the reproduction targets.\n\n",
+                cfg.seed,
+                cfg.scale,
+                bench.instances.len(),
+                cfg.per_check,
+                cfg.ghd_timeout,
+                cfg.k_max,
+            ));
+            for r in experiments::run_all(&bench) {
+                md.push_str(&r.render());
+                md.push('\n');
+            }
+            std::fs::write(&out, md).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {out}");
+            Ok(())
+        }
+        "gen" => {
+            let out = PathBuf::from(flags.get("out").ok_or("--out DIR required")?);
+            let seed: u64 = flags.get_parsed("seed", 42)?;
+            let scale: f64 = flags.get_parsed("scale", 0.05)?;
+            let instances = hyperbench_datagen::generate_benchmark(seed, scale);
+            let mut repo = Repository::new();
+            for inst in instances {
+                repo.insert(inst.hypergraph, inst.collection, inst.class.name());
+            }
+            hyperbench_repo::store::save(&repo, &out).map_err(|e| e.to_string())?;
+            println!("wrote {} hypergraphs to {}", repo.len(), out.display());
+            Ok(())
+        }
+        "analyze" => {
+            let dir = PathBuf::from(flags.get("dir").ok_or("--dir DIR required")?);
+            let per_check: u64 = flags.get_parsed("timeout-ms", 250)?;
+            let k_max: usize = flags.get_parsed("kmax", 8)?;
+            let mut repo = hyperbench_repo::store::load(&dir).map_err(|e| e.to_string())?;
+            let cfg = AnalysisConfig {
+                per_check: Duration::from_millis(per_check),
+                k_max,
+                vc_budget: 2_000_000,
+            };
+            let n = repo.len();
+            for id in 0..n {
+                let rec = analyze_instance(&repo.entry(id).hypergraph, &cfg);
+                repo.set_analysis(id, rec);
+            }
+            hyperbench_repo::store::save(&repo, &dir).map_err(|e| e.to_string())?;
+            println!("analyzed {n} hypergraphs; index updated");
+            Ok(())
+        }
+        "stats" => {
+            let file = flags.positional.first().ok_or("FILE.hg required")?;
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let h = parse_hg_named(&text, file).map_err(|e| e.to_string())?;
+            let m = size_metrics(&h);
+            let p = structural_properties(&h, 2_000_000);
+            println!("file:      {file}");
+            println!("vertices:  {}", m.vertices);
+            println!("edges:     {}", m.edges);
+            println!("arity:     {}", m.arity);
+            println!("degree:    {}", p.degree);
+            println!("BIP:       {}", p.bip);
+            println!("3-BMIP:    {}", p.bmip3);
+            println!("4-BMIP:    {}", p.bmip4);
+            match p.vc_dim {
+                Some(v) => println!("VC-dim:    {v}"),
+                None => println!("VC-dim:    timeout"),
+            }
+            Ok(())
+        }
+        "decompose" => {
+            let file = flags.positional.first().ok_or("FILE.hg required")?;
+            let k: usize = flags.get_parsed("k", 0)?;
+            if k == 0 {
+                return Err("--k N required (N >= 1)".to_string());
+            }
+            let timeout: u64 = flags.get_parsed("timeout-ms", 5_000)?;
+            let algo = flags.get("algo").unwrap_or("hd");
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let h = parse_hg_named(&text, file).map_err(|e| e.to_string())?;
+            let budget = Budget::with_timeout(Duration::from_millis(timeout));
+            let cfg = SubedgeConfig::default();
+            let outcome = match algo {
+                "hd" => check_hd(&h, k, &budget),
+                "globalbip" => check_ghd(&h, k, GhdAlgorithm::GlobalBip, &budget, &cfg),
+                "localbip" => check_ghd(&h, k, GhdAlgorithm::LocalBip, &budget, &cfg),
+                "balsep" => check_ghd(&h, k, GhdAlgorithm::BalSep, &budget, &cfg),
+                "hybrid" => {
+                    let depth = flags.get_parsed("switch-depth", 2usize)?;
+                    hyperbench_decomp::driver::check_ghd_hybrid(&h, k, depth, &budget, &cfg)
+                }
+                other => return Err(format!("unknown algorithm {other}")),
+            };
+            match outcome {
+                Outcome::Yes(d) => {
+                    println!(
+                        "yes: {} of width {} found ({} nodes)",
+                        if algo == "hd" { "HD" } else { "GHD" },
+                        d.width(),
+                        d.len()
+                    );
+                    print!("{}", d.display(&h));
+                }
+                Outcome::No => println!("no: width > {k} certified"),
+                Outcome::Timeout => println!("timeout"),
+            }
+            let _ = to_hg(&h);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain-text/markdown table rendering for experiment reports.
+
+/// A simple aligned table builder producing markdown-compatible output.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: ToString>(header: &[S]) -> Table {
+        Table {
+            header: header.iter().map(S::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Table {
+        let row: Vec<String> = cells.iter().map(S::to_string).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned markdown table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let sep: Vec<String> = (0..ncols).map(|i| "-".repeat(widths[i])).collect();
+        out.push_str(&fmt_row(&sep, &widths));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a `Duration` the way the paper's tables do: whole seconds, or
+/// milliseconds below one second.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{}s", d.as_secs())
+    } else {
+        format!("{}ms", d.as_millis())
+    }
+}
+
+/// Formats an average duration over `n` samples ("-" when `n = 0`).
+pub fn fmt_avg(total: std::time::Duration, n: usize) -> String {
+    if n == 0 {
+        "-".to_string()
+    } else {
+        fmt_duration(total / n as u32)
+    }
+}
+
+/// Percentage with one decimal.
+pub fn pct(part: usize, total: usize) -> String {
+    if total == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * part as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["k", "yes", "no"]);
+        t.row(&["1", "673", "440"]);
+        t.row(&["2", "432", "8"]);
+        let s = t.render();
+        assert!(s.contains("| k | yes | no  |"));
+        assert!(s.lines().count() == 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1"]);
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_millis(1500)), "1s");
+        assert_eq!(fmt_duration(Duration::from_millis(37)), "37ms");
+        assert_eq!(fmt_avg(Duration::from_millis(100), 0), "-");
+        assert_eq!(fmt_avg(Duration::from_millis(100), 4), "25ms");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1, 4), "25.0%");
+        assert_eq!(pct(0, 0), "-");
+    }
+}

@@ -1,0 +1,225 @@
+//! Fractional (and small exact integral) edge covers of vertex sets.
+//!
+//! A fractional edge cover of a set `X ⊆ V(H)` assigns weights
+//! `γ : E(H) → [0,1]` such that every `v ∈ X` receives total weight ≥ 1 from
+//! the edges containing it (§3.2). The minimum total weight is the value the
+//! FHD width machinery needs per bag.
+
+use hyperbench_core::{BitSet, EdgeId, Hypergraph};
+
+use crate::rational::Rational;
+use crate::simplex::{LinearProgram, LpError};
+
+/// An optimal fractional edge cover of a bag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FractionalCover {
+    /// The optimal weight `Σ γ(e)`.
+    pub weight: Rational,
+    /// Non-zero edge weights, sorted by edge id.
+    pub weights: Vec<(EdgeId, Rational)>,
+}
+
+/// Computes a minimum-weight fractional edge cover of `bag` using the edges
+/// of `h`. Only edges intersecting the bag participate (others are useless).
+///
+/// Returns `Err(Infeasible)` if some bag vertex lies in no edge of `h`
+/// (impossible for bags of valid decompositions, since hypergraphs have no
+/// isolated vertices).
+pub fn fractional_edge_cover(h: &Hypergraph, bag: &BitSet) -> Result<FractionalCover, LpError> {
+    let vertices: Vec<u32> = bag.iter().collect();
+    if vertices.is_empty() {
+        return Ok(FractionalCover {
+            weight: Rational::ZERO,
+            weights: Vec::new(),
+        });
+    }
+    // Candidate edges: those meeting the bag.
+    let mut candidates: Vec<EdgeId> = Vec::new();
+    let mut is_candidate = vec![false; h.num_edges()];
+    for &v in &vertices {
+        for &e in h.edges_of(v) {
+            if !is_candidate[e as usize] {
+                is_candidate[e as usize] = true;
+                candidates.push(e);
+            }
+        }
+    }
+    candidates.sort_unstable();
+    if candidates.is_empty() {
+        return Err(LpError::Infeasible);
+    }
+
+    let n = candidates.len();
+    let mut lp = LinearProgram::minimize(vec![Rational::ONE; n]);
+    for &v in &vertices {
+        let mut row = vec![Rational::ZERO; n];
+        let mut any = false;
+        for (j, &e) in candidates.iter().enumerate() {
+            if h.edge_contains(e, v) {
+                row[j] = Rational::ONE;
+                any = true;
+            }
+        }
+        if !any {
+            return Err(LpError::Infeasible);
+        }
+        lp.add_ge_constraint(row, Rational::ONE)?;
+    }
+    let sol = lp.solve()?;
+    let weights = candidates
+        .into_iter()
+        .enumerate()
+        .filter_map(|(j, e)| {
+            let w = sol.values[j];
+            (!w.is_zero()).then_some((e, w))
+        })
+        .collect();
+    Ok(FractionalCover {
+        weight: sol.objective,
+        weights,
+    })
+}
+
+/// The fractional edge cover number `ρ*(H)` of the whole hypergraph:
+/// the minimum weight covering all vertices.
+pub fn fractional_cover_number(h: &Hypergraph) -> Result<Rational, LpError> {
+    let all = BitSet::full(h.num_vertices());
+    Ok(fractional_edge_cover(h, &all)?.weight)
+}
+
+/// Exact minimum *integral* edge cover of `bag` with at most `max_k` edges,
+/// by branch-and-bound set cover. Returns the cover (edge ids) or `None`
+/// if no cover of size ≤ `max_k` exists.
+///
+/// Intended for small bags (tests, the ImproveHD comparison and ablations);
+/// the decomposition algorithms use their own cover search.
+pub fn integral_edge_cover(h: &Hypergraph, bag: &BitSet, max_k: usize) -> Option<Vec<EdgeId>> {
+    let mut remaining = bag.clone();
+    // Quick feasibility: every bag vertex must lie in some edge.
+    for v in bag.iter() {
+        if h.edges_of(v).is_empty() {
+            return None;
+        }
+    }
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    if cover_rec(h, &mut remaining, &mut chosen, max_k) {
+        chosen.sort_unstable();
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+fn cover_rec(h: &Hypergraph, remaining: &mut BitSet, chosen: &mut Vec<EdgeId>, k: usize) -> bool {
+    let Some(v) = remaining.min() else {
+        return true;
+    };
+    if k == 0 {
+        return false;
+    }
+    // Branch over the edges covering the smallest uncovered vertex.
+    for &e in h.edges_of(v) {
+        let removed = remaining.intersection(h.edge_set(e));
+        remaining.difference_with(h.edge_set(e));
+        chosen.push(e);
+        if cover_rec(h, remaining, chosen, k - 1) {
+            return true;
+        }
+        chosen.pop();
+        remaining.union_with(&removed);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperbench_core::builder::hypergraph_from_edges;
+
+    fn triangle() -> Hypergraph {
+        hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])])
+    }
+
+    #[test]
+    fn triangle_fractional_cover() {
+        let h = triangle();
+        let c = fractional_edge_cover(&h, &BitSet::full(3)).unwrap();
+        assert_eq!(c.weight, Rational::new(3, 2));
+        assert_eq!(c.weights.len(), 3);
+        assert_eq!(fractional_cover_number(&h).unwrap(), Rational::new(3, 2));
+    }
+
+    #[test]
+    fn triangle_integral_cover_needs_two() {
+        let h = triangle();
+        assert!(integral_edge_cover(&h, &BitSet::full(3), 1).is_none());
+        let c = integral_edge_cover(&h, &BitSet::full(3), 2).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn empty_bag_costs_zero() {
+        let h = triangle();
+        let c = fractional_edge_cover(&h, &BitSet::new()).unwrap();
+        assert!(c.weight.is_zero());
+        assert!(c.weights.is_empty());
+        assert_eq!(integral_edge_cover(&h, &BitSet::new(), 0), Some(vec![]));
+    }
+
+    #[test]
+    fn single_edge_bag() {
+        let h = triangle();
+        let bag = h.edge_set(0).clone();
+        let c = fractional_edge_cover(&h, &bag).unwrap();
+        assert_eq!(c.weight, Rational::ONE);
+    }
+
+    #[test]
+    fn cover_is_feasible() {
+        let h = hypergraph_from_edges(&[
+            ("e0", &["a", "b", "c"]),
+            ("e1", &["c", "d"]),
+            ("e2", &["d", "e", "a"]),
+            ("e3", &["b", "e"]),
+        ]);
+        let bag = BitSet::full(h.num_vertices());
+        let c = fractional_edge_cover(&h, &bag).unwrap();
+        // Feasibility: every vertex receives total weight ≥ 1.
+        for v in bag.iter() {
+            let mut acc = Rational::ZERO;
+            for (e, w) in &c.weights {
+                if h.edge_contains(*e, v) {
+                    acc = acc.checked_add(w).unwrap();
+                }
+            }
+            assert!(acc >= Rational::ONE, "vertex {v} undercovered");
+        }
+        // Sandwich: |X| / arity ≤ ρ* ≤ integral cover size.
+        let integral = integral_edge_cover(&h, &bag, h.num_edges()).unwrap();
+        assert!(c.weight <= Rational::from_int(integral.len() as i64));
+        let lower = Rational::new(bag.len() as i128, h.arity() as i128);
+        assert!(c.weight >= lower);
+    }
+
+    #[test]
+    fn fhw_style_bag_on_bigger_graph() {
+        // 5-cycle: fractional cover of all vertices is 5/2.
+        let h = hypergraph_from_edges(&[
+            ("e0", &["v0", "v1"]),
+            ("e1", &["v1", "v2"]),
+            ("e2", &["v2", "v3"]),
+            ("e3", &["v3", "v4"]),
+            ("e4", &["v4", "v0"]),
+        ]);
+        let c = fractional_cover_number(&h).unwrap();
+        assert_eq!(c, Rational::new(5, 2));
+    }
+
+    #[test]
+    fn integral_cover_respects_budget() {
+        let h = hypergraph_from_edges(&[("e0", &["a", "b"]), ("e1", &["c", "d"])]);
+        let bag = BitSet::full(4);
+        assert!(integral_edge_cover(&h, &bag, 1).is_none());
+        assert_eq!(integral_edge_cover(&h, &bag, 2).unwrap(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Exact rational arithmetic over `i128` with eager reduction.
+//!
+//! All operations are overflow-checked: fractional-edge-cover LPs have 0/1
+//! coefficients and tiny dimensions, so overflow is practically impossible,
+//! but the solver still degrades gracefully (via [`crate::LpError::Overflow`])
+//! instead of wrapping.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number. Invariants: the denominator is positive and
+/// `gcd(|num|, den) = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Error raised when an arithmetic operation overflows `i128`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overflow;
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num/den`, reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rational {
+            num: sign * num / g,
+            den: (den / g).abs(),
+        }
+    }
+
+    /// Creates the integer `n`.
+    pub fn from_int(n: i64) -> Rational {
+        Rational {
+            num: n as i128,
+            den: 1,
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numerator(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether this is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether this is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, other: &Rational) -> Result<Rational, Overflow> {
+        // a/b + c/d = (a·(l/b) + c·(l/d)) / l with l = lcm(b,d).
+        let g = gcd(self.den, other.den);
+        let lb = other.den / g;
+        let ld = self.den / g;
+        let l = self.den.checked_mul(lb).ok_or(Overflow)?;
+        let x = self.num.checked_mul(lb).ok_or(Overflow)?;
+        let y = other.num.checked_mul(ld).ok_or(Overflow)?;
+        let num = x.checked_add(y).ok_or(Overflow)?;
+        Ok(Rational::new(num, l))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, other: &Rational) -> Result<Rational, Overflow> {
+        self.checked_add(&other.neg())
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(&self, other: &Rational) -> Result<Rational, Overflow> {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num, other.den).max(1);
+        let g2 = gcd(other.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(other.num / g2).ok_or(Overflow)?;
+        let den = (self.den / g2).checked_mul(other.den / g1).ok_or(Overflow)?;
+        Ok(Rational::new(num, den))
+    }
+
+    /// Checked division.
+    pub fn checked_div(&self, other: &Rational) -> Result<Rational, Overflow> {
+        if other.is_zero() {
+            return Err(Overflow);
+        }
+        self.checked_mul(&Rational::new(other.den, other.num))
+    }
+
+    /// Negation (never overflows for reduced rationals except `i128::MIN`,
+    /// which cannot arise from `new`).
+    pub fn neg(&self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    /// Reciprocal. Panics on zero.
+    pub fn recip(&self) -> Rational {
+        Rational::new(self.den, self.num)
+    }
+
+    /// Conversion to `f64` (for reporting only; algorithms stay exact).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact comparison.
+    pub fn cmp_exact(&self, other: &Rational) -> Ordering {
+        // a/b ? c/d  ⇔  a·d ? c·b  (b,d > 0). Use i128 widening carefully:
+        // fall back to f64 only if the exact product overflows (which cannot
+        // happen for reduced values produced by checked ops, but guard
+        // anyway).
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_exact(other)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        let r = Rational::new(6, -4);
+        assert_eq!(r.numerator(), -3);
+        assert_eq!(r.denominator(), 2);
+        assert_eq!(r.to_string(), "-3/2");
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a.checked_add(&b).unwrap(), Rational::new(5, 6));
+        assert_eq!(a.checked_sub(&b).unwrap(), Rational::new(1, 6));
+        assert_eq!(a.checked_mul(&b).unwrap(), Rational::new(1, 6));
+        assert_eq!(a.checked_div(&b).unwrap(), Rational::new(3, 2));
+    }
+
+    #[test]
+    fn comparison() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(2, 3);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp_exact(&Rational::new(2, 4)), Ordering::Equal);
+        assert!(Rational::new(-1, 2).is_negative());
+        assert!(Rational::new(1, 2).is_positive());
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert!(Rational::ONE.checked_div(&Rational::ZERO).is_err());
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let big = Rational::new(i128::MAX / 2, 1);
+        assert!(big.checked_mul(&big).is_err());
+        assert!(big.checked_add(&big).is_ok());
+        let bigger = Rational::new(i128::MAX, 1);
+        assert!(bigger.checked_add(&Rational::ONE).is_err());
+    }
+
+    #[test]
+    fn display_integers_without_denominator() {
+        assert_eq!(Rational::from_int(7).to_string(), "7");
+        assert_eq!(Rational::new(4, 2).to_string(), "2");
+    }
+
+    #[test]
+    fn recip_and_neg() {
+        let r = Rational::new(2, 3);
+        assert_eq!(r.recip(), Rational::new(3, 2));
+        assert_eq!(r.neg(), Rational::new(-2, 3));
+        assert_eq!(r.neg().neg(), r);
+    }
+
+    #[test]
+    fn to_f64_close() {
+        assert!((Rational::new(1, 3).to_f64() - 0.333333).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-instance analysis: the properties of Table 2 plus hw bounds from
+//! the iterative width search of Figure 4.
+
+use std::time::Duration;
+
+use hyperbench_core::properties::{structural_properties, StructuralProperties};
+use hyperbench_core::stats::{size_metrics, SizeMetrics};
+use hyperbench_core::Hypergraph;
+use hyperbench_decomp::driver::{hypertree_width, Outcome};
+
+/// Budgets for an analysis pass.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisConfig {
+    /// Per-`Check(HD,k)` timeout.
+    pub per_check: Duration,
+    /// Largest `k` tried by the hw search.
+    pub k_max: usize,
+    /// Budget (shatter checks) for the VC-dimension computation.
+    pub vc_budget: u64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            per_check: Duration::from_millis(250),
+            k_max: 8,
+            vc_budget: 2_000_000,
+        }
+    }
+}
+
+/// The stored result of analyzing one hypergraph.
+#[derive(Debug, Clone)]
+pub struct AnalysisRecord {
+    /// Size metrics (Figure 3).
+    pub sizes: SizeMetrics,
+    /// Structural properties (Table 2); `vc_dim = None` means timeout.
+    pub properties: StructuralProperties,
+    /// Upper bound on hw (smallest `k` with a yes-answer), if any.
+    pub hw_upper: Option<usize>,
+    /// Lower bound on hw (1 + largest certified no).
+    pub hw_lower: usize,
+    /// Per-`k` outcome labels ("yes"/"no"/"timeout") with runtimes.
+    pub hw_steps: Vec<(usize, &'static str, Duration)>,
+    /// Whether any `Check(HD,k)` timed out.
+    pub hw_timed_out: bool,
+}
+
+impl AnalysisRecord {
+    /// The exact hw, when pinned down.
+    pub fn hw_exact(&self) -> Option<usize> {
+        match self.hw_upper {
+            Some(u) if self.hw_lower == u => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Whether the instance is known to be cyclic (hw ≥ 2).
+    pub fn is_cyclic(&self) -> bool {
+        self.hw_lower >= 2
+    }
+}
+
+/// Runs the full analysis pass on one hypergraph.
+pub fn analyze_instance(h: &Hypergraph, cfg: &AnalysisConfig) -> AnalysisRecord {
+    let sizes = size_metrics(h);
+    let properties = structural_properties(h, cfg.vc_budget);
+    let hw = hypertree_width(h, cfg.k_max, cfg.per_check);
+    let hw_timed_out = hw
+        .steps
+        .iter()
+        .any(|s| matches!(s.outcome, Outcome::Timeout));
+    AnalysisRecord {
+        sizes,
+        properties,
+        hw_upper: hw.upper,
+        hw_lower: hw.lower,
+        hw_steps: hw
+            .steps
+            .iter()
+            .map(|s| (s.k, s.outcome.label(), s.elapsed))
+            .collect(),
+        hw_timed_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperbench_core::builder::hypergraph_from_edges;
+
+    #[test]
+    fn analyze_triangle() {
+        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let r = analyze_instance(&h, &AnalysisConfig::default());
+        assert_eq!(r.hw_exact(), Some(2));
+        assert!(r.is_cyclic());
+        assert_eq!(r.properties.bip, 1);
+        assert_eq!(r.sizes.edges, 3);
+        assert!(!r.hw_timed_out);
+        assert_eq!(r.hw_steps.len(), 2);
+    }
+
+    #[test]
+    fn analyze_acyclic() {
+        let h = hypergraph_from_edges(&[("e", &["a", "b"]), ("f", &["b", "c"])]);
+        let r = analyze_instance(&h, &AnalysisConfig::default());
+        assert_eq!(r.hw_exact(), Some(1));
+        assert!(!r.is_cyclic());
+    }
+}

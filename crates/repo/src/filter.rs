@@ -1,0 +1,223 @@
+//! Retrieval filters — the library equivalent of the web tool's search
+//! form ("retrieve the hypergraphs or groups of hypergraphs together with
+//! a broad spectrum of properties", §1).
+
+use crate::Entry;
+
+/// A conjunctive filter over repository entries. All set conditions must
+/// hold; unset conditions are ignored.
+#[derive(Debug, Clone, Default)]
+pub struct Filter {
+    class: Option<String>,
+    collection: Option<String>,
+    min_edges: Option<usize>,
+    max_edges: Option<usize>,
+    min_arity: Option<usize>,
+    max_arity: Option<usize>,
+    hw_at_most: Option<usize>,
+    hw_at_least: Option<usize>,
+    max_bip: Option<usize>,
+    cyclic_only: bool,
+    analyzed_only: bool,
+}
+
+impl Filter {
+    /// A filter matching everything.
+    pub fn new() -> Filter {
+        Filter::default()
+    }
+
+    /// Restrict to a benchmark class.
+    pub fn class(mut self, c: impl Into<String>) -> Filter {
+        self.class = Some(c.into());
+        self
+    }
+
+    /// Restrict to a collection.
+    pub fn collection(mut self, c: impl Into<String>) -> Filter {
+        self.collection = Some(c.into());
+        self
+    }
+
+    /// Restrict edge count from below.
+    pub fn min_edges(mut self, n: usize) -> Filter {
+        self.min_edges = Some(n);
+        self
+    }
+
+    /// Restrict edge count from above.
+    pub fn max_edges(mut self, n: usize) -> Filter {
+        self.max_edges = Some(n);
+        self
+    }
+
+    /// Restrict arity from below.
+    pub fn min_arity(mut self, n: usize) -> Filter {
+        self.min_arity = Some(n);
+        self
+    }
+
+    /// Restrict arity from above.
+    pub fn max_arity(mut self, n: usize) -> Filter {
+        self.max_arity = Some(n);
+        self
+    }
+
+    /// Keep entries whose hw upper bound is ≤ `k`.
+    pub fn hw_at_most(mut self, k: usize) -> Filter {
+        self.hw_at_most = Some(k);
+        self
+    }
+
+    /// Keep entries whose hw lower bound is ≥ `k`.
+    pub fn hw_at_least(mut self, k: usize) -> Filter {
+        self.hw_at_least = Some(k);
+        self
+    }
+
+    /// Keep entries with intersection size ≤ `d`.
+    pub fn max_bip(mut self, d: usize) -> Filter {
+        self.max_bip = Some(d);
+        self
+    }
+
+    /// Keep only cyclic entries (hw ≥ 2).
+    pub fn cyclic_only(mut self) -> Filter {
+        self.cyclic_only = true;
+        self
+    }
+
+    /// Keep only analyzed entries.
+    pub fn analyzed_only(mut self) -> Filter {
+        self.analyzed_only = true;
+        self
+    }
+
+    /// Whether `e` passes the filter.
+    pub fn matches(&self, e: &Entry) -> bool {
+        if let Some(c) = &self.class {
+            if &e.class != c {
+                return false;
+            }
+        }
+        if let Some(c) = &self.collection {
+            if &e.collection != c {
+                return false;
+            }
+        }
+        let m = e.hypergraph.num_edges();
+        if self.min_edges.map(|n| m < n).unwrap_or(false) {
+            return false;
+        }
+        if self.max_edges.map(|n| m > n).unwrap_or(false) {
+            return false;
+        }
+        let a = e.hypergraph.arity();
+        if self.min_arity.map(|n| a < n).unwrap_or(false) {
+            return false;
+        }
+        if self.max_arity.map(|n| a > n).unwrap_or(false) {
+            return false;
+        }
+        let needs_analysis = self.analyzed_only
+            || self.hw_at_most.is_some()
+            || self.hw_at_least.is_some()
+            || self.max_bip.is_some()
+            || self.cyclic_only;
+        match (&e.analysis, needs_analysis) {
+            (None, true) => false,
+            (None, false) => true,
+            (Some(rec), _) => {
+                if let Some(k) = self.hw_at_most {
+                    match rec.hw_upper {
+                        Some(u) if u <= k => {}
+                        _ => return false,
+                    }
+                }
+                if let Some(k) = self.hw_at_least {
+                    if rec.hw_lower < k {
+                        return false;
+                    }
+                }
+                if let Some(d) = self.max_bip {
+                    if rec.properties.bip > d {
+                        return false;
+                    }
+                }
+                if self.cyclic_only && !rec.is_cyclic() {
+                    return false;
+                }
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze_instance, AnalysisConfig};
+    use crate::Repository;
+    use hyperbench_core::builder::hypergraph_from_edges;
+
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        let tri =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let path = hypergraph_from_edges(&[("e", &["a", "b"]), ("f", &["b", "c"])]);
+        let cfg = AnalysisConfig::default();
+        let a1 = analyze_instance(&tri, &cfg);
+        let a2 = analyze_instance(&path, &cfg);
+        let id1 = r.insert(tri, "SPARQL", "CQ Application");
+        let id2 = r.insert(path, "TPC-H", "CQ Application");
+        r.set_analysis(id1, a1);
+        r.set_analysis(id2, a2);
+        r
+    }
+
+    #[test]
+    fn hw_filters() {
+        let r = repo();
+        assert_eq!(r.select(&Filter::new().hw_at_most(1)).count(), 1);
+        assert_eq!(r.select(&Filter::new().hw_at_least(2)).count(), 1);
+        assert_eq!(r.select(&Filter::new().cyclic_only()).count(), 1);
+    }
+
+    #[test]
+    fn size_filters() {
+        let r = repo();
+        assert_eq!(r.select(&Filter::new().min_edges(3)).count(), 1);
+        assert_eq!(r.select(&Filter::new().max_edges(2)).count(), 1);
+        assert_eq!(r.select(&Filter::new().max_arity(2)).count(), 2);
+        assert_eq!(r.select(&Filter::new().min_arity(3)).count(), 0);
+    }
+
+    #[test]
+    fn collection_filter() {
+        let r = repo();
+        assert_eq!(r.select(&Filter::new().collection("SPARQL")).count(), 1);
+        assert_eq!(r.select(&Filter::new().collection("nope")).count(), 0);
+    }
+
+    #[test]
+    fn bip_filter() {
+        let r = repo();
+        assert_eq!(r.select(&Filter::new().max_bip(1)).count(), 2);
+        assert_eq!(r.select(&Filter::new().max_bip(0)).count(), 0);
+    }
+
+    #[test]
+    fn unanalyzed_entries_and_analyzed_only() {
+        let mut r = repo();
+        r.insert(
+            hypergraph_from_edges(&[("g", &["x", "y"])]),
+            "LUBM",
+            "CQ Application",
+        );
+        // Plain filters match unanalyzed entries…
+        assert_eq!(r.select(&Filter::new()).count(), 3);
+        // …analysis-dependent filters exclude them.
+        assert_eq!(r.select(&Filter::new().analyzed_only()).count(), 2);
+        assert_eq!(r.select(&Filter::new().hw_at_most(5)).count(), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! # hyperbench-repo
+//!
+//! The HyperBench *tool*: a repository of hypergraphs together with the
+//! results of their analyses (§5 of the paper). The original project
+//! exposes this as a web interface at `hyperbench.dbai.tuwien.ac.at`; this
+//! crate provides the same operations as a library (and the `hyperbench`
+//! CLI wraps them):
+//!
+//! * insert hypergraphs (tagged with collection and class),
+//! * attach analysis records (structural properties, hw/ghw bounds),
+//! * retrieve and filter ("all CSP instances with hw ≤ 5 and BIP ≤ 2"),
+//! * persist to / load from a directory of `.hg` files plus a TSV index.
+
+pub mod analysis;
+pub mod filter;
+pub mod store;
+
+pub use analysis::{analyze_instance, AnalysisConfig, AnalysisRecord};
+pub use filter::Filter;
+
+use hyperbench_core::Hypergraph;
+
+/// Class labels mirroring `hyperbench_datagen::BenchClass` but kept
+/// string-typed here so the repository does not depend on the generators.
+pub type ClassName = String;
+
+/// One repository entry: a hypergraph plus provenance and analysis.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Stable id within the repository.
+    pub id: usize,
+    /// Collection name (e.g. `TPC-H`).
+    pub collection: String,
+    /// Class name (e.g. `CQ Application`).
+    pub class: ClassName,
+    /// The hypergraph.
+    pub hypergraph: Hypergraph,
+    /// Analysis results, if computed.
+    pub analysis: Option<AnalysisRecord>,
+}
+
+/// An in-memory repository of hypergraphs and analyses.
+#[derive(Debug, Default)]
+pub struct Repository {
+    entries: Vec<Entry>,
+}
+
+impl Repository {
+    /// Creates an empty repository.
+    pub fn new() -> Repository {
+        Repository::default()
+    }
+
+    /// Inserts a hypergraph; returns its id.
+    pub fn insert(
+        &mut self,
+        hypergraph: Hypergraph,
+        collection: impl Into<String>,
+        class: impl Into<String>,
+    ) -> usize {
+        let id = self.entries.len();
+        self.entries.push(Entry {
+            id,
+            collection: collection.into(),
+            class: class.into(),
+            hypergraph,
+            analysis: None,
+        });
+        id
+    }
+
+    /// Attaches an analysis record to an entry.
+    pub fn set_analysis(&mut self, id: usize, record: AnalysisRecord) {
+        self.entries[id].analysis = Some(record);
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// A single entry.
+    pub fn entry(&self, id: usize) -> &Entry {
+        &self.entries[id]
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries matching a filter.
+    pub fn select<'a>(&'a self, filter: &'a Filter) -> impl Iterator<Item = &'a Entry> {
+        self.entries.iter().filter(move |e| filter.matches(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperbench_core::builder::hypergraph_from_edges;
+
+    fn triangle() -> Hypergraph {
+        hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])])
+    }
+
+    #[test]
+    fn insert_and_retrieve() {
+        let mut repo = Repository::new();
+        let id = repo.insert(triangle(), "TPC-H", "CQ Application");
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.entry(id).collection, "TPC-H");
+        assert!(repo.entry(id).analysis.is_none());
+        assert!(!repo.is_empty());
+    }
+
+    #[test]
+    fn select_by_class() {
+        let mut repo = Repository::new();
+        repo.insert(triangle(), "TPC-H", "CQ Application");
+        repo.insert(triangle(), "xcsp", "CSP Random");
+        let f = Filter::new().class("CSP Random");
+        let hits: Vec<_> = repo.select(&f).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].class, "CSP Random");
+    }
+}

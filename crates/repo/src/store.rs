@@ -1,0 +1,185 @@
+//! Directory persistence: one `.hg` file per hypergraph (DetKDecomp
+//! format, as published by the real HyperBench) plus a tab-separated
+//! `index.tsv` holding provenance and analysis results.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::time::Duration;
+
+use hyperbench_core::format::{parse_hg_named, to_hg};
+use hyperbench_core::properties::StructuralProperties;
+use hyperbench_core::stats::SizeMetrics;
+
+use crate::analysis::AnalysisRecord;
+use crate::Repository;
+
+/// Persistence errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A `.hg` file failed to parse.
+    Corrupt(String),
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt repository: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Saves the repository into `dir` (created if missing).
+pub fn save(repo: &Repository, dir: &Path) -> Result<(), StoreError> {
+    fs::create_dir_all(dir)?;
+    let mut index = fs::File::create(dir.join("index.tsv"))?;
+    writeln!(
+        index,
+        "id\tfile\tcollection\tclass\tvertices\tedges\tarity\tdegree\tbip\tbmip3\tbmip4\tvc_dim\thw_upper\thw_lower\thw_timeout"
+    )?;
+    for e in repo.entries() {
+        let file = format!("{:05}.hg", e.id);
+        fs::write(dir.join(&file), to_hg(&e.hypergraph))?;
+        let (sizes, props, hw_u, hw_l, to) = match &e.analysis {
+            Some(a) => (
+                Some(a.sizes),
+                Some(a.properties),
+                a.hw_upper,
+                a.hw_lower as i64,
+                a.hw_timed_out,
+            ),
+            None => (None, None, None, -1, false),
+        };
+        writeln!(
+            index,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            e.id,
+            file,
+            e.collection,
+            e.class,
+            opt(sizes.map(|s| s.vertices)),
+            opt(sizes.map(|s| s.edges)),
+            opt(sizes.map(|s| s.arity)),
+            opt(props.map(|p| p.degree)),
+            opt(props.map(|p| p.bip)),
+            opt(props.map(|p| p.bmip3)),
+            opt(props.map(|p| p.bmip4)),
+            opt(props.and_then(|p| p.vc_dim)),
+            opt(hw_u),
+            hw_l,
+            to,
+        )?;
+    }
+    Ok(())
+}
+
+fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "-".to_string())
+}
+
+/// Loads a repository previously written by [`save`]. Analysis step
+/// timings are not persisted; everything else round-trips.
+pub fn load(dir: &Path) -> Result<Repository, StoreError> {
+    let index = fs::read_to_string(dir.join("index.tsv"))?;
+    let mut repo = Repository::new();
+    for (lineno, line) in index.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 15 {
+            return Err(StoreError::Corrupt(format!(
+                "index line {} has {} columns",
+                lineno + 1,
+                cols.len()
+            )));
+        }
+        let file = cols[1];
+        let text = fs::read_to_string(dir.join(file))?;
+        let h = parse_hg_named(&text, file.trim_end_matches(".hg"))
+            .map_err(|e| StoreError::Corrupt(format!("{file}: {e}")))?;
+        let id = repo.insert(h, cols[2], cols[3]);
+        // Rehydrate the analysis if present.
+        if cols[4] != "-" {
+            let parse = |s: &str| s.parse::<usize>().ok();
+            let record = AnalysisRecord {
+                sizes: SizeMetrics {
+                    vertices: parse(cols[4]).unwrap_or(0),
+                    edges: parse(cols[5]).unwrap_or(0),
+                    arity: parse(cols[6]).unwrap_or(0),
+                },
+                properties: StructuralProperties {
+                    degree: parse(cols[7]).unwrap_or(0),
+                    bip: parse(cols[8]).unwrap_or(0),
+                    bmip3: parse(cols[9]).unwrap_or(0),
+                    bmip4: parse(cols[10]).unwrap_or(0),
+                    vc_dim: parse(cols[11]),
+                },
+                hw_upper: parse(cols[12]),
+                hw_lower: cols[13].parse().unwrap_or(1),
+                hw_steps: Vec::new(),
+                hw_timed_out: cols[14] == "true",
+            };
+            repo.set_analysis(id, record);
+        }
+        let _ = Duration::ZERO;
+    }
+    Ok(repo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze_instance, AnalysisConfig};
+    use hyperbench_core::builder::hypergraph_from_edges;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("hyperbench-store-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut repo = Repository::new();
+        let tri =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let rec = analyze_instance(&tri, &AnalysisConfig::default());
+        let id = repo.insert(tri, "SPARQL", "CQ Application");
+        repo.set_analysis(id, rec);
+        repo.insert(
+            hypergraph_from_edges(&[("e", &["x", "y"])]),
+            "LUBM",
+            "CQ Application",
+        );
+
+        let dir = tmpdir("roundtrip");
+        save(&repo, &dir).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let e0 = loaded.entry(0);
+        assert_eq!(e0.collection, "SPARQL");
+        assert_eq!(e0.hypergraph.num_edges(), 3);
+        let a = e0.analysis.as_ref().unwrap();
+        assert_eq!(a.hw_upper, Some(2));
+        assert_eq!(a.properties.bip, 1);
+        assert!(loaded.entry(1).analysis.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_errors() {
+        assert!(load(Path::new("/nonexistent/hyperbench")).is_err());
+    }
+}

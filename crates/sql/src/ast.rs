@@ -1,0 +1,225 @@
+//! Abstract syntax for the SQL fragment of §5.2: `SELECT`-`FROM`-`WHERE`
+//! with nested subqueries, `WITH` views and set operations. The `SELECT`
+//! clause is kept only as far as needed for view expansion (§5.4); other
+//! projections are ignored ("we neglect the SELECT clause because … only
+//! the hypergraph structure determined by the FROM and WHERE clauses is
+//! important").
+
+use crate::token::CmpOp;
+
+/// A query expression: a plain select or a set operation over two queries
+/// (`q1 ∘ q2` with `∘ ∈ {∪, ∩, \}`, §5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryExpr {
+    /// A `SELECT … FROM … WHERE …` block.
+    Select(Box<SelectStmt>),
+    /// `UNION` / `INTERSECT` / `EXCEPT`.
+    SetOp {
+        /// Which set operation.
+        op: SetOp,
+        /// Left operand.
+        left: Box<QueryExpr>,
+        /// Right operand.
+        right: Box<QueryExpr>,
+    },
+}
+
+/// Set operations between queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+/// One output column of a `SELECT` list, as far as view expansion needs it:
+/// `t.a [AS] alias`. Anything more complex is recorded as [`SelectItem::Opaque`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// A (possibly aliased) column reference.
+    Column {
+        /// Source column.
+        column: ColumnRef,
+        /// Output name (defaults to the column name).
+        output: Option<String>,
+    },
+    /// An expression we do not model (aggregates, arithmetic, …).
+    Opaque,
+}
+
+/// A parsed SQL statement: optional top-level `WITH` views plus the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// Views defined by a leading `WITH` clause.
+    pub views: Vec<View>,
+    /// The main query.
+    pub query: QueryExpr,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// The select list (used only for view output mapping).
+    pub select: Vec<SelectItem>,
+    /// The `FROM` items.
+    pub from: Vec<TableRef>,
+    /// The `WHERE` condition, if any.
+    pub where_clause: Option<Expr>,
+}
+
+/// A `WITH name AS (query)` view definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct View {
+    /// View name.
+    pub name: String,
+    /// Defining query.
+    pub query: QueryExpr,
+}
+
+/// An item of the `FROM` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A base table or view reference with optional alias.
+    Table {
+        /// Table (or view) name.
+        name: String,
+        /// Alias (`FROM t x` or `FROM t AS x`).
+        alias: Option<String>,
+    },
+    /// A derived table: `FROM (subquery) alias`.
+    Subquery {
+        /// The derived-table query.
+        query: QueryExpr,
+        /// Its alias.
+        alias: String,
+    },
+}
+
+impl TableRef {
+    /// The name by which columns reference this item.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Subquery { alias, .. } => alias,
+        }
+    }
+}
+
+/// A column reference `t.a` or bare `a`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Qualifier (relation instance alias), if written.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// A scalar operand of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A constant (number or string; the value is irrelevant to structure).
+    Const(String),
+    /// Something we do not model (arithmetic, function call).
+    Opaque,
+}
+
+/// A `WHERE` expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction (makes the enclosing condition non-conjunctive).
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// A comparison between two scalars.
+    Cmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Scalar,
+        /// Right operand.
+        right: Scalar,
+    },
+    /// `x IN (subquery)` or `x NOT IN (subquery)`.
+    InQuery {
+        /// Tested scalar.
+        scalar: Scalar,
+        /// The subquery.
+        query: QueryExpr,
+        /// Whether negated.
+        negated: bool,
+    },
+    /// `x IN (v1, v2, …)`: structurally a constant restriction.
+    InList {
+        /// Tested scalar.
+        scalar: Scalar,
+        /// Whether negated.
+        negated: bool,
+    },
+    /// `EXISTS (subquery)` / `NOT EXISTS (subquery)`.
+    Exists {
+        /// The subquery.
+        query: QueryExpr,
+        /// Whether negated.
+        negated: bool,
+    },
+    /// A condition we parse but do not model (`LIKE`, `BETWEEN`, `IS NULL`…).
+    Opaque,
+}
+
+impl Expr {
+    /// Flattens a conjunction into its conjuncts (a single non-`And` node
+    /// yields itself).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::And(l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten() {
+        let c = Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Scalar::Const("1".into()),
+            right: Scalar::Const("1".into()),
+        };
+        let e = Expr::And(
+            Box::new(c.clone()),
+            Box::new(Expr::And(Box::new(c.clone()), Box::new(Expr::Opaque))),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn binding_names() {
+        let t = TableRef::Table {
+            name: "tab".into(),
+            alias: Some("t1".into()),
+        };
+        assert_eq!(t.binding_name(), "t1");
+        let t2 = TableRef::Table {
+            name: "tab".into(),
+            alias: None,
+        };
+        assert_eq!(t2.binding_name(), "tab");
+    }
+}

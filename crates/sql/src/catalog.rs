@@ -1,0 +1,88 @@
+//! A minimal schema catalog: table name → column list.
+//!
+//! The SQLShare part of the original pipeline had to "link the queries to
+//! the right database schema" (§5.6); our generated workloads carry their
+//! catalog along explicitly.
+
+use std::collections::HashMap;
+
+/// Maps table names (case-insensitive) to their column lists.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Vec<String>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a table and its columns.
+    pub fn add_table<S: AsRef<str>>(&mut self, name: &str, columns: &[S]) {
+        self.tables.insert(
+            name.to_ascii_lowercase(),
+            columns.iter().map(|c| c.as_ref().to_string()).collect(),
+        );
+    }
+
+    /// The columns of `name`, if known.
+    pub fn columns(&self, name: &str) -> Option<&[String]> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .map(Vec::as_slice)
+    }
+
+    /// Whether `name` is a known table.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Tables that contain a column named `column` (for resolving
+    /// unqualified references).
+    pub fn tables_with_column(&self, column: &str) -> Vec<&str> {
+        self.tables
+            .iter()
+            .filter(|(_, cols)| cols.iter().any(|c| c.eq_ignore_ascii_case(column)))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut c = Catalog::new();
+        c.add_table("LineItem", &["l_orderkey", "l_partkey"]);
+        assert!(c.has_table("lineitem"));
+        assert!(c.has_table("LINEITEM"));
+        assert_eq!(c.columns("lineItem").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn tables_with_column() {
+        let mut c = Catalog::new();
+        c.add_table("a", &["x", "y"]);
+        c.add_table("b", &["y", "z"]);
+        let mut with_y = c.tables_with_column("y");
+        with_y.sort();
+        assert_eq!(with_y, vec!["a", "b"]);
+        assert_eq!(c.tables_with_column("x"), vec!["a"]);
+        assert!(c.tables_with_column("nope").is_empty());
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+}

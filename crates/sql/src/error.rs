@@ -1,0 +1,40 @@
+//! Error type for the SQL pipeline.
+
+/// Errors produced while lexing, parsing or converting SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical error at byte offset.
+    Lex { offset: usize, message: String },
+    /// Parse error with a human-readable description.
+    Parse(String),
+    /// A referenced table is not in the catalog.
+    UnknownTable(String),
+    /// A column reference could not be resolved to a relation instance.
+    UnresolvedColumn(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => {
+                write!(f, "lex error at offset {offset}: {message}")
+            }
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SqlError::UnresolvedColumn(c) => write!(f, "unresolved column: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SqlError::Parse("x".into()).to_string().contains('x'));
+        assert!(SqlError::UnknownTable("t".into()).to_string().contains('t'));
+    }
+}

@@ -1,0 +1,678 @@
+//! Extraction of *simple queries* (conjunctive cores) from complex SQL
+//! statements, following §5.2–§5.3 of the paper:
+//!
+//! * set operations `q1 ∘ … ∘ qn` are split and processed separately;
+//! * `FROM`-clause subqueries and `WITH` views are expanded into the using
+//!   query (§5.4, Query 3 discussion) when their select lists are plain
+//!   column lists, and otherwise extracted as separate queries;
+//! * `WHERE`-clause subqueries (`IN`, `EXISTS`, scalar comparisons) are
+//!   extracted as separate queries when independent, and *discarded* when
+//!   they reference a table defined in an ancestor query — the
+//!   dependency-graph cycle rule of §5.3 (Figure 1);
+//! * of the remaining conditions only equi-joins (`r.A = s.B`) and
+//!   constant bindings (`r.A = c`, `r.A IN (c₁,…)`) shape the hypergraph;
+//!   everything else (inequalities, `LIKE`, disjunctions, negations) is
+//!   dropped with the conjunctive core kept.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::catalog::Catalog;
+use crate::error::SqlError;
+use crate::token::CmpOp;
+
+/// A relation instance of a simple query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationInstance {
+    /// Base table name (or pseudo-table for opaque views).
+    pub table: String,
+    /// Binding alias, unique within the query.
+    pub alias: String,
+    /// The instance's columns (from the catalog, or collected from usage
+    /// for opaque sources).
+    pub columns: Vec<String>,
+}
+
+/// A column of a relation instance: (instance index, column name).
+pub type ColId = (usize, String);
+
+/// The conjunctive core of one extracted query (form (3) of §5.4).
+#[derive(Debug, Clone, Default)]
+pub struct SimpleQuery {
+    /// Hierarchical name, e.g. `q`, `q.s1`, `q.s1.left`.
+    pub name: String,
+    /// The relation instances of the `FROM` clause (after view expansion).
+    pub relations: Vec<RelationInstance>,
+    /// Equi-join conditions `ri.A = rj.B`.
+    pub joins: Vec<(ColId, ColId)>,
+    /// Constant restrictions `ri.A = c`.
+    pub constants: Vec<ColId>,
+}
+
+/// Extracts all simple queries of a statement. The outermost query comes
+/// first; discarded (correlated) subqueries contribute nothing.
+pub fn extract_simple_queries(
+    stmt: &Statement,
+    catalog: &Catalog,
+) -> Result<Vec<SimpleQuery>, SqlError> {
+    let mut views: HashMap<String, &View> = HashMap::new();
+    for v in &stmt.views {
+        views.insert(v.name.to_ascii_lowercase(), v);
+    }
+    let mut ex = Extractor {
+        catalog,
+        views,
+        out: Vec::new(),
+    };
+    ex.process_query(&stmt.query, "q", &[])?;
+    Ok(ex.out)
+}
+
+struct Extractor<'a> {
+    catalog: &'a Catalog,
+    views: HashMap<String, &'a View>,
+    out: Vec<SimpleQuery>,
+}
+
+impl<'a> Extractor<'a> {
+    /// Processes a query expression, splitting set operations (§5.2).
+    fn process_query(
+        &mut self,
+        q: &QueryExpr,
+        name: &str,
+        ancestor_bindings: &[HashSet<String>],
+    ) -> Result<(), SqlError> {
+        match q {
+            QueryExpr::SetOp { left, right, .. } => {
+                self.process_query(left, &format!("{name}.left"), ancestor_bindings)?;
+                self.process_query(right, &format!("{name}.right"), ancestor_bindings)
+            }
+            QueryExpr::Select(s) => self.process_select(s, name, ancestor_bindings),
+        }
+    }
+
+    fn process_select(
+        &mut self,
+        s: &SelectStmt,
+        name: &str,
+        ancestor_bindings: &[HashSet<String>],
+    ) -> Result<(), SqlError> {
+        // Reserve this query's slot now so that outer queries precede the
+        // subqueries extracted while processing them.
+        let my_slot = self.out.len();
+        self.out.push(SimpleQuery::default());
+        let mut sq = SimpleQuery {
+            name: name.to_string(),
+            ..SimpleQuery::default()
+        };
+        // (alias, output column) → inner ColId, filled by view expansion.
+        let mut outmap: HashMap<(String, String), ColId> = HashMap::new();
+        // alias → instance index for direct instances.
+        let mut direct: HashMap<String, usize> = HashMap::new();
+        // aliases of opaque sources (columns collected on demand).
+        let mut opaque: HashMap<String, usize> = HashMap::new();
+
+        let mut sub_counter = 0usize;
+        for item in &s.from {
+            let alias = item.binding_name().to_string();
+            match item {
+                TableRef::Table {
+                    name: tname,
+                    alias: _,
+                } => {
+                    if let Some(cols) = self.catalog.columns(tname) {
+                        let idx = sq.relations.len();
+                        sq.relations.push(RelationInstance {
+                            table: tname.clone(),
+                            alias: alias.clone(),
+                            columns: cols.to_vec(),
+                        });
+                        direct.insert(alias.to_ascii_lowercase(), idx);
+                    } else if let Some(view) = self.views.get(&tname.to_ascii_lowercase()).copied()
+                    {
+                        self.expand_view_or_opaque(
+                            &view.query,
+                            &alias,
+                            &format!("{name}.{alias}"),
+                            &mut sq,
+                            &mut outmap,
+                            &mut opaque,
+                            ancestor_bindings,
+                        )?;
+                    } else {
+                        return Err(SqlError::UnknownTable(tname.clone()));
+                    }
+                }
+                TableRef::Subquery { query, alias: _ } => {
+                    sub_counter += 1;
+                    self.expand_view_or_opaque(
+                        query,
+                        &alias,
+                        &format!("{name}.d{sub_counter}"),
+                        &mut sq,
+                        &mut outmap,
+                        &mut opaque,
+                        ancestor_bindings,
+                    )?;
+                }
+            }
+        }
+
+        // Current bindings, for correlation checks of WHERE subqueries.
+        let mut bindings: HashSet<String> = direct.keys().cloned().collect();
+        bindings.extend(opaque.keys().cloned());
+        for (alias, _) in outmap.keys() {
+            bindings.insert(alias.clone());
+        }
+        let mut scopes: Vec<HashSet<String>> = ancestor_bindings.to_vec();
+        scopes.push(bindings);
+
+        // WHERE conjuncts.
+        if let Some(w) = &s.where_clause {
+            let mut sub_idx = 0usize;
+            for conj in w.conjuncts() {
+                self.process_conjunct(
+                    conj, &mut sq, &outmap, &direct, &mut opaque, &scopes, name, &mut sub_idx,
+                )?;
+            }
+        }
+
+        self.out[my_slot] = sq;
+        Ok(())
+    }
+
+    /// Expands a view/derived table inline when possible (§5.4); otherwise
+    /// extracts its body separately and registers an opaque source.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_view_or_opaque(
+        &mut self,
+        body: &QueryExpr,
+        alias: &str,
+        sub_name: &str,
+        sq: &mut SimpleQuery,
+        outmap: &mut HashMap<(String, String), ColId>,
+        opaque: &mut HashMap<String, usize>,
+        ancestor_bindings: &[HashSet<String>],
+    ) -> Result<(), SqlError> {
+        if let QueryExpr::Select(inner) = body {
+            if let Some(mapping) = mappable_outputs(inner) {
+                // Inline: instances, joins and constants of the view body
+                // are added to the using query with prefixed aliases.
+                let base = sq.relations.len();
+                let mut inner_direct: HashMap<String, usize> = HashMap::new();
+                for item in &inner.from {
+                    match item {
+                        TableRef::Table {
+                            name: tname,
+                            alias: _,
+                        } => {
+                            let inner_alias = item.binding_name();
+                            if let Some(cols) = self.catalog.columns(tname) {
+                                let idx = sq.relations.len();
+                                sq.relations.push(RelationInstance {
+                                    table: tname.clone(),
+                                    alias: format!("{alias}__{inner_alias}"),
+                                    columns: cols.to_vec(),
+                                });
+                                inner_direct.insert(inner_alias.to_ascii_lowercase(), idx);
+                            } else {
+                                // Nested views inside view bodies: fall back
+                                // to opaque treatment of the whole view.
+                                sq.relations.truncate(base);
+                                return self.opaque_source(
+                                    body,
+                                    alias,
+                                    sub_name,
+                                    sq,
+                                    opaque,
+                                    ancestor_bindings,
+                                );
+                            }
+                        }
+                        TableRef::Subquery { .. } => {
+                            sq.relations.truncate(base);
+                            return self.opaque_source(
+                                body,
+                                alias,
+                                sub_name,
+                                sq,
+                                opaque,
+                                ancestor_bindings,
+                            );
+                        }
+                    }
+                }
+                // Inner conditions.
+                if let Some(w) = &inner.where_clause {
+                    for conj in w.conjuncts() {
+                        if let Expr::Cmp {
+                            op: CmpOp::Eq,
+                            left,
+                            right,
+                        } = conj
+                        {
+                            match (
+                                resolve_in(&inner_direct, &sq.relations, self.catalog, left),
+                                resolve_in(&inner_direct, &sq.relations, self.catalog, right),
+                            ) {
+                                (Some(a), Some(b)) => sq.joins.push((a, b)),
+                                (Some(a), None) if is_const(right) => sq.constants.push(a),
+                                (None, Some(b)) if is_const(left) => sq.constants.push(b),
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                // Output mapping.
+                for (out_name, colref) in mapping {
+                    let inner_alias = colref
+                        .table
+                        .as_deref()
+                        .map(|t| t.to_ascii_lowercase())
+                        .and_then(|t| inner_direct.get(&t).copied());
+                    if let Some(idx) = inner_alias {
+                        outmap.insert(
+                            (alias.to_ascii_lowercase(), out_name.to_ascii_lowercase()),
+                            (idx, colref.column.clone()),
+                        );
+                    }
+                }
+                return Ok(());
+            }
+        }
+        self.opaque_source(body, alias, sub_name, sq, opaque, ancestor_bindings)
+    }
+
+    /// Registers `alias` as an opaque relation and extracts the body as a
+    /// separate query.
+    fn opaque_source(
+        &mut self,
+        body: &QueryExpr,
+        alias: &str,
+        sub_name: &str,
+        sq: &mut SimpleQuery,
+        opaque: &mut HashMap<String, usize>,
+        ancestor_bindings: &[HashSet<String>],
+    ) -> Result<(), SqlError> {
+        let idx = sq.relations.len();
+        sq.relations.push(RelationInstance {
+            table: format!("<view:{alias}>"),
+            alias: alias.to_string(),
+            columns: Vec::new(),
+        });
+        opaque.insert(alias.to_ascii_lowercase(), idx);
+        // Extract the body separately unless correlated.
+        if !self.is_correlated(body, ancestor_bindings) {
+            self.process_query(body, sub_name, ancestor_bindings)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_conjunct(
+        &mut self,
+        conj: &Expr,
+        sq: &mut SimpleQuery,
+        outmap: &HashMap<(String, String), ColId>,
+        direct: &HashMap<String, usize>,
+        opaque: &mut HashMap<String, usize>,
+        scopes: &[HashSet<String>],
+        name: &str,
+        sub_idx: &mut usize,
+    ) -> Result<(), SqlError> {
+        match conj {
+            Expr::Cmp {
+                op: CmpOp::Eq,
+                left,
+                right,
+            } => {
+                let a = self.resolve(sq, outmap, direct, opaque, left);
+                let b = self.resolve(sq, outmap, direct, opaque, right);
+                match (a, b) {
+                    (Some(a), Some(b))
+                        if a != b => {
+                            sq.joins.push((a, b));
+                        }
+                    (Some(a), None) if is_const(right) => sq.constants.push(a),
+                    (None, Some(b)) if is_const(left) => sq.constants.push(b),
+                    _ => {}
+                }
+            }
+            Expr::InList {
+                scalar,
+                negated: false,
+            } => {
+                // Structurally a constant restriction (§5.2: "it is just a
+                // comparison with a constant value").
+                if let Some(c) = self.resolve(sq, outmap, direct, opaque, scalar) {
+                    sq.constants.push(c);
+                }
+            }
+            Expr::InQuery { query, .. } | Expr::Exists { query, .. } => {
+                *sub_idx += 1;
+                if !self.is_correlated(query, scopes) {
+                    self.process_query(query, &format!("{name}.s{sub_idx}"), scopes)?;
+                }
+                // The outer condition itself does not shape the hypergraph.
+            }
+            Expr::Not(inner) => {
+                // Negated conditions are non-conjunctive and dropped, but
+                // subqueries inside them are still nodes of the dependency
+                // graph — so recurse, then roll back any structural effect.
+                let joins_before = sq.joins.len();
+                let consts_before = sq.constants.len();
+                self.process_conjunct(inner, sq, outmap, direct, opaque, scopes, name, sub_idx)?;
+                sq.joins.truncate(joins_before);
+                sq.constants.truncate(consts_before);
+            }
+            // Or, non-equality comparisons, LIKE/BETWEEN/IS NULL, opaque:
+            // dropped from the conjunctive core. Subqueries nested in OR
+            // branches are rare and ignored.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Resolves a scalar to a column of the current query, registering
+    /// columns of opaque sources on first use.
+    fn resolve(
+        &self,
+        sq: &mut SimpleQuery,
+        outmap: &HashMap<(String, String), ColId>,
+        direct: &HashMap<String, usize>,
+        opaque: &mut HashMap<String, usize>,
+        s: &Scalar,
+    ) -> Option<ColId> {
+        let Scalar::Column(cr) = s else { return None };
+        match &cr.table {
+            Some(t) => {
+                let t_lc = t.to_ascii_lowercase();
+                if let Some(&idx) = direct.get(&t_lc) {
+                    return Some((idx, cr.column.clone()));
+                }
+                if let Some(mapped) = outmap.get(&(t_lc.clone(), cr.column.to_ascii_lowercase())) {
+                    return Some(mapped.clone());
+                }
+                if let Some(&idx) = opaque.get(&t_lc) {
+                    if !sq.relations[idx]
+                        .columns
+                        .iter()
+                        .any(|c| c.eq_ignore_ascii_case(&cr.column))
+                    {
+                        sq.relations[idx].columns.push(cr.column.clone());
+                    }
+                    return Some((idx, cr.column.clone()));
+                }
+                None
+            }
+            None => {
+                // Unqualified: unique table with that column wins.
+                let mut hit: Option<ColId> = None;
+                for (i, r) in sq.relations.iter().enumerate() {
+                    if r.columns.iter().any(|c| c.eq_ignore_ascii_case(&cr.column)) {
+                        if hit.is_some() {
+                            return None; // ambiguous
+                        }
+                        hit = Some((i, cr.column.clone()));
+                    }
+                }
+                hit
+            }
+        }
+    }
+
+    /// Whether `q` references a binding defined in any enclosing scope —
+    /// the §5.3 cycle rule (an edge back to an ancestor).
+    fn is_correlated(&self, q: &QueryExpr, scopes: &[HashSet<String>]) -> bool {
+        let mut free = HashSet::new();
+        free_qualifiers(q, &mut HashSet::new(), &mut free);
+        free.iter().any(|f| {
+            scopes.iter().any(|s| s.contains(f))
+                // view names are globally available, not correlations
+                && !self.views.contains_key(f)
+        })
+    }
+}
+
+/// If the select list is a plain list of (aliased) column references,
+/// returns the output-name → source-column mapping; `None` otherwise.
+fn mappable_outputs(s: &SelectStmt) -> Option<Vec<(String, ColumnRef)>> {
+    let mut out = Vec::new();
+    for item in &s.select {
+        match item {
+            SelectItem::Column { column, output } => {
+                let name = output.clone().unwrap_or_else(|| column.column.clone());
+                out.push((name, column.clone()));
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn is_const(s: &Scalar) -> bool {
+    matches!(s, Scalar::Const(_))
+}
+
+/// Resolves a scalar against an inlined view's inner bindings.
+fn resolve_in(
+    inner_direct: &HashMap<String, usize>,
+    relations: &[RelationInstance],
+    catalog: &Catalog,
+    s: &Scalar,
+) -> Option<ColId> {
+    let Scalar::Column(cr) = s else { return None };
+    match &cr.table {
+        Some(t) => inner_direct
+            .get(&t.to_ascii_lowercase())
+            .map(|&idx| (idx, cr.column.clone())),
+        None => {
+            let mut hit = None;
+            for (_, &idx) in inner_direct.iter() {
+                let r = &relations[idx];
+                if catalog
+                    .columns(&r.table)
+                    .map(|cols| cols.iter().any(|c| c.eq_ignore_ascii_case(&cr.column)))
+                    .unwrap_or(false)
+                {
+                    if hit.is_some() {
+                        return None;
+                    }
+                    hit = Some((idx, cr.column.clone()));
+                }
+            }
+            hit
+        }
+    }
+}
+
+/// Collects qualifiers referenced by `q` that are not bound within it.
+fn free_qualifiers(q: &QueryExpr, bound: &mut HashSet<String>, free: &mut HashSet<String>) {
+    match q {
+        QueryExpr::SetOp { left, right, .. } => {
+            free_qualifiers(left, &mut bound.clone(), free);
+            free_qualifiers(right, &mut bound.clone(), free);
+        }
+        QueryExpr::Select(s) => {
+            let mut local = bound.clone();
+            for item in &s.from {
+                local.insert(item.binding_name().to_ascii_lowercase());
+                if let TableRef::Subquery { query, .. } = item {
+                    free_qualifiers(query, &mut local.clone(), free);
+                }
+            }
+            for item in &s.select {
+                if let SelectItem::Column { column, .. } = item {
+                    note_qualifier(column, &local, free);
+                }
+            }
+            if let Some(w) = &s.where_clause {
+                collect_expr_qualifiers(w, &local, free);
+            }
+        }
+    }
+}
+
+fn collect_expr_qualifiers(e: &Expr, bound: &HashSet<String>, free: &mut HashSet<String>) {
+    match e {
+        Expr::And(l, r) | Expr::Or(l, r) => {
+            collect_expr_qualifiers(l, bound, free);
+            collect_expr_qualifiers(r, bound, free);
+        }
+        Expr::Not(i) => collect_expr_qualifiers(i, bound, free),
+        Expr::Cmp { left, right, .. } => {
+            scalar_qualifier(left, bound, free);
+            scalar_qualifier(right, bound, free);
+        }
+        Expr::InList { scalar, .. } => scalar_qualifier(scalar, bound, free),
+        Expr::InQuery { scalar, query, .. } => {
+            scalar_qualifier(scalar, bound, free);
+            free_qualifiers(query, &mut bound.clone(), free);
+        }
+        Expr::Exists { query, .. } => {
+            free_qualifiers(query, &mut bound.clone(), free);
+        }
+        Expr::Opaque => {}
+    }
+}
+
+fn scalar_qualifier(s: &Scalar, bound: &HashSet<String>, free: &mut HashSet<String>) {
+    if let Scalar::Column(cr) = s {
+        note_qualifier(cr, bound, free);
+    }
+}
+
+fn note_qualifier(cr: &ColumnRef, bound: &HashSet<String>, free: &mut HashSet<String>) {
+    if let Some(t) = &cr.table {
+        let t = t.to_ascii_lowercase();
+        if !bound.contains(&t) {
+            free.insert(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table("tab", &["a", "b", "c"]);
+        c.add_table("differentTable", &["a", "b"]);
+        c
+    }
+
+    fn extract(sql: &str) -> Vec<SimpleQuery> {
+        extract_simple_queries(&parse(sql).unwrap(), &catalog()).unwrap()
+    }
+
+    #[test]
+    fn paper_query_1_core() {
+        let qs = extract(
+            "SELECT * FROM tab t1, tab t2 \
+             WHERE t1.a = t2.a AND t1.b > 5 AND t1.c <> t2.c;",
+        );
+        assert_eq!(qs.len(), 1);
+        let q = &qs[0];
+        assert_eq!(q.relations.len(), 2);
+        assert_eq!(q.joins.len(), 1); // only the equi-join survives
+        assert!(q.constants.is_empty());
+    }
+
+    #[test]
+    fn paper_query_2_dependency_graph() {
+        // s1 (independent IN-subquery) is extracted; s2 (correlated EXISTS
+        // referencing t1) is discarded — Figure 1 of the paper.
+        let qs = extract(
+            "SELECT * FROM tab t1, tab t2 WHERE t1.a = t2.a \
+             AND t1.b IN (SELECT tab.b FROM tab WHERE tab.c == 'ok') \
+             AND EXISTS (SELECT * FROM differentTable dt WHERE dt.a = t1.a);",
+        );
+        assert_eq!(qs.len(), 2, "outer query + one independent subquery");
+        assert_eq!(qs[1].relations.len(), 1);
+        assert_eq!(qs[1].constants.len(), 1); // tab.c = 'ok'
+    }
+
+    #[test]
+    fn paper_query_3_view_expansion() {
+        let qs = extract(
+            "WITH crossView AS ( \
+               SELECT t1.a a1, t1.c c1, t2.a a2, t2.c c2 \
+               FROM tab t1, tab t2 WHERE t1.b = t2.b ) \
+             SELECT * FROM tab t1, tab t2, crossView cr \
+             WHERE t1.a = cr.a1 AND t1.c = cr.a2 AND t2.a = cr.c1 AND t2.c = cr.c2;",
+        );
+        assert_eq!(qs.len(), 1, "the view is expanded, not extracted");
+        let q = &qs[0];
+        // 2 outer instances + 2 inlined view instances.
+        assert_eq!(q.relations.len(), 4);
+        // 1 view-internal join + 4 outer joins.
+        assert_eq!(q.joins.len(), 5);
+    }
+
+    #[test]
+    fn set_ops_split() {
+        let qs = extract("SELECT * FROM tab t WHERE t.a = t.b UNION SELECT * FROM tab u");
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0].joins.len(), 1);
+        assert_eq!(qs[1].joins.len(), 0);
+    }
+
+    #[test]
+    fn in_list_is_constant() {
+        let qs = extract("SELECT * FROM tab t WHERE t.a IN (1,2,3) AND t.b = t.c");
+        let q = &qs[0];
+        assert_eq!(q.constants.len(), 1);
+        assert_eq!(q.joins.len(), 1);
+    }
+
+    #[test]
+    fn derived_table_inlined() {
+        let qs = extract(
+            "SELECT * FROM (SELECT t.a x FROM tab t WHERE t.b = 7) d, tab u WHERE d.x = u.a",
+        );
+        assert_eq!(qs.len(), 1);
+        let q = &qs[0];
+        assert_eq!(q.relations.len(), 2);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.constants.len(), 1); // t.b = 7 from the derived table
+    }
+
+    #[test]
+    fn opaque_derived_table_extracted_separately() {
+        // Aggregate select list → not mappable → opaque + separate query.
+        let qs = extract(
+            "SELECT * FROM (SELECT count(t.a) FROM tab t WHERE t.a = t.b) d, tab u \
+             WHERE u.a = u.c",
+        );
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0].relations.len(), 2); // opaque d + u
+        assert_eq!(qs[1].joins.len(), 1); // inner t.a = t.b
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let r = extract_simple_queries(
+            &parse("SELECT * FROM nosuch n").unwrap(),
+            &catalog(),
+        );
+        assert!(matches!(r, Err(SqlError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn negated_conditions_do_not_join() {
+        let qs = extract("SELECT * FROM tab t1, tab t2 WHERE NOT t1.a = t2.a AND t1.b = t2.b");
+        assert_eq!(qs[0].joins.len(), 1, "only the positive join survives");
+    }
+
+    #[test]
+    fn unqualified_columns_resolved_when_unique() {
+        let mut c = Catalog::new();
+        c.add_table("r", &["x"]);
+        c.add_table("s", &["y"]);
+        let stmt = parse("SELECT * FROM r, s WHERE x = y").unwrap();
+        let qs = extract_simple_queries(&stmt, &c).unwrap();
+        assert_eq!(qs[0].joins.len(), 1);
+    }
+}

@@ -1,0 +1,346 @@
+//! SQL lexer: keywords (case-insensitive), identifiers, numbers, strings,
+//! operators and punctuation. Comments (`--` and `/* */`) are skipped.
+
+use crate::error::SqlError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword (uppercased).
+    Keyword(Keyword),
+    /// An identifier (original case preserved; double-quoted identifiers
+    /// are unquoted).
+    Ident(String),
+    /// A numeric literal (kept as text).
+    Number(String),
+    /// A string literal (contents, without quotes).
+    Str(String),
+    /// `=`, `<>`, `!=`, `<`, `<=`, `>`, `>=`.
+    Op(CmpOp),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    /// `*`
+    Star,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Recognized SQL keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    In,
+    Exists,
+    As,
+    With,
+    Union,
+    Intersect,
+    Except,
+    All,
+    Distinct,
+    Group,
+    Order,
+    By,
+    Having,
+    Limit,
+    Between,
+    Like,
+    Is,
+    Null,
+    Join,
+    Inner,
+    Left,
+    Right,
+    Full,
+    Cross,
+    Outer,
+    On,
+}
+
+fn keyword_of(s: &str) -> Option<Keyword> {
+    Some(match s.to_ascii_uppercase().as_str() {
+        "SELECT" => Keyword::Select,
+        "FROM" => Keyword::From,
+        "WHERE" => Keyword::Where,
+        "AND" => Keyword::And,
+        "OR" => Keyword::Or,
+        "NOT" => Keyword::Not,
+        "IN" => Keyword::In,
+        "EXISTS" => Keyword::Exists,
+        "AS" => Keyword::As,
+        "WITH" => Keyword::With,
+        "UNION" => Keyword::Union,
+        "INTERSECT" => Keyword::Intersect,
+        "EXCEPT" => Keyword::Except,
+        "ALL" => Keyword::All,
+        "DISTINCT" => Keyword::Distinct,
+        "GROUP" => Keyword::Group,
+        "ORDER" => Keyword::Order,
+        "BY" => Keyword::By,
+        "HAVING" => Keyword::Having,
+        "LIMIT" => Keyword::Limit,
+        "BETWEEN" => Keyword::Between,
+        "LIKE" => Keyword::Like,
+        "IS" => Keyword::Is,
+        "NULL" => Keyword::Null,
+        "JOIN" => Keyword::Join,
+        "INNER" => Keyword::Inner,
+        "LEFT" => Keyword::Left,
+        "RIGHT" => Keyword::Right,
+        "FULL" => Keyword::Full,
+        "CROSS" => Keyword::Cross,
+        "OUTER" => Keyword::Outer,
+        "ON" => Keyword::On,
+        _ => return None,
+    })
+}
+
+/// Tokenizes SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(SqlError::Lex {
+                        offset: i,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                i += 2;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                // tolerate '=='
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 1;
+                }
+                out.push(Token::Op(CmpOp::Eq));
+                i += 1;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'>') => {
+                        out.push(Token::Op(CmpOp::Ne));
+                        i += 2;
+                    }
+                    Some(b'=') => {
+                        out.push(Token::Op(CmpOp::Le));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Op(CmpOp::Lt));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Op(CmpOp::Ne));
+                i += 2;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SqlError::Lex {
+                        offset: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SqlError::Lex {
+                        offset: i,
+                        message: "unterminated quoted identifier".into(),
+                    });
+                }
+                out.push(Token::Ident(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    // Don't swallow a trailing dot followed by an identifier
+                    // (unlikely after a number, but keep it simple: numbers
+                    // may contain at most one dot).
+                    i += 1;
+                }
+                out.push(Token::Number(input[start..i].to_string()));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match keyword_of(word) {
+                    Some(k) => out.push(Token::Keyword(k)),
+                    None => out.push(Token::Ident(word.to_string())),
+                }
+            }
+            other => {
+                // Arithmetic and other operators appear inside ignored
+                // expressions (SELECT lists, non-conjunctive conditions);
+                // lex them as anonymous identifiers so the parser can skim
+                // over them.
+                if matches!(other, '+' | '-' | '/' | '%' | '|' | '&') {
+                    out.push(Token::Ident(other.to_string()));
+                    i += 1;
+                } else {
+                    return Err(SqlError::Lex {
+                        offset: i,
+                        message: format!("unexpected character {other:?}"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let t = tokenize("select FROM WhErE").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::From),
+                Token::Keyword(Keyword::Where)
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_and_dots() {
+        let t = tokenize("t1.a = t2.b").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("t1".into()),
+                Token::Dot,
+                Token::Ident("a".into()),
+                Token::Op(CmpOp::Eq),
+                Token::Ident("t2".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("= == <> != < <= > >=").unwrap();
+        use CmpOp::*;
+        let expected = [Eq, Eq, Ne, Ne, Lt, Le, Gt, Ge];
+        assert_eq!(t.len(), expected.len());
+        for (tok, op) in t.iter().zip(expected) {
+            assert_eq!(*tok, Token::Op(op));
+        }
+    }
+
+    #[test]
+    fn strings_and_numbers() {
+        let t = tokenize("x = 'ok' AND y = 3.5").unwrap();
+        assert!(t.contains(&Token::Str("ok".into())));
+        assert!(t.contains(&Token::Number("3.5".into())));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT -- line comment\n /* block */ x").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(matches!(tokenize("'abc"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let t = tokenize("\"My Table\"").unwrap();
+        assert_eq!(t, vec![Token::Ident("My Table".into())]);
+    }
+}

@@ -1,0 +1,52 @@
+//! GHD showdown: generate a slice of the benchmark and race the three
+//! GHD algorithms (GlobalBIP vs LocalBIP vs BalSep, §6.4) on every cyclic
+//! instance, printing the per-algorithm win counts.
+//!
+//! Run with: `cargo run --release -p hyperbench-examples --bin ghw_showdown`
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use hyperbench_core::subedges::SubedgeConfig;
+use hyperbench_datagen::{generate_collection, TABLE1};
+use hyperbench_decomp::driver::{hypertree_width, race_ghd};
+
+fn main() {
+    // A small mixed sample: SPARQL (cyclic CQs) + CSP Application.
+    let mut instances = Vec::new();
+    for spec in TABLE1.iter().filter(|s| s.name == "SPARQL" || s.name == "Application") {
+        instances.extend(generate_collection(spec, 7, 0.02));
+    }
+    println!("generated {} instances", instances.len());
+
+    let mut wins: HashMap<&str, usize> = HashMap::new();
+    let mut outcomes: HashMap<&str, usize> = HashMap::new();
+    let cfg = SubedgeConfig::default();
+
+    for inst in &instances {
+        let h = &inst.hypergraph;
+        let hw = hypertree_width(h, 6, Duration::from_millis(500));
+        let Some(k) = hw.upper else { continue };
+        if k < 2 {
+            continue;
+        }
+        let race = race_ghd(h, k - 1, Duration::from_millis(800), &cfg);
+        *outcomes.entry(race.outcome.label()).or_default() += 1;
+        if let Some(w) = race.winner {
+            *wins.entry(w.name()).or_default() += 1;
+        }
+        println!(
+            "{:<18} hw={k}  ghw<={}? {:<7} winner={:<9} ({:?})",
+            h.name(),
+            k - 1,
+            race.outcome.label(),
+            race.winner.map(|w| w.name()).unwrap_or("-"),
+            race.elapsed
+        );
+    }
+
+    println!("\n=== outcome counts: {outcomes:?}");
+    println!("=== wins per algorithm: {wins:?}");
+    println!("(the paper's finding: in the vast majority of solved cases, hw = ghw —");
+    println!(" i.e. the race answers 'no' — and BalSep is the fastest no-sayer)");
+}

@@ -1,0 +1,1 @@
+//! Workspace member holding the runnable examples; see the `[[bin]]` targets.

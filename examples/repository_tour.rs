@@ -1,0 +1,79 @@
+//! Repository tour: the HyperBench *tool* as a library — generate a slice
+//! of the benchmark, analyze it, persist it as `.hg` files + index, load
+//! it back and answer the kind of queries the paper's web interface
+//! offers ("all cyclic CSP instances with BIP ≤ 2 and hw ≤ 5").
+//!
+//! Run with: `cargo run --release -p hyperbench-examples --bin repository_tour`
+
+use std::time::Duration;
+
+use hyperbench_datagen::{generate_collection, TABLE1};
+use hyperbench_repo::{analyze_instance, AnalysisConfig, Filter, Repository};
+
+fn main() {
+    // 1. Generate a small slice: SPARQL CQs and application CSPs.
+    let mut repo = Repository::new();
+    for spec in TABLE1
+        .iter()
+        .filter(|s| matches!(s.name, "SPARQL" | "Application" | "TPC-H"))
+    {
+        for inst in generate_collection(spec, 2024, 0.02) {
+            repo.insert(inst.hypergraph, inst.collection, inst.class.name());
+        }
+    }
+    println!("repository holds {} hypergraphs", repo.len());
+
+    // 2. Analyze everything (properties + iterative hw search).
+    let cfg = AnalysisConfig {
+        per_check: Duration::from_millis(300),
+        k_max: 6,
+        vc_budget: 1_000_000,
+    };
+    for id in 0..repo.len() {
+        let rec = analyze_instance(&repo.entry(id).hypergraph, &cfg);
+        repo.set_analysis(id, rec);
+    }
+
+    // 3. Persist and reload — the .hg files are DetKDecomp-compatible.
+    let dir = std::env::temp_dir().join("hyperbench-repo-tour");
+    let _ = std::fs::remove_dir_all(&dir);
+    hyperbench_repo::store::save(&repo, &dir).expect("save");
+    let repo = hyperbench_repo::store::load(&dir).expect("load");
+    println!("persisted to {} and reloaded", dir.display());
+
+    // 4. Query it like the web tool.
+    let queries: Vec<(&str, Filter)> = vec![
+        ("cyclic instances", Filter::new().cyclic_only()),
+        (
+            "CSPs with hw ≤ 5 and BIP ≤ 2",
+            Filter::new()
+                .class("CSP Application")
+                .hw_at_most(5)
+                .max_bip(2),
+        ),
+        (
+            "small acyclic CQs (≤ 6 edges)",
+            Filter::new()
+                .class("CQ Application")
+                .max_edges(6)
+                .hw_at_most(1),
+        ),
+        ("arity > 3", Filter::new().min_arity(4)),
+    ];
+    for (label, f) in queries {
+        let hits: Vec<_> = repo.select(&f).collect();
+        println!("\n{label}: {} hits", hits.len());
+        for e in hits.iter().take(3) {
+            let a = e.analysis.as_ref().unwrap();
+            println!(
+                "  #{:03} {:<12} {:>2} edges  hw {:?}  bip {}",
+                e.id,
+                e.collection,
+                e.hypergraph.num_edges(),
+                a.hw_upper,
+                a.properties.bip
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

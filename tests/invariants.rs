@@ -1,0 +1,163 @@
+//! Property-based invariants of the core machinery: components partition,
+//! balanced-separator monotonicity, subedge soundness, format round-trips
+//! and VC-dimension bounds.
+
+use hyperbench_core::components::{u_components, u_components_of_sets};
+use hyperbench_core::format::{parse_hg, to_hg};
+use hyperbench_core::properties::{
+    degree, intersection_size, multi_intersection_size, vc_dimension,
+};
+use hyperbench_core::separators::{is_balanced_separator, separator_vertices};
+use hyperbench_core::subedges::{global_subedges, SubedgeConfig};
+use hyperbench_core::{BitSet, EdgeId, Hypergraph};
+use hyperbench_integration_tests::strategies::hypergraph_from_shape;
+use proptest::prelude::*;
+
+fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    prop::collection::vec(prop::collection::vec(0u8..8, 1..=4), 1..=7)
+        .prop_map(|shape| hypergraph_from_shape(&shape))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn components_partition_the_scope(
+        h in small_hypergraph(),
+        u_bits in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let u: BitSet = h
+            .vertex_ids()
+            .filter(|&v| u_bits.get(v as usize).copied().unwrap_or(false))
+            .collect();
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        let r = u_components(&h, &u, &scope);
+        let mut all: Vec<EdgeId> = r.components.concat();
+        all.extend_from_slice(&r.covered);
+        all.sort_unstable();
+        prop_assert_eq!(all, scope, "components + covered must partition");
+        // Components are pairwise non-adjacent: edges in different
+        // components never share a vertex outside u.
+        for (i, ci) in r.components.iter().enumerate() {
+            for cj in r.components.iter().skip(i + 1) {
+                for &a in ci {
+                    for &b in cj {
+                        let mut inter = h.edge_set(a).intersection(h.edge_set(b));
+                        inter.difference_with(&u);
+                        prop_assert!(inter.is_empty(), "cross-component adjacency");
+                    }
+                }
+            }
+        }
+        // Covered edges are exactly those inside u.
+        for &e in &r.covered {
+            prop_assert!(h.edge_set(e).is_subset(&u));
+        }
+    }
+
+    #[test]
+    fn balanced_separators_are_monotone(h in small_hypergraph()) {
+        // If U ⊆ U′ and U is balanced, then U′ is balanced.
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        for e in h.edge_ids() {
+            let u = separator_vertices(&h, &[e]);
+            for f in h.edge_ids() {
+                let bigger = u.union(h.edge_set(f));
+                if is_balanced_separator(&h, &u, &scope) {
+                    prop_assert!(
+                        is_balanced_separator(&h, &bigger, &scope),
+                        "superset of balanced separator must stay balanced"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_components_match_hypergraph_components(h in small_hypergraph()) {
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        let sets: Vec<&BitSet> = scope.iter().map(|&e| h.edge_set(e)).collect();
+        for e in h.edge_ids() {
+            let u = h.edge_set(e);
+            let a = u_components(&h, u, &scope);
+            let b = u_components_of_sets(h.num_vertices(), &sets, u);
+            let mut sizes_a: Vec<usize> = a.components.iter().map(Vec::len).collect();
+            let mut sizes_b: Vec<usize> = b.components.iter().map(Vec::len).collect();
+            sizes_a.sort_unstable();
+            sizes_b.sort_unstable();
+            prop_assert_eq!(sizes_a, sizes_b);
+            prop_assert_eq!(a.covered.len(), b.covered.len());
+        }
+    }
+
+    #[test]
+    fn subedges_are_sound(h in small_hypergraph()) {
+        let fam = global_subedges(&h, 2, &SubedgeConfig::default());
+        prop_assume!(fam.is_ok());
+        for s in fam.unwrap() {
+            let sub = s.to_bitset();
+            // Contained in the parent and strictly smaller.
+            prop_assert!(sub.is_subset(h.edge_set(s.parent)));
+            prop_assert!(sub.len() < h.edge(s.parent).len());
+            prop_assert!(!sub.is_empty());
+            // Covered by the union of at most k=2 other edges.
+            let mut covered = false;
+            for e1 in h.edge_ids() {
+                if h.edges_equal(e1, s.parent) {
+                    continue;
+                }
+                if sub.is_subset(h.edge_set(e1)) {
+                    covered = true;
+                    break;
+                }
+                for e2 in h.edge_ids() {
+                    if e2 <= e1 || h.edges_equal(e2, s.parent) {
+                        continue;
+                    }
+                    let union = h.edge_set(e1).union(h.edge_set(e2));
+                    if sub.is_subset(&union) {
+                        covered = true;
+                        break;
+                    }
+                }
+                if covered {
+                    break;
+                }
+            }
+            prop_assert!(covered, "subedge not justified by ≤2 other edges");
+        }
+    }
+
+    #[test]
+    fn hg_format_roundtrips(h in small_hypergraph()) {
+        let text = to_hg(&h);
+        let h2 = parse_hg(&text).unwrap();
+        prop_assert_eq!(h.num_edges(), h2.num_edges());
+        prop_assert_eq!(h.num_vertices(), h2.num_vertices());
+        for e in h.edge_ids() {
+            let v1: Vec<&str> = h.edge(e).iter().map(|&v| h.vertex_name(v)).collect();
+            let v2: Vec<&str> = h2.edge(e).iter().map(|&v| h2.vertex_name(v)).collect();
+            prop_assert_eq!(v1, v2);
+        }
+    }
+
+    #[test]
+    fn property_relations(h in small_hypergraph()) {
+        // c-multi-intersections shrink with c.
+        let m2 = multi_intersection_size(&h, 2);
+        let m3 = multi_intersection_size(&h, 3);
+        let m4 = multi_intersection_size(&h, 4);
+        prop_assert!(m3 <= m2);
+        prop_assert!(m4 <= m3);
+        prop_assert_eq!(m2, intersection_size(&h));
+        // Degree δ implies (δ+1)-wise intersections are empty (§3.5).
+        let d = degree(&h);
+        if d < h.num_edges() {
+            prop_assert_eq!(multi_intersection_size(&h, d + 1), 0);
+        }
+        // VC-dim ≤ log2(m) + 1.
+        let vc = vc_dimension(&h, 10_000_000).unwrap();
+        let m = h.num_edges() as f64;
+        prop_assert!(vc as f64 <= m.log2() + 1.0);
+    }
+}

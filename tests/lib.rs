@@ -1,0 +1,2 @@
+//! Shared helpers for the cross-crate integration tests.
+pub mod strategies;

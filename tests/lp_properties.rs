@@ -1,0 +1,100 @@
+//! Property-based tests of the LP layer: exact simplex optima are
+//! feasible, sandwiched by combinatorial bounds, and consistent with the
+//! exact integral cover search.
+
+use hyperbench_core::{BitSet, Hypergraph};
+use hyperbench_integration_tests::strategies::hypergraph_from_shape;
+use hyperbench_lp::cover::{fractional_edge_cover, integral_edge_cover};
+use hyperbench_lp::{LinearProgram, Rational};
+use proptest::prelude::*;
+
+fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    prop::collection::vec(prop::collection::vec(0u8..7, 1..=4), 1..=6)
+        .prop_map(|shape| hypergraph_from_shape(&shape))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fractional_cover_is_feasible_and_sandwiched(h in small_hypergraph()) {
+        let bag = BitSet::full(h.num_vertices());
+        let c = fractional_edge_cover(&h, &bag).unwrap();
+        // Feasibility: every vertex covered with total weight ≥ 1.
+        for v in bag.iter() {
+            let mut acc = Rational::ZERO;
+            for (e, w) in &c.weights {
+                if h.edge_contains(*e, v) {
+                    acc = acc.checked_add(w).unwrap();
+                }
+            }
+            prop_assert!(acc >= Rational::ONE, "vertex {v} undercovered");
+            prop_assert!(acc <= Rational::from_int(h.num_edges() as i64));
+        }
+        // Upper bound: any integral cover.
+        let integral = integral_edge_cover(&h, &bag, h.num_edges()).unwrap();
+        prop_assert!(c.weight <= Rational::from_int(integral.len() as i64));
+        // Lower bound: |V| / arity.
+        if h.arity() > 0 {
+            let lb = Rational::new(bag.len() as i128, h.arity() as i128);
+            prop_assert!(c.weight >= lb);
+        }
+        // Weights are within [0, 1]… the LP does not even need the upper
+        // bound constraint: an optimal basic solution never overshoots
+        // usefully, but weights > 1 are possible in degenerate bases; they
+        // must at least be non-negative.
+        for (_, w) in &c.weights {
+            prop_assert!(!w.is_negative());
+        }
+    }
+
+    #[test]
+    fn subset_bags_cost_no_more(h in small_hypergraph()) {
+        let full = BitSet::full(h.num_vertices());
+        let c_full = fractional_edge_cover(&h, &full).unwrap();
+        // Any single-edge bag costs ≤ the full bag.
+        for e in h.edge_ids() {
+            let c_bag = fractional_edge_cover(&h, h.edge_set(e)).unwrap();
+            prop_assert!(c_bag.weight <= c_full.weight);
+            prop_assert!(c_bag.weight <= Rational::ONE); // the edge covers itself
+        }
+    }
+
+    #[test]
+    fn lp_scaling_invariance(a in 1i64..20, b in 1i64..20) {
+        // min x s.t. a·x ≥ b has optimum b/a, exactly.
+        let mut lp = LinearProgram::minimize(vec![Rational::ONE]);
+        lp.add_ge_constraint(vec![Rational::from_int(a)], Rational::from_int(b))
+            .unwrap();
+        let s = lp.solve().unwrap();
+        prop_assert_eq!(s.objective, Rational::new(b as i128, a as i128));
+    }
+
+    #[test]
+    fn two_constraint_lp_exact(a in 1i64..8, b in 1i64..8) {
+        // min x+y s.t. x ≥ a, y ≥ b → a+b.
+        let mut lp = LinearProgram::minimize(vec![Rational::ONE, Rational::ONE]);
+        lp.add_ge_constraint(vec![Rational::ONE, Rational::ZERO], Rational::from_int(a))
+            .unwrap();
+        lp.add_ge_constraint(vec![Rational::ZERO, Rational::ONE], Rational::from_int(b))
+            .unwrap();
+        let s = lp.solve().unwrap();
+        prop_assert_eq!(s.objective, Rational::from_int(a + b));
+        prop_assert_eq!(s.values[0], Rational::from_int(a));
+        prop_assert_eq!(s.values[1], Rational::from_int(b));
+    }
+}
+
+#[test]
+fn fhw_of_odd_cycles() {
+    // fhw(C_{2k+1}) over binary edges = (2k+1)/2 when covering all
+    // vertices with the cycle's edges.
+    for n in [3usize, 5, 7, 9] {
+        let shape: Vec<Vec<u8>> = (0..n)
+            .map(|i| vec![i as u8, ((i + 1) % n) as u8])
+            .collect();
+        let h = hypergraph_from_shape(&shape);
+        let c = fractional_edge_cover(&h, &BitSet::full(n)).unwrap();
+        assert_eq!(c.weight, Rational::new(n as i128, 2));
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end: XCSP3 XML → hypergraph → properties and decompositions.
+
+use std::time::Duration;
+
+use hyperbench_core::properties::{degree, intersection_size};
+use hyperbench_csp::xcsp_to_hypergraph;
+use hyperbench_datagen::cspgen;
+use hyperbench_decomp::driver::hypertree_width;
+
+#[test]
+fn grid_csp_has_hw_two_or_three() {
+    // Grids of binary constraints have hw 2 (for thin grids) up to 3.
+    let xml = cspgen::grid_csp_xml(3, 3);
+    let h = xcsp_to_hypergraph(&xml, "grid3x3").unwrap();
+    assert_eq!(h.num_vertices(), 9);
+    let hw = hypertree_width(&h, 5, Duration::from_secs(10));
+    let k = hw.exact().expect("small grid must resolve");
+    assert!(
+        (2..=3).contains(&k),
+        "3x3 grid should have hw 2..3, got {k}"
+    );
+}
+
+#[test]
+fn crossword_hw_equals_min_dimension() {
+    // An a×d full crossing grid: the d column-words cover everything, and
+    // every bag needs min(a,d) words.
+    let xml = cspgen::crossword_csp_xml(3, 5);
+    let h = xcsp_to_hypergraph(&xml, "cw3x5").unwrap();
+    let hw = hypertree_width(&h, 5, Duration::from_secs(10));
+    assert_eq!(hw.exact(), Some(3));
+}
+
+#[test]
+fn scheduling_properties_are_bounded() {
+    let xml = cspgen::scheduling_csp_xml(4, 6);
+    let h = xcsp_to_hypergraph(&xml, "sched").unwrap();
+    // Job-shop structure keeps intersections small (BIP ≤ 2) even though
+    // the instance is cyclic — the paper's Table-2 signature for CSP
+    // Application.
+    assert!(intersection_size(&h) <= 2);
+    assert!(degree(&h) <= 6);
+    let hw = hypertree_width(&h, 6, Duration::from_secs(10));
+    assert!(hw.upper.expect("resolves") >= 2);
+}
+
+#[test]
+fn group_templates_equal_explicit_constraints() {
+    let grouped = r#"
+    <instance format="XCSP3" type="CSP">
+      <variables><array id="v" size="[3]"> 0..1 </array></variables>
+      <constraints>
+        <group>
+          <extension><list> %0 %1 </list><supports> (0,1) </supports></extension>
+          <args> v[0] v[1] </args>
+          <args> v[1] v[2] </args>
+        </group>
+      </constraints>
+    </instance>"#;
+    let explicit = r#"
+    <instance format="XCSP3" type="CSP">
+      <variables><array id="v" size="[3]"> 0..1 </array></variables>
+      <constraints>
+        <extension><list> v[0] v[1] </list><supports> (0,1) </supports></extension>
+        <extension><list> v[1] v[2] </list><supports> (0,1) </supports></extension>
+      </constraints>
+    </instance>"#;
+    let h1 = xcsp_to_hypergraph(grouped, "g").unwrap();
+    let h2 = xcsp_to_hypergraph(explicit, "e").unwrap();
+    assert_eq!(h1.num_edges(), h2.num_edges());
+    assert_eq!(h1.num_vertices(), h2.num_vertices());
+    for e in h1.edge_ids() {
+        let v1: Vec<&str> = h1.edge(e).iter().map(|&v| h1.vertex_name(v)).collect();
+        let v2: Vec<&str> = h2.edge(e).iter().map(|&v| h2.vertex_name(v)).collect();
+        assert_eq!(v1, v2);
+    }
+}
+
+#[test]
+fn hg_roundtrip_of_csp_hypergraph() {
+    let xml = cspgen::grid_csp_xml(3, 4);
+    let h = xcsp_to_hypergraph(&xml, "rt").unwrap();
+    let text = hyperbench_core::format::to_hg(&h);
+    let h2 = hyperbench_core::format::parse_hg(&text).unwrap();
+    assert_eq!(h.num_edges(), h2.num_edges());
+    assert_eq!(h.num_vertices(), h2.num_vertices());
+}

@@ -1,0 +1,124 @@
+//! End-to-end: SQL text → extraction → hypergraph → decomposition,
+//! including the paper's own Listings 1–3.
+
+use std::time::Duration;
+
+use hyperbench_decomp::budget::Budget;
+use hyperbench_decomp::driver::{check_hd, hypertree_width, Outcome};
+use hyperbench_decomp::validate::{validate_ghd, validate_hd};
+use hyperbench_sql::{sql_to_hypergraphs, Catalog};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table("tab", &["a", "b", "c"]);
+    c.add_table("differentTable", &["a", "b"]);
+    c
+}
+
+#[test]
+fn listing1_is_acyclic() {
+    let hgs = sql_to_hypergraphs(
+        "SELECT * FROM tab t1, tab t2 WHERE t1.a = t2.a AND t1.b > 5 AND t1.c <> t2.c;",
+        &catalog(),
+    )
+    .unwrap();
+    assert_eq!(hgs.len(), 1);
+    let hw = hypertree_width(&hgs[0], 3, Duration::from_secs(5));
+    assert_eq!(hw.exact(), Some(1), "a single equi-join is acyclic");
+}
+
+#[test]
+fn listing2_extracts_two_queries_both_acyclic() {
+    let hgs = sql_to_hypergraphs(
+        "SELECT * FROM tab t1, tab t2 WHERE t1.a = t2.a \
+         AND t1.b IN (SELECT tab.b FROM tab WHERE tab.c == 'ok') \
+         AND EXISTS (SELECT * FROM differentTable dt WHERE dt.a = t1.a);",
+        &catalog(),
+    )
+    .unwrap();
+    assert_eq!(hgs.len(), 2);
+    for h in &hgs {
+        let hw = hypertree_width(h, 3, Duration::from_secs(5));
+        assert_eq!(hw.exact(), Some(1));
+    }
+}
+
+#[test]
+fn listing3_view_query_is_cyclic_with_hw_2() {
+    let hgs = sql_to_hypergraphs(
+        "WITH crossView AS ( \
+           SELECT t1.a a1, t1.c c1, t2.a a2, t2.c c2 \
+           FROM tab t1, tab t2 WHERE t1.b = t2.b ) \
+         SELECT * FROM tab t1, tab t2, crossView cr \
+         WHERE t1.a = cr.a1 AND t1.c = cr.a2 AND t2.a = cr.c1 AND t2.c = cr.c2;",
+        &catalog(),
+    )
+    .unwrap();
+    assert_eq!(hgs.len(), 1);
+    let h = &hgs[0];
+    // Figure 2(b): the combined hypergraph contains two cycles → hw = 2.
+    match check_hd(h, 1, &Budget::unlimited()) {
+        Outcome::No => {}
+        other => panic!("expected cyclic (hw ≥ 2), got {other:?}"),
+    }
+    match check_hd(h, 2, &Budget::unlimited()) {
+        Outcome::Yes(d) => {
+            validate_hd(h, &d).unwrap();
+            validate_ghd(h, &d).unwrap();
+            assert!(d.width() <= 2);
+        }
+        other => panic!("expected HD of width 2, got {other:?}"),
+    }
+}
+
+#[test]
+fn union_splits_into_independent_hypergraphs() {
+    let hgs = sql_to_hypergraphs(
+        "SELECT * FROM tab t1, tab t2 WHERE t1.a = t2.a \
+         UNION \
+         SELECT * FROM tab u1, tab u2, tab u3 \
+         WHERE u1.a = u2.a AND u2.b = u3.b",
+        &catalog(),
+    )
+    .unwrap();
+    assert_eq!(hgs.len(), 2);
+    assert_eq!(hgs[0].num_edges(), 2);
+    assert_eq!(hgs[1].num_edges(), 3);
+}
+
+#[test]
+fn triangle_join_query_has_hw_2_and_all_algorithms_agree() {
+    let hgs = sql_to_hypergraphs(
+        "SELECT * FROM tab r, tab s, tab t \
+         WHERE r.a = s.b AND s.a = t.b AND t.a = r.b",
+        &catalog(),
+    )
+    .unwrap();
+    let h = &hgs[0];
+    use hyperbench_core::subedges::SubedgeConfig;
+    use hyperbench_decomp::driver::{check_ghd, GhdAlgorithm};
+    for algo in GhdAlgorithm::ALL {
+        let out = check_ghd(h, 1, algo, &Budget::unlimited(), &SubedgeConfig::default());
+        assert_eq!(out.label(), "no", "{}", algo.name());
+        let out2 = check_ghd(h, 2, algo, &Budget::unlimited(), &SubedgeConfig::default());
+        match out2 {
+            Outcome::Yes(d) => validate_ghd(h, &d).unwrap(),
+            other => panic!("{}: {other:?}", algo.name()),
+        }
+    }
+}
+
+#[test]
+fn constants_shrink_the_hypergraph() {
+    let hgs = sql_to_hypergraphs(
+        "SELECT * FROM tab t1, tab t2 \
+         WHERE t1.a = t2.a AND t1.b = 1 AND t2.b = 2 AND t1.c IN (3,4)",
+        &catalog(),
+    )
+    .unwrap();
+    let h = &hgs[0];
+    // t1: {a}, t2: {a, c}: b's removed everywhere, t1.c removed.
+    assert_eq!(h.num_vertices(), 2);
+    let hw = hypertree_width(h, 2, Duration::from_secs(5));
+    assert_eq!(hw.exact(), Some(1));
+}

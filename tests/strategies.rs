@@ -1,0 +1,51 @@
+//! Deterministic pseudo-random hypergraph construction shared by the
+//! integration tests. (Proptest strategies live in the test files; this
+//! module provides plain seeded generators usable from both unit asserts
+//! and proptest `prop_map`s.)
+
+use hyperbench_core::{Hypergraph, HypergraphBuilder};
+
+/// Builds a hypergraph from a shape description: each inner vector is an
+/// edge listing vertex indices. Empty edges are skipped, duplicates are
+/// merged — mirroring the clean-up of §5.4.
+pub fn hypergraph_from_shape(shape: &[Vec<u8>]) -> Hypergraph {
+    let mut b = HypergraphBuilder::named("generated").dedupe_edges(true);
+    for (i, edge) in shape.iter().enumerate() {
+        let names: Vec<String> = edge.iter().map(|v| format!("v{v}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b.add_edge(&format!("e{i}"), &refs);
+    }
+    b.build()
+}
+
+/// A tiny deterministic LCG so tests do not depend on `rand` versions.
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    /// Next value in `0..bound`.
+    pub fn next(&mut self, bound: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % bound.max(1)
+    }
+}
+
+/// A seeded random hypergraph with `edges` edges over `vertices` vertices,
+/// arity in `1..=max_arity`.
+pub fn random_hypergraph(seed: u64, vertices: u8, edges: usize, max_arity: usize) -> Hypergraph {
+    let mut rng = Lcg(seed);
+    let mut shape: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..edges {
+        let arity = 1 + rng.next(max_arity as u64) as usize;
+        let mut e: Vec<u8> = Vec::new();
+        for _ in 0..arity {
+            e.push(rng.next(vertices as u64) as u8);
+        }
+        e.sort_unstable();
+        e.dedup();
+        shape.push(e);
+    }
+    hypergraph_from_shape(&shape)
+}
