@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_properties");
     g.sample_size(10);
     for (class, h) in &reps {
-        g.bench_function(format!("degree/{}", class.name()), |b| {
-            b.iter(|| degree(h))
-        });
+        g.bench_function(format!("degree/{}", class.name()), |b| b.iter(|| degree(h)));
         g.bench_function(format!("bip/{}", class.name()), |b| {
             b.iter(|| intersection_size(h))
         });

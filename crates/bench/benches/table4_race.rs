@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for (i, (k, h)) in instances.iter().enumerate() {
         g.bench_function(format!("race/hw{}_i{}", k, i), |b| {
-            b.iter(|| race_ghd(h, k - 1, Duration::from_millis(300), &cfg).outcome.label())
+            b.iter(|| {
+                race_ghd(h, k - 1, Duration::from_millis(300), &cfg)
+                    .outcome
+                    .label()
+            })
         });
     }
     g.finish();

@@ -13,11 +13,7 @@ fn bench(c: &mut Criterion) {
     for (i, (k, h)) in instances.iter().enumerate() {
         g.bench_function(format!("frac/hw{}_i{}", k, i), |b| {
             b.iter(|| {
-                frac_improvement_bucket(
-                    h,
-                    *k,
-                    &Budget::with_timeout(Duration::from_millis(400)),
-                )
+                frac_improvement_bucket(h, *k, &Budget::with_timeout(Duration::from_millis(400)))
             })
         });
     }

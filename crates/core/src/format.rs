@@ -99,6 +99,21 @@ pub fn to_hg(h: &Hypergraph) -> String {
     if !h.name().is_empty() {
         out.push_str(&format!("% {}\n", h.name()));
     }
+    write_hg_edges(h, &mut out);
+    out
+}
+
+/// Serializes a hypergraph to HG text *without* the `% name` header.
+/// Used by repository persistence, where the name is carried by the file
+/// name instead — keeping save→load→save byte-identical regardless of
+/// how the in-memory hypergraph was named.
+pub fn to_hg_unnamed(h: &Hypergraph) -> String {
+    let mut out = String::new();
+    write_hg_edges(h, &mut out);
+    out
+}
+
+fn write_hg_edges(h: &Hypergraph, out: &mut String) {
     let m = h.num_edges();
     for e in h.edge_ids() {
         let vs: Vec<&str> = h.edge(e).iter().map(|&v| h.vertex_name(v)).collect();
@@ -108,7 +123,6 @@ pub fn to_hg(h: &Hypergraph) -> String {
         out.push(')');
         out.push_str(if e as usize + 1 == m { ".\n" } else { ",\n" });
     }
-    out
 }
 
 struct Lexer<'a> {

@@ -175,11 +175,7 @@ pub fn join_tree(h: &Hypergraph) -> Option<Vec<(EdgeId, Option<EdgeId>)>> {
     if remaining > 1 {
         return None;
     }
-    Some(
-        (0..m)
-            .map(|i| (i as EdgeId, parent[i]))
-            .collect(),
-    )
+    Some((0..m).map(|i| (i as EdgeId, parent[i])).collect())
 }
 
 #[cfg(test)]
@@ -201,7 +197,8 @@ mod tests {
 
     #[test]
     fn triangle_is_cyclic_with_core_intact() {
-        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let h =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
         let r = gyo_reduce(&h);
         assert!(!r.is_acyclic());
         assert_eq!(r.core.len(), 3, "the triangle is its own GYO core");
@@ -276,7 +273,8 @@ mod tests {
 
     #[test]
     fn join_tree_rejects_cyclic() {
-        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let h =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
         assert!(join_tree(&h).is_none());
     }
 

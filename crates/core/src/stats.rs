@@ -62,9 +62,7 @@ pub struct BucketHistogram {
 impl BucketHistogram {
     /// Creates an empty histogram with `n` buckets.
     pub fn new(n: usize) -> Self {
-        BucketHistogram {
-            counts: vec![0; n],
-        }
+        BucketHistogram { counts: vec![0; n] }
     }
 
     /// Records one observation in `bucket`.

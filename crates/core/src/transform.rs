@@ -105,7 +105,8 @@ mod tests {
 
     #[test]
     fn primal_graph_of_triangle() {
-        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let h =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
         let adj = primal_graph(&h);
         assert_eq!(primal_edge_count(&h), 3);
         for row in &adj {
@@ -122,7 +123,11 @@ mod tests {
     #[test]
     fn clique_cover_condition() {
         // 4 vertices, 3 edges → n > m holds.
-        let h = hypergraph_from_edges(&[("e0", &["a", "b"]), ("e1", &["b", "c"]), ("e2", &["c", "d"])]);
+        let h = hypergraph_from_edges(&[
+            ("e0", &["a", "b"]),
+            ("e1", &["b", "c"]),
+            ("e2", &["c", "d"]),
+        ]);
         assert!(has_small_clique_cover(&h));
         let dense = hypergraph_from_edges(&[
             ("e0", &["a", "b"]),

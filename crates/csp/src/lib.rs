@@ -39,10 +39,7 @@ pub mod xml;
 pub use error::CspError;
 
 /// End-to-end convenience: XCSP3 text → hypergraph.
-pub fn xcsp_to_hypergraph(
-    text: &str,
-    name: &str,
-) -> Result<hyperbench_core::Hypergraph, CspError> {
+pub fn xcsp_to_hypergraph(text: &str, name: &str) -> Result<hyperbench_core::Hypergraph, CspError> {
     let inst = xcsp::parse_xcsp(text)?;
     Ok(xcsp::to_hypergraph(&inst, name))
 }

@@ -23,20 +23,90 @@ pub struct CollectionSpec {
 /// Table 1 of the paper: all 14 collections, 3,648 instances total,
 /// 2,939 of them cyclic.
 pub const TABLE1: [CollectionSpec; 14] = [
-    CollectionSpec { name: "SPARQL", class: BenchClass::CqApplication, count: 70, cyclic: 70 },
-    CollectionSpec { name: "Wikidata", class: BenchClass::CqApplication, count: 354, cyclic: 354 },
-    CollectionSpec { name: "LUBM", class: BenchClass::CqApplication, count: 14, cyclic: 2 },
-    CollectionSpec { name: "iBench", class: BenchClass::CqApplication, count: 40, cyclic: 0 },
-    CollectionSpec { name: "Doctors", class: BenchClass::CqApplication, count: 14, cyclic: 0 },
-    CollectionSpec { name: "Deep", class: BenchClass::CqApplication, count: 41, cyclic: 0 },
-    CollectionSpec { name: "JOB (IMDB)", class: BenchClass::CqApplication, count: 33, cyclic: 7 },
-    CollectionSpec { name: "TPC-H", class: BenchClass::CqApplication, count: 29, cyclic: 1 },
-    CollectionSpec { name: "TPC-DS", class: BenchClass::CqApplication, count: 228, cyclic: 5 },
-    CollectionSpec { name: "SQLShare", class: BenchClass::CqApplication, count: 290, cyclic: 1 },
-    CollectionSpec { name: "Random", class: BenchClass::CqRandom, count: 500, cyclic: 464 },
-    CollectionSpec { name: "Application", class: BenchClass::CspApplication, count: 1090, cyclic: 1090 },
-    CollectionSpec { name: "Random (CSP)", class: BenchClass::CspRandom, count: 863, cyclic: 863 },
-    CollectionSpec { name: "Other", class: BenchClass::CspOther, count: 82, cyclic: 82 },
+    CollectionSpec {
+        name: "SPARQL",
+        class: BenchClass::CqApplication,
+        count: 70,
+        cyclic: 70,
+    },
+    CollectionSpec {
+        name: "Wikidata",
+        class: BenchClass::CqApplication,
+        count: 354,
+        cyclic: 354,
+    },
+    CollectionSpec {
+        name: "LUBM",
+        class: BenchClass::CqApplication,
+        count: 14,
+        cyclic: 2,
+    },
+    CollectionSpec {
+        name: "iBench",
+        class: BenchClass::CqApplication,
+        count: 40,
+        cyclic: 0,
+    },
+    CollectionSpec {
+        name: "Doctors",
+        class: BenchClass::CqApplication,
+        count: 14,
+        cyclic: 0,
+    },
+    CollectionSpec {
+        name: "Deep",
+        class: BenchClass::CqApplication,
+        count: 41,
+        cyclic: 0,
+    },
+    CollectionSpec {
+        name: "JOB (IMDB)",
+        class: BenchClass::CqApplication,
+        count: 33,
+        cyclic: 7,
+    },
+    CollectionSpec {
+        name: "TPC-H",
+        class: BenchClass::CqApplication,
+        count: 29,
+        cyclic: 1,
+    },
+    CollectionSpec {
+        name: "TPC-DS",
+        class: BenchClass::CqApplication,
+        count: 228,
+        cyclic: 5,
+    },
+    CollectionSpec {
+        name: "SQLShare",
+        class: BenchClass::CqApplication,
+        count: 290,
+        cyclic: 1,
+    },
+    CollectionSpec {
+        name: "Random",
+        class: BenchClass::CqRandom,
+        count: 500,
+        cyclic: 464,
+    },
+    CollectionSpec {
+        name: "Application",
+        class: BenchClass::CspApplication,
+        count: 1090,
+        cyclic: 1090,
+    },
+    CollectionSpec {
+        name: "Random (CSP)",
+        class: BenchClass::CspRandom,
+        count: 863,
+        cyclic: 863,
+    },
+    CollectionSpec {
+        name: "Other",
+        class: BenchClass::CspOther,
+        count: 82,
+        cyclic: 82,
+    },
 ];
 
 fn scaled(count: usize, scale: f64) -> usize {
@@ -53,7 +123,13 @@ pub fn generate_collection(spec: &CollectionSpec, seed: u64, scale: f64) -> Vec<
         "Wikidata" => graphgen::wikidata_collection(count, &mut rng),
         "LUBM" => {
             let cat = schema(8, 3, &mut rng);
-            sql_collection(count, &[QueryShape::Chain, QueryShape::Star], cyclic, &cat, &mut rng)
+            sql_collection(
+                count,
+                &[QueryShape::Chain, QueryShape::Star],
+                cyclic,
+                &cat,
+                &mut rng,
+            )
         }
         "iBench" => {
             let cat = schema(12, 4, &mut rng);
@@ -71,7 +147,11 @@ pub fn generate_collection(spec: &CollectionSpec, seed: u64, scale: f64) -> Vec<
             let cat = schema(12, 6, &mut rng);
             sql_collection(
                 count,
-                &[QueryShape::Star, QueryShape::Snowflake, QueryShape::ExplicitJoin],
+                &[
+                    QueryShape::Star,
+                    QueryShape::Snowflake,
+                    QueryShape::ExplicitJoin,
+                ],
                 cyclic,
                 &cat,
                 &mut rng,

@@ -15,8 +15,8 @@
 //! * **crossword**: word slots crossing at shared cells (classic
 //!   extensional CSP; arity = word length).
 
-use hyperbench_csp::xcsp_to_hypergraph;
 use hyperbench_core::Hypergraph;
+use hyperbench_csp::xcsp_to_hypergraph;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -62,9 +62,7 @@ pub fn grid_csp_xml(r: usize, c: usize) -> String {
 pub fn coloring_csp_xml(n: usize, chords: usize, rng: &mut StdRng) -> String {
     let var = |i: usize| format!("n{i}");
     let vars: Vec<String> = (0..n).map(var).collect();
-    let mut cons: Vec<Vec<String>> = (0..n)
-        .map(|i| vec![var(i), var((i + 1) % n)])
-        .collect();
+    let mut cons: Vec<Vec<String>> = (0..n).map(|i| vec![var(i), var((i + 1) % n)]).collect();
     for _ in 0..chords {
         let i = rng.gen_range(0..n);
         let off = rng.gen_range(2..n.max(3) - 1);
@@ -201,7 +199,12 @@ mod tests {
     fn collection_under_100_constraints() {
         let mut rng = StdRng::seed_from_u64(21);
         for h in csp_application_collection(40, &mut rng) {
-            assert!(h.num_edges() < 100, "{} has {} edges", h.name(), h.num_edges());
+            assert!(
+                h.num_edges() < 100,
+                "{} has {} edges",
+                h.name(),
+                h.num_edges()
+            );
             assert!(h.num_edges() >= 3);
         }
     }

@@ -37,7 +37,7 @@ pub fn circuit(name: &str, inputs: usize, gates: usize, rng: &mut StdRng) -> Hyp
     let mut b = HypergraphBuilder::named(name).dedupe_edges(true);
     let mut signals: Vec<String> = (0..inputs).map(|i| format!("in{i}")).collect();
     for g in 0..gates {
-        let fan_in = rng.gen_range(2..=4).min(signals.len());
+        let fan_in = rng.gen_range(2usize..=4).min(signals.len());
         let out = format!("g{g}");
         let mut vs = vec![out.clone()];
         // Prefer recent signals (locality, as in real netlists).
@@ -86,7 +86,10 @@ pub fn configuration(name: &str, clusters: usize, rng: &mut StdRng) -> Hypergrap
             let prev = format!("c{}_v0", cl - 1);
             let here = format!("c{cl}_v0");
             let opt = backbone[rng.gen_range(0..backbone.len())].clone();
-            b.add_edge(&format!("link{e}"), &[prev.as_str(), here.as_str(), opt.as_str()]);
+            b.add_edge(
+                &format!("link{e}"),
+                &[prev.as_str(), here.as_str(), opt.as_str()],
+            );
             e += 1;
         }
     }

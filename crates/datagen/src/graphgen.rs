@@ -32,11 +32,11 @@ pub fn cyclic_graph_query(
     let mut next = cycle_len;
     let mut edge_idx = 0;
     let add2 = |b: &mut HypergraphBuilder,
-                    edge_idx: &mut usize,
-                    next: &mut usize,
-                    x: String,
-                    y: String,
-                    rng: &mut StdRng| {
+                edge_idx: &mut usize,
+                next: &mut usize,
+                x: String,
+                y: String,
+                rng: &mut StdRng| {
         let mut vs = vec![x, y];
         if ternary && rng.gen_bool(0.3) {
             vs.push(format!("v{}", *next));
@@ -122,9 +122,7 @@ mod tests {
         assert_eq!(h.num_edges(), 5);
         assert_eq!(h.num_vertices(), 5);
         for i in 0..5u32 {
-            assert!(h
-                .edge_set(i)
-                .intersects(h.edge_set((i + 1) % 5)));
+            assert!(h.edge_set(i).intersects(h.edge_set((i + 1) % 5)));
         }
     }
 

@@ -122,7 +122,7 @@ fn explicit_join_sql(cat: &Catalog, n: usize, rng: &mut StdRng) -> String {
         let arity = table_arity(cat, t);
         let pc = rng.gen_range(0..prev_arity);
         let c = rng.gen_range(0..arity);
-        let kind = ["JOIN", "INNER JOIN", "LEFT JOIN"][rng.gen_range(0..3)];
+        let kind = ["JOIN", "INNER JOIN", "LEFT JOIN"][rng.gen_range(0usize..3)];
         sql.push_str(&format!(
             " {kind} t{t} j{i} ON j{}.c{pc} = j{i}.c{c}",
             i - 1

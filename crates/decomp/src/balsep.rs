@@ -232,9 +232,7 @@ impl XTree {
     fn into_decomposition(self) -> Decomposition {
         let root = self.root;
         let mut d = match &self.nodes[root].cover {
-            XCover::Atoms(atoms) => {
-                Decomposition::new(self.nodes[root].bag.clone(), atoms.clone())
-            }
+            XCover::Atoms(atoms) => Decomposition::new(self.nodes[root].bag.clone(), atoms.clone()),
             XCover::Special(_) => unreachable!("special edge at root after assembly"),
         };
         let mut stack: Vec<(usize, usize)> = self.nodes[root]
@@ -416,7 +414,9 @@ impl<'h> BalsepSearch<'h> {
             Ok(family) => {
                 let mut map: HashMap<EdgeId, Vec<Rc<BitSet>>> = HashMap::new();
                 for s in family {
-                    map.entry(s.parent).or_default().push(Rc::new(s.to_bitset()));
+                    map.entry(s.parent)
+                        .or_default()
+                        .push(Rc::new(s.to_bitset()));
                 }
                 let rc = Rc::new(map);
                 self.subedges_by_parent = Some(rc.clone());
@@ -449,10 +449,8 @@ impl<'h> BalsepSearch<'h> {
         // by the smaller parent combination, which stage 1 also collected.)
         let mut choices: Vec<Vec<(CoverAtom, Rc<BitSet>)>> = Vec::with_capacity(combo.len());
         for &e in combo {
-            let mut opts: Vec<(CoverAtom, Rc<BitSet>)> = vec![(
-                CoverAtom::Edge(e),
-                Rc::new(self.h.edge_set(e).clone()),
-            )];
+            let mut opts: Vec<(CoverAtom, Rc<BitSet>)> =
+                vec![(CoverAtom::Edge(e), Rc::new(self.h.edge_set(e).clone()))];
             if let Some(subs) = by_parent.get(&e) {
                 for s in subs {
                     if s.intersects(ext_vertices) {
@@ -505,9 +503,7 @@ impl<'h> BalsepSearch<'h> {
             if comps.components.iter().any(|c| 2 * c.len() > total) {
                 continue;
             }
-            if let Some(t) =
-                self.try_separator(ext, ext_vertices, sets, cover, &union, depth)?
-            {
+            if let Some(t) = self.try_separator(ext, ext_vertices, sets, cover, &union, depth)? {
                 return Ok(Some(t));
             }
         }
@@ -642,7 +638,8 @@ mod tests {
 
     #[test]
     fn triangle_no_at_1_yes_at_2() {
-        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let h =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
         assert!(matches!(check(&h, 1), SearchResult::NotFound));
         match check(&h, 2) {
             SearchResult::Found(d) => validate_ghd_with_width(&h, &d, 2).unwrap(),
@@ -693,7 +690,8 @@ mod tests {
 
     #[test]
     fn without_subedges_no_is_uncertified() {
-        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let h =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
         let c = BalsepConfig {
             use_subedges: false,
             ..BalsepConfig::default()
@@ -760,9 +758,7 @@ mod tests {
             ("e4", &["e", "a"]),
         ]);
         match decompose_hybrid(&h, 2, &Budget::unlimited(), &cfg(), 0) {
-            SearchResult::Found(d) => {
-                crate::validate::validate_ghd_with_width(&h, &d, 2).unwrap()
-            }
+            SearchResult::Found(d) => crate::validate::validate_ghd_with_width(&h, &d, 2).unwrap(),
             other => panic!("{other:?}"),
         }
     }

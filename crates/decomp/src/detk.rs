@@ -420,7 +420,8 @@ mod tests {
 
     #[test]
     fn triangle_needs_width_2() {
-        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let h =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
         assert!(matches!(check(&h, 1), SearchResult::NotFound));
         match check(&h, 2) {
             SearchResult::Found(d) => {
@@ -548,7 +549,10 @@ mod tests {
         let b = h.vertex_by_name("b").unwrap();
         match decompose_component(&h, 1, &Budget::unlimited(), None, &[1, 2], &[b]) {
             SearchResult::Found(d) => {
-                assert!(d.node(d.root()).bag.contains(b), "root must cover the connector");
+                assert!(
+                    d.node(d.root()).bag.contains(b),
+                    "root must cover the connector"
+                );
             }
             other => panic!("{other:?}"),
         }

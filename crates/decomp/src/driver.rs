@@ -200,11 +200,11 @@ pub fn race_ghd(h: &Hypergraph, k: usize, timeout: Duration, cfg: &SubedgeConfig
     let flag = Arc::new(AtomicBool::new(false));
     let budget = Budget::with_timeout(timeout).with_cancel_flag(flag);
 
-    let result = crossbeam::thread::scope(|scope| {
+    let result = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for algo in GhdAlgorithm::ALL {
             let budget = budget.clone();
-            let handle = scope.spawn(move |_| {
+            let handle = scope.spawn(move || {
                 let out = check_ghd(h, k, algo, &budget, cfg);
                 if out.is_decided() {
                     budget.cancel();
@@ -221,8 +221,7 @@ pub fn race_ghd(h: &Hypergraph, k: usize, timeout: Duration, cfg: &SubedgeConfig
             }
         }
         winner
-    })
-    .expect("race scope panicked");
+    });
 
     match result {
         Some((algo, outcome)) => RaceResult {
@@ -408,7 +407,11 @@ mod tests {
         use crate::validate::validate_hd;
         // Connected star, a branching tree, and a disconnected forest.
         let cases = [
-            hypergraph_from_edges(&[("e0", &["c", "x"]), ("e1", &["c", "y"]), ("e2", &["c", "z"])]),
+            hypergraph_from_edges(&[
+                ("e0", &["c", "x"]),
+                ("e1", &["c", "y"]),
+                ("e2", &["c", "z"]),
+            ]),
             hypergraph_from_edges(&[
                 ("e0", &["a", "b"]),
                 ("e1", &["b", "c"]),
@@ -434,13 +437,8 @@ mod tests {
         // Pretend the analysis only knows hw ∈ [1, 2] for the triangle;
         // the certified GHD no-answer at k=1 closes the gap to hw = 2.
         let h = triangle();
-        let closed = close_hw_gap_with_ghw(
-            &h,
-            2,
-            1,
-            &Budget::unlimited(),
-            &SubedgeConfig::default(),
-        );
+        let closed =
+            close_hw_gap_with_ghw(&h, 2, 1, &Budget::unlimited(), &SubedgeConfig::default());
         assert_eq!(closed, Some(2));
         // No gap → no work.
         assert_eq!(

@@ -56,9 +56,9 @@ fn rewrite(h: &Hypergraph, d: Decomposition, parents: &[Option<EdgeId>]) -> Deco
             .iter()
             .map(|atom| match atom {
                 CoverAtom::Edge(e) if *e < n_orig => CoverAtom::Edge(*e),
-                CoverAtom::Edge(e) => CoverAtom::Edge(
-                    parents[*e as usize].expect("extended edge must have a parent"),
-                ),
+                CoverAtom::Edge(e) => {
+                    CoverAtom::Edge(parents[*e as usize].expect("extended edge must have a parent"))
+                }
                 CoverAtom::Subedge { parent, vertices } => CoverAtom::Subedge {
                     parent: *parent,
                     vertices: vertices.clone(),
@@ -83,7 +83,8 @@ mod tests {
 
     #[test]
     fn triangle_ghw_2() {
-        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let h =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
         assert!(matches!(
             decompose_globalbip(&h, 1, &Budget::unlimited(), &cfg()),
             SearchResult::NotFound
@@ -116,7 +117,10 @@ mod tests {
                 validate_ghd_with_width(&h, &d, 2).unwrap();
                 for n in d.nodes() {
                     for a in &n.cover {
-                        assert!(matches!(a, CoverAtom::Edge(_)), "subedges must be rewritten");
+                        assert!(
+                            matches!(a, CoverAtom::Edge(_)),
+                            "subedges must be rewritten"
+                        );
                     }
                 }
             }

@@ -142,7 +142,7 @@ pub fn best_fractional_width(
     let den = grid_denominator as i128;
     let mut lo = den; // k' = 1
     let mut hi = Rational::from_int(k as i64).numerator() * den; // k' = k
-    // Establish the upper end first: if even k' = k fails, give up.
+                                                                 // Establish the upper end first: if even k' = k fails, give up.
     match frac_improve_check(h, k, Rational::new(hi, den), budget) {
         FracOutcome::Yes(_) => {}
         _ => return None,
@@ -221,13 +221,20 @@ pub fn frac_improvement_bucket(
     budget: &Budget,
 ) -> Option<ImprovementBucket> {
     let probes = [
-        (Rational::from_int(k as i64 - 1), ImprovementBucket::AtLeastOne),
         (
-            Rational::from_int(k as i64).checked_sub(&Rational::new(1, 2)).ok()?,
+            Rational::from_int(k as i64 - 1),
+            ImprovementBucket::AtLeastOne,
+        ),
+        (
+            Rational::from_int(k as i64)
+                .checked_sub(&Rational::new(1, 2))
+                .ok()?,
             ImprovementBucket::HalfToOne,
         ),
         (
-            Rational::from_int(k as i64).checked_sub(&Rational::new(1, 10)).ok()?,
+            Rational::from_int(k as i64)
+                .checked_sub(&Rational::new(1, 10))
+                .ok()?,
             ImprovementBucket::TenthToHalf,
         ),
     ];

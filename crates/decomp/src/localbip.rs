@@ -42,7 +42,8 @@ mod tests {
 
     #[test]
     fn triangle_agrees_with_globalbip() {
-        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let h =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
         assert!(matches!(
             decompose_localbip(&h, 1, &Budget::unlimited(), &SubedgeConfig::default()),
             SearchResult::NotFound

@@ -228,11 +228,7 @@ impl Decomposition {
             })
             .collect();
         out.push_str(&"  ".repeat(depth));
-        out.push_str(&format!(
-            "[{}] λ={{{}}}\n",
-            bag.join(","),
-            cover.join(",")
-        ));
+        out.push_str(&format!("[{}] λ={{{}}}\n", bag.join(","), cover.join(",")));
         for &c in &n.children {
             self.display_rec(h, c, depth + 1, out);
         }

@@ -52,7 +52,10 @@ impl std::fmt::Display for ValidationError {
                 write!(f, "special condition violated at node {node}")
             }
             ValidationError::MalformedSubedge { node } => {
-                write!(f, "node {node} has a subedge not contained in its parent edge")
+                write!(
+                    f,
+                    "node {node} has a subedge not contained in its parent edge"
+                )
             }
             ValidationError::WidthExceeded { width, bound } => {
                 write!(f, "width {width} exceeds bound {bound}")
@@ -86,10 +89,7 @@ pub fn validate_td(h: &Hypergraph, d: &Decomposition) -> Result<(), ValidationEr
     for (id, n) in d.nodes().iter().enumerate() {
         for v in n.bag.iter() {
             occurs[v as usize] = true;
-            let parent_has = n
-                .parent
-                .map(|p| d.node(p).bag.contains(v))
-                .unwrap_or(false);
+            let parent_has = n.parent.map(|p| d.node(p).bag.contains(v)).unwrap_or(false);
             if !parent_has {
                 top_count[v as usize] += 1;
                 if top_count[v as usize] > 1 {

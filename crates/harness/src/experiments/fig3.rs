@@ -27,11 +27,7 @@ pub fn run(bench: &AnalyzedBenchmark) -> ExperimentReport {
         let mut t = Table::new(&header);
         for class in BenchClass::ALL {
             let mut hist = BucketHistogram::new(buckets.len());
-            for a in bench
-                .instances
-                .iter()
-                .filter(|a| a.instance.class == class)
-            {
+            for a in bench.instances.iter().filter(|a| a.instance.class == class) {
                 let v = match metric {
                     "Vertices" => a.record.sizes.vertices,
                     "Edges" => a.record.sizes.edges,

@@ -27,11 +27,7 @@ pub fn run(bench: &AnalyzedBenchmark) -> ExperimentReport {
     for class in BenchClass::ALL {
         let mut per_k: BTreeMap<usize, Cell> = BTreeMap::new();
         let mut n = 0usize;
-        for a in bench
-            .instances
-            .iter()
-            .filter(|a| a.instance.class == class)
-        {
+        for a in bench.instances.iter().filter(|a| a.instance.class == class) {
             n += 1;
             for (k, label, elapsed) in &a.record.hw_steps {
                 let cell = per_k.entry(*k).or_default();

@@ -9,7 +9,12 @@ use crate::AnalyzedBenchmark;
 
 /// Regenerates Table 1.
 pub fn run(bench: &AnalyzedBenchmark) -> ExperimentReport {
-    let mut t = Table::new(&["Benchmark", "No. instances", "hw >= 2 (measured)", "paper (full scale)"]);
+    let mut t = Table::new(&[
+        "Benchmark",
+        "No. instances",
+        "hw >= 2 (measured)",
+        "paper (full scale)",
+    ]);
     let mut total = 0usize;
     let mut total_cyclic = 0usize;
     for spec in &TABLE1 {

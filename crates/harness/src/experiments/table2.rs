@@ -50,7 +50,11 @@ pub fn run(bench: &AnalyzedBenchmark) -> ExperimentReport {
         let mut t = Table::new(&["i", "Deg", "BIP", "3-BMIP", "4-BMIP", "VC-dim"]);
         #[allow(clippy::needless_range_loop)] // i indexes five parallel histograms
         for i in 0..7 {
-            let label = if i == 6 { ">5".to_string() } else { i.to_string() };
+            let label = if i == 6 {
+                ">5".to_string()
+            } else {
+                i.to_string()
+            };
             t.row(&[
                 label,
                 hist[0][i].to_string(),

@@ -65,7 +65,8 @@ pub fn run(bench: &AnalyzedBenchmark) -> ExperimentReport {
         checkpoints: vec![
             (
                 "share improved (≥ 0.1) among non-timeout runs".into(),
-                "much higher than ImproveHD (e.g. at hw 4/5 nearly every solved case improves)".into(),
+                "much higher than ImproveHD (e.g. at hw 4/5 nearly every solved case improves)"
+                    .into(),
                 crate::report::pct(improved_total, total.saturating_sub(timeouts_total)),
             ),
             (

@@ -127,12 +127,12 @@ fn parallel_analyze(instances: &[Instance], config: &ExperimentConfig) -> Vec<An
     let next = AtomicUsize::new(0);
     let workers = config.worker_count().min(n.max(1));
     let (tx, rx) = std::sync::mpsc::channel::<(usize, AnalysisRecord)>();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
             let next = &next;
             let acfg = &acfg;
             let tx = tx.clone();
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -142,8 +142,7 @@ fn parallel_analyze(instances: &[Instance], config: &ExperimentConfig) -> Vec<An
             });
         }
         drop(tx);
-    })
-    .expect("analysis worker panicked");
+    });
     let mut slots: Vec<Option<AnalysisRecord>> = vec![None; n];
     for (i, rec) in rx {
         slots[i] = Some(rec);
@@ -166,12 +165,12 @@ where
     let next = AtomicUsize::new(0);
     let workers = threads.max(1).min(n);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
             let next = &next;
             let work = &work;
             let tx = tx.clone();
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -180,8 +179,7 @@ where
             });
         }
         drop(tx);
-    })
-    .expect("worker panicked");
+    });
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in rx {
         slots[i] = Some(r);

@@ -27,6 +27,8 @@ USAGE:
   hyperbench stats <FILE.hg>
   hyperbench decompose <FILE.hg> --k N [--algo hd|globalbip|localbip|balsep|hybrid]
              [--timeout-ms N]
+  hyperbench serve --dir DIR [--addr HOST:PORT] [--threads N] [--workers N]
+             [--queue N] [--cache N] [--timeout-ms N] [--kmax N]
   hyperbench help
 ";
 
@@ -221,6 +223,23 @@ fn run(args: &[String]) -> Result<(), String> {
                 None => println!("VC-dim:    timeout"),
             }
             Ok(())
+        }
+        "serve" => {
+            let dir = PathBuf::from(flags.get("dir").ok_or("--dir DIR required")?);
+            let d = hyperbench_server::ServerConfig::default();
+            let config = hyperbench_server::ServerConfig {
+                addr: flags.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
+                threads: flags.get_parsed("threads", d.threads)?,
+                analysis_workers: flags.get_parsed("workers", d.analysis_workers)?,
+                job_queue_capacity: flags.get_parsed("queue", d.job_queue_capacity)?,
+                cache_capacity: flags.get_parsed("cache", d.cache_capacity)?,
+                analysis: AnalysisConfig {
+                    per_check: Duration::from_millis(flags.get_parsed("timeout-ms", 250)?),
+                    k_max: flags.get_parsed("kmax", 8)?,
+                    vc_budget: 2_000_000,
+                },
+            };
+            hyperbench_server::serve_dir(&dir, &config)
         }
         "decompose" => {
             let file = flags.positional.first().ok_or("FILE.hg required")?;

@@ -107,8 +107,12 @@ impl Rational {
         // Cross-reduce before multiplying to keep magnitudes small.
         let g1 = gcd(self.num, other.den).max(1);
         let g2 = gcd(other.num, self.den).max(1);
-        let num = (self.num / g1).checked_mul(other.num / g2).ok_or(Overflow)?;
-        let den = (self.den / g2).checked_mul(other.den / g1).ok_or(Overflow)?;
+        let num = (self.num / g1)
+            .checked_mul(other.num / g2)
+            .ok_or(Overflow)?;
+        let den = (self.den / g2)
+            .checked_mul(other.den / g1)
+            .ok_or(Overflow)?;
         Ok(Rational::new(num, den))
     }
 

@@ -1,0 +1,18 @@
+//! Slice helpers (`SliceRandom::shuffle`).
+
+use crate::{Rng, RngCore};
+
+/// In-place Fisher–Yates shuffling, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Uniformly permutes the slice in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}

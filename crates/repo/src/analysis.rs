@@ -1,6 +1,7 @@
 //! Per-instance analysis: the properties of Table 2 plus hw bounds from
 //! the iterative width search of Figure 4.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use hyperbench_core::properties::{structural_properties, StructuralProperties};
@@ -84,6 +85,66 @@ pub fn analyze_instance(h: &Hypergraph, cfg: &AnalysisConfig) -> AnalysisRecord 
     }
 }
 
+/// Repository-wide aggregates — the payload of the server's `GET /stats`
+/// and the library analogue of the web tool's overview page.
+#[derive(Debug, Clone, Default)]
+pub struct RepoStats {
+    /// Total entries.
+    pub entries: usize,
+    /// Entries with an analysis record attached.
+    pub analyzed: usize,
+    /// Entries known to be cyclic (hw ≥ 2).
+    pub cyclic: usize,
+    /// Entries whose hw search hit a timeout.
+    pub hw_timeouts: usize,
+    /// Per-class entry counts, sorted by class name.
+    pub by_class: Vec<(String, usize)>,
+    /// Per-collection entry counts, sorted by collection name.
+    pub by_collection: Vec<(String, usize)>,
+    /// Histogram of exact hw values (hw → count), sorted by hw.
+    pub hw_exact: Vec<(usize, usize)>,
+    /// Sum of vertex counts over all entries.
+    pub total_vertices: usize,
+    /// Sum of edge counts over all entries.
+    pub total_edges: usize,
+    /// Largest arity seen.
+    pub max_arity: usize,
+}
+
+/// Computes [`RepoStats`] over a repository in one pass.
+pub fn aggregate_stats(repo: &crate::Repository) -> RepoStats {
+    let mut stats = RepoStats {
+        entries: repo.len(),
+        ..RepoStats::default()
+    };
+    let mut by_class: BTreeMap<String, usize> = BTreeMap::new();
+    let mut by_collection: BTreeMap<String, usize> = BTreeMap::new();
+    let mut hw_exact: BTreeMap<usize, usize> = BTreeMap::new();
+    for e in repo.entries() {
+        *by_class.entry(e.class.clone()).or_default() += 1;
+        *by_collection.entry(e.collection.clone()).or_default() += 1;
+        stats.total_vertices += e.hypergraph.num_vertices();
+        stats.total_edges += e.hypergraph.num_edges();
+        stats.max_arity = stats.max_arity.max(e.hypergraph.arity());
+        if let Some(rec) = &e.analysis {
+            stats.analyzed += 1;
+            if rec.is_cyclic() {
+                stats.cyclic += 1;
+            }
+            if rec.hw_timed_out {
+                stats.hw_timeouts += 1;
+            }
+            if let Some(hw) = rec.hw_exact() {
+                *hw_exact.entry(hw).or_default() += 1;
+            }
+        }
+    }
+    stats.by_class = by_class.into_iter().collect();
+    stats.by_collection = by_collection.into_iter().collect();
+    stats.hw_exact = hw_exact.into_iter().collect();
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,7 +152,8 @@ mod tests {
 
     #[test]
     fn analyze_triangle() {
-        let h = hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let h =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
         let r = analyze_instance(&h, &AnalysisConfig::default());
         assert_eq!(r.hw_exact(), Some(2));
         assert!(r.is_cyclic());
@@ -99,6 +161,43 @@ mod tests {
         assert_eq!(r.sizes.edges, 3);
         assert!(!r.hw_timed_out);
         assert_eq!(r.hw_steps.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_stats_counts() {
+        let mut repo = crate::Repository::new();
+        let tri =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let path = hypergraph_from_edges(&[("e", &["a", "b"]), ("f", &["b", "c"])]);
+        let cfg = AnalysisConfig::default();
+        let rec_tri = analyze_instance(&tri, &cfg);
+        let rec_path = analyze_instance(&path, &cfg);
+        let id1 = repo.insert(tri, "SPARQL", "CQ Application");
+        let id2 = repo.insert(path, "xcsp", "CSP Random");
+        repo.set_analysis(id1, rec_tri);
+        repo.set_analysis(id2, rec_path);
+        repo.insert(
+            hypergraph_from_edges(&[("g", &["x"])]),
+            "SPARQL",
+            "CQ Application",
+        );
+
+        let s = aggregate_stats(&repo);
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.analyzed, 2);
+        assert_eq!(s.cyclic, 1);
+        assert_eq!(s.hw_timeouts, 0);
+        assert_eq!(
+            s.by_class,
+            vec![
+                ("CQ Application".to_string(), 2),
+                ("CSP Random".to_string(), 1)
+            ]
+        );
+        assert_eq!(s.by_collection.len(), 2);
+        assert_eq!(s.hw_exact, vec![(1, 1), (2, 1)]);
+        assert_eq!(s.max_arity, 2);
+        assert_eq!(s.total_edges, 6);
     }
 
     #[test]

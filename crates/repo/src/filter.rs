@@ -93,6 +93,69 @@ impl Filter {
         self
     }
 
+    /// Applies one query-string parameter to the filter — the shared
+    /// vocabulary between the HTTP layer and the library
+    /// (`?class=CSP&hw_le=5&bip_le=2` and friends):
+    ///
+    /// | key          | meaning                         |
+    /// |--------------|---------------------------------|
+    /// | `class`      | exact class name                |
+    /// | `collection` | exact collection name           |
+    /// | `min_edges`  | edge count ≥                    |
+    /// | `max_edges`  | edge count ≤                    |
+    /// | `min_arity`  | arity ≥                         |
+    /// | `max_arity`  | arity ≤                         |
+    /// | `hw_le`      | hw upper bound ≤                |
+    /// | `hw_ge`      | hw lower bound ≥                |
+    /// | `bip_le`     | intersection size ≤             |
+    /// | `cyclic`     | `true`/`1` keeps only cyclic    |
+    /// | `analyzed`   | `true`/`1` keeps only analyzed  |
+    ///
+    /// Unknown keys and unparsable values are rejected so callers (the
+    /// server maps this straight to a 400) never silently ignore a typo.
+    pub fn with_param(self, key: &str, value: &str) -> Result<Filter, FilterParamError> {
+        let number = |v: &str| {
+            v.parse::<usize>().map_err(|_| FilterParamError::BadValue {
+                key: key.to_string(),
+                value: v.to_string(),
+            })
+        };
+        let flag = |v: &str| match v {
+            "true" | "1" => Ok(true),
+            "false" | "0" => Ok(false),
+            _ => Err(FilterParamError::BadValue {
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
+        };
+        Ok(match key {
+            "class" => self.class(value),
+            "collection" => self.collection(value),
+            "min_edges" => self.min_edges(number(value)?),
+            "max_edges" => self.max_edges(number(value)?),
+            "min_arity" => self.min_arity(number(value)?),
+            "max_arity" => self.max_arity(number(value)?),
+            "hw_le" => self.hw_at_most(number(value)?),
+            "hw_ge" => self.hw_at_least(number(value)?),
+            "bip_le" => self.max_bip(number(value)?),
+            "cyclic" => {
+                if flag(value)? {
+                    self.cyclic_only()
+                } else {
+                    self
+                }
+            }
+            "analyzed" => {
+                if flag(value)? {
+                    self.analyzed_only()
+                } else {
+                    self
+                }
+            }
+            _ => return Err(FilterParamError::UnknownKey(key.to_string())),
+        })
+    }
+
     /// Whether `e` passes the filter.
     pub fn matches(&self, e: &Entry) -> bool {
         if let Some(c) = &self.class {
@@ -153,6 +216,33 @@ impl Filter {
     }
 }
 
+/// Rejection reasons for [`Filter::with_param`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterParamError {
+    /// The key names no known filter condition.
+    UnknownKey(String),
+    /// The value does not parse for this key.
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for FilterParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterParamError::UnknownKey(k) => write!(f, "unknown filter parameter {k:?}"),
+            FilterParamError::BadValue { key, value } => {
+                write!(f, "bad value {value:?} for filter parameter {key:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FilterParamError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +294,46 @@ mod tests {
         let r = repo();
         assert_eq!(r.select(&Filter::new().max_bip(1)).count(), 2);
         assert_eq!(r.select(&Filter::new().max_bip(0)).count(), 0);
+    }
+
+    #[test]
+    fn with_param_mirrors_builders() {
+        let r = repo();
+        let f = Filter::new()
+            .with_param("collection", "SPARQL")
+            .unwrap()
+            .with_param("hw_le", "5")
+            .unwrap()
+            .with_param("bip_le", "2")
+            .unwrap()
+            .with_param("cyclic", "true")
+            .unwrap();
+        assert_eq!(r.select(&f).count(), 1);
+        // `cyclic=false` leaves the condition unset rather than inverting it.
+        let loose = Filter::new().with_param("cyclic", "false").unwrap();
+        assert_eq!(r.select(&loose).count(), 2);
+    }
+
+    #[test]
+    fn with_param_rejects_garbage() {
+        assert_eq!(
+            Filter::new().with_param("hw_le", "five").unwrap_err(),
+            FilterParamError::BadValue {
+                key: "hw_le".into(),
+                value: "five".into()
+            }
+        );
+        assert_eq!(
+            Filter::new().with_param("hw_max", "5").unwrap_err(),
+            FilterParamError::UnknownKey("hw_max".into())
+        );
+        assert!(Filter::new().with_param("cyclic", "maybe").is_err());
+        // Errors render with the key and value in them.
+        let msg = Filter::new()
+            .with_param("bip_le", "x")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("bip_le") && msg.contains('x'), "msg: {msg}");
     }
 
     #[test]

@@ -15,8 +15,8 @@ pub mod analysis;
 pub mod filter;
 pub mod store;
 
-pub use analysis::{analyze_instance, AnalysisConfig, AnalysisRecord};
-pub use filter::Filter;
+pub use analysis::{aggregate_stats, analyze_instance, AnalysisConfig, AnalysisRecord, RepoStats};
+pub use filter::{Filter, FilterParamError};
 
 use hyperbench_core::Hypergraph;
 
@@ -80,8 +80,17 @@ impl Repository {
     }
 
     /// A single entry.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range; use [`Repository::get`] for a
+    /// fallible lookup.
     pub fn entry(&self, id: usize) -> &Entry {
         &self.entries[id]
+    }
+
+    /// A single entry, or `None` when `id` is out of range.
+    pub fn get(&self, id: usize) -> Option<&Entry> {
+        self.entries.get(id)
     }
 
     /// Number of entries.
@@ -98,6 +107,41 @@ impl Repository {
     pub fn select<'a>(&'a self, filter: &'a Filter) -> impl Iterator<Item = &'a Entry> {
         self.entries.iter().filter(move |e| filter.matches(e))
     }
+
+    /// One page of filtered results plus the total match count — the
+    /// repository-side contract behind `GET /hypergraphs?offset=&limit=`.
+    /// `offset` entries of the filtered sequence are skipped and at most
+    /// `limit` are returned; `total` counts *all* matches so clients can
+    /// page without a separate count query.
+    pub fn select_page<'a>(&'a self, filter: &Filter, offset: usize, limit: usize) -> Page<'a> {
+        let mut total = 0usize;
+        let mut entries = Vec::new();
+        for e in self.entries.iter().filter(|e| filter.matches(e)) {
+            if total >= offset && entries.len() < limit {
+                entries.push(e);
+            }
+            total += 1;
+        }
+        Page {
+            entries,
+            total,
+            offset,
+            limit,
+        }
+    }
+}
+
+/// One page of filtered repository entries (see [`Repository::select_page`]).
+#[derive(Debug)]
+pub struct Page<'a> {
+    /// The entries on this page, in repository order.
+    pub entries: Vec<&'a Entry>,
+    /// Total number of entries matching the filter (across all pages).
+    pub total: usize,
+    /// The offset this page started at.
+    pub offset: usize,
+    /// The limit the page was cut to.
+    pub limit: usize,
 }
 
 #[cfg(test)]
@@ -117,6 +161,34 @@ mod tests {
         assert_eq!(repo.entry(id).collection, "TPC-H");
         assert!(repo.entry(id).analysis.is_none());
         assert!(!repo.is_empty());
+    }
+
+    #[test]
+    fn get_is_fallible_entry() {
+        let mut repo = Repository::new();
+        let id = repo.insert(triangle(), "TPC-H", "CQ Application");
+        assert!(repo.get(id).is_some());
+        assert!(repo.get(id + 1).is_none());
+    }
+
+    #[test]
+    fn select_page_windows_and_counts() {
+        let mut repo = Repository::new();
+        for i in 0..10 {
+            let coll = if i % 2 == 0 { "SPARQL" } else { "TPC-H" };
+            repo.insert(triangle(), coll, "CQ Application");
+        }
+        let f = Filter::new().collection("SPARQL");
+        let page = repo.select_page(&f, 1, 2);
+        assert_eq!(page.total, 5);
+        assert_eq!(page.entries.len(), 2);
+        // Filtered sequence is ids 0,2,4,6,8; offset 1 starts at id 2.
+        assert_eq!(page.entries[0].id, 2);
+        assert_eq!(page.entries[1].id, 4);
+        // Offset past the end yields an empty page but the true total.
+        let empty = repo.select_page(&f, 99, 2);
+        assert_eq!(empty.total, 5);
+        assert!(empty.entries.is_empty());
     }
 
     #[test]

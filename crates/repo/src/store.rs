@@ -7,7 +7,7 @@ use std::io::{self, Write};
 use std::path::Path;
 use std::time::Duration;
 
-use hyperbench_core::format::{parse_hg_named, to_hg};
+use hyperbench_core::format::{parse_hg_named, to_hg_unnamed};
 use hyperbench_core::properties::StructuralProperties;
 use hyperbench_core::stats::SizeMetrics;
 
@@ -46,11 +46,15 @@ pub fn save(repo: &Repository, dir: &Path) -> Result<(), StoreError> {
     let mut index = fs::File::create(dir.join("index.tsv"))?;
     writeln!(
         index,
-        "id\tfile\tcollection\tclass\tvertices\tedges\tarity\tdegree\tbip\tbmip3\tbmip4\tvc_dim\thw_upper\thw_lower\thw_timeout"
+        "id\tfile\tname\tcollection\tclass\tvertices\tedges\tarity\tdegree\tbip\tbmip3\tbmip4\tvc_dim\thw_upper\thw_lower\thw_timeout"
     )?;
     for e in repo.entries() {
         let file = format!("{:05}.hg", e.id);
-        fs::write(dir.join(&file), to_hg(&e.hypergraph))?;
+        fs::write(dir.join(&file), to_hg_unnamed(&e.hypergraph))?;
+        // The hypergraph's name travels in the index (TSV-safe), not as
+        // an `.hg` comment header — keeping the payload canonical while
+        // still round-tripping names through save→load.
+        let name = e.hypergraph.name().replace(['\t', '\n', '\r'], " ");
         let (sizes, props, hw_u, hw_l, to) = match &e.analysis {
             Some(a) => (
                 Some(a.sizes),
@@ -63,9 +67,10 @@ pub fn save(repo: &Repository, dir: &Path) -> Result<(), StoreError> {
         };
         writeln!(
             index,
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             e.id,
             file,
+            name,
             e.collection,
             e.class,
             opt(sizes.map(|s| s.vertices)),
@@ -88,48 +93,118 @@ fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
     v.map(|x| x.to_string()).unwrap_or_else(|| "-".to_string())
 }
 
+/// The column headers [`save`] writes, in order.
+const INDEX_COLUMNS: usize = 16;
+
+/// The pre-`name` column count; [`load`] still accepts this layout and
+/// derives names from file stems, so repositories written before the
+/// format gained the `name` column stay loadable.
+const LEGACY_INDEX_COLUMNS: usize = 15;
+
+/// A malformed-row error pointing at `index.tsv` line `lineno` (1-based).
+fn corrupt_row(lineno: usize, msg: impl std::fmt::Display) -> StoreError {
+    StoreError::Corrupt(format!("index.tsv line {lineno}: {msg}"))
+}
+
+/// Parses a mandatory numeric field, naming the field and line on failure.
+fn field<T: std::str::FromStr>(lineno: usize, name: &str, s: &str) -> Result<T, StoreError> {
+    s.parse()
+        .map_err(|_| corrupt_row(lineno, format!("bad value for {name}: {s:?}")))
+}
+
+/// Parses an optional numeric field, where `-` encodes "absent".
+fn opt_field<T: std::str::FromStr>(
+    lineno: usize,
+    name: &str,
+    s: &str,
+) -> Result<Option<T>, StoreError> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        field(lineno, name, s).map(Some)
+    }
+}
+
 /// Loads a repository previously written by [`save`]. Analysis step
-/// timings are not persisted; everything else round-trips.
+/// timings are not persisted; everything else round-trips (see the
+/// `roundtrip_is_byte_identical` test). Malformed rows are rejected with
+/// a [`StoreError::Corrupt`] naming `index.tsv` and the offending line —
+/// nothing is skipped silently, and out-of-range values never degrade to
+/// defaults.
 pub fn load(dir: &Path) -> Result<Repository, StoreError> {
     let index = fs::read_to_string(dir.join("index.tsv"))?;
     let mut repo = Repository::new();
-    for (lineno, line) in index.lines().enumerate().skip(1) {
+    for (idx, line) in index.lines().enumerate().skip(1) {
+        let lineno = idx + 1; // 1-based, including the header line.
         if line.trim().is_empty() {
             continue;
         }
-        let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() < 15 {
-            return Err(StoreError::Corrupt(format!(
-                "index line {} has {} columns",
-                lineno + 1,
-                cols.len()
-            )));
+        let mut cols: Vec<&str> = line.split('\t').collect();
+        let legacy = cols.len() == LEGACY_INDEX_COLUMNS;
+        if legacy {
+            // Old layout without the name column: align the indices and
+            // fall back to the file stem as the name below.
+            cols.insert(2, "");
+        } else if cols.len() != INDEX_COLUMNS {
+            return Err(corrupt_row(
+                lineno,
+                format!(
+                    "expected {INDEX_COLUMNS} columns ({LEGACY_INDEX_COLUMNS} for the legacy \
+                     format without `name`), found {}",
+                    cols.len()
+                ),
+            ));
+        }
+        let id: usize = field(lineno, "id", cols[0])?;
+        if id != repo.len() {
+            return Err(corrupt_row(
+                lineno,
+                format!("id {id} out of order (expected {})", repo.len()),
+            ));
         }
         let file = cols[1];
         let text = fs::read_to_string(dir.join(file))?;
-        let h = parse_hg_named(&text, file.trim_end_matches(".hg"))
-            .map_err(|e| StoreError::Corrupt(format!("{file}: {e}")))?;
-        let id = repo.insert(h, cols[2], cols[3]);
-        // Rehydrate the analysis if present.
-        if cols[4] != "-" {
-            let parse = |s: &str| s.parse::<usize>().ok();
+        // The name column restores the original hypergraph name; empty
+        // means the hypergraph was unnamed. Legacy rows have no name
+        // column, so they keep the old behavior of naming by file stem.
+        let name = if legacy {
+            file.trim_end_matches(".hg")
+        } else {
+            cols[2]
+        };
+        let h =
+            parse_hg_named(&text, name).map_err(|e| corrupt_row(lineno, format!("{file}: {e}")))?;
+        let id = repo.insert(h, cols[3], cols[4]);
+        // Rehydrate the analysis if present: `-` in the vertices column
+        // marks an unanalyzed entry (save writes all-`-` metrics then).
+        if cols[5] != "-" {
+            let hw_timed_out = match cols[15] {
+                "true" => true,
+                "false" => false,
+                other => {
+                    return Err(corrupt_row(
+                        lineno,
+                        format!("bad value for hw_timeout: {other:?}"),
+                    ))
+                }
+            };
             let record = AnalysisRecord {
                 sizes: SizeMetrics {
-                    vertices: parse(cols[4]).unwrap_or(0),
-                    edges: parse(cols[5]).unwrap_or(0),
-                    arity: parse(cols[6]).unwrap_or(0),
+                    vertices: field(lineno, "vertices", cols[5])?,
+                    edges: field(lineno, "edges", cols[6])?,
+                    arity: field(lineno, "arity", cols[7])?,
                 },
                 properties: StructuralProperties {
-                    degree: parse(cols[7]).unwrap_or(0),
-                    bip: parse(cols[8]).unwrap_or(0),
-                    bmip3: parse(cols[9]).unwrap_or(0),
-                    bmip4: parse(cols[10]).unwrap_or(0),
-                    vc_dim: parse(cols[11]),
+                    degree: field(lineno, "degree", cols[8])?,
+                    bip: field(lineno, "bip", cols[9])?,
+                    bmip3: field(lineno, "bmip3", cols[10])?,
+                    bmip4: field(lineno, "bmip4", cols[11])?,
+                    vc_dim: opt_field(lineno, "vc_dim", cols[12])?,
                 },
-                hw_upper: parse(cols[12]),
-                hw_lower: cols[13].parse().unwrap_or(1),
+                hw_upper: opt_field(lineno, "hw_upper", cols[13])?,
+                hw_lower: field(lineno, "hw_lower", cols[14])?,
                 hw_steps: Vec::new(),
-                hw_timed_out: cols[14] == "true",
+                hw_timed_out,
             };
             repo.set_analysis(id, record);
         }
@@ -145,7 +220,10 @@ mod tests {
     use hyperbench_core::builder::hypergraph_from_edges;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!("hyperbench-store-test-{name}-{}", std::process::id()));
+        let d = std::env::temp_dir().join(format!(
+            "hyperbench-store-test-{name}-{}",
+            std::process::id()
+        ));
         let _ = fs::remove_dir_all(&d);
         d
     }
@@ -181,5 +259,151 @@ mod tests {
     #[test]
     fn missing_dir_errors() {
         assert!(load(Path::new("/nonexistent/hyperbench")).is_err());
+    }
+
+    fn small_repo() -> Repository {
+        let mut repo = Repository::new();
+        let tri =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let rec = analyze_instance(&tri, &AnalysisConfig::default());
+        let id = repo.insert(tri, "SPARQL", "CQ Application");
+        repo.set_analysis(id, rec);
+        repo.insert(
+            hypergraph_from_edges(&[("e", &["x", "y"])]),
+            "LUBM",
+            "CQ Application",
+        );
+        repo
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        // save → load → save must reproduce index.tsv byte for byte.
+        let dir1 = tmpdir("bytes1");
+        let dir2 = tmpdir("bytes2");
+        let repo = small_repo();
+        save(&repo, &dir1).unwrap();
+        let loaded = load(&dir1).unwrap();
+        save(&loaded, &dir2).unwrap();
+        let first = fs::read(dir1.join("index.tsv")).unwrap();
+        let second = fs::read(dir2.join("index.tsv")).unwrap();
+        assert_eq!(first, second, "index.tsv changed across save→load→save");
+        // The .hg payloads round-trip too.
+        assert_eq!(
+            fs::read(dir1.join("00000.hg")).unwrap(),
+            fs::read(dir2.join("00000.hg")).unwrap()
+        );
+        fs::remove_dir_all(&dir1).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    /// Saves, then rewrites one index line through `f`, then loads.
+    fn load_with_mangled_line(
+        name: &str,
+        line_index: usize,
+        f: impl Fn(&str) -> String,
+    ) -> Result<Repository, StoreError> {
+        let dir = tmpdir(name);
+        save(&small_repo(), &dir).unwrap();
+        let index = fs::read_to_string(dir.join("index.tsv")).unwrap();
+        let mangled: Vec<String> = index
+            .lines()
+            .enumerate()
+            .map(|(i, l)| if i == line_index { f(l) } else { l.to_string() })
+            .collect();
+        fs::write(dir.join("index.tsv"), mangled.join("\n")).unwrap();
+        let out = load(&dir);
+        fs::remove_dir_all(&dir).unwrap();
+        out
+    }
+
+    fn corrupt_message(r: Result<Repository, StoreError>) -> String {
+        match r {
+            Err(StoreError::Corrupt(m)) => m,
+            other => panic!("expected StoreError::Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_15_column_index_still_loads() {
+        // Rewrite a fresh save into the pre-`name` layout and load it.
+        let dir = tmpdir("legacy");
+        save(&small_repo(), &dir).unwrap();
+        let index = fs::read_to_string(dir.join("index.tsv")).unwrap();
+        let legacy: Vec<String> = index
+            .lines()
+            .map(|l| {
+                let mut cols: Vec<&str> = l.split('\t').collect();
+                cols.remove(2); // drop the name column (and its header)
+                cols.join("\t")
+            })
+            .collect();
+        fs::write(dir.join("index.tsv"), legacy.join("\n")).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        // Legacy rows fall back to file-stem names.
+        assert_eq!(loaded.entry(0).hypergraph.name(), "00000");
+        let a = loaded.entry(0).analysis.as_ref().unwrap();
+        assert_eq!(a.hw_upper, Some(2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn names_survive_save_and_load() {
+        use hyperbench_core::HypergraphBuilder;
+        let mut b = HypergraphBuilder::named("sparql/q7");
+        b.add_edge("e", &["a", "b"]);
+        let mut repo = Repository::new();
+        repo.insert(b.build(), "SPARQL", "CQ Application");
+        let dir = tmpdir("names");
+        save(&repo, &dir).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.entry(0).hypergraph.name(), "sparql/q7");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_row_names_file_and_line() {
+        // Dropping one column lands on the accepted legacy width, so a
+        // detectably-truncated row is two columns short.
+        let msg = corrupt_message(load_with_mangled_line("cols", 1, |l| {
+            let keep: Vec<&str> = l.split('\t').collect();
+            keep[..keep.len() - 2].join("\t")
+        }));
+        assert!(msg.contains("index.tsv line 2"), "message was: {msg}");
+        assert!(msg.contains("columns"), "message was: {msg}");
+    }
+
+    #[test]
+    fn bad_numeric_field_names_field_and_line() {
+        let msg = corrupt_message(load_with_mangled_line("numeric", 1, |l| {
+            // Column 5 is `vertices` on an analyzed row.
+            let mut cols: Vec<&str> = l.split('\t').collect();
+            cols[5] = "not-a-number";
+            cols.join("\t")
+        }));
+        assert!(msg.contains("index.tsv line 2"), "message was: {msg}");
+        assert!(msg.contains("vertices"), "message was: {msg}");
+        assert!(msg.contains("not-a-number"), "message was: {msg}");
+    }
+
+    #[test]
+    fn bad_bool_field_is_rejected() {
+        let msg = corrupt_message(load_with_mangled_line("bool", 1, |l| {
+            let mut cols: Vec<&str> = l.split('\t').collect();
+            cols[15] = "maybe";
+            cols.join("\t")
+        }));
+        assert!(msg.contains("hw_timeout"), "message was: {msg}");
+    }
+
+    #[test]
+    fn out_of_order_id_is_rejected() {
+        let msg = corrupt_message(load_with_mangled_line("order", 1, |l| {
+            let mut cols: Vec<&str> = l.split('\t').collect();
+            cols[0] = "7";
+            cols.join("\t")
+        }));
+        assert!(msg.contains("id 7 out of order"), "message was: {msg}");
     }
 }

@@ -1,0 +1,210 @@
+//! An LRU cache from hypergraph content hashes to analysis records, so
+//! repeated `POST /analyze` submissions of the same hypergraph are served
+//! from memory instead of re-running the decomposition search.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use hyperbench_repo::AnalysisRecord;
+
+/// A content hash of a canonicalized `.hg` document (FNV-1a 64).
+///
+/// FNV is fast but not collision-resistant, so the hash is only an
+/// index: every cache/dedup lookup also compares the canonical document
+/// itself before treating two submissions as equal. A collision can at
+/// worst cause a spurious miss, never a wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContentHash(pub u64);
+
+/// Normalizes an `.hg` body for hashing and equality: line endings
+/// unified and surrounding whitespace stripped, so trivially
+/// reformatted submissions of the same hypergraph text still match.
+pub fn canonicalize(body: &str) -> String {
+    let mut out = String::with_capacity(body.len());
+    for line in body.lines() {
+        out.push_str(line.trim());
+        out.push('\n');
+    }
+    out
+}
+
+/// Hashes a canonicalized body (see [`canonicalize`]).
+pub fn content_hash(body: &str) -> ContentHash {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonicalize(body).bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    ContentHash(h)
+}
+
+/// Counters exposed through `GET /stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: usize,
+    /// Lookups that missed.
+    pub misses: usize,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+/// A thread-safe LRU cache of analysis records.
+pub struct AnalysisCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+struct Inner {
+    // Hash → (canonical document, record). The document is kept so a
+    // hash collision is detected instead of serving the wrong result.
+    map: HashMap<ContentHash, (String, Arc<AnalysisRecord>)>,
+    // Front = least recently used. Small capacities keep the O(len)
+    // reorder on hit negligible next to an analysis run.
+    order: VecDeque<ContentHash>,
+    hits: usize,
+    misses: usize,
+}
+
+impl AnalysisCache {
+    /// A cache holding at most `capacity` records (at least one).
+    pub fn new(capacity: usize) -> AnalysisCache {
+        AnalysisCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up a record, refreshing its recency on hit. `canonical`
+    /// must be the [`canonicalize`]d document; an entry with the same
+    /// hash but different content is a miss, not a hit.
+    pub fn get(&self, key: ContentHash, canonical: &str) -> Option<Arc<AnalysisRecord>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(&key) {
+            Some((doc, rec)) if doc == canonical => {
+                let rec = Arc::clone(rec);
+                inner.hits += 1;
+                if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+                    inner.order.remove(pos);
+                }
+                inner.order.push_back(key);
+                Some(rec)
+            }
+            _ => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a record, evicting the least recently used on overflow.
+    pub fn put(&self, key: ContentHash, canonical: String, record: Arc<AnalysisRecord>) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.insert(key, (canonical, record)).is_none() {
+            inner.order.push_back(key);
+            if inner.order.len() > self.capacity {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.map.remove(&evicted);
+                }
+            }
+        } else if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+            inner.order.remove(pos);
+            inner.order.push_back(key);
+        }
+    }
+
+    /// A snapshot of the hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperbench_core::builder::hypergraph_from_edges;
+    use hyperbench_repo::{analyze_instance, AnalysisConfig};
+
+    fn record() -> Arc<AnalysisRecord> {
+        let h = hypergraph_from_edges(&[("e", &["a", "b"])]);
+        Arc::new(analyze_instance(&h, &AnalysisConfig::default()))
+    }
+
+    #[test]
+    fn hash_normalizes_whitespace_but_not_content() {
+        let a = content_hash("e(a,b),\nf(b,c).\n");
+        let b = content_hash("  e(a,b),\r\n\tf(b,c).");
+        let c = content_hash("e(a,b),\nf(b,d).\n");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(
+            canonicalize("  e(a,b),\r\n\tf(b,c)."),
+            canonicalize("e(a,b),\nf(b,c).\n")
+        );
+    }
+
+    #[test]
+    fn colliding_hash_with_different_content_is_a_miss() {
+        let cache = AnalysisCache::new(4);
+        cache.put(ContentHash(5), "doc-a\n".to_string(), record());
+        // Same hash, different canonical content: must not serve doc-a's
+        // record.
+        assert!(cache.get(ContentHash(5), "doc-b\n").is_none());
+        assert!(cache.get(ContentHash(5), "doc-a\n").is_some());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let cache = AnalysisCache::new(2);
+        let (k1, k2, k3) = (ContentHash(1), ContentHash(2), ContentHash(3));
+        cache.put(k1, "1".into(), record());
+        cache.put(k2, "2".into(), record());
+        // Touch k1 so k2 becomes the eviction victim.
+        assert!(cache.get(k1, "1").is_some());
+        cache.put(k3, "3".into(), record());
+        assert!(cache.get(k2, "2").is_none(), "k2 should have been evicted");
+        assert!(cache.get(k1, "1").is_some());
+        assert!(cache.get(k3, "3").is_some());
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let cache = AnalysisCache::new(4);
+        let k = ContentHash(9);
+        assert!(cache.get(k, "d").is_none());
+        cache.put(k, "d".into(), record());
+        assert!(cache.get(k, "d").is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len, s.capacity), (1, 1, 1, 4));
+    }
+
+    #[test]
+    fn reinsert_refreshes_not_duplicates() {
+        let cache = AnalysisCache::new(2);
+        cache.put(ContentHash(1), "1".into(), record());
+        cache.put(ContentHash(1), "1".into(), record());
+        assert_eq!(cache.stats().len, 1, "re-put must not duplicate");
+        cache.put(ContentHash(2), "2".into(), record());
+        // Re-putting 1 refreshes its recency, so 2 is now the LRU victim.
+        cache.put(ContentHash(1), "1".into(), record());
+        cache.put(ContentHash(3), "3".into(), record());
+        assert_eq!(cache.stats().len, 2);
+        assert!(cache.get(ContentHash(2), "2").is_none());
+        assert!(cache.get(ContentHash(1), "1").is_some());
+        assert!(cache.get(ContentHash(3), "3").is_some());
+    }
+}

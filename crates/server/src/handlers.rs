@@ -1,0 +1,340 @@
+//! Endpoint implementations: pure functions from shared state + request
+//! to [`Response`]. The routing table itself lives in `lib.rs`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hyperbench_core::format::{parse_hg, to_hg};
+use hyperbench_core::Hypergraph;
+use hyperbench_repo::{AnalysisRecord, Entry, Filter, Repository};
+
+use crate::cache::{canonicalize, content_hash, AnalysisCache};
+use crate::http::{Request, Response};
+use crate::jobs::{JobStatus, JobSystem, SubmitError};
+use crate::json::{histogram, Json};
+use crate::router::Params;
+
+/// Default page size for `GET /hypergraphs`.
+const DEFAULT_LIMIT: usize = 50;
+/// Hard ceiling on the page size.
+const MAX_LIMIT: usize = 1000;
+
+/// Everything the handlers share. The repository is immutable after
+/// load, so concurrent readers need no locking; mutability is confined
+/// to the job system and cache, which synchronize internally.
+pub struct ServerState {
+    /// The loaded repository.
+    pub repo: Arc<Repository>,
+    /// Repository aggregates, computed once at bind time — the
+    /// repository never changes afterwards, so `GET /stats` must not
+    /// re-walk all entries per request.
+    pub repo_stats: hyperbench_repo::RepoStats,
+    /// Background analysis jobs.
+    pub jobs: JobSystem,
+    /// The analysis LRU (shared with `jobs`).
+    pub cache: Arc<AnalysisCache>,
+    /// Server start time, for `/healthz` uptime.
+    pub started: Instant,
+}
+
+/// A JSON error payload.
+pub fn error_response(status: u16, message: impl Into<String>) -> Response {
+    Response::json(status, Json::obj([("error", Json::str(message.into()))]))
+}
+
+fn entry_summary(e: &Entry) -> Json {
+    let mut fields = vec![
+        ("id".to_string(), Json::int(e.id)),
+        ("collection".to_string(), Json::str(&e.collection)),
+        ("class".to_string(), Json::str(&e.class)),
+        (
+            "vertices".to_string(),
+            Json::int(e.hypergraph.num_vertices()),
+        ),
+        ("edges".to_string(), Json::int(e.hypergraph.num_edges())),
+        ("arity".to_string(), Json::int(e.hypergraph.arity())),
+        ("analyzed".to_string(), Json::Bool(e.analysis.is_some())),
+    ];
+    if let Some(rec) = &e.analysis {
+        fields.push((
+            "hw_upper".to_string(),
+            rec.hw_upper.map_or(Json::Null, Json::int),
+        ));
+        fields.push(("hw_lower".to_string(), Json::int(rec.hw_lower)));
+    }
+    Json::Obj(fields)
+}
+
+fn analysis_json(rec: &AnalysisRecord) -> Json {
+    Json::obj([
+        (
+            "sizes",
+            Json::obj([
+                ("vertices", Json::int(rec.sizes.vertices)),
+                ("edges", Json::int(rec.sizes.edges)),
+                ("arity", Json::int(rec.sizes.arity)),
+            ]),
+        ),
+        (
+            "properties",
+            Json::obj([
+                ("degree", Json::int(rec.properties.degree)),
+                ("bip", Json::int(rec.properties.bip)),
+                ("bmip3", Json::int(rec.properties.bmip3)),
+                ("bmip4", Json::int(rec.properties.bmip4)),
+                (
+                    "vc_dim",
+                    rec.properties.vc_dim.map_or(Json::Null, Json::int),
+                ),
+            ]),
+        ),
+        ("hw_upper", rec.hw_upper.map_or(Json::Null, Json::int)),
+        ("hw_lower", Json::int(rec.hw_lower)),
+        ("hw_exact", rec.hw_exact().map_or(Json::Null, Json::int)),
+        ("cyclic", Json::Bool(rec.is_cyclic())),
+        ("hw_timed_out", Json::Bool(rec.hw_timed_out)),
+    ])
+}
+
+fn edges_json(h: &Hypergraph) -> Json {
+    Json::Arr(
+        h.edge_ids()
+            .map(|e| {
+                Json::obj([
+                    ("name", Json::str(h.edge_name(e))),
+                    (
+                        "vertices",
+                        Json::Arr(
+                            h.edge(e)
+                                .iter()
+                                .map(|&v| Json::str(h.vertex_name(v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// `GET /hypergraphs` — pagination + filter query params.
+pub fn list_hypergraphs(state: &ServerState, req: &Request) -> Response {
+    let mut filter = Filter::new();
+    let mut offset = 0usize;
+    let mut limit = DEFAULT_LIMIT;
+    for (key, value) in &req.query {
+        match key.as_str() {
+            "offset" => match value.parse() {
+                Ok(v) => offset = v,
+                Err(_) => return error_response(400, format!("bad value {value:?} for offset")),
+            },
+            "limit" => match value.parse::<usize>() {
+                Ok(v) if v >= 1 => limit = v.min(MAX_LIMIT),
+                _ => return error_response(400, format!("bad value {value:?} for limit")),
+            },
+            _ => match filter.clone().with_param(key, value) {
+                Ok(f) => filter = f,
+                Err(e) => return error_response(400, e.to_string()),
+            },
+        }
+    }
+    let page = state.repo.select_page(&filter, offset, limit);
+    Response::json(
+        200,
+        Json::obj([
+            ("total", Json::int(page.total)),
+            ("offset", Json::int(page.offset)),
+            ("limit", Json::int(page.limit)),
+            (
+                "items",
+                Json::Arr(page.entries.iter().map(|e| entry_summary(e)).collect()),
+            ),
+        ]),
+    )
+}
+
+fn parse_entry_id(params: &Params) -> Result<usize, Response> {
+    params
+        .get("id")
+        .unwrap_or_default()
+        .parse()
+        .map_err(|_| error_response(400, "hypergraph id must be a non-negative integer"))
+}
+
+/// `GET /hypergraphs/{id}` — full entry with properties.
+pub fn get_hypergraph(state: &ServerState, params: &Params) -> Response {
+    let id = match parse_entry_id(params) {
+        Ok(id) => id,
+        Err(resp) => return resp,
+    };
+    let Some(e) = state.repo.get(id) else {
+        return error_response(404, format!("no hypergraph with id {id}"));
+    };
+    let mut fields = vec![
+        ("id".to_string(), Json::int(e.id)),
+        ("collection".to_string(), Json::str(&e.collection)),
+        ("class".to_string(), Json::str(&e.class)),
+        (
+            "vertices".to_string(),
+            Json::int(e.hypergraph.num_vertices()),
+        ),
+        ("edges".to_string(), Json::int(e.hypergraph.num_edges())),
+        ("arity".to_string(), Json::int(e.hypergraph.arity())),
+        ("edge_list".to_string(), edges_json(&e.hypergraph)),
+    ];
+    match &e.analysis {
+        Some(rec) => fields.push(("analysis".to_string(), analysis_json(rec))),
+        None => fields.push(("analysis".to_string(), Json::Null)),
+    }
+    Response::json(200, Json::Obj(fields))
+}
+
+/// `GET /hypergraphs/{id}/hg` — the raw DetKDecomp-format document.
+pub fn get_hypergraph_raw(state: &ServerState, params: &Params) -> Response {
+    let id = match parse_entry_id(params) {
+        Ok(id) => id,
+        Err(resp) => return resp,
+    };
+    match state.repo.get(id) {
+        Some(e) => Response::text(200, to_hg(&e.hypergraph)),
+        None => error_response(404, format!("no hypergraph with id {id}")),
+    }
+}
+
+/// `POST /analyze` — submit an `.hg` body; returns a job id (202), the
+/// finished result straight away on a cache hit, or 400/503.
+pub fn post_analyze(state: &ServerState, req: &Request) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) if !s.trim().is_empty() => s,
+        Ok(_) => return error_response(400, "empty body; expected an .hg document"),
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let canonical = canonicalize(body);
+    let hash = content_hash(body);
+    let hypergraph = match parse_hg(body) {
+        Ok(h) => h,
+        Err(e) => {
+            // Record the failure so the job id remains pollable, but
+            // answer 400 immediately.
+            let id = state.jobs.submit_failed(format!("parse error: {e}"));
+            return Response::json(
+                400,
+                Json::obj([
+                    ("error", Json::str(format!("parse error: {e}"))),
+                    ("job", Json::int(id)),
+                ]),
+            );
+        }
+    };
+    match state.jobs.submit(hypergraph, hash, canonical) {
+        Ok(id) => {
+            // A cache hit completes synchronously; tell the client.
+            match state.jobs.status(id) {
+                Some(JobStatus::Done { record, cached }) => Response::json(
+                    200,
+                    Json::obj([
+                        ("job", Json::int(id)),
+                        ("status", Json::str("done")),
+                        ("cached", Json::Bool(cached)),
+                        ("result", analysis_json(&record)),
+                    ]),
+                ),
+                _ => Response::json(
+                    202,
+                    Json::obj([("job", Json::int(id)), ("status", Json::str("queued"))]),
+                ),
+            }
+        }
+        Err(SubmitError::QueueFull { capacity }) => error_response(
+            503,
+            format!("analysis queue full ({capacity} jobs); retry later"),
+        ),
+        Err(SubmitError::ShuttingDown) => error_response(503, "server shutting down"),
+    }
+}
+
+/// `GET /jobs/{id}` — poll a submitted analysis.
+pub fn get_job(state: &ServerState, params: &Params) -> Response {
+    let id = match params.get("id").unwrap_or_default().parse::<u64>() {
+        Ok(id) => id,
+        Err(_) => return error_response(400, "job id must be a non-negative integer"),
+    };
+    let Some(status) = state.jobs.status(id) else {
+        return error_response(404, format!("no job with id {id}"));
+    };
+    let mut fields = vec![
+        ("job".to_string(), Json::int(id)),
+        ("status".to_string(), Json::str(status.label())),
+    ];
+    match status {
+        JobStatus::Done { record, cached } => {
+            fields.push(("cached".to_string(), Json::Bool(cached)));
+            fields.push(("result".to_string(), analysis_json(&record)));
+        }
+        JobStatus::Failed(msg) => fields.push(("error".to_string(), Json::str(msg))),
+        JobStatus::Queued | JobStatus::Running => {}
+    }
+    Response::json(200, Json::Obj(fields))
+}
+
+/// `GET /stats` — repository aggregates + cache and job counters.
+pub fn get_stats(state: &ServerState) -> Response {
+    let repo_stats = &state.repo_stats;
+    let cache = state.cache.stats();
+    let jobs = state.jobs.stats();
+    Response::json(
+        200,
+        Json::obj([
+            (
+                "repository",
+                Json::obj([
+                    ("entries", Json::int(repo_stats.entries)),
+                    ("analyzed", Json::int(repo_stats.analyzed)),
+                    ("cyclic", Json::int(repo_stats.cyclic)),
+                    ("hw_timeouts", Json::int(repo_stats.hw_timeouts)),
+                    ("total_vertices", Json::int(repo_stats.total_vertices)),
+                    ("total_edges", Json::int(repo_stats.total_edges)),
+                    ("max_arity", Json::int(repo_stats.max_arity)),
+                    ("by_class", histogram(&repo_stats.by_class)),
+                    ("by_collection", histogram(&repo_stats.by_collection)),
+                    ("hw_exact", histogram(&repo_stats.hw_exact)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::int(cache.hits)),
+                    ("misses", Json::int(cache.misses)),
+                    ("len", Json::int(cache.len)),
+                    ("capacity", Json::int(cache.capacity)),
+                ]),
+            ),
+            (
+                "jobs",
+                Json::obj([
+                    ("submitted", Json::int(jobs.submitted)),
+                    ("queued", Json::int(jobs.queued)),
+                    ("running", Json::int(jobs.running)),
+                    ("done", Json::int(jobs.done)),
+                    ("failed", Json::int(jobs.failed)),
+                    ("deduped", Json::int(jobs.deduped)),
+                ]),
+            ),
+        ]),
+    )
+}
+
+/// `GET /healthz` — liveness.
+pub fn get_healthz(state: &ServerState) -> Response {
+    Response::json(
+        200,
+        Json::obj([
+            ("status", Json::str("ok")),
+            ("entries", Json::int(state.repo.len())),
+            (
+                "uptime_ms",
+                Json::int(state.started.elapsed().as_millis().min(i64::MAX as u128) as i64),
+            ),
+        ]),
+    )
+}

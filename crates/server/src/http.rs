@@ -1,0 +1,384 @@
+//! Minimal HTTP/1.1 request parsing and response writing over
+//! `std::io` streams. Only what the repository service needs: GET/POST,
+//! `Content-Length` bodies, percent-decoded query strings, and
+//! `Connection: close` semantics (one request per connection).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Upper bound on the request line + each header line.
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of headers.
+const MAX_HEADERS: usize = 64;
+/// Upper bound on request bodies (a generous cap for `.hg` uploads).
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+/// Whole-request deadline: a client gets this long to deliver the full
+/// request (line + headers + body). Socket read timeouts only bound each
+/// individual read, so without this a one-byte-at-a-time client could
+/// pin a connection thread indefinitely (slowloris).
+pub const MAX_REQUEST_TIME: Duration = Duration::from_secs(20);
+
+/// The request methods the service routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+}
+
+impl Method {
+    fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed request: method, decoded path segments, query params, body.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The raw path, percent-decoded, without the query string.
+    pub path: String,
+    /// Query parameters in order of appearance, percent-decoded.
+    pub query: Vec<(String, String)>,
+    /// Lower-cased request headers.
+    pub headers: HashMap<String, String>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed; maps onto a 400/413/405 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The connection closed before a full request arrived.
+    ConnectionClosed,
+    /// The request line / headers / body are malformed. Maps to 400.
+    Malformed(String),
+    /// Unknown or unsupported method. Maps to 405.
+    BadMethod(String),
+    /// Body longer than [`MAX_BODY`]. Maps to 413.
+    BodyTooLarge(usize),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed"),
+            ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ParseError::BadMethod(m) => write!(f, "unsupported method {m:?}"),
+            ParseError::BodyTooLarge(n) => write!(f, "body of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+fn read_line<R: BufRead>(reader: &mut R, deadline: Instant) -> Result<String, ParseError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if Instant::now() > deadline {
+            return Err(ParseError::Malformed(
+                "request exceeded the time budget".to_string(),
+            ));
+        }
+        let n = reader
+            .read(&mut byte)
+            .map_err(|e| ParseError::Malformed(e.to_string()))?;
+        if n == 0 {
+            if line.is_empty() {
+                return Err(ParseError::ConnectionClosed);
+            }
+            return Err(ParseError::Malformed("truncated line".to_string()));
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| ParseError::Malformed("non-UTF-8 header line".to_string()));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE {
+            return Err(ParseError::Malformed("header line too long".to_string()));
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`.
+pub fn read_request<R: Read>(stream: R) -> Result<Request, ParseError> {
+    let deadline = Instant::now() + MAX_REQUEST_TIME;
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader, deadline)?;
+    let mut parts = request_line.split(' ');
+    let (method_s, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(ParseError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let method =
+        Method::parse(method_s).ok_or_else(|| ParseError::BadMethod(method_s.to_string()))?;
+
+    let mut headers = HashMap::new();
+    loop {
+        let line = read_line(&mut reader, deadline)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::Malformed("too many headers".to_string()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Malformed(format!("bad header line {line:?}")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let body = match headers.get("content-length") {
+        None => Vec::new(),
+        Some(v) => {
+            let len: usize = v
+                .parse()
+                .map_err(|_| ParseError::Malformed(format!("bad Content-Length {v:?}")))?;
+            if len > MAX_BODY {
+                return Err(ParseError::BodyTooLarge(len));
+            }
+            // Chunked reads so the request deadline also bounds a
+            // deliberately slow body.
+            let mut body = vec![0u8; len];
+            let mut filled = 0;
+            while filled < len {
+                if Instant::now() > deadline {
+                    return Err(ParseError::Malformed(
+                        "request exceeded the time budget".to_string(),
+                    ));
+                }
+                let chunk = (len - filled).min(64 * 1024);
+                reader
+                    .read_exact(&mut body[filled..filled + chunk])
+                    .map_err(|_| ParseError::Malformed("truncated body".to_string()))?;
+                filled += chunk;
+            }
+            body
+        }
+    };
+
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(path_raw)
+        .ok_or_else(|| ParseError::Malformed(format!("bad percent-encoding in {path_raw:?}")))?;
+    let query = match query_raw {
+        None => Vec::new(),
+        Some(q) => parse_query(q)
+            .ok_or_else(|| ParseError::Malformed(format!("bad query string {q:?}")))?,
+    };
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Splits `a=1&b=2` into decoded pairs; `None` on bad percent-encoding.
+pub fn parse_query(q: &str) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for pair in q.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Some(out)
+}
+
+/// Percent-decoding with `+` → space (form-style), `None` on bad escapes.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// An outgoing response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl ToString) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.to_string().into_bytes(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Serializes the response (status line + headers + body) to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The canonical reason phrase for the status codes the service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = b"GET /hypergraphs?class=CSP%20Random&hw_le=5 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/hypergraphs");
+        assert_eq!(
+            req.query,
+            vec![
+                ("class".to_string(), "CSP Random".to_string()),
+                ("hw_le".to_string(), "5".to_string())
+            ]
+        );
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /analyze HTTP/1.1\r\nContent-Length: 9\r\n\r\ne(a,b,c).";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"e(a,b,c).");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            read_request(&b"NOT-HTTP\r\n\r\n"[..]),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request(&b"PATCH /x HTTP/1.1\r\n\r\n"[..]),
+            Err(ParseError::BadMethod(_))
+        ));
+        assert!(matches!(
+            read_request(&b"GET /x HTTP/2\r\n\r\n"[..]),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request(&b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n"[..]),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request(&b""[..]),
+            Err(ParseError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = format!(
+            "POST /analyze HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            read_request(raw.as_bytes()),
+            Err(ParseError::BodyTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a+b%2Fc").unwrap(), "a b/c");
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert!(percent_decode("bad%zz").is_none());
+        assert!(percent_decode("trunc%2").is_none());
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,474 @@
+//! Background analysis jobs: `POST /analyze` enqueues, a dedicated worker
+//! pool drains, `GET /jobs/{id}` polls. The queue is bounded — a full
+//! queue turns into a 503 at the HTTP layer instead of unbounded memory
+//! growth — and results are published to the shared [`AnalysisCache`].
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use hyperbench_core::Hypergraph;
+use hyperbench_repo::{analyze_instance, AnalysisConfig, AnalysisRecord};
+
+use crate::cache::{AnalysisCache, ContentHash};
+
+/// A job identifier, dense from 0.
+pub type JobId = u64;
+
+/// How many finished (done/failed) job statuses are retained for
+/// polling. Older finished jobs are evicted, so the status map stays
+/// bounded on a long-running server no matter how many submissions it
+/// sees; a poll for an evicted job answers 404 like an unknown id.
+pub const MAX_FINISHED_RETAINED: usize = 1024;
+
+/// Lifecycle of one submitted analysis.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is analyzing it.
+    Running,
+    /// Finished; the record is available (and cached). The flag says
+    /// whether the result came straight from the cache.
+    Done {
+        /// The analysis result.
+        record: Arc<AnalysisRecord>,
+        /// Whether the submission was served from the cache.
+        cached: bool,
+    },
+    /// The submission could not be analyzed (parse error and friends).
+    Failed(String),
+}
+
+impl JobStatus {
+    /// The label used in JSON payloads.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done { .. } => "done",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Counters exposed through `GET /stats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobStats {
+    /// Jobs submitted over the server's lifetime.
+    pub submitted: usize,
+    /// Jobs currently waiting.
+    pub queued: usize,
+    /// Jobs currently running.
+    pub running: usize,
+    /// Jobs finished successfully.
+    pub done: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Submissions answered with an already queued/running job id
+    /// (in-flight dedup).
+    pub deduped: usize,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity. Maps to 503.
+    QueueFull {
+        /// The configured bound.
+        capacity: usize,
+    },
+    /// The system is shutting down.
+    ShuttingDown,
+}
+
+struct QueueItem {
+    id: JobId,
+    hypergraph: Hypergraph,
+    hash: ContentHash,
+    canonical: String,
+}
+
+struct JobState {
+    queue: VecDeque<QueueItem>,
+    statuses: HashMap<JobId, JobStatus>,
+    // Content hashes currently queued or running → (canonical document,
+    // job id), so a concurrent resubmission of the same document shares
+    // the job instead of running the analysis twice. The document is
+    // compared on lookup; a hash collision must not join the wrong job.
+    inflight: HashMap<ContentHash, (String, JobId)>,
+    // Finished job ids in completion order; the eviction queue keeping
+    // `statuses` bounded by MAX_FINISHED_RETAINED.
+    finished: VecDeque<JobId>,
+    next_id: JobId,
+    submitted: usize,
+    running: usize,
+    done: usize,
+    failed: usize,
+    deduped: usize,
+}
+
+impl JobState {
+    /// Records a terminal status and evicts the oldest finished job
+    /// beyond the retention bound.
+    fn finish(&mut self, id: JobId, status: JobStatus) {
+        self.statuses.insert(id, status);
+        self.finished.push_back(id);
+        while self.finished.len() > MAX_FINISHED_RETAINED {
+            if let Some(old) = self.finished.pop_front() {
+                self.statuses.remove(&old);
+            }
+        }
+    }
+}
+
+/// The job system: bounded queue + worker pool + result store.
+pub struct JobSystem {
+    state: Arc<(Mutex<JobState>, Condvar)>,
+    cache: Arc<AnalysisCache>,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
+}
+
+impl JobSystem {
+    /// Starts `workers` analysis workers with a queue bound of
+    /// `queue_capacity` and the given analysis budgets.
+    pub fn start(
+        workers: usize,
+        queue_capacity: usize,
+        cache: Arc<AnalysisCache>,
+        config: AnalysisConfig,
+    ) -> JobSystem {
+        let state = Arc::new((
+            Mutex::new(JobState {
+                queue: VecDeque::new(),
+                statuses: HashMap::new(),
+                inflight: HashMap::new(),
+                finished: VecDeque::new(),
+                next_id: 0,
+                submitted: 0,
+                running: 0,
+                done: 0,
+                failed: 0,
+                deduped: 0,
+            }),
+            Condvar::new(),
+        ));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                let cache = Arc::clone(&cache);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::Builder::new()
+                    .name(format!("hyperbench-analyze-{i}"))
+                    .spawn(move || worker_loop(&state, &cache, &shutdown, &config))
+                    .expect("spawn analysis worker")
+            })
+            .collect();
+        JobSystem {
+            state,
+            cache,
+            shutdown,
+            workers: handles,
+            queue_capacity: queue_capacity.max(1),
+        }
+    }
+
+    /// Submits a parsed hypergraph together with its canonicalized
+    /// source (see [`crate::cache::canonicalize`]). On a cache hit the
+    /// job completes immediately without touching the queue; a document
+    /// already queued or running shares that job id; otherwise it is
+    /// enqueued unless the queue is full.
+    pub fn submit(
+        &self,
+        hypergraph: Hypergraph,
+        hash: ContentHash,
+        canonical: String,
+    ) -> Result<JobId, SubmitError> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let (lock, cvar) = &*self.state;
+        let mut state = lock.lock().expect("job lock");
+        let id = state.next_id;
+        if let Some(record) = self.cache.get(hash, &canonical) {
+            state.next_id += 1;
+            state.submitted += 1;
+            state.done += 1;
+            state.finish(
+                id,
+                JobStatus::Done {
+                    record,
+                    cached: true,
+                },
+            );
+            return Ok(id);
+        }
+        // The same document already queued or running: share its job id
+        // rather than burning a second queue slot and analysis run.
+        if let Some((doc, existing)) = state.inflight.get(&hash) {
+            if *doc == canonical {
+                let existing = *existing;
+                state.deduped += 1;
+                return Ok(existing);
+            }
+        }
+        if state.queue.len() >= self.queue_capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.queue_capacity,
+            });
+        }
+        state.next_id += 1;
+        state.submitted += 1;
+        state.statuses.insert(id, JobStatus::Queued);
+        state.inflight.insert(hash, (canonical.clone(), id));
+        state.queue.push_back(QueueItem {
+            id,
+            hypergraph,
+            hash,
+            canonical,
+        });
+        cvar.notify_one();
+        Ok(id)
+    }
+
+    /// Records a submission that failed before reaching the queue (e.g.
+    /// an unparsable body), so clients can still poll its job id.
+    pub fn submit_failed(&self, message: String) -> JobId {
+        let (lock, _) = &*self.state;
+        let mut state = lock.lock().expect("job lock");
+        let id = state.next_id;
+        state.next_id += 1;
+        state.submitted += 1;
+        state.failed += 1;
+        state.finish(id, JobStatus::Failed(message));
+        id
+    }
+
+    /// The current status of a job.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let (lock, _) = &*self.state;
+        lock.lock().expect("job lock").statuses.get(&id).cloned()
+    }
+
+    /// A snapshot of the queue/throughput counters.
+    pub fn stats(&self) -> JobStats {
+        let (lock, _) = &*self.state;
+        let state = lock.lock().expect("job lock");
+        JobStats {
+            submitted: state.submitted,
+            queued: state.queue.len(),
+            running: state.running,
+            done: state.done,
+            failed: state.failed,
+            deduped: state.deduped,
+        }
+    }
+
+    /// Blocks until the job leaves the queued/running states (test and
+    /// example helper; HTTP clients poll instead).
+    pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        loop {
+            match self.status(id) {
+                Some(JobStatus::Queued) | Some(JobStatus::Running) => {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+impl Drop for JobSystem {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let (_, cvar) = &*self.state;
+        cvar.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    state: &(Mutex<JobState>, Condvar),
+    cache: &AnalysisCache,
+    shutdown: &AtomicBool,
+    config: &AnalysisConfig,
+) {
+    let (lock, cvar) = state;
+    loop {
+        let item = {
+            let mut guard = lock.lock().expect("job lock");
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(item) = guard.queue.pop_front() {
+                    guard.running += 1;
+                    guard.statuses.insert(item.id, JobStatus::Running);
+                    break item;
+                }
+                guard = cvar.wait(guard).expect("job lock");
+            }
+        };
+        // Run the analysis outside the lock — this is the long part.
+        // Client-supplied hypergraphs reach deep into the decomposition
+        // code; a panic there must fail the one job, not kill the
+        // worker (which would leave the job "running" forever and its
+        // hash stuck in the dedup map).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            analyze_instance(&item.hypergraph, config)
+        }));
+        let mut guard = lock.lock().expect("job lock");
+        guard.running -= 1;
+        guard.inflight.remove(&item.hash);
+        match outcome {
+            Ok(record) => {
+                let record = Arc::new(record);
+                cache.put(item.hash, item.canonical, Arc::clone(&record));
+                guard.done += 1;
+                guard.finish(
+                    item.id,
+                    JobStatus::Done {
+                        record,
+                        cached: false,
+                    },
+                );
+            }
+            Err(_) => {
+                guard.failed += 1;
+                guard.finish(
+                    item.id,
+                    JobStatus::Failed("analysis panicked on this input".to_string()),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperbench_core::builder::hypergraph_from_edges;
+
+    fn triangle() -> Hypergraph {
+        hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])])
+    }
+
+    fn system(workers: usize, capacity: usize) -> JobSystem {
+        JobSystem::start(
+            workers,
+            capacity,
+            Arc::new(AnalysisCache::new(8)),
+            AnalysisConfig::default(),
+        )
+    }
+
+    #[test]
+    fn submit_run_poll() {
+        let jobs = system(2, 8);
+        let id = jobs.submit(triangle(), ContentHash(1), "t".into()).unwrap();
+        match jobs.wait(id) {
+            Some(JobStatus::Done { record, cached }) => {
+                assert!(!cached);
+                assert_eq!(record.hw_exact(), Some(2));
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+        let stats = jobs.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.done, 1);
+    }
+
+    #[test]
+    fn repeated_submission_hits_cache() {
+        let jobs = system(1, 8);
+        let first = jobs.submit(triangle(), ContentHash(7), "t".into()).unwrap();
+        assert!(matches!(
+            jobs.wait(first),
+            Some(JobStatus::Done { cached: false, .. })
+        ));
+        let second = jobs.submit(triangle(), ContentHash(7), "t".into()).unwrap();
+        // Immediately done, no queue round-trip.
+        assert!(matches!(
+            jobs.status(second),
+            Some(JobStatus::Done { cached: true, .. })
+        ));
+    }
+
+    #[test]
+    fn queue_bound_rejects() {
+        // No workers can drain fast enough to matter: capacity 1, and the
+        // first job may already be running, so fill with two more.
+        let jobs = system(1, 1);
+        let mut rejected = false;
+        for i in 0..10 {
+            if let Err(SubmitError::QueueFull { capacity }) =
+                jobs.submit(triangle(), ContentHash(100 + i), format!("t{i}"))
+            {
+                assert_eq!(capacity, 1);
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "bounded queue never rejected");
+    }
+
+    #[test]
+    fn failed_submissions_are_pollable() {
+        let jobs = system(1, 4);
+        let id = jobs.submit_failed("parse error: nope".to_string());
+        match jobs.status(id) {
+            Some(JobStatus::Failed(msg)) => assert!(msg.contains("parse error")),
+            other => panic!("unexpected status {other:?}"),
+        }
+        assert_eq!(jobs.stats().failed, 1);
+    }
+
+    #[test]
+    fn unknown_job_is_none() {
+        assert!(system(1, 4).status(999).is_none());
+    }
+
+    #[test]
+    fn inflight_resubmission_shares_the_job() {
+        let jobs = system(1, 8);
+        // Occupy the single worker so the target job stays queued.
+        let blocker = hypergraph_from_edges(&[("b1", &["p", "q"]), ("b2", &["q", "r"])]);
+        jobs.submit(blocker, ContentHash(50), "blocker".into())
+            .unwrap();
+        let first = jobs
+            .submit(triangle(), ContentHash(51), "t".into())
+            .unwrap();
+        let second = jobs
+            .submit(triangle(), ContentHash(51), "t".into())
+            .unwrap();
+        // Either the job was still in flight (same id) or it finished
+        // between the two submits (cache hit) — never a second run.
+        let deduped = second == first;
+        let cached = matches!(
+            jobs.status(second),
+            Some(JobStatus::Done { cached: true, .. })
+        );
+        assert!(deduped || cached, "resubmission spawned a duplicate job");
+        assert!(matches!(jobs.wait(first), Some(JobStatus::Done { .. })));
+    }
+
+    #[test]
+    fn finished_statuses_are_bounded() {
+        let jobs = system(1, 4);
+        // Terminal statuses beyond the retention bound are evicted
+        // oldest-first, keeping the map bounded under failure floods.
+        for i in 0..(MAX_FINISHED_RETAINED + 10) {
+            jobs.submit_failed(format!("bad submission {i}"));
+        }
+        let (lock, _) = &*jobs.state;
+        assert_eq!(lock.lock().unwrap().statuses.len(), MAX_FINISHED_RETAINED);
+        assert!(jobs.status(0).is_none(), "oldest job should be evicted");
+        assert!(jobs.status((MAX_FINISHED_RETAINED + 9) as JobId).is_some());
+    }
+}

@@ -1,0 +1,348 @@
+//! # hyperbench-server
+//!
+//! A concurrent HTTP/1.1 repository service over the HyperBench tool —
+//! the serving layer the paper exposes at `hyperbench.dbai.tuwien.ac.at`
+//! (§5), rebuilt on `std::net` with no external dependencies:
+//!
+//! * a fixed thread-pool accepts and handles connections ([`pool`]),
+//! * a hand-rolled router maps paths to handlers ([`router`]),
+//! * responses are written by a zero-dependency JSON writer ([`json`]),
+//! * `POST /analyze` runs on a background worker pool with a bounded job
+//!   queue ([`jobs`]) and an LRU cache keyed by content hash ([`cache`]).
+//!
+//! | route | answer |
+//! |-------|--------|
+//! | `GET /hypergraphs` | paginated, filterable entry summaries |
+//! | `GET /hypergraphs/{id}` | full entry + analysis as JSON |
+//! | `GET /hypergraphs/{id}/hg` | raw DetKDecomp-format text |
+//! | `POST /analyze` | submit an `.hg` body → job id |
+//! | `GET /jobs/{id}` | poll a submitted analysis |
+//! | `GET /stats` | repository aggregates + cache/job counters |
+//! | `GET /healthz` | liveness |
+//!
+//! ```no_run
+//! use hyperbench_repo::Repository;
+//! use hyperbench_server::{Server, ServerConfig};
+//!
+//! let repo = Repository::new();
+//! let server = Server::bind(repo, &ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", server.local_addr());
+//! server.run(); // blocks
+//! ```
+
+pub mod cache;
+pub mod handlers;
+pub mod http;
+pub mod jobs;
+pub mod json;
+pub mod pool;
+pub mod router;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hyperbench_repo::{AnalysisConfig, Repository};
+
+use cache::AnalysisCache;
+use handlers::{error_response, ServerState};
+use http::{Method, ParseError, Request, Response};
+use jobs::JobSystem;
+use pool::ThreadPool;
+use router::{RouteMatch, Router};
+
+/// Server configuration; `Default` is sensible for local use.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080`. Port 0 picks an ephemeral
+    /// port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Connection-handling threads.
+    pub threads: usize,
+    /// Background analysis workers.
+    pub analysis_workers: usize,
+    /// Bound on the analysis job queue (overflow → 503).
+    pub job_queue_capacity: usize,
+    /// Capacity of the analysis LRU cache.
+    pub cache_capacity: usize,
+    /// Budgets for `POST /analyze` runs.
+    pub analysis: AnalysisConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            threads: 4,
+            analysis_workers: 2,
+            job_queue_capacity: 64,
+            cache_capacity: 256,
+            analysis: AnalysisConfig::default(),
+        }
+    }
+}
+
+enum Endpoint {
+    List,
+    Detail,
+    RawHg,
+    Analyze,
+    Job,
+    Stats,
+    Health,
+}
+
+fn build_router() -> Router<Endpoint> {
+    let mut router = Router::new();
+    router
+        .add(Method::Get, "/hypergraphs", Endpoint::List)
+        .add(Method::Get, "/hypergraphs/{id}", Endpoint::Detail)
+        .add(Method::Get, "/hypergraphs/{id}/hg", Endpoint::RawHg)
+        .add(Method::Post, "/analyze", Endpoint::Analyze)
+        .add(Method::Get, "/jobs/{id}", Endpoint::Job)
+        .add(Method::Get, "/stats", Endpoint::Stats)
+        .add(Method::Get, "/healthz", Endpoint::Health);
+    router
+}
+
+/// A bound, not-yet-running server: [`Server::bind`], then the blocking
+/// [`Server::run`] (tests run it on a thread and stop it through a
+/// [`ShutdownHandle`]).
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    router: Arc<Router<Endpoint>>,
+    pool: ThreadPool,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and starts the worker pools (but does not
+    /// accept yet).
+    pub fn bind(repo: Repository, config: &ServerConfig) -> io::Result<Server> {
+        let listener =
+            TcpListener::bind(config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "unresolvable addr")
+            })?)?;
+        let local_addr = listener.local_addr()?;
+        let cache = Arc::new(AnalysisCache::new(config.cache_capacity));
+        let jobs = JobSystem::start(
+            config.analysis_workers,
+            config.job_queue_capacity,
+            Arc::clone(&cache),
+            config.analysis,
+        );
+        let repo_stats = hyperbench_repo::aggregate_stats(&repo);
+        Ok(Server {
+            listener,
+            local_addr,
+            state: Arc::new(ServerState {
+                repo: Arc::new(repo),
+                repo_stats,
+                jobs,
+                cache,
+                started: Instant::now(),
+            }),
+            router: Arc::new(build_router()),
+            pool: ThreadPool::new(config.threads),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that can stop [`Server::run`] from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr,
+        }
+    }
+
+    /// Accepts connections until a [`ShutdownHandle`] fires, dispatching
+    /// each onto the connection pool. Connections beyond the pending
+    /// bound are answered 503 on the accept thread instead of queueing
+    /// without limit — otherwise a stalled pool would accumulate open
+    /// sockets until fd exhaustion.
+    pub fn run(self) {
+        let pending = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let max_pending = self.pool.size() * 64;
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(mut stream) => {
+                    if pending.load(Ordering::SeqCst) >= max_pending {
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+                        let _ = error_response(503, "server overloaded; retry later")
+                            .write_to(&mut stream);
+                        continue;
+                    }
+                    pending.fetch_add(1, Ordering::SeqCst);
+                    let state = Arc::clone(&self.state);
+                    let router = Arc::clone(&self.router);
+                    let guard = PendingGuard(Arc::clone(&pending));
+                    self.pool.execute(move || {
+                        // The guard releases the slot even if handling
+                        // panics (the pool catches the unwind).
+                        let _guard = guard;
+                        handle_connection(stream, &state, &router);
+                    });
+                }
+                Err(e) => {
+                    // Transient accept failures (EMFILE and friends) must
+                    // not kill the server — but retrying instantly would
+                    // spin hot while the condition persists, so back off
+                    // briefly before the next accept.
+                    eprintln!("accept error: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+/// Decrements the pending-connection count on drop, so a panicking
+/// handler cannot leak its slot.
+struct PendingGuard(Arc<std::sync::atomic::AtomicUsize>);
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Stops a running server: sets the flag and pokes the listener so the
+/// blocking `accept` wakes up.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown. Idempotent.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Wake the accept loop; ignore failure (server may be gone).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState, router: &Router<Endpoint>) {
+    // Slowloris guard: a connection gets a bounded window to deliver its
+    // request.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let response = match http::read_request(&stream) {
+        Ok(request) => dispatch(state, router, &request),
+        Err(ParseError::ConnectionClosed) => return,
+        Err(ParseError::BadMethod(m)) => error_response(405, format!("method {m:?} not supported")),
+        Err(ParseError::BodyTooLarge(n)) => error_response(
+            413,
+            format!(
+                "body of {n} bytes exceeds the {} byte limit",
+                http::MAX_BODY
+            ),
+        ),
+        Err(e @ ParseError::Malformed(_)) => error_response(400, e.to_string()),
+    };
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+}
+
+fn dispatch(state: &ServerState, router: &Router<Endpoint>, request: &Request) -> Response {
+    match router.route(request.method, &request.path) {
+        RouteMatch::Found(endpoint, params) => match endpoint {
+            Endpoint::List => handlers::list_hypergraphs(state, request),
+            Endpoint::Detail => handlers::get_hypergraph(state, &params),
+            Endpoint::RawHg => handlers::get_hypergraph_raw(state, &params),
+            Endpoint::Analyze => handlers::post_analyze(state, request),
+            Endpoint::Job => handlers::get_job(state, &params),
+            Endpoint::Stats => handlers::get_stats(state),
+            Endpoint::Health => handlers::get_healthz(state),
+        },
+        RouteMatch::MethodMismatch => {
+            error_response(405, format!("wrong method for {}", request.path))
+        }
+        RouteMatch::NotFound => error_response(404, format!("no route for {}", request.path)),
+    }
+}
+
+/// Loads a repository from `dir` and serves it until the process exits.
+/// The `hyperbench serve` CLI entry point.
+pub fn serve_dir(dir: &std::path::Path, config: &ServerConfig) -> Result<(), String> {
+    let repo = hyperbench_repo::store::load(dir).map_err(|e| e.to_string())?;
+    let server = Server::bind(repo, config).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    println!(
+        "hyperbench-server: {} entries from {} on http://{} ({} threads, {} analysis workers)",
+        server.state.repo.len(),
+        dir.display(),
+        server.local_addr(),
+        server.pool.size(),
+        config.analysis_workers,
+    );
+    server.run();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperbench_core::builder::hypergraph_from_edges;
+    use std::io::{Read, Write};
+
+    fn test_server() -> (std::thread::JoinHandle<()>, SocketAddr, ShutdownHandle) {
+        let mut repo = Repository::new();
+        repo.insert(
+            hypergraph_from_edges(&[("e", &["a", "b"])]),
+            "TPC-H",
+            "CQ Application",
+        );
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(repo, &config).unwrap();
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run());
+        (join, addr, handle)
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn bind_run_shutdown() {
+        let (join, addr, shutdown) = test_server();
+        let response = request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "got: {response}");
+        assert!(response.contains("\"status\":\"ok\""), "got: {response}");
+        shutdown.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_route_is_404_with_json() {
+        let (join, addr, shutdown) = test_server();
+        let response = request(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 404"), "got: {response}");
+        assert!(response.contains("\"error\""), "got: {response}");
+        shutdown.shutdown();
+        join.join().unwrap();
+    }
+}

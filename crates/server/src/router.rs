@@ -1,0 +1,186 @@
+//! A hand-rolled request router: fixed-pattern matching with `{param}`
+//! placeholders, no regexes, no allocation on the hot path beyond the
+//! captured parameters.
+
+use crate::http::Method;
+
+/// One route: a method, a slash-separated pattern, and a handler id the
+/// caller dispatches on. Patterns look like `/hypergraphs/{id}/hg`.
+struct Route<H> {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: H,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+/// Captured `{param}` values for a matched route.
+#[derive(Debug, Default)]
+pub struct Params {
+    pairs: Vec<(String, String)>,
+}
+
+impl Params {
+    /// The captured value for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of routing a request path.
+pub enum RouteMatch<'r, H> {
+    /// A route matched; dispatch on its handler with the captured params.
+    Found(&'r H, Params),
+    /// The path exists under a different method. Maps to 405.
+    MethodMismatch,
+    /// Nothing matched. Maps to 404.
+    NotFound,
+}
+
+/// The router: an ordered list of routes, first match wins.
+pub struct Router<H> {
+    routes: Vec<Route<H>>,
+}
+
+impl<H> Default for Router<H> {
+    fn default() -> Self {
+        Router { routes: Vec::new() }
+    }
+}
+
+impl<H> Router<H> {
+    /// An empty router.
+    pub fn new() -> Router<H> {
+        Router::default()
+    }
+
+    /// Registers `pattern` under `method`.
+    ///
+    /// # Panics
+    /// Panics on patterns that do not start with `/` — routes are
+    /// compiled at server construction, so this is a programming error.
+    pub fn add(&mut self, method: Method, pattern: &str, handler: H) -> &mut Self {
+        assert!(pattern.starts_with('/'), "route pattern must start with /");
+        let segments = pattern[1..]
+            .split('/')
+            .map(|s| {
+                if let Some(name) = s.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                    Segment::Param(name.to_string())
+                } else {
+                    Segment::Literal(s.to_string())
+                }
+            })
+            .collect();
+        self.routes.push(Route {
+            method,
+            segments,
+            handler,
+        });
+        self
+    }
+
+    /// Routes a decoded path. Distinguishes 404 from 405 so the HTTP
+    /// layer can answer precisely.
+    pub fn route(&self, method: Method, path: &str) -> RouteMatch<'_, H> {
+        let path = path.strip_prefix('/').unwrap_or(path);
+        let segments: Vec<&str> = path.split('/').collect();
+        let mut saw_path_match = false;
+        for route in &self.routes {
+            match Self::capture(&route.segments, &segments) {
+                Some(params) if route.method == method => {
+                    return RouteMatch::Found(&route.handler, params)
+                }
+                Some(_) => saw_path_match = true,
+                None => {}
+            }
+        }
+        if saw_path_match {
+            RouteMatch::MethodMismatch
+        } else {
+            RouteMatch::NotFound
+        }
+    }
+
+    fn capture(pattern: &[Segment], path: &[&str]) -> Option<Params> {
+        if pattern.len() != path.len() {
+            return None;
+        }
+        let mut params = Params::default();
+        for (seg, part) in pattern.iter().zip(path) {
+            match seg {
+                Segment::Literal(lit) if lit == part => {}
+                Segment::Literal(_) => return None,
+                Segment::Param(name) => {
+                    if part.is_empty() {
+                        return None;
+                    }
+                    params.pairs.push((name.clone(), part.to_string()));
+                }
+            }
+        }
+        Some(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router<&'static str> {
+        let mut r = Router::new();
+        r.add(Method::Get, "/hypergraphs", "list")
+            .add(Method::Get, "/hypergraphs/{id}", "detail")
+            .add(Method::Get, "/hypergraphs/{id}/hg", "raw")
+            .add(Method::Post, "/analyze", "analyze")
+            .add(Method::Get, "/jobs/{id}", "job");
+        r
+    }
+
+    #[test]
+    fn literal_and_param_matching() {
+        let r = router();
+        match r.route(Method::Get, "/hypergraphs") {
+            RouteMatch::Found(h, _) => assert_eq!(*h, "list"),
+            _ => panic!("expected match"),
+        }
+        match r.route(Method::Get, "/hypergraphs/17/hg") {
+            RouteMatch::Found(h, p) => {
+                assert_eq!(*h, "raw");
+                assert_eq!(p.get("id"), Some("17"));
+            }
+            _ => panic!("expected match"),
+        }
+    }
+
+    #[test]
+    fn distinguishes_404_from_405() {
+        let r = router();
+        assert!(matches!(
+            r.route(Method::Post, "/hypergraphs"),
+            RouteMatch::MethodMismatch
+        ));
+        assert!(matches!(
+            r.route(Method::Get, "/nope"),
+            RouteMatch::NotFound
+        ));
+        assert!(matches!(
+            r.route(Method::Get, "/hypergraphs/1/2/3"),
+            RouteMatch::NotFound
+        ));
+    }
+
+    #[test]
+    fn empty_param_segment_does_not_match() {
+        let r = router();
+        assert!(matches!(
+            r.route(Method::Get, "/hypergraphs//hg"),
+            RouteMatch::NotFound
+        ));
+    }
+}

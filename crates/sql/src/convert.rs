@@ -116,10 +116,7 @@ mod tests {
         // 3 + 3 attributes, two merged → 5 vertices.
         assert_eq!(h.num_vertices(), 5);
         // The merged vertex lies in both edges.
-        let shared = h
-            .vertex_ids()
-            .filter(|&v| h.edges_of(v).len() == 2)
-            .count();
+        let shared = h.vertex_ids().filter(|&v| h.edges_of(v).len() == 2).count();
         assert_eq!(shared, 1);
     }
 

@@ -172,7 +172,14 @@ impl<'a> Extractor<'a> {
             let mut sub_idx = 0usize;
             for conj in w.conjuncts() {
                 self.process_conjunct(
-                    conj, &mut sq, &outmap, &direct, &mut opaque, &scopes, name, &mut sub_idx,
+                    conj,
+                    &mut sq,
+                    &outmap,
+                    &direct,
+                    &mut opaque,
+                    &scopes,
+                    name,
+                    &mut sub_idx,
                 )?;
             }
         }
@@ -329,10 +336,9 @@ impl<'a> Extractor<'a> {
                 let a = self.resolve(sq, outmap, direct, opaque, left);
                 let b = self.resolve(sq, outmap, direct, opaque, right);
                 match (a, b) {
-                    (Some(a), Some(b))
-                        if a != b => {
-                            sq.joins.push((a, b));
-                        }
+                    (Some(a), Some(b)) if a != b => {
+                        sq.joins.push((a, b));
+                    }
                     (Some(a), None) if is_const(right) => sq.constants.push(a),
                     (None, Some(b)) if is_const(left) => sq.constants.push(b),
                     _ => {}
@@ -653,10 +659,7 @@ mod tests {
 
     #[test]
     fn unknown_table_errors() {
-        let r = extract_simple_queries(
-            &parse("SELECT * FROM nosuch n").unwrap(),
-            &catalog(),
-        );
+        let r = extract_simple_queries(&parse("SELECT * FROM nosuch n").unwrap(), &catalog());
         assert!(matches!(r, Err(SqlError::UnknownTable(_))));
     }
 

@@ -82,7 +82,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String, SqlError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -612,8 +614,8 @@ mod tests {
 
     #[test]
     fn derived_table() {
-        let stmt = parse("SELECT * FROM (SELECT * FROM t WHERE t.x = 1) d, u WHERE d.a = u.a")
-            .unwrap();
+        let stmt =
+            parse("SELECT * FROM (SELECT * FROM t WHERE t.x = 1) d, u WHERE d.a = u.a").unwrap();
         let s = select_of(&stmt);
         assert!(matches!(&s.from[0], TableRef::Subquery { alias, .. } if alias == "d"));
     }
@@ -686,10 +688,7 @@ mod tests {
             Expr::Or(l, _) => {
                 let conj = l.conjuncts();
                 assert_eq!(conj.len(), 3);
-                assert!(matches!(
-                    conj[0],
-                    Expr::Cmp { op: CmpOp::Eq, .. }
-                ));
+                assert!(matches!(conj[0], Expr::Cmp { op: CmpOp::Eq, .. }));
             }
             other => panic!("{other:?}"),
         }
@@ -715,8 +714,7 @@ mod tests {
 
     #[test]
     fn mixed_comma_and_join() {
-        let stmt =
-            parse("SELECT * FROM a, b JOIN c ON b.x = c.x WHERE a.y = b.y").unwrap();
+        let stmt = parse("SELECT * FROM a, b JOIN c ON b.x = c.x WHERE a.y = b.y").unwrap();
         let s = select_of(&stmt);
         assert_eq!(s.from.len(), 3);
         // WHERE condition plus the ON condition.
@@ -733,10 +731,7 @@ mod tests {
 
     #[test]
     fn join_with_derived_table() {
-        let stmt = parse(
-            "SELECT * FROM a JOIN (SELECT t.x FROM t) d ON a.x = d.x",
-        )
-        .unwrap();
+        let stmt = parse("SELECT * FROM a JOIN (SELECT t.x FROM t) d ON a.x = d.x").unwrap();
         let s = select_of(&stmt);
         assert_eq!(s.from.len(), 2);
         assert!(matches!(&s.from[1], TableRef::Subquery { .. }));

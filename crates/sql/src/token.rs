@@ -171,22 +171,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                 out.push(Token::Op(CmpOp::Eq));
                 i += 1;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'>') => {
-                        out.push(Token::Op(CmpOp::Ne));
-                        i += 2;
-                    }
-                    Some(b'=') => {
-                        out.push(Token::Op(CmpOp::Le));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Op(CmpOp::Lt));
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'>') => {
+                    out.push(Token::Op(CmpOp::Ne));
+                    i += 2;
                 }
-            }
+                Some(b'=') => {
+                    out.push(Token::Op(CmpOp::Le));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Op(CmpOp::Ge));
@@ -232,9 +230,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     // Don't swallow a trailing dot followed by an identifier
                     // (unlikely after a number, but keep it simple: numbers
                     // may contain at most one dot).
@@ -244,8 +240,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }

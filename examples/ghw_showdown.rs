@@ -14,7 +14,10 @@ use hyperbench_decomp::driver::{hypertree_width, race_ghd};
 fn main() {
     // A small mixed sample: SPARQL (cyclic CQs) + CSP Application.
     let mut instances = Vec::new();
-    for spec in TABLE1.iter().filter(|s| s.name == "SPARQL" || s.name == "Application") {
+    for spec in TABLE1
+        .iter()
+        .filter(|s| s.name == "SPARQL" || s.name == "Application")
+    {
         instances.extend(generate_collection(spec, 7, 0.02));
     }
     println!("generated {} instances", instances.len());

@@ -26,7 +26,12 @@ fn main() {
     b.add_edge("chord", &["v0", "v3"]);
     let h = b.build();
 
-    println!("Hypergraph: {} vertices, {} edges, arity {}", h.num_vertices(), h.num_edges(), h.arity());
+    println!(
+        "Hypergraph: {} vertices, {} edges, arity {}",
+        h.num_vertices(),
+        h.num_edges(),
+        h.arity()
+    );
 
     // Structural properties (Table 2 of the paper).
     let p = structural_properties(&h, 1_000_000);
@@ -47,7 +52,10 @@ fn main() {
 
             // ImproveHD (§6.5): fractional covers on the same tree.
             let fd = improve_hd(&h, &d).expect("LP solvable");
-            println!("fractional width after ImproveHD: {}", fd.fractional_width());
+            println!(
+                "fractional width after ImproveHD: {}",
+                fd.fractional_width()
+            );
         }
         other => println!("unexpected: {other:?}"),
     }

@@ -1,0 +1,105 @@
+//! Serve-and-query tour: generate a slice of the benchmark, analyze it,
+//! start the HTTP repository service on an ephemeral port, and play a
+//! client against it — the paper's web tool (§5) end to end in one
+//! process.
+//!
+//! Run with: `cargo run --release -p hyperbench-examples --bin serve_and_query`
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use hyperbench_datagen::{generate_collection, TABLE1};
+use hyperbench_repo::{analyze_instance, AnalysisConfig, Repository};
+use hyperbench_server::{Server, ServerConfig};
+
+fn request(addr: SocketAddr, raw: String) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("recv");
+    out.split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(out)
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    request(addr, format!("GET {path} HTTP/1.1\r\nHost: demo\r\n\r\n"))
+}
+
+fn main() {
+    // 1. Build a small analyzed repository: a few instances from every
+    //    collection of Table 1.
+    let mut repo = Repository::new();
+    let cfg = AnalysisConfig {
+        per_check: Duration::from_millis(100),
+        k_max: 5,
+        vc_budget: 500_000,
+    };
+    for spec in TABLE1 {
+        let scale = 2.0 / spec.count as f64;
+        for inst in generate_collection(&spec, 42, scale).into_iter().take(2) {
+            let rec = analyze_instance(&inst.hypergraph, &cfg);
+            let id = repo.insert(inst.hypergraph, inst.collection, inst.class.name());
+            repo.set_analysis(id, rec);
+        }
+    }
+    println!("built a repository of {} analyzed hypergraphs", repo.len());
+
+    // 2. Serve it on an ephemeral port.
+    let server = Server::bind(
+        repo,
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    println!("serving on http://{addr}\n");
+    std::thread::spawn(move || server.run());
+
+    // 3. The web tool's signature query: filtered retrieval.
+    println!("GET /hypergraphs?cyclic=true&hw_le=3&limit=3");
+    println!(
+        "{}\n",
+        get(addr, "/hypergraphs?cyclic=true&hw_le=3&limit=3")
+    );
+
+    // 4. Detail + raw DetKDecomp format for the first entry.
+    println!("GET /hypergraphs/0");
+    println!("{}\n", get(addr, "/hypergraphs/0"));
+    println!("GET /hypergraphs/0/hg");
+    println!("{}", get(addr, "/hypergraphs/0/hg"));
+
+    // 5. Submit a fresh hypergraph for analysis and poll the job.
+    let doc = "r(a,b),s(b,c),t(c,a).";
+    println!("POST /analyze  [{doc}]");
+    let submit = request(
+        addr,
+        format!(
+            "POST /analyze HTTP/1.1\r\nHost: demo\r\nContent-Length: {}\r\n\r\n{doc}",
+            doc.len()
+        ),
+    );
+    println!("{submit}");
+    // The demo submission is tiny, so one short sleep is enough.
+    std::thread::sleep(Duration::from_millis(300));
+    println!("GET /jobs/0");
+    println!("{}\n", get(addr, "/jobs/0"));
+
+    // 6. Resubmit: the content-addressed cache answers instantly.
+    println!("POST /analyze  [same document again]");
+    let resubmit = request(
+        addr,
+        format!(
+            "POST /analyze HTTP/1.1\r\nHost: demo\r\nContent-Length: {}\r\n\r\n{doc}",
+            doc.len()
+        ),
+    );
+    println!("{resubmit}\n");
+
+    // 7. Repository-wide aggregates.
+    println!("GET /stats");
+    println!("{}", get(addr, "/stats"));
+}

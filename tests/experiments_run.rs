@@ -40,7 +40,8 @@ fn table1_counts_match_generated_instances() {
     assert!(r
         .checkpoints
         .iter()
-        .any(|(m, _, measured)| m.contains("total") && measured.contains(&bench.instances.len().to_string())));
+        .any(|(m, _, measured)| m.contains("total")
+            && measured.contains(&bench.instances.len().to_string())));
 }
 
 #[test]

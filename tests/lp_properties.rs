@@ -90,9 +90,7 @@ fn fhw_of_odd_cycles() {
     // fhw(C_{2k+1}) over binary edges = (2k+1)/2 when covering all
     // vertices with the cycle's edges.
     for n in [3usize, 5, 7, 9] {
-        let shape: Vec<Vec<u8>> = (0..n)
-            .map(|i| vec![i as u8, ((i + 1) % n) as u8])
-            .collect();
+        let shape: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8, ((i + 1) % n) as u8]).collect();
         let h = hypergraph_from_shape(&shape);
         let c = fractional_edge_cover(&h, &BitSet::full(n)).unwrap();
         assert_eq!(c.weight, Rational::new(n as i128, 2));
