@@ -1,0 +1,327 @@
+//! A native Rust client for the `/v1` API, on `std::net` only.
+//!
+//! [`Client`] speaks the same DTOs the server encodes ([`crate::dto`]),
+//! so a schema change is a compile error on both sides instead of a
+//! runtime surprise. One request per connection (`Connection: close`),
+//! mirroring the server's HTTP/1.1 subset.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::cursor::PageCursor;
+use crate::dto::{AnalysisResource, AnalyzeRequest, EntryDetail, PageDto};
+use crate::error::ApiError;
+use crate::json::Json;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/read/write failure.
+    Io(std::io::Error),
+    /// The server answered with a structured error.
+    Api {
+        /// The HTTP status.
+        status: u16,
+        /// The decoded error payload.
+        error: ApiError,
+    },
+    /// The response could not be parsed or decoded.
+    Decode(String),
+    /// Polling exceeded the caller's deadline.
+    TimedOut,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Api { status, error } => write!(f, "HTTP {status}: {error}"),
+            ClientError::Decode(m) => write!(f, "bad response: {m}"),
+            ClientError::TimedOut => write!(f, "timed out waiting for the analysis"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+fn decode_err(e: impl std::fmt::Display) -> ClientError {
+    ClientError::Decode(e.to_string())
+}
+
+/// Percent-encodes a query value (RFC 3986 unreserved characters pass
+/// through; the server's decoder also maps `+` to space, so spaces are
+/// encoded as `%20` here to stay unambiguous).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Query options for [`Client::list`].
+#[derive(Debug, Clone, Default)]
+pub struct ListQuery {
+    /// Page size (server default when `None`).
+    pub limit: Option<usize>,
+    /// Continuation cursor from the previous page.
+    pub cursor: Option<String>,
+    /// Filter parameters, passed through verbatim (`class`, `hw_le`, …).
+    pub filters: Vec<(String, String)>,
+}
+
+impl ListQuery {
+    /// An unfiltered first-page query.
+    pub fn new() -> ListQuery {
+        ListQuery::default()
+    }
+
+    /// Sets the page size.
+    pub fn limit(mut self, n: usize) -> ListQuery {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Adds one filter parameter.
+    pub fn filter(mut self, key: impl Into<String>, value: impl Into<String>) -> ListQuery {
+        self.filters.push((key.into(), value.into()));
+        self
+    }
+
+    fn query_string(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(n) = self.limit {
+            parts.push(format!("limit={n}"));
+        }
+        if let Some(c) = &self.cursor {
+            parts.push(format!("cursor={}", percent_encode(c)));
+        }
+        for (k, v) in &self.filters {
+            parts.push(format!("{}={}", percent_encode(k), percent_encode(v)));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("?{}", parts.join("&"))
+        }
+    }
+}
+
+/// A `/v1` API client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the given address with a 30 s per-request timeout.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the per-request socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut req =
+            format!("{method} {path} HTTP/1.1\r\nHost: hyperbench\r\nConnection: close\r\n");
+        if let Some(body) = body {
+            req.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ));
+        } else {
+            req.push_str("\r\n");
+        }
+        stream.write_all(req.as_bytes())?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        let status: u16 = response
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| decode_err(format!("bad status line in {response:?}")))?;
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        Ok((status, body))
+    }
+
+    /// Runs a request and decodes the body as JSON, mapping non-2xx
+    /// answers to [`ClientError::Api`].
+    fn json(&self, method: &str, path: &str, body: Option<&str>) -> Result<Json, ClientError> {
+        let (status, body) = self.request(method, path, body)?;
+        let j = Json::parse(&body)
+            .map_err(|e| decode_err(format!("{method} {path}: bad JSON ({e}): {body}")))?;
+        if status >= 400 {
+            return Err(ClientError::Api {
+                status,
+                error: ApiError::from_json(&j),
+            });
+        }
+        Ok(j)
+    }
+
+    /// `GET /v1/healthz` — returns the entry count.
+    pub fn healthz(&self) -> Result<usize, ClientError> {
+        let j = self.json("GET", "/v1/healthz", None)?;
+        j.get("entries")
+            .and_then(Json::as_int)
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| decode_err("healthz payload missing entries"))
+    }
+
+    /// `GET /v1/hypergraphs` — one page of summaries.
+    pub fn list(&self, query: &ListQuery) -> Result<PageDto, ClientError> {
+        let path = format!("/v1/hypergraphs{}", query.query_string());
+        let j = self.json("GET", &path, None)?;
+        PageDto::from_json(&j).map_err(decode_err)
+    }
+
+    /// Follows `next_cursor` until exhaustion, collecting every page.
+    pub fn list_all(&self, query: &ListQuery) -> Result<PageDto, ClientError> {
+        let mut q = query.clone();
+        let mut first = self.list(&q)?;
+        while let Some(cursor) = first.next_cursor.take() {
+            q.cursor = Some(cursor);
+            let mut page = self.list(&q)?;
+            first.items.append(&mut page.items);
+            first.next_cursor = page.next_cursor;
+        }
+        Ok(first)
+    }
+
+    /// `GET /v1/hypergraphs/{id}` — the full entry.
+    pub fn entry(&self, id: usize) -> Result<EntryDetail, ClientError> {
+        let j = self.json("GET", &format!("/v1/hypergraphs/{id}"), None)?;
+        EntryDetail::from_json(&j).map_err(decode_err)
+    }
+
+    /// `GET /v1/hypergraphs/{id}/hg` — the raw DetKDecomp document.
+    pub fn raw_hg(&self, id: usize) -> Result<String, ClientError> {
+        let (status, body) = self.request("GET", &format!("/v1/hypergraphs/{id}/hg"), None)?;
+        if status >= 400 {
+            let error = Json::parse(&body)
+                .map(|j| ApiError::from_json(&j))
+                .unwrap_or_else(|_| ApiError::new(crate::error::ErrorCode::Internal, body));
+            return Err(ClientError::Api { status, error });
+        }
+        Ok(body)
+    }
+
+    /// `POST /v1/analyses` — submit a typed analysis request. A cache
+    /// hit answers `done` immediately; otherwise poll with
+    /// [`Client::analysis`] or [`Client::wait`]. An unparsable document
+    /// returns `Ok` with a `failed` resource (the server keeps the id
+    /// pollable); transport-level rejections return [`ClientError::Api`].
+    pub fn submit(&self, req: &AnalyzeRequest) -> Result<AnalysisResource, ClientError> {
+        let body = req.to_json().to_string();
+        let (status, text) = self.request("POST", "/v1/analyses", Some(&body))?;
+        let j = Json::parse(&text)
+            .map_err(|e| decode_err(format!("POST /v1/analyses: bad JSON ({e}): {text}")))?;
+        if status >= 400 && j.get("status").and_then(Json::as_str) != Some("failed") {
+            return Err(ClientError::Api {
+                status,
+                error: ApiError::from_json(&j),
+            });
+        }
+        AnalysisResource::from_json(&j).map_err(decode_err)
+    }
+
+    /// `GET /v1/analyses/{id}` — poll one analysis.
+    pub fn analysis(&self, id: u64) -> Result<AnalysisResource, ClientError> {
+        let j = self.json("GET", &format!("/v1/analyses/{id}"), None)?;
+        AnalysisResource::from_json(&j).map_err(decode_err)
+    }
+
+    /// Polls until the analysis reaches a terminal status or `deadline`
+    /// elapses. The poll interval backs off exponentially (5 ms doubling
+    /// to a 250 ms cap) — every poll is a fresh connection
+    /// (`Connection: close`), so a tight fixed interval would hammer the
+    /// server's connection pool during long analyses without improving
+    /// completion latency.
+    pub fn wait(&self, id: u64, deadline: Duration) -> Result<AnalysisResource, ClientError> {
+        let until = Instant::now() + deadline;
+        let mut interval = Duration::from_millis(5);
+        loop {
+            let resource = self.analysis(id)?;
+            if resource.status.is_terminal() {
+                return Ok(resource);
+            }
+            if Instant::now() >= until {
+                return Err(ClientError::TimedOut);
+            }
+            std::thread::sleep(interval);
+            interval = (interval * 2).min(Duration::from_millis(250));
+        }
+    }
+
+    /// Convenience: submit and wait in one call.
+    pub fn analyze(
+        &self,
+        req: &AnalyzeRequest,
+        deadline: Duration,
+    ) -> Result<AnalysisResource, ClientError> {
+        let submitted = self.submit(req)?;
+        if submitted.status.is_terminal() {
+            return Ok(submitted);
+        }
+        self.wait(submitted.id, deadline)
+    }
+
+    /// Decodes a page's continuation token (mostly for diagnostics;
+    /// normal paging just echoes the opaque string back).
+    pub fn decode_cursor(token: &str) -> Option<PageCursor> {
+        PageCursor::decode(token).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_encoding_covers_reserved_characters() {
+        assert_eq!(percent_encode("CSP Random"), "CSP%20Random");
+        assert_eq!(percent_encode("a/b&c=d"), "a%2Fb%26c%3Dd");
+        assert_eq!(percent_encode("plain-1_2.3~"), "plain-1_2.3~");
+    }
+
+    #[test]
+    fn list_query_builds_ordered_query_strings() {
+        let q = ListQuery::new()
+            .limit(10)
+            .filter("class", "CSP Random")
+            .filter("hw_le", "5");
+        assert_eq!(q.query_string(), "?limit=10&class=CSP%20Random&hw_le=5");
+        assert_eq!(ListQuery::new().query_string(), "");
+    }
+}

@@ -1,0 +1,1092 @@
+//! Typed request/response DTOs of the `/v1` contract.
+//!
+//! Each DTO owns its JSON encoding (`to_json`) and decoding
+//! (`from_json`), so the server handlers and the native [`crate::client`]
+//! share one schema instead of two hand-rolled ones. Field names come
+//! from the single constant table in [`crate::schema`].
+
+use hyperbench_core::properties::StructuralProperties;
+use hyperbench_core::stats::SizeMetrics;
+use hyperbench_core::{BitSet, Hypergraph};
+use hyperbench_decomp::tree::{CoverAtom, Decomposition, NodeId};
+use hyperbench_decomp::validate::{validate_ghd, validate_hd};
+
+use crate::json::Json;
+use crate::schema;
+
+/// A DTO failed to decode from JSON (missing field, wrong type, unknown
+/// enum value, or an unresolvable name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn missing(field: &str) -> DecodeError {
+    DecodeError(format!("missing or mistyped field {field:?}"))
+}
+
+fn req_int(j: &Json, field: &str) -> Result<i64, DecodeError> {
+    j.get(field)
+        .and_then(Json::as_int)
+        .ok_or_else(|| missing(field))
+}
+
+fn req_usize(j: &Json, field: &str) -> Result<usize, DecodeError> {
+    usize::try_from(req_int(j, field)?)
+        .map_err(|_| DecodeError(format!("negative value for {field:?}")))
+}
+
+fn opt_usize(j: &Json, field: &str) -> Result<Option<usize>, DecodeError> {
+    match j.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let n = v.as_int().ok_or_else(|| missing(field))?;
+            usize::try_from(n)
+                .map(Some)
+                .map_err(|_| DecodeError(format!("negative value for {field:?}")))
+        }
+    }
+}
+
+fn req_str(j: &Json, field: &str) -> Result<String, DecodeError> {
+    j.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| missing(field))
+}
+
+fn req_bool(j: &Json, field: &str) -> Result<bool, DecodeError> {
+    j.get(field)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| missing(field))
+}
+
+fn opt_int_json(v: Option<usize>) -> Json {
+    v.map_or(Json::Null, Json::int)
+}
+
+/// Which analysis the `/v1/analyses` endpoint runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalyzeMethod {
+    /// Hypertree decompositions — iterative `Check(HD,k)` (default).
+    Hd,
+    /// Generalized hypertree decompositions — the §6.4 three-way race
+    /// per `k`.
+    Ghd,
+    /// Fractionally improved decompositions — an HD witness improved by
+    /// `ImproveHD` (§6.5); reports a fractional width upper bound.
+    Fhd,
+}
+
+impl AnalyzeMethod {
+    /// The wire string (`hd`/`ghd`/`fhd`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AnalyzeMethod::Hd => "hd",
+            AnalyzeMethod::Ghd => "ghd",
+            AnalyzeMethod::Fhd => "fhd",
+        }
+    }
+
+    /// Parses a wire string.
+    pub fn parse(s: &str) -> Option<AnalyzeMethod> {
+        match s {
+            "hd" => Some(AnalyzeMethod::Hd),
+            "ghd" => Some(AnalyzeMethod::Ghd),
+            "fhd" => Some(AnalyzeMethod::Fhd),
+            _ => None,
+        }
+    }
+}
+
+/// `POST /v1/analyses` request body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeRequest {
+    /// The `.hg` document to analyze.
+    pub hypergraph: String,
+    /// Which decomposition notion to search.
+    pub method: AnalyzeMethod,
+    /// Largest width tried (`k_max`); `None` uses the server default,
+    /// and the server clamps to its configured ceiling.
+    pub max_width: Option<usize>,
+    /// Per-`Check` timeout budget in milliseconds; `None` uses the
+    /// server default, and the server clamps to its configured ceiling.
+    pub timeout_ms: Option<u64>,
+}
+
+impl AnalyzeRequest {
+    /// A request for the default (hd) analysis of a document.
+    pub fn hd(hypergraph: impl Into<String>) -> AnalyzeRequest {
+        AnalyzeRequest {
+            hypergraph: hypergraph.into(),
+            method: AnalyzeMethod::Hd,
+            max_width: None,
+            timeout_ms: None,
+        }
+    }
+
+    /// Same document, different method.
+    pub fn with_method(mut self, method: AnalyzeMethod) -> AnalyzeRequest {
+        self.method = method;
+        self
+    }
+
+    /// Encodes to the wire shape.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("hypergraph".to_string(), Json::str(&self.hypergraph)),
+            (schema::METHOD.to_string(), Json::str(self.method.as_str())),
+        ];
+        if let Some(w) = self.max_width {
+            fields.push(("max_width".to_string(), Json::int(w)));
+        }
+        if let Some(t) = self.timeout_ms {
+            fields.push(("timeout_ms".to_string(), Json::int(t)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes from the wire shape. `method` defaults to `hd` when
+    /// absent; an unknown method is an error, not a default.
+    pub fn from_json(j: &Json) -> Result<AnalyzeRequest, DecodeError> {
+        let hypergraph = req_str(j, "hypergraph")?;
+        let method = match j.get(schema::METHOD) {
+            None | Some(Json::Null) => AnalyzeMethod::Hd,
+            Some(v) => {
+                let s = v.as_str().ok_or_else(|| missing(schema::METHOD))?;
+                AnalyzeMethod::parse(s)
+                    .ok_or_else(|| DecodeError(format!("unknown method {s:?} (hd|ghd|fhd)")))?
+            }
+        };
+        let max_width = opt_usize(j, "max_width")?;
+        let timeout_ms = match j.get("timeout_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_int()
+                    .and_then(|n| u64::try_from(n).ok())
+                    .ok_or_else(|| missing("timeout_ms"))?,
+            ),
+        };
+        Ok(AnalyzeRequest {
+            hypergraph,
+            method,
+            max_width,
+            timeout_ms,
+        })
+    }
+}
+
+/// One row of a `/v1/hypergraphs` page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntrySummary {
+    /// Stable repository id.
+    pub id: usize,
+    /// Collection name.
+    pub collection: String,
+    /// Benchmark class.
+    pub class: String,
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Maximum edge size.
+    pub arity: usize,
+    /// Whether an analysis record is attached.
+    pub analyzed: bool,
+    /// hw upper bound (`None` when unanalyzed or unbounded).
+    pub hw_upper: Option<usize>,
+    /// hw lower bound (`None` when unanalyzed).
+    pub hw_lower: Option<usize>,
+}
+
+impl EntrySummary {
+    /// Encodes to the `/v1` shape: every field always present, absent
+    /// bounds as `null`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (schema::ID, Json::int(self.id)),
+            (schema::COLLECTION, Json::str(&self.collection)),
+            (schema::CLASS, Json::str(&self.class)),
+            (schema::VERTICES, Json::int(self.vertices)),
+            (schema::EDGES, Json::int(self.edges)),
+            (schema::ARITY, Json::int(self.arity)),
+            (schema::ANALYZED, Json::Bool(self.analyzed)),
+            (schema::HW_UPPER, opt_int_json(self.hw_upper)),
+            (schema::HW_LOWER, opt_int_json(self.hw_lower)),
+        ])
+    }
+
+    /// Encodes to the PR-1 legacy shape: `hw_upper`/`hw_lower` appear
+    /// only on analyzed entries.
+    pub fn to_legacy_json(&self) -> Json {
+        let mut fields = vec![
+            (schema::ID.to_string(), Json::int(self.id)),
+            (schema::COLLECTION.to_string(), Json::str(&self.collection)),
+            (schema::CLASS.to_string(), Json::str(&self.class)),
+            (schema::VERTICES.to_string(), Json::int(self.vertices)),
+            (schema::EDGES.to_string(), Json::int(self.edges)),
+            (schema::ARITY.to_string(), Json::int(self.arity)),
+            (schema::ANALYZED.to_string(), Json::Bool(self.analyzed)),
+        ];
+        if self.analyzed {
+            fields.push((schema::HW_UPPER.to_string(), opt_int_json(self.hw_upper)));
+            fields.push((schema::HW_LOWER.to_string(), opt_int_json(self.hw_lower)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes the `/v1` shape.
+    pub fn from_json(j: &Json) -> Result<EntrySummary, DecodeError> {
+        Ok(EntrySummary {
+            id: req_usize(j, schema::ID)?,
+            collection: req_str(j, schema::COLLECTION)?,
+            class: req_str(j, schema::CLASS)?,
+            vertices: req_usize(j, schema::VERTICES)?,
+            edges: req_usize(j, schema::EDGES)?,
+            arity: req_usize(j, schema::ARITY)?,
+            analyzed: req_bool(j, schema::ANALYZED)?,
+            hw_upper: opt_usize(j, schema::HW_UPPER)?,
+            hw_lower: opt_usize(j, schema::HW_LOWER)?,
+        })
+    }
+}
+
+/// One page of entry summaries with an opaque continuation cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageDto {
+    /// Total number of entries matching the filter (all pages).
+    pub total: usize,
+    /// The rows of this page, in ascending id order.
+    pub items: Vec<EntrySummary>,
+    /// Token for the next page; `None` when this page is the last.
+    pub next_cursor: Option<String>,
+}
+
+impl PageDto {
+    /// Encodes to the wire shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (schema::TOTAL, Json::int(self.total)),
+            (
+                schema::ITEMS,
+                Json::Arr(self.items.iter().map(EntrySummary::to_json).collect()),
+            ),
+            (
+                schema::NEXT_CURSOR,
+                self.next_cursor.as_deref().map_or(Json::Null, Json::str),
+            ),
+        ])
+    }
+
+    /// Decodes the wire shape.
+    pub fn from_json(j: &Json) -> Result<PageDto, DecodeError> {
+        let items = j
+            .get(schema::ITEMS)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| missing(schema::ITEMS))?
+            .iter()
+            .map(EntrySummary::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let next_cursor = match j.get(schema::NEXT_CURSOR) {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| missing(schema::NEXT_CURSOR))?
+                    .to_string(),
+            ),
+        };
+        Ok(PageDto {
+            total: req_usize(j, schema::TOTAL)?,
+            items,
+            next_cursor,
+        })
+    }
+}
+
+/// One named edge of a full entry payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeDto {
+    /// Edge name.
+    pub name: String,
+    /// Vertex names, in edge order.
+    pub vertices: Vec<String>,
+}
+
+/// `GET /v1/hypergraphs/{id}` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryDetail {
+    /// The summary row.
+    pub summary: EntrySummary,
+    /// The full edge list.
+    pub edge_list: Vec<EdgeDto>,
+    /// The analysis report, when computed.
+    pub analysis: Option<AnalysisReport>,
+}
+
+impl EntryDetail {
+    /// Encodes to the wire shape: the summary fields inline plus
+    /// `edge_list` and `analysis`.
+    pub fn to_json(&self) -> Json {
+        let Json::Obj(mut fields) = self.summary.to_json() else {
+            unreachable!("summary encodes to an object")
+        };
+        fields.push((
+            schema::EDGE_LIST.to_string(),
+            Json::Arr(
+                self.edge_list
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            (schema::NAME, Json::str(&e.name)),
+                            (
+                                schema::VERTICES,
+                                Json::Arr(e.vertices.iter().map(Json::str).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "analysis".to_string(),
+            self.analysis
+                .as_ref()
+                .map_or(Json::Null, AnalysisReport::to_json),
+        ));
+        Json::Obj(fields)
+    }
+
+    /// Decodes the wire shape.
+    pub fn from_json(j: &Json) -> Result<EntryDetail, DecodeError> {
+        let summary = EntrySummary::from_json(j)?;
+        let edge_list = j
+            .get(schema::EDGE_LIST)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| missing(schema::EDGE_LIST))?
+            .iter()
+            .map(|e| {
+                Ok(EdgeDto {
+                    name: req_str(e, schema::NAME)?,
+                    vertices: e
+                        .get(schema::VERTICES)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| missing(schema::VERTICES))?
+                        .iter()
+                        .map(|v| {
+                            v.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| missing(schema::VERTICES))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                })
+            })
+            .collect::<Result<Vec<_>, DecodeError>>()?;
+        let analysis = match j.get("analysis") {
+            None | Some(Json::Null) => None,
+            Some(a) => Some(AnalysisReport::from_json(a)?),
+        };
+        Ok(EntryDetail {
+            summary,
+            edge_list,
+            analysis,
+        })
+    }
+}
+
+/// The analysis report of one hypergraph: sizes, Table-2 structural
+/// properties, and width bounds.
+///
+/// The `hw_*` fields are **method-relative**: they bound the width of
+/// whatever decomposition notion the producing analysis searched. For
+/// repository records and `method=hd`/`fhd` analyses that is hypertree
+/// width; for `method=ghd` analyses the same fields carry *generalized*
+/// hypertree width bounds (hw and ghw can differ). Check the carrying
+/// resource's `method` field before treating them as hw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Size metrics.
+    pub sizes: SizeMetrics,
+    /// Structural properties (`vc_dim = None` means timeout).
+    pub properties: StructuralProperties,
+    /// hw upper bound.
+    pub hw_upper: Option<usize>,
+    /// hw lower bound.
+    pub hw_lower: usize,
+    /// Exact hw when the bounds meet.
+    pub hw_exact: Option<usize>,
+    /// Whether the instance is known cyclic.
+    pub cyclic: bool,
+    /// Whether the width search hit a timeout.
+    pub hw_timed_out: bool,
+}
+
+impl AnalysisReport {
+    /// Encodes to the wire shape (identical to the PR-1 `result`
+    /// payload, so the legacy adapter reuses it verbatim).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                schema::SIZES,
+                Json::obj([
+                    (schema::VERTICES, Json::int(self.sizes.vertices)),
+                    (schema::EDGES, Json::int(self.sizes.edges)),
+                    (schema::ARITY, Json::int(self.sizes.arity)),
+                ]),
+            ),
+            (
+                schema::PROPERTIES,
+                Json::obj([
+                    (schema::DEGREE, Json::int(self.properties.degree)),
+                    (schema::BIP, Json::int(self.properties.bip)),
+                    (schema::BMIP3, Json::int(self.properties.bmip3)),
+                    (schema::BMIP4, Json::int(self.properties.bmip4)),
+                    (schema::VC_DIM, opt_int_json(self.properties.vc_dim)),
+                ]),
+            ),
+            (schema::HW_UPPER, opt_int_json(self.hw_upper)),
+            (schema::HW_LOWER, Json::int(self.hw_lower)),
+            (schema::HW_EXACT, opt_int_json(self.hw_exact)),
+            (schema::CYCLIC, Json::Bool(self.cyclic)),
+            (schema::HW_TIMED_OUT, Json::Bool(self.hw_timed_out)),
+        ])
+    }
+
+    /// Decodes the wire shape.
+    pub fn from_json(j: &Json) -> Result<AnalysisReport, DecodeError> {
+        let sizes = j.get(schema::SIZES).ok_or_else(|| missing(schema::SIZES))?;
+        let props = j
+            .get(schema::PROPERTIES)
+            .ok_or_else(|| missing(schema::PROPERTIES))?;
+        Ok(AnalysisReport {
+            sizes: SizeMetrics {
+                vertices: req_usize(sizes, schema::VERTICES)?,
+                edges: req_usize(sizes, schema::EDGES)?,
+                arity: req_usize(sizes, schema::ARITY)?,
+            },
+            properties: StructuralProperties {
+                degree: req_usize(props, schema::DEGREE)?,
+                bip: req_usize(props, schema::BIP)?,
+                bmip3: req_usize(props, schema::BMIP3)?,
+                bmip4: req_usize(props, schema::BMIP4)?,
+                vc_dim: opt_usize(props, schema::VC_DIM)?,
+            },
+            hw_upper: opt_usize(j, schema::HW_UPPER)?,
+            hw_lower: req_usize(j, schema::HW_LOWER)?,
+            hw_exact: opt_usize(j, schema::HW_EXACT)?,
+            cyclic: req_bool(j, schema::CYCLIC)?,
+            hw_timed_out: req_bool(j, schema::HW_TIMED_OUT)?,
+        })
+    }
+}
+
+/// One cover atom of a decomposition node: a full edge, or a subedge of
+/// it (`vertices` present).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverAtomDto {
+    /// The (parent) edge name.
+    pub edge: String,
+    /// `Some(vs)` for a subedge `vs ⊆ edge`; `None` for the full edge.
+    pub vertices: Option<Vec<String>>,
+}
+
+/// One node of a serialized decomposition tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecompNodeDto {
+    /// Node id (dense preorder; the root is 0 and parents precede
+    /// children).
+    pub id: usize,
+    /// Parent node id; `None` for the root.
+    pub parent: Option<usize>,
+    /// Bag vertex names, sorted by vertex id.
+    pub bag: Vec<String>,
+    /// The λ-label.
+    pub cover: Vec<CoverAtomDto>,
+}
+
+/// A serialized witness decomposition: the tree from
+/// `hyperbench_decomp::tree` with names resolved, plus the validation
+/// verdict the server computed by re-checking the §3.2 conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecompositionDto {
+    /// Which notion the witness certifies.
+    pub method: AnalyzeMethod,
+    /// The width `max |λ_u|`.
+    pub width: usize,
+    /// Server-side validation verdict: `"valid-hd"`, `"valid-ghd"`, or
+    /// `"invalid: …"`.
+    pub validation: String,
+    /// Fractional width upper bound (exact rational as a string, e.g.
+    /// `"3/2"`); only set for `fhd`.
+    pub fractional_width: Option<String>,
+    /// The tree nodes, root first.
+    pub nodes: Vec<DecompNodeDto>,
+}
+
+impl DecompositionDto {
+    /// Serializes a witness tree, resolving names against `h` and
+    /// re-validating the §3.2 conditions (HD conditions for `hd`, GHD
+    /// conditions otherwise).
+    pub fn from_tree(
+        h: &Hypergraph,
+        d: &Decomposition,
+        method: AnalyzeMethod,
+        fractional_width: Option<String>,
+    ) -> DecompositionDto {
+        // Re-number in preorder so parents always precede children in
+        // the wire form, whatever internal order the algorithm produced.
+        let order = d.preorder();
+        let mut wire_id = vec![usize::MAX; d.len()];
+        for (new, &old) in order.iter().enumerate() {
+            wire_id[old] = new;
+        }
+        let nodes = order
+            .iter()
+            .map(|&old| {
+                let n = d.node(old);
+                DecompNodeDto {
+                    id: wire_id[old],
+                    parent: n.parent.map(|p| wire_id[p]),
+                    bag: n.bag.iter().map(|v| h.vertex_name(v).to_string()).collect(),
+                    cover: n
+                        .cover
+                        .iter()
+                        .map(|a| match a {
+                            CoverAtom::Edge(e) => CoverAtomDto {
+                                edge: h.edge_name(*e).to_string(),
+                                vertices: None,
+                            },
+                            CoverAtom::Subedge { parent, vertices } => CoverAtomDto {
+                                edge: h.edge_name(*parent).to_string(),
+                                vertices: Some(
+                                    vertices
+                                        .iter()
+                                        .map(|v| h.vertex_name(v).to_string())
+                                        .collect(),
+                                ),
+                            },
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let validation = match method {
+            AnalyzeMethod::Hd => match validate_hd(h, d) {
+                Ok(()) => "valid-hd".to_string(),
+                Err(e) => format!("invalid: {e}"),
+            },
+            AnalyzeMethod::Ghd | AnalyzeMethod::Fhd => match validate_ghd(h, d) {
+                Ok(()) => "valid-ghd".to_string(),
+                Err(e) => format!("invalid: {e}"),
+            },
+        };
+        DecompositionDto {
+            method,
+            width: d.width(),
+            validation,
+            fractional_width,
+            nodes,
+        }
+    }
+
+    /// Reconstructs a [`Decomposition`] over `h` from the wire form, so
+    /// clients can re-run `hyperbench_decomp::validate` themselves
+    /// instead of trusting the server's verdict.
+    pub fn to_decomposition(&self, h: &Hypergraph) -> Result<Decomposition, DecodeError> {
+        let vertex = |name: &str| {
+            h.vertex_by_name(name)
+                .ok_or_else(|| DecodeError(format!("unknown vertex {name:?}")))
+        };
+        let edge = |name: &str| {
+            h.edge_by_name(name)
+                .ok_or_else(|| DecodeError(format!("unknown edge {name:?}")))
+        };
+        let build_bag = |names: &[String]| -> Result<BitSet, DecodeError> {
+            let mut bag = BitSet::with_capacity(h.num_vertices());
+            for n in names {
+                bag.insert(vertex(n)?);
+            }
+            Ok(bag)
+        };
+        let build_cover = |atoms: &[CoverAtomDto]| -> Result<Vec<CoverAtom>, DecodeError> {
+            atoms
+                .iter()
+                .map(|a| {
+                    let e = edge(&a.edge)?;
+                    Ok(match &a.vertices {
+                        None => CoverAtom::Edge(e),
+                        Some(vs) => CoverAtom::Subedge {
+                            parent: e,
+                            vertices: build_bag(vs)?,
+                        },
+                    })
+                })
+                .collect()
+        };
+        let Some(root) = self.nodes.first() else {
+            return Err(DecodeError("decomposition has no nodes".to_string()));
+        };
+        if root.id != 0 || root.parent.is_some() {
+            return Err(DecodeError("first node must be the root".to_string()));
+        }
+        let mut d = Decomposition::new(build_bag(&root.bag)?, build_cover(&root.cover)?);
+        for (pos, n) in self.nodes.iter().enumerate().skip(1) {
+            if n.id != pos {
+                return Err(DecodeError(format!(
+                    "node ids must be dense and ordered (found {} at position {pos})",
+                    n.id
+                )));
+            }
+            let parent = n
+                .parent
+                .ok_or_else(|| DecodeError(format!("non-root node {} has no parent", n.id)))?;
+            if parent >= pos {
+                return Err(DecodeError(format!(
+                    "node {} references parent {parent} that does not precede it",
+                    n.id
+                )));
+            }
+            let id: NodeId = d.add_child(parent, build_bag(&n.bag)?, build_cover(&n.cover)?);
+            debug_assert_eq!(id, pos);
+        }
+        Ok(d)
+    }
+
+    /// Encodes to the wire shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (schema::METHOD, Json::str(self.method.as_str())),
+            ("width", Json::int(self.width)),
+            ("validation", Json::str(&self.validation)),
+            (
+                "fractional_width",
+                self.fractional_width
+                    .as_deref()
+                    .map_or(Json::Null, Json::str),
+            ),
+            (
+                "nodes",
+                Json::Arr(
+                    self.nodes
+                        .iter()
+                        .map(|n| {
+                            Json::obj([
+                                (schema::ID, Json::int(n.id)),
+                                ("parent", n.parent.map_or(Json::Null, Json::int)),
+                                ("bag", Json::Arr(n.bag.iter().map(Json::str).collect())),
+                                (
+                                    "cover",
+                                    Json::Arr(
+                                        n.cover
+                                            .iter()
+                                            .map(|a| {
+                                                let mut fields =
+                                                    vec![("edge".to_string(), Json::str(&a.edge))];
+                                                if let Some(vs) = &a.vertices {
+                                                    fields.push((
+                                                        schema::VERTICES.to_string(),
+                                                        Json::Arr(
+                                                            vs.iter().map(Json::str).collect(),
+                                                        ),
+                                                    ));
+                                                }
+                                                Json::Obj(fields)
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes the wire shape.
+    pub fn from_json(j: &Json) -> Result<DecompositionDto, DecodeError> {
+        let method_s = req_str(j, schema::METHOD)?;
+        let method = AnalyzeMethod::parse(&method_s)
+            .ok_or_else(|| DecodeError(format!("unknown method {method_s:?}")))?;
+        let fractional_width = match j.get("fractional_width") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| missing("fractional_width"))?
+                    .to_string(),
+            ),
+        };
+        let names = |v: &Json, field: &str| -> Result<Vec<String>, DecodeError> {
+            v.get(field)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| missing(field))?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string).ok_or_else(|| missing(field)))
+                .collect()
+        };
+        let nodes = j
+            .get("nodes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| missing("nodes"))?
+            .iter()
+            .map(|n| {
+                Ok(DecompNodeDto {
+                    id: req_usize(n, schema::ID)?,
+                    parent: opt_usize(n, "parent")?,
+                    bag: names(n, "bag")?,
+                    cover: n
+                        .get("cover")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| missing("cover"))?
+                        .iter()
+                        .map(|a| {
+                            Ok(CoverAtomDto {
+                                edge: req_str(a, "edge")?,
+                                vertices: match a.get(schema::VERTICES) {
+                                    None | Some(Json::Null) => None,
+                                    Some(_) => Some(names(a, schema::VERTICES)?),
+                                },
+                            })
+                        })
+                        .collect::<Result<Vec<_>, DecodeError>>()?,
+                })
+            })
+            .collect::<Result<Vec<_>, DecodeError>>()?;
+        Ok(DecompositionDto {
+            method,
+            width: req_usize(j, "width")?,
+            validation: req_str(j, "validation")?,
+            fractional_width,
+            nodes,
+        })
+    }
+}
+
+/// Lifecycle status of an analysis resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisStatus {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is on it.
+    Running,
+    /// Finished; `result` (and possibly `decomposition`) is present.
+    Done,
+    /// The submission failed; `error` says why.
+    Failed,
+}
+
+impl AnalysisStatus {
+    /// The wire string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AnalysisStatus::Queued => "queued",
+            AnalysisStatus::Running => "running",
+            AnalysisStatus::Done => "done",
+            AnalysisStatus::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire string.
+    pub fn parse(s: &str) -> Option<AnalysisStatus> {
+        match s {
+            "queued" => Some(AnalysisStatus::Queued),
+            "running" => Some(AnalysisStatus::Running),
+            "done" => Some(AnalysisStatus::Done),
+            "failed" => Some(AnalysisStatus::Failed),
+            _ => None,
+        }
+    }
+
+    /// Whether the resource will not change anymore.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, AnalysisStatus::Done | AnalysisStatus::Failed)
+    }
+}
+
+/// `POST /v1/analyses` and `GET /v1/analyses/{id}` response body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisResource {
+    /// The analysis id (poll `GET /v1/analyses/{id}`).
+    pub id: u64,
+    /// Lifecycle status.
+    pub status: AnalysisStatus,
+    /// The requested method, when known (failed submissions that never
+    /// parsed a request carry `None`).
+    pub method: Option<AnalyzeMethod>,
+    /// Whether the result came from the content-addressed cache.
+    pub cached: Option<bool>,
+    /// The analysis report (status `done` only); its `hw_*` bounds are
+    /// relative to [`AnalysisResource::method`].
+    pub result: Option<AnalysisReport>,
+    /// The witness decomposition tree, when the search found one.
+    pub decomposition: Option<DecompositionDto>,
+    /// The failure message (status `failed` only).
+    pub error: Option<String>,
+}
+
+impl AnalysisResource {
+    /// Encodes to the wire shape.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (schema::ID.to_string(), Json::int(self.id)),
+            (schema::STATUS.to_string(), Json::str(self.status.as_str())),
+        ];
+        if let Some(m) = self.method {
+            fields.push((schema::METHOD.to_string(), Json::str(m.as_str())));
+        }
+        if let Some(c) = self.cached {
+            fields.push((schema::CACHED.to_string(), Json::Bool(c)));
+        }
+        if let Some(r) = &self.result {
+            fields.push((schema::RESULT.to_string(), r.to_json()));
+        }
+        if let Some(d) = &self.decomposition {
+            fields.push((schema::DECOMPOSITION.to_string(), d.to_json()));
+        }
+        if let Some(e) = &self.error {
+            fields.push((schema::ERROR.to_string(), Json::str(e)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes the wire shape.
+    pub fn from_json(j: &Json) -> Result<AnalysisResource, DecodeError> {
+        let status_s = req_str(j, schema::STATUS)?;
+        let status = AnalysisStatus::parse(&status_s)
+            .ok_or_else(|| DecodeError(format!("unknown status {status_s:?}")))?;
+        let method = match j.get(schema::METHOD) {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let s = v.as_str().ok_or_else(|| missing(schema::METHOD))?;
+                Some(
+                    AnalyzeMethod::parse(s)
+                        .ok_or_else(|| DecodeError(format!("unknown method {s:?}")))?,
+                )
+            }
+        };
+        let id = req_int(j, schema::ID)?;
+        Ok(AnalysisResource {
+            id: u64::try_from(id).map_err(|_| DecodeError("negative id".to_string()))?,
+            status,
+            method,
+            cached: j.get(schema::CACHED).and_then(Json::as_bool),
+            result: match j.get(schema::RESULT) {
+                None | Some(Json::Null) => None,
+                Some(r) => Some(AnalysisReport::from_json(r)?),
+            },
+            decomposition: match j.get(schema::DECOMPOSITION) {
+                None | Some(Json::Null) => None,
+                Some(d) => Some(DecompositionDto::from_json(d)?),
+            },
+            error: j
+                .get(schema::ERROR)
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperbench_core::builder::hypergraph_from_edges;
+    use hyperbench_decomp::budget::Budget;
+    use hyperbench_decomp::driver::{check_hd, Outcome};
+
+    fn path3() -> Hypergraph {
+        hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "d"])])
+    }
+
+    #[test]
+    fn analyze_request_roundtrip_and_defaults() {
+        let full = AnalyzeRequest {
+            hypergraph: "e(a,b).".to_string(),
+            method: AnalyzeMethod::Ghd,
+            max_width: Some(3),
+            timeout_ms: Some(500),
+        };
+        assert_eq!(
+            AnalyzeRequest::from_json(&Json::parse(&full.to_json().to_string()).unwrap()),
+            Ok(full)
+        );
+        // Method defaults to hd; unknown methods are rejected.
+        let min = Json::parse(r#"{"hypergraph":"e(a,b)."}"#).unwrap();
+        assert_eq!(
+            AnalyzeRequest::from_json(&min).unwrap().method,
+            AnalyzeMethod::Hd
+        );
+        let bad = Json::parse(r#"{"hypergraph":"e(a,b).","method":"magic"}"#).unwrap();
+        assert!(AnalyzeRequest::from_json(&bad).is_err());
+        assert!(AnalyzeRequest::from_json(&Json::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn entry_summary_v1_and_legacy_shapes() {
+        let analyzed = EntrySummary {
+            id: 3,
+            collection: "TPC-H".to_string(),
+            class: "CQ Application".to_string(),
+            vertices: 4,
+            edges: 3,
+            arity: 2,
+            analyzed: true,
+            hw_upper: None,
+            hw_lower: Some(2),
+        };
+        let v1 = analyzed.to_json();
+        assert_eq!(v1.get("hw_upper"), Some(&Json::Null));
+        assert_eq!(EntrySummary::from_json(&v1), Ok(analyzed.clone()));
+        // Legacy: hw fields present because analyzed.
+        let legacy = analyzed.to_legacy_json();
+        assert!(legacy.get("hw_lower").is_some());
+        // Unanalyzed legacy rows omit the hw fields entirely.
+        let bare = EntrySummary {
+            analyzed: false,
+            hw_upper: None,
+            hw_lower: None,
+            ..analyzed
+        };
+        let legacy = bare.to_legacy_json();
+        assert_eq!(legacy.get("hw_upper"), None);
+        assert_eq!(legacy.get("hw_lower"), None);
+        // …while the v1 shape always carries them as null.
+        assert_eq!(bare.to_json().get("hw_upper"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn page_roundtrip() {
+        let page = PageDto {
+            total: 12,
+            items: vec![EntrySummary {
+                id: 0,
+                collection: "SPARQL".to_string(),
+                class: "CQ Application".to_string(),
+                vertices: 3,
+                edges: 3,
+                arity: 2,
+                analyzed: true,
+                hw_upper: Some(2),
+                hw_lower: Some(2),
+            }],
+            next_cursor: Some(crate::cursor::PageCursor { after_id: 0 }.encode()),
+        };
+        let wire = page.to_json().to_string();
+        assert_eq!(PageDto::from_json(&Json::parse(&wire).unwrap()), Ok(page));
+    }
+
+    #[test]
+    fn decomposition_roundtrips_and_revalidates() {
+        let h = path3();
+        let d = match check_hd(&h, 1, &Budget::unlimited()) {
+            Outcome::Yes(d) => d,
+            other => panic!("expected width-1 HD, got {other:?}"),
+        };
+        let dto = DecompositionDto::from_tree(&h, &d, AnalyzeMethod::Hd, None);
+        assert_eq!(dto.width, 1);
+        assert_eq!(dto.validation, "valid-hd");
+        assert_eq!(dto.nodes.len(), d.len());
+        // Wire roundtrip, then rebuild the tree and re-validate it.
+        let wire = dto.to_json().to_string();
+        let back = DecompositionDto::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back, dto);
+        let rebuilt = back.to_decomposition(&h).unwrap();
+        assert_eq!(rebuilt.width(), 1);
+        validate_hd(&h, &rebuilt).unwrap();
+    }
+
+    #[test]
+    fn decomposition_decode_rejects_bad_trees() {
+        let h = path3();
+        let dto = DecompositionDto {
+            method: AnalyzeMethod::Hd,
+            width: 1,
+            validation: "valid-hd".to_string(),
+            fractional_width: None,
+            nodes: vec![DecompNodeDto {
+                id: 0,
+                parent: None,
+                bag: vec!["nope".to_string()],
+                cover: vec![],
+            }],
+        };
+        assert!(dto.to_decomposition(&h).is_err(), "unknown vertex name");
+        let forward = DecompositionDto {
+            nodes: vec![
+                DecompNodeDto {
+                    id: 0,
+                    parent: None,
+                    bag: vec!["a".to_string()],
+                    cover: vec![CoverAtomDto {
+                        edge: "R".to_string(),
+                        vertices: None,
+                    }],
+                },
+                DecompNodeDto {
+                    id: 1,
+                    parent: Some(2),
+                    bag: vec![],
+                    cover: vec![],
+                },
+            ],
+            ..dto
+        };
+        assert!(forward.to_decomposition(&h).is_err(), "forward parent ref");
+    }
+
+    #[test]
+    fn subedge_atoms_roundtrip() {
+        let h = path3();
+        let b = h.vertex_by_name("b").unwrap();
+        let mut all = BitSet::new();
+        for v in h.vertex_ids() {
+            all.insert(v);
+        }
+        let d = Decomposition::new(
+            all,
+            vec![
+                CoverAtom::Edge(0),
+                CoverAtom::Subedge {
+                    parent: 1,
+                    vertices: BitSet::from_slice(&[b]),
+                },
+                CoverAtom::Edge(2),
+            ],
+        );
+        let dto = DecompositionDto::from_tree(&h, &d, AnalyzeMethod::Ghd, None);
+        assert_eq!(dto.validation, "valid-ghd");
+        assert_eq!(dto.nodes[0].cover[1].vertices, Some(vec!["b".to_string()]));
+        let rebuilt = dto.to_decomposition(&h).unwrap();
+        assert_eq!(
+            rebuilt.node(0).cover[1],
+            CoverAtom::Subedge {
+                parent: 1,
+                vertices: BitSet::from_slice(&[b]),
+            }
+        );
+    }
+
+    #[test]
+    fn analysis_resource_roundtrip() {
+        let r = AnalysisResource {
+            id: 9,
+            status: AnalysisStatus::Failed,
+            method: Some(AnalyzeMethod::Fhd),
+            cached: None,
+            result: None,
+            decomposition: None,
+            error: Some("parse error: nope".to_string()),
+        };
+        let wire = r.to_json().to_string();
+        assert_eq!(
+            AnalysisResource::from_json(&Json::parse(&wire).unwrap()),
+            Ok(r)
+        );
+        assert!(AnalysisStatus::Failed.is_terminal());
+        assert!(!AnalysisStatus::Running.is_terminal());
+    }
+}

@@ -1,0 +1,205 @@
+//! Structured wire errors with stable machine-readable codes.
+//!
+//! Every non-2xx answer from the service is an [`ApiError`]: a stable
+//! [`ErrorCode`] (what went wrong, for programs) plus a free-form message
+//! (why, for humans). The JSON shape keeps the PR-1 `"error"` key so
+//! legacy clients that only look for a message keep working, and adds
+//! `"code"` for typed clients.
+
+use crate::json::Json;
+use crate::schema;
+
+/// Stable error codes of the `/v1` contract. The string forms are part
+/// of the wire contract — never renumber or rename, only append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed request (bad HTTP, bad JSON body, bad percent-encoding).
+    BadRequest,
+    /// A query or body parameter has an invalid value.
+    InvalidParam,
+    /// A pagination cursor failed to decode or verify.
+    InvalidCursor,
+    /// An `.hg` document in the request body failed to parse.
+    ParseError,
+    /// The addressed resource does not exist.
+    NotFound,
+    /// The path exists under a different method.
+    MethodNotAllowed,
+    /// The request body exceeds the service limit.
+    PayloadTooLarge,
+    /// The bounded analysis queue is at capacity; retry later.
+    QueueFull,
+    /// The service is shutting down.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::InvalidParam => "invalid_param",
+            ErrorCode::InvalidCursor => "invalid_cursor",
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::MethodNotAllowed => "method_not_allowed",
+            ErrorCode::PayloadTooLarge => "payload_too_large",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire string back into a code.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "invalid_param" => ErrorCode::InvalidParam,
+            "invalid_cursor" => ErrorCode::InvalidCursor,
+            "parse_error" => ErrorCode::ParseError,
+            "not_found" => ErrorCode::NotFound,
+            "method_not_allowed" => ErrorCode::MethodNotAllowed,
+            "payload_too_large" => ErrorCode::PayloadTooLarge,
+            "queue_full" => ErrorCode::QueueFull,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// The HTTP status this code maps to.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ErrorCode::BadRequest
+            | ErrorCode::InvalidParam
+            | ErrorCode::InvalidCursor
+            | ErrorCode::ParseError => 400,
+            ErrorCode::NotFound => 404,
+            ErrorCode::MethodNotAllowed => 405,
+            ErrorCode::PayloadTooLarge => 413,
+            ErrorCode::QueueFull | ErrorCode::ShuttingDown => 503,
+            ErrorCode::Internal => 500,
+        }
+    }
+}
+
+/// A structured error payload: `{"code":"…","error":"…"}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// The stable machine-readable code.
+    pub code: ErrorCode,
+    /// The human-readable message.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Builds an error from a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ApiError {
+        ApiError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for [`ErrorCode::BadRequest`].
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::BadRequest, message)
+    }
+
+    /// Shorthand for [`ErrorCode::InvalidParam`].
+    pub fn invalid_param(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::InvalidParam, message)
+    }
+
+    /// Shorthand for [`ErrorCode::NotFound`].
+    pub fn not_found(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::NotFound, message)
+    }
+
+    /// The HTTP status of this error.
+    pub fn http_status(&self) -> u16 {
+        self.code.http_status()
+    }
+
+    /// Encodes to the wire JSON shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (schema::CODE, Json::str(self.code.as_str())),
+            (schema::ERROR, Json::str(&self.message)),
+        ])
+    }
+
+    /// Decodes a wire payload; a missing/unknown code degrades to
+    /// [`ErrorCode::Internal`] so old payloads still surface a message.
+    pub fn from_json(j: &Json) -> ApiError {
+        let code = j
+            .get(schema::CODE)
+            .and_then(Json::as_str)
+            .and_then(ErrorCode::parse)
+            .unwrap_or(ErrorCode::Internal);
+        let message = j
+            .get(schema::ERROR)
+            .and_then(Json::as_str)
+            .unwrap_or("unknown error")
+            .to_string();
+        ApiError { code, message }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_map_to_statuses() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::InvalidParam,
+            ErrorCode::InvalidCursor,
+            ErrorCode::ParseError,
+            ErrorCode::NotFound,
+            ErrorCode::MethodNotAllowed,
+            ErrorCode::PayloadTooLarge,
+            ErrorCode::QueueFull,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+            assert!(matches!(
+                code.http_status(),
+                400 | 404 | 405 | 413 | 500 | 503
+            ));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn json_roundtrip_keeps_legacy_error_key() {
+        let e = ApiError::invalid_param("bad value \"x\" for limit");
+        let j = e.to_json();
+        assert_eq!(
+            j.get("error").and_then(Json::as_str),
+            e.message.as_str().into()
+        );
+        assert_eq!(j.get("code").and_then(Json::as_str), Some("invalid_param"));
+        assert_eq!(ApiError::from_json(&j), e);
+    }
+
+    #[test]
+    fn unknown_code_degrades_to_internal() {
+        let j = Json::obj([("error", Json::str("boom"))]);
+        let e = ApiError::from_json(&j);
+        assert_eq!(e.code, ErrorCode::Internal);
+        assert_eq!(e.message, "boom");
+    }
+}

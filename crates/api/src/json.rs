@@ -1,8 +1,9 @@
 //! A zero-dependency JSON value type with a writer and a small parser.
 //!
-//! The server only ever emits JSON built programmatically (no
-//! serialization framework), and the parser exists so tests and clients
-//! of the crate can read responses back without pulling in serde.
+//! The wire contract is built programmatically (no serialization
+//! framework): DTOs in [`crate::dto`] encode into [`Json`] values and the
+//! parser lets the server, the [`crate::client`], and tests read payloads
+//! back without pulling in serde.
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -1,0 +1,114 @@
+//! The single constant table for field names shared between the wire
+//! DTOs and the repository's on-disk `index.tsv` store.
+//!
+//! Every name that appears both in a `/v1` JSON payload and as an
+//! `index.tsv` column is defined exactly once here: the DTO encoders in
+//! [`crate::dto`] and the store writer in `hyperbench-repo` both import
+//! these constants, so the wire schema and the store schema cannot drift
+//! apart silently — renaming a column is a one-line change that the
+//! compiler propagates to both sides.
+
+/// Entry id (store column 0 and wire field).
+pub const ID: &str = "id";
+/// `.hg` file name (store-only column).
+pub const FILE: &str = "file";
+/// Hypergraph name (store-only column; the wire carries it in `.hg`).
+pub const NAME: &str = "name";
+/// Collection name, e.g. `TPC-H`.
+pub const COLLECTION: &str = "collection";
+/// Benchmark class, e.g. `CSP Random`.
+pub const CLASS: &str = "class";
+/// Vertex count.
+pub const VERTICES: &str = "vertices";
+/// Edge count.
+pub const EDGES: &str = "edges";
+/// Maximum edge size.
+pub const ARITY: &str = "arity";
+/// Degree (Table 2).
+pub const DEGREE: &str = "degree";
+/// Intersection size (BIP).
+pub const BIP: &str = "bip";
+/// 3-multi-intersection size.
+pub const BMIP3: &str = "bmip3";
+/// 4-multi-intersection size.
+pub const BMIP4: &str = "bmip4";
+/// VC dimension (absent on timeout).
+pub const VC_DIM: &str = "vc_dim";
+/// Smallest k with a yes-answer from `Check(HD,k)`.
+pub const HW_UPPER: &str = "hw_upper";
+/// 1 + largest certified no-answer.
+pub const HW_LOWER: &str = "hw_lower";
+/// Whether any `Check(HD,k)` timed out (store column name).
+pub const HW_TIMEOUT: &str = "hw_timeout";
+
+/// The `index.tsv` column names, in the exact order the store writes
+/// them. `hyperbench-repo` renders its header from this table and sizes
+/// its row parser off `INDEX_COLUMNS.len()`.
+pub const INDEX_COLUMNS: [&str; 16] = [
+    ID, FILE, NAME, COLLECTION, CLASS, VERTICES, EDGES, ARITY, DEGREE, BIP, BMIP3, BMIP4, VC_DIM,
+    HW_UPPER, HW_LOWER, HW_TIMEOUT,
+];
+
+/// The `index.tsv` header line (columns joined by tabs, no newline).
+pub fn index_header() -> String {
+    INDEX_COLUMNS.join("\t")
+}
+
+// Wire-only field names (no store column): grouped here so handler code
+// and the client decode from one vocabulary.
+
+/// Whether an entry has an analysis record attached.
+pub const ANALYZED: &str = "analyzed";
+/// Exact hw, when the bounds meet.
+pub const HW_EXACT: &str = "hw_exact";
+/// Whether the instance is known cyclic (hw ≥ 2).
+pub const CYCLIC: &str = "cyclic";
+/// Whether the hw search hit a timeout (wire spelling).
+pub const HW_TIMED_OUT: &str = "hw_timed_out";
+/// Nested size-metrics object.
+pub const SIZES: &str = "sizes";
+/// Nested structural-properties object.
+pub const PROPERTIES: &str = "properties";
+/// Edge list of a full entry payload.
+pub const EDGE_LIST: &str = "edge_list";
+/// Page payload: items array.
+pub const ITEMS: &str = "items";
+/// Page payload: total match count.
+pub const TOTAL: &str = "total";
+/// Page payload: opaque cursor for the next page (`null` when done).
+pub const NEXT_CURSOR: &str = "next_cursor";
+/// Analysis resource: lifecycle status.
+pub const STATUS: &str = "status";
+/// Analysis resource: requested method (`hd`/`ghd`/`fhd`).
+pub const METHOD: &str = "method";
+/// Analysis resource: whether the result came from the cache.
+pub const CACHED: &str = "cached";
+/// Analysis resource: the analysis report.
+pub const RESULT: &str = "result";
+/// Analysis resource: the witness decomposition tree.
+pub const DECOMPOSITION: &str = "decomposition";
+/// Error payloads: stable machine-readable code.
+pub const CODE: &str = "code";
+/// Error payloads: human-readable message (legacy-compatible key).
+pub const ERROR: &str = "error";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_header_matches_column_table() {
+        let header = index_header();
+        assert_eq!(header.split('\t').count(), INDEX_COLUMNS.len());
+        assert!(header.starts_with("id\tfile\tname\t"));
+        assert!(header.ends_with("hw_upper\thw_lower\thw_timeout"));
+    }
+
+    #[test]
+    fn columns_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in INDEX_COLUMNS {
+            assert!(seen.insert(c), "duplicate column {c:?}");
+        }
+    }
+}

@@ -277,13 +277,20 @@ impl HwResult {
 /// like the paper, the search continues with larger `k` (hw may still be
 /// bounded from above even when a smaller `k` timed out).
 pub fn hypertree_width(h: &Hypergraph, k_max: usize, per_check: Duration) -> HwResult {
+    width_search(k_max, |k| check_hd(h, k, &Budget::with_timeout(per_check)))
+}
+
+/// The shared iterative width search: runs `check(k)` for `k = 1, 2, …`,
+/// tracking the certified lower bound (1 + the longest contiguous no-
+/// prefix) and stopping at the first yes-answer or at `k_max`.
+fn width_search(k_max: usize, mut check: impl FnMut(usize) -> Outcome) -> HwResult {
     let mut steps = Vec::new();
     let mut lower = 1usize;
     let mut upper = None;
     let mut contiguous_no = true;
     for k in 1..=k_max {
         let start = Instant::now();
-        let outcome = check_hd(h, k, &Budget::with_timeout(per_check));
+        let outcome = check(k);
         let elapsed = start.elapsed();
         let done = matches!(outcome, Outcome::Yes(_));
         if contiguous_no {
@@ -307,6 +314,26 @@ pub fn hypertree_width(h: &Hypergraph, k_max: usize, per_check: Duration) -> HwR
         upper,
         lower,
     }
+}
+
+/// Iteratively solves `Check(GHD,k)` for `k = 1, 2, …` — the ghw
+/// analogue of [`hypertree_width`], backing the server's `method=ghd`
+/// analyses. `k = 1` takes the linear-time GYO fast path (ghw = 1 iff
+/// hw = 1 iff α-acyclic); larger `k` runs the §6.4 three-way race so the
+/// fastest of GlobalBIP/LocalBIP/BalSep answers each check.
+pub fn generalized_hypertree_width(
+    h: &Hypergraph,
+    k_max: usize,
+    per_check: Duration,
+    cfg: &SubedgeConfig,
+) -> HwResult {
+    width_search(k_max, |k| {
+        if k == 1 {
+            check_hd(h, 1, &Budget::with_timeout(per_check))
+        } else {
+            race_ghd(h, k, per_check, cfg).outcome
+        }
+    })
 }
 
 /// Attempts to close an hw gap with a GHD no-answer (§6.4's final
@@ -430,6 +457,24 @@ mod tests {
                 other => panic!("expected width-1 HD, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn ghw_search_matches_known_widths() {
+        let cfg = SubedgeConfig::default();
+        let r = generalized_hypertree_width(&triangle(), 4, Duration::from_secs(20), &cfg);
+        assert_eq!(r.exact(), Some(2));
+        // The k = 2 step carries the witness decomposition.
+        match &r.steps.last().unwrap().outcome {
+            Outcome::Yes(d) => {
+                crate::validate::validate_ghd(&triangle(), d).unwrap();
+                assert!(d.width() <= 2);
+            }
+            other => panic!("expected a GHD witness, got {other:?}"),
+        }
+        let acyclic = hypergraph_from_edges(&[("e", &["a", "b"]), ("f", &["b", "c"])]);
+        let r = generalized_hypertree_width(&acyclic, 3, Duration::from_secs(20), &cfg);
+        assert_eq!(r.exact(), Some(1));
     }
 
     #[test]

@@ -1,13 +1,24 @@
 //! Per-instance analysis: the properties of Table 2 plus hw bounds from
 //! the iterative width search of Figure 4.
+//!
+//! Two entry points: [`analyze_instance`] computes the bounds-only
+//! [`AnalysisRecord`] the repository stores, while
+//! [`analyze_instance_retaining`] additionally keeps the witness
+//! [`Decomposition`] the width search found (and, for `fhd`, the
+//! `ImproveHD` fractional width) instead of discarding it — the basis of
+//! the server's `GET /v1/analyses/{id}` decomposition retrieval.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use hyperbench_api::AnalyzeMethod;
 use hyperbench_core::properties::{structural_properties, StructuralProperties};
 use hyperbench_core::stats::{size_metrics, SizeMetrics};
+use hyperbench_core::subedges::SubedgeConfig;
 use hyperbench_core::Hypergraph;
-use hyperbench_decomp::driver::{hypertree_width, Outcome};
+use hyperbench_decomp::driver::{generalized_hypertree_width, hypertree_width, Outcome};
+use hyperbench_decomp::improve::improve_hd;
+use hyperbench_decomp::tree::Decomposition;
 
 /// Budgets for an analysis pass.
 #[derive(Debug, Clone, Copy)]
@@ -64,24 +75,73 @@ impl AnalysisRecord {
 
 /// Runs the full analysis pass on one hypergraph.
 pub fn analyze_instance(h: &Hypergraph, cfg: &AnalysisConfig) -> AnalysisRecord {
+    analyze_instance_retaining(h, cfg, AnalyzeMethod::Hd).record
+}
+
+/// An analysis result that keeps its witness instead of discarding it.
+#[derive(Debug, Clone)]
+pub struct AnalyzedInstance {
+    /// The bounds-only record (what the repository stores).
+    pub record: AnalysisRecord,
+    /// The witness decomposition of the smallest yes-answer, if the
+    /// width search found one within its budget.
+    pub witness: Option<Decomposition>,
+    /// `fhd` only: the `ImproveHD` fractional width upper bound of the
+    /// witness, as an exact rational string (e.g. `"3/2"`).
+    pub fractional_width: Option<String>,
+}
+
+/// Runs the analysis pass for the requested decomposition notion and
+/// retains the witness tree:
+///
+/// * [`AnalyzeMethod::Hd`] — the iterative `Check(HD,k)` search of
+///   Figure 4,
+/// * [`AnalyzeMethod::Ghd`] — the §6.4 three-way GHD race per `k`,
+/// * [`AnalyzeMethod::Fhd`] — the HD search, then `ImproveHD` (§6.5)
+///   replaces each integral cover by an optimal fractional one; the
+///   witness stays the HD tree and the fractional width rides along.
+pub fn analyze_instance_retaining(
+    h: &Hypergraph,
+    cfg: &AnalysisConfig,
+    method: AnalyzeMethod,
+) -> AnalyzedInstance {
     let sizes = size_metrics(h);
     let properties = structural_properties(h, cfg.vc_budget);
-    let hw = hypertree_width(h, cfg.k_max, cfg.per_check);
+    let hw = match method {
+        AnalyzeMethod::Hd | AnalyzeMethod::Fhd => hypertree_width(h, cfg.k_max, cfg.per_check),
+        AnalyzeMethod::Ghd => {
+            generalized_hypertree_width(h, cfg.k_max, cfg.per_check, &SubedgeConfig::default())
+        }
+    };
     let hw_timed_out = hw
         .steps
         .iter()
         .any(|s| matches!(s.outcome, Outcome::Timeout));
-    AnalysisRecord {
-        sizes,
-        properties,
-        hw_upper: hw.upper,
-        hw_lower: hw.lower,
-        hw_steps: hw
-            .steps
-            .iter()
-            .map(|s| (s.k, s.outcome.label(), s.elapsed))
-            .collect(),
-        hw_timed_out,
+    let mut hw_steps = Vec::with_capacity(hw.steps.len());
+    let mut witness = None;
+    for s in hw.steps {
+        hw_steps.push((s.k, s.outcome.label(), s.elapsed));
+        if let Outcome::Yes(d) = s.outcome {
+            witness = Some(d);
+        }
+    }
+    let fractional_width = match (&method, &witness) {
+        (AnalyzeMethod::Fhd, Some(d)) => improve_hd(h, d)
+            .ok()
+            .map(|fd| fd.fractional_width().to_string()),
+        _ => None,
+    };
+    AnalyzedInstance {
+        record: AnalysisRecord {
+            sizes,
+            properties,
+            hw_upper: hw.upper,
+            hw_lower: hw.lower,
+            hw_steps,
+            hw_timed_out,
+        },
+        witness,
+        fractional_width,
     }
 }
 
@@ -206,5 +266,41 @@ mod tests {
         let r = analyze_instance(&h, &AnalysisConfig::default());
         assert_eq!(r.hw_exact(), Some(1));
         assert!(!r.is_cyclic());
+    }
+
+    #[test]
+    fn retaining_analysis_keeps_the_witness() {
+        use hyperbench_decomp::validate::{validate_ghd, validate_hd};
+        let tri =
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let cfg = AnalysisConfig::default();
+        // HD: witness is a width-2 HD of the triangle.
+        let hd = analyze_instance_retaining(&tri, &cfg, AnalyzeMethod::Hd);
+        assert_eq!(hd.record.hw_exact(), Some(2));
+        let w = hd.witness.expect("hd witness");
+        assert_eq!(w.width(), 2);
+        validate_hd(&tri, &w).unwrap();
+        assert!(hd.fractional_width.is_none());
+        // GHD: witness validates the GHD conditions.
+        let ghd = analyze_instance_retaining(&tri, &cfg, AnalyzeMethod::Ghd);
+        assert_eq!(ghd.record.hw_exact(), Some(2));
+        validate_ghd(&tri, &ghd.witness.expect("ghd witness")).unwrap();
+        // FHD: the HD witness plus a fractional width ≤ 2 (triangle fhw
+        // is 3/2; ImproveHD on the found HD can land anywhere in
+        // [3/2, 2] depending on its bags).
+        let fhd = analyze_instance_retaining(&tri, &cfg, AnalyzeMethod::Fhd);
+        assert!(fhd.witness.is_some());
+        assert!(fhd.fractional_width.is_some(), "fractional width missing");
+    }
+
+    #[test]
+    fn bounds_only_and_retaining_records_agree() {
+        let h = hypergraph_from_edges(&[("e", &["a", "b"]), ("f", &["b", "c"])]);
+        let cfg = AnalysisConfig::default();
+        let plain = analyze_instance(&h, &cfg);
+        let retained = analyze_instance_retaining(&h, &cfg, AnalyzeMethod::Hd);
+        assert_eq!(plain.hw_upper, retained.record.hw_upper);
+        assert_eq!(plain.hw_lower, retained.record.hw_lower);
+        assert_eq!(plain.sizes, retained.record.sizes);
     }
 }

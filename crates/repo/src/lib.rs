@@ -15,7 +15,10 @@ pub mod analysis;
 pub mod filter;
 pub mod store;
 
-pub use analysis::{aggregate_stats, analyze_instance, AnalysisConfig, AnalysisRecord, RepoStats};
+pub use analysis::{
+    aggregate_stats, analyze_instance, analyze_instance_retaining, AnalysisConfig, AnalysisRecord,
+    AnalyzedInstance, RepoStats,
+};
 pub use filter::{Filter, FilterParamError};
 
 use hyperbench_core::Hypergraph;
@@ -129,6 +132,55 @@ impl Repository {
             limit,
         }
     }
+
+    /// Keyset pagination: at most `limit` filtered entries with id
+    /// strictly greater than `after`, in ascending id order, plus the
+    /// total match count — the repository-side contract behind the
+    /// `/v1/hypergraphs` cursor paging. Unlike [`Repository::select_page`]
+    /// offsets, a keyset resume point stays stable under concurrent
+    /// appends and never re-scans skipped rows to find its start.
+    pub fn select_after<'a>(
+        &'a self,
+        filter: &Filter,
+        after: Option<usize>,
+        limit: usize,
+    ) -> KeysetPage<'a> {
+        let mut total = 0usize;
+        let mut entries: Vec<&Entry> = Vec::new();
+        let mut has_more = false;
+        for e in self.entries.iter().filter(|e| filter.matches(e)) {
+            total += 1;
+            if after.is_some_and(|a| e.id <= a) {
+                continue;
+            }
+            if entries.len() < limit {
+                entries.push(e);
+            } else {
+                has_more = true;
+            }
+        }
+        let next_after = if has_more {
+            entries.last().map(|e| e.id)
+        } else {
+            None
+        };
+        KeysetPage {
+            entries,
+            total,
+            next_after,
+        }
+    }
+}
+
+/// One keyset page of filtered entries (see [`Repository::select_after`]).
+#[derive(Debug)]
+pub struct KeysetPage<'a> {
+    /// The entries on this page, in ascending id order.
+    pub entries: Vec<&'a Entry>,
+    /// Total number of entries matching the filter (across all pages).
+    pub total: usize,
+    /// Resume point for the next page (`None` when this is the last).
+    pub next_after: Option<usize>,
 }
 
 /// One page of filtered repository entries (see [`Repository::select_page`]).
@@ -189,6 +241,43 @@ mod tests {
         let empty = repo.select_page(&f, 99, 2);
         assert_eq!(empty.total, 5);
         assert!(empty.entries.is_empty());
+    }
+
+    #[test]
+    fn select_after_pages_by_keyset() {
+        let mut repo = Repository::new();
+        for i in 0..10 {
+            let coll = if i % 2 == 0 { "SPARQL" } else { "TPC-H" };
+            repo.insert(triangle(), coll, "CQ Application");
+        }
+        let f = Filter::new().collection("SPARQL"); // ids 0,2,4,6,8
+        let first = repo.select_after(&f, None, 2);
+        assert_eq!(first.total, 5);
+        assert_eq!(
+            first.entries.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(first.next_after, Some(2));
+        let second = repo.select_after(&f, first.next_after, 2);
+        assert_eq!(
+            second.entries.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![4, 6]
+        );
+        let last = repo.select_after(&f, second.next_after, 2);
+        assert_eq!(
+            last.entries.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![8]
+        );
+        assert_eq!(last.next_after, None, "exhausted pages end the cursor");
+        // A page that exactly drains the matches also ends the cursor.
+        let exact = repo.select_after(&f, Some(6), 1);
+        assert_eq!(exact.entries.len(), 1);
+        assert_eq!(exact.next_after, None);
+        // Resuming past the end yields an empty page but the true total.
+        let empty = repo.select_after(&f, Some(99), 3);
+        assert!(empty.entries.is_empty());
+        assert_eq!(empty.total, 5);
+        assert_eq!(empty.next_after, None);
     }
 
     #[test]

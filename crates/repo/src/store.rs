@@ -1,12 +1,17 @@
 //! Directory persistence: one `.hg` file per hypergraph (DetKDecomp
 //! format, as published by the real HyperBench) plus a tab-separated
 //! `index.tsv` holding provenance and analysis results.
+//!
+//! The column names (and their order) come from the single constant
+//! table in [`hyperbench_api::schema`], which the wire DTOs also encode
+//! from — the store schema and the `/v1` JSON schema cannot drift apart.
 
 use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
 use std::time::Duration;
 
+use hyperbench_api::schema;
 use hyperbench_core::format::{parse_hg_named, to_hg_unnamed};
 use hyperbench_core::properties::StructuralProperties;
 use hyperbench_core::stats::SizeMetrics;
@@ -44,10 +49,7 @@ impl std::error::Error for StoreError {}
 pub fn save(repo: &Repository, dir: &Path) -> Result<(), StoreError> {
     fs::create_dir_all(dir)?;
     let mut index = fs::File::create(dir.join("index.tsv"))?;
-    writeln!(
-        index,
-        "id\tfile\tname\tcollection\tclass\tvertices\tedges\tarity\tdegree\tbip\tbmip3\tbmip4\tvc_dim\thw_upper\thw_lower\thw_timeout"
-    )?;
+    writeln!(index, "{}", schema::index_header())?;
     for e in repo.entries() {
         let file = format!("{:05}.hg", e.id);
         fs::write(dir.join(&file), to_hg_unnamed(&e.hypergraph))?;
@@ -93,13 +95,45 @@ fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
     v.map(|x| x.to_string()).unwrap_or_else(|| "-".to_string())
 }
 
-/// The column headers [`save`] writes, in order.
-const INDEX_COLUMNS: usize = 16;
+/// The column count [`save`] writes, from the shared schema table.
+const INDEX_COLUMNS: usize = schema::INDEX_COLUMNS.len();
+
+/// The position of `name` in the shared schema table. Compile-time so a
+/// typo is a build failure; used by [`load`] instead of hardcoded
+/// indices, so reordering `schema::INDEX_COLUMNS` shifts the parser
+/// with it (and the byte-identical roundtrip test catches a writer
+/// that was not updated to match).
+const fn col(name: &str) -> usize {
+    let mut i = 0;
+    while i < schema::INDEX_COLUMNS.len() {
+        if str_eq(schema::INDEX_COLUMNS[i], name) {
+            return i;
+        }
+        i += 1;
+    }
+    panic!("column not in schema::INDEX_COLUMNS");
+}
+
+/// `const`-context string equality (`==` on `str` is not const yet).
+const fn str_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut i = 0;
+    while i < a.len() {
+        if a[i] != b[i] {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
 
 /// The pre-`name` column count; [`load`] still accepts this layout and
 /// derives names from file stems, so repositories written before the
 /// format gained the `name` column stay loadable.
-const LEGACY_INDEX_COLUMNS: usize = 15;
+const LEGACY_INDEX_COLUMNS: usize = INDEX_COLUMNS - 1;
 
 /// A malformed-row error pointing at `index.tsv` line `lineno` (1-based).
 fn corrupt_row(lineno: usize, msg: impl std::fmt::Display) -> StoreError {
@@ -155,14 +189,14 @@ pub fn load(dir: &Path) -> Result<Repository, StoreError> {
                 ),
             ));
         }
-        let id: usize = field(lineno, "id", cols[0])?;
+        let id: usize = field(lineno, schema::ID, cols[col(schema::ID)])?;
         if id != repo.len() {
             return Err(corrupt_row(
                 lineno,
                 format!("id {id} out of order (expected {})", repo.len()),
             ));
         }
-        let file = cols[1];
+        let file = cols[col(schema::FILE)];
         let text = fs::read_to_string(dir.join(file))?;
         // The name column restores the original hypergraph name; empty
         // means the hypergraph was unnamed. Legacy rows have no name
@@ -170,39 +204,41 @@ pub fn load(dir: &Path) -> Result<Repository, StoreError> {
         let name = if legacy {
             file.trim_end_matches(".hg")
         } else {
-            cols[2]
+            cols[col(schema::NAME)]
         };
         let h =
             parse_hg_named(&text, name).map_err(|e| corrupt_row(lineno, format!("{file}: {e}")))?;
-        let id = repo.insert(h, cols[3], cols[4]);
+        let id = repo.insert(h, cols[col(schema::COLLECTION)], cols[col(schema::CLASS)]);
         // Rehydrate the analysis if present: `-` in the vertices column
         // marks an unanalyzed entry (save writes all-`-` metrics then).
-        if cols[5] != "-" {
-            let hw_timed_out = match cols[15] {
+        if cols[col(schema::VERTICES)] != "-" {
+            let hw_timed_out = match cols[col(schema::HW_TIMEOUT)] {
                 "true" => true,
                 "false" => false,
                 other => {
                     return Err(corrupt_row(
                         lineno,
-                        format!("bad value for hw_timeout: {other:?}"),
+                        format!("bad value for {}: {other:?}", schema::HW_TIMEOUT),
                     ))
                 }
             };
+            let num = |name: &'static str| field(lineno, name, cols[col(name)]);
+            let opt = |name: &'static str| opt_field(lineno, name, cols[col(name)]);
             let record = AnalysisRecord {
                 sizes: SizeMetrics {
-                    vertices: field(lineno, "vertices", cols[5])?,
-                    edges: field(lineno, "edges", cols[6])?,
-                    arity: field(lineno, "arity", cols[7])?,
+                    vertices: num(schema::VERTICES)?,
+                    edges: num(schema::EDGES)?,
+                    arity: num(schema::ARITY)?,
                 },
                 properties: StructuralProperties {
-                    degree: field(lineno, "degree", cols[8])?,
-                    bip: field(lineno, "bip", cols[9])?,
-                    bmip3: field(lineno, "bmip3", cols[10])?,
-                    bmip4: field(lineno, "bmip4", cols[11])?,
-                    vc_dim: opt_field(lineno, "vc_dim", cols[12])?,
+                    degree: num(schema::DEGREE)?,
+                    bip: num(schema::BIP)?,
+                    bmip3: num(schema::BMIP3)?,
+                    bmip4: num(schema::BMIP4)?,
+                    vc_dim: opt(schema::VC_DIM)?,
                 },
-                hw_upper: opt_field(lineno, "hw_upper", cols[13])?,
-                hw_lower: field(lineno, "hw_lower", cols[14])?,
+                hw_upper: opt(schema::HW_UPPER)?,
+                hw_lower: num(schema::HW_LOWER)?,
                 hw_steps: Vec::new(),
                 hw_timed_out,
             };

@@ -1,12 +1,39 @@
-//! An LRU cache from hypergraph content hashes to analysis records, so
-//! repeated `POST /analyze` submissions of the same hypergraph are served
-//! from memory instead of re-running the decomposition search.
+//! An LRU cache from hypergraph content hashes to finished analysis
+//! results (bounds *and* witness decomposition), so repeated submissions
+//! of the same hypergraph under the same options are served from memory
+//! instead of re-running the decomposition search.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
+use hyperbench_api::{AnalyzeMethod, DecompositionDto};
+use hyperbench_core::Hypergraph;
+use hyperbench_decomp::tree::Decomposition;
 use hyperbench_repo::AnalysisRecord;
+
+/// Everything a finished analysis job produced. The witness is kept in
+/// tree form for library consumers *and* pre-serialized as its wire DTO
+/// (names resolved, §3.2 conditions validated) — both are computed once
+/// by the worker, so repeated polls of a done analysis never repeat
+/// that work, including for cache hits whose submitting connection is
+/// long gone.
+#[derive(Debug)]
+pub struct JobResult {
+    /// The parsed submission.
+    pub hypergraph: Hypergraph,
+    /// Which analysis ran.
+    pub method: AnalyzeMethod,
+    /// The bounds-only analysis record.
+    pub record: AnalysisRecord,
+    /// The witness decomposition, when the width search found one.
+    pub witness: Option<Decomposition>,
+    /// The witness serialized for `GET /v1/analyses/{id}`, validation
+    /// verdict included.
+    pub witness_dto: Option<DecompositionDto>,
+    /// `fhd` only: the `ImproveHD` fractional width, e.g. `"3/2"`.
+    pub fractional_width: Option<String>,
+}
 
 /// A content hash of a canonicalized `.hg` document (FNV-1a 64).
 ///
@@ -52,7 +79,7 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
-/// A thread-safe LRU cache of analysis records.
+/// A thread-safe LRU cache of finished analysis results.
 pub struct AnalysisCache {
     inner: Mutex<Inner>,
     capacity: usize,
@@ -61,7 +88,7 @@ pub struct AnalysisCache {
 struct Inner {
     // Hash → (canonical document, record). The document is kept so a
     // hash collision is detected instead of serving the wrong result.
-    map: HashMap<ContentHash, (String, Arc<AnalysisRecord>)>,
+    map: HashMap<ContentHash, (String, Arc<JobResult>)>,
     // Front = least recently used. Small capacities keep the O(len)
     // reorder on hit negligible next to an analysis run.
     order: VecDeque<ContentHash>,
@@ -86,7 +113,7 @@ impl AnalysisCache {
     /// Looks up a record, refreshing its recency on hit. `canonical`
     /// must be the [`canonicalize`]d document; an entry with the same
     /// hash but different content is a miss, not a hit.
-    pub fn get(&self, key: ContentHash, canonical: &str) -> Option<Arc<AnalysisRecord>> {
+    pub fn get(&self, key: ContentHash, canonical: &str) -> Option<Arc<JobResult>> {
         let mut inner = self.inner.lock().expect("cache lock");
         match inner.map.get(&key) {
             Some((doc, rec)) if doc == canonical => {
@@ -106,7 +133,7 @@ impl AnalysisCache {
     }
 
     /// Inserts a record, evicting the least recently used on overflow.
-    pub fn put(&self, key: ContentHash, canonical: String, record: Arc<AnalysisRecord>) {
+    pub fn put(&self, key: ContentHash, canonical: String, record: Arc<JobResult>) {
         let mut inner = self.inner.lock().expect("cache lock");
         if inner.map.insert(key, (canonical, record)).is_none() {
             inner.order.push_back(key);
@@ -139,9 +166,17 @@ mod tests {
     use hyperbench_core::builder::hypergraph_from_edges;
     use hyperbench_repo::{analyze_instance, AnalysisConfig};
 
-    fn record() -> Arc<AnalysisRecord> {
+    fn record() -> Arc<JobResult> {
         let h = hypergraph_from_edges(&[("e", &["a", "b"])]);
-        Arc::new(analyze_instance(&h, &AnalysisConfig::default()))
+        let record = analyze_instance(&h, &AnalysisConfig::default());
+        Arc::new(JobResult {
+            hypergraph: h,
+            method: AnalyzeMethod::Hd,
+            record,
+            witness: None,
+            witness_dto: None,
+            fractional_width: None,
+        })
     }
 
     #[test]

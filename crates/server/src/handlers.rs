@@ -1,23 +1,37 @@
 //! Endpoint implementations: pure functions from shared state + request
 //! to [`Response`]. The routing table itself lives in `lib.rs`.
+//!
+//! The `/v1` handlers ([`v1`]) speak the typed DTOs of `hyperbench-api`;
+//! the unversioned PR-1 routes ([`legacy`]) are thin deprecated adapters
+//! that run the same core logic and reshape the payloads into their
+//! original form. Every error answer — on both surfaces — is a
+//! structured [`ApiError`] with a stable code.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use hyperbench_api::cursor::PageCursor;
+use hyperbench_api::dto::{
+    AnalysisReport, AnalysisResource, AnalysisStatus, AnalyzeRequest, DecompositionDto, EdgeDto,
+    EntryDetail, EntrySummary, PageDto,
+};
+use hyperbench_api::error::{ApiError, ErrorCode};
+use hyperbench_api::json::{histogram, Json};
+use hyperbench_api::schema;
 use hyperbench_core::format::{parse_hg, to_hg};
 use hyperbench_core::Hypergraph;
-use hyperbench_repo::{AnalysisRecord, Entry, Filter, Repository};
+use hyperbench_repo::{AnalysisConfig, AnalysisRecord, Entry, Filter, Repository};
 
-use crate::cache::{canonicalize, content_hash, AnalysisCache};
+use crate::cache::{canonicalize, content_hash, AnalysisCache, JobResult};
 use crate::http::{Request, Response};
-use crate::jobs::{JobStatus, JobSystem, SubmitError};
-use crate::json::{histogram, Json};
+use crate::jobs::{AnalyzeOptions, JobId, JobStatus, JobSystem, SubmitError};
 use crate::router::Params;
 
-/// Default page size for `GET /hypergraphs`.
-const DEFAULT_LIMIT: usize = 50;
-/// Hard ceiling on the page size.
-const MAX_LIMIT: usize = 1000;
+/// Default page size for entry listings.
+pub const DEFAULT_LIMIT: usize = 50;
+/// Hard ceiling on the page size. `/v1` rejects larger requests with a
+/// structured 400; the frozen legacy route keeps its PR-1 clamp.
+pub const MAX_LIMIT: usize = 1000;
 
 /// Everything the handlers share. The repository is immutable after
 /// load, so concurrent readers need no locking; mutability is confined
@@ -33,251 +47,174 @@ pub struct ServerState {
     pub jobs: JobSystem,
     /// The analysis LRU (shared with `jobs`).
     pub cache: Arc<AnalysisCache>,
+    /// The configured analysis budgets: the defaults *and* ceilings for
+    /// per-request overrides in `POST /v1/analyses`.
+    pub analysis: AnalysisConfig,
     /// Server start time, for `/healthz` uptime.
     pub started: Instant,
 }
 
-/// A JSON error payload.
-pub fn error_response(status: u16, message: impl Into<String>) -> Response {
-    Response::json(status, Json::obj([("error", Json::str(message.into()))]))
+/// Renders a structured error to its HTTP response.
+pub fn error_response(err: ApiError) -> Response {
+    Response::json(err.http_status(), err.to_json())
 }
 
-fn entry_summary(e: &Entry) -> Json {
-    let mut fields = vec![
-        ("id".to_string(), Json::int(e.id)),
-        ("collection".to_string(), Json::str(&e.collection)),
-        ("class".to_string(), Json::str(&e.class)),
-        (
-            "vertices".to_string(),
-            Json::int(e.hypergraph.num_vertices()),
-        ),
-        ("edges".to_string(), Json::int(e.hypergraph.num_edges())),
-        ("arity".to_string(), Json::int(e.hypergraph.arity())),
-        ("analyzed".to_string(), Json::Bool(e.analysis.is_some())),
-    ];
-    if let Some(rec) = &e.analysis {
-        fields.push((
-            "hw_upper".to_string(),
-            rec.hw_upper.map_or(Json::Null, Json::int),
-        ));
-        fields.push(("hw_lower".to_string(), Json::int(rec.hw_lower)));
+/// The [`EntrySummary`] DTO of a repository entry.
+fn summary_of(e: &Entry) -> EntrySummary {
+    EntrySummary {
+        id: e.id,
+        collection: e.collection.clone(),
+        class: e.class.clone(),
+        vertices: e.hypergraph.num_vertices(),
+        edges: e.hypergraph.num_edges(),
+        arity: e.hypergraph.arity(),
+        analyzed: e.analysis.is_some(),
+        hw_upper: e.analysis.as_ref().and_then(|r| r.hw_upper),
+        hw_lower: e.analysis.as_ref().map(|r| r.hw_lower),
     }
-    Json::Obj(fields)
 }
 
-fn analysis_json(rec: &AnalysisRecord) -> Json {
-    Json::obj([
-        (
-            "sizes",
-            Json::obj([
-                ("vertices", Json::int(rec.sizes.vertices)),
-                ("edges", Json::int(rec.sizes.edges)),
-                ("arity", Json::int(rec.sizes.arity)),
-            ]),
-        ),
-        (
-            "properties",
-            Json::obj([
-                ("degree", Json::int(rec.properties.degree)),
-                ("bip", Json::int(rec.properties.bip)),
-                ("bmip3", Json::int(rec.properties.bmip3)),
-                ("bmip4", Json::int(rec.properties.bmip4)),
-                (
-                    "vc_dim",
-                    rec.properties.vc_dim.map_or(Json::Null, Json::int),
-                ),
-            ]),
-        ),
-        ("hw_upper", rec.hw_upper.map_or(Json::Null, Json::int)),
-        ("hw_lower", Json::int(rec.hw_lower)),
-        ("hw_exact", rec.hw_exact().map_or(Json::Null, Json::int)),
-        ("cyclic", Json::Bool(rec.is_cyclic())),
-        ("hw_timed_out", Json::Bool(rec.hw_timed_out)),
-    ])
+/// The [`AnalysisReport`] DTO of a stored record.
+fn report_of(rec: &AnalysisRecord) -> AnalysisReport {
+    AnalysisReport {
+        sizes: rec.sizes,
+        properties: rec.properties,
+        hw_upper: rec.hw_upper,
+        hw_lower: rec.hw_lower,
+        hw_exact: rec.hw_exact(),
+        cyclic: rec.is_cyclic(),
+        hw_timed_out: rec.hw_timed_out,
+    }
 }
 
-fn edges_json(h: &Hypergraph) -> Json {
-    Json::Arr(
-        h.edge_ids()
-            .map(|e| {
-                Json::obj([
-                    ("name", Json::str(h.edge_name(e))),
-                    (
-                        "vertices",
-                        Json::Arr(
-                            h.edge(e)
-                                .iter()
-                                .map(|&v| Json::str(h.vertex_name(v)))
-                                .collect(),
-                        ),
-                    ),
-                ])
+/// The [`EntryDetail`] DTO of a repository entry.
+fn detail_of(e: &Entry) -> EntryDetail {
+    let h = &e.hypergraph;
+    EntryDetail {
+        summary: summary_of(e),
+        edge_list: h
+            .edge_ids()
+            .map(|eid| EdgeDto {
+                name: h.edge_name(eid).to_string(),
+                vertices: h
+                    .edge(eid)
+                    .iter()
+                    .map(|&v| h.vertex_name(v).to_string())
+                    .collect(),
             })
             .collect(),
-    )
+        analysis: e.analysis.as_ref().map(report_of),
+    }
 }
 
-/// `GET /hypergraphs` — pagination + filter query params.
-pub fn list_hypergraphs(state: &ServerState, req: &Request) -> Response {
-    let mut filter = Filter::new();
-    let mut offset = 0usize;
-    let mut limit = DEFAULT_LIMIT;
-    for (key, value) in &req.query {
-        match key.as_str() {
-            "offset" => match value.parse() {
-                Ok(v) => offset = v,
-                Err(_) => return error_response(400, format!("bad value {value:?} for offset")),
-            },
-            "limit" => match value.parse::<usize>() {
-                Ok(v) if v >= 1 => limit = v.min(MAX_LIMIT),
-                _ => return error_response(400, format!("bad value {value:?} for limit")),
-            },
-            _ => match filter.clone().with_param(key, value) {
-                Ok(f) => filter = f,
-                Err(e) => return error_response(400, e.to_string()),
-            },
+/// The [`AnalysisResource`] DTO of a job status, witness included.
+fn resource_of(id: JobId, status: &JobStatus) -> AnalysisResource {
+    let mut resource = AnalysisResource {
+        id,
+        status: AnalysisStatus::Queued,
+        method: None,
+        cached: None,
+        result: None,
+        decomposition: None,
+        error: None,
+    };
+    match status {
+        JobStatus::Queued => {}
+        JobStatus::Running => resource.status = AnalysisStatus::Running,
+        JobStatus::Done { result, cached } => {
+            resource.status = AnalysisStatus::Done;
+            resource.method = Some(result.method);
+            resource.cached = Some(*cached);
+            resource.result = Some(report_of(&result.record));
+            resource.decomposition = decomposition_of(result);
+        }
+        JobStatus::Failed(msg) => {
+            resource.status = AnalysisStatus::Failed;
+            resource.error = Some(msg.clone());
         }
     }
-    let page = state.repo.select_page(&filter, offset, limit);
-    Response::json(
-        200,
-        Json::obj([
-            ("total", Json::int(page.total)),
-            ("offset", Json::int(page.offset)),
-            ("limit", Json::int(page.limit)),
-            (
-                "items",
-                Json::Arr(page.entries.iter().map(|e| entry_summary(e)).collect()),
-            ),
-        ]),
-    )
+    resource
 }
 
-fn parse_entry_id(params: &Params) -> Result<usize, Response> {
+/// The finished job's pre-serialized witness tree, if the search found
+/// one (built once by the worker, see [`JobResult::witness_dto`]).
+fn decomposition_of(result: &JobResult) -> Option<DecompositionDto> {
+    result.witness_dto.clone()
+}
+
+/// Parses a `/v1` `limit` query value: 1..=[`MAX_LIMIT`], structured
+/// 400 otherwise (zero, non-numeric, and over-limit values are all
+/// rejected instead of clamped or defaulted).
+fn parse_limit(value: &str) -> Result<usize, ApiError> {
+    match value.parse::<usize>() {
+        Ok(v) if (1..=MAX_LIMIT).contains(&v) => Ok(v),
+        Ok(v) => Err(ApiError::invalid_param(format!(
+            "limit must be between 1 and {MAX_LIMIT}, got {v}"
+        ))),
+        Err(_) => Err(ApiError::invalid_param(format!(
+            "bad value {value:?} for limit"
+        ))),
+    }
+}
+
+/// Parses a legacy `limit` value: zero and non-numeric answer a
+/// structured 400, but over-limit values keep their PR-1 behavior of
+/// clamping to [`MAX_LIMIT`] — the unversioned routes are frozen, so
+/// scripts relying on the clamp keep working.
+fn parse_limit_legacy(value: &str) -> Result<usize, ApiError> {
+    match value.parse::<usize>() {
+        Ok(v) if v >= 1 => Ok(v.min(MAX_LIMIT)),
+        _ => Err(ApiError::invalid_param(format!(
+            "bad value {value:?} for limit"
+        ))),
+    }
+}
+
+fn parse_entry_id(params: &Params) -> Result<usize, ApiError> {
     params
         .get("id")
         .unwrap_or_default()
         .parse()
-        .map_err(|_| error_response(400, "hypergraph id must be a non-negative integer"))
+        .map_err(|_| ApiError::invalid_param("hypergraph id must be a non-negative integer"))
 }
 
-/// `GET /hypergraphs/{id}` — full entry with properties.
-pub fn get_hypergraph(state: &ServerState, params: &Params) -> Response {
-    let id = match parse_entry_id(params) {
-        Ok(id) => id,
-        Err(resp) => return resp,
-    };
-    let Some(e) = state.repo.get(id) else {
-        return error_response(404, format!("no hypergraph with id {id}"));
-    };
-    let mut fields = vec![
-        ("id".to_string(), Json::int(e.id)),
-        ("collection".to_string(), Json::str(&e.collection)),
-        ("class".to_string(), Json::str(&e.class)),
-        (
-            "vertices".to_string(),
-            Json::int(e.hypergraph.num_vertices()),
-        ),
-        ("edges".to_string(), Json::int(e.hypergraph.num_edges())),
-        ("arity".to_string(), Json::int(e.hypergraph.arity())),
-        ("edge_list".to_string(), edges_json(&e.hypergraph)),
-    ];
-    match &e.analysis {
-        Some(rec) => fields.push(("analysis".to_string(), analysis_json(rec))),
-        None => fields.push(("analysis".to_string(), Json::Null)),
-    }
-    Response::json(200, Json::Obj(fields))
+fn filter_param(filter: Filter, key: &str, value: &str) -> Result<Filter, ApiError> {
+    filter
+        .with_param(key, value)
+        .map_err(|e| ApiError::invalid_param(e.to_string()))
 }
 
-/// `GET /hypergraphs/{id}/hg` — the raw DetKDecomp-format document.
-pub fn get_hypergraph_raw(state: &ServerState, params: &Params) -> Response {
-    let id = match parse_entry_id(params) {
-        Ok(id) => id,
-        Err(resp) => return resp,
-    };
-    match state.repo.get(id) {
-        Some(e) => Response::text(200, to_hg(&e.hypergraph)),
-        None => error_response(404, format!("no hypergraph with id {id}")),
-    }
+/// Parses, keys, and submits an analysis; shared by both API surfaces.
+/// `Err` is the structured parse failure (with a pollable failed job id
+/// attached by the caller).
+fn submit_analysis(
+    state: &ServerState,
+    document: &str,
+    options: AnalyzeOptions,
+) -> Result<Result<JobId, SubmitError>, String> {
+    let hypergraph: Hypergraph = parse_hg(document).map_err(|e| format!("parse error: {e}"))?;
+    // The options are folded into the cache/dedup identity so the same
+    // document under different methods or budgets never false-hits.
+    let keyed = format!("{}\n{}", options.cache_key(), canonicalize(document));
+    let hash = content_hash(&keyed);
+    Ok(state.jobs.submit(hypergraph, hash, keyed, options))
 }
 
-/// `POST /analyze` — submit an `.hg` body; returns a job id (202), the
-/// finished result straight away on a cache hit, or 400/503.
-pub fn post_analyze(state: &ServerState, req: &Request) -> Response {
-    let body = match std::str::from_utf8(&req.body) {
-        Ok(s) if !s.trim().is_empty() => s,
-        Ok(_) => return error_response(400, "empty body; expected an .hg document"),
-        Err(_) => return error_response(400, "body is not UTF-8"),
-    };
-    let canonical = canonicalize(body);
-    let hash = content_hash(body);
-    let hypergraph = match parse_hg(body) {
-        Ok(h) => h,
-        Err(e) => {
-            // Record the failure so the job id remains pollable, but
-            // answer 400 immediately.
-            let id = state.jobs.submit_failed(format!("parse error: {e}"));
-            return Response::json(
-                400,
-                Json::obj([
-                    ("error", Json::str(format!("parse error: {e}"))),
-                    ("job", Json::int(id)),
-                ]),
-            );
-        }
-    };
-    match state.jobs.submit(hypergraph, hash, canonical) {
-        Ok(id) => {
-            // A cache hit completes synchronously; tell the client.
-            match state.jobs.status(id) {
-                Some(JobStatus::Done { record, cached }) => Response::json(
-                    200,
-                    Json::obj([
-                        ("job", Json::int(id)),
-                        ("status", Json::str("done")),
-                        ("cached", Json::Bool(cached)),
-                        ("result", analysis_json(&record)),
-                    ]),
-                ),
-                _ => Response::json(
-                    202,
-                    Json::obj([("job", Json::int(id)), ("status", Json::str("queued"))]),
-                ),
-            }
-        }
-        Err(SubmitError::QueueFull { capacity }) => error_response(
-            503,
+fn submit_error(e: SubmitError) -> Response {
+    match e {
+        SubmitError::QueueFull { capacity } => error_response(ApiError::new(
+            ErrorCode::QueueFull,
             format!("analysis queue full ({capacity} jobs); retry later"),
-        ),
-        Err(SubmitError::ShuttingDown) => error_response(503, "server shutting down"),
+        )),
+        SubmitError::ShuttingDown => error_response(ApiError::new(
+            ErrorCode::ShuttingDown,
+            "server shutting down",
+        )),
     }
 }
 
-/// `GET /jobs/{id}` — poll a submitted analysis.
-pub fn get_job(state: &ServerState, params: &Params) -> Response {
-    let id = match params.get("id").unwrap_or_default().parse::<u64>() {
-        Ok(id) => id,
-        Err(_) => return error_response(400, "job id must be a non-negative integer"),
-    };
-    let Some(status) = state.jobs.status(id) else {
-        return error_response(404, format!("no job with id {id}"));
-    };
-    let mut fields = vec![
-        ("job".to_string(), Json::int(id)),
-        ("status".to_string(), Json::str(status.label())),
-    ];
-    match status {
-        JobStatus::Done { record, cached } => {
-            fields.push(("cached".to_string(), Json::Bool(cached)));
-            fields.push(("result".to_string(), analysis_json(&record)));
-        }
-        JobStatus::Failed(msg) => fields.push(("error".to_string(), Json::str(msg))),
-        JobStatus::Queued | JobStatus::Running => {}
-    }
-    Response::json(200, Json::Obj(fields))
-}
-
-/// `GET /stats` — repository aggregates + cache and job counters.
+/// `GET /stats` and `GET /v1/stats` — repository aggregates + cache and
+/// job counters (the payload is version-stable).
 pub fn get_stats(state: &ServerState) -> Response {
     let repo_stats = &state.repo_stats;
     let cache = state.cache.stats();
@@ -290,14 +227,14 @@ pub fn get_stats(state: &ServerState) -> Response {
                 Json::obj([
                     ("entries", Json::int(repo_stats.entries)),
                     ("analyzed", Json::int(repo_stats.analyzed)),
-                    ("cyclic", Json::int(repo_stats.cyclic)),
+                    (schema::CYCLIC, Json::int(repo_stats.cyclic)),
                     ("hw_timeouts", Json::int(repo_stats.hw_timeouts)),
                     ("total_vertices", Json::int(repo_stats.total_vertices)),
                     ("total_edges", Json::int(repo_stats.total_edges)),
                     ("max_arity", Json::int(repo_stats.max_arity)),
                     ("by_class", histogram(&repo_stats.by_class)),
                     ("by_collection", histogram(&repo_stats.by_collection)),
-                    ("hw_exact", histogram(&repo_stats.hw_exact)),
+                    (schema::HW_EXACT, histogram(&repo_stats.hw_exact)),
                 ]),
             ),
             (
@@ -324,12 +261,12 @@ pub fn get_stats(state: &ServerState) -> Response {
     )
 }
 
-/// `GET /healthz` — liveness.
+/// `GET /healthz` and `GET /v1/healthz` — liveness.
 pub fn get_healthz(state: &ServerState) -> Response {
     Response::json(
         200,
         Json::obj([
-            ("status", Json::str("ok")),
+            (schema::STATUS, Json::str("ok")),
             ("entries", Json::int(state.repo.len())),
             (
                 "uptime_ms",
@@ -337,4 +274,341 @@ pub fn get_healthz(state: &ServerState) -> Response {
             ),
         ]),
     )
+}
+
+/// The `/v1` handlers: typed DTOs, keyset cursors, structured errors.
+pub mod v1 {
+    use super::*;
+
+    /// `GET /v1/hypergraphs` — cursor-paginated, filterable summaries.
+    pub fn list(state: &ServerState, req: &Request) -> Response {
+        let mut filter = Filter::new();
+        let mut limit = DEFAULT_LIMIT;
+        let mut after = None;
+        for (key, value) in &req.query {
+            match key.as_str() {
+                "limit" => match parse_limit(value) {
+                    Ok(v) => limit = v,
+                    Err(e) => return error_response(e),
+                },
+                "cursor" => match PageCursor::decode(value) {
+                    Ok(c) => after = Some(c.after_id),
+                    Err(e) => {
+                        return error_response(ApiError::new(
+                            ErrorCode::InvalidCursor,
+                            e.to_string(),
+                        ))
+                    }
+                },
+                _ => match filter_param(filter, key, value) {
+                    Ok(f) => filter = f,
+                    Err(e) => return error_response(e),
+                },
+            }
+        }
+        let page = state.repo.select_after(&filter, after, limit);
+        let dto = PageDto {
+            total: page.total,
+            items: page.entries.iter().map(|e| summary_of(e)).collect(),
+            next_cursor: page
+                .next_after
+                .map(|after_id| PageCursor { after_id }.encode()),
+        };
+        Response::json(200, dto.to_json())
+    }
+
+    /// `GET /v1/hypergraphs/{id}` — full entry with properties.
+    pub fn get(state: &ServerState, params: &Params) -> Response {
+        let id = match parse_entry_id(params) {
+            Ok(id) => id,
+            Err(e) => return error_response(e),
+        };
+        match state.repo.get(id) {
+            Some(e) => Response::json(200, detail_of(e).to_json()),
+            None => error_response(ApiError::not_found(format!("no hypergraph with id {id}"))),
+        }
+    }
+
+    /// `GET /v1/hypergraphs/{id}/hg` — the raw DetKDecomp document.
+    pub fn raw_hg(state: &ServerState, params: &Params) -> Response {
+        let id = match parse_entry_id(params) {
+            Ok(id) => id,
+            Err(e) => return error_response(e),
+        };
+        match state.repo.get(id) {
+            Some(e) => Response::text(200, to_hg(&e.hypergraph)),
+            None => error_response(ApiError::not_found(format!("no hypergraph with id {id}"))),
+        }
+    }
+
+    /// `POST /v1/analyses` — submit a typed [`AnalyzeRequest`]. Answers
+    /// an [`AnalysisResource`]: `200 done` on a cache hit, `202 queued`
+    /// otherwise, `400 failed` (with a pollable id) on an unparsable
+    /// document.
+    pub fn post_analyses(state: &ServerState, req: &Request) -> Response {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(s) if !s.trim().is_empty() => s,
+            Ok(_) => {
+                return error_response(ApiError::bad_request(
+                    "empty body; expected an AnalyzeRequest JSON document",
+                ))
+            }
+            Err(_) => return error_response(ApiError::bad_request("body is not UTF-8")),
+        };
+        let parsed = match Json::parse(body) {
+            Ok(j) => j,
+            Err(e) => {
+                return error_response(ApiError::bad_request(format!("body is not JSON: {e}")))
+            }
+        };
+        let request = match AnalyzeRequest::from_json(&parsed) {
+            Ok(r) => r,
+            Err(e) => return error_response(ApiError::invalid_param(e.to_string())),
+        };
+        // Degenerate overrides are rejected, not silently repaired…
+        if request.max_width == Some(0) {
+            return error_response(ApiError::invalid_param("max_width must be at least 1"));
+        }
+        if request.timeout_ms == Some(0) {
+            return error_response(ApiError::invalid_param("timeout_ms must be at least 1"));
+        }
+        // …while valid overrides are clamped to the configured budgets —
+        // a client cannot buy more server time than the operator allowed.
+        let options = AnalyzeOptions {
+            method: request.method,
+            k_max: request
+                .max_width
+                .map_or(state.analysis.k_max, |w| w.min(state.analysis.k_max)),
+            per_check: request.timeout_ms.map_or(state.analysis.per_check, |ms| {
+                Duration::from_millis(ms).min(state.analysis.per_check)
+            }),
+        };
+        match submit_analysis(state, &request.hypergraph, options) {
+            Err(message) => {
+                let id = state.jobs.submit_failed(message.clone());
+                let resource = AnalysisResource {
+                    id,
+                    status: AnalysisStatus::Failed,
+                    method: Some(request.method),
+                    cached: None,
+                    result: None,
+                    decomposition: None,
+                    error: Some(message),
+                };
+                Response::json(400, resource.to_json())
+            }
+            Ok(Err(e)) => submit_error(e),
+            Ok(Ok(id)) => match state.jobs.status(id) {
+                Some(status @ JobStatus::Done { .. }) => {
+                    Response::json(200, resource_of(id, &status).to_json())
+                }
+                Some(status) => Response::json(202, resource_of(id, &status).to_json()),
+                None => error_response(ApiError::new(ErrorCode::Internal, "job vanished")),
+            },
+        }
+    }
+
+    /// `GET /v1/analyses/{id}` — poll an analysis; a `done` answer
+    /// carries the report and the witness decomposition tree.
+    pub fn get_analysis(state: &ServerState, params: &Params) -> Response {
+        let id = match params.get("id").unwrap_or_default().parse::<u64>() {
+            Ok(id) => id,
+            Err(_) => {
+                return error_response(ApiError::invalid_param(
+                    "analysis id must be a non-negative integer",
+                ))
+            }
+        };
+        match state.jobs.status(id) {
+            Some(status) => Response::json(200, resource_of(id, &status).to_json()),
+            None => error_response(ApiError::not_found(format!("no analysis with id {id}"))),
+        }
+    }
+}
+
+/// The unversioned PR-1 routes, kept as thin deprecated adapters over
+/// the `/v1` logic: same core code paths, original payload shapes.
+pub mod legacy {
+    use super::*;
+
+    /// `GET /hypergraphs` — offset pagination + filter query params.
+    pub fn list_hypergraphs(state: &ServerState, req: &Request) -> Response {
+        let mut filter = Filter::new();
+        let mut offset = 0usize;
+        let mut limit = DEFAULT_LIMIT;
+        for (key, value) in &req.query {
+            match key.as_str() {
+                "offset" => match value.parse() {
+                    Ok(v) => offset = v,
+                    Err(_) => {
+                        return error_response(ApiError::invalid_param(format!(
+                            "bad value {value:?} for offset"
+                        )))
+                    }
+                },
+                "limit" => match parse_limit_legacy(value) {
+                    Ok(v) => limit = v,
+                    Err(e) => return error_response(e),
+                },
+                _ => match filter_param(filter, key, value) {
+                    Ok(f) => filter = f,
+                    Err(e) => return error_response(e),
+                },
+            }
+        }
+        let page = state.repo.select_page(&filter, offset, limit);
+        Response::json(
+            200,
+            Json::obj([
+                (schema::TOTAL, Json::int(page.total)),
+                ("offset", Json::int(page.offset)),
+                ("limit", Json::int(page.limit)),
+                (
+                    schema::ITEMS,
+                    Json::Arr(
+                        page.entries
+                            .iter()
+                            .map(|e| summary_of(e).to_legacy_json())
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )
+    }
+
+    /// `GET /hypergraphs/{id}` — full entry in the PR-1 shape (no
+    /// `analyzed` flag; `analysis` carries the record or `null`).
+    pub fn get_hypergraph(state: &ServerState, params: &Params) -> Response {
+        let id = match parse_entry_id(params) {
+            Ok(id) => id,
+            Err(e) => return error_response(e),
+        };
+        let Some(e) = state.repo.get(id) else {
+            return error_response(ApiError::not_found(format!("no hypergraph with id {id}")));
+        };
+        let detail = detail_of(e);
+        let s = &detail.summary;
+        Response::json(
+            200,
+            Json::obj([
+                (schema::ID, Json::int(s.id)),
+                (schema::COLLECTION, Json::str(&s.collection)),
+                (schema::CLASS, Json::str(&s.class)),
+                (schema::VERTICES, Json::int(s.vertices)),
+                (schema::EDGES, Json::int(s.edges)),
+                (schema::ARITY, Json::int(s.arity)),
+                (
+                    schema::EDGE_LIST,
+                    Json::Arr(
+                        detail
+                            .edge_list
+                            .iter()
+                            .map(|e| {
+                                Json::obj([
+                                    (schema::NAME, Json::str(&e.name)),
+                                    (
+                                        schema::VERTICES,
+                                        Json::Arr(e.vertices.iter().map(Json::str).collect()),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "analysis",
+                    detail
+                        .analysis
+                        .as_ref()
+                        .map_or(Json::Null, AnalysisReport::to_json),
+                ),
+            ]),
+        )
+    }
+
+    /// `GET /hypergraphs/{id}/hg` — identical to the `/v1` handler.
+    pub fn get_hypergraph_raw(state: &ServerState, params: &Params) -> Response {
+        v1::raw_hg(state, params)
+    }
+
+    /// `POST /analyze` — raw `.hg` body, server-default options; the
+    /// PR-1 response shapes (`job` key, flat `result`).
+    pub fn post_analyze(state: &ServerState, req: &Request) -> Response {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(s) if !s.trim().is_empty() => s,
+            Ok(_) => {
+                return error_response(ApiError::bad_request(
+                    "empty body; expected an .hg document",
+                ))
+            }
+            Err(_) => return error_response(ApiError::bad_request("body is not UTF-8")),
+        };
+        let options = AnalyzeOptions::defaults(&state.analysis);
+        match submit_analysis(state, body, options) {
+            Err(message) => {
+                // Record the failure so the job id remains pollable, but
+                // answer 400 immediately.
+                let id = state.jobs.submit_failed(message.clone());
+                Response::json(
+                    400,
+                    Json::obj([
+                        (schema::CODE, Json::str(ErrorCode::ParseError.as_str())),
+                        (schema::ERROR, Json::str(message)),
+                        ("job", Json::int(id)),
+                    ]),
+                )
+            }
+            Ok(Err(e)) => submit_error(e),
+            Ok(Ok(id)) => match state.jobs.status(id) {
+                // A cache hit completes synchronously; tell the client.
+                Some(JobStatus::Done { result, cached }) => Response::json(
+                    200,
+                    Json::obj([
+                        ("job", Json::int(id)),
+                        (schema::STATUS, Json::str("done")),
+                        (schema::CACHED, Json::Bool(cached)),
+                        (schema::RESULT, report_of(&result.record).to_json()),
+                    ]),
+                ),
+                _ => Response::json(
+                    202,
+                    Json::obj([
+                        ("job", Json::int(id)),
+                        (schema::STATUS, Json::str("queued")),
+                    ]),
+                ),
+            },
+        }
+    }
+
+    /// `GET /jobs/{id}` — poll a submitted analysis (PR-1 shape).
+    pub fn get_job(state: &ServerState, params: &Params) -> Response {
+        let id = match params.get("id").unwrap_or_default().parse::<u64>() {
+            Ok(id) => id,
+            Err(_) => {
+                return error_response(ApiError::invalid_param(
+                    "job id must be a non-negative integer",
+                ))
+            }
+        };
+        let Some(status) = state.jobs.status(id) else {
+            return error_response(ApiError::not_found(format!("no job with id {id}")));
+        };
+        let mut fields = vec![
+            ("job".to_string(), Json::int(id)),
+            (schema::STATUS.to_string(), Json::str(status.label())),
+        ];
+        match status {
+            JobStatus::Done { result, cached } => {
+                fields.push((schema::CACHED.to_string(), Json::Bool(cached)));
+                fields.push((
+                    schema::RESULT.to_string(),
+                    report_of(&result.record).to_json(),
+                ));
+            }
+            JobStatus::Failed(msg) => fields.push((schema::ERROR.to_string(), Json::str(msg))),
+            JobStatus::Queued | JobStatus::Running => {}
+        }
+        Response::json(200, Json::Obj(fields))
+    }
 }

@@ -7,11 +7,61 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use hyperbench_api::AnalyzeMethod;
 use hyperbench_core::Hypergraph;
-use hyperbench_repo::{analyze_instance, AnalysisConfig, AnalysisRecord};
+use hyperbench_repo::{analyze_instance_retaining, AnalysisConfig};
 
-use crate::cache::{AnalysisCache, ContentHash};
+use crate::cache::{AnalysisCache, ContentHash, JobResult};
+
+/// Per-submission analysis options, carried from the typed
+/// `AnalyzeRequest` through the queue to the worker. The options are
+/// part of the cache identity (see [`AnalyzeOptions::cache_key`]): the
+/// same document analyzed as `hd` and as `ghd` is two cache entries,
+/// never a false hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzeOptions {
+    /// Which decomposition notion to search.
+    pub method: AnalyzeMethod,
+    /// Largest width tried.
+    pub k_max: usize,
+    /// Per-`Check` timeout budget.
+    pub per_check: Duration,
+}
+
+impl AnalyzeOptions {
+    /// The server-default options for a configured analysis budget
+    /// (what the legacy `POST /analyze` route always uses).
+    pub fn defaults(config: &AnalysisConfig) -> AnalyzeOptions {
+        AnalyzeOptions {
+            method: AnalyzeMethod::Hd,
+            k_max: config.k_max,
+            per_check: config.per_check,
+        }
+    }
+
+    /// A stable string folded into the content hash and dedup identity.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{}:{}:{}",
+            self.method.as_str(),
+            self.k_max,
+            self.per_check.as_millis()
+        )
+    }
+
+    /// The effective analysis budget: these options over the server's
+    /// base config (which keeps budgets the request cannot override,
+    /// like `vc_budget`).
+    pub fn config(&self, base: &AnalysisConfig) -> AnalysisConfig {
+        AnalysisConfig {
+            per_check: self.per_check,
+            k_max: self.k_max,
+            vc_budget: base.vc_budget,
+        }
+    }
+}
 
 /// A job identifier, dense from 0.
 pub type JobId = u64;
@@ -29,11 +79,11 @@ pub enum JobStatus {
     Queued,
     /// A worker is analyzing it.
     Running,
-    /// Finished; the record is available (and cached). The flag says
+    /// Finished; the result is available (and cached). The flag says
     /// whether the result came straight from the cache.
     Done {
-        /// The analysis result.
-        record: Arc<AnalysisRecord>,
+        /// The full analysis result, witness included.
+        result: Arc<JobResult>,
         /// Whether the submission was served from the cache.
         cached: bool,
     },
@@ -88,6 +138,7 @@ struct QueueItem {
     hypergraph: Hypergraph,
     hash: ContentHash,
     canonical: String,
+    options: AnalyzeOptions,
 }
 
 struct JobState {
@@ -177,16 +228,18 @@ impl JobSystem {
         }
     }
 
-    /// Submits a parsed hypergraph together with its canonicalized
-    /// source (see [`crate::cache::canonicalize`]). On a cache hit the
-    /// job completes immediately without touching the queue; a document
-    /// already queued or running shares that job id; otherwise it is
-    /// enqueued unless the queue is full.
+    /// Submits a parsed hypergraph together with its canonicalized,
+    /// options-keyed source (see [`crate::cache::canonicalize`] and
+    /// [`AnalyzeOptions::cache_key`]). On a cache hit the job completes
+    /// immediately without touching the queue; a document already queued
+    /// or running under the same options shares that job id; otherwise
+    /// it is enqueued unless the queue is full.
     pub fn submit(
         &self,
         hypergraph: Hypergraph,
         hash: ContentHash,
         canonical: String,
+        options: AnalyzeOptions,
     ) -> Result<JobId, SubmitError> {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
@@ -194,14 +247,14 @@ impl JobSystem {
         let (lock, cvar) = &*self.state;
         let mut state = lock.lock().expect("job lock");
         let id = state.next_id;
-        if let Some(record) = self.cache.get(hash, &canonical) {
+        if let Some(result) = self.cache.get(hash, &canonical) {
             state.next_id += 1;
             state.submitted += 1;
             state.done += 1;
             state.finish(
                 id,
                 JobStatus::Done {
-                    record,
+                    result,
                     cached: true,
                 },
             );
@@ -230,6 +283,7 @@ impl JobSystem {
             hypergraph,
             hash,
             canonical,
+            options,
         });
         cvar.notify_one();
         Ok(id)
@@ -320,21 +374,39 @@ fn worker_loop(
         // code; a panic there must fail the one job, not kill the
         // worker (which would leave the job "running" forever and its
         // hash stuck in the dedup map).
+        let cfg = item.options.config(config);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            analyze_instance(&item.hypergraph, config)
+            analyze_instance_retaining(&item.hypergraph, &cfg, item.options.method)
         }));
         let mut guard = lock.lock().expect("job lock");
         guard.running -= 1;
         guard.inflight.remove(&item.hash);
         match outcome {
-            Ok(record) => {
-                let record = Arc::new(record);
-                cache.put(item.hash, item.canonical, Arc::clone(&record));
+            Ok(analyzed) => {
+                // Serialize (and validate) the witness once, here, so
+                // polls of the finished analysis are pure lookups.
+                let witness_dto = analyzed.witness.as_ref().map(|d| {
+                    hyperbench_api::DecompositionDto::from_tree(
+                        &item.hypergraph,
+                        d,
+                        item.options.method,
+                        analyzed.fractional_width.clone(),
+                    )
+                });
+                let result = Arc::new(JobResult {
+                    hypergraph: item.hypergraph,
+                    method: item.options.method,
+                    record: analyzed.record,
+                    witness: analyzed.witness,
+                    witness_dto,
+                    fractional_width: analyzed.fractional_width,
+                });
+                cache.put(item.hash, item.canonical, Arc::clone(&result));
                 guard.done += 1;
                 guard.finish(
                     item.id,
                     JobStatus::Done {
-                        record,
+                        result,
                         cached: false,
                     },
                 );
@@ -368,14 +440,23 @@ mod tests {
         )
     }
 
+    fn opts() -> AnalyzeOptions {
+        AnalyzeOptions::defaults(&AnalysisConfig::default())
+    }
+
     #[test]
     fn submit_run_poll() {
         let jobs = system(2, 8);
-        let id = jobs.submit(triangle(), ContentHash(1), "t".into()).unwrap();
+        let id = jobs
+            .submit(triangle(), ContentHash(1), "t".into(), opts())
+            .unwrap();
         match jobs.wait(id) {
-            Some(JobStatus::Done { record, cached }) => {
+            Some(JobStatus::Done { result, cached }) => {
                 assert!(!cached);
-                assert_eq!(record.hw_exact(), Some(2));
+                assert_eq!(result.record.hw_exact(), Some(2));
+                // The witness rides along instead of being discarded.
+                let w = result.witness.as_ref().expect("witness retained");
+                assert_eq!(w.width(), 2);
             }
             other => panic!("unexpected status {other:?}"),
         }
@@ -387,12 +468,16 @@ mod tests {
     #[test]
     fn repeated_submission_hits_cache() {
         let jobs = system(1, 8);
-        let first = jobs.submit(triangle(), ContentHash(7), "t".into()).unwrap();
+        let first = jobs
+            .submit(triangle(), ContentHash(7), "t".into(), opts())
+            .unwrap();
         assert!(matches!(
             jobs.wait(first),
             Some(JobStatus::Done { cached: false, .. })
         ));
-        let second = jobs.submit(triangle(), ContentHash(7), "t".into()).unwrap();
+        let second = jobs
+            .submit(triangle(), ContentHash(7), "t".into(), opts())
+            .unwrap();
         // Immediately done, no queue round-trip.
         assert!(matches!(
             jobs.status(second),
@@ -408,7 +493,7 @@ mod tests {
         let mut rejected = false;
         for i in 0..10 {
             if let Err(SubmitError::QueueFull { capacity }) =
-                jobs.submit(triangle(), ContentHash(100 + i), format!("t{i}"))
+                jobs.submit(triangle(), ContentHash(100 + i), format!("t{i}"), opts())
             {
                 assert_eq!(capacity, 1);
                 rejected = true;
@@ -439,13 +524,13 @@ mod tests {
         let jobs = system(1, 8);
         // Occupy the single worker so the target job stays queued.
         let blocker = hypergraph_from_edges(&[("b1", &["p", "q"]), ("b2", &["q", "r"])]);
-        jobs.submit(blocker, ContentHash(50), "blocker".into())
+        jobs.submit(blocker, ContentHash(50), "blocker".into(), opts())
             .unwrap();
         let first = jobs
-            .submit(triangle(), ContentHash(51), "t".into())
+            .submit(triangle(), ContentHash(51), "t".into(), opts())
             .unwrap();
         let second = jobs
-            .submit(triangle(), ContentHash(51), "t".into())
+            .submit(triangle(), ContentHash(51), "t".into(), opts())
             .unwrap();
         // Either the job was still in flight (same id) or it finished
         // between the two submits (cache hit) — never a second run.

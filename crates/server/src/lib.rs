@@ -6,19 +6,28 @@
 //!
 //! * a fixed thread-pool accepts and handles connections ([`pool`]),
 //! * a hand-rolled router maps paths to handlers ([`router`]),
-//! * responses are written by a zero-dependency JSON writer ([`json`]),
-//! * `POST /analyze` runs on a background worker pool with a bounded job
-//!   queue ([`jobs`]) and an LRU cache keyed by content hash ([`cache`]).
+//! * the wire contract — typed DTOs, the JSON codec, cursors, and error
+//!   codes — lives in the shared `hyperbench-api` crate (re-exported
+//!   here as [`json`]), so server and client compile against one schema,
+//! * analyses run on a background worker pool with a bounded job queue
+//!   ([`jobs`]) and an LRU cache keyed by content hash + analysis
+//!   options ([`cache`]), retaining the witness decomposition.
+//!
+//! The versioned `/v1` surface:
 //!
 //! | route | answer |
 //! |-------|--------|
-//! | `GET /hypergraphs` | paginated, filterable entry summaries |
-//! | `GET /hypergraphs/{id}` | full entry + analysis as JSON |
-//! | `GET /hypergraphs/{id}/hg` | raw DetKDecomp-format text |
-//! | `POST /analyze` | submit an `.hg` body → job id |
-//! | `GET /jobs/{id}` | poll a submitted analysis |
-//! | `GET /stats` | repository aggregates + cache/job counters |
-//! | `GET /healthz` | liveness |
+//! | `GET /v1/hypergraphs` | cursor-paginated, filterable summaries |
+//! | `GET /v1/hypergraphs/{id}` | full entry + analysis as JSON |
+//! | `GET /v1/hypergraphs/{id}/hg` | raw DetKDecomp-format text |
+//! | `POST /v1/analyses` | submit a typed `AnalyzeRequest` (hd/ghd/fhd) |
+//! | `GET /v1/analyses/{id}` | poll: report + witness decomposition tree |
+//! | `GET /v1/stats` | repository aggregates + cache/job counters |
+//! | `GET /v1/healthz` | liveness |
+//!
+//! The unversioned PR-1 routes (`/hypergraphs`, `/analyze`, `/jobs/{id}`,
+//! `/stats`, `/healthz`) remain as deprecated adapters over the same
+//! handlers, serving their original payload shapes.
 //!
 //! ```no_run
 //! use hyperbench_repo::Repository;
@@ -34,9 +43,10 @@ pub mod cache;
 pub mod handlers;
 pub mod http;
 pub mod jobs;
-pub mod json;
 pub mod pool;
 pub mod router;
+
+pub use hyperbench_api::json;
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -44,6 +54,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use hyperbench_api::{ApiError, ErrorCode};
 use hyperbench_repo::{AnalysisConfig, Repository};
 
 use cache::AnalysisCache;
@@ -85,6 +96,15 @@ impl Default for ServerConfig {
 }
 
 enum Endpoint {
+    // Versioned /v1 surface.
+    V1List,
+    V1Detail,
+    V1RawHg,
+    V1Analyses,
+    V1Analysis,
+    V1Stats,
+    V1Health,
+    // Deprecated unversioned PR-1 routes (adapters).
     List,
     Detail,
     RawHg,
@@ -97,6 +117,13 @@ enum Endpoint {
 fn build_router() -> Router<Endpoint> {
     let mut router = Router::new();
     router
+        .add(Method::Get, "/v1/hypergraphs", Endpoint::V1List)
+        .add(Method::Get, "/v1/hypergraphs/{id}", Endpoint::V1Detail)
+        .add(Method::Get, "/v1/hypergraphs/{id}/hg", Endpoint::V1RawHg)
+        .add(Method::Post, "/v1/analyses", Endpoint::V1Analyses)
+        .add(Method::Get, "/v1/analyses/{id}", Endpoint::V1Analysis)
+        .add(Method::Get, "/v1/stats", Endpoint::V1Stats)
+        .add(Method::Get, "/v1/healthz", Endpoint::V1Health)
         .add(Method::Get, "/hypergraphs", Endpoint::List)
         .add(Method::Get, "/hypergraphs/{id}", Endpoint::Detail)
         .add(Method::Get, "/hypergraphs/{id}/hg", Endpoint::RawHg)
@@ -144,6 +171,7 @@ impl Server {
                 repo_stats,
                 jobs,
                 cache,
+                analysis: config.analysis,
                 started: Instant::now(),
             }),
             router: Arc::new(build_router()),
@@ -181,8 +209,11 @@ impl Server {
                 Ok(mut stream) => {
                     if pending.load(Ordering::SeqCst) >= max_pending {
                         let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-                        let _ = error_response(503, "server overloaded; retry later")
-                            .write_to(&mut stream);
+                        let _ = error_response(ApiError::new(
+                            ErrorCode::QueueFull,
+                            "server overloaded; retry later",
+                        ))
+                        .write_to(&mut stream);
                         continue;
                     }
                     pending.fetch_add(1, Ordering::SeqCst);
@@ -244,15 +275,18 @@ fn handle_connection(stream: TcpStream, state: &ServerState, router: &Router<End
     let response = match http::read_request(&stream) {
         Ok(request) => dispatch(state, router, &request),
         Err(ParseError::ConnectionClosed) => return,
-        Err(ParseError::BadMethod(m)) => error_response(405, format!("method {m:?} not supported")),
-        Err(ParseError::BodyTooLarge(n)) => error_response(
-            413,
+        Err(ParseError::BadMethod(m)) => error_response(ApiError::new(
+            ErrorCode::MethodNotAllowed,
+            format!("method {m:?} not supported"),
+        )),
+        Err(ParseError::BodyTooLarge(n)) => error_response(ApiError::new(
+            ErrorCode::PayloadTooLarge,
             format!(
                 "body of {n} bytes exceeds the {} byte limit",
                 http::MAX_BODY
             ),
-        ),
-        Err(e @ ParseError::Malformed(_)) => error_response(400, e.to_string()),
+        )),
+        Err(e @ ParseError::Malformed(_)) => error_response(ApiError::bad_request(e.to_string())),
     };
     let mut stream = stream;
     let _ = response.write_to(&mut stream);
@@ -261,18 +295,27 @@ fn handle_connection(stream: TcpStream, state: &ServerState, router: &Router<End
 fn dispatch(state: &ServerState, router: &Router<Endpoint>, request: &Request) -> Response {
     match router.route(request.method, &request.path) {
         RouteMatch::Found(endpoint, params) => match endpoint {
-            Endpoint::List => handlers::list_hypergraphs(state, request),
-            Endpoint::Detail => handlers::get_hypergraph(state, &params),
-            Endpoint::RawHg => handlers::get_hypergraph_raw(state, &params),
-            Endpoint::Analyze => handlers::post_analyze(state, request),
-            Endpoint::Job => handlers::get_job(state, &params),
-            Endpoint::Stats => handlers::get_stats(state),
-            Endpoint::Health => handlers::get_healthz(state),
+            Endpoint::V1List => handlers::v1::list(state, request),
+            Endpoint::V1Detail => handlers::v1::get(state, &params),
+            Endpoint::V1RawHg => handlers::v1::raw_hg(state, &params),
+            Endpoint::V1Analyses => handlers::v1::post_analyses(state, request),
+            Endpoint::V1Analysis => handlers::v1::get_analysis(state, &params),
+            Endpoint::V1Stats | Endpoint::Stats => handlers::get_stats(state),
+            Endpoint::V1Health | Endpoint::Health => handlers::get_healthz(state),
+            Endpoint::List => handlers::legacy::list_hypergraphs(state, request),
+            Endpoint::Detail => handlers::legacy::get_hypergraph(state, &params),
+            Endpoint::RawHg => handlers::legacy::get_hypergraph_raw(state, &params),
+            Endpoint::Analyze => handlers::legacy::post_analyze(state, request),
+            Endpoint::Job => handlers::legacy::get_job(state, &params),
         },
-        RouteMatch::MethodMismatch => {
-            error_response(405, format!("wrong method for {}", request.path))
-        }
-        RouteMatch::NotFound => error_response(404, format!("no route for {}", request.path)),
+        RouteMatch::MethodMismatch => error_response(ApiError::new(
+            ErrorCode::MethodNotAllowed,
+            format!("wrong method for {}", request.path),
+        )),
+        RouteMatch::NotFound => error_response(ApiError::not_found(format!(
+            "no route for {}",
+            request.path
+        ))),
     }
 }
 

@@ -1,31 +1,17 @@
 //! Serve-and-query tour: generate a slice of the benchmark, analyze it,
-//! start the HTTP repository service on an ephemeral port, and play a
-//! client against it — the paper's web tool (§5) end to end in one
-//! process.
+//! start the HTTP repository service on an ephemeral port, and play the
+//! typed `hyperbench_api::Client` against the `/v1` surface — the
+//! paper's web tool (§5) end to end in one process, over one shared
+//! wire schema instead of hand-rolled HTTP strings.
 //!
 //! Run with: `cargo run --release -p hyperbench-examples --bin serve_and_query`
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use hyperbench_api::{AnalyzeRequest, Client, ListQuery};
 use hyperbench_datagen::{generate_collection, TABLE1};
 use hyperbench_repo::{analyze_instance, AnalysisConfig, Repository};
 use hyperbench_server::{Server, ServerConfig};
-
-fn request(addr: SocketAddr, raw: String) -> String {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.write_all(raw.as_bytes()).expect("send");
-    let mut out = String::new();
-    stream.read_to_string(&mut out).expect("recv");
-    out.split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or(out)
-}
-
-fn get(addr: SocketAddr, path: &str) -> String {
-    request(addr, format!("GET {path} HTTP/1.1\r\nHost: demo\r\n\r\n"))
-}
 
 fn main() {
     // 1. Build a small analyzed repository: a few instances from every
@@ -58,48 +44,80 @@ fn main() {
     let addr = server.local_addr();
     println!("serving on http://{addr}\n");
     std::thread::spawn(move || server.run());
+    let client = Client::new(addr);
 
-    // 3. The web tool's signature query: filtered retrieval.
-    println!("GET /hypergraphs?cyclic=true&hw_le=3&limit=3");
-    println!(
-        "{}\n",
-        get(addr, "/hypergraphs?cyclic=true&hw_le=3&limit=3")
-    );
+    // 3. The web tool's signature query, now typed: filtered retrieval
+    //    with keyset cursor paging.
+    println!("GET /v1/hypergraphs?cyclic=true&hw_le=3&limit=3");
+    let mut query = ListQuery::new()
+        .limit(3)
+        .filter("cyclic", "true")
+        .filter("hw_le", "3");
+    let page = client.list(&query).expect("list");
+    println!("  {} matches total; first page:", page.total);
+    for item in &page.items {
+        println!(
+            "  #{:<3} {:<24} {:<16} hw ≤ {:?}",
+            item.id, item.collection, item.class, item.hw_upper
+        );
+    }
+    if let Some(cursor) = page.next_cursor {
+        query.cursor = Some(cursor.clone());
+        let next = client.list(&query).expect("next page");
+        println!(
+            "  …cursor {}… continues with {} more on the next page\n",
+            &cursor[..12.min(cursor.len())],
+            next.items.len()
+        );
+    } else {
+        println!("  (single page)\n");
+    }
 
     // 4. Detail + raw DetKDecomp format for the first entry.
-    println!("GET /hypergraphs/0");
-    println!("{}\n", get(addr, "/hypergraphs/0"));
-    println!("GET /hypergraphs/0/hg");
-    println!("{}", get(addr, "/hypergraphs/0/hg"));
-
-    // 5. Submit a fresh hypergraph for analysis and poll the job.
-    let doc = "r(a,b),s(b,c),t(c,a).";
-    println!("POST /analyze  [{doc}]");
-    let submit = request(
-        addr,
-        format!(
-            "POST /analyze HTTP/1.1\r\nHost: demo\r\nContent-Length: {}\r\n\r\n{doc}",
-            doc.len()
-        ),
+    let detail = client.entry(0).expect("entry 0");
+    println!(
+        "GET /v1/hypergraphs/0 → {} vertices, {} edges, analyzed: {}",
+        detail.summary.vertices, detail.summary.edges, detail.summary.analyzed
     );
-    println!("{submit}");
-    // The demo submission is tiny, so one short sleep is enough.
-    std::thread::sleep(Duration::from_millis(300));
-    println!("GET /jobs/0");
-    println!("{}\n", get(addr, "/jobs/0"));
+    let raw = client.raw_hg(0).expect("raw hg");
+    println!(
+        "GET /v1/hypergraphs/0/hg → {} bytes of DetKDecomp text\n",
+        raw.len()
+    );
+
+    // 5. Submit a fresh hypergraph for analysis and wait for the typed
+    //    resource — report and witness decomposition included.
+    let doc = "r(a,b),s(b,c),t(c,a).";
+    println!("POST /v1/analyses  [{doc}]");
+    let done = client
+        .analyze(&AnalyzeRequest::hd(doc), Duration::from_secs(30))
+        .expect("analyze");
+    let report = done.result.as_ref().expect("report");
+    println!(
+        "  analysis {} done: hw_exact = {:?}, cyclic = {}",
+        done.id, report.hw_exact, report.cyclic
+    );
+    if let Some(d) = &done.decomposition {
+        println!(
+            "  witness: width {} tree of {} nodes, validation = {}",
+            d.width,
+            d.nodes.len(),
+            d.validation
+        );
+    }
 
     // 6. Resubmit: the content-addressed cache answers instantly.
-    println!("POST /analyze  [same document again]");
-    let resubmit = request(
-        addr,
-        format!(
-            "POST /analyze HTTP/1.1\r\nHost: demo\r\nContent-Length: {}\r\n\r\n{doc}",
-            doc.len()
-        ),
+    let hit = client
+        .analyze(&AnalyzeRequest::hd(doc), Duration::from_secs(30))
+        .expect("cache hit");
+    println!(
+        "  resubmission answered from cache: cached = {:?}\n",
+        hit.cached
     );
-    println!("{resubmit}\n");
 
-    // 7. Repository-wide aggregates.
-    println!("GET /stats");
-    println!("{}", get(addr, "/stats"));
+    // 7. Repository-wide aggregates still one GET away.
+    println!(
+        "GET /v1/healthz → {} entries",
+        client.healthz().expect("healthz")
+    );
 }

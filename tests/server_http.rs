@@ -188,6 +188,28 @@ fn full_http_surface() {
     assert_eq!(status, 400);
     assert!(json(&body).get("error").is_some());
     assert_eq!(get(addr, "/hypergraphs?frobnicate=1").0, 400);
+    // limit/offset abuse answers structured 400s with stable codes —
+    // zero and non-numeric values are rejected, never defaulted.
+    for bad in [
+        "/hypergraphs?limit=0",
+        "/hypergraphs?limit=nope",
+        "/hypergraphs?offset=minus-one",
+    ] {
+        let (status, body) = get(addr, bad);
+        assert_eq!(status, 400, "GET {bad}: {body}");
+        let err = json(&body);
+        assert_eq!(
+            err.get("code").and_then(Json::as_str),
+            Some("invalid_param"),
+            "GET {bad}: {body}"
+        );
+        assert!(err.get("error").is_some(), "GET {bad}: {body}");
+    }
+    // Over-maximum limits keep their PR-1 clamp on the frozen legacy
+    // route (the /v1 surface rejects them instead).
+    let (status, body) = get(addr, "/hypergraphs?limit=999999");
+    assert_eq!(status, 200, "legacy over-limit must clamp: {body}");
+    assert_eq!(json(&body).get("limit").and_then(Json::as_int), Some(1000));
     assert_eq!(get(addr, "/hypergraphs/notanumber").0, 400);
     assert_eq!(post(addr, "/analyze", "this is not an hg file(((").0, 400);
     assert_eq!(post(addr, "/analyze", "").0, 400);
