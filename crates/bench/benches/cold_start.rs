@@ -1,0 +1,51 @@
+//! Cold-start bench: how fast a `hyperbench serve` process gets to its
+//! first answerable request, TSV directory vs. pack file.
+//!
+//! `tsv_load` parses every `.hg` payload up front; `pack_open` reads
+//! only the pack's header and index sections, and
+//! `pack_open_first_page` additionally hydrates one keyset page the way
+//! the first `GET /v1/hypergraphs` would. The gap between the first two
+//! is the paged backend's reason to exist — and the number the CI perf
+//! job tracks in `BENCH_PR3.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperbench_bench::benchmark_slice;
+use hyperbench_repo::store;
+use hyperbench_repo::{Filter, Repository};
+
+fn bench(c: &mut Criterion) {
+    let instances = benchmark_slice(4);
+    let mut repo = Repository::new();
+    for inst in instances {
+        repo.insert(inst.hypergraph, inst.collection, inst.class.name());
+    }
+    let dir = std::env::temp_dir().join(format!(
+        "hyperbench-cold-start-bench-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    store::save(&repo, &dir).expect("save benchmark slice as TSV");
+    let pack = dir.join("repo.pack");
+    store::pack::write_pack(&repo, &pack).expect("pack benchmark slice");
+
+    let mut g = c.benchmark_group("cold_start");
+    g.sample_size(10);
+    g.bench_function("tsv_load", |b| {
+        b.iter(|| store::load(&dir).expect("load TSV").len())
+    });
+    g.bench_function("pack_open", |b| {
+        b.iter(|| Repository::open_pack(&pack).expect("open pack").len())
+    });
+    g.bench_function("pack_open_first_page", |b| {
+        b.iter(|| {
+            let r = Repository::open_pack(&pack).expect("open pack");
+            r.select_after(&Filter::new(), None, 25).entries.len()
+        })
+    });
+    g.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

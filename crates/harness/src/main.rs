@@ -27,8 +27,10 @@ USAGE:
   hyperbench stats <FILE.hg>
   hyperbench decompose <FILE.hg> --k N [--algo hd|globalbip|localbip|balsep|hybrid]
              [--timeout-ms N]
-  hyperbench serve --dir DIR [--addr HOST:PORT] [--threads N] [--workers N]
-             [--queue N] [--cache N] [--timeout-ms N] [--kmax N]
+  hyperbench pack --dir DIR [--out FILE]
+  hyperbench serve (--dir DIR | --pack FILE) [--addr HOST:PORT] [--threads N]
+             [--workers N] [--queue N] [--cache N] [--timeout-ms N] [--kmax N]
+             [--spill FILE|off]
   hyperbench help
 ";
 
@@ -224,9 +226,39 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        "serve" => {
+        "pack" => {
             let dir = PathBuf::from(flags.get("dir").ok_or("--dir DIR required")?);
+            let out = flags
+                .get("out")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| dir.join("repo.pack"));
+            let repo = hyperbench_repo::store::load(&dir).map_err(|e| e.to_string())?;
+            hyperbench_repo::store::pack::write_pack(&repo, &out).map_err(|e| e.to_string())?;
+            let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "packed {} hypergraphs from {} into {} ({bytes} bytes)",
+                repo.len(),
+                dir.display(),
+                out.display()
+            );
+            Ok(())
+        }
+        "serve" => {
+            let dir = flags.get("dir").map(PathBuf::from);
+            let pack = flags.get("pack").map(PathBuf::from);
             let d = hyperbench_server::ServerConfig::default();
+            // The analysis cache spills next to the repository by
+            // default, so restarts come up warm; `--spill off` keeps it
+            // memory-only and `--spill FILE` moves it.
+            let spill = match flags.get("spill") {
+                Some("off") => None,
+                Some(path) => Some(PathBuf::from(path)),
+                None => match (&dir, &pack) {
+                    (Some(dir), _) => Some(dir.join("cache.spill")),
+                    (None, Some(pack)) => Some(pack.with_extension("pack.spill")),
+                    (None, None) => None,
+                },
+            };
             let config = hyperbench_server::ServerConfig {
                 addr: flags.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
                 threads: flags.get_parsed("threads", d.threads)?,
@@ -238,8 +270,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     k_max: flags.get_parsed("kmax", 8)?,
                     vc_budget: 2_000_000,
                 },
+                spill,
             };
-            hyperbench_server::serve_dir(&dir, &config)
+            match (dir, pack) {
+                (Some(_), Some(_)) => Err("--dir and --pack are mutually exclusive".to_string()),
+                (Some(dir), None) => hyperbench_server::serve_dir(&dir, &config),
+                (None, Some(pack)) => hyperbench_server::serve_pack(&pack, &config),
+                (None, None) => Err("--dir DIR or --pack FILE required".to_string()),
+            }
         }
         "decompose" => {
             let file = flags.positional.first().ok_or("FILE.hg required")?;

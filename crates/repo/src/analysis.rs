@@ -42,7 +42,7 @@ impl Default for AnalysisConfig {
 }
 
 /// The stored result of analyzing one hypergraph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisRecord {
     /// Size metrics (Figure 3).
     pub sizes: SizeMetrics,
@@ -147,7 +147,7 @@ pub fn analyze_instance_retaining(
 
 /// Repository-wide aggregates — the payload of the server's `GET /stats`
 /// and the library analogue of the web tool's overview page.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RepoStats {
     /// Total entries.
     pub entries: usize,
@@ -171,7 +171,9 @@ pub struct RepoStats {
     pub max_arity: usize,
 }
 
-/// Computes [`RepoStats`] over a repository in one pass.
+/// Computes [`RepoStats`] over a repository in one pass. Only the
+/// metadata index is consulted ([`crate::Repository::metas`]), so a
+/// paged repository aggregates without hydrating a single entry.
 pub fn aggregate_stats(repo: &crate::Repository) -> RepoStats {
     let mut stats = RepoStats {
         entries: repo.len(),
@@ -180,12 +182,12 @@ pub fn aggregate_stats(repo: &crate::Repository) -> RepoStats {
     let mut by_class: BTreeMap<String, usize> = BTreeMap::new();
     let mut by_collection: BTreeMap<String, usize> = BTreeMap::new();
     let mut hw_exact: BTreeMap<usize, usize> = BTreeMap::new();
-    for e in repo.entries() {
-        *by_class.entry(e.class.clone()).or_default() += 1;
-        *by_collection.entry(e.collection.clone()).or_default() += 1;
-        stats.total_vertices += e.hypergraph.num_vertices();
-        stats.total_edges += e.hypergraph.num_edges();
-        stats.max_arity = stats.max_arity.max(e.hypergraph.arity());
+    for e in repo.metas() {
+        *by_class.entry(e.class.to_string()).or_default() += 1;
+        *by_collection.entry(e.collection.to_string()).or_default() += 1;
+        stats.total_vertices += e.vertices;
+        stats.total_edges += e.edges;
+        stats.max_arity = stats.max_arity.max(e.arity);
         if let Some(rec) = &e.analysis {
             stats.analyzed += 1;
             if rec.is_cyclic() {

@@ -2,7 +2,7 @@
 //! form ("retrieve the hypergraphs or groups of hypergraphs together with
 //! a broad spectrum of properties", §1).
 
-use crate::Entry;
+use crate::{Entry, EntryMeta};
 
 /// A conjunctive filter over repository entries. All set conditions must
 /// hold; unset conditions are ignored.
@@ -156,26 +156,34 @@ impl Filter {
         })
     }
 
-    /// Whether `e` passes the filter.
+    /// Whether `e` passes the filter. Equivalent to
+    /// [`Filter::matches_meta`] on the entry's metadata view — every
+    /// condition is decidable from metadata alone, which is what lets a
+    /// paged repository run filtered scans without hydrating entries.
     pub fn matches(&self, e: &Entry) -> bool {
+        self.matches_meta(&EntryMeta::of(e))
+    }
+
+    /// Whether an entry with this metadata passes the filter.
+    pub fn matches_meta(&self, e: &EntryMeta<'_>) -> bool {
         if let Some(c) = &self.class {
-            if &e.class != c {
+            if e.class != c.as_str() {
                 return false;
             }
         }
         if let Some(c) = &self.collection {
-            if &e.collection != c {
+            if e.collection != c.as_str() {
                 return false;
             }
         }
-        let m = e.hypergraph.num_edges();
+        let m = e.edges;
         if self.min_edges.map(|n| m < n).unwrap_or(false) {
             return false;
         }
         if self.max_edges.map(|n| m > n).unwrap_or(false) {
             return false;
         }
-        let a = e.hypergraph.arity();
+        let a = e.arity;
         if self.min_arity.map(|n| a < n).unwrap_or(false) {
             return false;
         }

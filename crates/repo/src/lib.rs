@@ -9,7 +9,16 @@
 //! * insert hypergraphs (tagged with collection and class),
 //! * attach analysis records (structural properties, hw/ghw bounds),
 //! * retrieve and filter ("all CSP instances with hw ≤ 5 and BIP ≤ 2"),
-//! * persist to / load from a directory of `.hg` files plus a TSV index.
+//! * persist to / load from a directory of `.hg` files plus a TSV index
+//!   (the interchange format), or to a single paged, checksummed
+//!   `repo.pack` file ([`store::pack`]) that opens without parsing any
+//!   `.hg` payload and hydrates entries lazily, page by page.
+//!
+//! A [`Repository`] is backed either by memory (every entry resident,
+//! mutable) or by a pack file (read-only, lazily hydrated). Both
+//! backends answer the same retrieval API; the paged backend evaluates
+//! filters against its in-memory metadata index and touches the pack
+//! file only for the entries a query actually returns.
 
 pub mod analysis;
 pub mod filter;
@@ -20,8 +29,13 @@ pub use analysis::{
     AnalyzedInstance, RepoStats,
 };
 pub use filter::{Filter, FilterParamError};
+pub use store::StoreError;
+
+use std::path::Path;
 
 use hyperbench_core::Hypergraph;
+
+use store::pack::PackStore;
 
 /// Class labels mirroring `hyperbench_datagen::BenchClass` but kept
 /// string-typed here so the repository does not depend on the generators.
@@ -42,27 +56,115 @@ pub struct Entry {
     pub analysis: Option<AnalysisRecord>,
 }
 
-/// An in-memory repository of hypergraphs and analyses.
-#[derive(Debug, Default)]
+/// The lightweight per-entry metadata every backend can answer without
+/// hydrating the hypergraph payload: provenance, size counters, and the
+/// analysis record. This is what [`Filter`] conditions are evaluated
+/// against ([`Filter::matches_meta`]) and what [`aggregate_stats`]
+/// consumes, so a paged repository can run filtered scans and compute
+/// `/stats` aggregates without touching a single data page.
+#[derive(Debug, Clone)]
+pub struct EntryMeta<'a> {
+    /// Stable id within the repository.
+    pub id: usize,
+    /// Collection name.
+    pub collection: &'a str,
+    /// Class name.
+    pub class: &'a str,
+    /// Vertex count of the hypergraph.
+    pub vertices: usize,
+    /// Edge count of the hypergraph.
+    pub edges: usize,
+    /// Maximum edge size of the hypergraph.
+    pub arity: usize,
+    /// The analysis record, when computed.
+    pub analysis: Option<&'a AnalysisRecord>,
+}
+
+impl<'a> EntryMeta<'a> {
+    /// The metadata view of a resident entry.
+    pub fn of(e: &'a Entry) -> EntryMeta<'a> {
+        EntryMeta {
+            id: e.id,
+            collection: &e.collection,
+            class: &e.class,
+            vertices: e.hypergraph.num_vertices(),
+            edges: e.hypergraph.num_edges(),
+            arity: e.hypergraph.arity(),
+            analysis: e.analysis.as_ref(),
+        }
+    }
+}
+
+/// How the entries are held.
+#[derive(Debug)]
+enum Backend {
+    /// Every entry resident in memory; mutable.
+    Memory(Vec<Entry>),
+    /// A read-only paged pack file; entries hydrate lazily on first
+    /// access and stay cached afterwards.
+    Paged(PackStore),
+}
+
+/// A repository of hypergraphs and analyses, backed by memory or by a
+/// paged on-disk pack file (see [`Repository::open_pack`]).
+#[derive(Debug)]
 pub struct Repository {
-    entries: Vec<Entry>,
+    backend: Backend,
+}
+
+impl Default for Repository {
+    fn default() -> Repository {
+        Repository::new()
+    }
 }
 
 impl Repository {
-    /// Creates an empty repository.
+    /// Creates an empty in-memory repository.
     pub fn new() -> Repository {
-        Repository::default()
+        Repository {
+            backend: Backend::Memory(Vec::new()),
+        }
+    }
+
+    /// Opens a packed repository written by [`store::pack::write_pack`].
+    /// Only the pack's header and index sections are read here; the
+    /// entry payloads stay on disk until first access. The resulting
+    /// repository is read-only: [`Repository::insert`] and
+    /// [`Repository::set_analysis`] panic on it.
+    pub fn open_pack(path: &Path) -> Result<Repository, StoreError> {
+        Ok(Repository {
+            backend: Backend::Paged(PackStore::open(path)?),
+        })
+    }
+
+    /// Whether this repository is backed by a pack file (read-only).
+    pub fn is_paged(&self) -> bool {
+        matches!(self.backend, Backend::Paged(_))
+    }
+
+    fn memory_mut(&mut self, op: &str) -> &mut Vec<Entry> {
+        match &mut self.backend {
+            Backend::Memory(entries) => entries,
+            Backend::Paged(_) => panic!(
+                "cannot {op}: a packed repository is read-only \
+                 (unpack it with store::save, mutate, then re-pack)"
+            ),
+        }
     }
 
     /// Inserts a hypergraph; returns its id.
+    ///
+    /// # Panics
+    /// Panics on a packed (read-only) repository.
     pub fn insert(
         &mut self,
         hypergraph: Hypergraph,
         collection: impl Into<String>,
         class: impl Into<String>,
     ) -> usize {
-        let id = self.entries.len();
-        self.entries.push(Entry {
+        let entries = self.memory_mut("insert");
+        let id = entries.len();
+        entries.push(Entry {
             id,
             collection: collection.into(),
             class: class.into(),
@@ -73,42 +175,105 @@ impl Repository {
     }
 
     /// Attaches an analysis record to an entry.
+    ///
+    /// # Panics
+    /// Panics on a packed (read-only) repository.
     pub fn set_analysis(&mut self, id: usize, record: AnalysisRecord) {
-        self.entries[id].analysis = Some(record);
+        self.memory_mut("set analysis")[id].analysis = Some(record);
     }
 
-    /// All entries.
-    pub fn entries(&self) -> &[Entry] {
-        &self.entries
+    /// The scan order: insertion order in memory, the pack's sorted
+    /// keyset index on disk. Both are ascending-id — the invariant the
+    /// keyset cursor paging of [`Repository::select_after`] rests on.
+    fn ids(&self) -> IdIter<'_> {
+        match &self.backend {
+            Backend::Memory(entries) => IdIter::Range(0..entries.len()),
+            Backend::Paged(pack) => IdIter::Keyset(pack.keyset_ids()),
+        }
+    }
+
+    /// All entries, in id order. On a paged repository this hydrates
+    /// every entry (it is the full-export path behind [`store::save`]).
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.ids().map(move |id| self.entry(id))
+    }
+
+    /// The metadata of every entry, in id order — available without
+    /// hydration on a paged repository.
+    pub fn metas(&self) -> impl Iterator<Item = EntryMeta<'_>> {
+        self.ids().map(move |id| self.meta(id))
+    }
+
+    /// The metadata of one entry.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn meta(&self, id: usize) -> EntryMeta<'_> {
+        match &self.backend {
+            Backend::Memory(entries) => EntryMeta::of(&entries[id]),
+            Backend::Paged(pack) => pack.meta(id),
+        }
     }
 
     /// A single entry.
     ///
     /// # Panics
-    /// Panics when `id` is out of range; use [`Repository::get`] for a
-    /// fallible lookup.
+    /// Panics when `id` is out of range (use [`Repository::get`] for a
+    /// fallible lookup) or when a paged backend fails to hydrate the
+    /// entry (use [`Repository::try_get`] to observe the
+    /// [`StoreError`]).
     pub fn entry(&self, id: usize) -> &Entry {
-        &self.entries[id]
+        self.get(id)
+            .unwrap_or_else(|| panic!("no entry with id {id}"))
     }
 
     /// A single entry, or `None` when `id` is out of range.
+    ///
+    /// # Panics
+    /// Panics when a paged backend fails to hydrate the entry (I/O
+    /// error or pack corruption); [`Repository::try_get`] surfaces that
+    /// as a [`StoreError`] instead.
     pub fn get(&self, id: usize) -> Option<&Entry> {
-        self.entries.get(id)
+        self.try_get(id)
+            .unwrap_or_else(|e| panic!("paged repository read failed: {e}"))
+    }
+
+    /// A single entry, `Ok(None)` when `id` is out of range, or the
+    /// [`StoreError`] a paged backend hit while hydrating (bad page
+    /// checksum, I/O failure, unparsable payload).
+    pub fn try_get(&self, id: usize) -> Result<Option<&Entry>, StoreError> {
+        match &self.backend {
+            Backend::Memory(entries) => Ok(entries.get(id)),
+            Backend::Paged(pack) => {
+                if id < pack.len() {
+                    pack.hydrate(id).map(Some)
+                } else {
+                    Ok(None)
+                }
+            }
+        }
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.backend {
+            Backend::Memory(entries) => entries.len(),
+            Backend::Paged(pack) => pack.len(),
+        }
     }
 
     /// Whether the repository is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Entries matching a filter.
+    /// Entries matching a filter. Filter conditions are evaluated
+    /// against the metadata index, so a paged backend hydrates only the
+    /// entries that match.
     pub fn select<'a>(&'a self, filter: &'a Filter) -> impl Iterator<Item = &'a Entry> {
-        self.entries.iter().filter(move |e| filter.matches(e))
+        self.ids()
+            .filter(move |&id| filter.matches_meta(&self.meta(id)))
+            .map(move |id| self.entry(id))
     }
 
     /// One page of filtered results plus the total match count — the
@@ -116,21 +281,41 @@ impl Repository {
     /// `offset` entries of the filtered sequence are skipped and at most
     /// `limit` are returned; `total` counts *all* matches so clients can
     /// page without a separate count query.
+    ///
+    /// # Panics
+    /// Panics when a paged backend fails to hydrate a returned entry;
+    /// [`Repository::try_select_page`] surfaces that as a [`StoreError`].
     pub fn select_page<'a>(&'a self, filter: &Filter, offset: usize, limit: usize) -> Page<'a> {
+        self.try_select_page(filter, offset, limit)
+            .unwrap_or_else(|e| panic!("paged repository read failed: {e}"))
+    }
+
+    /// Fallible [`Repository::select_page`]: a paged backend's
+    /// hydration failure becomes a [`StoreError`] instead of a panic.
+    pub fn try_select_page<'a>(
+        &'a self,
+        filter: &Filter,
+        offset: usize,
+        limit: usize,
+    ) -> Result<Page<'a>, StoreError> {
         let mut total = 0usize;
-        let mut entries = Vec::new();
-        for e in self.entries.iter().filter(|e| filter.matches(e)) {
-            if total >= offset && entries.len() < limit {
-                entries.push(e);
+        let mut ids = Vec::new();
+        for meta in self.metas() {
+            if !filter.matches_meta(&meta) {
+                continue;
+            }
+            if total >= offset && ids.len() < limit {
+                ids.push(meta.id);
             }
             total += 1;
         }
-        Page {
+        let entries = self.hydrate_ids(&ids)?;
+        Ok(Page {
             entries,
             total,
             offset,
             limit,
-        }
+        })
     }
 
     /// Keyset pagination: at most `limit` filtered entries with id
@@ -138,36 +323,82 @@ impl Repository {
     /// total match count — the repository-side contract behind the
     /// `/v1/hypergraphs` cursor paging. Unlike [`Repository::select_page`]
     /// offsets, a keyset resume point stays stable under concurrent
-    /// appends and never re-scans skipped rows to find its start.
+    /// appends and never re-scans skipped rows to find its start. On a
+    /// paged backend the scan runs over the pack's metadata index and
+    /// only the returned page is hydrated from disk.
+    ///
+    /// # Panics
+    /// Panics when a paged backend fails to hydrate a returned entry;
+    /// [`Repository::try_select_after`] surfaces that as a [`StoreError`].
     pub fn select_after<'a>(
         &'a self,
         filter: &Filter,
         after: Option<usize>,
         limit: usize,
     ) -> KeysetPage<'a> {
+        self.try_select_after(filter, after, limit)
+            .unwrap_or_else(|e| panic!("paged repository read failed: {e}"))
+    }
+
+    /// Fallible [`Repository::select_after`]: a paged backend's
+    /// hydration failure becomes a [`StoreError`] instead of a panic.
+    pub fn try_select_after<'a>(
+        &'a self,
+        filter: &Filter,
+        after: Option<usize>,
+        limit: usize,
+    ) -> Result<KeysetPage<'a>, StoreError> {
         let mut total = 0usize;
-        let mut entries: Vec<&Entry> = Vec::new();
+        let mut ids: Vec<usize> = Vec::new();
         let mut has_more = false;
-        for e in self.entries.iter().filter(|e| filter.matches(e)) {
-            total += 1;
-            if after.is_some_and(|a| e.id <= a) {
+        for meta in self.metas() {
+            if !filter.matches_meta(&meta) {
                 continue;
             }
-            if entries.len() < limit {
-                entries.push(e);
+            total += 1;
+            if after.is_some_and(|a| meta.id <= a) {
+                continue;
+            }
+            if ids.len() < limit {
+                ids.push(meta.id);
             } else {
                 has_more = true;
             }
         }
-        let next_after = if has_more {
-            entries.last().map(|e| e.id)
-        } else {
-            None
-        };
-        KeysetPage {
+        let next_after = if has_more { ids.last().copied() } else { None };
+        let entries = self.hydrate_ids(&ids)?;
+        Ok(KeysetPage {
             entries,
             total,
             next_after,
+        })
+    }
+
+    fn hydrate_ids(&self, ids: &[usize]) -> Result<Vec<&Entry>, StoreError> {
+        ids.iter()
+            .map(|&id| {
+                self.try_get(id)
+                    .map(|e| e.expect("id came from the metadata scan"))
+            })
+            .collect()
+    }
+}
+
+/// The id scan order of a repository backend (see [`Repository::ids`]).
+enum IdIter<'a> {
+    /// In-memory backend: dense insertion order.
+    Range(std::ops::Range<usize>),
+    /// Paged backend: the pack's sorted keyset index.
+    Keyset(std::slice::Iter<'a, u64>),
+}
+
+impl Iterator for IdIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            IdIter::Range(r) => r.next(),
+            IdIter::Keyset(ids) => ids.next().map(|&id| id as usize),
         }
     }
 }
@@ -213,6 +444,7 @@ mod tests {
         assert_eq!(repo.entry(id).collection, "TPC-H");
         assert!(repo.entry(id).analysis.is_none());
         assert!(!repo.is_empty());
+        assert!(!repo.is_paged());
     }
 
     #[test]
@@ -221,6 +453,21 @@ mod tests {
         let id = repo.insert(triangle(), "TPC-H", "CQ Application");
         assert!(repo.get(id).is_some());
         assert!(repo.get(id + 1).is_none());
+        assert!(matches!(repo.try_get(id + 1), Ok(None)));
+    }
+
+    #[test]
+    fn meta_mirrors_entry() {
+        let mut repo = Repository::new();
+        let id = repo.insert(triangle(), "TPC-H", "CQ Application");
+        let m = repo.meta(id);
+        assert_eq!(m.id, id);
+        assert_eq!(m.collection, "TPC-H");
+        assert_eq!(m.edges, 3);
+        assert_eq!(m.vertices, 3);
+        assert_eq!(m.arity, 2);
+        assert!(m.analysis.is_none());
+        assert_eq!(repo.metas().count(), 1);
     }
 
     #[test]

@@ -1,0 +1,720 @@
+//! The paged single-file repository format (`repo.pack`).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ header (88 bytes)                                            │
+//! │   magic "HBPACK1\n" · version · page_size · entry_count      │
+//! │   data_len · (offset,len) of page table / meta / keyset      │
+//! │   header checksum (FNV-1a 64)                                │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ data region: entry records, back to back                     │
+//! │   record = name · .hg payload (DetKDecomp text)              │
+//! │   read in fixed-size pages; each page checksummed            │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ page table: one FNV-1a 64 checksum per data page             │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ meta section: per entry — id, record (offset,len),           │
+//! │   collection, class, vertex/edge/arity counts, analysis      │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ keyset index: entry ids, sorted ascending                    │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! [`PackStore::open`] reads the header and the three index sections
+//! (small — no `.hg` payload is parsed), validates their checksums, and
+//! bounds-checks every record against the data region, so truncation
+//! and a tampered index surface at open as named [`StoreError`]s.
+//! Entry payloads hydrate lazily: the first access reads exactly the
+//! pages covering that record, verifies their checksums against the
+//! page table, parses the payload, and caches the [`Entry`] for the
+//! repository's lifetime.
+//!
+//! The meta section doubles as the filter index ([`EntryMeta`]), and
+//! the keyset index orders ids for `select_after` cursor paging — both
+//! live in memory after open, so filtered scans and aggregates never
+//! touch a data page.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+
+use hyperbench_core::format::{parse_hg_named, to_hg_unnamed};
+
+use crate::analysis::AnalysisRecord;
+use crate::{Entry, EntryMeta, Repository};
+
+use super::codec::{self, Reader};
+use super::StoreError;
+
+/// File magic: identifies a HyperBench pack, version 1.
+const MAGIC: [u8; 8] = *b"HBPACK1\n";
+/// Format version written by [`write_pack`].
+const VERSION: u32 = 1;
+/// Fixed header length in bytes.
+const HEADER_LEN: u64 = 88;
+/// Default data page size. 4 KiB aligns with common filesystem blocks;
+/// small enough that a single-entry hydration reads little more than
+/// the record itself.
+pub const DEFAULT_PAGE_SIZE: u32 = 4096;
+/// Smallest accepted page size (checksum granularity becomes absurd
+/// below this, and a zero page size would divide by zero).
+const MIN_PAGE_SIZE: u32 = 64;
+
+/// One decoded row of the meta section.
+#[derive(Debug)]
+struct MetaRow {
+    rec_off: u64,
+    rec_len: u64,
+    collection: String,
+    class: String,
+    vertices: usize,
+    edges: usize,
+    arity: usize,
+    analysis: Option<AnalysisRecord>,
+}
+
+/// An open pack file: indexes resident, payloads on disk, hydrated
+/// entries cached per slot.
+pub struct PackStore {
+    file: Mutex<File>,
+    page_size: u64,
+    data_len: u64,
+    page_sums: Vec<u64>,
+    metas: Vec<MetaRow>,
+    /// Sorted ascending; backs keyset-cursor resume ordering.
+    keyset: Vec<u64>,
+    slots: Vec<OnceLock<Entry>>,
+}
+
+impl std::fmt::Debug for PackStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackStore")
+            .field("entries", &self.metas.len())
+            .field("page_size", &self.page_size)
+            .field("data_len", &self.data_len)
+            .finish()
+    }
+}
+
+/// Writes `repo` as a pack file at `path` with the default page size.
+pub fn write_pack(repo: &Repository, path: &Path) -> Result<(), StoreError> {
+    write_pack_with(repo, path, DEFAULT_PAGE_SIZE)
+}
+
+/// Writes `repo` as a pack file at `path` with an explicit page size
+/// (tests use tiny pages to exercise multi-page records).
+pub fn write_pack_with(repo: &Repository, path: &Path, page_size: u32) -> Result<(), StoreError> {
+    if page_size < MIN_PAGE_SIZE {
+        return Err(StoreError::Corrupt(format!(
+            "page size {page_size} below the minimum of {MIN_PAGE_SIZE}"
+        )));
+    }
+    // Data region + meta rows.
+    let mut data = Vec::new();
+    let mut meta = Vec::new();
+    for e in repo.entries() {
+        let rec_off = data.len() as u64;
+        codec::put_str(&mut data, e.hypergraph.name());
+        codec::put_str(&mut data, &to_hg_unnamed(&e.hypergraph));
+        let rec_len = data.len() as u64 - rec_off;
+        codec::put_u64(&mut meta, e.id as u64);
+        codec::put_u64(&mut meta, rec_off);
+        codec::put_u64(&mut meta, rec_len);
+        codec::put_str(&mut meta, &e.collection);
+        codec::put_str(&mut meta, &e.class);
+        codec::put_u64(&mut meta, e.hypergraph.num_vertices() as u64);
+        codec::put_u64(&mut meta, e.hypergraph.num_edges() as u64);
+        codec::put_u64(&mut meta, e.hypergraph.arity() as u64);
+        match &e.analysis {
+            Some(rec) => {
+                codec::put_u8(&mut meta, 1);
+                codec::put_analysis(&mut meta, rec);
+            }
+            None => codec::put_u8(&mut meta, 0),
+        }
+    }
+    // Page table over the data region.
+    let mut ptab = Vec::new();
+    let pages: Vec<&[u8]> = data.chunks(page_size as usize).collect();
+    codec::put_u64(&mut ptab, pages.len() as u64);
+    for page in &pages {
+        codec::put_u64(&mut ptab, codec::fnv64(page));
+    }
+    // Keyset index: ids sorted ascending.
+    let mut keyset = Vec::new();
+    let mut ids: Vec<u64> = (0..repo.len() as u64).collect();
+    ids.sort_unstable();
+    for id in &ids {
+        codec::put_u64(&mut keyset, *id);
+    }
+    // Trailing section checksums.
+    for section in [&mut ptab, &mut meta, &mut keyset] {
+        let sum = codec::fnv64(section);
+        codec::put_u64(section, sum);
+    }
+    // Header.
+    let data_off = HEADER_LEN;
+    let ptab_off = data_off + data.len() as u64;
+    let meta_off = ptab_off + ptab.len() as u64;
+    let keyset_off = meta_off + meta.len() as u64;
+    let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    header.extend_from_slice(&MAGIC);
+    codec::put_u32(&mut header, VERSION);
+    codec::put_u32(&mut header, page_size);
+    codec::put_u64(&mut header, repo.len() as u64);
+    codec::put_u64(&mut header, data.len() as u64);
+    codec::put_u64(&mut header, ptab_off);
+    codec::put_u64(&mut header, ptab.len() as u64);
+    codec::put_u64(&mut header, meta_off);
+    codec::put_u64(&mut header, meta.len() as u64);
+    codec::put_u64(&mut header, keyset_off);
+    codec::put_u64(&mut header, keyset.len() as u64);
+    let sum = codec::fnv64(&header);
+    codec::put_u64(&mut header, sum);
+    debug_assert_eq!(header.len() as u64, HEADER_LEN);
+
+    let mut out = header;
+    out.extend_from_slice(&data);
+    out.extend_from_slice(&ptab);
+    out.extend_from_slice(&meta);
+    out.extend_from_slice(&keyset);
+    // Write via a temp file + rename so a crash mid-write never leaves
+    // a half-written pack under the final name.
+    let tmp = path.with_extension("pack.tmp");
+    std::fs::write(&tmp, &out)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a checksummed section (body + trailing FNV-1a 64) and returns
+/// the body with the checksum verified and stripped.
+fn read_section(
+    file: &Mutex<File>,
+    off: u64,
+    len: u64,
+    what: &'static str,
+) -> Result<Vec<u8>, StoreError> {
+    if len < 8 {
+        return Err(StoreError::Corrupt(format!(
+            "{what}: section of {len} bytes cannot hold its checksum"
+        )));
+    }
+    let mut bytes = read_at(file, off, len as usize)?;
+    let body_len = bytes.len() - 8;
+    let stored = u64::from_le_bytes(bytes[body_len..].try_into().unwrap());
+    if codec::fnv64(&bytes[..body_len]) != stored {
+        return Err(StoreError::Corrupt(format!("{what}: checksum mismatch")));
+    }
+    bytes.truncate(body_len);
+    Ok(bytes)
+}
+
+/// Reads `len` bytes at `off` from the pack file.
+fn read_at(file: &Mutex<File>, off: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+    let mut buf = vec![0u8; len];
+    let file = file.lock().expect("pack file lock");
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(&mut buf, off)?;
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek, SeekFrom};
+        let mut file = file;
+        (*file).seek(SeekFrom::Start(off))?;
+        (*file).read_exact(&mut buf)?;
+    }
+    Ok(buf)
+}
+
+impl PackStore {
+    /// Opens a pack: header + index sections only. Truncation, bad
+    /// magic, checksum mismatches, and index rows pointing outside the
+    /// data region all surface here as named [`StoreError`]s.
+    pub fn open(path: &Path) -> Result<PackStore, StoreError> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN {
+            return Err(StoreError::Truncated {
+                expected: HEADER_LEN,
+                actual: file_len,
+            });
+        }
+        let mut header = vec![0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        let (body, sum_bytes) = header.split_at(HEADER_LEN as usize - 8);
+        let stored_sum = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+        if body[..8] != MAGIC {
+            return Err(StoreError::Corrupt(format!(
+                "not a pack file (bad magic {:?})",
+                &body[..8]
+            )));
+        }
+        if codec::fnv64(body) != stored_sum {
+            return Err(StoreError::Corrupt(
+                "pack header checksum mismatch".to_string(),
+            ));
+        }
+        let mut r = Reader::new(&body[8..], "pack header");
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported pack version {version} (this build reads {VERSION})"
+            )));
+        }
+        let page_size = r.u32()?;
+        if page_size < MIN_PAGE_SIZE {
+            return Err(StoreError::Corrupt(format!(
+                "implausible page size {page_size}"
+            )));
+        }
+        let entry_count = r.u64()? as usize;
+        let data_len = r.u64()?;
+        let ptab_off = r.u64()?;
+        let ptab_len = r.u64()?;
+        let meta_off = r.u64()?;
+        let meta_len = r.u64()?;
+        let keyset_off = r.u64()?;
+        let keyset_len = r.u64()?;
+        // Every region must lie within the file: a pack cut short by a
+        // partial copy is reported as truncation, with the shortfall.
+        for (off, len) in [
+            (HEADER_LEN, data_len),
+            (ptab_off, ptab_len),
+            (meta_off, meta_len),
+            (keyset_off, keyset_len),
+        ] {
+            let end = off.checked_add(len).ok_or_else(|| {
+                StoreError::Corrupt(format!("pack section range {off}+{len} overflows"))
+            })?;
+            if end > file_len {
+                return Err(StoreError::Truncated {
+                    expected: end,
+                    actual: file_len,
+                });
+            }
+        }
+        let file = Mutex::new(file);
+        let ptab = read_section(&file, ptab_off, ptab_len, "pack page table")?;
+        let meta = read_section(&file, meta_off, meta_len, "pack meta section")?;
+        let keyset = read_section(&file, keyset_off, keyset_len, "pack keyset index")?;
+
+        // Page table: one checksum per data page.
+        let expected_pages = data_len.div_ceil(page_size as u64) as usize;
+        let mut r = Reader::new(&ptab, "pack page table");
+        let n_pages = r.u64()? as usize;
+        if n_pages != expected_pages {
+            return Err(StoreError::Corrupt(format!(
+                "page table covers {n_pages} pages but the data region has {expected_pages}"
+            )));
+        }
+        let mut page_sums = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            page_sums.push(r.u64()?);
+        }
+
+        // Meta section: ids must be dense and ascending (same contract
+        // as the TSV index), records within the data region.
+        let mut r = Reader::new(&meta, "pack meta section");
+        let mut metas = Vec::with_capacity(entry_count);
+        for expected_id in 0..entry_count {
+            let id = r.u64()? as usize;
+            if id != expected_id {
+                return Err(StoreError::Corrupt(format!(
+                    "pack meta section: id {id} out of order (expected {expected_id})"
+                )));
+            }
+            let rec_off = r.u64()?;
+            let rec_len = r.u64()?;
+            if rec_off
+                .checked_add(rec_len)
+                .is_none_or(|end| end > data_len)
+            {
+                return Err(StoreError::IndexOutOfBounds {
+                    id,
+                    offset: rec_off,
+                    len: rec_len,
+                    data_len,
+                });
+            }
+            let collection = r.str()?;
+            let class = r.str()?;
+            let vertices = r.u64()? as usize;
+            let edges = r.u64()? as usize;
+            let arity = r.u64()? as usize;
+            let analysis = match r.u8()? {
+                0 => None,
+                1 => Some(codec::read_analysis(&mut r)?),
+                other => {
+                    return Err(StoreError::Corrupt(format!(
+                        "pack meta section: bad analysis tag {other} for id {id}"
+                    )))
+                }
+            };
+            metas.push(MetaRow {
+                rec_off,
+                rec_len,
+                collection,
+                class,
+                vertices,
+                edges,
+                arity,
+                analysis,
+            });
+        }
+
+        // Keyset index: the ids again, sorted ascending.
+        let mut r = Reader::new(&keyset, "pack keyset index");
+        let mut keyset_ids = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            keyset_ids.push(r.u64()?);
+        }
+        if !keyset_ids.windows(2).all(|w| w[0] < w[1])
+            || keyset_ids.iter().any(|&id| id as usize >= entry_count)
+        {
+            return Err(StoreError::Corrupt(
+                "pack keyset index is not a sorted permutation of the entry ids".to_string(),
+            ));
+        }
+
+        let slots = (0..entry_count).map(|_| OnceLock::new()).collect();
+        Ok(PackStore {
+            file,
+            page_size: page_size as u64,
+            data_len,
+            page_sums,
+            metas,
+            keyset: keyset_ids,
+            slots,
+        })
+    }
+
+    /// Number of entries.
+    pub(crate) fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// The metadata view of one entry — no disk access.
+    pub(crate) fn meta(&self, id: usize) -> EntryMeta<'_> {
+        let row = &self.metas[id];
+        EntryMeta {
+            id,
+            collection: &row.collection,
+            class: &row.class,
+            vertices: row.vertices,
+            edges: row.edges,
+            arity: row.arity,
+            analysis: row.analysis.as_ref(),
+        }
+    }
+
+    /// The sorted keyset index: the id order every metadata scan (and
+    /// therefore `select_after` cursor paging) runs in.
+    pub(crate) fn keyset_ids(&self) -> std::slice::Iter<'_, u64> {
+        self.keyset.iter()
+    }
+
+    /// Returns the hydrated entry, reading and verifying exactly the
+    /// pages covering its record on first access.
+    pub(crate) fn hydrate(&self, id: usize) -> Result<&Entry, StoreError> {
+        if let Some(e) = self.slots[id].get() {
+            return Ok(e);
+        }
+        let row = &self.metas[id];
+        let bytes = self.read_record(row.rec_off, row.rec_len)?;
+        let mut r = Reader::new(&bytes, "pack entry record");
+        let name = r.str()?;
+        let hg_text = r.str()?;
+        let hypergraph = parse_hg_named(&hg_text, &name).map_err(|e| {
+            StoreError::Corrupt(format!("pack record for entry {id}: bad .hg payload: {e}"))
+        })?;
+        let entry = Entry {
+            id,
+            collection: row.collection.clone(),
+            class: row.class.clone(),
+            hypergraph,
+            analysis: row.analysis.clone(),
+        };
+        // A concurrent hydration may have won the race; either value is
+        // identical, so whichever landed first is served.
+        let _ = self.slots[id].set(entry);
+        Ok(self.slots[id].get().expect("slot was just set"))
+    }
+
+    /// Reads the logical byte range `[off, off+len)` of the data
+    /// region, page by page, verifying each page checksum against the
+    /// page table before any byte is used.
+    fn read_record(&self, off: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let first_page = (off / self.page_size) as usize;
+        let last_page = ((off + len - 1) / self.page_size) as usize;
+        let mut out = Vec::with_capacity(len as usize);
+        for page in first_page..=last_page {
+            let page_start = page as u64 * self.page_size;
+            let page_len = (self.data_len - page_start).min(self.page_size) as usize;
+            let bytes = read_at(&self.file, HEADER_LEN + page_start, page_len)?;
+            if codec::fnv64(&bytes) != self.page_sums[page] {
+                return Err(StoreError::BadPageChecksum { page });
+            }
+            let copy_from = off.saturating_sub(page_start) as usize;
+            let copy_to = ((off + len - page_start) as usize).min(page_len);
+            out.extend_from_slice(&bytes[copy_from..copy_to]);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze_instance, AnalysisConfig};
+    use crate::{aggregate_stats, Filter};
+    use hyperbench_core::builder::hypergraph_from_edges;
+    use hyperbench_core::HypergraphBuilder;
+    use std::fs;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "hyperbench-pack-test-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// A mixed corpus: analyzed + unanalyzed, named + unnamed entries
+    /// across two collections.
+    fn corpus() -> Repository {
+        let mut repo = Repository::new();
+        let cfg = AnalysisConfig::default();
+        for i in 0..6 {
+            let h = if i % 2 == 0 {
+                hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])])
+            } else {
+                hypergraph_from_edges(&[("e", &["a", "b"]), ("f", &["b", "c"])])
+            };
+            let rec = analyze_instance(&h, &cfg);
+            let coll = if i % 2 == 0 { "SPARQL" } else { "TPC-H" };
+            let id = repo.insert(h, coll, "CQ Application");
+            repo.set_analysis(id, rec);
+        }
+        let mut b = HypergraphBuilder::named("csp/instance-7");
+        b.add_edge("c", &["x", "y", "z"]);
+        repo.insert(b.build(), "xcsp", "CSP Random");
+        repo
+    }
+
+    #[test]
+    fn pack_roundtrips_through_tsv_byte_identically() {
+        let dir = tmpdir("roundtrip");
+        let repo = corpus();
+        // TSV → pack → open → TSV must reproduce the index byte for
+        // byte: the pack is a serving format, TSV stays the interchange.
+        let tsv1 = dir.join("tsv1");
+        let tsv2 = dir.join("tsv2");
+        super::super::save(&repo, &tsv1).unwrap();
+        let pack = dir.join("repo.pack");
+        write_pack(&repo, &pack).unwrap();
+        let opened = Repository::open_pack(&pack).unwrap();
+        assert!(opened.is_paged());
+        super::super::save(&opened, &tsv2).unwrap();
+        assert_eq!(
+            fs::read(tsv1.join("index.tsv")).unwrap(),
+            fs::read(tsv2.join("index.tsv")).unwrap(),
+            "index.tsv changed across TSV→pack→TSV"
+        );
+        assert_eq!(
+            fs::read(tsv1.join("00000.hg")).unwrap(),
+            fs::read(tsv2.join("00000.hg")).unwrap()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paged_backend_answers_like_memory() {
+        let dir = tmpdir("equiv");
+        let repo = corpus();
+        let pack = dir.join("repo.pack");
+        // A tiny page size forces records to span pages.
+        write_pack_with(&repo, &pack, 64).unwrap();
+        let paged = Repository::open_pack(&pack).unwrap();
+        assert_eq!(paged.len(), repo.len());
+        // Entries hydrate identically.
+        for id in 0..repo.len() {
+            let (a, b) = (repo.entry(id), paged.entry(id));
+            assert_eq!(a.collection, b.collection);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.hypergraph.name(), b.hypergraph.name());
+            assert_eq!(a.hypergraph.num_edges(), b.hypergraph.num_edges());
+            assert_eq!(
+                a.analysis.as_ref().map(|r| (r.hw_upper, r.hw_lower)),
+                b.analysis.as_ref().map(|r| (r.hw_upper, r.hw_lower))
+            );
+        }
+        // Aggregates come from the meta index without hydration.
+        assert_eq!(aggregate_stats(&repo), aggregate_stats(&paged));
+        // Keyset paging agrees page by page, filtered and not.
+        for filter in [
+            Filter::new(),
+            Filter::new().collection("SPARQL"),
+            Filter::new().hw_at_most(2),
+            Filter::new().min_edges(3),
+        ] {
+            let mut after = None;
+            loop {
+                let a = repo.select_after(&filter, after, 2);
+                let b = paged.select_after(&filter, after, 2);
+                assert_eq!(
+                    a.entries.iter().map(|e| e.id).collect::<Vec<_>>(),
+                    b.entries.iter().map(|e| e.id).collect::<Vec<_>>()
+                );
+                assert_eq!(a.total, b.total);
+                assert_eq!(a.next_after, b.next_after);
+                after = a.next_after;
+                if after.is_none() {
+                    break;
+                }
+            }
+        }
+        // Offset paging (the legacy route) agrees too.
+        let a = repo.select_page(&Filter::new(), 2, 3);
+        let b = paged.select_page(&Filter::new(), 2, 3);
+        assert_eq!(
+            a.entries.iter().map(|e| e.id).collect::<Vec<_>>(),
+            b.entries.iter().map(|e| e.id).collect::<Vec<_>>()
+        );
+        // The metadata scan runs in keyset order: sorted, dense ids.
+        assert_eq!(
+            paged.metas().map(|m| m.id).collect::<Vec<_>>(),
+            (0..repo.len()).collect::<Vec<_>>()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paged_repository_is_read_only() {
+        let dir = tmpdir("readonly");
+        let pack = dir.join("repo.pack");
+        write_pack(&corpus(), &pack).unwrap();
+        let mut paged = Repository::open_pack(&pack).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            paged.insert(
+                hypergraph_from_edges(&[("e", &["a", "b"])]),
+                "X",
+                "CQ Application",
+            )
+        }));
+        assert!(result.is_err(), "insert on a packed repository must panic");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_pack_is_a_named_error() {
+        let dir = tmpdir("truncated");
+        let pack = dir.join("repo.pack");
+        write_pack(&corpus(), &pack).unwrap();
+        let bytes = fs::read(&pack).unwrap();
+        // Shorter than the header.
+        fs::write(&pack, &bytes[..40]).unwrap();
+        match Repository::open_pack(&pack) {
+            Err(StoreError::Truncated { expected, actual }) => {
+                assert_eq!(expected, HEADER_LEN);
+                assert_eq!(actual, 40);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Header intact but sections cut off.
+        fs::write(&pack, &bytes[..bytes.len() - 10]).unwrap();
+        match Repository::open_pack(&pack) {
+            Err(StoreError::Truncated { expected, actual }) => {
+                assert_eq!(expected, bytes.len() as u64);
+                assert_eq!(actual, bytes.len() as u64 - 10);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_data_byte_is_a_bad_page_checksum() {
+        let dir = tmpdir("badpage");
+        let pack = dir.join("repo.pack");
+        write_pack(&corpus(), &pack).unwrap();
+        let mut bytes = fs::read(&pack).unwrap();
+        // Flip one byte inside entry 0's record (data region starts
+        // right after the header).
+        bytes[HEADER_LEN as usize + 10] ^= 0xff;
+        fs::write(&pack, &bytes).unwrap();
+        // Opening succeeds — the index sections are intact — but the
+        // first hydration of the damaged page reports it by number.
+        let paged = Repository::open_pack(&pack).unwrap();
+        match paged.try_get(0) {
+            Err(StoreError::BadPageChecksum { page: 0 }) => {}
+            other => panic!("expected BadPageChecksum for page 0, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_pointing_past_eof_is_a_named_error() {
+        let dir = tmpdir("oob");
+        let pack = dir.join("repo.pack");
+        write_pack(&corpus(), &pack).unwrap();
+        let mut bytes = fs::read(&pack).unwrap();
+        // Locate the meta section from the header (offsets per the
+        // layout comment at the top of this module), then point entry
+        // 0's record offset far past the data region and re-checksum
+        // the section so only the bounds check can object.
+        let meta_off = u64::from_le_bytes(bytes[48..56].try_into().unwrap()) as usize;
+        let meta_len = u64::from_le_bytes(bytes[56..64].try_into().unwrap()) as usize;
+        bytes[meta_off + 8..meta_off + 16].copy_from_slice(&u64::MAX.to_le_bytes()[..8]);
+        let sum = codec::fnv64(&bytes[meta_off..meta_off + meta_len - 8]);
+        bytes[meta_off + meta_len - 8..meta_off + meta_len].copy_from_slice(&sum.to_le_bytes());
+        fs::write(&pack, &bytes).unwrap();
+        match Repository::open_pack(&pack) {
+            Err(StoreError::IndexOutOfBounds { id: 0, .. }) => {}
+            other => panic!("expected IndexOutOfBounds for id 0, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_and_wrong_version_are_rejected() {
+        let dir = tmpdir("garbage");
+        let pack = dir.join("repo.pack");
+        fs::write(&pack, vec![0u8; 200]).unwrap();
+        match Repository::open_pack(&pack) {
+            Err(StoreError::Corrupt(m)) => assert!(m.contains("magic"), "msg: {m}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Tampering with the header (version field) trips the header
+        // checksum before anything else is believed.
+        write_pack(&corpus(), &pack).unwrap();
+        let mut bytes = fs::read(&pack).unwrap();
+        bytes[8] ^= 0xff;
+        fs::write(&pack, &bytes).unwrap();
+        match Repository::open_pack(&pack) {
+            Err(StoreError::Corrupt(m)) => assert!(m.contains("header checksum"), "msg: {m}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiny_page_size_is_rejected_at_write() {
+        let dir = tmpdir("pagesize");
+        let pack = dir.join("repo.pack");
+        assert!(matches!(
+            write_pack_with(&corpus(), &pack, 8),
+            Err(StoreError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

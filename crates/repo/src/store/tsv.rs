@@ -7,7 +7,7 @@
 //! from — the store schema and the `/v1` JSON schema cannot drift apart.
 
 use std::fs;
-use std::io::{self, Write};
+use std::io::Write;
 use std::path::Path;
 use std::time::Duration;
 
@@ -19,31 +19,7 @@ use hyperbench_core::stats::SizeMetrics;
 use crate::analysis::AnalysisRecord;
 use crate::Repository;
 
-/// Persistence errors.
-#[derive(Debug)]
-pub enum StoreError {
-    /// Filesystem failure.
-    Io(io::Error),
-    /// A `.hg` file failed to parse.
-    Corrupt(String),
-}
-
-impl From<io::Error> for StoreError {
-    fn from(e: io::Error) -> Self {
-        StoreError::Io(e)
-    }
-}
-
-impl std::fmt::Display for StoreError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StoreError::Io(e) => write!(f, "I/O error: {e}"),
-            StoreError::Corrupt(m) => write!(f, "corrupt repository: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for StoreError {}
+use super::StoreError;
 
 /// Saves the repository into `dir` (created if missing).
 pub fn save(repo: &Repository, dir: &Path) -> Result<(), StoreError> {

@@ -2,14 +2,22 @@
 //! results (bounds *and* witness decomposition), so repeated submissions
 //! of the same hypergraph under the same options are served from memory
 //! instead of re-running the decomposition search.
+//!
+//! When built [`AnalysisCache::with_spill`], every fresh result is also
+//! appended to an on-disk spill segment
+//! ([`hyperbench_repo::store::spill`]); a restarting server replays the
+//! segment through [`AnalysisCache::warm_load`] so its first requests
+//! hit warm instead of re-running decomposition searches.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
-use hyperbench_api::{AnalyzeMethod, DecompositionDto};
+use hyperbench_api::{AnalyzeMethod, DecompositionDto, Json};
+use hyperbench_core::format::{parse_hg, to_hg};
 use hyperbench_core::Hypergraph;
 use hyperbench_decomp::tree::Decomposition;
+use hyperbench_repo::store::spill::{SpillRecord, SpillWriter};
 use hyperbench_repo::AnalysisRecord;
 
 /// Everything a finished analysis job produced. The witness is kept in
@@ -27,6 +35,8 @@ pub struct JobResult {
     /// The bounds-only analysis record.
     pub record: AnalysisRecord,
     /// The witness decomposition, when the width search found one.
+    /// `None` for results reloaded from the spill segment — the wire
+    /// form ([`JobResult::witness_dto`]) is what survives restarts.
     pub witness: Option<Decomposition>,
     /// The witness serialized for `GET /v1/analyses/{id}`, validation
     /// verdict included.
@@ -79,10 +89,12 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
-/// A thread-safe LRU cache of finished analysis results.
+/// A thread-safe LRU cache of finished analysis results, optionally
+/// backed by an on-disk spill segment for warm restarts.
 pub struct AnalysisCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    spill: Option<Mutex<SpillWriter>>,
 }
 
 struct Inner {
@@ -107,7 +119,49 @@ impl AnalysisCache {
                 misses: 0,
             }),
             capacity: capacity.max(1),
+            spill: None,
         }
+    }
+
+    /// Attaches a spill segment writer: every fresh [`AnalysisCache::put`]
+    /// is also appended to the segment, making the cache durable across
+    /// restarts (reload it with [`AnalysisCache::warm_load`]).
+    pub fn with_spill(mut self, writer: SpillWriter) -> AnalysisCache {
+        self.spill = Some(Mutex::new(writer));
+        self
+    }
+
+    /// Replays recovered spill records into the cache (no spill
+    /// re-append, no hit/miss accounting). Records that no longer
+    /// decode — unknown method, unparsable payload, malformed witness
+    /// JSON — are skipped, not fatal: a stale segment can only make the
+    /// cache colder, never wrong. Returns how many records loaded.
+    pub fn warm_load(&self, records: impl IntoIterator<Item = SpillRecord>) -> usize {
+        let mut loaded = 0;
+        for r in records {
+            let Some(method) = AnalyzeMethod::parse(&r.method) else {
+                continue;
+            };
+            let Ok(hypergraph) = parse_hg(&r.hg_text) else {
+                continue;
+            };
+            let witness_dto = r
+                .witness_json
+                .as_deref()
+                .and_then(|s| Json::parse(s).ok())
+                .and_then(|j| DecompositionDto::from_json(&j).ok());
+            let result = Arc::new(JobResult {
+                hypergraph,
+                method,
+                record: r.record,
+                witness: None,
+                witness_dto,
+                fractional_width: r.fractional_width,
+            });
+            self.insert(ContentHash(r.hash), r.keyed, result);
+            loaded += 1;
+        }
+        loaded
     }
 
     /// Looks up a record, refreshing its recency on hit. `canonical`
@@ -133,7 +187,27 @@ impl AnalysisCache {
     }
 
     /// Inserts a record, evicting the least recently used on overflow.
+    /// A fresh insert is also appended to the spill segment, if one is
+    /// attached — after the cache lock is released, so disk latency
+    /// never serializes concurrent lookups.
     pub fn put(&self, key: ContentHash, canonical: String, record: Arc<JobResult>) {
+        let fresh = self.insert(key, canonical.clone(), Arc::clone(&record));
+        if !fresh {
+            return;
+        }
+        if let Some(spill) = &self.spill {
+            let spill_record = spill_record_of(key, &canonical, &record);
+            if let Err(e) = spill.lock().expect("spill lock").append(&spill_record) {
+                // Spill durability is best-effort: a full disk must not
+                // fail the analysis that just completed.
+                eprintln!("hyperbench-server: analysis-cache spill append failed: {e}");
+            }
+        }
+    }
+
+    /// The in-memory insert shared by [`AnalysisCache::put`] and
+    /// [`AnalysisCache::warm_load`]; returns whether the key was new.
+    fn insert(&self, key: ContentHash, canonical: String, record: Arc<JobResult>) -> bool {
         let mut inner = self.inner.lock().expect("cache lock");
         if inner.map.insert(key, (canonical, record)).is_none() {
             inner.order.push_back(key);
@@ -142,9 +216,13 @@ impl AnalysisCache {
                     inner.map.remove(&evicted);
                 }
             }
-        } else if let Some(pos) = inner.order.iter().position(|k| *k == key) {
-            inner.order.remove(pos);
-            inner.order.push_back(key);
+            true
+        } else {
+            if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+                inner.order.remove(pos);
+                inner.order.push_back(key);
+            }
+            false
         }
     }
 
@@ -157,6 +235,23 @@ impl AnalysisCache {
             len: inner.map.len(),
             capacity: self.capacity,
         }
+    }
+}
+
+/// The spill-segment form of a finished result. The witness travels as
+/// its wire-DTO JSON (already computed by the worker); per-`k` step
+/// timings are dropped, matching the TSV index.
+fn spill_record_of(key: ContentHash, keyed: &str, result: &JobResult) -> SpillRecord {
+    let mut record = result.record.clone();
+    record.hw_steps.clear();
+    SpillRecord {
+        hash: key.0,
+        keyed: keyed.to_string(),
+        method: result.method.as_str().to_string(),
+        hg_text: to_hg(&result.hypergraph),
+        record,
+        witness_json: result.witness_dto.as_ref().map(|d| d.to_json().to_string()),
+        fractional_width: result.fractional_width.clone(),
     }
 }
 
@@ -225,6 +320,68 @@ mod tests {
         assert!(cache.get(k, "d").is_some());
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.len, s.capacity), (1, 1, 1, 4));
+    }
+
+    #[test]
+    fn spilled_results_reload_warm() {
+        use hyperbench_repo::store::spill;
+        let path = std::env::temp_dir().join(format!(
+            "hyperbench-cache-spill-test-{}.spill",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // First "server lifetime": a cache with a spill writer.
+        let cache =
+            AnalysisCache::new(8).with_spill(spill::SpillWriter::open_append(&path).unwrap());
+        let keyed = "hd:8:250\ne(a,b).\n".to_string();
+        let key = content_hash(&keyed);
+        cache.put(key, keyed.clone(), record());
+        // Re-putting the same key does not duplicate the spill record.
+        cache.put(key, keyed.clone(), record());
+        drop(cache);
+        assert_eq!(spill::read_all(&path).unwrap().len(), 1);
+        // Second lifetime: recover + warm_load, then the lookup hits.
+        let (records, problem) = spill::recover(&path).unwrap();
+        assert!(problem.is_none());
+        let warm = AnalysisCache::new(8);
+        assert_eq!(warm.warm_load(records), 1);
+        let hit = warm.get(key, &keyed).expect("warm cache must hit");
+        assert_eq!(hit.method, AnalyzeMethod::Hd);
+        assert_eq!(hit.record.hw_exact(), Some(1));
+        // Counters: the warm load itself is not a hit or miss.
+        assert_eq!(warm.stats().hits, 1);
+        assert_eq!(warm.stats().len, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn warm_load_skips_undecodable_records() {
+        let cache = AnalysisCache::new(8);
+        let h = hypergraph_from_edges(&[("e", &["a", "b"])]);
+        let rec = analyze_instance(&h, &AnalysisConfig::default());
+        let good = hyperbench_repo::store::spill::SpillRecord {
+            hash: 1,
+            keyed: "k1".to_string(),
+            method: "hd".to_string(),
+            hg_text: "e(a,b).".to_string(),
+            record: rec.clone(),
+            witness_json: None,
+            fractional_width: None,
+        };
+        let bad_method = hyperbench_repo::store::spill::SpillRecord {
+            hash: 2,
+            keyed: "k2".to_string(),
+            method: "quantum".to_string(),
+            ..good.clone()
+        };
+        let bad_payload = hyperbench_repo::store::spill::SpillRecord {
+            hash: 3,
+            keyed: "k3".to_string(),
+            hg_text: "not a hypergraph(((".to_string(),
+            ..good.clone()
+        };
+        assert_eq!(cache.warm_load([good, bad_method, bad_payload]), 1);
+        assert_eq!(cache.stats().len, 1);
     }
 
     #[test]

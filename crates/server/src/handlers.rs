@@ -20,7 +20,7 @@ use hyperbench_api::json::{histogram, Json};
 use hyperbench_api::schema;
 use hyperbench_core::format::{parse_hg, to_hg};
 use hyperbench_core::Hypergraph;
-use hyperbench_repo::{AnalysisConfig, AnalysisRecord, Entry, Filter, Repository};
+use hyperbench_repo::{AnalysisConfig, AnalysisRecord, Entry, Filter, Repository, StoreError};
 
 use crate::cache::{canonicalize, content_hash, AnalysisCache, JobResult};
 use crate::http::{Request, Response};
@@ -57,6 +57,16 @@ pub struct ServerState {
 /// Renders a structured error to its HTTP response.
 pub fn error_response(err: ApiError) -> Response {
     Response::json(err.http_status(), err.to_json())
+}
+
+/// A paged-backend read failure (I/O error, bad page checksum) as a
+/// structured 500 — storage corruption fails the one request with a
+/// diagnostic instead of panicking the connection thread.
+fn storage_error(e: StoreError) -> Response {
+    error_response(ApiError::new(
+        ErrorCode::Internal,
+        format!("repository storage error: {e}"),
+    ))
 }
 
 /// The [`EntrySummary`] DTO of a repository entry.
@@ -306,7 +316,10 @@ pub mod v1 {
                 },
             }
         }
-        let page = state.repo.select_after(&filter, after, limit);
+        let page = match state.repo.try_select_after(&filter, after, limit) {
+            Ok(page) => page,
+            Err(e) => return storage_error(e),
+        };
         let dto = PageDto {
             total: page.total,
             items: page.entries.iter().map(|e| summary_of(e)).collect(),
@@ -323,9 +336,10 @@ pub mod v1 {
             Ok(id) => id,
             Err(e) => return error_response(e),
         };
-        match state.repo.get(id) {
-            Some(e) => Response::json(200, detail_of(e).to_json()),
-            None => error_response(ApiError::not_found(format!("no hypergraph with id {id}"))),
+        match state.repo.try_get(id) {
+            Ok(Some(e)) => Response::json(200, detail_of(e).to_json()),
+            Ok(None) => error_response(ApiError::not_found(format!("no hypergraph with id {id}"))),
+            Err(e) => storage_error(e),
         }
     }
 
@@ -335,9 +349,10 @@ pub mod v1 {
             Ok(id) => id,
             Err(e) => return error_response(e),
         };
-        match state.repo.get(id) {
-            Some(e) => Response::text(200, to_hg(&e.hypergraph)),
-            None => error_response(ApiError::not_found(format!("no hypergraph with id {id}"))),
+        match state.repo.try_get(id) {
+            Ok(Some(e)) => Response::text(200, to_hg(&e.hypergraph)),
+            Ok(None) => error_response(ApiError::not_found(format!("no hypergraph with id {id}"))),
+            Err(e) => storage_error(e),
         }
     }
 
@@ -456,7 +471,10 @@ pub mod legacy {
                 },
             }
         }
-        let page = state.repo.select_page(&filter, offset, limit);
+        let page = match state.repo.try_select_page(&filter, offset, limit) {
+            Ok(page) => page,
+            Err(e) => return storage_error(e),
+        };
         Response::json(
             200,
             Json::obj([
@@ -483,8 +501,12 @@ pub mod legacy {
             Ok(id) => id,
             Err(e) => return error_response(e),
         };
-        let Some(e) = state.repo.get(id) else {
-            return error_response(ApiError::not_found(format!("no hypergraph with id {id}")));
+        let e = match state.repo.try_get(id) {
+            Ok(Some(e)) => e,
+            Ok(None) => {
+                return error_response(ApiError::not_found(format!("no hypergraph with id {id}")))
+            }
+            Err(e) => return storage_error(e),
         };
         let detail = detail_of(e);
         let s = &detail.summary;

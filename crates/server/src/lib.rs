@@ -80,6 +80,12 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Budgets for `POST /analyze` runs.
     pub analysis: AnalysisConfig,
+    /// Path of the analysis-cache spill segment. When set, finished
+    /// analyses are appended there and replayed at the next bind, so
+    /// the cache restarts warm; the segment is compacted (newest record
+    /// per key, torn tail dropped) on every bind. `None` keeps the
+    /// cache memory-only.
+    pub spill: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +97,7 @@ impl Default for ServerConfig {
             job_queue_capacity: 64,
             cache_capacity: 256,
             analysis: AnalysisConfig::default(),
+            spill: None,
         }
     }
 }
@@ -144,18 +151,56 @@ pub struct Server {
     router: Arc<Router<Endpoint>>,
     pool: ThreadPool,
     shutdown: Arc<AtomicBool>,
+    warm_cache_entries: usize,
 }
 
 impl Server {
     /// Binds the listener and starts the worker pools (but does not
-    /// accept yet).
+    /// accept yet). With [`ServerConfig::spill`] set, the spill segment
+    /// is recovered (valid prefix of a torn file), compacted, and
+    /// replayed into the analysis cache before the first request.
     pub fn bind(repo: Repository, config: &ServerConfig) -> io::Result<Server> {
         let listener =
             TcpListener::bind(config.addr.to_socket_addrs()?.next().ok_or_else(|| {
                 io::Error::new(io::ErrorKind::InvalidInput, "unresolvable addr")
             })?)?;
         let local_addr = listener.local_addr()?;
-        let cache = Arc::new(AnalysisCache::new(config.cache_capacity));
+        let mut cache = AnalysisCache::new(config.cache_capacity);
+        let mut warm_cache_entries = 0;
+        if let Some(path) = &config.spill {
+            // Spill durability is best-effort end to end: an unreadable
+            // or unwritable segment (read-only mount, wiped tmpdir)
+            // degrades to a memory-only cache with a warning — it must
+            // never stop the server from binding.
+            match hyperbench_repo::store::spill::recover(path) {
+                Ok((records, problem)) => {
+                    if let Some(problem) = problem {
+                        eprintln!(
+                            "hyperbench-server: spill segment {}: {problem}; \
+                             keeping the valid prefix",
+                            path.display()
+                        );
+                    }
+                    if let Err(e) = hyperbench_repo::store::spill::compact(path) {
+                        eprintln!("hyperbench-server: spill compaction failed: {e}");
+                    }
+                    warm_cache_entries = cache.warm_load(records);
+                }
+                Err(e) => eprintln!(
+                    "hyperbench-server: cannot read spill segment {}: {e}; starting cold",
+                    path.display()
+                ),
+            }
+            match hyperbench_repo::store::spill::SpillWriter::open_append(path) {
+                Ok(writer) => cache = cache.with_spill(writer),
+                Err(e) => eprintln!(
+                    "hyperbench-server: cannot append to spill segment {}: {e}; \
+                     cache stays memory-only",
+                    path.display()
+                ),
+            }
+        }
+        let cache = Arc::new(cache);
         let jobs = JobSystem::start(
             config.analysis_workers,
             config.job_queue_capacity,
@@ -177,12 +222,19 @@ impl Server {
             router: Arc::new(build_router()),
             pool: ThreadPool::new(config.threads),
             shutdown: Arc::new(AtomicBool::new(false)),
+            warm_cache_entries,
         })
     }
 
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// How many analysis results the spill segment replayed into the
+    /// cache at bind time (0 without a configured spill).
+    pub fn warm_cache_entries(&self) -> usize {
+        self.warm_cache_entries
     }
 
     /// A handle that can stop [`Server::run`] from another thread.
@@ -319,18 +371,31 @@ fn dispatch(state: &ServerState, router: &Router<Endpoint>, request: &Request) -
     }
 }
 
-/// Loads a repository from `dir` and serves it until the process exits.
-/// The `hyperbench serve` CLI entry point.
+/// Loads a TSV repository from `dir` and serves it until the process
+/// exits. One of the `hyperbench serve` CLI entry points.
 pub fn serve_dir(dir: &std::path::Path, config: &ServerConfig) -> Result<(), String> {
     let repo = hyperbench_repo::store::load(dir).map_err(|e| e.to_string())?;
+    serve_repo(repo, &format!("{} (tsv)", dir.display()), config)
+}
+
+/// Opens a packed repository (see `hyperbench pack`) and serves it
+/// until the process exits. Only the pack's index sections are read up
+/// front; entries hydrate from disk as requests touch them.
+pub fn serve_pack(pack: &std::path::Path, config: &ServerConfig) -> Result<(), String> {
+    let repo = Repository::open_pack(pack).map_err(|e| e.to_string())?;
+    serve_repo(repo, &format!("{} (pack)", pack.display()), config)
+}
+
+fn serve_repo(repo: Repository, source: &str, config: &ServerConfig) -> Result<(), String> {
     let server = Server::bind(repo, config).map_err(|e| format!("bind {}: {e}", config.addr))?;
     println!(
-        "hyperbench-server: {} entries from {} on http://{} ({} threads, {} analysis workers)",
+        "hyperbench-server: {} entries from {source} on http://{} \
+         ({} threads, {} analysis workers, {} warm cache entries)",
         server.state.repo.len(),
-        dir.display(),
         server.local_addr(),
         server.pool.size(),
         config.analysis_workers,
+        server.warm_cache_entries(),
     );
     server.run();
     Ok(())

@@ -51,6 +51,7 @@ fn start_server() -> (std::thread::JoinHandle<()>, SocketAddr, ShutdownHandle) {
             job_queue_capacity: 16,
             cache_capacity: 32,
             analysis: AnalysisConfig::default(),
+            spill: None,
         },
     )
     .expect("bind ephemeral port");
