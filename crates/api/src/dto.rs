@@ -118,6 +118,12 @@ pub struct AnalyzeRequest {
     /// Per-`Check` timeout budget in milliseconds; `None` uses the
     /// server default, and the server clamps to its configured ceiling.
     pub timeout_ms: Option<u64>,
+    /// Worker threads per decomposition search; `None` uses the server
+    /// default, and the server clamps to its configured per-job
+    /// parallelism ceiling. Parallel and serial analyses report the same
+    /// width bounds (the engine's determinism guarantee), so this knob
+    /// only trades server CPU for latency.
+    pub jobs: Option<usize>,
 }
 
 impl AnalyzeRequest {
@@ -128,12 +134,19 @@ impl AnalyzeRequest {
             method: AnalyzeMethod::Hd,
             max_width: None,
             timeout_ms: None,
+            jobs: None,
         }
     }
 
     /// Same document, different method.
     pub fn with_method(mut self, method: AnalyzeMethod) -> AnalyzeRequest {
         self.method = method;
+        self
+    }
+
+    /// Same request, explicit per-search worker count (server-clamped).
+    pub fn with_jobs(mut self, jobs: usize) -> AnalyzeRequest {
+        self.jobs = Some(jobs);
         self
     }
 
@@ -148,6 +161,9 @@ impl AnalyzeRequest {
         }
         if let Some(t) = self.timeout_ms {
             fields.push(("timeout_ms".to_string(), Json::int(t)));
+        }
+        if let Some(j) = self.jobs {
+            fields.push((schema::JOBS.to_string(), Json::int(j)));
         }
         Json::Obj(fields)
     }
@@ -173,11 +189,13 @@ impl AnalyzeRequest {
                     .ok_or_else(|| missing("timeout_ms"))?,
             ),
         };
+        let jobs = opt_usize(j, schema::JOBS)?;
         Ok(AnalyzeRequest {
             hypergraph,
             method,
             max_width,
             timeout_ms,
+            jobs,
         })
     }
 }
@@ -909,17 +927,26 @@ mod tests {
             method: AnalyzeMethod::Ghd,
             max_width: Some(3),
             timeout_ms: Some(500),
+            jobs: Some(2),
         };
         assert_eq!(
             AnalyzeRequest::from_json(&Json::parse(&full.to_json().to_string()).unwrap()),
             Ok(full)
         );
-        // Method defaults to hd; unknown methods are rejected.
+        // Method defaults to hd; unknown methods are rejected, and an
+        // absent `jobs` stays absent (server default applies).
         let min = Json::parse(r#"{"hypergraph":"e(a,b)."}"#).unwrap();
+        let decoded = AnalyzeRequest::from_json(&min).unwrap();
+        assert_eq!(decoded.method, AnalyzeMethod::Hd);
+        assert_eq!(decoded.jobs, None);
         assert_eq!(
-            AnalyzeRequest::from_json(&min).unwrap().method,
-            AnalyzeMethod::Hd
+            AnalyzeRequest::hd("e(a,b).").with_jobs(4).jobs,
+            Some(4),
+            "with_jobs sets the knob"
         );
+        // A negative jobs value is a decode error, not a default.
+        let neg = Json::parse(r#"{"hypergraph":"e(a,b).","jobs":-2}"#).unwrap();
+        assert!(AnalyzeRequest::from_json(&neg).is_err());
         let bad = Json::parse(r#"{"hypergraph":"e(a,b).","method":"magic"}"#).unwrap();
         assert!(AnalyzeRequest::from_json(&bad).is_err());
         assert!(AnalyzeRequest::from_json(&Json::parse("{}").unwrap()).is_err());

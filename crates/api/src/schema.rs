@@ -83,6 +83,9 @@ pub const STATUS: &str = "status";
 pub const METHOD: &str = "method";
 /// Analysis resource: whether the result came from the cache.
 pub const CACHED: &str = "cached";
+/// Analyze request: worker threads per decomposition search
+/// (server-clamped; width bounds are identical at any worker count).
+pub const JOBS: &str = "jobs";
 /// Analysis resource: the analysis report.
 pub const RESULT: &str = "result";
 /// Analysis resource: the witness decomposition tree.

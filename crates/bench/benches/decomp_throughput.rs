@@ -1,0 +1,79 @@
+//! Decomposition-engine throughput: serial vs parallel wall-time over a
+//! fixed slice of repository instances at `k = 2..4`.
+//!
+//! Both variants run the identical workload — the BalSep `Check(GHD,k)`
+//! search with the same per-check budget — differing only in the
+//! engine's `jobs` knob. The engine guarantees identical width answers
+//! at any worker count, so the two lines are directly comparable, and
+//! the CI perf job asserts the parallel run is no slower than serial on
+//! the same slice (`BENCH_PR4.json`).
+//!
+//! The slice deliberately mixes fast "yes" instances, exhaustive "no"
+//! instances (where the speculative separator scan parallelizes best),
+//! and budget-capped hard instances (identical cost in both modes, like
+//! the paper's timeout-bound runs). `CRITERION_SHIM_JOBS` is set around
+//! each variant so the emitted JSON lines are self-describing.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hyperbench_bench::benchmark_slice;
+use hyperbench_core::Hypergraph;
+use hyperbench_decomp::balsep::{decompose_balsep_opts, BalsepConfig};
+use hyperbench_decomp::budget::Budget;
+use hyperbench_decomp::parallel::Options;
+
+/// Per-`Check` budget: bounds the hard instances so the bench finishes,
+/// exactly like the paper's per-instance timeouts.
+const PER_CHECK: Duration = Duration::from_millis(250);
+
+/// The fixed slice: deterministic generator output filtered to
+/// mid-sized instances (large enough for the search to do real work,
+/// small enough to finish within the budget most of the time).
+fn slice() -> Vec<Hypergraph> {
+    benchmark_slice(3)
+        .into_iter()
+        .map(|i| i.hypergraph)
+        .filter(|h| (15..=80).contains(&h.num_edges()))
+        .take(7)
+        .collect()
+}
+
+fn run_slice(instances: &[Hypergraph], opts: &Options) -> usize {
+    let cfg = BalsepConfig::default();
+    let mut decided = 0usize;
+    for h in instances {
+        for k in 2..=4usize {
+            let budget = Budget::with_timeout(PER_CHECK);
+            let r = decompose_balsep_opts(h, k, &budget, &cfg, opts);
+            if !matches!(r, hyperbench_decomp::detk::SearchResult::Stopped) {
+                decided += 1;
+            }
+        }
+    }
+    decided
+}
+
+fn bench(c: &mut Criterion) {
+    let instances = slice();
+    assert!(
+        instances.len() >= 4,
+        "benchmark slice too small for a meaningful comparison"
+    );
+
+    let mut g = c.benchmark_group("decomp_throughput");
+    g.sample_size(5);
+    std::env::set_var("CRITERION_SHIM_JOBS", "1");
+    g.bench_function("serial", |b| {
+        b.iter(|| black_box(run_slice(&instances, &Options::serial())))
+    });
+    std::env::set_var("CRITERION_SHIM_JOBS", "2");
+    g.bench_function("parallel_j2", |b| {
+        b.iter(|| black_box(run_slice(&instances, &Options::with_jobs(2))))
+    });
+    std::env::remove_var("CRITERION_SHIM_JOBS");
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

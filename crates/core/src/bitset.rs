@@ -154,6 +154,52 @@ impl BitSet {
         }
     }
 
+    /// Writes `self ∪ other` into `out`, reusing `out`'s allocation.
+    ///
+    /// The scratch-buffer counterpart of [`BitSet::union`] for hot loops
+    /// that would otherwise allocate per probe. Keeps the representation
+    /// invariant: any blocks of `out` beyond the result are zeroed, so
+    /// equality, hashing and popcounts stay exact.
+    pub fn union_into(&self, other: &BitSet, out: &mut BitSet) {
+        let n = self.blocks.len().max(other.blocks.len());
+        if out.blocks.len() < n {
+            out.blocks.resize(n, 0);
+        }
+        for (i, o) in out.blocks.iter_mut().enumerate() {
+            *o = self.blocks.get(i).copied().unwrap_or(0)
+                | other.blocks.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Writes `self ∩ other` into `out`, reusing `out`'s allocation.
+    /// Trailing blocks of `out` beyond the result are zeroed (the
+    /// representation invariant).
+    pub fn intersect_into(&self, other: &BitSet, out: &mut BitSet) {
+        let n = self.blocks.len().min(other.blocks.len());
+        if out.blocks.len() < n {
+            out.blocks.resize(n, 0);
+        }
+        for (i, o) in out.blocks.iter_mut().enumerate() {
+            *o = if i < n {
+                self.blocks[i] & other.blocks[i]
+            } else {
+                0
+            };
+        }
+    }
+
+    /// Replaces the contents of `self` with `other`, reusing the
+    /// allocation (unlike `*self = other.clone()`). Trailing blocks are
+    /// zeroed.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        if self.blocks.len() < other.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        for (i, o) in self.blocks.iter_mut().enumerate() {
+            *o = other.blocks.get(i).copied().unwrap_or(0);
+        }
+    }
+
     /// Returns `self ∪ other` as a new set.
     pub fn union(&self, other: &BitSet) -> BitSet {
         let mut s = self.clone();
@@ -182,6 +228,14 @@ impl BitSet {
             .zip(other.blocks.iter())
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
+    }
+
+    /// Whether `self ∩ (a \ b)` is non-empty, without allocating — the
+    /// three-way probe the separator searches run per candidate atom
+    /// ("does this atom cover a connector vertex not yet covered?").
+    pub fn intersects_difference(&self, a: &BitSet, b: &BitSet) -> bool {
+        let n = self.blocks.len().min(a.blocks.len());
+        (0..n).any(|i| self.blocks[i] & a.blocks[i] & !b.blocks.get(i).copied().unwrap_or(0) != 0)
     }
 
     /// Whether `self ∩ other` is non-empty, without allocating.
@@ -222,6 +276,16 @@ impl BitSet {
     /// The smallest element, if any.
     pub fn min(&self) -> Option<u32> {
         self.iter().next()
+    }
+
+    /// Lexicographic comparison over the sorted element sequences —
+    /// a canonical total order for memo keys holding families of sets.
+    /// Equal sets compare `Equal` regardless of internal capacity,
+    /// consistent with `PartialEq`. (Deliberately *not* an `Ord` impl:
+    /// the blanket `Ord::min`/`Ord::max` would shadow the inherent
+    /// smallest-element accessor at by-value call sites.)
+    pub fn cmp_lex(&self, other: &BitSet) -> std::cmp::Ordering {
+        self.iter().cmp(other.iter())
     }
 }
 
@@ -325,11 +389,95 @@ mod tests {
     }
 
     #[test]
+    fn intersects_difference_matches_naive() {
+        let cases = [
+            (vec![1u32, 2, 70], vec![2u32, 70, 300], vec![70u32]),
+            (vec![5], vec![5], vec![5]),
+            (vec![], vec![1, 2], vec![]),
+            (vec![100, 200], vec![200], vec![100, 200]),
+        ];
+        for (s, a, b) in cases {
+            let (s, a, b) = (
+                BitSet::from_slice(&s),
+                BitSet::from_slice(&a),
+                BitSet::from_slice(&b),
+            );
+            let naive = !s.intersection(&a.difference(&b)).is_empty();
+            assert_eq!(s.intersects_difference(&a, &b), naive, "{s:?} {a:?} {b:?}");
+        }
+    }
+
+    #[test]
     fn intersects_empty_is_false() {
         let a = BitSet::from_slice(&[5]);
         let b = BitSet::new();
         assert!(!a.intersects(&b));
         assert!(!b.intersects(&a));
+    }
+
+    #[test]
+    fn union_into_reuses_scratch_and_keeps_invariant() {
+        let a = BitSet::from_slice(&[1, 70]);
+        let b = BitSet::from_slice(&[2, 200]);
+        // Scratch starts dirty and *larger* than the result: stale high
+        // blocks must be zeroed, not left behind.
+        let mut out = BitSet::from_slice(&[500, 900]);
+        a.union_into(&b, &mut out);
+        assert_eq!(out.to_vec(), vec![1, 2, 70, 200]);
+        assert_eq!(out.len(), 4, "stale trailing blocks would inflate len");
+        assert_eq!(out, a.union(&b), "must equal the allocating variant");
+        // Reuse the same scratch with smaller operands.
+        let c = BitSet::from_slice(&[3]);
+        let d = BitSet::from_slice(&[4]);
+        c.union_into(&d, &mut out);
+        assert_eq!(out.to_vec(), vec![3, 4]);
+        assert_eq!(out, c.union(&d));
+    }
+
+    #[test]
+    fn intersect_into_reuses_scratch_and_keeps_invariant() {
+        let a = BitSet::from_slice(&[1, 2, 70, 300]);
+        let b = BitSet::from_slice(&[2, 70, 400]);
+        let mut out = BitSet::from_slice(&[900]);
+        a.intersect_into(&b, &mut out);
+        assert_eq!(out.to_vec(), vec![2, 70]);
+        assert_eq!(out, a.intersection(&b));
+        // Disjoint inputs leave a semantically empty (all-zero) scratch.
+        let c = BitSet::from_slice(&[5]);
+        let d = BitSet::from_slice(&[6]);
+        c.intersect_into(&d, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(out.len(), 0);
+        // Hash/eq agree with a freshly built empty set.
+        assert_eq!(out, BitSet::new());
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let mut out = BitSet::from_slice(&[900]);
+        let src = BitSet::from_slice(&[1, 2]);
+        out.copy_from(&src);
+        assert_eq!(out, src);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn cmp_lex_is_lexicographic_and_eq_consistent() {
+        use std::cmp::Ordering;
+        let a = BitSet::from_slice(&[1, 2]);
+        let b = BitSet::from_slice(&[1, 3]);
+        let c = BitSet::from_slice(&[1, 2, 5]);
+        assert_eq!(a.cmp_lex(&b), Ordering::Less);
+        assert_eq!(a.cmp_lex(&c), Ordering::Less);
+        // {1,3} > {1,2,5}: element-wise, 3 > 2.
+        assert_eq!(b.cmp_lex(&c), Ordering::Greater);
+        let mut padded = BitSet::with_capacity(1000);
+        padded.insert(1);
+        padded.insert(2);
+        assert_eq!(a.cmp_lex(&padded), Ordering::Equal);
+        let mut v = vec![b.clone(), a.clone(), c.clone()];
+        v.sort_by(|x, y| x.cmp_lex(y));
+        assert_eq!(v, vec![a, c, b]);
     }
 
     #[test]

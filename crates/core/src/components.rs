@@ -57,16 +57,77 @@ impl UnionFind {
     }
 }
 
+/// Reusable workspace for repeated component computations.
+///
+/// The naive implementation allocates (and zeroes) a vertex-indexed
+/// `seen` table per call — for the separator searches, which probe
+/// components thousands of times per second, that dominates the probe
+/// cost. The scratch keeps one table alive and invalidates it with an
+/// epoch counter instead of a memset: a slot is only meaningful when its
+/// epoch matches the current call's.
+#[derive(Debug, Default)]
+pub struct ComponentScratch {
+    /// vertex → local index of the first set seen containing it.
+    seen: Vec<u32>,
+    /// vertex → epoch in which `seen[v]` was written.
+    epoch_of: Vec<u32>,
+    /// Current call's epoch (0 is never a valid stored epoch).
+    epoch: u32,
+}
+
+impl ComponentScratch {
+    /// A fresh workspace (buffers grow on first use).
+    pub fn new() -> ComponentScratch {
+        ComponentScratch::default()
+    }
+
+    /// Starts a new call over a vertex id space of size `num_vertices`.
+    fn begin(&mut self, num_vertices: usize) {
+        if self.seen.len() < num_vertices {
+            self.seen.resize(num_vertices, 0);
+            self.epoch_of.resize(num_vertices, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped (once every 2^32 calls): hard-reset the
+            // validity table, then restart from epoch 1.
+            self.epoch_of.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn get(&self, v: u32) -> Option<u32> {
+        (self.epoch_of[v as usize] == self.epoch).then(|| self.seen[v as usize])
+    }
+
+    #[inline]
+    fn set(&mut self, v: u32, local: u32) {
+        self.seen[v as usize] = local;
+        self.epoch_of[v as usize] = self.epoch;
+    }
+}
+
 /// Computes the `[U]`-components of the subhypergraph given by `scope`
 /// (a set of edge ids of `h`), where `u` is a set of vertex ids.
 ///
 /// Edges of `scope` with all vertices in `u` are reported in
 /// [`UComponents::covered`] and belong to no component.
 pub fn u_components(h: &Hypergraph, u: &BitSet, scope: &[EdgeId]) -> UComponents {
+    u_components_with(&mut ComponentScratch::new(), h, u, scope)
+}
+
+/// [`u_components`] against a reusable [`ComponentScratch`] — the
+/// allocation-free variant the decomposition hot paths call per probe.
+pub fn u_components_with(
+    scratch: &mut ComponentScratch,
+    h: &Hypergraph,
+    u: &BitSet,
+    scope: &[EdgeId],
+) -> UComponents {
     let n = scope.len();
     let mut uf = UnionFind::new(n);
-    // vertex -> local index of first scope edge seen containing it (outside u)
-    let mut seen: Vec<u32> = vec![u32::MAX; h.num_vertices()];
+    scratch.begin(h.num_vertices());
     let mut covered_flags = vec![false; n];
 
     for (local, &e) in scope.iter().enumerate() {
@@ -76,11 +137,9 @@ pub fn u_components(h: &Hypergraph, u: &BitSet, scope: &[EdgeId]) -> UComponents
                 continue;
             }
             all_in_u = false;
-            let s = seen[v as usize];
-            if s == u32::MAX {
-                seen[v as usize] = local as u32;
-            } else {
-                uf.union(s, local as u32);
+            match scratch.get(v) {
+                None => scratch.set(v, local as u32),
+                Some(s) => uf.union(s, local as u32),
             }
         }
         covered_flags[local] = all_in_u;
@@ -142,11 +201,22 @@ pub struct SetComponents {
 /// This is the extended-subhypergraph variant (Definition 6 of the paper):
 /// the family may mix regular edges and *special edges*. `num_vertices`
 /// bounds the vertex id space.
-#[allow(clippy::needless_range_loop)] // `local` indexes two parallel arrays
 pub fn u_components_of_sets(num_vertices: usize, sets: &[&BitSet], u: &BitSet) -> SetComponents {
+    u_components_of_sets_with(&mut ComponentScratch::new(), num_vertices, sets, u)
+}
+
+/// [`u_components_of_sets`] against a reusable [`ComponentScratch`] —
+/// what BalSep calls once per separator probe.
+#[allow(clippy::needless_range_loop)] // `local` indexes two parallel arrays
+pub fn u_components_of_sets_with(
+    scratch: &mut ComponentScratch,
+    num_vertices: usize,
+    sets: &[&BitSet],
+    u: &BitSet,
+) -> SetComponents {
     let n = sets.len();
     let mut uf = UnionFind::new(n);
-    let mut seen: Vec<u32> = vec![u32::MAX; num_vertices];
+    scratch.begin(num_vertices);
     let mut covered_flags = vec![false; n];
 
     for (local, s) in sets.iter().enumerate() {
@@ -156,11 +226,9 @@ pub fn u_components_of_sets(num_vertices: usize, sets: &[&BitSet], u: &BitSet) -
                 continue;
             }
             all_in_u = false;
-            let first = seen[v as usize];
-            if first == u32::MAX {
-                seen[v as usize] = local as u32;
-            } else {
-                uf.union(first, local as u32);
+            match scratch.get(v) {
+                None => scratch.set(v, local as u32),
+                Some(first) => uf.union(first, local as u32),
             }
         }
         covered_flags[local] = all_in_u;
@@ -286,6 +354,30 @@ mod tests {
         let r = u_components_of_sets(h.num_vertices(), &sets, &u);
         assert_eq!(r.covered, vec![0, 1]);
         assert!(r.components.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_computation() {
+        let h = path4();
+        let b = h.vertex_by_name("b").unwrap();
+        let c = h.vertex_by_name("c").unwrap();
+        let scope: Vec<EdgeId> = h.edge_ids().collect();
+        let mut scratch = ComponentScratch::new();
+        // Interleave different cuts through one scratch: stale `seen`
+        // slots from earlier epochs must never leak into later calls.
+        for _ in 0..3 {
+            for cut in [vec![b], vec![c], vec![b, c], vec![]] {
+                let u = BitSet::from_slice(&cut);
+                let fresh = u_components(&h, &u, &scope);
+                let reused = u_components_with(&mut scratch, &h, &u, &scope);
+                assert_eq!(fresh, reused, "cut {cut:?}");
+                let sets: Vec<&BitSet> = h.edge_ids().map(|e| h.edge_set(e)).collect();
+                let fresh_sets = u_components_of_sets(h.num_vertices(), &sets, &u);
+                let reused_sets =
+                    u_components_of_sets_with(&mut scratch, h.num_vertices(), &sets, &u);
+                assert_eq!(fresh_sets, reused_sets, "cut {cut:?}");
+            }
+        }
     }
 
     #[test]

@@ -12,9 +12,17 @@
 //!
 //! When the `CRITERION_SHIM_JSON` environment variable names a file,
 //! every bench additionally appends one JSON object per line
-//! (`{"bench": …, "mean_ns": …, "min_ns": …, "max_ns": …, "samples": …}`)
-//! to it — the machine-readable feed the CI perf job assembles into its
-//! `BENCH_*.json` artifacts. No other statistics files are written.
+//! (`{"bench": …, "mean_ns": …, "min_ns": …, "max_ns": …, "samples": …,
+//! "threads": …, "jobs": …}`) to it — the machine-readable feed the CI
+//! perf job assembles into its `BENCH_*.json` artifacts. No other
+//! statistics files are written.
+//!
+//! The two trailing fields make the artifacts self-describing across
+//! PRs: `threads` records the machine's available parallelism at run
+//! time, and `jobs` echoes the `CRITERION_SHIM_JOBS` environment
+//! variable (default `1`) — benches that compare serial against
+//! parallel engine configurations set it around each variant so the
+//! JSON says which knob produced which line.
 
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
@@ -151,8 +159,15 @@ fn append_json_line(label: &str, mean: Duration, min: Duration, max: Duration, s
     if path.is_empty() {
         return;
     }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs: usize = std::env::var("CRITERION_SHIM_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let line = format!(
-        "{{\"bench\":{label:?},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{samples}}}\n",
+        "{{\"bench\":{label:?},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{samples},\"threads\":{threads},\"jobs\":{jobs}}}\n",
         mean.as_nanos(),
         min.as_nanos(),
         max.as_nanos(),
@@ -230,15 +245,27 @@ mod tests {
         std::env::set_var("CRITERION_SHIM_JSON", &path);
         let mut c = Criterion::default();
         c.bench_function("json/probe", |b| b.iter(|| black_box(2 + 2)));
+        // With CRITERION_SHIM_JOBS set, the line echoes the knob; the
+        // threads field always reports the machine's parallelism.
+        std::env::set_var("CRITERION_SHIM_JOBS", "3");
+        c.bench_function("json/probe-par", |b| b.iter(|| black_box(2 + 2)));
+        std::env::remove_var("CRITERION_SHIM_JOBS");
         std::env::remove_var("CRITERION_SHIM_JSON");
         let text = std::fs::read_to_string(&path).unwrap();
         let line = text
             .lines()
-            .find(|l| l.contains("json/probe"))
+            .find(|l| l.contains("\"json/probe\""))
             .expect("bench line present");
         assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
         assert!(line.contains("\"mean_ns\":"), "line: {line}");
         assert!(line.contains("\"samples\":"), "line: {line}");
+        assert!(line.contains("\"threads\":"), "line: {line}");
+        assert!(line.contains("\"jobs\":1"), "default jobs: {line}");
+        let par = text
+            .lines()
+            .find(|l| l.contains("\"json/probe-par\""))
+            .expect("parallel bench line present");
+        assert!(par.contains("\"jobs\":3"), "echoed jobs: {par}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -4,16 +4,66 @@
 //! optional wall-clock deadline (the paper uses a 3600 s timeout; the
 //! laptop-scale harness uses much smaller ones) and an optional shared
 //! cancellation flag used by the first-of-three GHD race (§6.4).
+//!
+//! For the parallel engine, budgets additionally carry a chain of
+//! *cancel scopes* ([`Budget::child_scope`]): when sibling subtasks run
+//! on different workers, the first sibling to make the group's outcome
+//! inevitable (a failed component under a separator, or a found witness
+//! in a speculative separator scan) cancels the scope, and every budget
+//! derived from it — including budgets derived further down the tree —
+//! observes the stop on its next tick. Scopes chain to their parents, so
+//! cancelling an ancestor scope stops all descendants.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// One link of a cancel-scope chain. Cancellation flows downward only:
+/// tripping a node stops every budget whose chain passes through it.
+#[derive(Debug, Default)]
+struct ScopeNode {
+    flag: AtomicBool,
+    parent: Option<Arc<ScopeNode>>,
+}
+
+impl ScopeNode {
+    fn is_cancelled(&self) -> bool {
+        let mut node = self;
+        loop {
+            if node.flag.load(Ordering::Relaxed) {
+                return true;
+            }
+            match &node.parent {
+                Some(p) => node = p,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// A handle that cancels one scope created by [`Budget::child_scope`].
+/// Cloneable so every sibling task of a fork can carry one.
+#[derive(Debug, Clone)]
+pub struct CancelScope(Arc<ScopeNode>);
+
+impl CancelScope {
+    /// Trips the scope: every budget derived from it stops.
+    pub fn cancel(&self) {
+        self.0.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether this scope (or an ancestor) has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.is_cancelled()
+    }
+}
 
 /// A search budget. Cheap to clone; clones share the cancellation flag.
 #[derive(Clone, Debug, Default)]
 pub struct Budget {
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
+    scope: Option<Arc<ScopeNode>>,
 }
 
 impl Budget {
@@ -27,6 +77,7 @@ impl Budget {
         Budget {
             deadline: Some(Instant::now() + timeout),
             cancel: None,
+            scope: None,
         }
     }
 
@@ -36,8 +87,51 @@ impl Budget {
         self
     }
 
-    /// Whether the budget is exhausted (deadline passed or cancelled).
+    /// Derives a budget for a group of sibling subtasks plus the handle
+    /// that cancels exactly that group. The derived budget inherits the
+    /// deadline, the race flag and every enclosing scope, so a stop at
+    /// any level above still propagates.
+    pub fn child_scope(&self) -> (Budget, CancelScope) {
+        let node = Arc::new(ScopeNode {
+            flag: AtomicBool::new(false),
+            parent: self.scope.clone(),
+        });
+        let budget = Budget {
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            scope: Some(node.clone()),
+        };
+        (budget, CancelScope(node))
+    }
+
+    /// Whether the budget is exhausted (deadline passed, race cancelled,
+    /// or any enclosing cancel scope tripped).
     pub fn is_stopped(&self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(s) = &self.scope {
+            if s.is_cancelled() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the budget stopped for a reason *other* than a local
+    /// cancel scope — i.e. the deadline passed or the race flag fired.
+    /// Lets a caller that observed `Stopped` tell a genuine timeout
+    /// apart from a sibling-induced cancellation. (The engine's own fork
+    /// aggregation doesn't need it — it reads the sibling *results*
+    /// instead — but external drivers composing their own scopes do.)
+    pub fn is_hard_stopped(&self) -> bool {
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
                 return true;
@@ -155,5 +249,43 @@ mod tests {
             }
         }
         assert!(stopped);
+    }
+
+    #[test]
+    fn child_scope_cancels_derived_budgets_only() {
+        let root = Budget::unlimited();
+        let (child, scope) = root.child_scope();
+        let grandchild = child.clone();
+        assert!(!child.is_stopped());
+        scope.cancel();
+        assert!(scope.is_cancelled());
+        assert!(child.is_stopped());
+        assert!(grandchild.is_stopped());
+        // The parent budget is unaffected: cancellation flows down only.
+        assert!(!root.is_stopped());
+        // A scope cancel is not a hard stop.
+        assert!(!child.is_hard_stopped());
+    }
+
+    #[test]
+    fn scopes_chain_through_generations() {
+        let root = Budget::unlimited();
+        let (child, outer) = root.child_scope();
+        let (grandchild, _inner) = child.child_scope();
+        assert!(!grandchild.is_stopped());
+        outer.cancel();
+        assert!(grandchild.is_stopped(), "ancestor scope must propagate");
+    }
+
+    #[test]
+    fn hard_stop_includes_deadline_and_race_flag() {
+        let b = Budget::with_timeout(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(b.is_hard_stopped());
+        let flag = Arc::new(AtomicBool::new(false));
+        let r = Budget::unlimited().with_cancel_flag(flag);
+        let (derived, _scope) = r.child_scope();
+        r.cancel();
+        assert!(derived.is_hard_stopped());
     }
 }

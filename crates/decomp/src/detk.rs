@@ -18,15 +18,30 @@
 //! decomposed with full edges alone, the separator iterator extends the
 //! candidate pool with subedges from `f_u(H,k)` (Eq. 2), computed locally
 //! against the current component.
+//!
+//! ## Parallel mode
+//!
+//! With [`Options::jobs`] > 1 the `[B_u]`-components below a separator
+//! become stealable subtasks on the crate's work-stealing pool
+//! ([`crate::parallel`]): the search context — failure memo, subedge
+//! cache, subedge-cap flag — is shared behind an `Arc` so any worker's
+//! dead end immediately prunes every sibling's search, and the first
+//! component that *fails* under a separator cancels its siblings through
+//! a [`Budget::child_scope`]. Serial and parallel runs report the same
+//! width (the search stays exhaustive either way); only the particular
+//! witness tree may differ.
 
-use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-use hyperbench_core::components::u_components;
+use hyperbench_core::components::{u_components_with, ComponentScratch};
 use hyperbench_core::subedges::{local_subedges, SubedgeConfig};
 use hyperbench_core::{BitSet, EdgeId, Hypergraph, VertexId};
 
 use crate::budget::{Budget, Stopped, Ticker};
+use crate::parallel::{
+    fingerprint_ids, Fnv, Options, ShardedMemo, WorkerCtx, FORK_MAX_DEPTH, FORK_MIN_EDGES,
+};
 use crate::tree::{CoverAtom, Decomposition};
 
 /// Result of a bounded-width search: a decomposition, a definite "no", or a
@@ -59,7 +74,17 @@ impl SearchResult {
 
 /// Solves `Check(HD,k)` for `h`: returns an HD of width ≤ `k` if one exists.
 pub fn decompose_hd(h: &Hypergraph, k: usize, budget: &Budget) -> SearchResult {
-    Search::new(h, k, budget, None).run()
+    decompose_hd_opts(h, k, budget, &Options::serial())
+}
+
+/// [`decompose_hd`] with an explicit engine configuration (worker count).
+pub fn decompose_hd_opts(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+    opts: &Options,
+) -> SearchResult {
+    run_full(h, k, budget, None, opts)
 }
 
 /// The LocalBIP variant: like [`decompose_hd`] but the per-node separator
@@ -72,7 +97,44 @@ pub fn decompose_localbip(
     budget: &Budget,
     cfg: &SubedgeConfig,
 ) -> SearchResult {
-    Search::new(h, k, budget, Some(*cfg)).run()
+    decompose_localbip_opts(h, k, budget, cfg, &Options::serial())
+}
+
+/// [`decompose_localbip`] with an explicit engine configuration.
+pub fn decompose_localbip_opts(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+    cfg: &SubedgeConfig,
+    opts: &Options,
+) -> SearchResult {
+    run_full(h, k, budget, Some(*cfg), opts)
+}
+
+fn run_full(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+    cfg: Option<SubedgeConfig>,
+    opts: &Options,
+) -> SearchResult {
+    if h.num_edges() == 0 {
+        return SearchResult::Found(Decomposition::new(BitSet::new(), Vec::new()));
+    }
+    if k == 0 {
+        return SearchResult::NotFound;
+    }
+    let cx = Arc::new(SearchCtx::new(h, k, cfg));
+    let all: Vec<EdgeId> = h.edge_ids().collect();
+    let jobs = opts.effective_jobs();
+    let outcome = if jobs > 1 {
+        crate::parallel::run_pool(jobs, |pool| {
+            Walker::new(Arc::clone(&cx), budget.clone(), Some(pool)).rec(&all, &[], 0)
+        })
+    } else {
+        Walker::new(Arc::clone(&cx), budget.clone(), None).rec(&all, &[], 0)
+    };
+    cx.finish(outcome)
 }
 
 /// Solves the *(component, connector)* subproblem directly: find a
@@ -89,6 +151,21 @@ pub fn decompose_component(
     comp: &[EdgeId],
     conn: &[VertexId],
 ) -> SearchResult {
+    decompose_component_in(h, k, budget, cfg, comp, conn, None)
+}
+
+/// [`decompose_component`] running inside an existing worker pool (the
+/// hybrid strategy under a parallel BalSep): nested component splits keep
+/// forking onto the caller's pool instead of going serial.
+pub(crate) fn decompose_component_in<'e>(
+    h: &'e Hypergraph,
+    k: usize,
+    budget: &Budget,
+    cfg: Option<&SubedgeConfig>,
+    comp: &[EdgeId],
+    conn: &[VertexId],
+    pool: Option<&WorkerCtx<'_, 'e>>,
+) -> SearchResult {
     if comp.is_empty() {
         return SearchResult::Found(Decomposition::new(BitSet::new(), Vec::new()));
     }
@@ -98,66 +175,76 @@ pub fn decompose_component(
     let mut conn_sorted = conn.to_vec();
     conn_sorted.sort_unstable();
     conn_sorted.dedup();
-    let mut search = Search::new(h, k, budget, cfg.copied());
-    match search.rec(comp, &conn_sorted) {
-        Ok(Some(d)) => SearchResult::Found(d),
-        Ok(None) => {
-            if search.subedges_capped {
-                SearchResult::NotFoundUncertified
-            } else {
-                SearchResult::NotFound
-            }
-        }
-        Err(Stopped) => SearchResult::Stopped,
-    }
+    let cx = Arc::new(SearchCtx::new(h, k, cfg.copied()));
+    let outcome = Walker::new(Arc::clone(&cx), budget.clone(), pool).rec(comp, &conn_sorted, 0);
+    cx.finish(outcome)
 }
 
-/// A separator candidate atom with its precomputed vertex set.
+/// A separator candidate atom with its precomputed vertex set. The
+/// vertex sets are shared across workers (and with the memoized subedge
+/// cache), hence `Arc`.
 #[derive(Clone)]
 struct Atom {
     cover: CoverAtom,
-    verts: Rc<BitSet>,
+    verts: Arc<BitSet>,
 }
 
 /// Memo key: (component edge ids, connector vertex ids), both sorted.
+/// Stored once on insert; lookups compare borrowed slices against the
+/// stored key under a precomputed fingerprint instead of boxing a fresh
+/// key per call.
 type CompConnKey = (Box<[EdgeId]>, Box<[VertexId]>);
 
-struct Search<'h> {
-    h: &'h Hypergraph,
-    k: usize,
-    ticker: Ticker,
-    fail_memo: HashSet<CompConnKey>,
-    subedge_cfg: Option<SubedgeConfig>,
-    /// Lazily computed subedge atoms per component (None = budget tripped).
-    subedge_cache: HashMap<Box<[EdgeId]>, Option<Rc<Vec<Atom>>>>,
-    subedges_capped: bool,
+fn comp_conn_fingerprint(comp: &[EdgeId], conn: &[VertexId]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut f = Fnv::default();
+    comp.hash(&mut f);
+    conn.hash(&mut f);
+    f.finish()
 }
 
-impl<'h> Search<'h> {
-    fn new(h: &'h Hypergraph, k: usize, budget: &Budget, cfg: Option<SubedgeConfig>) -> Self {
-        Search {
+/// State shared by every worker of one search.
+struct SearchCtx<'h> {
+    h: &'h Hypergraph,
+    k: usize,
+    subedge_cfg: Option<SubedgeConfig>,
+    /// Full-edge atoms, precomputed once: candidate pools per node are
+    /// filtered views of this (an `Arc` clone per atom, no `BitSet`
+    /// clones).
+    edge_atoms: Vec<Atom>,
+    /// (component, connector) pairs certified undecomposable. Shared so
+    /// one worker's dead end prunes every other worker's search.
+    fail_memo: ShardedMemo<CompConnKey, ()>,
+    /// Subedge atoms per component (`None` = the subedge budget tripped
+    /// for that component).
+    subedge_cache: ShardedMemo<Box<[EdgeId]>, Option<Arc<Vec<Atom>>>>,
+    subedges_capped: AtomicBool,
+}
+
+impl<'h> SearchCtx<'h> {
+    fn new(h: &'h Hypergraph, k: usize, cfg: Option<SubedgeConfig>) -> SearchCtx<'h> {
+        SearchCtx {
             h,
             k,
-            ticker: Ticker::new(budget),
-            fail_memo: HashSet::new(),
             subedge_cfg: cfg,
-            subedge_cache: HashMap::new(),
-            subedges_capped: false,
+            edge_atoms: h
+                .edge_ids()
+                .map(|e| Atom {
+                    cover: CoverAtom::Edge(e),
+                    verts: Arc::new(h.edge_set(e).clone()),
+                })
+                .collect(),
+            fail_memo: ShardedMemo::new(),
+            subedge_cache: ShardedMemo::new(),
+            subedges_capped: AtomicBool::new(false),
         }
     }
 
-    fn run(mut self) -> SearchResult {
-        if self.h.num_edges() == 0 {
-            return SearchResult::Found(Decomposition::new(BitSet::new(), Vec::new()));
-        }
-        if self.k == 0 {
-            return SearchResult::NotFound;
-        }
-        let all: Vec<EdgeId> = self.h.edge_ids().collect();
-        match self.rec(&all, &[]) {
+    fn finish(&self, outcome: Result<Option<Decomposition>, Stopped>) -> SearchResult {
+        match outcome {
             Ok(Some(d)) => SearchResult::Found(d),
             Ok(None) => {
-                if self.subedges_capped {
+                if self.subedges_capped.load(Ordering::Relaxed) {
                     SearchResult::NotFoundUncertified
                 } else {
                     SearchResult::NotFound
@@ -166,46 +253,72 @@ impl<'h> Search<'h> {
             Err(Stopped) => SearchResult::Stopped,
         }
     }
+}
+
+/// One worker's view of the search: shared context plus private ticker
+/// and scratch buffers.
+struct Walker<'e, 'p> {
+    cx: Arc<SearchCtx<'e>>,
+    budget: Budget,
+    ticker: Ticker,
+    pool: Option<&'p WorkerCtx<'p, 'e>>,
+    comp_scratch: ComponentScratch,
+}
+
+impl<'e, 'p> Walker<'e, 'p> {
+    fn new(
+        cx: Arc<SearchCtx<'e>>,
+        budget: Budget,
+        pool: Option<&'p WorkerCtx<'p, 'e>>,
+    ) -> Walker<'e, 'p> {
+        let ticker = Ticker::new(&budget);
+        Walker {
+            cx,
+            budget,
+            ticker,
+            pool,
+            comp_scratch: ComponentScratch::new(),
+        }
+    }
 
     fn rec(
         &mut self,
         comp: &[EdgeId],
         conn_sorted: &[VertexId],
+        depth: usize,
     ) -> Result<Option<Decomposition>, Stopped> {
         self.ticker.tick()?;
-        let key: CompConnKey = (
-            comp.to_vec().into_boxed_slice(),
-            conn_sorted.to_vec().into_boxed_slice(),
-        );
-        if self.fail_memo.contains(&key) {
+        let fp = comp_conn_fingerprint(comp, conn_sorted);
+        let hit = |key: &CompConnKey| key.0.as_ref() == comp && key.1.as_ref() == conn_sorted;
+        if self.cx.fail_memo.get(fp, hit).is_some() {
             return Ok(None);
         }
 
-        let comp_vertices = self.h.vertices_of_edges(comp);
+        let h = self.cx.h;
+        let comp_vertices = h.vertices_of_edges(comp);
         let conn = BitSet::from_slice(conn_sorted);
         let mut scope = comp_vertices.clone();
         scope.union_with(&conn);
-        let mut new_vertices = comp_vertices.clone();
+        let mut new_vertices = comp_vertices;
         new_vertices.difference_with(&conn);
 
-        // Full-edge candidates: edges meeting the scope.
-        let mut full: Vec<Atom> = Vec::new();
-        for e in self.h.edge_ids() {
-            if self.h.edge_set(e).intersects(&scope) {
-                full.push(Atom {
-                    cover: CoverAtom::Edge(e),
-                    verts: Rc::new(self.h.edge_set(e).clone()),
-                });
-            }
-        }
+        // Full-edge candidates: edges meeting the scope (shared atoms,
+        // no per-node vertex-set clones).
+        let full: Vec<Atom> = self
+            .cx
+            .edge_atoms
+            .iter()
+            .filter(|a| a.verts.intersects(&scope))
+            .cloned()
+            .collect();
 
         // Phase A: full edges only.
-        if let Some(d) = self.combos(comp, &scope, &conn, &new_vertices, &full, 0)? {
+        if let Some(d) = self.combos(comp, &scope, &conn, &new_vertices, &full, 0, depth)? {
             return Ok(Some(d));
         }
 
         // Phase B (LocalBIP): add local subedges and require at least one.
-        if self.subedge_cfg.is_some() {
+        if self.cx.subedge_cfg.is_some() {
             let subs = self.component_subedges(comp, &scope)?;
             if let Some(subs) = subs {
                 if !subs.is_empty() {
@@ -213,7 +326,7 @@ impl<'h> Search<'h> {
                     let first_sub = atoms.len();
                     atoms.extend(subs.iter().cloned());
                     if let Some(d) =
-                        self.combos(comp, &scope, &conn, &new_vertices, &atoms, first_sub)?
+                        self.combos(comp, &scope, &conn, &new_vertices, &atoms, first_sub, depth)?
                     {
                         return Ok(Some(d));
                     }
@@ -221,25 +334,33 @@ impl<'h> Search<'h> {
             }
         }
 
-        self.fail_memo.insert(key);
+        // Certified exhaustion: memoize for every worker. The owned key
+        // is built here, once — never on the lookup path.
+        self.cx
+            .fail_memo
+            .insert(fp, (comp.into(), conn_sorted.into()), ());
         Ok(None)
     }
 
     /// Lazily computes the subedge atoms for a component (Eq. 2), filtered
     /// to those meeting the scope. Returns `None` when the subedge budget
-    /// tripped (recorded in `subedges_capped`).
+    /// tripped (recorded in the shared `subedges_capped`). The scope is
+    /// exactly `V(comp)` (connectors are always vertex subsets of their
+    /// component), so the cache key is the component alone.
     fn component_subedges(
         &mut self,
         comp: &[EdgeId],
         scope: &BitSet,
-    ) -> Result<Option<Rc<Vec<Atom>>>, Stopped> {
-        let key: Box<[EdgeId]> = comp.to_vec().into_boxed_slice();
-        if let Some(cached) = self.subedge_cache.get(&key) {
-            return Ok(cached.clone());
+    ) -> Result<Option<Arc<Vec<Atom>>>, Stopped> {
+        let fp = fingerprint_ids(comp);
+        #[allow(clippy::borrowed_box)] // the memo's key type is the boxed slice
+        let hit = |key: &Box<[EdgeId]>| key.as_ref() == comp;
+        if let Some(cached) = self.cx.subedge_cache.get(fp, hit) {
+            return Ok(cached);
         }
         self.ticker.check_now()?;
-        let cfg = self.subedge_cfg.as_ref().expect("subedge mode");
-        let computed = match local_subedges(self.h, self.k, comp, cfg) {
+        let cfg = self.cx.subedge_cfg.as_ref().expect("subedge mode");
+        let computed = match local_subedges(self.cx.h, self.cx.k, comp, cfg) {
             Ok(fam) => {
                 let atoms: Vec<Atom> = fam
                     .into_iter()
@@ -250,18 +371,20 @@ impl<'h> Search<'h> {
                                 parent: s.parent,
                                 vertices: bs.clone(),
                             },
-                            verts: Rc::new(bs),
+                            verts: Arc::new(bs),
                         })
                     })
                     .collect();
-                Some(Rc::new(atoms))
+                Some(Arc::new(atoms))
             }
             Err(_) => {
-                self.subedges_capped = true;
+                self.cx.subedges_capped.store(true, Ordering::Relaxed);
                 None
             }
         };
-        self.subedge_cache.insert(key, computed.clone());
+        self.cx
+            .subedge_cache
+            .insert(fp, comp.into(), computed.clone());
         Ok(computed)
     }
 
@@ -278,9 +401,16 @@ impl<'h> Search<'h> {
         new_vertices: &BitSet,
         atoms: &[Atom],
         first_required: usize,
+        depth: usize,
     ) -> Result<Option<Decomposition>, Stopped> {
-        let mut chosen: Vec<usize> = Vec::with_capacity(self.k);
-        let mut union = BitSet::with_capacity(self.h.num_vertices());
+        let mut chosen: Vec<usize> = Vec::with_capacity(self.cx.k);
+        let mut union = BitSet::with_capacity(self.cx.h.num_vertices());
+        // Per-depth save slots so backtracking restores the running union
+        // without a clone per atom push. Owned by this call (not the
+        // walker): nested `rec` frames run their own `combos`.
+        let mut saved: Vec<BitSet> = (0..self.cx.k)
+            .map(|_| BitSet::with_capacity(self.cx.h.num_vertices()))
+            .collect();
         self.combo_rec(
             comp,
             scope,
@@ -291,6 +421,8 @@ impl<'h> Search<'h> {
             0,
             &mut chosen,
             &mut union,
+            &mut saved,
+            depth,
         )
     }
 
@@ -306,6 +438,8 @@ impl<'h> Search<'h> {
         start: usize,
         chosen: &mut Vec<usize>,
         union: &mut BitSet,
+        saved: &mut Vec<BitSet>,
+        depth: usize,
     ) -> Result<Option<Decomposition>, Stopped> {
         // Try the current selection as a separator.
         if !chosen.is_empty()
@@ -314,27 +448,27 @@ impl<'h> Search<'h> {
             && union.intersects(new_vertices)
         {
             self.ticker.tick()?;
-            if let Some(d) = self.try_separator(comp, scope, conn, atoms, chosen, union)? {
+            if let Some(d) = self.try_separator(comp, scope, conn, atoms, chosen, union, depth)? {
                 return Ok(Some(d));
             }
         }
-        if chosen.len() == self.k {
+        if chosen.len() == self.cx.k {
             return Ok(None);
         }
         for i in start..atoms.len() {
             self.ticker.tick()?;
             let verts = &atoms[i].verts;
             // Domination pruning: an atom must cover a not-yet-covered
-            // connector vertex or a new component vertex.
-            let useful = {
-                let mut uncovered_conn = conn.difference(union);
-                uncovered_conn.intersect_with(verts);
-                !uncovered_conn.is_empty() || verts.intersects(new_vertices)
-            };
-            if !useful {
+            // connector vertex or a new component vertex. (Blockwise
+            // three-way probe — the historical code materialized
+            // `conn \ union` per atom just to test this.)
+            if !verts.intersects_difference(conn, union) && !verts.intersects(new_vertices) {
                 continue;
             }
-            let before = union.clone();
+            // `slot` indexes the per-cover-size save stack; it is NOT
+            // the tree depth (`depth`), which threads through unchanged.
+            let slot = chosen.len();
+            saved[slot].copy_from(union);
             union.union_with(verts);
             chosen.push(i);
             let r = self.combo_rec(
@@ -347,9 +481,11 @@ impl<'h> Search<'h> {
                 i + 1,
                 chosen,
                 union,
+                saved,
+                depth,
             )?;
             chosen.pop();
-            *union = before;
+            union.copy_from(&saved[chosen.len()]);
             if let Some(d) = r {
                 return Ok(Some(d));
             }
@@ -357,6 +493,7 @@ impl<'h> Search<'h> {
         Ok(None)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn try_separator(
         &mut self,
         comp: &[EdgeId],
@@ -365,23 +502,27 @@ impl<'h> Search<'h> {
         atoms: &[Atom],
         chosen: &[usize],
         union: &BitSet,
+        depth: usize,
     ) -> Result<Option<Decomposition>, Stopped> {
         let mut bag = union.clone();
         bag.intersect_with(scope);
         debug_assert!(conn.is_subset(&bag));
 
-        let parts = u_components(self.h, &bag, comp);
-        let mut children: Vec<Decomposition> = Vec::with_capacity(parts.components.len());
-        for child_comp in &parts.components {
-            let child_vertices = self.h.vertices_of_edges(child_comp);
+        let parts = u_components_with(&mut self.comp_scratch, self.cx.h, &bag, comp);
+        // Child problems: (component, sorted connector).
+        let mut problems: Vec<(Vec<EdgeId>, Vec<VertexId>)> =
+            Vec::with_capacity(parts.components.len());
+        for child_comp in parts.components {
+            let child_vertices = self.cx.h.vertices_of_edges(&child_comp);
             let mut child_conn = child_vertices;
             child_conn.intersect_with(&bag);
-            let conn_sorted = child_conn.to_vec();
-            match self.rec(child_comp, &conn_sorted)? {
-                Some(d) => children.push(d),
-                None => return Ok(None),
-            }
+            problems.push((child_comp, child_conn.to_vec()));
         }
+
+        let children = match self.solve_children(problems, depth)? {
+            Some(c) => c,
+            None => return Ok(None),
+        };
 
         let cover: Vec<CoverAtom> = chosen.iter().map(|&i| atoms[i].cover.clone()).collect();
         let mut d = Decomposition::new(bag, cover);
@@ -389,6 +530,70 @@ impl<'h> Search<'h> {
             d.graft(d.root(), child, child.root());
         }
         Ok(Some(d))
+    }
+
+    /// Solves the child problems of one separator — in parallel as
+    /// stealable subtasks when a pool is attached and the split is big
+    /// enough, inline otherwise. The first child that fails (or stops)
+    /// cancels its siblings through a budget child scope.
+    fn solve_children(
+        &mut self,
+        problems: Vec<(Vec<EdgeId>, Vec<VertexId>)>,
+        depth: usize,
+    ) -> Result<Option<Vec<Decomposition>>, Stopped> {
+        let total_edges: usize = problems.iter().map(|(c, _)| c.len()).sum();
+        let parallel = self.pool.filter(|_| {
+            depth < FORK_MAX_DEPTH && problems.len() >= 2 && total_edges >= FORK_MIN_EDGES
+        });
+        let Some(pool) = parallel else {
+            let mut children = Vec::with_capacity(problems.len());
+            for (child_comp, child_conn) in &problems {
+                match self.rec(child_comp, child_conn, depth + 1)? {
+                    Some(d) => children.push(d),
+                    None => return Ok(None),
+                }
+            }
+            return Ok(Some(children));
+        };
+
+        let (child_budget, scope_cancel) = self.budget.child_scope();
+        let thunks: Vec<_> = problems
+            .into_iter()
+            .map(|(child_comp, child_conn)| {
+                let cx = Arc::clone(&self.cx);
+                let budget = child_budget.clone();
+                let cancel = scope_cancel.clone();
+                move |ctx: &WorkerCtx<'_, 'e>| {
+                    let r =
+                        Walker::new(cx, budget, Some(ctx)).rec(&child_comp, &child_conn, depth + 1);
+                    if !matches!(r, Ok(Some(_))) {
+                        // Fail fast: siblings of a failed (or stopped)
+                        // component are wasted work under this separator.
+                        cancel.cancel();
+                    }
+                    r
+                }
+            })
+            .collect();
+        let results = pool.fork_join(thunks);
+
+        let mut children = Vec::with_capacity(results.len());
+        let mut stopped = false;
+        for r in results {
+            match r {
+                Ok(Some(d)) => children.push(d),
+                // A definite "no" is context-free: the separator fails
+                // regardless of why siblings wound down.
+                Ok(None) => return Ok(None),
+                Err(Stopped) => stopped = true,
+            }
+        }
+        if stopped {
+            // No child failed, so the stop came from the real budget (or
+            // an enclosing scope whose owner is unwinding anyway).
+            return Err(Stopped);
+        }
+        Ok(Some(children))
     }
 }
 
@@ -599,5 +804,63 @@ mod tests {
             }
             other => panic!("expected GHD, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parallel_agrees_with_serial_on_fixed_instances() {
+        let cases = [
+            hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]),
+            hypergraph_from_edges(&[
+                ("e0", &["a", "b"]),
+                ("e1", &["b", "c"]),
+                ("e2", &["c", "d"]),
+                ("e3", &["d", "e"]),
+                ("e4", &["e", "a"]),
+                ("chord", &["a", "c"]),
+            ]),
+            hypergraph_from_edges(&[
+                ("e1", &["a", "b", "c"]),
+                ("e2", &["c", "d", "e"]),
+                ("e3", &["e", "f", "a"]),
+                ("e4", &["b", "d", "f"]),
+            ]),
+        ];
+        let par = Options::with_jobs(3);
+        for h in &cases {
+            for k in 1..=3usize {
+                let serial = decompose_hd(h, k, &Budget::unlimited());
+                let parallel = decompose_hd_opts(h, k, &Budget::unlimited(), &par);
+                match (&serial, &parallel) {
+                    (SearchResult::Found(a), SearchResult::Found(b)) => {
+                        validate_hd(h, a).unwrap();
+                        validate_hd(h, b).unwrap();
+                        assert!(a.width() <= k && b.width() <= k);
+                    }
+                    (SearchResult::NotFound, SearchResult::NotFound) => {}
+                    other => panic!("serial/parallel disagree at k={k}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_timeout_stops_all_workers() {
+        let mut b = hyperbench_core::HypergraphBuilder::new();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                b.add_edge(&format!("e{i}_{j}"), &[format!("v{i}"), format!("v{j}")]);
+            }
+        }
+        let h = b.build();
+        let budget = Budget::with_timeout(std::time::Duration::from_millis(1));
+        let start = std::time::Instant::now();
+        let r = decompose_hd_opts(&h, 3, &budget, &Options::with_jobs(4));
+        assert!(matches!(r, SearchResult::Stopped));
+        // `run_pool` joins its scoped workers before returning, so a
+        // prompt return *is* the no-thread-leak property.
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "parallel search did not wind down promptly"
+        );
     }
 }

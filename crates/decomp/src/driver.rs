@@ -10,11 +10,12 @@ use std::time::{Duration, Instant};
 use hyperbench_core::subedges::SubedgeConfig;
 use hyperbench_core::Hypergraph;
 
-use crate::balsep::{decompose_balsep, BalsepConfig};
+use crate::balsep::{decompose_balsep_opts, decompose_hybrid_opts, BalsepConfig};
 use crate::budget::Budget;
-use crate::detk::{decompose_hd, SearchResult};
-use crate::globalbip::decompose_globalbip;
-use crate::localbip::decompose_localbip;
+use crate::detk::{decompose_hd_opts, SearchResult};
+use crate::globalbip::decompose_globalbip_opts;
+use crate::localbip::decompose_localbip_opts;
+use crate::parallel::Options;
 use crate::tree::Decomposition;
 
 /// Outcome of a `Check(decomposition, k)` run.
@@ -62,13 +63,21 @@ impl From<SearchResult> for Outcome {
 /// classify thousands of instances "in 0 seconds"; larger `k` runs the
 /// backtracking search.
 pub fn check_hd(h: &Hypergraph, k: usize, budget: &Budget) -> Outcome {
+    check_hd_opts(h, k, budget, &Options::serial())
+}
+
+/// [`check_hd`] with an explicit engine configuration: `opts.jobs > 1`
+/// runs the backtracking search on the work-stealing pool. Same width,
+/// same yes/no — parallelism only changes how fast the answer arrives
+/// (and possibly which witness tree is returned).
+pub fn check_hd_opts(h: &Hypergraph, k: usize, budget: &Budget, opts: &Options) -> Outcome {
     if k == 1 && h.num_edges() > 0 {
         return match hyperbench_core::gyo::join_tree(h) {
             Some(jt) => Outcome::Yes(join_tree_to_decomposition(h, &jt)),
             None => Outcome::No,
         };
     }
-    decompose_hd(h, k, budget).into()
+    decompose_hd_opts(h, k, budget, opts).into()
 }
 
 /// Converts a GYO join tree (edge, parent) list into a width-1
@@ -150,15 +159,27 @@ pub fn check_ghd(
     budget: &Budget,
     cfg: &SubedgeConfig,
 ) -> Outcome {
+    check_ghd_opts(h, k, algo, budget, cfg, &Options::serial())
+}
+
+/// [`check_ghd`] with an explicit engine configuration (worker count).
+pub fn check_ghd_opts(
+    h: &Hypergraph,
+    k: usize,
+    algo: GhdAlgorithm,
+    budget: &Budget,
+    cfg: &SubedgeConfig,
+    opts: &Options,
+) -> Outcome {
     match algo {
-        GhdAlgorithm::GlobalBip => decompose_globalbip(h, k, budget, cfg).into(),
-        GhdAlgorithm::LocalBip => decompose_localbip(h, k, budget, cfg).into(),
+        GhdAlgorithm::GlobalBip => decompose_globalbip_opts(h, k, budget, cfg, opts).into(),
+        GhdAlgorithm::LocalBip => decompose_localbip_opts(h, k, budget, cfg, opts).into(),
         GhdAlgorithm::BalSep => {
             let bcfg = BalsepConfig {
                 subedge_cfg: *cfg,
                 ..BalsepConfig::default()
             };
-            decompose_balsep(h, k, budget, &bcfg).into()
+            decompose_balsep_opts(h, k, budget, &bcfg, opts).into()
         }
     }
 }
@@ -173,11 +194,23 @@ pub fn check_ghd_hybrid(
     budget: &Budget,
     cfg: &SubedgeConfig,
 ) -> Outcome {
+    check_ghd_hybrid_opts(h, k, switch_depth, budget, cfg, &Options::serial())
+}
+
+/// [`check_ghd_hybrid`] with an explicit engine configuration.
+pub fn check_ghd_hybrid_opts(
+    h: &Hypergraph,
+    k: usize,
+    switch_depth: usize,
+    budget: &Budget,
+    cfg: &SubedgeConfig,
+    opts: &Options,
+) -> Outcome {
     let bcfg = BalsepConfig {
         subedge_cfg: *cfg,
         ..BalsepConfig::default()
     };
-    crate::balsep::decompose_hybrid(h, k, budget, &bcfg, switch_depth).into()
+    decompose_hybrid_opts(h, k, budget, &bcfg, switch_depth, opts).into()
 }
 
 /// Result of the first-of-three race (§6.4, Table 4).
@@ -196,16 +229,32 @@ pub struct RaceResult {
 /// paper's §6.4 setup: "we run our three algorithms in parallel and stop
 /// the computation as soon as one terminates."
 pub fn race_ghd(h: &Hypergraph, k: usize, timeout: Duration, cfg: &SubedgeConfig) -> RaceResult {
+    race_ghd_opts(h, k, timeout, cfg, &Options::serial())
+}
+
+/// [`race_ghd`] with an explicit engine configuration. The `jobs` budget
+/// is the *per-algorithm* worker count: the race always runs its three
+/// contestants concurrently, and each contestant's internal search
+/// additionally uses `ceil(jobs / 3)` workers, so the total thread
+/// budget stays proportional to the knob.
+pub fn race_ghd_opts(
+    h: &Hypergraph,
+    k: usize,
+    timeout: Duration,
+    cfg: &SubedgeConfig,
+    opts: &Options,
+) -> RaceResult {
     let start = Instant::now();
     let flag = Arc::new(AtomicBool::new(false));
     let budget = Budget::with_timeout(timeout).with_cancel_flag(flag);
+    let per_algo = Options::with_jobs(opts.effective_jobs().div_ceil(GhdAlgorithm::ALL.len()));
 
     let result = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for algo in GhdAlgorithm::ALL {
             let budget = budget.clone();
             let handle = scope.spawn(move || {
-                let out = check_ghd(h, k, algo, &budget, cfg);
+                let out = check_ghd_opts(h, k, algo, &budget, cfg, &per_algo);
                 if out.is_decided() {
                     budget.cancel();
                 }
@@ -277,7 +326,22 @@ impl HwResult {
 /// like the paper, the search continues with larger `k` (hw may still be
 /// bounded from above even when a smaller `k` timed out).
 pub fn hypertree_width(h: &Hypergraph, k_max: usize, per_check: Duration) -> HwResult {
-    width_search(k_max, |k| check_hd(h, k, &Budget::with_timeout(per_check)))
+    hypertree_width_opts(h, k_max, per_check, &Options::serial())
+}
+
+/// [`hypertree_width`] with an explicit engine configuration: every
+/// `Check(HD,k)` step runs on `opts.jobs` workers. The reported bounds
+/// are identical to a serial run (the per-`k` yes/no answers are
+/// determined by the instance, not the schedule).
+pub fn hypertree_width_opts(
+    h: &Hypergraph,
+    k_max: usize,
+    per_check: Duration,
+    opts: &Options,
+) -> HwResult {
+    width_search(k_max, |k| {
+        check_hd_opts(h, k, &Budget::with_timeout(per_check), opts)
+    })
 }
 
 /// The shared iterative width search: runs `check(k)` for `k = 1, 2, …`,
@@ -327,11 +391,24 @@ pub fn generalized_hypertree_width(
     per_check: Duration,
     cfg: &SubedgeConfig,
 ) -> HwResult {
+    generalized_hypertree_width_opts(h, k_max, per_check, cfg, &Options::serial())
+}
+
+/// [`generalized_hypertree_width`] with an explicit engine
+/// configuration: each per-`k` race divides the `jobs` budget among its
+/// three contestants (see [`race_ghd_opts`]).
+pub fn generalized_hypertree_width_opts(
+    h: &Hypergraph,
+    k_max: usize,
+    per_check: Duration,
+    cfg: &SubedgeConfig,
+    opts: &Options,
+) -> HwResult {
     width_search(k_max, |k| {
         if k == 1 {
             check_hd(h, 1, &Budget::with_timeout(per_check))
         } else {
-            race_ghd(h, k, per_check, cfg).outcome
+            race_ghd_opts(h, k, per_check, cfg, opts).outcome
         }
     })
 }

@@ -16,7 +16,8 @@ use hyperbench_core::subedges::{extend_hypergraph, global_subedges, SubedgeConfi
 use hyperbench_core::{EdgeId, Hypergraph};
 
 use crate::budget::Budget;
-use crate::detk::{decompose_hd, SearchResult};
+use crate::detk::{decompose_hd_opts, SearchResult};
+use crate::parallel::Options;
 use crate::tree::{CoverAtom, Decomposition};
 
 /// Solves `Check(GHD,k)` via GlobalBIP. On success the returned
@@ -28,6 +29,19 @@ pub fn decompose_globalbip(
     budget: &Budget,
     cfg: &SubedgeConfig,
 ) -> SearchResult {
+    decompose_globalbip_opts(h, k, budget, cfg, &Options::serial())
+}
+
+/// [`decompose_globalbip`] with an explicit engine configuration: the
+/// inner HD search on the extended hypergraph `H'` runs on `opts.jobs`
+/// workers.
+pub fn decompose_globalbip_opts(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+    cfg: &SubedgeConfig,
+    opts: &Options,
+) -> SearchResult {
     // Line 2: f(H,k).
     let family = match global_subedges(h, k, cfg) {
         Ok(f) => f,
@@ -36,7 +50,7 @@ pub fn decompose_globalbip(
     // Line 3: H' = (V(H), E(H) ∪ f(H,k)).
     let (h_ext, parents) = extend_hypergraph(h, &family);
     // Line 4: the HD search on H'.
-    match decompose_hd(&h_ext, k, budget) {
+    match decompose_hd_opts(&h_ext, k, budget, opts) {
         SearchResult::Found(d) => SearchResult::Found(rewrite(h, d, &parents)),
         other => other,
     }

@@ -39,9 +39,11 @@ pub mod driver;
 pub mod globalbip;
 pub mod improve;
 pub mod localbip;
+pub mod parallel;
 pub mod tree;
 pub mod validate;
 
 pub use budget::Budget;
 pub use driver::Outcome;
+pub use parallel::Options;
 pub use tree::{CoverAtom, Decomposition, NodeId};

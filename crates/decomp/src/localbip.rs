@@ -14,7 +14,8 @@ use hyperbench_core::subedges::SubedgeConfig;
 use hyperbench_core::Hypergraph;
 
 use crate::budget::Budget;
-use crate::detk::{decompose_localbip as detk_localbip, SearchResult};
+use crate::detk::{decompose_localbip_opts as detk_localbip_opts, SearchResult};
+use crate::parallel::Options;
 
 /// Solves `Check(GHD,k)` via LocalBIP. On success the returned
 /// decomposition is a GHD of `h` with λ-labels over full edges of `h`.
@@ -24,7 +25,19 @@ pub fn decompose_localbip(
     budget: &Budget,
     cfg: &SubedgeConfig,
 ) -> SearchResult {
-    match detk_localbip(h, k, budget, cfg) {
+    decompose_localbip_opts(h, k, budget, cfg, &Options::serial())
+}
+
+/// [`decompose_localbip`] with an explicit engine configuration: the
+/// underlying detk search runs on `opts.jobs` workers.
+pub fn decompose_localbip_opts(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+    cfg: &SubedgeConfig,
+    opts: &Options,
+) -> SearchResult {
+    match detk_localbip_opts(h, k, budget, cfg, opts) {
         SearchResult::Found(mut d) => {
             d.promote_subedges();
             SearchResult::Found(d)

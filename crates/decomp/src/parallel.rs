@@ -1,0 +1,499 @@
+//! The hand-rolled parallel substrate of the decomposition engine: a
+//! scoped work-stealing pool, sharded concurrent memo maps, and the
+//! [`Options`] knob that selects the degree of parallelism.
+//!
+//! Zero external dependencies by construction (the build has no registry
+//! access): the pool is per-worker `Mutex<VecDeque>` deques — owners push
+//! and pop LIFO at the front for depth-first locality, thieves steal FIFO
+//! from the back where the biggest subtrees sit — and the memo maps are
+//! striped `Mutex<HashMap>` shards addressed by a 64-bit FNV-1a
+//! fingerprint of the subproblem.
+//!
+//! The paper's tool parallelizes exactly this search ("the
+//! implementation … makes use of parallelism for the check if ghw ≤ k",
+//! §6.4): independent components below a separator are solved as
+//! stealable subtasks, and one shared failure memo lets any worker's
+//! dead end prune every other worker's search.
+//!
+//! ## Determinism
+//!
+//! `Check(·, k)` is a predicate: whichever order workers explore the
+//! separator space, an exhaustive search returns *yes* iff a width-≤ k
+//! decomposition exists. Parallel runs therefore report the same width
+//! as serial runs and a witness that passes `decomp::validate`; only the
+//! particular witness tree may differ between runs.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Engine options threaded from the CLI / server / harness down to the
+/// search: how many workers one `decompose` call may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Worker threads for one decomposition search. `1` = serial (the
+    /// default, and byte-for-byte the historical code path); `0` = all
+    /// available cores; `n > 1` = exactly `n` workers.
+    pub jobs: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options::serial()
+    }
+}
+
+impl Options {
+    /// The serial engine: no pool, no stealing, no extra threads.
+    pub const fn serial() -> Options {
+        Options { jobs: 1 }
+    }
+
+    /// An engine with `jobs` workers (`0` = all cores).
+    pub fn with_jobs(jobs: usize) -> Options {
+        Options { jobs }
+    }
+
+    /// Resolves the knob to a concrete worker count (`0` → core count).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+
+    /// Whether a pool should be spun up at all.
+    pub fn is_parallel(&self) -> bool {
+        self.effective_jobs() > 1
+    }
+}
+
+/// Fork separator components into stealable subtasks only when the
+/// split carries at least this many edges in total; smaller splits
+/// recurse inline. Forking costs a few heap allocations plus (when a
+/// sibling is actually stolen) a scheduler round-trip, so fine-grained
+/// splits are cheaper to run in place — the speedup comes from the big
+/// early splits and the speculative root separator scan.
+pub(crate) const FORK_MIN_EDGES: usize = 8;
+
+/// Fork components only this many recursion levels deep. Splits shrink
+/// geometrically, so the first levels carry almost all the stealable
+/// work; deeper splits are so frequent and so small that the per-fork
+/// bookkeeping measurably outweighs the parallelism they expose.
+pub(crate) const FORK_MAX_DEPTH: usize = 2;
+
+/// A unit of stealable work. Receives the context of whichever worker
+/// ends up executing it, so nested forks land on that worker's deque.
+type Task<'env> = Box<dyn FnOnce(&WorkerCtx<'_, 'env>) + Send + 'env>;
+
+struct Shared<'env> {
+    queues: Vec<Mutex<VecDeque<Task<'env>>>>,
+    shutdown: AtomicBool,
+}
+
+impl<'env> Shared<'env> {
+    fn new(workers: usize) -> Shared<'env> {
+        Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Pops from `index`'s own deque front (LIFO), else steals from the
+    /// back of the first non-empty sibling deque (FIFO).
+    fn find_task(&self, index: usize) -> Option<Task<'env>> {
+        if let Some(t) = self.queues[index].lock().expect("pool queue").pop_front() {
+            return Some(t);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (index + off) % n;
+            if let Some(t) = self.queues[victim].lock().expect("pool queue").pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Handle to the pool held by one participating thread (the caller is
+/// worker 0; spawned threads are workers 1..jobs). Forked subtasks go to
+/// this worker's own deque, where siblings steal them.
+pub struct WorkerCtx<'p, 'env> {
+    shared: &'p Shared<'env>,
+    index: usize,
+}
+
+/// Result slots of one fork: `filled[i]` receives thunk `i + 1`'s value
+/// (thunk 0 runs inline on the forking worker).
+struct ForkSlots<T> {
+    filled: Vec<Mutex<Option<T>>>,
+    remaining: AtomicUsize,
+}
+
+impl<'p, 'env> WorkerCtx<'p, 'env> {
+    /// Runs every thunk — thunk 0 inline, the rest as stealable tasks —
+    /// and returns their results in input order. While waiting for
+    /// stolen siblings, the forking worker *helps*: it keeps executing
+    /// pool tasks (its own or stolen), so a saturated pool never
+    /// deadlocks and no worker idles while work is pending.
+    pub fn fork_join<T, F>(&self, mut thunks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: FnOnce(&WorkerCtx<'_, 'env>) -> T + Send + 'env,
+    {
+        if thunks.is_empty() {
+            return Vec::new();
+        }
+        if thunks.len() == 1 {
+            let f = thunks.pop().expect("one thunk");
+            return vec![f(self)];
+        }
+        let rest = thunks.split_off(1);
+        let first = thunks.pop().expect("first thunk");
+        let slots = Arc::new(ForkSlots {
+            filled: rest.iter().map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(rest.len()),
+        });
+        {
+            let mut q = self.shared.queues[self.index].lock().expect("pool queue");
+            for (i, f) in rest.into_iter().enumerate() {
+                let slots = Arc::clone(&slots);
+                q.push_front(Box::new(move |ctx: &WorkerCtx<'_, 'env>| {
+                    let v = f(ctx);
+                    *slots.filled[i].lock().expect("fork slot") = Some(v);
+                    slots.remaining.fetch_sub(1, Ordering::Release);
+                }));
+            }
+        }
+        let mut out: Vec<T> = Vec::with_capacity(slots.filled.len() + 1);
+        out.push(first(self));
+        // Help until every sibling (possibly running on a thief) is done.
+        while slots.remaining.load(Ordering::Acquire) > 0 {
+            match self.shared.find_task(self.index) {
+                Some(t) => t(self),
+                None => std::thread::yield_now(),
+            }
+        }
+        for slot in slots.filled.iter() {
+            out.push(
+                slot.lock()
+                    .expect("fork slot")
+                    .take()
+                    .expect("sibling completed"),
+            );
+        }
+        out
+    }
+
+    /// Number of workers in the pool (≥ 2 whenever a pool exists).
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+}
+
+fn worker_loop<'env>(shared: &Shared<'env>, index: usize) {
+    let ctx = WorkerCtx { shared, index };
+    let mut idle_spins: u32 = 0;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match shared.find_task(index) {
+            Some(t) => {
+                idle_spins = 0;
+                t(&ctx);
+            }
+            None => {
+                // Spin briefly (work usually arrives in bursts mid-search),
+                // then back off to a short sleep so an idle pool costs
+                // almost nothing while the owner runs a serial phase.
+                idle_spins += 1;
+                if idle_spins < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+    }
+}
+
+/// Runs `root` on the calling thread with `jobs - 1` extra scoped
+/// workers stealing the subtasks it forks. All workers join before this
+/// returns — the pool cannot leak threads past the search that spawned
+/// it. With `jobs <= 1` no threads are spawned and forks run inline.
+pub fn run_pool<'env, R>(jobs: usize, root: impl FnOnce(&WorkerCtx<'_, 'env>) -> R) -> R {
+    let workers = jobs.max(1);
+    let shared = Shared::new(workers);
+    std::thread::scope(|s| {
+        for i in 1..workers {
+            let shared = &shared;
+            std::thread::Builder::new()
+                .name(format!("hyperbench-decomp-{i}"))
+                .spawn_scoped(s, move || worker_loop(shared, i))
+                .expect("spawn decomposition worker");
+        }
+        let ctx = WorkerCtx {
+            shared: &shared,
+            index: 0,
+        };
+        let r = root(&ctx);
+        shared.shutdown.store(true, Ordering::Release);
+        r
+    })
+}
+
+/// A 64-bit FNV-1a hasher, used to fingerprint subproblems. Implemented
+/// as a [`std::hash::Hasher`] so memo keys (`BitSet`s, id slices) can be
+/// fingerprinted through their ordinary `Hash` impls without allocating
+/// a canonical key first.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Fingerprints a slice of 32-bit ids (a component, a connector).
+pub fn fingerprint_ids(ids: &[u32]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = Fnv::default();
+    ids.hash(&mut h);
+    h.finish()
+}
+
+const SHARDS: usize = 64; // power of two; the shard mask depends on it
+
+/// A sharded concurrent memo map: `SHARDS` stripes of
+/// `Mutex<HashMap<fingerprint, bucket>>`, shared by every worker of a
+/// search so one worker's result immediately prunes the others.
+///
+/// Lookups pass the precomputed fingerprint plus a key-equality closure
+/// evaluated against the stored keys — the caller never materializes an
+/// owned key just to probe (the historical per-call `Box<[EdgeId]>`
+/// re-boxing). Owned keys are built exactly once, on insert.
+/// One fingerprint's bucket: the (key, value) entries whose fingerprint
+/// collided there. Always tiny — the closure-based lookup disambiguates.
+type Bucket<K, V> = Vec<(K, V)>;
+
+/// One lock stripe of the memo: fingerprint → bucket.
+type Shard<K, V> = Mutex<HashMap<u64, Bucket<K, V>>>;
+
+pub struct ShardedMemo<K, V> {
+    shards: Box<[Shard<K, V>]>,
+}
+
+impl<K, V: Clone> Default for ShardedMemo<K, V> {
+    fn default() -> Self {
+        ShardedMemo::new()
+    }
+}
+
+impl<K, V: Clone> ShardedMemo<K, V> {
+    /// An empty memo.
+    pub fn new() -> ShardedMemo<K, V> {
+        ShardedMemo {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<HashMap<u64, Vec<(K, V)>>> {
+        // Mix the high bits in: fingerprints are already well-spread, but
+        // the mask only looks at the low bits.
+        &self.shards[((fp ^ (fp >> 32)) as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up the entry whose stored key satisfies `matches` under the
+    /// given fingerprint. Collisions are resolved by the closure, never
+    /// by the fingerprint alone.
+    pub fn get(&self, fp: u64, matches: impl Fn(&K) -> bool) -> Option<V> {
+        let shard = self.shard(fp).lock().expect("memo shard");
+        let bucket = shard.get(&fp)?;
+        bucket
+            .iter()
+            .find(|(k, _)| matches(k))
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Inserts `value` under `key`, unless an equal key is already
+    /// present — concurrent workers solving the same subproblem insert
+    /// once. The owned key is built by the caller exactly here, on the
+    /// insert path; lookups never materialize one.
+    pub fn insert(&self, fp: u64, key: K, value: V)
+    where
+        K: PartialEq,
+    {
+        let mut shard = self.shard(fp).lock().expect("memo shard");
+        let bucket = shard.entry(fp).or_default();
+        if bucket.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        bucket.push((key, value));
+    }
+
+    /// Total number of memoized entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("memo shard")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_resolution() {
+        assert_eq!(Options::serial().effective_jobs(), 1);
+        assert!(!Options::serial().is_parallel());
+        assert_eq!(Options::with_jobs(3).effective_jobs(), 3);
+        assert!(Options::with_jobs(2).is_parallel());
+        assert!(Options::with_jobs(0).effective_jobs() >= 1);
+        assert_eq!(Options::default(), Options::serial());
+    }
+
+    #[test]
+    fn fork_join_preserves_order() {
+        for jobs in [1usize, 2, 4] {
+            let out = run_pool(jobs, |ctx| {
+                let thunks: Vec<_> = (0..16)
+                    .map(|i| move |_: &WorkerCtx<'_, '_>| i * 10)
+                    .collect();
+                ctx.fork_join(thunks)
+            });
+            assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn nested_forks_sum_correctly() {
+        // A fork tree three levels deep: 4 × 4 × 4 leaves summing 0..64.
+        fn level(ctx: &WorkerCtx<'_, '_>, base: usize, depth: usize) -> usize {
+            if depth == 0 {
+                return base;
+            }
+            let thunks: Vec<_> = (0..4)
+                .map(|i| move |ctx: &WorkerCtx<'_, '_>| level(ctx, base * 4 + i, depth - 1))
+                .collect();
+            ctx.fork_join(thunks).into_iter().sum()
+        }
+        for jobs in [1usize, 3, 4] {
+            let total = run_pool(jobs, |ctx| level(ctx, 0, 3));
+            assert_eq!(total, (0..64).sum::<usize>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn work_is_actually_stolen() {
+        use std::collections::HashSet;
+        use std::thread::ThreadId;
+        // Sleepy leaf tasks force the owner to overflow onto thieves.
+        let ids = run_pool(4, |ctx| {
+            let thunks: Vec<_> = (0..16)
+                .map(|_| {
+                    move |_: &WorkerCtx<'_, '_>| {
+                        std::thread::sleep(Duration::from_millis(5));
+                        std::thread::current().id()
+                    }
+                })
+                .collect();
+            ctx.fork_join(thunks)
+        });
+        let distinct: HashSet<ThreadId> = ids.into_iter().collect();
+        assert!(
+            distinct.len() >= 2,
+            "expected at least one task to be stolen by another worker"
+        );
+    }
+
+    #[test]
+    fn pool_threads_join_on_return() {
+        // `run_pool` uses scoped threads: by construction every worker has
+        // joined when it returns. Smoke-test that repeated pools don't
+        // accumulate anything.
+        for _ in 0..16 {
+            let v = run_pool(4, |ctx| {
+                ctx.fork_join((0..8).map(|i| move |_: &WorkerCtx<'_, '_>| i).collect())
+            });
+            assert_eq!(v.len(), 8);
+        }
+    }
+
+    #[test]
+    fn sharded_memo_roundtrip() {
+        let memo: ShardedMemo<Box<[u32]>, u8> = ShardedMemo::new();
+        let key = [1u32, 2, 3];
+        let fp = fingerprint_ids(&key);
+        assert!(memo.get(fp, |k| k.as_ref() == key).is_none());
+        memo.insert(fp, key.to_vec().into(), 7);
+        assert_eq!(memo.get(fp, |k| k.as_ref() == key), Some(7));
+        // A colliding fingerprint with a different key must not match.
+        assert_eq!(memo.get(fp, |k| k.as_ref() == [9u32]), None);
+        // Re-inserting under an equal key is a no-op.
+        memo.insert(fp, key.to_vec().into(), 9);
+        assert_eq!(memo.get(fp, |k| k.as_ref() == key), Some(7));
+        assert_eq!(memo.len(), 1);
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn memo_is_shared_across_threads() {
+        let memo: Arc<ShardedMemo<u32, u32>> = Arc::new(ShardedMemo::new());
+        let handles: Vec<_> = (0..8u32)
+            .map(|t| {
+                let memo = Arc::clone(&memo);
+                std::thread::spawn(move || {
+                    for i in 0..128u32 {
+                        let fp = fingerprint_ids(&[i]);
+                        memo.insert(fp, i, i * 2);
+                        assert_eq!(memo.get(fp, |k| *k == i), Some(i * 2), "thread {t}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(memo.len(), 128);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_length_aware() {
+        assert_eq!(fingerprint_ids(&[1, 2, 3]), fingerprint_ids(&[1, 2, 3]));
+        assert_ne!(fingerprint_ids(&[1, 2, 3]), fingerprint_ids(&[1, 2]));
+        assert_ne!(fingerprint_ids(&[]), fingerprint_ids(&[0]));
+    }
+}

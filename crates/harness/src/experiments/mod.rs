@@ -87,6 +87,7 @@ mod tests {
             per_check: Duration::from_millis(200),
             k_max: 4,
             vc_budget: 100_000,
+            jobs: 1,
         };
         let mk = |collection: &'static str, class, h: hyperbench_core::Hypergraph| {
             let record = analyze_instance(&h, &acfg);

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use hyperbench_core::subedges::SubedgeConfig;
 use hyperbench_decomp::budget::Budget;
-use hyperbench_decomp::driver::{check_ghd, GhdAlgorithm};
+use hyperbench_decomp::driver::{check_ghd_opts, GhdAlgorithm};
 
 use crate::experiments::ExperimentReport;
 use crate::report::{fmt_avg, Table};
@@ -59,14 +59,16 @@ pub fn run(bench: &AnalyzedBenchmark) -> ExperimentReport {
         }
         let mut per_algo = [AlgoStats::default(); 3];
         for (ai, algo) in GhdAlgorithm::ALL.iter().enumerate() {
+            let opts = hyperbench_decomp::Options::with_jobs(bench.config.jobs);
             let results = parallel_map(&group, threads, |a| {
                 let start = Instant::now();
-                let out = check_ghd(
+                let out = check_ghd_opts(
                     &a.instance.hypergraph,
                     k - 1,
                     *algo,
                     &Budget::with_timeout(timeout),
                     &cfg,
+                    &opts,
                 );
                 (out.label(), start.elapsed())
             });

@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use hyperbench_core::subedges::SubedgeConfig;
-use hyperbench_decomp::driver::race_ghd;
+use hyperbench_decomp::driver::race_ghd_opts;
 
 use crate::experiments::table3::group_hw;
 use crate::experiments::ExperimentReport;
@@ -28,8 +28,9 @@ pub fn run(bench: &AnalyzedBenchmark) -> ExperimentReport {
         if group.is_empty() {
             continue;
         }
+        let opts = hyperbench_decomp::Options::with_jobs(bench.config.jobs);
         let results = parallel_map(&group, threads, |a| {
-            let r = race_ghd(&a.instance.hypergraph, k - 1, timeout, &cfg);
+            let r = race_ghd_opts(&a.instance.hypergraph, k - 1, timeout, &cfg, &opts);
             (r.outcome.label(), r.elapsed)
         });
         let mut yes = 0usize;

@@ -50,8 +50,16 @@ pub struct ExperimentConfig {
     /// Timeout per `Check(GHD,k)` call (Tables 3, 4) and per
     /// FracImproveHD probe (Table 6).
     pub ghd_timeout: Duration,
-    /// Worker threads for the analysis pass (0 = all cores).
+    /// Worker threads for the analysis pass (0 = all cores): the
+    /// *instance-level* fan-out — table reproductions analyze many
+    /// instances concurrently.
     pub threads: usize,
+    /// Worker threads *per decomposition search* (1 = serial engine).
+    /// Multiplies with `threads`: total CPU ≈ `threads × jobs`. The
+    /// default keeps the engine serial, because the instance-level
+    /// fan-out already saturates the machine on full table runs; raise
+    /// it when analyzing few (or very hard) instances.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -64,6 +72,7 @@ impl Default for ExperimentConfig {
             vc_budget: 2_000_000,
             ghd_timeout: Duration::from_millis(400),
             threads: 0,
+            jobs: 1,
         }
     }
 }
@@ -74,6 +83,7 @@ impl ExperimentConfig {
             per_check: self.per_check,
             k_max: self.k_max,
             vc_budget: self.vc_budget,
+            jobs: self.jobs,
         }
     }
 

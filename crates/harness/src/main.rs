@@ -9,7 +9,7 @@ use hyperbench_core::properties::structural_properties;
 use hyperbench_core::stats::size_metrics;
 use hyperbench_core::subedges::SubedgeConfig;
 use hyperbench_decomp::budget::Budget;
-use hyperbench_decomp::driver::{check_ghd, check_hd, GhdAlgorithm, Outcome};
+use hyperbench_decomp::driver::{check_ghd_opts, check_hd_opts, GhdAlgorithm, Outcome};
 use hyperbench_harness::experiments;
 use hyperbench_harness::{analyze_benchmark, ExperimentConfig};
 use hyperbench_repo::{analyze_instance, AnalysisConfig, Repository};
@@ -20,18 +20,23 @@ hyperbench — a Rust reproduction of the HyperBench benchmark and tool
 USAGE:
   hyperbench experiment <table1|table2|fig3|fig4|fig5|table3|table4|table5|table6|summary|all>
              [--scale F] [--seed N] [--timeout-ms N] [--ghd-timeout-ms N]
-             [--kmax N] [--threads N]
+             [--kmax N] [--threads N] [--jobs N]
   hyperbench experiments-md [--out FILE] [same flags as experiment]
   hyperbench gen --out DIR [--scale F] [--seed N]
-  hyperbench analyze --dir DIR [--timeout-ms N] [--kmax N]
+  hyperbench analyze --dir DIR [--timeout-ms N] [--kmax N] [--jobs N]
   hyperbench stats <FILE.hg>
   hyperbench decompose <FILE.hg> --k N [--algo hd|globalbip|localbip|balsep|hybrid]
-             [--timeout-ms N]
+             [--timeout-ms N] [--jobs N]
   hyperbench pack --dir DIR [--out FILE]
   hyperbench serve (--dir DIR | --pack FILE) [--addr HOST:PORT] [--threads N]
              [--workers N] [--queue N] [--cache N] [--timeout-ms N] [--kmax N]
-             [--spill FILE|off]
+             [--jobs N] [--spill FILE|off]
   hyperbench help
+
+`--jobs N` sets the decomposition engine's per-search worker count
+(1 = serial, 0 = all cores). Parallel searches report the same widths
+as serial ones; for `serve` the flag is also the ceiling for the
+`jobs` field of `POST /v1/analyses` requests.
 ";
 
 fn main() {
@@ -105,6 +110,7 @@ fn experiment_config(flags: &Flags) -> Result<ExperimentConfig, String> {
             flags.get_parsed("ghd-timeout-ms", d.ghd_timeout.as_millis() as u64)?,
         ),
         threads: flags.get_parsed("threads", d.threads)?,
+        jobs: flags.get_parsed("jobs", d.jobs)?,
     })
 }
 
@@ -191,11 +197,13 @@ fn run(args: &[String]) -> Result<(), String> {
             let dir = PathBuf::from(flags.get("dir").ok_or("--dir DIR required")?);
             let per_check: u64 = flags.get_parsed("timeout-ms", 250)?;
             let k_max: usize = flags.get_parsed("kmax", 8)?;
+            let jobs: usize = flags.get_parsed("jobs", 1)?;
             let mut repo = hyperbench_repo::store::load(&dir).map_err(|e| e.to_string())?;
             let cfg = AnalysisConfig {
                 per_check: Duration::from_millis(per_check),
                 k_max,
                 vc_budget: 2_000_000,
+                jobs,
             };
             let n = repo.len();
             for id in 0..n {
@@ -269,6 +277,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     per_check: Duration::from_millis(flags.get_parsed("timeout-ms", 250)?),
                     k_max: flags.get_parsed("kmax", 8)?,
                     vc_budget: 2_000_000,
+                    jobs: flags.get_parsed("jobs", 1)?,
                 },
                 spill,
             };
@@ -287,18 +296,21 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             let timeout: u64 = flags.get_parsed("timeout-ms", 5_000)?;
             let algo = flags.get("algo").unwrap_or("hd");
+            let opts = hyperbench_decomp::Options::with_jobs(flags.get_parsed("jobs", 1)?);
             let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
             let h = parse_hg_named(&text, file).map_err(|e| e.to_string())?;
             let budget = Budget::with_timeout(Duration::from_millis(timeout));
             let cfg = SubedgeConfig::default();
             let outcome = match algo {
-                "hd" => check_hd(&h, k, &budget),
-                "globalbip" => check_ghd(&h, k, GhdAlgorithm::GlobalBip, &budget, &cfg),
-                "localbip" => check_ghd(&h, k, GhdAlgorithm::LocalBip, &budget, &cfg),
-                "balsep" => check_ghd(&h, k, GhdAlgorithm::BalSep, &budget, &cfg),
+                "hd" => check_hd_opts(&h, k, &budget, &opts),
+                "globalbip" => check_ghd_opts(&h, k, GhdAlgorithm::GlobalBip, &budget, &cfg, &opts),
+                "localbip" => check_ghd_opts(&h, k, GhdAlgorithm::LocalBip, &budget, &cfg, &opts),
+                "balsep" => check_ghd_opts(&h, k, GhdAlgorithm::BalSep, &budget, &cfg, &opts),
                 "hybrid" => {
                     let depth = flags.get_parsed("switch-depth", 2usize)?;
-                    hyperbench_decomp::driver::check_ghd_hybrid(&h, k, depth, &budget, &cfg)
+                    hyperbench_decomp::driver::check_ghd_hybrid_opts(
+                        &h, k, depth, &budget, &cfg, &opts,
+                    )
                 }
                 other => return Err(format!("unknown algorithm {other}")),
             };

@@ -16,7 +16,7 @@ use hyperbench_core::properties::{structural_properties, StructuralProperties};
 use hyperbench_core::stats::{size_metrics, SizeMetrics};
 use hyperbench_core::subedges::SubedgeConfig;
 use hyperbench_core::Hypergraph;
-use hyperbench_decomp::driver::{generalized_hypertree_width, hypertree_width, Outcome};
+use hyperbench_decomp::driver::{generalized_hypertree_width_opts, hypertree_width_opts, Outcome};
 use hyperbench_decomp::improve::improve_hd;
 use hyperbench_decomp::tree::Decomposition;
 
@@ -29,6 +29,11 @@ pub struct AnalysisConfig {
     pub k_max: usize,
     /// Budget (shatter checks) for the VC-dimension computation.
     pub vc_budget: u64,
+    /// Worker threads per decomposition search (`1` = serial, `0` = all
+    /// cores). Parallel runs report the same width bounds as serial runs
+    /// — see `hyperbench_decomp::parallel` — so this only trades CPU for
+    /// latency.
+    pub jobs: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -37,7 +42,15 @@ impl Default for AnalysisConfig {
             per_check: Duration::from_millis(250),
             k_max: 8,
             vc_budget: 2_000_000,
+            jobs: 1,
         }
+    }
+}
+
+impl AnalysisConfig {
+    /// The decomposition-engine options for this configuration.
+    pub fn engine_options(&self) -> hyperbench_decomp::Options {
+        hyperbench_decomp::Options::with_jobs(self.jobs)
     }
 }
 
@@ -107,11 +120,18 @@ pub fn analyze_instance_retaining(
 ) -> AnalyzedInstance {
     let sizes = size_metrics(h);
     let properties = structural_properties(h, cfg.vc_budget);
+    let opts = cfg.engine_options();
     let hw = match method {
-        AnalyzeMethod::Hd | AnalyzeMethod::Fhd => hypertree_width(h, cfg.k_max, cfg.per_check),
-        AnalyzeMethod::Ghd => {
-            generalized_hypertree_width(h, cfg.k_max, cfg.per_check, &SubedgeConfig::default())
+        AnalyzeMethod::Hd | AnalyzeMethod::Fhd => {
+            hypertree_width_opts(h, cfg.k_max, cfg.per_check, &opts)
         }
+        AnalyzeMethod::Ghd => generalized_hypertree_width_opts(
+            h,
+            cfg.k_max,
+            cfg.per_check,
+            &SubedgeConfig::default(),
+            &opts,
+        ),
     };
     let hw_timed_out = hw
         .steps

@@ -387,8 +387,16 @@ pub mod v1 {
         if request.timeout_ms == Some(0) {
             return error_response(ApiError::invalid_param("timeout_ms must be at least 1"));
         }
+        if request.jobs == Some(0) {
+            return error_response(ApiError::invalid_param("jobs must be at least 1"));
+        }
         // …while valid overrides are clamped to the configured budgets —
-        // a client cannot buy more server time than the operator allowed.
+        // a client cannot buy more server time (or more cores) than the
+        // operator allowed. The per-job ceiling is the operator's
+        // `--jobs` resolved to a concrete worker count.
+        let jobs_ceiling = hyperbench_decomp::Options::with_jobs(state.analysis.jobs)
+            .effective_jobs()
+            .max(1);
         let options = AnalyzeOptions {
             method: request.method,
             k_max: request
@@ -397,6 +405,9 @@ pub mod v1 {
             per_check: request.timeout_ms.map_or(state.analysis.per_check, |ms| {
                 Duration::from_millis(ms).min(state.analysis.per_check)
             }),
+            jobs: request
+                .jobs
+                .map_or(jobs_ceiling, |j| j.clamp(1, jobs_ceiling)),
         };
         match submit_analysis(state, &request.hypergraph, options) {
             Err(message) => {

@@ -28,6 +28,9 @@ pub struct AnalyzeOptions {
     pub k_max: usize,
     /// Per-`Check` timeout budget.
     pub per_check: Duration,
+    /// Worker threads per decomposition search (already clamped to the
+    /// server's per-job parallelism ceiling by the handler).
+    pub jobs: usize,
 }
 
 impl AnalyzeOptions {
@@ -38,10 +41,16 @@ impl AnalyzeOptions {
             method: AnalyzeMethod::Hd,
             k_max: config.k_max,
             per_check: config.per_check,
+            jobs: config.jobs.max(1),
         }
     }
 
     /// A stable string folded into the content hash and dedup identity.
+    ///
+    /// `jobs` is deliberately *not* part of the key: the engine
+    /// guarantees the same width bounds at any worker count, so a result
+    /// computed with `jobs=4` answers a `jobs=1` submission (and warm
+    /// spill segments written before the knob existed stay valid).
     pub fn cache_key(&self) -> String {
         format!(
             "{}:{}:{}",
@@ -59,6 +68,7 @@ impl AnalyzeOptions {
             per_check: self.per_check,
             k_max: self.k_max,
             vc_budget: base.vc_budget,
+            jobs: self.jobs.max(1),
         }
     }
 }

@@ -78,7 +78,10 @@ pub struct ServerConfig {
     pub job_queue_capacity: usize,
     /// Capacity of the analysis LRU cache.
     pub cache_capacity: usize,
-    /// Budgets for `POST /analyze` runs.
+    /// Budgets for `POST /analyze` runs. `analysis.jobs` doubles as the
+    /// per-job parallelism ceiling for the `jobs` field of typed
+    /// `POST /v1/analyses` requests: the total CPU budget of the
+    /// analysis tier is `analysis_workers × jobs`.
     pub analysis: AnalysisConfig,
     /// Path of the analysis-cache spill segment. When set, finished
     /// analyses are appended there and replayed at the next bind, so

@@ -28,6 +28,7 @@ fn main() {
         per_check: Duration::from_millis(300),
         k_max: 6,
         vc_budget: 1_000_000,
+        jobs: 1,
     };
     for id in 0..repo.len() {
         let rec = analyze_instance(&repo.entry(id).hypergraph, &cfg);

@@ -21,6 +21,7 @@ fn main() {
         per_check: Duration::from_millis(100),
         k_max: 5,
         vc_budget: 500_000,
+        jobs: 1,
     };
     for spec in TABLE1 {
         let scale = 2.0 / spec.count as f64;

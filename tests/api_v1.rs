@@ -175,6 +175,35 @@ fn structured_errors_have_stable_codes() {
     let mut degenerate = AnalyzeRequest::hd("e(a,b).");
     degenerate.timeout_ms = Some(0);
     expect_api_error(client.submit(&degenerate), ErrorCode::InvalidParam);
+    expect_api_error(
+        client.submit(&AnalyzeRequest::hd("e(a,b).").with_jobs(0)),
+        ErrorCode::InvalidParam,
+    );
+
+    shutdown.shutdown();
+    join.join().unwrap();
+}
+
+/// The `jobs` override: a parallel analysis request answers with the
+/// same widths as the default serial one (the engine's determinism
+/// guarantee), and the server clamps the knob rather than rejecting
+/// over-asks. (The test server runs with the default ceiling of 1, so
+/// this also covers the clamp-to-serial path.)
+#[test]
+fn jobs_override_is_clamped_and_answers_identically() {
+    let (join, addr, shutdown) = start_server();
+    let client = Client::new(addr);
+
+    let doc = "r(a,b),s(b,c),t(c,a),u(c,d),v(d,e).";
+    let serial = client.analyze(&AnalyzeRequest::hd(doc), WAIT).unwrap();
+    let parallel = client
+        .analyze(&AnalyzeRequest::hd(doc).with_jobs(64), WAIT)
+        .unwrap();
+    let s = serial.result.as_ref().expect("serial report");
+    let p = parallel.result.as_ref().expect("parallel report");
+    assert_eq!(s.hw_exact, p.hw_exact, "jobs must not change the answer");
+    assert_eq!(s.hw_upper, p.hw_upper);
+    assert_eq!(s.hw_lower, p.hw_lower);
 
     shutdown.shutdown();
     join.join().unwrap();

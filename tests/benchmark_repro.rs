@@ -17,6 +17,7 @@ fn config() -> AnalysisConfig {
         per_check: Duration::from_millis(500),
         k_max: 6,
         vc_budget: 1_000_000,
+        jobs: 1,
     }
 }
 

@@ -15,6 +15,7 @@ fn tiny() -> ExperimentConfig {
         vc_budget: 300_000,
         ghd_timeout: Duration::from_millis(150),
         threads: 2,
+        jobs: 1,
     }
 }
 
