@@ -27,6 +27,9 @@ pub enum ErrorCode {
     MethodNotAllowed,
     /// The request body exceeds the service limit.
     PayloadTooLarge,
+    /// The client did not deliver its request within the read deadline
+    /// (slowloris guard).
+    RequestTimeout,
     /// The bounded analysis queue is at capacity; retry later.
     QueueFull,
     /// The service is shutting down.
@@ -46,6 +49,7 @@ impl ErrorCode {
             ErrorCode::NotFound => "not_found",
             ErrorCode::MethodNotAllowed => "method_not_allowed",
             ErrorCode::PayloadTooLarge => "payload_too_large",
+            ErrorCode::RequestTimeout => "request_timeout",
             ErrorCode::QueueFull => "queue_full",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
@@ -62,6 +66,7 @@ impl ErrorCode {
             "not_found" => ErrorCode::NotFound,
             "method_not_allowed" => ErrorCode::MethodNotAllowed,
             "payload_too_large" => ErrorCode::PayloadTooLarge,
+            "request_timeout" => ErrorCode::RequestTimeout,
             "queue_full" => ErrorCode::QueueFull,
             "shutting_down" => ErrorCode::ShuttingDown,
             "internal" => ErrorCode::Internal,
@@ -79,6 +84,7 @@ impl ErrorCode {
             ErrorCode::NotFound => 404,
             ErrorCode::MethodNotAllowed => 405,
             ErrorCode::PayloadTooLarge => 413,
+            ErrorCode::RequestTimeout => 408,
             ErrorCode::QueueFull | ErrorCode::ShuttingDown => 503,
             ErrorCode::Internal => 500,
         }
@@ -170,6 +176,7 @@ mod tests {
             ErrorCode::NotFound,
             ErrorCode::MethodNotAllowed,
             ErrorCode::PayloadTooLarge,
+            ErrorCode::RequestTimeout,
             ErrorCode::QueueFull,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
@@ -177,7 +184,7 @@ mod tests {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
             assert!(matches!(
                 code.http_status(),
-                400 | 404 | 405 | 413 | 500 | 503
+                400 | 404 | 405 | 408 | 413 | 500 | 503
             ));
         }
         assert_eq!(ErrorCode::parse("nope"), None);

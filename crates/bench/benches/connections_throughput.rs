@@ -1,0 +1,179 @@
+//! Serving-path throughput: N concurrent keep-alive clients issuing
+//! repository reads against the epoll reactor vs the legacy
+//! thread-per-connection (`--blocking-io`) engine.
+//!
+//! Both variants serve the identical repository and answer the identical
+//! requests; they differ only in the connection engine and its thread
+//! budget. The reactor runs **2 event loops**; the blocking baseline
+//! gets **8 connection threads** — the CI perf job (`BENCH_PR5.json`)
+//! asserts the reactor sustains at least baseline throughput with a
+//! quarter of the serving threads at 64 concurrent connections.
+//!
+//! The clients play each engine's best game, which is exactly the
+//! real-world contrast: against the reactor they hold one keep-alive
+//! connection each; against the blocking engine — which answers
+//! `Connection: close` and hangs up after every response — they must
+//! reconnect per request. `CRITERION_SHIM_JOBS` is set around each
+//! variant to the serving-thread count, so the emitted JSON lines are
+//! self-describing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hyperbench_core::builder::hypergraph_from_edges;
+use hyperbench_repo::Repository;
+use hyperbench_server::{Server, ServerConfig, ShutdownHandle};
+
+/// Concurrent client connections (the issue's acceptance point).
+const CLIENTS: usize = 64;
+/// Requests each client issues per measured round.
+const REQUESTS_PER_CLIENT: usize = 8;
+/// Blocking-baseline connection threads.
+const BLOCKING_THREADS: usize = 8;
+/// Reactor event loops (≤ half the baseline per the acceptance bar).
+const REACTOR_THREADS: usize = 2;
+
+fn repo() -> Repository {
+    let mut repo = Repository::new();
+    for i in 0..16 {
+        let a = format!("a{i}");
+        let b = format!("b{i}");
+        let c = format!("c{i}");
+        repo.insert(
+            hypergraph_from_edges(&[
+                ("R", &[a.as_str(), b.as_str()]),
+                ("S", &[b.as_str(), c.as_str()]),
+                ("T", &[c.as_str(), a.as_str()]),
+            ]),
+            if i % 2 == 0 { "SPARQL" } else { "TPC-H" },
+            "CQ Application",
+        );
+    }
+    repo
+}
+
+fn start(blocking: bool) -> (std::thread::JoinHandle<()>, SocketAddr, ShutdownHandle) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: BLOCKING_THREADS,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(repo(), &config)
+        .expect("bind ephemeral port")
+        .with_blocking_io(blocking)
+        .with_reactor_threads(REACTOR_THREADS);
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (join, addr, shutdown)
+}
+
+const REQUEST_KEEP_ALIVE: &[u8] = b"GET /v1/hypergraphs/3 HTTP/1.1\r\nHost: bench\r\n\r\n";
+const REQUEST_CLOSE: &[u8] =
+    b"GET /v1/hypergraphs/3 HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n";
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+}
+
+/// One keep-alive request/response exchange on an open connection,
+/// reading in chunks through a reusable buffer (a response is fully
+/// framed by `Content-Length`, and without pipelined requests nothing
+/// trails it, so the buffer is consumed whole each exchange).
+fn exchange_keep_alive(stream: &mut TcpStream, buf: &mut Vec<u8>) {
+    stream.write_all(REQUEST_KEEP_ALIVE).expect("send");
+    buf.clear();
+    let mut scratch = [0u8; 4096];
+    let (head_end, total) = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head_end = pos + 4;
+            let head_text = std::str::from_utf8(&buf[..head_end]).expect("UTF-8 head");
+            assert!(
+                head_text.starts_with("HTTP/1.1 200"),
+                "bad status: {head_text}"
+            );
+            let len: usize = head_text
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("Content-Length");
+            break (head_end, head_end + len);
+        }
+        let n = stream.read(&mut scratch).expect("read head");
+        assert!(n > 0, "connection closed mid-response");
+        buf.extend_from_slice(&scratch[..n]);
+    };
+    while buf.len() < total {
+        let n = stream.read(&mut scratch).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&scratch[..n]);
+    }
+    assert_eq!(buf.len(), total, "unexpected trailing bytes");
+    let _ = head_end;
+}
+
+/// One request over a fresh connection (the blocking engine hangs up
+/// after every response, so this is its only mode of use).
+fn exchange_reconnect(addr: SocketAddr) {
+    let mut stream = connect(addr);
+    stream.write_all(REQUEST_CLOSE).expect("send");
+    let mut out = Vec::with_capacity(512);
+    stream.read_to_end(&mut out).expect("read");
+    assert!(out.starts_with(b"HTTP/1.1 200"), "bad status: {out:?}");
+}
+
+/// One measured round: `CLIENTS` threads, each issuing
+/// `REQUESTS_PER_CLIENT` reads — keep-alive against the reactor,
+/// reconnect-per-request against the blocking engine.
+fn round(addr: SocketAddr, keep_alive: bool) -> usize {
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(CLIENTS);
+        for _ in 0..CLIENTS {
+            handles.push(scope.spawn(move || {
+                if keep_alive {
+                    let mut stream = connect(addr);
+                    let mut buf = Vec::with_capacity(4096);
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        exchange_keep_alive(&mut stream, &mut buf);
+                    }
+                } else {
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        exchange_reconnect(addr);
+                    }
+                }
+                REQUESTS_PER_CLIENT
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("connections_throughput");
+    g.sample_size(8);
+
+    let (join, addr, shutdown) = start(false);
+    std::env::set_var("CRITERION_SHIM_JOBS", REACTOR_THREADS.to_string());
+    g.bench_function("reactor", |b| b.iter(|| black_box(round(addr, true))));
+    shutdown.shutdown();
+    join.join().expect("reactor server");
+
+    let (join, addr, shutdown) = start(true);
+    std::env::set_var("CRITERION_SHIM_JOBS", BLOCKING_THREADS.to_string());
+    g.bench_function("blocking", |b| b.iter(|| black_box(round(addr, false))));
+    shutdown.shutdown();
+    join.join().expect("blocking server");
+
+    std::env::remove_var("CRITERION_SHIM_JOBS");
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

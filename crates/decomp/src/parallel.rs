@@ -3,11 +3,12 @@
 //! [`Options`] knob that selects the degree of parallelism.
 //!
 //! Zero external dependencies by construction (the build has no registry
-//! access): the pool is per-worker `Mutex<VecDeque>` deques — owners push
-//! and pop LIFO at the front for depth-first locality, thieves steal FIFO
-//! from the back where the biggest subtrees sit — and the memo maps are
-//! striped `Mutex<HashMap>` shards addressed by a 64-bit FNV-1a
-//! fingerprint of the subproblem.
+//! access): the pool is per-worker lock-free **Chase–Lev deques** — the
+//! owner pushes and pops LIFO at the bottom for
+//! depth-first locality without any synchronization beyond fences, and
+//! thieves CAS-steal FIFO from the top where the biggest subtrees sit —
+//! and the memo maps are striped `Mutex<HashMap>` shards addressed by a
+//! 64-bit FNV-1a fingerprint of the subproblem.
 //!
 //! The paper's tool parallelizes exactly this search ("the
 //! implementation … makes use of parallelism for the check if ghw ≤ k",
@@ -23,8 +24,8 @@
 //! as serial runs and a witness that passes `decomp::validate`; only the
 //! particular witness tree may differ between runs.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -90,30 +91,176 @@ pub(crate) const FORK_MAX_DEPTH: usize = 2;
 /// ends up executing it, so nested forks land on that worker's deque.
 type Task<'env> = Box<dyn FnOnce(&WorkerCtx<'_, 'env>) + Send + 'env>;
 
+/// Capacity of each worker's deque. Fork fanout is the number of
+/// components under one separator and forking is depth-gated
+/// ([`FORK_MAX_DEPTH`]), so per-worker backlogs stay tiny; an overflowing
+/// push falls back to running the task inline on the owner — identical
+/// semantics, merely not stealable.
+const DEQUE_CAP: usize = 1024;
+
+/// Outcome of a steal attempt.
+enum Steal<T> {
+    /// Took the oldest task.
+    Taken(T),
+    /// The deque was empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+}
+
+/// A fixed-capacity lock-free Chase–Lev work-stealing deque (Chase &
+/// Lev, SPAA 2005, with the memory orderings of Lê et al., PPoPP 2013).
+///
+/// The *owner* pushes and pops at the bottom (LIFO — depth-first
+/// locality, no CAS on the fast path); *thieves* steal at the top
+/// (FIFO — the oldest, biggest subtrees) with a single CAS. Tasks are
+/// double-boxed so each slot is one thin pointer, which the slots store
+/// atomically; ownership transfer is mediated entirely by the
+/// `top`/`bottom` protocol. Indices grow monotonically (slot = index
+/// mod capacity), so there is no ABA.
+struct ChaseLev<'env> {
+    /// Next index a thief steals from. Only ever incremented.
+    top: AtomicIsize,
+    /// Next index the owner pushes to. Owner-written only.
+    bottom: AtomicIsize,
+    /// The circular slot array (length [`DEQUE_CAP`], a power of two).
+    slots: Box<[AtomicPtr<Task<'env>>]>,
+}
+
+// SAFETY: the raw task pointers are only dereferenced by whichever
+// thread won ownership through the top/bottom protocol below, and the
+// tasks themselves are `Send`.
+unsafe impl Send for ChaseLev<'_> {}
+unsafe impl Sync for ChaseLev<'_> {}
+
+impl<'env> ChaseLev<'env> {
+    fn new() -> ChaseLev<'env> {
+        assert!(DEQUE_CAP.is_power_of_two());
+        ChaseLev {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: (0..DEQUE_CAP)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }
+    }
+
+    fn slot(&self, index: isize) -> &AtomicPtr<Task<'env>> {
+        &self.slots[index as usize & (DEQUE_CAP - 1)]
+    }
+
+    /// Owner-only: pushes at the bottom. Returns the task when the deque
+    /// is full so the caller can run it inline instead.
+    fn push(&self, task: Task<'env>) -> Result<(), Task<'env>> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= DEQUE_CAP as isize {
+            return Err(task);
+        }
+        let ptr = Box::into_raw(Box::new(task));
+        self.slot(b).store(ptr, Ordering::Relaxed);
+        // The slot write must be visible before the new bottom is.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Owner-only: pops at the bottom (the task pushed most recently).
+    fn pop(&self) -> Option<Task<'env>> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // Publish the speculative bottom before reading top, so a
+        // concurrent thief and this pop cannot both take the last task.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let ptr = self.slot(b).load(Ordering::Relaxed);
+            if t == b {
+                // Last task: race the thieves for it through top.
+                if self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // A thief won; restore bottom past the taken slot.
+                    self.bottom.store(b + 1, Ordering::Relaxed);
+                    return None;
+                }
+                self.bottom.store(b + 1, Ordering::Relaxed);
+            }
+            // SAFETY: the protocol above gave this thread exclusive
+            // ownership of the pointer in slot `b`.
+            Some(*unsafe { Box::from_raw(ptr) })
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: steals at the top (the oldest task).
+    fn steal(&self) -> Steal<Task<'env>> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let ptr = self.slot(t).load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return Steal::Retry;
+            }
+            // SAFETY: winning the CAS transferred ownership of slot `t`;
+            // the slot cannot be overwritten until top has moved past it
+            // (the owner's push checks `bottom - top < capacity`).
+            Steal::Taken(*unsafe { Box::from_raw(ptr) })
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+impl Drop for ChaseLev<'_> {
+    fn drop(&mut self) {
+        // `&mut self` proves no concurrent owner or thief exists; free
+        // whatever tasks were never executed (only reachable after a
+        // panic unwound past a fork).
+        while self.pop().is_some() {}
+    }
+}
+
 struct Shared<'env> {
-    queues: Vec<Mutex<VecDeque<Task<'env>>>>,
+    queues: Vec<ChaseLev<'env>>,
     shutdown: AtomicBool,
 }
 
 impl<'env> Shared<'env> {
     fn new(workers: usize) -> Shared<'env> {
         Shared {
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queues: (0..workers).map(|_| ChaseLev::new()).collect(),
             shutdown: AtomicBool::new(false),
         }
     }
 
-    /// Pops from `index`'s own deque front (LIFO), else steals from the
-    /// back of the first non-empty sibling deque (FIFO).
+    /// Pops from `index`'s own deque bottom (LIFO), else steals from the
+    /// top of the first non-empty sibling deque (FIFO). A lost steal
+    /// race is retried on the same victim: retries only happen when some
+    /// other thread took a task, so the system as a whole is making
+    /// progress.
     fn find_task(&self, index: usize) -> Option<Task<'env>> {
-        if let Some(t) = self.queues[index].lock().expect("pool queue").pop_front() {
+        if let Some(t) = self.queues[index].pop() {
             return Some(t);
         }
         let n = self.queues.len();
         for off in 1..n {
             let victim = (index + off) % n;
-            if let Some(t) = self.queues[victim].lock().expect("pool queue").pop_back() {
-                return Some(t);
+            loop {
+                match self.queues[victim].steal() {
+                    Steal::Taken(t) => return Some(t),
+                    Steal::Empty => break,
+                    Steal::Retry => std::hint::spin_loop(),
+                }
             }
         }
         None
@@ -160,14 +307,19 @@ impl<'p, 'env> WorkerCtx<'p, 'env> {
             remaining: AtomicUsize::new(rest.len()),
         });
         {
-            let mut q = self.shared.queues[self.index].lock().expect("pool queue");
+            let q = &self.shared.queues[self.index];
             for (i, f) in rest.into_iter().enumerate() {
                 let slots = Arc::clone(&slots);
-                q.push_front(Box::new(move |ctx: &WorkerCtx<'_, 'env>| {
+                let task: Task<'env> = Box::new(move |ctx: &WorkerCtx<'_, 'env>| {
                     let v = f(ctx);
                     *slots.filled[i].lock().expect("fork slot") = Some(v);
                     slots.remaining.fetch_sub(1, Ordering::Release);
-                }));
+                });
+                if let Err(task) = q.push(task) {
+                    // Deque full (absurd fanout): run in place — same
+                    // result, just not stealable.
+                    task(self);
+                }
             }
         }
         let mut out: Vec<T> = Vec::with_capacity(slots.filled.len() + 1);
@@ -449,6 +601,125 @@ mod tests {
                 ctx.fork_join((0..8).map(|i| move |_: &WorkerCtx<'_, '_>| i).collect())
             });
             assert_eq!(v.len(), 8);
+        }
+    }
+
+    #[test]
+    fn chase_lev_owner_is_lifo_thief_is_fifo() {
+        let shared = Shared::new(1);
+        let ctx = WorkerCtx {
+            shared: &shared,
+            index: 0,
+        };
+        let log: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let q = ChaseLev::new();
+        for i in 0..4 {
+            let log = Arc::clone(&log);
+            q.push(Box::new(move |_: &WorkerCtx<'_, '_>| {
+                log.lock().unwrap().push(i)
+            }))
+            .ok()
+            .expect("push within capacity");
+        }
+        // A thief takes the *oldest* task (FIFO)…
+        match q.steal() {
+            Steal::Taken(t) => t(&ctx),
+            _ => panic!("steal from a non-empty deque"),
+        }
+        // …the owner drains the rest newest-first (LIFO).
+        while let Some(t) = q.pop() {
+            t(&ctx);
+        }
+        assert_eq!(*log.lock().unwrap(), vec![0, 3, 2, 1]);
+        assert!(q.pop().is_none());
+        assert!(matches!(q.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn chase_lev_overflow_returns_the_task() {
+        let q = ChaseLev::new();
+        for _ in 0..DEQUE_CAP {
+            q.push(Box::new(|_: &WorkerCtx<'_, '_>| {}))
+                .ok()
+                .expect("push within capacity");
+        }
+        assert!(q.push(Box::new(|_: &WorkerCtx<'_, '_>| {})).is_err());
+        // Popping one frees a slot again.
+        assert!(q.pop().is_some());
+        assert!(q.push(Box::new(|_: &WorkerCtx<'_, '_>| {})).is_ok());
+    }
+
+    #[test]
+    fn chase_lev_concurrent_steals_take_every_task_once() {
+        // 4 thieves race the owner for 4096 counter increments; every
+        // task must run exactly once whoever wins each race.
+        let q = Arc::new(ChaseLev::new());
+        let shared = Shared::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let produced = 4096usize;
+        std::thread::scope(|s| {
+            let stop = Arc::new(AtomicBool::new(false));
+            for _ in 0..4 {
+                let q = Arc::clone(&q);
+                let stop = Arc::clone(&stop);
+                let shared = &shared;
+                s.spawn(move || {
+                    let ctx = WorkerCtx { shared, index: 0 };
+                    loop {
+                        match q.steal() {
+                            Steal::Taken(t) => t(&ctx),
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => {
+                                if stop.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+            let ctx = WorkerCtx {
+                shared: &shared,
+                index: 0,
+            };
+            let mut pending = 0usize;
+            for _ in 0..produced {
+                let counter = Arc::clone(&counter);
+                let task: Task<'_> = Box::new(move |_: &WorkerCtx<'_, '_>| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                match q.push(task) {
+                    Ok(()) => pending += 1,
+                    Err(task) => task(&ctx),
+                }
+                // Interleave owner pops with thief steals.
+                if pending.is_multiple_of(3) {
+                    if let Some(t) = q.pop() {
+                        t(&ctx);
+                    }
+                }
+            }
+            while let Some(t) = q.pop() {
+                t(&ctx);
+            }
+            stop.store(true, Ordering::Release);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), produced);
+    }
+
+    #[test]
+    fn fork_join_survives_deque_overflow() {
+        // 2000 siblings overflow the 1024-slot deque; the overflow runs
+        // inline and every result still lands in input order.
+        for jobs in [1usize, 4] {
+            let out = run_pool(jobs, |ctx| {
+                let thunks: Vec<_> = (0..2000)
+                    .map(|i| move |_: &WorkerCtx<'_, '_>| i * 3)
+                    .collect();
+                ctx.fork_join(thunks)
+            });
+            assert_eq!(out, (0..2000).map(|i| i * 3).collect::<Vec<_>>());
         }
     }
 

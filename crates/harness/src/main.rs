@@ -30,13 +30,18 @@ USAGE:
   hyperbench pack --dir DIR [--out FILE]
   hyperbench serve (--dir DIR | --pack FILE) [--addr HOST:PORT] [--threads N]
              [--workers N] [--queue N] [--cache N] [--timeout-ms N] [--kmax N]
-             [--jobs N] [--spill FILE|off]
+             [--jobs N] [--spill FILE|off] [--reactor-threads N] [--blocking-io]
   hyperbench help
 
 `--jobs N` sets the decomposition engine's per-search worker count
 (1 = serial, 0 = all cores). Parallel searches report the same widths
 as serial ones; for `serve` the flag is also the ceiling for the
 `jobs` field of `POST /v1/analyses` requests.
+
+`serve` defaults to the event-driven epoll reactor with
+`max(1, threads / 2)` event loops (override with `--reactor-threads N`);
+`--blocking-io` keeps the legacy thread-per-connection engine for one
+more release.
 ";
 
 fn main() {
@@ -52,6 +57,11 @@ fn main() {
     std::process::exit(code);
 }
 
+/// Flags that are switches: present means "true", and they never
+/// consume the following argument. Everything else keeps the historical
+/// "--flag VALUE" shape with its clear missing-value error.
+const BOOLEAN_FLAGS: &[&str] = &["blocking-io"];
+
 struct Flags {
     values: Vec<(String, String)>,
     positional: Vec<String>,
@@ -65,6 +75,11 @@ impl Flags {
         while i < args.len() {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    values.push((name.to_string(), "true".to_string()));
+                    i += 1;
+                    continue;
+                }
                 let v = args
                     .get(i + 1)
                     .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -281,10 +296,22 @@ fn run(args: &[String]) -> Result<(), String> {
                 },
                 spill,
             };
+            let serve_opts = hyperbench_server::ServeOptions {
+                blocking_io: matches!(flags.get("blocking-io"), Some("true") | Some("1")),
+                reactor_threads: match flags.get("reactor-threads") {
+                    None => None,
+                    Some(v) => Some(
+                        v.parse()
+                            .map_err(|_| format!("invalid value for --reactor-threads: {v}"))?,
+                    ),
+                },
+            };
             match (dir, pack) {
                 (Some(_), Some(_)) => Err("--dir and --pack are mutually exclusive".to_string()),
-                (Some(dir), None) => hyperbench_server::serve_dir(&dir, &config),
-                (None, Some(pack)) => hyperbench_server::serve_pack(&pack, &config),
+                (Some(dir), None) => hyperbench_server::serve_dir_opts(&dir, &config, &serve_opts),
+                (None, Some(pack)) => {
+                    hyperbench_server::serve_pack_opts(&pack, &config, &serve_opts)
+                }
                 (None, None) => Err("--dir DIR or --pack FILE required".to_string()),
             }
         }

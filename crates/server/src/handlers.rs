@@ -23,7 +23,7 @@ use hyperbench_core::Hypergraph;
 use hyperbench_repo::{AnalysisConfig, AnalysisRecord, Entry, Filter, Repository, StoreError};
 
 use crate::cache::{canonicalize, content_hash, AnalysisCache, JobResult};
-use crate::http::{Request, Response};
+use crate::http::{ParseError, Request, Response};
 use crate::jobs::{AnalyzeOptions, JobId, JobStatus, JobSystem, SubmitError};
 use crate::router::Params;
 
@@ -57,6 +57,42 @@ pub struct ServerState {
 /// Renders a structured error to its HTTP response.
 pub fn error_response(err: ApiError) -> Response {
     Response::json(err.http_status(), err.to_json())
+}
+
+/// The structured response for a request that could not be parsed, or
+/// `None` when there is nobody to answer (the peer disconnected before
+/// sending anything). One mapping shared by the blocking path and the
+/// reactor, so the two IO engines answer protocol abuse identically:
+/// oversized heads/bodies → 413, a request not delivered within the
+/// read deadline (slowloris) → 408, malformed bytes → 400.
+pub fn parse_error_response(e: &ParseError) -> Option<Response> {
+    let err = match e {
+        ParseError::ConnectionClosed => return None,
+        ParseError::BadMethod(m) => ApiError::new(
+            ErrorCode::MethodNotAllowed,
+            format!("method {m:?} not supported"),
+        ),
+        ParseError::BodyTooLarge(n) => ApiError::new(
+            ErrorCode::PayloadTooLarge,
+            format!(
+                "body of {n} bytes exceeds the {} byte limit",
+                crate::http::MAX_BODY
+            ),
+        ),
+        ParseError::HeadTooLarge(n) => ApiError::new(
+            ErrorCode::PayloadTooLarge,
+            format!(
+                "request head of {n} bytes exceeds the {} byte limit",
+                crate::http::MAX_HEAD
+            ),
+        ),
+        ParseError::TimedOut => ApiError::new(
+            ErrorCode::RequestTimeout,
+            "request not delivered within the read deadline",
+        ),
+        e @ ParseError::Malformed(_) => ApiError::bad_request(e.to_string()),
+    };
+    Some(error_response(err))
 }
 
 /// A paged-backend read failure (I/O error, bad page checksum) as a

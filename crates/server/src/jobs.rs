@@ -333,14 +333,22 @@ impl JobSystem {
     }
 
     /// Blocks until the job leaves the queued/running states (test and
-    /// example helper; HTTP clients poll instead).
+    /// example helper; HTTP clients poll instead). Woken by the worker's
+    /// completion notification rather than a fixed-interval sleep; the
+    /// timeout only guards against a wakeup lost to a racing status
+    /// change.
     pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        let (lock, cvar) = &*self.state;
+        let mut guard = lock.lock().expect("job lock");
         loop {
-            match self.status(id) {
+            match guard.statuses.get(&id) {
                 Some(JobStatus::Queued) | Some(JobStatus::Running) => {
-                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    let (g, _) = cvar
+                        .wait_timeout(guard, Duration::from_millis(50))
+                        .expect("job lock");
+                    guard = g;
                 }
-                other => return other,
+                other => return other.cloned(),
             }
         }
     }
@@ -429,6 +437,9 @@ fn worker_loop(
                 );
             }
         }
+        // The result landed: wake anything blocked in `wait` (idle
+        // workers also wake, see an empty queue, and go back to sleep).
+        cvar.notify_all();
     }
 }
 

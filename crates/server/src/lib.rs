@@ -4,7 +4,14 @@
 //! the serving layer the paper exposes at `hyperbench.dbai.tuwien.ac.at`
 //! (§5), rebuilt on `std::net` with no external dependencies:
 //!
-//! * a fixed thread-pool accepts and handles connections ([`pool`]),
+//! * an event-driven epoll [`reactor`] owns the connection hot path:
+//!   a few event-loop threads drive non-blocking sockets through an
+//!   incremental HTTP parser and buffered writes, with HTTP/1.1
+//!   keep-alive and pipelining — concurrent-connection capacity is no
+//!   longer bounded by thread count (the legacy thread-per-connection
+//!   path survives one release behind `--blocking-io`),
+//! * a worker-side thread pool ([`pool`]) runs the slow handlers the
+//!   reactor offloads (POST bodies: `.hg` parsing, analysis submission),
 //! * a hand-rolled router maps paths to handlers ([`router`]),
 //! * the wire contract — typed DTOs, the JSON codec, cursors, and error
 //!   codes — lives in the shared `hyperbench-api` crate (re-exported
@@ -44,6 +51,8 @@ pub mod handlers;
 pub mod http;
 pub mod jobs;
 pub mod pool;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod router;
 
 pub use hyperbench_api::json;
@@ -58,8 +67,8 @@ use hyperbench_api::{ApiError, ErrorCode};
 use hyperbench_repo::{AnalysisConfig, Repository};
 
 use cache::AnalysisCache;
-use handlers::{error_response, ServerState};
-use http::{Method, ParseError, Request, Response};
+use handlers::{error_response, parse_error_response, ServerState};
+use http::{Method, Request, Response};
 use jobs::JobSystem;
 use pool::ThreadPool;
 use router::{RouteMatch, Router};
@@ -70,7 +79,11 @@ pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:8080`. Port 0 picks an ephemeral
     /// port (see [`Server::local_addr`]).
     pub addr: String,
-    /// Connection-handling threads.
+    /// Serving-thread budget. The default event-driven path runs
+    /// `max(1, threads / 2)` reactor event loops plus that many offload
+    /// workers (override with [`Server::with_reactor_threads`]); the
+    /// legacy `--blocking-io` path spawns exactly this many
+    /// thread-per-connection handlers.
     pub threads: usize,
     /// Background analysis workers.
     pub analysis_workers: usize,
@@ -105,7 +118,19 @@ impl Default for ServerConfig {
     }
 }
 
-enum Endpoint {
+/// Which connection-handling engine [`Server::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// The epoll reactor: event-loop threads, non-blocking sockets,
+    /// keep-alive. The default on Linux.
+    Reactor,
+    /// The legacy thread-per-connection pool (one request per
+    /// connection). Kept one release behind `--blocking-io`; also the
+    /// fallback on non-Linux targets.
+    Blocking,
+}
+
+pub(crate) enum Endpoint {
     // Versioned /v1 surface.
     V1List,
     V1Detail,
@@ -144,6 +169,20 @@ fn build_router() -> Router<Endpoint> {
     router
 }
 
+/// Resolves the default IO mode: the reactor, unless the platform lacks
+/// epoll or the `HYPERBENCH_BLOCKING_IO` environment variable opts the
+/// process out (how CI keeps the legacy path green without touching the
+/// test suites).
+fn default_io_mode() -> IoMode {
+    if cfg!(not(target_os = "linux")) {
+        return IoMode::Blocking;
+    }
+    match std::env::var("HYPERBENCH_BLOCKING_IO") {
+        Ok(v) if !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false") => IoMode::Blocking,
+        _ => IoMode::Reactor,
+    }
+}
+
 /// A bound, not-yet-running server: [`Server::bind`], then the blocking
 /// [`Server::run`] (tests run it on a thread and stop it through a
 /// [`ShutdownHandle`]).
@@ -152,13 +191,17 @@ pub struct Server {
     local_addr: SocketAddr,
     state: Arc<ServerState>,
     router: Arc<Router<Endpoint>>,
-    pool: ThreadPool,
     shutdown: Arc<AtomicBool>,
     warm_cache_entries: usize,
+    threads: usize,
+    io_mode: IoMode,
+    reactor_threads: usize,
+    read_deadline: Duration,
+    idle_timeout: Duration,
 }
 
 impl Server {
-    /// Binds the listener and starts the worker pools (but does not
+    /// Binds the listener and starts the analysis workers (but does not
     /// accept yet). With [`ServerConfig::spill`] set, the spill segment
     /// is recovered (valid prefix of a torn file), compacted, and
     /// replayed into the analysis cache before the first request.
@@ -223,9 +266,13 @@ impl Server {
                 started: Instant::now(),
             }),
             router: Arc::new(build_router()),
-            pool: ThreadPool::new(config.threads),
             shutdown: Arc::new(AtomicBool::new(false)),
             warm_cache_entries,
+            threads: config.threads.max(1),
+            io_mode: default_io_mode(),
+            reactor_threads: (config.threads / 2).max(1),
+            read_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
         })
     }
 
@@ -240,6 +287,44 @@ impl Server {
         self.warm_cache_entries
     }
 
+    /// The IO mode [`Server::run`] will use.
+    pub fn io_mode(&self) -> IoMode {
+        self.io_mode
+    }
+
+    /// Forces the legacy thread-per-connection path (or back to the
+    /// reactor with `false`; ignored off Linux, where blocking IO is the
+    /// only engine).
+    pub fn with_blocking_io(mut self, blocking: bool) -> Server {
+        self.io_mode = if blocking || cfg!(not(target_os = "linux")) {
+            IoMode::Blocking
+        } else {
+            IoMode::Reactor
+        };
+        self
+    }
+
+    /// Overrides the number of reactor event-loop threads (default:
+    /// `max(1, config.threads / 2)`).
+    pub fn with_reactor_threads(mut self, threads: usize) -> Server {
+        self.reactor_threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the per-request read deadline (reactor path): a client
+    /// must deliver each full request within this much time of its first
+    /// byte or it is answered a structured 408 and disconnected.
+    pub fn with_read_deadline(mut self, deadline: Duration) -> Server {
+        self.read_deadline = deadline;
+        self
+    }
+
+    /// Overrides the keep-alive idle timeout (reactor path).
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Server {
+        self.idle_timeout = timeout;
+        self
+    }
+
     /// A handle that can stop [`Server::run`] from another thread.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
@@ -248,14 +333,53 @@ impl Server {
         }
     }
 
-    /// Accepts connections until a [`ShutdownHandle`] fires, dispatching
-    /// each onto the connection pool. Connections beyond the pending
-    /// bound are answered 503 on the accept thread instead of queueing
-    /// without limit — otherwise a stalled pool would accumulate open
-    /// sockets until fd exhaustion.
+    /// Serves until a [`ShutdownHandle`] fires: the epoll reactor by
+    /// default, the legacy blocking pool when selected (see [`IoMode`]).
     pub fn run(self) {
+        match self.io_mode {
+            IoMode::Reactor => self.run_reactor(),
+            IoMode::Blocking => self.run_blocking(),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn run_reactor(self) {
+        let opts = reactor::ReactorOptions {
+            threads: self.reactor_threads,
+            read_deadline: self.read_deadline,
+            idle_timeout: self.idle_timeout,
+        };
+        // The offload pool is the worker side of the reactor: it runs
+        // the POST handlers (body parsing, analysis submission) so an
+        // expensive parse never stalls an event loop.
+        let offload = ThreadPool::new(self.reactor_threads);
+        if let Err(e) = reactor::run_reactor(
+            self.listener,
+            self.state,
+            self.router,
+            self.shutdown,
+            offload,
+            opts,
+        ) {
+            eprintln!("hyperbench-server: reactor failed: {e}");
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn run_reactor(self) {
+        self.run_blocking()
+    }
+
+    /// Accepts connections until a [`ShutdownHandle`] fires, dispatching
+    /// each onto a fixed connection pool — the pre-reactor engine, kept
+    /// one release behind `--blocking-io`. Connections beyond the
+    /// pending bound are answered 503 on the accept thread instead of
+    /// queueing without limit — otherwise a stalled pool would
+    /// accumulate open sockets until fd exhaustion.
+    pub fn run_blocking(self) {
+        let pool = ThreadPool::new(self.threads);
         let pending = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        let max_pending = self.pool.size() * 64;
+        let max_pending = pool.size() * 64;
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -275,7 +399,7 @@ impl Server {
                     let state = Arc::clone(&self.state);
                     let router = Arc::clone(&self.router);
                     let guard = PendingGuard(Arc::clone(&pending));
-                    self.pool.execute(move || {
+                    pool.execute(move || {
                         // The guard releases the slot even if handling
                         // panics (the pool catches the unwind).
                         let _guard = guard;
@@ -306,7 +430,7 @@ impl Drop for PendingGuard {
 }
 
 /// Stops a running server: sets the flag and pokes the listener so the
-/// blocking `accept` wakes up.
+/// blocking `accept` (or the reactor's listener loop) wakes up.
 #[derive(Clone)]
 pub struct ShutdownHandle {
     flag: Arc<AtomicBool>,
@@ -324,30 +448,29 @@ impl ShutdownHandle {
 
 fn handle_connection(stream: TcpStream, state: &ServerState, router: &Router<Endpoint>) {
     // Slowloris guard: a connection gets a bounded window to deliver its
-    // request.
+    // request (each read is also individually bounded by the socket
+    // timeout, mapping to a structured 408).
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let response = match http::read_request(&stream) {
         Ok(request) => dispatch(state, router, &request),
-        Err(ParseError::ConnectionClosed) => return,
-        Err(ParseError::BadMethod(m)) => error_response(ApiError::new(
-            ErrorCode::MethodNotAllowed,
-            format!("method {m:?} not supported"),
-        )),
-        Err(ParseError::BodyTooLarge(n)) => error_response(ApiError::new(
-            ErrorCode::PayloadTooLarge,
-            format!(
-                "body of {n} bytes exceeds the {} byte limit",
-                http::MAX_BODY
-            ),
-        )),
-        Err(e @ ParseError::Malformed(_)) => error_response(ApiError::bad_request(e.to_string())),
+        Err(e) => match parse_error_response(&e) {
+            Some(response) => response,
+            None => return, // peer went away before sending anything
+        },
     };
     let mut stream = stream;
     let _ = response.write_to(&mut stream);
 }
 
-fn dispatch(state: &ServerState, router: &Router<Endpoint>, request: &Request) -> Response {
+/// Routes one parsed request to its handler — shared verbatim by the
+/// reactor's event loops, the reactor's POST offload workers, and the
+/// legacy blocking path, so the three can never drift.
+pub(crate) fn dispatch(
+    state: &ServerState,
+    router: &Router<Endpoint>,
+    request: &Request,
+) -> Response {
     match router.route(request.method, &request.path) {
         RouteMatch::Found(endpoint, params) => match endpoint {
             Endpoint::V1List => handlers::v1::list(state, request),
@@ -378,7 +501,12 @@ fn dispatch(state: &ServerState, router: &Router<Endpoint>, request: &Request) -
 /// exits. One of the `hyperbench serve` CLI entry points.
 pub fn serve_dir(dir: &std::path::Path, config: &ServerConfig) -> Result<(), String> {
     let repo = hyperbench_repo::store::load(dir).map_err(|e| e.to_string())?;
-    serve_repo(repo, &format!("{} (tsv)", dir.display()), config)
+    serve_repo(
+        repo,
+        &format!("{} (tsv)", dir.display()),
+        config,
+        &ServeOptions::default(),
+    )
 }
 
 /// Opens a packed repository (see `hyperbench pack`) and serves it
@@ -386,17 +514,68 @@ pub fn serve_dir(dir: &std::path::Path, config: &ServerConfig) -> Result<(), Str
 /// front; entries hydrate from disk as requests touch them.
 pub fn serve_pack(pack: &std::path::Path, config: &ServerConfig) -> Result<(), String> {
     let repo = Repository::open_pack(pack).map_err(|e| e.to_string())?;
-    serve_repo(repo, &format!("{} (pack)", pack.display()), config)
+    serve_repo(
+        repo,
+        &format!("{} (pack)", pack.display()),
+        config,
+        &ServeOptions::default(),
+    )
 }
 
-fn serve_repo(repo: Repository, source: &str, config: &ServerConfig) -> Result<(), String> {
-    let server = Server::bind(repo, config).map_err(|e| format!("bind {}: {e}", config.addr))?;
+/// CLI-facing IO knobs for [`serve_dir_opts`] / [`serve_pack_opts`],
+/// kept off [`ServerConfig`] so its construction stays frozen.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Use the legacy thread-per-connection engine (`--blocking-io`).
+    pub blocking_io: bool,
+    /// Override the reactor event-loop thread count
+    /// (`--reactor-threads N`; default `max(1, threads / 2)`).
+    pub reactor_threads: Option<usize>,
+}
+
+/// [`serve_dir`] with explicit IO options.
+pub fn serve_dir_opts(
+    dir: &std::path::Path,
+    config: &ServerConfig,
+    opts: &ServeOptions,
+) -> Result<(), String> {
+    let repo = hyperbench_repo::store::load(dir).map_err(|e| e.to_string())?;
+    serve_repo(repo, &format!("{} (tsv)", dir.display()), config, opts)
+}
+
+/// [`serve_pack`] with explicit IO options.
+pub fn serve_pack_opts(
+    pack: &std::path::Path,
+    config: &ServerConfig,
+    opts: &ServeOptions,
+) -> Result<(), String> {
+    let repo = Repository::open_pack(pack).map_err(|e| e.to_string())?;
+    serve_repo(repo, &format!("{} (pack)", pack.display()), config, opts)
+}
+
+fn serve_repo(
+    repo: Repository,
+    source: &str,
+    config: &ServerConfig,
+    opts: &ServeOptions,
+) -> Result<(), String> {
+    let mut server =
+        Server::bind(repo, config).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    if opts.blocking_io {
+        server = server.with_blocking_io(true);
+    }
+    if let Some(n) = opts.reactor_threads {
+        server = server.with_reactor_threads(n);
+    }
+    let io = match server.io_mode() {
+        IoMode::Reactor => format!("epoll reactor, {} event loops", server.reactor_threads),
+        IoMode::Blocking => format!("blocking IO, {} connection threads", server.threads),
+    };
     println!(
         "hyperbench-server: {} entries from {source} on http://{} \
-         ({} threads, {} analysis workers, {} warm cache entries)",
+         ({io}, {} analysis workers, {} warm cache entries)",
         server.state.repo.len(),
         server.local_addr(),
-        server.pool.size(),
         config.analysis_workers,
         server.warm_cache_entries(),
     );
@@ -411,6 +590,12 @@ mod tests {
     use std::io::{Read, Write};
 
     fn test_server() -> (std::thread::JoinHandle<()>, SocketAddr, ShutdownHandle) {
+        test_server_with(|s| s)
+    }
+
+    fn test_server_with(
+        tweak: impl FnOnce(Server) -> Server,
+    ) -> (std::thread::JoinHandle<()>, SocketAddr, ShutdownHandle) {
         let mut repo = Repository::new();
         repo.insert(
             hypergraph_from_edges(&[("e", &["a", "b"])]),
@@ -422,7 +607,7 @@ mod tests {
             threads: 2,
             ..ServerConfig::default()
         };
-        let server = Server::bind(repo, &config).unwrap();
+        let server = tweak(Server::bind(repo, &config).unwrap());
         let addr = server.local_addr();
         let handle = server.shutdown_handle();
         let join = std::thread::spawn(move || server.run());
@@ -440,7 +625,10 @@ mod tests {
     #[test]
     fn bind_run_shutdown() {
         let (join, addr, shutdown) = test_server();
-        let response = request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        let response = request(
+            addr,
+            "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
         assert!(response.starts_with("HTTP/1.1 200 OK"), "got: {response}");
         assert!(response.contains("\"status\":\"ok\""), "got: {response}");
         shutdown.shutdown();
@@ -450,9 +638,24 @@ mod tests {
     #[test]
     fn unknown_route_is_404_with_json() {
         let (join, addr, shutdown) = test_server();
-        let response = request(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        let response = request(
+            addr,
+            "GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
         assert!(response.starts_with("HTTP/1.1 404"), "got: {response}");
         assert!(response.contains("\"error\""), "got: {response}");
+        shutdown.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn blocking_mode_still_serves() {
+        let (join, addr, shutdown) = test_server_with(|s| s.with_blocking_io(true));
+        let response = request(
+            addr,
+            "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "got: {response}");
         shutdown.shutdown();
         join.join().unwrap();
     }

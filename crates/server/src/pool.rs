@@ -1,5 +1,8 @@
-//! A fixed-size thread pool for connection handling: one shared queue,
-//! graceful shutdown on drop.
+//! A fixed-size worker thread pool: one shared queue, graceful shutdown
+//! on drop. Since the epoll reactor took over the connection hot path,
+//! this pool is the *worker side* only: the reactor offloads slow (POST)
+//! handlers onto it, and the legacy `--blocking-io` engine still uses it
+//! as its thread-per-connection pool.
 
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
