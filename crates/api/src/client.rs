@@ -199,6 +199,25 @@ impl Client {
             .ok_or_else(|| decode_err("healthz payload missing entries"))
     }
 
+    /// `GET /v1/stats` — repository aggregates, cache/job counters and
+    /// the process-wide telemetry snapshot.
+    pub fn stats(&self) -> Result<crate::dto::StatsDto, ClientError> {
+        let j = self.json("GET", "/v1/stats", None)?;
+        crate::dto::StatsDto::from_json(&j).map_err(decode_err)
+    }
+
+    /// `GET /metrics` — the raw Prometheus text exposition.
+    pub fn metrics_text(&self) -> Result<String, ClientError> {
+        let (status, body) = self.request("GET", "/metrics", None)?;
+        if status >= 400 {
+            let error = Json::parse(&body)
+                .map(|j| ApiError::from_json(&j))
+                .unwrap_or_else(|_| ApiError::new(crate::error::ErrorCode::Internal, body));
+            return Err(ClientError::Api { status, error });
+        }
+        Ok(body)
+    }
+
     /// `GET /v1/hypergraphs` — one page of summaries.
     pub fn list(&self, query: &ListQuery) -> Result<PageDto, ClientError> {
         let path = format!("/v1/hypergraphs{}", query.query_string());

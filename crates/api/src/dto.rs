@@ -909,6 +909,354 @@ impl AnalysisResource {
     }
 }
 
+/// Decodes a `{name: count}` histogram object into ordered pairs.
+fn pairs_from_json(j: &Json, field: &str) -> Result<Vec<(String, usize)>, DecodeError> {
+    let Some(Json::Obj(pairs)) = j.get(field) else {
+        return Err(missing(field));
+    };
+    pairs
+        .iter()
+        .map(|(k, v)| {
+            let n = v.as_int().ok_or_else(|| missing(field))?;
+            let n = usize::try_from(n)
+                .map_err(|_| DecodeError(format!("negative count in {field:?}")))?;
+            Ok((k.clone(), n))
+        })
+        .collect()
+}
+
+/// Repository aggregates of the `GET /v1/stats` payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepoStatsDto {
+    /// Total entries in the repository.
+    pub entries: usize,
+    /// Entries with an analysis record attached.
+    pub analyzed: usize,
+    /// Analyzed entries known cyclic (hw ≥ 2).
+    pub cyclic: usize,
+    /// Analyzed entries whose hw search hit a timeout.
+    pub hw_timeouts: usize,
+    /// Sum of vertex counts.
+    pub total_vertices: usize,
+    /// Sum of edge counts.
+    pub total_edges: usize,
+    /// Largest edge size over all entries.
+    pub max_arity: usize,
+    /// Entry counts per benchmark class.
+    pub by_class: Vec<(String, usize)>,
+    /// Entry counts per collection.
+    pub by_collection: Vec<(String, usize)>,
+    /// Exact-hw histogram (`hw` rendered as the key).
+    pub hw_exact: Vec<(String, usize)>,
+}
+
+impl RepoStatsDto {
+    /// Encodes into the `repository` section.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("entries", Json::int(self.entries)),
+            (schema::ANALYZED, Json::int(self.analyzed)),
+            (schema::CYCLIC, Json::int(self.cyclic)),
+            ("hw_timeouts", Json::int(self.hw_timeouts)),
+            ("total_vertices", Json::int(self.total_vertices)),
+            ("total_edges", Json::int(self.total_edges)),
+            ("max_arity", Json::int(self.max_arity)),
+            ("by_class", crate::json::histogram(&self.by_class)),
+            ("by_collection", crate::json::histogram(&self.by_collection)),
+            (schema::HW_EXACT, crate::json::histogram(&self.hw_exact)),
+        ])
+    }
+
+    /// Decodes the `repository` section.
+    pub fn from_json(j: &Json) -> Result<RepoStatsDto, DecodeError> {
+        Ok(RepoStatsDto {
+            entries: req_usize(j, "entries")?,
+            analyzed: req_usize(j, schema::ANALYZED)?,
+            cyclic: req_usize(j, schema::CYCLIC)?,
+            hw_timeouts: req_usize(j, "hw_timeouts")?,
+            total_vertices: req_usize(j, "total_vertices")?,
+            total_edges: req_usize(j, "total_edges")?,
+            max_arity: req_usize(j, "max_arity")?,
+            by_class: pairs_from_json(j, "by_class")?,
+            by_collection: pairs_from_json(j, "by_collection")?,
+            hw_exact: pairs_from_json(j, schema::HW_EXACT)?,
+        })
+    }
+}
+
+/// Analysis-cache counters of the `GET /v1/stats` payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStatsDto {
+    /// Lookups answered from memory.
+    pub hits: usize,
+    /// Lookups that missed.
+    pub misses: usize,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Entries evicted by the capacity bound (process-wide).
+    pub evictions: u64,
+    /// Results appended to the warm-restart spill (process-wide).
+    pub spill_appends: u64,
+    /// Spill appends that failed and were dropped (process-wide).
+    pub spill_append_failures: u64,
+}
+
+impl CacheStatsDto {
+    /// Encodes into the `cache` section (legacy keys first, the
+    /// process-wide telemetry counters appended).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", Json::int(self.hits)),
+            ("misses", Json::int(self.misses)),
+            ("len", Json::int(self.len)),
+            ("capacity", Json::int(self.capacity)),
+            ("evictions", Json::int(self.evictions)),
+            ("spill_appends", Json::int(self.spill_appends)),
+            (
+                "spill_append_failures",
+                Json::int(self.spill_append_failures),
+            ),
+        ])
+    }
+
+    /// Decodes the `cache` section.
+    pub fn from_json(j: &Json) -> Result<CacheStatsDto, DecodeError> {
+        let u = |f| req_int(j, f).map(|n| n.max(0) as u64);
+        Ok(CacheStatsDto {
+            hits: req_usize(j, "hits")?,
+            misses: req_usize(j, "misses")?,
+            len: req_usize(j, "len")?,
+            capacity: req_usize(j, "capacity")?,
+            evictions: u("evictions")?,
+            spill_appends: u("spill_appends")?,
+            spill_append_failures: u("spill_append_failures")?,
+        })
+    }
+}
+
+/// Job-system counters of the `GET /v1/stats` payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobStatsDto {
+    /// Jobs ever submitted (including cache hits and failures).
+    pub submitted: usize,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Jobs currently running on a worker.
+    pub running: usize,
+    /// Jobs finished successfully.
+    pub done: usize,
+    /// Jobs that failed (parse errors, panics).
+    pub failed: usize,
+    /// Submissions deduplicated onto an in-flight job.
+    pub deduped: usize,
+}
+
+impl JobStatsDto {
+    /// Encodes into the `jobs` section.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("submitted", Json::int(self.submitted)),
+            ("queued", Json::int(self.queued)),
+            ("running", Json::int(self.running)),
+            ("done", Json::int(self.done)),
+            ("failed", Json::int(self.failed)),
+            ("deduped", Json::int(self.deduped)),
+        ])
+    }
+
+    /// Decodes the `jobs` section.
+    pub fn from_json(j: &Json) -> Result<JobStatsDto, DecodeError> {
+        Ok(JobStatsDto {
+            submitted: req_usize(j, "submitted")?,
+            queued: req_usize(j, "queued")?,
+            running: req_usize(j, "running")?,
+            done: req_usize(j, "done")?,
+            failed: req_usize(j, "failed")?,
+            deduped: req_usize(j, "deduped")?,
+        })
+    }
+}
+
+/// A latency histogram condensed to its headline numbers: count, sum,
+/// mean and the log₂-bucket upper bounds of the 50/90/99th percentiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummaryDto {
+    /// The metric name (e.g. `hyperbench_http_handle_us`).
+    pub name: String,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Mean value (integer division; 0 when empty).
+    pub mean: u64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+}
+
+impl HistogramSummaryDto {
+    /// Encodes one histogram summary.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (schema::NAME, Json::str(&self.name)),
+            (schema::COUNT, Json::int(self.count)),
+            (schema::SUM, Json::int(self.sum)),
+            (schema::MEAN, Json::int(self.mean)),
+            (schema::P50, Json::int(self.p50)),
+            (schema::P90, Json::int(self.p90)),
+            (schema::P99, Json::int(self.p99)),
+        ])
+    }
+
+    /// Decodes one histogram summary.
+    pub fn from_json(j: &Json) -> Result<HistogramSummaryDto, DecodeError> {
+        let u = |f| req_int(j, f).map(|n| n.max(0) as u64);
+        Ok(HistogramSummaryDto {
+            name: req_str(j, schema::NAME)?,
+            count: u(schema::COUNT)?,
+            sum: u(schema::SUM)?,
+            mean: u(schema::MEAN)?,
+            p50: u(schema::P50)?,
+            p90: u(schema::P90)?,
+            p99: u(schema::P99)?,
+        })
+    }
+}
+
+/// The process-wide telemetry section of `GET /v1/stats`: every
+/// registered counter and gauge by name, plus condensed latency
+/// histograms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetryDto {
+    /// Monotone counters (`name` → total), registry order.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges (`name` → level), registry order.
+    pub gauges: Vec<(String, i64)>,
+    /// Latency histogram summaries, registry order.
+    pub histograms: Vec<HistogramSummaryDto>,
+}
+
+impl TelemetryDto {
+    /// Encodes the `telemetry` section.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                schema::COUNTERS,
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::int(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                schema::GAUGES,
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::int(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                schema::HISTOGRAMS,
+                Json::Arr(self.histograms.iter().map(|h| h.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Decodes the `telemetry` section.
+    pub fn from_json(j: &Json) -> Result<TelemetryDto, DecodeError> {
+        let Some(Json::Obj(counters)) = j.get(schema::COUNTERS) else {
+            return Err(missing(schema::COUNTERS));
+        };
+        let counters = counters
+            .iter()
+            .map(|(k, v)| {
+                v.as_int()
+                    .map(|n| (k.clone(), n.max(0) as u64))
+                    .ok_or_else(|| missing(schema::COUNTERS))
+            })
+            .collect::<Result<_, _>>()?;
+        let Some(Json::Obj(gauges)) = j.get(schema::GAUGES) else {
+            return Err(missing(schema::GAUGES));
+        };
+        let gauges = gauges
+            .iter()
+            .map(|(k, v)| {
+                v.as_int()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| missing(schema::GAUGES))
+            })
+            .collect::<Result<_, _>>()?;
+        let histograms = j
+            .get(schema::HISTOGRAMS)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| missing(schema::HISTOGRAMS))?
+            .iter()
+            .map(HistogramSummaryDto::from_json)
+            .collect::<Result<_, _>>()?;
+        Ok(TelemetryDto {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+/// The full `GET /v1/stats` payload: repository aggregates, cache and
+/// job counters (version-stable since PR 1) plus the process-wide
+/// telemetry section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsDto {
+    /// Repository aggregates.
+    pub repository: RepoStatsDto,
+    /// Analysis-cache counters.
+    pub cache: CacheStatsDto,
+    /// Job-system counters.
+    pub jobs: JobStatsDto,
+    /// Process-wide telemetry snapshot.
+    pub telemetry: TelemetryDto,
+}
+
+impl StatsDto {
+    /// Encodes the stats payload.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (schema::REPOSITORY, self.repository.to_json()),
+            (schema::CACHE, self.cache.to_json()),
+            (schema::JOBS_SECTION, self.jobs.to_json()),
+            (schema::TELEMETRY, self.telemetry.to_json()),
+        ])
+    }
+
+    /// Decodes the stats payload.
+    pub fn from_json(j: &Json) -> Result<StatsDto, DecodeError> {
+        Ok(StatsDto {
+            repository: RepoStatsDto::from_json(
+                j.get(schema::REPOSITORY)
+                    .ok_or_else(|| missing(schema::REPOSITORY))?,
+            )?,
+            cache: CacheStatsDto::from_json(
+                j.get(schema::CACHE).ok_or_else(|| missing(schema::CACHE))?,
+            )?,
+            jobs: JobStatsDto::from_json(
+                j.get(schema::JOBS_SECTION)
+                    .ok_or_else(|| missing(schema::JOBS_SECTION))?,
+            )?,
+            telemetry: TelemetryDto::from_json(
+                j.get(schema::TELEMETRY)
+                    .ok_or_else(|| missing(schema::TELEMETRY))?,
+            )?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1115,5 +1463,78 @@ mod tests {
         );
         assert!(AnalysisStatus::Failed.is_terminal());
         assert!(!AnalysisStatus::Running.is_terminal());
+    }
+
+    #[test]
+    fn stats_roundtrip_preserves_legacy_shape() {
+        let stats = StatsDto {
+            repository: RepoStatsDto {
+                entries: 12,
+                analyzed: 8,
+                cyclic: 5,
+                hw_timeouts: 1,
+                total_vertices: 40,
+                total_edges: 33,
+                max_arity: 4,
+                by_class: vec![("CQ Application".to_string(), 8)],
+                by_collection: vec![("SPARQL".to_string(), 6), ("TPC-H".to_string(), 6)],
+                hw_exact: vec![("1".to_string(), 3), ("2".to_string(), 5)],
+            },
+            cache: CacheStatsDto {
+                hits: 3,
+                misses: 4,
+                len: 4,
+                capacity: 64,
+                evictions: 0,
+                spill_appends: 4,
+                spill_append_failures: 0,
+            },
+            jobs: JobStatsDto {
+                submitted: 7,
+                queued: 0,
+                running: 1,
+                done: 5,
+                failed: 1,
+                deduped: 2,
+            },
+            telemetry: TelemetryDto {
+                counters: vec![("hyperbench_cache_hits_total".to_string(), 3)],
+                gauges: vec![("hyperbench_jobs_queue_depth".to_string(), 0)],
+                histograms: vec![HistogramSummaryDto {
+                    name: "hyperbench_http_handle_us".to_string(),
+                    count: 7,
+                    sum: 900,
+                    mean: 128,
+                    p50: 128,
+                    p90: 256,
+                    p99: 256,
+                }],
+            },
+        };
+        let wire = stats.to_json().to_string();
+        let back = StatsDto::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back, stats);
+        // The PR-1 shape is preserved: same sections, same legacy keys,
+        // by_class still a name->count object.
+        let j = Json::parse(&wire).unwrap();
+        let repo = j.get(schema::REPOSITORY).unwrap();
+        assert_eq!(repo.get("entries").and_then(Json::as_int), Some(12));
+        assert_eq!(
+            repo.get("by_class")
+                .unwrap()
+                .get("CQ Application")
+                .and_then(Json::as_int),
+            Some(8)
+        );
+        let cache = j.get(schema::CACHE).unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_int), Some(3));
+        assert_eq!(
+            j.get(schema::JOBS_SECTION)
+                .unwrap()
+                .get("done")
+                .and_then(Json::as_int),
+            Some(5)
+        );
+        assert!(j.get(schema::TELEMETRY).is_some());
     }
 }

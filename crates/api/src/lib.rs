@@ -38,8 +38,9 @@ pub mod schema;
 pub use client::{Client, ClientError, ListQuery};
 pub use cursor::{CursorError, PageCursor};
 pub use dto::{
-    AnalysisReport, AnalysisResource, AnalysisStatus, AnalyzeMethod, AnalyzeRequest, CoverAtomDto,
-    DecodeError, DecompNodeDto, DecompositionDto, EdgeDto, EntryDetail, EntrySummary, PageDto,
+    AnalysisReport, AnalysisResource, AnalysisStatus, AnalyzeMethod, AnalyzeRequest, CacheStatsDto,
+    CoverAtomDto, DecodeError, DecompNodeDto, DecompositionDto, EdgeDto, EntryDetail, EntrySummary,
+    HistogramSummaryDto, JobStatsDto, PageDto, RepoStatsDto, StatsDto, TelemetryDto,
 };
 pub use error::{ApiError, ErrorCode};
 pub use json::Json;

@@ -95,6 +95,35 @@ pub const CODE: &str = "code";
 /// Error payloads: human-readable message (legacy-compatible key).
 pub const ERROR: &str = "error";
 
+// `/v1/stats` field names (the telemetry section of the stats payload).
+
+/// Stats payload: the repository aggregates section.
+pub const REPOSITORY: &str = "repository";
+/// Stats payload: the analysis-cache counters section.
+pub const CACHE: &str = "cache";
+/// Stats payload: the job-system counters section.
+pub const JOBS_SECTION: &str = "jobs";
+/// Stats payload: the process-wide telemetry section.
+pub const TELEMETRY: &str = "telemetry";
+/// Telemetry section: monotone counters (`name` → total).
+pub const COUNTERS: &str = "counters";
+/// Telemetry section: point-in-time gauges (`name` → level).
+pub const GAUGES: &str = "gauges";
+/// Telemetry section: latency histogram summaries.
+pub const HISTOGRAMS: &str = "histograms";
+/// Histogram summary: number of recorded observations.
+pub const COUNT: &str = "count";
+/// Histogram summary: sum of recorded values.
+pub const SUM: &str = "sum";
+/// Histogram summary: mean of recorded values (integer division).
+pub const MEAN: &str = "mean";
+/// Histogram summary: median upper bound (log₂ bucket boundary).
+pub const P50: &str = "p50";
+/// Histogram summary: 90th-percentile upper bound.
+pub const P90: &str = "p90";
+/// Histogram summary: 99th-percentile upper bound.
+pub const P99: &str = "p99";
+
 #[cfg(test)]
 mod tests {
     use super::*;

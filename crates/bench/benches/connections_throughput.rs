@@ -22,6 +22,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hyperbench_bench::TelemetryBaseline;
 use hyperbench_core::builder::hypergraph_from_edges;
 use hyperbench_repo::Repository;
 use hyperbench_server::{Server, ServerConfig, ShutdownHandle};
@@ -155,19 +156,51 @@ fn round(addr: SocketAddr, keep_alive: bool) -> usize {
     })
 }
 
+/// Scrapes `GET /metrics` from the live server over the wire — the same
+/// endpoint an operator's Prometheus would hit — and sanity-checks that
+/// the exposition carries the serving-path counters the bench just
+/// drove.
+fn scrape_metrics(addr: SocketAddr) {
+    let mut stream = connect(addr);
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .expect("send scrape");
+    let mut out = Vec::with_capacity(8192);
+    stream.read_to_end(&mut out).expect("read scrape");
+    let text = String::from_utf8(out).expect("UTF-8 exposition");
+    assert!(text.starts_with("HTTP/1.1 200"), "scrape failed: {text}");
+    assert!(
+        text.contains("hyperbench_http_requests_total")
+            && text.contains("hyperbench_http_handle_us_count"),
+        "exposition is missing serving-path metrics:\n{text}"
+    );
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("connections_throughput");
     g.sample_size(8);
+    // Serving-path counters (requests, reactor wakeups, write bytes,
+    // queue depth) and latency summaries ride along per variant as
+    // `<variant>/telemetry` JSON lines.
+    let mut telemetry = TelemetryBaseline::capture(&[
+        "hyperbench_http_",
+        "hyperbench_reactor_",
+        "hyperbench_jobs_",
+    ]);
 
     let (join, addr, shutdown) = start(false);
     std::env::set_var("CRITERION_SHIM_JOBS", REACTOR_THREADS.to_string());
     g.bench_function("reactor", |b| b.iter(|| black_box(round(addr, true))));
+    scrape_metrics(addr);
+    telemetry.emit("connections_throughput/reactor");
     shutdown.shutdown();
     join.join().expect("reactor server");
 
     let (join, addr, shutdown) = start(true);
     std::env::set_var("CRITERION_SHIM_JOBS", BLOCKING_THREADS.to_string());
     g.bench_function("blocking", |b| b.iter(|| black_box(round(addr, false))));
+    scrape_metrics(addr);
+    telemetry.emit("connections_throughput/blocking");
     shutdown.shutdown();
     join.join().expect("blocking server");
 

@@ -17,7 +17,7 @@
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hyperbench_bench::benchmark_slice;
+use hyperbench_bench::{benchmark_slice, TelemetryBaseline};
 use hyperbench_core::Hypergraph;
 use hyperbench_decomp::balsep::{decompose_balsep_opts, BalsepConfig};
 use hyperbench_decomp::budget::Budget;
@@ -63,14 +63,20 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("decomp_throughput");
     g.sample_size(5);
+    // Per-variant engine counters (steals, memo hits, forks) ride along
+    // as `<variant>/telemetry` JSON lines — the serial line doubles as a
+    // sanity floor: a serial run cannot steal.
+    let mut telemetry = TelemetryBaseline::capture(&["hyperbench_decomp_"]);
     std::env::set_var("CRITERION_SHIM_JOBS", "1");
     g.bench_function("serial", |b| {
         b.iter(|| black_box(run_slice(&instances, &Options::serial())))
     });
+    telemetry.emit("decomp_throughput/serial");
     std::env::set_var("CRITERION_SHIM_JOBS", "2");
     g.bench_function("parallel_j2", |b| {
         b.iter(|| black_box(run_slice(&instances, &Options::with_jobs(2))))
     });
+    telemetry.emit("decomp_throughput/parallel_j2");
     std::env::remove_var("CRITERION_SHIM_JOBS");
     g.finish();
 }

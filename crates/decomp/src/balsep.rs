@@ -808,6 +808,7 @@ impl<'e, 'p> Walker<'e, 'p> {
         comps: SetComponents,
         depth: usize,
     ) -> Result<Option<XTree>, Stopped> {
+        crate::metrics::metrics().separators_tried.inc();
         // Empty-bag probes die without allocating — and `intersects`
         // short-circuits at the first overlapping block, so the common
         // non-empty case costs one block op, not a full popcount.

@@ -59,11 +59,25 @@ impl CancelScope {
 }
 
 /// A search budget. Cheap to clone; clones share the cancellation flag.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Budget {
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
     scope: Option<Arc<ScopeNode>>,
+    trace_id: u64,
+}
+
+impl Default for Budget {
+    /// An unlimited budget. Captures the ambient telemetry request id
+    /// (see [`Budget::trace_id`]), like every other constructor.
+    fn default() -> Budget {
+        Budget {
+            deadline: None,
+            cancel: None,
+            scope: None,
+            trace_id: hyperbench_telemetry::current_request_id(),
+        }
+    }
 }
 
 impl Budget {
@@ -76,9 +90,18 @@ impl Budget {
     pub fn with_timeout(timeout: Duration) -> Budget {
         Budget {
             deadline: Some(Instant::now() + timeout),
-            cancel: None,
-            scope: None,
+            ..Budget::default()
         }
+    }
+
+    /// The telemetry request id this budget was constructed under (via
+    /// `hyperbench_telemetry::with_request_id`), or 0 when the search
+    /// was not started on behalf of a traced request. Clones and
+    /// [`Budget::child_scope`] derivations inherit it, so logs emitted
+    /// deep inside a decomposition can be joined back to the HTTP
+    /// request that triggered it.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 
     /// Attaches a shared cancellation flag (for races).
@@ -100,6 +123,7 @@ impl Budget {
             deadline: self.deadline,
             cancel: self.cancel.clone(),
             scope: Some(node.clone()),
+            trace_id: self.trace_id,
         };
         (budget, CancelScope(node))
     }
@@ -275,6 +299,19 @@ mod tests {
         assert!(!grandchild.is_stopped());
         outer.cancel();
         assert!(grandchild.is_stopped(), "ancestor scope must propagate");
+    }
+
+    #[test]
+    fn trace_id_is_captured_and_inherited() {
+        let outside = Budget::unlimited();
+        assert_eq!(outside.trace_id(), 0, "no ambient request id");
+        hyperbench_telemetry::with_request_id(77, || {
+            let b = Budget::with_timeout(Duration::from_secs(1));
+            assert_eq!(b.trace_id(), 77);
+            let (child, _scope) = b.child_scope();
+            assert_eq!(child.trace_id(), 77);
+            assert_eq!(b.clone().trace_id(), 77);
+        });
     }
 
     #[test]

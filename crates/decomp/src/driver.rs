@@ -51,7 +51,11 @@ impl From<SearchResult> for Outcome {
         match r {
             SearchResult::Found(d) => Outcome::Yes(d),
             SearchResult::NotFound => Outcome::No,
-            SearchResult::NotFoundUncertified | SearchResult::Stopped => Outcome::Timeout,
+            SearchResult::Stopped => {
+                crate::metrics::metrics().cancellations.inc();
+                Outcome::Timeout
+            }
+            SearchResult::NotFoundUncertified => Outcome::Timeout,
         }
     }
 }
@@ -370,6 +374,7 @@ fn width_search(k_max: usize, mut check: impl FnMut(usize) -> Outcome) -> HwResu
         });
         if done {
             upper = Some(k);
+            crate::metrics::metrics().width_found.observe(k as u64);
             break;
         }
     }

@@ -39,6 +39,7 @@ pub mod driver;
 pub mod globalbip;
 pub mod improve;
 pub mod localbip;
+pub mod metrics;
 pub mod parallel;
 pub mod tree;
 pub mod validate;

@@ -257,7 +257,10 @@ impl<'env> Shared<'env> {
             let victim = (index + off) % n;
             loop {
                 match self.queues[victim].steal() {
-                    Steal::Taken(t) => return Some(t),
+                    Steal::Taken(t) => {
+                        crate::metrics::metrics().steals.inc();
+                        return Some(t);
+                    }
                     Steal::Empty => break,
                     Steal::Retry => std::hint::spin_loop(),
                 }
@@ -300,6 +303,7 @@ impl<'p, 'env> WorkerCtx<'p, 'env> {
             let f = thunks.pop().expect("one thunk");
             return vec![f(self)];
         }
+        crate::metrics::metrics().forks.inc();
         let rest = thunks.split_off(1);
         let first = thunks.pop().expect("first thunk");
         let slots = Arc::new(ForkSlots {
@@ -327,7 +331,10 @@ impl<'p, 'env> WorkerCtx<'p, 'env> {
         // Help until every sibling (possibly running on a thief) is done.
         while slots.remaining.load(Ordering::Acquire) > 0 {
             match self.shared.find_task(self.index) {
-                Some(t) => t(self),
+                Some(t) => {
+                    crate::metrics::metrics().helping_joins.inc();
+                    t(self);
+                }
                 None => std::thread::yield_now(),
             }
         }
@@ -481,10 +488,14 @@ impl<K, V: Clone> ShardedMemo<K, V> {
     pub fn get(&self, fp: u64, matches: impl Fn(&K) -> bool) -> Option<V> {
         let shard = self.shard(fp).lock().expect("memo shard");
         let bucket = shard.get(&fp)?;
-        bucket
+        let hit = bucket
             .iter()
             .find(|(k, _)| matches(k))
-            .map(|(_, v)| v.clone())
+            .map(|(_, v)| v.clone());
+        if hit.is_some() {
+            crate::metrics::metrics().memo_hits.inc();
+        }
+        hit
     }
 
     /// Inserts `value` under `key`, unless an equal key is already

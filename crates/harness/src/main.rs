@@ -33,6 +33,11 @@ USAGE:
              [--jobs N] [--spill FILE|off] [--reactor-threads N] [--blocking-io]
   hyperbench help
 
+Every command also accepts `--log-level error|warn|info|debug|trace|off`
+to set the structured-log threshold on stderr (default info; the
+HYPERBENCH_LOG environment variable sets the same threshold, with the
+flag winning when both are given).
+
 `--jobs N` sets the decomposition engine's per-search worker count
 (1 = serial, 0 = all cores). Parallel searches report the same widths
 as serial ones; for `serve` the flag is also the ceiling for the
@@ -134,6 +139,11 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing command".to_string());
     };
     let flags = Flags::parse(&args[1..])?;
+    if let Some(level) = flags.get("log-level") {
+        let threshold = hyperbench_telemetry::log::parse_threshold(level)
+            .ok_or_else(|| format!("invalid value for --log-level: {level}"))?;
+        hyperbench_telemetry::log::set_level(threshold);
+    }
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -22,6 +22,7 @@
 
 pub mod analysis;
 pub mod filter;
+pub mod metrics;
 pub mod store;
 
 pub use analysis::{

@@ -1,0 +1,48 @@
+//! Pack-backend metric handles, registered once in the process-global
+//! [`hyperbench_telemetry`] registry.
+//!
+//! The paged pack store counts every page it reads off disk and every
+//! checksum it verifies (pages on the record path, sections at open),
+//! making cold-read amplification visible next to the server's cache
+//! hit rate.
+
+use std::sync::{Arc, OnceLock};
+
+use hyperbench_telemetry::{global, Counter};
+
+/// Handles to every pack-store metric; obtained via [`metrics`].
+#[derive(Debug)]
+pub struct RepoMetrics {
+    /// Data pages read and verified while hydrating records.
+    pub pack_page_hydrations: Arc<Counter>,
+    /// Checksums verified (data pages plus index/section reads).
+    pub pack_checksum_reads: Arc<Counter>,
+}
+
+/// The process-wide [`RepoMetrics`] bundle (registered on first use).
+pub fn metrics() -> &'static RepoMetrics {
+    static METRICS: OnceLock<RepoMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        RepoMetrics {
+            pack_page_hydrations: r.counter(
+                "hyperbench_pack_page_hydrations_total",
+                "data pages read and checksum-verified while hydrating records",
+            ),
+            pack_checksum_reads: r.counter(
+                "hyperbench_pack_checksum_reads_total",
+                "checksums verified across page and section reads",
+            ),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_is_a_singleton() {
+        assert!(std::ptr::eq(metrics(), metrics()));
+    }
+}

@@ -205,6 +205,7 @@ fn read_section(
     let mut bytes = read_at(file, off, len as usize)?;
     let body_len = bytes.len() - 8;
     let stored = u64::from_le_bytes(bytes[body_len..].try_into().unwrap());
+    crate::metrics::metrics().pack_checksum_reads.inc();
     if codec::fnv64(&bytes[..body_len]) != stored {
         return Err(StoreError::Corrupt(format!("{what}: checksum mismatch")));
     }
@@ -459,6 +460,9 @@ impl PackStore {
             let page_start = page as u64 * self.page_size;
             let page_len = (self.data_len - page_start).min(self.page_size) as usize;
             let bytes = read_at(&self.file, HEADER_LEN + page_start, page_len)?;
+            let m = crate::metrics::metrics();
+            m.pack_page_hydrations.inc();
+            m.pack_checksum_reads.inc();
             if codec::fnv64(&bytes) != self.page_sums[page] {
                 return Err(StoreError::BadPageChecksum { page });
             }

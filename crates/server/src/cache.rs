@@ -19,6 +19,8 @@ use hyperbench_core::Hypergraph;
 use hyperbench_decomp::tree::Decomposition;
 use hyperbench_repo::store::spill::{SpillRecord, SpillWriter};
 use hyperbench_repo::AnalysisRecord;
+use hyperbench_telemetry::log::Every;
+use hyperbench_telemetry::log_warn;
 
 /// Everything a finished analysis job produced. The witness is kept in
 /// tree form for library consumers *and* pre-serialized as its wire DTO
@@ -173,6 +175,7 @@ impl AnalysisCache {
             Some((doc, rec)) if doc == canonical => {
                 let rec = Arc::clone(rec);
                 inner.hits += 1;
+                crate::metrics::metrics().cache_hits.inc();
                 if let Some(pos) = inner.order.iter().position(|k| *k == key) {
                     inner.order.remove(pos);
                 }
@@ -181,6 +184,7 @@ impl AnalysisCache {
             }
             _ => {
                 inner.misses += 1;
+                crate::metrics::metrics().cache_misses.inc();
                 None
             }
         }
@@ -197,10 +201,25 @@ impl AnalysisCache {
         }
         if let Some(spill) = &self.spill {
             let spill_record = spill_record_of(key, &canonical, &record);
-            if let Err(e) = spill.lock().expect("spill lock").append(&spill_record) {
-                // Spill durability is best-effort: a full disk must not
-                // fail the analysis that just completed.
-                eprintln!("hyperbench-server: analysis-cache spill append failed: {e}");
+            match spill.lock().expect("spill lock").append(&spill_record) {
+                Ok(()) => crate::metrics::metrics().cache_spill_appends.inc(),
+                Err(e) => {
+                    // Spill durability is best-effort: a full disk must
+                    // not fail the analysis that just completed — and
+                    // must not spam stderr once per analysis either, so
+                    // failures log on the first and every 100th
+                    // occurrence with a running total.
+                    static SPILL_FAILURE_LOG: Every = Every::new(100);
+                    crate::metrics::metrics().cache_spill_append_failures.inc();
+                    if let Some(total) = SPILL_FAILURE_LOG.tick() {
+                        log_warn!(
+                            "cache",
+                            "analysis-cache spill append failed";
+                            error = e,
+                            total_failures = total
+                        );
+                    }
+                }
             }
         }
     }
@@ -214,6 +233,7 @@ impl AnalysisCache {
             if inner.order.len() > self.capacity {
                 if let Some(evicted) = inner.order.pop_front() {
                     inner.map.remove(&evicted);
+                    crate::metrics::metrics().cache_evictions.inc();
                 }
             }
             true

@@ -12,15 +12,17 @@ use std::time::{Duration, Instant};
 
 use hyperbench_api::cursor::PageCursor;
 use hyperbench_api::dto::{
-    AnalysisReport, AnalysisResource, AnalysisStatus, AnalyzeRequest, DecompositionDto, EdgeDto,
-    EntryDetail, EntrySummary, PageDto,
+    AnalysisReport, AnalysisResource, AnalysisStatus, AnalyzeRequest, CacheStatsDto,
+    DecompositionDto, EdgeDto, EntryDetail, EntrySummary, HistogramSummaryDto, JobStatsDto,
+    PageDto, RepoStatsDto, StatsDto, TelemetryDto,
 };
 use hyperbench_api::error::{ApiError, ErrorCode};
-use hyperbench_api::json::{histogram, Json};
+use hyperbench_api::json::Json;
 use hyperbench_api::schema;
 use hyperbench_core::format::{parse_hg, to_hg};
 use hyperbench_core::Hypergraph;
 use hyperbench_repo::{AnalysisConfig, AnalysisRecord, Entry, Filter, Repository, StoreError};
+use hyperbench_telemetry::metrics::{HistogramSummary, MetricSnapshot};
 
 use crate::cache::{canonicalize, content_hash, AnalysisCache, JobResult};
 use crate::http::{ParseError, Request, Response};
@@ -72,24 +74,33 @@ pub fn parse_error_response(e: &ParseError) -> Option<Response> {
             ErrorCode::MethodNotAllowed,
             format!("method {m:?} not supported"),
         ),
-        ParseError::BodyTooLarge(n) => ApiError::new(
-            ErrorCode::PayloadTooLarge,
-            format!(
-                "body of {n} bytes exceeds the {} byte limit",
-                crate::http::MAX_BODY
-            ),
-        ),
-        ParseError::HeadTooLarge(n) => ApiError::new(
-            ErrorCode::PayloadTooLarge,
-            format!(
-                "request head of {n} bytes exceeds the {} byte limit",
-                crate::http::MAX_HEAD
-            ),
-        ),
-        ParseError::TimedOut => ApiError::new(
-            ErrorCode::RequestTimeout,
-            "request not delivered within the read deadline",
-        ),
+        ParseError::BodyTooLarge(n) => {
+            crate::metrics::metrics().http_responses_413.inc();
+            ApiError::new(
+                ErrorCode::PayloadTooLarge,
+                format!(
+                    "body of {n} bytes exceeds the {} byte limit",
+                    crate::http::MAX_BODY
+                ),
+            )
+        }
+        ParseError::HeadTooLarge(n) => {
+            crate::metrics::metrics().http_responses_413.inc();
+            ApiError::new(
+                ErrorCode::PayloadTooLarge,
+                format!(
+                    "request head of {n} bytes exceeds the {} byte limit",
+                    crate::http::MAX_HEAD
+                ),
+            )
+        }
+        ParseError::TimedOut => {
+            crate::metrics::metrics().http_responses_408.inc();
+            ApiError::new(
+                ErrorCode::RequestTimeout,
+                "request not delivered within the read deadline",
+            )
+        }
         e @ ParseError::Malformed(_) => ApiError::bad_request(e.to_string()),
     };
     Some(error_response(err))
@@ -237,13 +248,16 @@ fn submit_analysis(
     state: &ServerState,
     document: &str,
     options: AnalyzeOptions,
+    trace_id: u64,
 ) -> Result<Result<JobId, SubmitError>, String> {
     let hypergraph: Hypergraph = parse_hg(document).map_err(|e| format!("parse error: {e}"))?;
     // The options are folded into the cache/dedup identity so the same
     // document under different methods or budgets never false-hits.
     let keyed = format!("{}\n{}", options.cache_key(), canonicalize(document));
     let hash = content_hash(&keyed);
-    Ok(state.jobs.submit(hypergraph, hash, keyed, options))
+    Ok(state
+        .jobs
+        .submit_traced(hypergraph, hash, keyed, options, trace_id))
 }
 
 fn submit_error(e: SubmitError) -> Response {
@@ -260,51 +274,92 @@ fn submit_error(e: SubmitError) -> Response {
 }
 
 /// `GET /stats` and `GET /v1/stats` — repository aggregates + cache and
-/// job counters (the payload is version-stable).
+/// job counters (the PR-1 sections are version-stable) + the
+/// process-wide telemetry snapshot, all through the typed
+/// [`StatsDto`].
 pub fn get_stats(state: &ServerState) -> Response {
     let repo_stats = &state.repo_stats;
     let cache = state.cache.stats();
     let jobs = state.jobs.stats();
-    Response::json(
-        200,
-        Json::obj([
-            (
-                "repository",
-                Json::obj([
-                    ("entries", Json::int(repo_stats.entries)),
-                    ("analyzed", Json::int(repo_stats.analyzed)),
-                    (schema::CYCLIC, Json::int(repo_stats.cyclic)),
-                    ("hw_timeouts", Json::int(repo_stats.hw_timeouts)),
-                    ("total_vertices", Json::int(repo_stats.total_vertices)),
-                    ("total_edges", Json::int(repo_stats.total_edges)),
-                    ("max_arity", Json::int(repo_stats.max_arity)),
-                    ("by_class", histogram(&repo_stats.by_class)),
-                    ("by_collection", histogram(&repo_stats.by_collection)),
-                    (schema::HW_EXACT, histogram(&repo_stats.hw_exact)),
-                ]),
-            ),
-            (
-                "cache",
-                Json::obj([
-                    ("hits", Json::int(cache.hits)),
-                    ("misses", Json::int(cache.misses)),
-                    ("len", Json::int(cache.len)),
-                    ("capacity", Json::int(cache.capacity)),
-                ]),
-            ),
-            (
-                "jobs",
-                Json::obj([
-                    ("submitted", Json::int(jobs.submitted)),
-                    ("queued", Json::int(jobs.queued)),
-                    ("running", Json::int(jobs.running)),
-                    ("done", Json::int(jobs.done)),
-                    ("failed", Json::int(jobs.failed)),
-                    ("deduped", Json::int(jobs.deduped)),
-                ]),
-            ),
-        ]),
-    )
+    let m = crate::metrics::metrics();
+    let snapshot = hyperbench_telemetry::global().snapshot();
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for entry in &snapshot.entries {
+        match &entry.value {
+            MetricSnapshot::Counter(v) => counters.push((entry.name.to_string(), *v)),
+            MetricSnapshot::Gauge(v) => gauges.push((entry.name.to_string(), *v)),
+            MetricSnapshot::Histogram(h) => {
+                let s = HistogramSummary::of(h);
+                histograms.push(HistogramSummaryDto {
+                    name: entry.name.to_string(),
+                    count: s.count,
+                    sum: s.sum,
+                    // The wire speaks integers only; microsecond means
+                    // lose nothing that matters when rounded.
+                    mean: s.mean.round() as u64,
+                    p50: s.p50,
+                    p90: s.p90,
+                    p99: s.p99,
+                });
+            }
+        }
+    }
+    let stats = StatsDto {
+        repository: RepoStatsDto {
+            entries: repo_stats.entries,
+            analyzed: repo_stats.analyzed,
+            cyclic: repo_stats.cyclic,
+            hw_timeouts: repo_stats.hw_timeouts,
+            total_vertices: repo_stats.total_vertices,
+            total_edges: repo_stats.total_edges,
+            max_arity: repo_stats.max_arity,
+            by_class: repo_stats.by_class.clone(),
+            by_collection: repo_stats.by_collection.clone(),
+            hw_exact: repo_stats
+                .hw_exact
+                .iter()
+                .map(|(hw, n)| (hw.to_string(), *n))
+                .collect(),
+        },
+        cache: CacheStatsDto {
+            hits: cache.hits,
+            misses: cache.misses,
+            len: cache.len,
+            capacity: cache.capacity,
+            evictions: m.cache_evictions.get(),
+            spill_appends: m.cache_spill_appends.get(),
+            spill_append_failures: m.cache_spill_append_failures.get(),
+        },
+        jobs: JobStatsDto {
+            submitted: jobs.submitted,
+            queued: jobs.queued,
+            running: jobs.running,
+            done: jobs.done,
+            failed: jobs.failed,
+            deduped: jobs.deduped,
+        },
+        telemetry: TelemetryDto {
+            counters,
+            gauges,
+            histograms,
+        },
+    };
+    Response::json(200, stats.to_json())
+}
+
+/// `GET /metrics` — the Prometheus text exposition of every registered
+/// counter, gauge and histogram. Served identically by both IO engines.
+pub fn get_metrics() -> Response {
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        body: hyperbench_telemetry::global()
+            .snapshot()
+            .render_prometheus()
+            .into_bytes(),
+    }
 }
 
 /// `GET /healthz` and `GET /v1/healthz` — liveness.
@@ -445,7 +500,7 @@ pub mod v1 {
                 .jobs
                 .map_or(jobs_ceiling, |j| j.clamp(1, jobs_ceiling)),
         };
-        match submit_analysis(state, &request.hypergraph, options) {
+        match submit_analysis(state, &request.hypergraph, options, req.trace_id) {
             Err(message) => {
                 let id = state.jobs.submit_failed(message.clone());
                 let resource = AnalysisResource {
@@ -613,7 +668,7 @@ pub mod legacy {
             Err(_) => return error_response(ApiError::bad_request("body is not UTF-8")),
         };
         let options = AnalyzeOptions::defaults(&state.analysis);
-        match submit_analysis(state, body, options) {
+        match submit_analysis(state, body, options, req.trace_id) {
             Err(message) => {
                 // Record the failure so the job id remains pollable, but
                 // answer 400 immediately.

@@ -49,6 +49,14 @@ impl Method {
             _ => None,
         }
     }
+
+    /// The wire spelling (`GET`/`POST`), for log lines.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
 }
 
 /// A parsed request: method, decoded path segments, query params, body.
@@ -68,6 +76,10 @@ pub struct Request {
     /// (HTTP/1.1 default unless the client asked `Connection: close`;
     /// HTTP/1.0 closes unless it asked `keep-alive`).
     pub keep_alive: bool,
+    /// The tracing id assigned by the IO engine at accept time and
+    /// carried through router → handler → job queue (0 = untraced,
+    /// e.g. in parser unit tests).
+    pub trace_id: u64,
 }
 
 /// Why a request could not be parsed; maps onto a 400/408/413/405.
@@ -328,6 +340,7 @@ impl RequestParser {
             headers: std::mem::take(&mut self.headers),
             body: std::mem::take(&mut self.body),
             keep_alive: self.keep_alive,
+            trace_id: 0,
         };
         self.state = ParseState::RequestLine;
         self.line.clear();

@@ -7,13 +7,15 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hyperbench_api::AnalyzeMethod;
 use hyperbench_core::Hypergraph;
 use hyperbench_repo::{analyze_instance_retaining, AnalysisConfig};
+use hyperbench_telemetry::{log_debug, log_warn, trace, SpanTimer};
 
 use crate::cache::{AnalysisCache, ContentHash, JobResult};
+use crate::metrics::metrics;
 
 /// Per-submission analysis options, carried from the typed
 /// `AnalyzeRequest` through the queue to the worker. The options are
@@ -149,6 +151,12 @@ struct QueueItem {
     hash: ContentHash,
     canonical: String,
     options: AnalyzeOptions,
+    /// The tracing id of the HTTP request that enqueued this job,
+    /// carried to the worker (and from there into the decomposition
+    /// budget's ambient request id).
+    request_id: u64,
+    /// When the item entered the queue — the queue-wait span.
+    enqueued: Instant,
 }
 
 struct JobState {
@@ -251,6 +259,26 @@ impl JobSystem {
         canonical: String,
         options: AnalyzeOptions,
     ) -> Result<JobId, SubmitError> {
+        self.submit_traced(
+            hypergraph,
+            hash,
+            canonical,
+            options,
+            trace::current_request_id(),
+        )
+    }
+
+    /// [`JobSystem::submit`] with an explicit tracing id: the HTTP
+    /// layer passes the id assigned at accept so worker log lines and
+    /// the decomposition budget share the request's `req=` key.
+    pub fn submit_traced(
+        &self,
+        hypergraph: Hypergraph,
+        hash: ContentHash,
+        canonical: String,
+        options: AnalyzeOptions,
+        request_id: u64,
+    ) -> Result<JobId, SubmitError> {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -294,7 +322,11 @@ impl JobSystem {
             hash,
             canonical,
             options,
+            request_id,
+            enqueued: Instant::now(),
         });
+        metrics().jobs_queue_depth.set(state.queue.len() as i64);
+        log_debug!("jobs", "enqueued"; req = request_id, job = id, depth = state.queue.len());
         cvar.notify_one();
         Ok(id)
     }
@@ -382,20 +414,42 @@ fn worker_loop(
                 if let Some(item) = guard.queue.pop_front() {
                     guard.running += 1;
                     guard.statuses.insert(item.id, JobStatus::Running);
+                    metrics().jobs_queue_depth.set(guard.queue.len() as i64);
                     break item;
                 }
                 guard = cvar.wait(guard).expect("job lock");
             }
         };
+        let queue_wait_us = u64::try_from(item.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+        metrics().jobs_queue_wait_us.observe(queue_wait_us);
         // Run the analysis outside the lock — this is the long part.
         // Client-supplied hypergraphs reach deep into the decomposition
         // code; a panic there must fail the one job, not kill the
         // worker (which would leave the job "running" forever and its
-        // hash stuck in the dedup map).
+        // hash stuck in the dedup map). The request id rides along as
+        // the thread's ambient id so budgets created inside the engine
+        // tag their log lines with it.
         let cfg = item.options.config(config);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            analyze_instance_retaining(&item.hypergraph, &cfg, item.options.method)
-        }));
+        let decompose = SpanTimer::start();
+        let outcome = trace::with_request_id(item.request_id, || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                analyze_instance_retaining(&item.hypergraph, &cfg, item.options.method)
+            }))
+        });
+        let decompose_us = decompose.observe(&metrics().jobs_decompose_us);
+        log_debug!(
+            "jobs",
+            "analysis finished";
+            req = item.request_id,
+            job = item.id,
+            method = item.options.method.as_str(),
+            queue_wait_us = queue_wait_us,
+            decompose_us = decompose_us,
+            panicked = outcome.is_err()
+        );
+        if outcome.is_err() {
+            log_warn!("jobs", "analysis panicked"; req = item.request_id, job = item.id);
+        }
         let mut guard = lock.lock().expect("job lock");
         guard.running -= 1;
         guard.inflight.remove(&item.hash);

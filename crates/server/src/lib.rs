@@ -50,6 +50,7 @@ pub mod cache;
 pub mod handlers;
 pub mod http;
 pub mod jobs;
+pub mod metrics;
 pub mod pool;
 #[cfg(target_os = "linux")]
 pub mod reactor;
@@ -65,6 +66,7 @@ use std::time::{Duration, Instant};
 
 use hyperbench_api::{ApiError, ErrorCode};
 use hyperbench_repo::{AnalysisConfig, Repository};
+use hyperbench_telemetry::{log_error, log_info, log_warn, next_request_id, trace, SpanTimer};
 
 use cache::AnalysisCache;
 use handlers::{error_response, parse_error_response, ServerState};
@@ -139,6 +141,8 @@ pub(crate) enum Endpoint {
     V1Analysis,
     V1Stats,
     V1Health,
+    // Unversioned telemetry scrape route (Prometheus text format).
+    Metrics,
     // Deprecated unversioned PR-1 routes (adapters).
     List,
     Detail,
@@ -159,6 +163,7 @@ fn build_router() -> Router<Endpoint> {
         .add(Method::Get, "/v1/analyses/{id}", Endpoint::V1Analysis)
         .add(Method::Get, "/v1/stats", Endpoint::V1Stats)
         .add(Method::Get, "/v1/healthz", Endpoint::V1Health)
+        .add(Method::Get, "/metrics", Endpoint::Metrics)
         .add(Method::Get, "/hypergraphs", Endpoint::List)
         .add(Method::Get, "/hypergraphs/{id}", Endpoint::Detail)
         .add(Method::Get, "/hypergraphs/{id}/hg", Endpoint::RawHg)
@@ -221,29 +226,26 @@ impl Server {
             match hyperbench_repo::store::spill::recover(path) {
                 Ok((records, problem)) => {
                     if let Some(problem) = problem {
-                        eprintln!(
-                            "hyperbench-server: spill segment {}: {problem}; \
-                             keeping the valid prefix",
-                            path.display()
-                        );
+                        log_warn!("server", "spill segment damaged; keeping the valid prefix";
+                            path = path.display(), problem = problem);
                     }
                     if let Err(e) = hyperbench_repo::store::spill::compact(path) {
-                        eprintln!("hyperbench-server: spill compaction failed: {e}");
+                        log_warn!("server", "spill compaction failed";
+                            path = path.display(), error = e);
                     }
                     warm_cache_entries = cache.warm_load(records);
                 }
-                Err(e) => eprintln!(
-                    "hyperbench-server: cannot read spill segment {}: {e}; starting cold",
-                    path.display()
-                ),
+                Err(e) => {
+                    log_warn!("server", "cannot read spill segment; starting cold";
+                        path = path.display(), error = e);
+                }
             }
             match hyperbench_repo::store::spill::SpillWriter::open_append(path) {
                 Ok(writer) => cache = cache.with_spill(writer),
-                Err(e) => eprintln!(
-                    "hyperbench-server: cannot append to spill segment {}: {e}; \
-                     cache stays memory-only",
-                    path.display()
-                ),
+                Err(e) => {
+                    log_warn!("server", "cannot append to spill segment; cache stays memory-only";
+                        path = path.display(), error = e);
+                }
             }
         }
         let cache = Arc::new(cache);
@@ -361,7 +363,7 @@ impl Server {
             offload,
             opts,
         ) {
-            eprintln!("hyperbench-server: reactor failed: {e}");
+            log_error!("server", "reactor failed"; error = e);
         }
     }
 
@@ -380,6 +382,7 @@ impl Server {
         let pool = ThreadPool::new(self.threads);
         let pending = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let max_pending = pool.size() * 64;
+        let read_deadline = self.read_deadline;
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -403,7 +406,7 @@ impl Server {
                         // The guard releases the slot even if handling
                         // panics (the pool catches the unwind).
                         let _guard = guard;
-                        handle_connection(stream, &state, &router);
+                        handle_connection(stream, &state, &router, read_deadline);
                     });
                 }
                 Err(e) => {
@@ -411,7 +414,7 @@ impl Server {
                     // not kill the server — but retrying instantly would
                     // spin hot while the condition persists, so back off
                     // briefly before the next accept.
-                    eprintln!("accept error: {e}");
+                    log_warn!("server", "accept error; backing off"; error = e);
                     std::thread::sleep(Duration::from_millis(50));
                 }
             }
@@ -446,21 +449,33 @@ impl ShutdownHandle {
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &ServerState, router: &Router<Endpoint>) {
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    router: &Router<Endpoint>,
+    read_deadline: Duration,
+) {
     // Slowloris guard: a connection gets a bounded window to deliver its
     // request (each read is also individually bounded by the socket
     // timeout, mapping to a structured 408).
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_read_timeout(Some(read_deadline));
+    let _ = stream.set_write_timeout(Some(read_deadline.max(Duration::from_secs(10))));
+    let parse = SpanTimer::start();
     let response = match http::read_request(&stream) {
-        Ok(request) => dispatch(state, router, &request),
+        Ok(mut request) => {
+            parse.observe(&metrics::metrics().http_parse_us);
+            request.trace_id = next_request_id();
+            dispatch(state, router, &request)
+        }
         Err(e) => match parse_error_response(&e) {
             Some(response) => response,
             None => return, // peer went away before sending anything
         },
     };
+    let serialize = SpanTimer::start();
     let mut stream = stream;
     let _ = response.write_to(&mut stream);
+    serialize.observe(&metrics::metrics().http_serialize_us);
 }
 
 /// Routes one parsed request to its handler — shared verbatim by the
@@ -471,30 +486,43 @@ pub(crate) fn dispatch(
     router: &Router<Endpoint>,
     request: &Request,
 ) -> Response {
-    match router.route(request.method, &request.path) {
-        RouteMatch::Found(endpoint, params) => match endpoint {
-            Endpoint::V1List => handlers::v1::list(state, request),
-            Endpoint::V1Detail => handlers::v1::get(state, &params),
-            Endpoint::V1RawHg => handlers::v1::raw_hg(state, &params),
-            Endpoint::V1Analyses => handlers::v1::post_analyses(state, request),
-            Endpoint::V1Analysis => handlers::v1::get_analysis(state, &params),
-            Endpoint::V1Stats | Endpoint::Stats => handlers::get_stats(state),
-            Endpoint::V1Health | Endpoint::Health => handlers::get_healthz(state),
-            Endpoint::List => handlers::legacy::list_hypergraphs(state, request),
-            Endpoint::Detail => handlers::legacy::get_hypergraph(state, &params),
-            Endpoint::RawHg => handlers::legacy::get_hypergraph_raw(state, &params),
-            Endpoint::Analyze => handlers::legacy::post_analyze(state, request),
-            Endpoint::Job => handlers::legacy::get_job(state, &params),
-        },
-        RouteMatch::MethodMismatch => error_response(ApiError::new(
-            ErrorCode::MethodNotAllowed,
-            format!("wrong method for {}", request.path),
-        )),
-        RouteMatch::NotFound => error_response(ApiError::not_found(format!(
-            "no route for {}",
-            request.path
-        ))),
-    }
+    metrics::metrics().http_requests.inc();
+    let handle = SpanTimer::start();
+    // The ambient request id makes the trace id visible to everything
+    // the handler calls synchronously (job submission captures it, and
+    // inline cache lookups log under it) without widening signatures.
+    let response = trace::with_request_id(request.trace_id, || {
+        match router.route(request.method, &request.path) {
+            RouteMatch::Found(endpoint, params) => match endpoint {
+                Endpoint::V1List => handlers::v1::list(state, request),
+                Endpoint::V1Detail => handlers::v1::get(state, &params),
+                Endpoint::V1RawHg => handlers::v1::raw_hg(state, &params),
+                Endpoint::V1Analyses => handlers::v1::post_analyses(state, request),
+                Endpoint::V1Analysis => handlers::v1::get_analysis(state, &params),
+                Endpoint::V1Stats | Endpoint::Stats => handlers::get_stats(state),
+                Endpoint::V1Health | Endpoint::Health => handlers::get_healthz(state),
+                Endpoint::Metrics => handlers::get_metrics(),
+                Endpoint::List => handlers::legacy::list_hypergraphs(state, request),
+                Endpoint::Detail => handlers::legacy::get_hypergraph(state, &params),
+                Endpoint::RawHg => handlers::legacy::get_hypergraph_raw(state, &params),
+                Endpoint::Analyze => handlers::legacy::post_analyze(state, request),
+                Endpoint::Job => handlers::legacy::get_job(state, &params),
+            },
+            RouteMatch::MethodMismatch => error_response(ApiError::new(
+                ErrorCode::MethodNotAllowed,
+                format!("wrong method for {}", request.path),
+            )),
+            RouteMatch::NotFound => error_response(ApiError::not_found(format!(
+                "no route for {}",
+                request.path
+            ))),
+        }
+    });
+    let handle_us = handle.observe(&metrics::metrics().http_handle_us);
+    hyperbench_telemetry::log_debug!("http", "request handled";
+        req = request.trace_id, method = request.method.as_str(), path = request.path,
+        status = response.status, handle_us = handle_us);
+    response
 }
 
 /// Loads a TSV repository from `dir` and serves it until the process
@@ -571,6 +599,8 @@ fn serve_repo(
         IoMode::Reactor => format!("epoll reactor, {} event loops", server.reactor_threads),
         IoMode::Blocking => format!("blocking IO, {} connection threads", server.threads),
     };
+    // The startup banner stays on stdout (scripts read the bound
+    // address from it); the structured line mirrors it for log capture.
     println!(
         "hyperbench-server: {} entries from {source} on http://{} \
          ({io}, {} analysis workers, {} warm cache entries)",
@@ -579,6 +609,10 @@ fn serve_repo(
         config.analysis_workers,
         server.warm_cache_entries(),
     );
+    log_info!("server", "serving";
+        entries = server.state.repo.len(), source = source, addr = server.local_addr(),
+        io = io, analysis_workers = config.analysis_workers,
+        warm_cache_entries = server.warm_cache_entries());
     server.run();
     Ok(())
 }

@@ -50,9 +50,11 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hyperbench_api::{ApiError, ErrorCode};
+use hyperbench_telemetry::{log_error, log_warn, next_request_id, SpanTimer};
 
 use crate::handlers::{error_response, parse_error_response, ServerState};
 use crate::http::{Method, Parse, RequestParser, Response, MAX_BODY, MAX_HEAD};
+use crate::metrics::metrics;
 use crate::pool::ThreadPool;
 use crate::router::Router;
 use crate::{dispatch, Endpoint};
@@ -345,6 +347,7 @@ impl EventLoop {
             ))
             .serialize_into(false, &mut payload);
             let _ = (&stream).write(&payload);
+            metrics().reactor_rejected_503.inc();
             return;
         }
         let _ = stream.set_nodelay(true);
@@ -459,9 +462,17 @@ impl EventLoop {
                     }
                     break;
                 }
-                Ok((used, Parse::Complete(request))) => {
+                Ok((used, Parse::Complete(mut request))) => {
                     conn.read_pos += used;
-                    conn.request_started = None;
+                    // Parse latency anchors at the request's first byte;
+                    // a request that arrived whole in one read parses in
+                    // (effectively) zero time.
+                    let parse_us = conn
+                        .request_started
+                        .take()
+                        .map_or(0, |t| t.elapsed().as_micros() as u64);
+                    metrics().http_parse_us.observe(parse_us);
+                    request.trace_id = next_request_id();
                     let keep_alive = request.keep_alive;
                     if request.method == Method::Post {
                         // Slow path: hand the request to the worker pool
@@ -537,7 +548,9 @@ impl EventLoop {
             conn.write_buf.clear();
             conn.write_pos = 0;
         }
+        let serialize = SpanTimer::start();
         response.serialize_into(keep_alive, &mut conn.write_buf);
+        serialize.observe(&metrics().http_serialize_us);
         if !keep_alive {
             conn.close_after_flush = true;
         }
@@ -557,6 +570,7 @@ impl EventLoop {
                 Ok(n) => {
                     conn.write_pos += n;
                     conn.last_activity = Instant::now();
+                    metrics().reactor_write_bytes.add(n as u64);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Fate::Keep,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -613,6 +627,7 @@ impl EventLoop {
                 // Already answered and closing; if the peer will not
                 // drain the response within the idle window, cut it.
                 if now.duration_since(conn.last_activity) > self.opts.idle_timeout {
+                    metrics().reactor_reaped.inc();
                     self.close(slot);
                 }
                 continue;
@@ -622,6 +637,7 @@ impl EventLoop {
                     // Clear the anchor so the 408 is queued exactly once
                     // even if the write stalls across further sweeps.
                     conn.request_started = None;
+                    metrics().http_responses_408.inc();
                     let response = error_response(ApiError::new(
                         ErrorCode::RequestTimeout,
                         format!(
@@ -632,6 +648,7 @@ impl EventLoop {
                     self.queue_response(slot, response, false);
                 }
             } else if now.duration_since(conn.last_activity) > self.opts.idle_timeout {
+                metrics().reactor_reaped.inc();
                 self.close(slot);
             }
         }
@@ -755,7 +772,7 @@ fn event_loop_main(
     let mut el = match EventLoop::new(id, shared, wake_rx, state, router, offload, opts) {
         Ok(el) => el,
         Err(e) => {
-            eprintln!("hyperbench-server: reactor loop {id} failed to start: {e}");
+            log_error!("reactor", "event loop failed to start"; loop_id = id, error = e);
             shutdown.store(true, Ordering::SeqCst);
             for s in shareds {
                 s.wake();
@@ -768,7 +785,7 @@ fn event_loop_main(
             .epoll
             .add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)
         {
-            eprintln!("hyperbench-server: cannot watch the listener: {e}");
+            log_error!("reactor", "cannot watch the listener"; error = e);
             shutdown.store(true, Ordering::SeqCst);
         }
     }
@@ -787,11 +804,14 @@ fn event_loop_main(
         let n = match el.epoll.wait(&mut events, TICK) {
             Ok(n) => n,
             Err(e) => {
-                eprintln!("hyperbench-server: epoll_wait failed: {e}");
+                log_error!("reactor", "epoll_wait failed; shutting down"; loop_id = id, error = e);
                 shutdown.store(true, Ordering::SeqCst);
                 continue;
             }
         };
+        if n > 0 {
+            metrics().reactor_wakeups.inc();
+        }
         for ev in events.iter().take(n) {
             let token = ev.data;
             let bits = ev.events;
@@ -832,6 +852,7 @@ fn accept_burst(
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
+                metrics().reactor_accepted.inc();
                 let target = *next_loop % shareds.len();
                 *next_loop = next_loop.wrapping_add(1);
                 if target == el.id {
@@ -846,7 +867,7 @@ fn accept_burst(
             Err(e) => {
                 // Transient accept failures (EMFILE and friends) must not
                 // kill the loop; epoll will re-announce readiness.
-                eprintln!("accept error: {e}");
+                log_warn!("reactor", "accept error"; error = e);
                 return;
             }
         }

@@ -1,0 +1,340 @@
+//! A leveled, structured key=value logger on stderr.
+//!
+//! One line per event: `level=<lvl> target=<subsystem> msg="<text>"
+//! k1=v1 k2=v2 …` — greppable, machine-splittable, no timestamps from
+//! wall-clock formatting dependencies (a monotonic `uptime_ms` field
+//! orders events within a process).
+//!
+//! The threshold comes from, in priority order: an explicit
+//! [`set_level`] call (the `--log-level` CLI flag), the
+//! `HYPERBENCH_LOG` environment variable (`error|warn|info|debug|trace`
+//! or `off`), or the default of [`Level::Info`]. Level checks are one
+//! relaxed atomic load, so disabled log sites cost nothing but the
+//! branch.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-affecting failures.
+    Error = 0,
+    /// Degraded but continuing (retry, fallback, suppressed errors).
+    Warn = 1,
+    /// Lifecycle and per-request events (the default threshold).
+    Info = 2,
+    /// Verbose internals: spans, cache decisions, scheduling.
+    Debug = 3,
+    /// Per-iteration noise.
+    Trace = 4,
+}
+
+impl Level {
+    /// The lowercase wire/CLI name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a CLI/env name (case-insensitive). `off` maps to `None`
+    /// via [`parse_threshold`]; plain levels parse here.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a threshold string: a [`Level`] name, or `off`/`none` to
+/// silence all logging.
+pub fn parse_threshold(s: &str) -> Option<Option<Level>> {
+    match s.to_ascii_lowercase().as_str() {
+        "off" | "none" => Some(None),
+        other => Level::parse(other).map(Some),
+    }
+}
+
+/// The threshold is stored as `level + 1` so that `0` means "off" and
+/// an `enabled` check is a single `<` against the raw value.
+const OFF: u8 = 0;
+/// Sentinel for "not configured yet — consult the environment".
+const UNSET: u8 = u8::MAX;
+
+const fn encode(level: Level) -> u8 {
+    level as u8 + 1
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+fn env_default() -> u8 {
+    match std::env::var("HYPERBENCH_LOG") {
+        Ok(v) => match parse_threshold(&v) {
+            Some(Some(l)) => encode(l),
+            Some(None) => OFF,
+            None => encode(Level::Info),
+        },
+        Err(_) => encode(Level::Info),
+    }
+}
+
+fn current() -> u8 {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != UNSET {
+        return raw;
+    }
+    let resolved = env_default();
+    // Racing first calls resolve the same env value; an explicit
+    // set_level in between wins over our stale UNSET.
+    let _ = LEVEL.compare_exchange(UNSET, resolved, Ordering::Relaxed, Ordering::Relaxed);
+    LEVEL.load(Ordering::Relaxed)
+}
+
+/// Sets the logging threshold explicitly (`None` = off). Overrides the
+/// `HYPERBENCH_LOG` environment default; the CLI flag calls this.
+pub fn set_level(level: Option<Level>) {
+    LEVEL.store(level.map_or(OFF, encode), Ordering::Relaxed);
+}
+
+/// The active threshold, `None` when logging is off.
+pub fn level() -> Option<Level> {
+    match current() {
+        OFF => None,
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        4 => Some(Level::Debug),
+        _ => Some(Level::Trace),
+    }
+}
+
+/// Whether events at `level` pass the active threshold.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) < current()
+}
+
+fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Milliseconds since the first log call — a cheap monotonic ordering
+/// field.
+pub fn uptime_ms() -> u128 {
+    process_start().elapsed().as_millis()
+}
+
+/// Writes one structured line to stderr. Callers go through the
+/// [`crate::log_error!`] family, which checks [`enabled`] first.
+pub fn emit(level: Level, target: &str, msg: &str, kvs: &[(&str, String)]) {
+    let mut line = String::with_capacity(96);
+    line.push_str("uptime_ms=");
+    line.push_str(&uptime_ms().to_string());
+    line.push_str(" level=");
+    line.push_str(level.as_str());
+    line.push_str(" target=");
+    line.push_str(target);
+    line.push_str(" msg=");
+    push_value(&mut line, msg);
+    for (k, v) in kvs {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        push_value(&mut line, v);
+    }
+    line.push('\n');
+    // A poisoned stderr must never take the server down.
+    let _ = std::io::stderr().lock().write_all(line.as_bytes());
+}
+
+/// Quotes a value when it contains whitespace, `"` or `=`; bare
+/// otherwise.
+fn push_value(line: &mut String, v: &str) {
+    let needs_quotes =
+        v.is_empty() || v.contains(|c: char| c.is_whitespace() || c == '"' || c == '=');
+    if needs_quotes {
+        line.push('"');
+        for c in v.chars() {
+            if c == '"' || c == '\\' {
+                line.push('\\');
+            }
+            if c == '\n' {
+                line.push_str("\\n");
+            } else {
+                line.push(c);
+            }
+        }
+        line.push('"');
+    } else {
+        line.push_str(v);
+    }
+}
+
+/// Logs at a given level with structured `key = value` pairs:
+/// `log_event!(Level::Info, "reactor", "accepted"; conn = id, peer = addr)`.
+/// Values go through `Display`. The level check happens before any
+/// formatting.
+#[macro_export]
+macro_rules! log_event {
+    ($lvl:expr, $target:expr, $msg:expr $(; $($k:ident = $v:expr),+ $(,)?)?) => {{
+        if $crate::log::enabled($lvl) {
+            $crate::log::emit(
+                $lvl,
+                $target,
+                $msg,
+                &[$($((stringify!($k), ::std::string::ToString::to_string(&$v))),+)?],
+            );
+        }
+    }};
+}
+
+/// [`log_event!`] at [`Level::Error`].
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $msg:expr $(; $($rest:tt)*)?) => {
+        $crate::log_event!($crate::log::Level::Error, $target, $msg $(; $($rest)*)?)
+    };
+}
+
+/// [`log_event!`] at [`Level::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $msg:expr $(; $($rest:tt)*)?) => {
+        $crate::log_event!($crate::log::Level::Warn, $target, $msg $(; $($rest)*)?)
+    };
+}
+
+/// [`log_event!`] at [`Level::Info`].
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $msg:expr $(; $($rest:tt)*)?) => {
+        $crate::log_event!($crate::log::Level::Info, $target, $msg $(; $($rest)*)?)
+    };
+}
+
+/// [`log_event!`] at [`Level::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $msg:expr $(; $($rest:tt)*)?) => {
+        $crate::log_event!($crate::log::Level::Debug, $target, $msg $(; $($rest)*)?)
+    };
+}
+
+/// A once-per-N gate for log sites that would spam under sustained
+/// failure (e.g. a full disk failing every spill append). `tick()`
+/// returns `Some(total_so_far)` on the 1st, N+1th, 2N+1th … call and
+/// `None` otherwise, so the caller logs the first failure immediately
+/// and then a summarizing line every N occurrences.
+#[derive(Debug)]
+pub struct Every {
+    n: u64,
+    count: AtomicU64,
+}
+
+impl Every {
+    /// A gate that opens on the first call and every `n`th after.
+    pub const fn new(n: u64) -> Every {
+        Every {
+            n,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers one occurrence; `Some(total)` when this one should be
+    /// logged.
+    pub fn tick(&self) -> Option<u64> {
+        let prev = self.count.fetch_add(1, Ordering::Relaxed);
+        let n = self.n.max(1);
+        prev.is_multiple_of(n).then_some(prev + 1)
+    }
+
+    /// Total occurrences registered so far.
+    pub fn total(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The threshold is process-global and tests run concurrently, so
+    /// every test that writes it holds this lock.
+    static LEVEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn level_parse_and_threshold() {
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert_eq!(parse_threshold("off"), Some(None));
+        assert_eq!(parse_threshold("debug"), Some(Some(Level::Debug)));
+        assert_eq!(parse_threshold("bogus"), None);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        let _guard = LEVEL_LOCK.lock().unwrap();
+        set_level(Some(Level::Warn));
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(None);
+        assert!(!enabled(Level::Error));
+        set_level(Some(Level::Info));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+    }
+
+    #[test]
+    fn every_opens_first_and_each_nth() {
+        let gate = Every::new(3);
+        assert_eq!(gate.tick(), Some(1));
+        assert_eq!(gate.tick(), None);
+        assert_eq!(gate.tick(), None);
+        assert_eq!(gate.tick(), Some(4));
+        assert_eq!(gate.total(), 4);
+        let degenerate = Every::new(0);
+        assert_eq!(degenerate.tick(), Some(1));
+        assert_eq!(degenerate.tick(), Some(2));
+    }
+
+    #[test]
+    fn values_quote_only_when_needed() {
+        let mut s = String::new();
+        push_value(&mut s, "bare");
+        assert_eq!(s, "bare");
+        s.clear();
+        push_value(&mut s, "two words");
+        assert_eq!(s, "\"two words\"");
+        s.clear();
+        push_value(&mut s, "a\"b");
+        assert_eq!(s, "\"a\\\"b\"");
+        s.clear();
+        push_value(&mut s, "");
+        assert_eq!(s, "\"\"");
+    }
+
+    #[test]
+    fn macros_compile_with_and_without_kvs() {
+        let _guard = LEVEL_LOCK.lock().unwrap();
+        set_level(Some(Level::Info));
+        crate::log_info!("telemetry-test", "plain message");
+        crate::log_info!("telemetry-test", "with kvs"; a = 1, b = "x y");
+        crate::log_debug!("telemetry-test", "suppressed at info"; n = 42);
+    }
+}

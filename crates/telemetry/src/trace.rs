@@ -1,0 +1,125 @@
+//! Request tracing: process-unique request ids and span timers.
+//!
+//! A request id is assigned once, at `accept()` time, and carried by
+//! value through router → handler → job queue → worker → decomposition
+//! budget, so every structured log line about one request shares one
+//! `req=<id>` key. Span timers measure one phase (parse, route,
+//! handle, queue-wait, decompose, serialize) and feed the phase's
+//! latency histogram in microseconds.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh process-unique request id (monotone from 1).
+#[inline]
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The request id the current thread is working on behalf of
+    /// (0 = none). Workers set it around one unit of request work so
+    /// deeper layers (e.g. a decomposition budget) can pick it up
+    /// without threading an id through every signature.
+    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Runs `f` with `id` as the thread's ambient request id, restoring the
+/// previous id afterwards (nesting-safe).
+pub fn with_request_id<R>(id: u64, f: impl FnOnce() -> R) -> R {
+    CURRENT_REQUEST.with(|c| {
+        let prev = c.replace(id);
+        let out = f();
+        c.set(prev);
+        out
+    })
+}
+
+/// The thread's ambient request id (0 when no request is in scope).
+pub fn current_request_id() -> u64 {
+    CURRENT_REQUEST.with(Cell::get)
+}
+
+/// A monotonic stopwatch for one phase of a request.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing now.
+    pub fn start() -> SpanTimer {
+        SpanTimer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since [`SpanTimer::start`], saturating.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Records the elapsed microseconds into `h` and returns them.
+    pub fn observe(&self, h: &Histogram) -> u64 {
+        let us = self.elapsed_us();
+        h.observe(us);
+        us
+    }
+}
+
+impl Default for SpanTimer {
+    fn default() -> Self {
+        SpanTimer::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_unique_and_monotone_per_thread() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(b > a);
+        let ids: std::collections::HashSet<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| (0..100).map(|_| next_request_id()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(ids.len(), 400, "no id is handed out twice");
+    }
+
+    #[test]
+    fn ambient_request_id_nests_and_restores() {
+        assert_eq!(current_request_id(), 0);
+        let inner = with_request_id(7, || {
+            let outer_seen = current_request_id();
+            let nested = with_request_id(9, current_request_id);
+            (outer_seen, nested, current_request_id())
+        });
+        assert_eq!(inner, (7, 9, 7));
+        assert_eq!(current_request_id(), 0, "restored after the scope");
+    }
+
+    #[test]
+    fn span_timer_observes_into_histogram() {
+        let h = Histogram::default();
+        let t = SpanTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let us = t.observe(&h);
+        assert!(us >= 1_000, "at least the sleep elapsed: {us}");
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, us);
+    }
+}
