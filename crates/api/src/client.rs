@@ -10,7 +10,9 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use crate::cursor::PageCursor;
-use crate::dto::{AnalysisResource, AnalyzeRequest, EntryDetail, PageDto};
+use crate::dto::{
+    AnalysisResource, AnalyzeRequest, EntryDetail, PageDto, WriteReceipt, WriteRequest,
+};
 use crate::error::ApiError;
 use crate::json::Json;
 
@@ -254,6 +256,28 @@ impl Client {
             return Err(ClientError::Api { status, error });
         }
         Ok(body)
+    }
+
+    /// `POST /v1/hypergraphs` — store a hypergraph. Idempotent by
+    /// content: re-posting an identical document answers 200 with the
+    /// existing id instead of creating a duplicate.
+    pub fn put_new(&self, req: &WriteRequest) -> Result<WriteReceipt, ClientError> {
+        let body = req.to_json().to_string();
+        let j = self.json("POST", "/v1/hypergraphs", Some(&body))?;
+        WriteReceipt::from_json(&j).map_err(decode_err)
+    }
+
+    /// `PUT /v1/hypergraphs/{id}` — replace an existing entry wholesale.
+    pub fn put(&self, id: usize, req: &WriteRequest) -> Result<WriteReceipt, ClientError> {
+        let body = req.to_json().to_string();
+        let j = self.json("PUT", &format!("/v1/hypergraphs/{id}"), Some(&body))?;
+        WriteReceipt::from_json(&j).map_err(decode_err)
+    }
+
+    /// `DELETE /v1/hypergraphs/{id}` — remove an entry.
+    pub fn delete(&self, id: usize) -> Result<WriteReceipt, ClientError> {
+        let j = self.json("DELETE", &format!("/v1/hypergraphs/{id}"), None)?;
+        WriteReceipt::from_json(&j).map_err(decode_err)
     }
 
     /// `POST /v1/analyses` — submit a typed analysis request. A cache

@@ -12,11 +12,18 @@
 //! Clients must treat tokens as opaque; the encoding may change between
 //! API versions.
 
-/// A decoded pagination cursor: resume strictly after this entry id.
+/// A decoded pagination cursor: resume strictly after this entry id,
+/// optionally pinned to the MVCC snapshot the first page was served
+/// from (so a multi-page walk over a writable repository sees one
+/// consistent generation end to end).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageCursor {
     /// The last entry id the previous page served.
     pub after_id: usize,
+    /// The snapshot sequence number the walk is pinned to, when the
+    /// server is writable. `None` on read-only tokens (and all pre-PR-7
+    /// tokens, which keep decoding).
+    pub snapshot: Option<u64>,
 }
 
 /// Why a cursor token failed to decode.
@@ -49,9 +56,20 @@ fn fnv1a(bytes: &[u8]) -> u32 {
 }
 
 impl PageCursor {
+    /// A cursor with no snapshot pin.
+    pub fn after(after_id: usize) -> PageCursor {
+        PageCursor {
+            after_id,
+            snapshot: None,
+        }
+    }
+
     /// Encodes into an opaque token.
     pub fn encode(&self) -> String {
-        let payload = format!("v1:{}", self.after_id);
+        let payload = match self.snapshot {
+            Some(seq) => format!("v1:{}:{seq}", self.after_id),
+            None => format!("v1:{}", self.after_id),
+        };
         let mut out = String::with_capacity(payload.len() * 2 + 8);
         for b in payload.bytes() {
             out.push_str(&format!("{b:02x}"));
@@ -82,8 +100,15 @@ impl PageCursor {
             let version = payload.split(':').next().unwrap_or("").to_string();
             return Err(CursorError::UnknownVersion(version));
         };
-        let after_id = rest.parse().map_err(|_| CursorError::Malformed)?;
-        Ok(PageCursor { after_id })
+        let (id_part, snapshot) = match rest.split_once(':') {
+            Some((id, seq)) => {
+                let seq = seq.parse().map_err(|_| CursorError::Malformed)?;
+                (id, Some(seq))
+            }
+            None => (rest, None),
+        };
+        let after_id = id_part.parse().map_err(|_| CursorError::Malformed)?;
+        Ok(PageCursor { after_id, snapshot })
     }
 }
 
@@ -94,21 +119,26 @@ mod tests {
     #[test]
     fn roundtrip() {
         for id in [0usize, 1, 42, 99_999, usize::MAX >> 1] {
-            let token = PageCursor { after_id: id }.encode();
-            assert_eq!(PageCursor::decode(&token), Ok(PageCursor { after_id: id }));
+            for snapshot in [None, Some(0u64), Some(7), Some(u64::MAX >> 1)] {
+                let cursor = PageCursor {
+                    after_id: id,
+                    snapshot,
+                };
+                assert_eq!(PageCursor::decode(&cursor.encode()), Ok(cursor));
+            }
         }
     }
 
     #[test]
     fn tokens_are_opaque_hex() {
-        let token = PageCursor { after_id: 7 }.encode();
+        let token = PageCursor::after(7).encode();
         assert!(token.chars().all(|c| c.is_ascii_hexdigit()));
         assert!(!token.contains("v1"));
     }
 
     #[test]
     fn tampering_is_rejected() {
-        let token = PageCursor { after_id: 7 }.encode();
+        let token = PageCursor::after(7).encode();
         // Flip one payload nibble.
         let mut bad = token.clone().into_bytes();
         bad[0] = if bad[0] == b'0' { b'1' } else { b'0' };

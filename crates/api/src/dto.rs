@@ -327,6 +327,185 @@ impl PageDto {
     }
 }
 
+/// `POST /v1/hypergraphs` and `PUT /v1/hypergraphs/{id}` request body:
+/// an `.hg` document plus its provenance labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteRequest {
+    /// The `.hg` document to store.
+    pub hypergraph: String,
+    /// Collection label (defaults to `"uploads"` when absent).
+    pub collection: String,
+    /// Class label (defaults to `"Uploaded"` when absent).
+    pub class: String,
+}
+
+/// Default collection label for uploaded hypergraphs.
+pub const DEFAULT_WRITE_COLLECTION: &str = "uploads";
+/// Default class label for uploaded hypergraphs.
+pub const DEFAULT_WRITE_CLASS: &str = "Uploaded";
+
+impl WriteRequest {
+    /// A request with the default provenance labels.
+    pub fn new(hypergraph: impl Into<String>) -> WriteRequest {
+        WriteRequest {
+            hypergraph: hypergraph.into(),
+            collection: DEFAULT_WRITE_COLLECTION.to_string(),
+            class: DEFAULT_WRITE_CLASS.to_string(),
+        }
+    }
+
+    /// Same document, explicit provenance.
+    pub fn labeled(
+        hypergraph: impl Into<String>,
+        collection: impl Into<String>,
+        class: impl Into<String>,
+    ) -> WriteRequest {
+        WriteRequest {
+            hypergraph: hypergraph.into(),
+            collection: collection.into(),
+            class: class.into(),
+        }
+    }
+
+    /// Encodes to the wire shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("hypergraph", Json::str(&self.hypergraph)),
+            (schema::COLLECTION, Json::str(&self.collection)),
+            (schema::CLASS, Json::str(&self.class)),
+        ])
+    }
+
+    /// Decodes the wire shape; absent labels take the defaults.
+    pub fn from_json(j: &Json) -> Result<WriteRequest, DecodeError> {
+        let hypergraph = req_str(j, "hypergraph")?;
+        let label = |field: &str, default: &str| -> Result<String, DecodeError> {
+            match j.get(field) {
+                None | Some(Json::Null) => Ok(default.to_string()),
+                Some(v) => v.as_str().map(str::to_string).ok_or_else(|| missing(field)),
+            }
+        };
+        Ok(WriteRequest {
+            hypergraph,
+            collection: label(schema::COLLECTION, DEFAULT_WRITE_COLLECTION)?,
+            class: label(schema::CLASS, DEFAULT_WRITE_CLASS)?,
+        })
+    }
+}
+
+/// What a write actually did — the wire form of the server's commit
+/// decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// A new entry was committed (`POST` → 201).
+    Created,
+    /// An identical hypergraph already existed; nothing was written
+    /// (`POST` idempotent hit → 200).
+    Exists,
+    /// The addressed entry was replaced (`PUT` → 200).
+    Replaced,
+    /// The addressed entry was removed (`DELETE` → 200).
+    Removed,
+}
+
+impl WriteOutcome {
+    /// The stable wire string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WriteOutcome::Created => "created",
+            WriteOutcome::Exists => "exists",
+            WriteOutcome::Replaced => "replaced",
+            WriteOutcome::Removed => "removed",
+        }
+    }
+
+    /// Parses a wire string.
+    pub fn parse(s: &str) -> Option<WriteOutcome> {
+        Some(match s {
+            "created" => WriteOutcome::Created,
+            "exists" => WriteOutcome::Exists,
+            "replaced" => WriteOutcome::Replaced,
+            "removed" => WriteOutcome::Removed,
+            _ => return None,
+        })
+    }
+
+    /// The HTTP status a successful write with this outcome answers.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            WriteOutcome::Created => 201,
+            WriteOutcome::Exists | WriteOutcome::Replaced | WriteOutcome::Removed => 200,
+        }
+    }
+}
+
+/// Response body of every successful `/v1/hypergraphs` write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteReceipt {
+    /// The entry the write addressed (for `Created`/`Exists`, the id to
+    /// read it back under).
+    pub id: usize,
+    /// What the write did.
+    pub outcome: WriteOutcome,
+    /// The commit sequence number, when a record was durably appended
+    /// (`None` on an idempotent `Exists` hit — nothing was written).
+    pub seq: Option<u64>,
+    /// Canonical content hash of the stored hypergraph (hex), when one
+    /// is live after the write (`None` after `Removed`). Clients use it
+    /// to verify durability across restarts.
+    pub content_hash: Option<u64>,
+}
+
+impl WriteReceipt {
+    /// Encodes to the wire shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (schema::ID, Json::int(self.id)),
+            (schema::OUTCOME, Json::str(self.outcome.as_str())),
+            (
+                schema::SEQ,
+                self.seq.map_or(Json::Null, |s| Json::int(s as usize)),
+            ),
+            (
+                schema::CONTENT_HASH,
+                self.content_hash
+                    .map_or(Json::Null, |h| Json::str(format!("{h:016x}"))),
+            ),
+        ])
+    }
+
+    /// Decodes the wire shape.
+    pub fn from_json(j: &Json) -> Result<WriteReceipt, DecodeError> {
+        let outcome = j
+            .get(schema::OUTCOME)
+            .and_then(Json::as_str)
+            .and_then(WriteOutcome::parse)
+            .ok_or_else(|| missing(schema::OUTCOME))?;
+        let seq = match j.get(schema::SEQ) {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_int()
+                    .and_then(|n| u64::try_from(n).ok())
+                    .ok_or_else(|| missing(schema::SEQ))?,
+            ),
+        };
+        let content_hash = match j.get(schema::CONTENT_HASH) {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| missing(schema::CONTENT_HASH))?,
+            ),
+        };
+        Ok(WriteReceipt {
+            id: req_usize(j, schema::ID)?,
+            outcome,
+            seq,
+            content_hash,
+        })
+    }
+}
+
 /// One named edge of a full entry payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeDto {
@@ -1348,7 +1527,7 @@ mod tests {
                 hw_upper: Some(2),
                 hw_lower: Some(2),
             }],
-            next_cursor: Some(crate::cursor::PageCursor { after_id: 0 }.encode()),
+            next_cursor: Some(crate::cursor::PageCursor::after(0).encode()),
         };
         let wire = page.to_json().to_string();
         assert_eq!(PageDto::from_json(&Json::parse(&wire).unwrap()), Ok(page));

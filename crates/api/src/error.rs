@@ -30,6 +30,14 @@ pub enum ErrorCode {
     /// The client did not deliver its request within the read deadline
     /// (slowloris guard).
     RequestTimeout,
+    /// The write conflicts with existing state (e.g. a replace raced a
+    /// delete).
+    Conflict,
+    /// The request body parsed as JSON but does not describe a valid
+    /// hypergraph.
+    InvalidHypergraph,
+    /// The server is running read-only; writes need `--writable`.
+    ReadOnly,
     /// The bounded analysis queue is at capacity; retry later.
     QueueFull,
     /// The service is shutting down.
@@ -50,6 +58,9 @@ impl ErrorCode {
             ErrorCode::MethodNotAllowed => "method_not_allowed",
             ErrorCode::PayloadTooLarge => "payload_too_large",
             ErrorCode::RequestTimeout => "request_timeout",
+            ErrorCode::Conflict => "conflict",
+            ErrorCode::InvalidHypergraph => "invalid_hypergraph",
+            ErrorCode::ReadOnly => "read_only",
             ErrorCode::QueueFull => "queue_full",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
@@ -67,6 +78,9 @@ impl ErrorCode {
             "method_not_allowed" => ErrorCode::MethodNotAllowed,
             "payload_too_large" => ErrorCode::PayloadTooLarge,
             "request_timeout" => ErrorCode::RequestTimeout,
+            "conflict" => ErrorCode::Conflict,
+            "invalid_hypergraph" => ErrorCode::InvalidHypergraph,
+            "read_only" => ErrorCode::ReadOnly,
             "queue_full" => ErrorCode::QueueFull,
             "shutting_down" => ErrorCode::ShuttingDown,
             "internal" => ErrorCode::Internal,
@@ -81,10 +95,13 @@ impl ErrorCode {
             | ErrorCode::InvalidParam
             | ErrorCode::InvalidCursor
             | ErrorCode::ParseError => 400,
+            ErrorCode::ReadOnly => 403,
             ErrorCode::NotFound => 404,
             ErrorCode::MethodNotAllowed => 405,
+            ErrorCode::Conflict => 409,
             ErrorCode::PayloadTooLarge => 413,
             ErrorCode::RequestTimeout => 408,
+            ErrorCode::InvalidHypergraph => 422,
             ErrorCode::QueueFull | ErrorCode::ShuttingDown => 503,
             ErrorCode::Internal => 500,
         }
@@ -177,6 +194,9 @@ mod tests {
             ErrorCode::MethodNotAllowed,
             ErrorCode::PayloadTooLarge,
             ErrorCode::RequestTimeout,
+            ErrorCode::Conflict,
+            ErrorCode::InvalidHypergraph,
+            ErrorCode::ReadOnly,
             ErrorCode::QueueFull,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
@@ -184,7 +204,7 @@ mod tests {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
             assert!(matches!(
                 code.http_status(),
-                400 | 404 | 405 | 408 | 413 | 500 | 503
+                400 | 403 | 404 | 405 | 408 | 409 | 413 | 422 | 500 | 503
             ));
         }
         assert_eq!(ErrorCode::parse("nope"), None);

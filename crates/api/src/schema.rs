@@ -90,6 +90,14 @@ pub const JOBS: &str = "jobs";
 pub const RESULT: &str = "result";
 /// Analysis resource: the witness decomposition tree.
 pub const DECOMPOSITION: &str = "decomposition";
+/// Write receipts: what the write did (`created`/`exists`/`replaced`/
+/// `removed`).
+pub const OUTCOME: &str = "outcome";
+/// Write receipts: commit sequence number (`null` on idempotent hits).
+pub const SEQ: &str = "seq";
+/// Write receipts: canonical content hash of the stored hypergraph
+/// (hex, 16 digits).
+pub const CONTENT_HASH: &str = "content_hash";
 /// Error payloads: stable machine-readable code.
 pub const CODE: &str = "code";
 /// Error payloads: human-readable message (legacy-compatible key).

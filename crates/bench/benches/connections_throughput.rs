@@ -1,21 +1,16 @@
 //! Serving-path throughput: N concurrent keep-alive clients issuing
-//! repository reads against the epoll reactor vs the legacy
-//! thread-per-connection (`--blocking-io`) engine.
+//! repository reads against the epoll reactor.
 //!
-//! Both variants serve the identical repository and answer the identical
-//! requests; they differ only in the connection engine and its thread
-//! budget. The reactor runs **2 event loops**; the blocking baseline
-//! gets **8 connection threads** — the CI perf job (`BENCH_PR5.json`)
-//! asserts the reactor sustains at least baseline throughput with a
-//! quarter of the serving threads at 64 concurrent connections.
+//! The reactor runs **2 event loops** serving **64 concurrent
+//! keep-alive connections** — the CI perf job tracks the absolute
+//! round latency so serving-path regressions surface in the bench
+//! history. `CRITERION_SHIM_JOBS` is set to the event-loop count, so
+//! the emitted JSON lines are self-describing.
 //!
-//! The clients play each engine's best game, which is exactly the
-//! real-world contrast: against the reactor they hold one keep-alive
-//! connection each; against the blocking engine — which answers
-//! `Connection: close` and hangs up after every response — they must
-//! reconnect per request. `CRITERION_SHIM_JOBS` is set around each
-//! variant to the serving-thread count, so the emitted JSON lines are
-//! self-describing.
+//! Serving-path telemetry (request counters, reactor wakeups, write
+//! bytes, latency summaries) rides along as a `<variant>/telemetry`
+//! JSON line, and the bench scrapes `/metrics` over the wire the way
+//! an operator's Prometheus would.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -31,9 +26,7 @@ use hyperbench_server::{Server, ServerConfig, ShutdownHandle};
 const CLIENTS: usize = 64;
 /// Requests each client issues per measured round.
 const REQUESTS_PER_CLIENT: usize = 8;
-/// Blocking-baseline connection threads.
-const BLOCKING_THREADS: usize = 8;
-/// Reactor event loops (≤ half the baseline per the acceptance bar).
+/// Reactor event loops.
 const REACTOR_THREADS: usize = 2;
 
 fn repo() -> Repository {
@@ -55,15 +48,13 @@ fn repo() -> Repository {
     repo
 }
 
-fn start(blocking: bool) -> (std::thread::JoinHandle<()>, SocketAddr, ShutdownHandle) {
+fn start() -> (std::thread::JoinHandle<()>, SocketAddr, ShutdownHandle) {
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        threads: BLOCKING_THREADS,
         ..ServerConfig::default()
     };
     let server = Server::bind(repo(), &config)
         .expect("bind ephemeral port")
-        .with_blocking_io(blocking)
         .with_reactor_threads(REACTOR_THREADS);
     let addr = server.local_addr();
     let shutdown = server.shutdown_handle();
@@ -72,8 +63,6 @@ fn start(blocking: bool) -> (std::thread::JoinHandle<()>, SocketAddr, ShutdownHa
 }
 
 const REQUEST_KEEP_ALIVE: &[u8] = b"GET /v1/hypergraphs/3 HTTP/1.1\r\nHost: bench\r\n\r\n";
-const REQUEST_CLOSE: &[u8] =
-    b"GET /v1/hypergraphs/3 HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n";
 
 fn connect(addr: SocketAddr) -> TcpStream {
     let stream = TcpStream::connect(addr).expect("connect");
@@ -120,34 +109,17 @@ fn exchange_keep_alive(stream: &mut TcpStream, buf: &mut Vec<u8>) {
     let _ = head_end;
 }
 
-/// One request over a fresh connection (the blocking engine hangs up
-/// after every response, so this is its only mode of use).
-fn exchange_reconnect(addr: SocketAddr) {
-    let mut stream = connect(addr);
-    stream.write_all(REQUEST_CLOSE).expect("send");
-    let mut out = Vec::with_capacity(512);
-    stream.read_to_end(&mut out).expect("read");
-    assert!(out.starts_with(b"HTTP/1.1 200"), "bad status: {out:?}");
-}
-
-/// One measured round: `CLIENTS` threads, each issuing
-/// `REQUESTS_PER_CLIENT` reads — keep-alive against the reactor,
-/// reconnect-per-request against the blocking engine.
-fn round(addr: SocketAddr, keep_alive: bool) -> usize {
+/// One measured round: `CLIENTS` threads, each holding a keep-alive
+/// connection and issuing `REQUESTS_PER_CLIENT` reads.
+fn round(addr: SocketAddr) -> usize {
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(CLIENTS);
         for _ in 0..CLIENTS {
             handles.push(scope.spawn(move || {
-                if keep_alive {
-                    let mut stream = connect(addr);
-                    let mut buf = Vec::with_capacity(4096);
-                    for _ in 0..REQUESTS_PER_CLIENT {
-                        exchange_keep_alive(&mut stream, &mut buf);
-                    }
-                } else {
-                    for _ in 0..REQUESTS_PER_CLIENT {
-                        exchange_reconnect(addr);
-                    }
+                let mut stream = connect(addr);
+                let mut buf = Vec::with_capacity(4096);
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    exchange_keep_alive(&mut stream, &mut buf);
                 }
                 REQUESTS_PER_CLIENT
             }));
@@ -179,30 +151,19 @@ fn scrape_metrics(addr: SocketAddr) {
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("connections_throughput");
     g.sample_size(8);
-    // Serving-path counters (requests, reactor wakeups, write bytes,
-    // queue depth) and latency summaries ride along per variant as
-    // `<variant>/telemetry` JSON lines.
     let mut telemetry = TelemetryBaseline::capture(&[
         "hyperbench_http_",
         "hyperbench_reactor_",
         "hyperbench_jobs_",
     ]);
 
-    let (join, addr, shutdown) = start(false);
+    let (join, addr, shutdown) = start();
     std::env::set_var("CRITERION_SHIM_JOBS", REACTOR_THREADS.to_string());
-    g.bench_function("reactor", |b| b.iter(|| black_box(round(addr, true))));
+    g.bench_function("reactor", |b| b.iter(|| black_box(round(addr))));
     scrape_metrics(addr);
     telemetry.emit("connections_throughput/reactor");
     shutdown.shutdown();
     join.join().expect("reactor server");
-
-    let (join, addr, shutdown) = start(true);
-    std::env::set_var("CRITERION_SHIM_JOBS", BLOCKING_THREADS.to_string());
-    g.bench_function("blocking", |b| b.iter(|| black_box(round(addr, false))));
-    scrape_metrics(addr);
-    telemetry.emit("connections_throughput/blocking");
-    shutdown.shutdown();
-    join.join().expect("blocking server");
 
     std::env::remove_var("CRITERION_SHIM_JOBS");
     g.finish();

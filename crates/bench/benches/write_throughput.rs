@@ -1,0 +1,248 @@
+//! Write-path throughput and read isolation under write load.
+//!
+//! A writable WAL-backed server takes datagen instances over keep-alive
+//! `POST /v1/hypergraphs` connections — every request is a distinct
+//! document, so each round measures real commits (WAL append + fsync),
+//! not idempotent hits. Around the write variant sit two read variants
+//! over the identical request: `reads_baseline` on a quiet server and
+//! `reads_under_writes` with background writers hammering commits the
+//! whole round. The CI perf job (`BENCH_PR7.json`) asserts the
+//! under-writes reads stay within the same latency band the PR-5/PR-6
+//! trajectory demanded of the reactor — snapshot-isolated reads must
+//! not stall behind the write path.
+//!
+//! Telemetry (`hyperbench_wal_*`, `hyperbench_mvcc_*`, serving-path
+//! counters) rides along per variant as `<variant>/telemetry` lines.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hyperbench_api::WriteRequest;
+use hyperbench_bench::{benchmark_slice, TelemetryBaseline};
+use hyperbench_core::format::to_hg_unnamed;
+use hyperbench_repo::Repository;
+use hyperbench_server::{Server, ServerConfig, ShutdownHandle};
+
+/// Keep-alive writer connections per measured round.
+const WRITERS: usize = 4;
+/// Documents each writer commits per round.
+const WRITES_PER_CONN: usize = 8;
+/// Keep-alive reader connections per measured round.
+const READERS: usize = 8;
+/// Requests each reader issues per round.
+const READS_PER_CONN: usize = 8;
+/// Background writer threads during `reads_under_writes`.
+const BACKGROUND_WRITERS: usize = 2;
+
+/// Monotonic document counter: rounds repeat, content must not.
+static NEXT_DOC: AtomicUsize = AtomicUsize::new(0);
+
+fn start() -> (
+    std::thread::JoinHandle<()>,
+    SocketAddr,
+    ShutdownHandle,
+    PathBuf,
+) {
+    // Seed with a small read corpus so the read variants have entries
+    // to page before any write lands.
+    let mut repo = Repository::new();
+    for inst in benchmark_slice(1) {
+        repo.insert(inst.hypergraph, inst.collection, inst.class.name());
+    }
+    let dir = std::env::temp_dir().join(format!(
+        "hyperbench-write-throughput-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        wal: Some(dir.join("repo.wal")),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(repo, &config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (join, addr, shutdown, dir)
+}
+
+/// Datagen-shaped documents, made unique by a per-document vertex
+/// prefix so every `POST` is a fresh commit rather than a dedup hit.
+fn unique_docs(n: usize) -> Vec<String> {
+    let base: Vec<String> = benchmark_slice(1)
+        .into_iter()
+        .map(|inst| to_hg_unnamed(&inst.hypergraph))
+        .collect();
+    (0..n)
+        .map(|_| {
+            let i = NEXT_DOC.fetch_add(1, Ordering::Relaxed);
+            let text = &base[i % base.len()];
+            // Renaming every vertex keeps the shape, changes the
+            // content hash. The commas between edges sit at line ends
+            // (`),\n`); shield them so only vertex commas get the
+            // prefix.
+            text.replace("),\n", ")\x01\n")
+                .replace("(", &format!("(u{i}x"))
+                .replace(",", &format!(",u{i}x"))
+                .replace(")\x01\n", "),\n")
+        })
+        .collect()
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+}
+
+/// One keep-alive exchange; returns the response status.
+fn exchange(stream: &mut TcpStream, request: &[u8], buf: &mut Vec<u8>) -> u16 {
+    stream.write_all(request).expect("send");
+    buf.clear();
+    let mut scratch = [0u8; 4096];
+    let (head_end, total) = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head_end = pos + 4;
+            let head_text = std::str::from_utf8(&buf[..head_end]).expect("UTF-8 head");
+            let len: usize = head_text
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("Content-Length");
+            break (head_end, head_end + len);
+        }
+        let n = stream.read(&mut scratch).expect("read head");
+        assert!(n > 0, "connection closed mid-response");
+        buf.extend_from_slice(&scratch[..n]);
+    };
+    while buf.len() < total {
+        let n = stream.read(&mut scratch).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&scratch[..n]);
+    }
+    std::str::from_utf8(&buf[..head_end])
+        .ok()
+        .and_then(|h| h.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status code")
+}
+
+fn post_request(doc: &str) -> Vec<u8> {
+    let body = WriteRequest::new(doc).to_json().to_string();
+    format!(
+        "POST /v1/hypergraphs HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+const READ_REQUEST: &[u8] = b"GET /v1/hypergraphs/3 HTTP/1.1\r\nHost: bench\r\n\r\n";
+
+/// One write round: `WRITERS` keep-alive connections, each committing
+/// `WRITES_PER_CONN` fresh documents.
+fn write_round(addr: SocketAddr) -> usize {
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(WRITERS);
+        for _ in 0..WRITERS {
+            let docs = unique_docs(WRITES_PER_CONN);
+            handles.push(scope.spawn(move || {
+                let mut stream = connect(addr);
+                let mut buf = Vec::with_capacity(4096);
+                for doc in &docs {
+                    let status = exchange(&mut stream, &post_request(doc), &mut buf);
+                    assert_eq!(
+                        status,
+                        201,
+                        "fresh content must commit: {}",
+                        String::from_utf8_lossy(&buf)
+                    );
+                }
+                docs.len()
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("writer")).sum()
+    })
+}
+
+/// One read round: `READERS` keep-alive connections paging a detail.
+fn read_round(addr: SocketAddr) -> usize {
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(READERS);
+        for _ in 0..READERS {
+            handles.push(scope.spawn(move || {
+                let mut stream = connect(addr);
+                let mut buf = Vec::with_capacity(4096);
+                for _ in 0..READS_PER_CONN {
+                    let status = exchange(&mut stream, READ_REQUEST, &mut buf);
+                    assert_eq!(status, 200);
+                }
+                READS_PER_CONN
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("reader")).sum()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_throughput");
+    g.sample_size(8);
+    let mut telemetry =
+        TelemetryBaseline::capture(&["hyperbench_http_", "hyperbench_wal_", "hyperbench_mvcc_"]);
+
+    let (join, addr, shutdown, dir) = start();
+
+    // Reads on a quiet server: the baseline the under-writes variant is
+    // held to.
+    g.bench_function("reads_baseline", |b| b.iter(|| black_box(read_round(addr))));
+    telemetry.emit("write_throughput/reads_baseline");
+
+    // Pure write throughput: every request a durable commit.
+    g.bench_function("post_keep_alive", |b| {
+        b.iter(|| black_box(write_round(addr)))
+    });
+    telemetry.emit("write_throughput/post_keep_alive");
+
+    // Reads while background writers keep committing: snapshot reads
+    // must not queue behind WAL fsyncs.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..BACKGROUND_WRITERS)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut stream = connect(addr);
+                let mut buf = Vec::with_capacity(4096);
+                while !stop.load(Ordering::Relaxed) {
+                    for doc in unique_docs(4) {
+                        let status = exchange(&mut stream, &post_request(&doc), &mut buf);
+                        assert_eq!(status, 201);
+                    }
+                }
+            })
+        })
+        .collect();
+    g.bench_function("reads_under_writes", |b| {
+        b.iter(|| black_box(read_round(addr)))
+    });
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().expect("background writer");
+    }
+    telemetry.emit("write_throughput/reads_under_writes");
+
+    shutdown.shutdown();
+    join.join().expect("server");
+    let _ = std::fs::remove_dir_all(&dir);
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

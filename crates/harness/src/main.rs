@@ -30,7 +30,9 @@ USAGE:
   hyperbench pack --dir DIR [--out FILE]
   hyperbench serve (--dir DIR | --pack FILE) [--addr HOST:PORT] [--threads N]
              [--workers N] [--queue N] [--cache N] [--timeout-ms N] [--kmax N]
-             [--jobs N] [--spill FILE|off] [--reactor-threads N] [--blocking-io]
+             [--jobs N] [--spill FILE|off] [--reactor-threads N] [--writable]
+  hyperbench put <FILE.hg> [--addr HOST:PORT] [--id N] [--collection C] [--class C]
+  hyperbench rm <ID> [--addr HOST:PORT]
   hyperbench help
 
 Every command also accepts `--log-level error|warn|info|debug|trace|off`
@@ -43,10 +45,15 @@ flag winning when both are given).
 as serial ones; for `serve` the flag is also the ceiling for the
 `jobs` field of `POST /v1/analyses` requests.
 
-`serve` defaults to the event-driven epoll reactor with
-`max(1, threads / 2)` event loops (override with `--reactor-threads N`);
-`--blocking-io` keeps the legacy thread-per-connection engine for one
-more release.
+`serve` runs the event-driven epoll reactor with `max(1, threads / 2)`
+event loops (override with `--reactor-threads N`). `--writable` accepts
+`POST`/`PUT`/`DELETE` on `/v1/hypergraphs`, committing through a
+fsynced write-ahead log next to the repository (packs also checkpoint
+committed writes back into their pages); without it, writes answer 403.
+
+`put` stores (or with `--id N` replaces) a hypergraph on a running
+writable server and prints the receipt; `rm` removes one by id. Both
+talk to `--addr` (default 127.0.0.1:8080).
 ";
 
 fn main() {
@@ -65,7 +72,7 @@ fn main() {
 /// Flags that are switches: present means "true", and they never
 /// consume the following argument. Everything else keeps the historical
 /// "--flag VALUE" shape with its clear missing-value error.
-const BOOLEAN_FLAGS: &[&str] = &["blocking-io"];
+const BOOLEAN_FLAGS: &[&str] = &["writable"];
 
 struct Flags {
     values: Vec<(String, String)>,
@@ -113,6 +120,32 @@ impl Flags {
                 .parse()
                 .map_err(|_| format!("invalid value for --{name}: {v}")),
         }
+    }
+}
+
+/// Resolve `--addr` (default 127.0.0.1:8080) into an API client for the
+/// write verbs.
+fn write_client(flags: &Flags) -> Result<hyperbench_api::Client, String> {
+    use std::net::ToSocketAddrs;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:8080");
+    let resolved = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {addr}"))?;
+    Ok(hyperbench_api::Client::new(resolved))
+}
+
+fn print_receipt(receipt: &hyperbench_api::WriteReceipt) {
+    println!("outcome:       {}", receipt.outcome.as_str());
+    println!("id:            {}", receipt.id);
+    match receipt.seq {
+        Some(seq) => println!("seq:           {seq}"),
+        None => println!("seq:           - (no record written)"),
+    }
+    match receipt.content_hash {
+        Some(hash) => println!("content-hash:  {hash:016x}"),
+        None => println!("content-hash:  - (entry removed)"),
     }
 }
 
@@ -305,9 +338,13 @@ fn run(args: &[String]) -> Result<(), String> {
                     jobs: flags.get_parsed("jobs", 1)?,
                 },
                 spill,
+                // serve_dir_opts / serve_pack_opts derive the WAL (and,
+                // for packs, the checkpoint target) when --writable is on.
+                wal: None,
+                checkpoint_pack: None,
             };
             let serve_opts = hyperbench_server::ServeOptions {
-                blocking_io: matches!(flags.get("blocking-io"), Some("true") | Some("1")),
+                writable: matches!(flags.get("writable"), Some("true") | Some("1")),
                 reactor_threads: match flags.get("reactor-threads") {
                     None => None,
                     Some(v) => Some(
@@ -324,6 +361,43 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 (None, None) => Err("--dir DIR or --pack FILE required".to_string()),
             }
+        }
+        "put" => {
+            let file = flags.positional.first().ok_or("FILE.hg required")?;
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let mut request = hyperbench_api::WriteRequest::new(text);
+            if let Some(c) = flags.get("collection") {
+                request.collection = c.to_string();
+            }
+            if let Some(c) = flags.get("class") {
+                request.class = c.to_string();
+            }
+            let client = write_client(&flags)?;
+            let receipt = match flags.get("id") {
+                Some(v) => {
+                    let id: usize = v
+                        .parse()
+                        .map_err(|_| format!("invalid value for --id: {v}"))?;
+                    client.put(id, &request)
+                }
+                None => client.put_new(&request),
+            }
+            .map_err(|e| e.to_string())?;
+            print_receipt(&receipt);
+            Ok(())
+        }
+        "rm" => {
+            let id: usize = flags
+                .positional
+                .first()
+                .ok_or("ID required")?
+                .parse()
+                .map_err(|_| "ID must be a non-negative integer".to_string())?;
+            let receipt = write_client(&flags)?
+                .delete(id)
+                .map_err(|e| e.to_string())?;
+            print_receipt(&receipt);
+            Ok(())
         }
         "decompose" => {
             let file = flags.positional.first().ok_or("FILE.hg required")?;

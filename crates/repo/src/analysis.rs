@@ -195,14 +195,18 @@ pub struct RepoStats {
 /// metadata index is consulted ([`crate::Repository::metas`]), so a
 /// paged repository aggregates without hydrating a single entry.
 pub fn aggregate_stats(repo: &crate::Repository) -> RepoStats {
-    let mut stats = RepoStats {
-        entries: repo.len(),
-        ..RepoStats::default()
-    };
+    aggregate_stats_from(repo.metas())
+}
+
+/// Computes [`RepoStats`] over any metadata scan — the entry point MVCC
+/// snapshots use, where the scan merges a base backend with an overlay.
+pub fn aggregate_stats_from<'a>(metas: impl Iterator<Item = crate::EntryMeta<'a>>) -> RepoStats {
+    let mut stats = RepoStats::default();
     let mut by_class: BTreeMap<String, usize> = BTreeMap::new();
     let mut by_collection: BTreeMap<String, usize> = BTreeMap::new();
     let mut hw_exact: BTreeMap<usize, usize> = BTreeMap::new();
-    for e in repo.metas() {
+    for e in metas {
+        stats.entries += 1;
         *by_class.entry(e.class.to_string()).or_default() += 1;
         *by_collection.entry(e.collection.to_string()).or_default() += 1;
         stats.total_vertices += e.vertices;

@@ -26,8 +26,8 @@ pub mod metrics;
 pub mod store;
 
 pub use analysis::{
-    aggregate_stats, analyze_instance, analyze_instance_retaining, AnalysisConfig, AnalysisRecord,
-    AnalyzedInstance, RepoStats,
+    aggregate_stats, aggregate_stats_from, analyze_instance, analyze_instance_retaining,
+    AnalysisConfig, AnalysisRecord, AnalyzedInstance, RepoStats,
 };
 pub use filter::{Filter, FilterParamError};
 pub use store::StoreError;
@@ -153,7 +153,8 @@ impl Repository {
         }
     }
 
-    /// Inserts a hypergraph; returns its id.
+    /// Inserts a hypergraph; returns its id (one past the largest id
+    /// present, so ids stay strictly ascending even after removals).
     ///
     /// # Panics
     /// Panics on a packed (read-only) repository.
@@ -164,7 +165,7 @@ impl Repository {
         class: impl Into<String>,
     ) -> usize {
         let entries = self.memory_mut("insert");
-        let id = entries.len();
+        let id = entries.last().map_or(0, |e| e.id + 1);
         entries.push(Entry {
             id,
             collection: collection.into(),
@@ -175,12 +176,62 @@ impl Repository {
         id
     }
 
-    /// Attaches an analysis record to an entry.
+    /// Inserts a fully formed entry under its own id, which must be
+    /// strictly greater than every id already present (ids are
+    /// append-ordered in every backend). Used by the TSV loader and the
+    /// WAL replay path, where ids are assigned by history, not by us.
+    pub fn insert_entry(&mut self, entry: Entry) -> Result<(), StoreError> {
+        let entries = self.memory_mut("insert entry");
+        if let Some(last) = entries.last() {
+            if entry.id <= last.id {
+                return Err(StoreError::Corrupt(format!(
+                    "entry id {} not after {}",
+                    entry.id, last.id
+                )));
+            }
+        }
+        entries.push(entry);
+        Ok(())
+    }
+
+    /// Replaces the entry with id `id` in place (id and position are
+    /// kept; collection, class, hypergraph, and analysis are swapped).
     ///
     /// # Panics
     /// Panics on a packed (read-only) repository.
+    pub fn replace(&mut self, id: usize, entry: Entry) -> Result<(), StoreError> {
+        let entries = self.memory_mut("replace");
+        let idx = entries
+            .binary_search_by_key(&id, |e| e.id)
+            .map_err(|_| StoreError::NoSuchEntry { id })?;
+        entries[idx] = Entry { id, ..entry };
+        Ok(())
+    }
+
+    /// Removes the entry with id `id`. Later ids keep their values —
+    /// the id sequence simply becomes sparse.
+    ///
+    /// # Panics
+    /// Panics on a packed (read-only) repository.
+    pub fn remove(&mut self, id: usize) -> Result<Entry, StoreError> {
+        let entries = self.memory_mut("remove");
+        let idx = entries
+            .binary_search_by_key(&id, |e| e.id)
+            .map_err(|_| StoreError::NoSuchEntry { id })?;
+        Ok(entries.remove(idx))
+    }
+
+    /// Attaches an analysis record to an entry.
+    ///
+    /// # Panics
+    /// Panics on a packed (read-only) repository, or when `id` is not
+    /// present.
     pub fn set_analysis(&mut self, id: usize, record: AnalysisRecord) {
-        self.memory_mut("set analysis")[id].analysis = Some(record);
+        let entries = self.memory_mut("set analysis");
+        let idx = entries
+            .binary_search_by_key(&id, |e| e.id)
+            .unwrap_or_else(|_| panic!("no entry with id {id}"));
+        entries[idx].analysis = Some(record);
     }
 
     /// The scan order: insertion order in memory, the pack's sorted
@@ -188,7 +239,7 @@ impl Repository {
     /// keyset cursor paging of [`Repository::select_after`] rests on.
     fn ids(&self) -> IdIter<'_> {
         match &self.backend {
-            Backend::Memory(entries) => IdIter::Range(0..entries.len()),
+            Backend::Memory(entries) => IdIter::Entries(entries.iter()),
             Backend::Paged(pack) => IdIter::Keyset(pack.keyset_ids()),
         }
     }
@@ -211,7 +262,12 @@ impl Repository {
     /// Panics when `id` is out of range.
     pub fn meta(&self, id: usize) -> EntryMeta<'_> {
         match &self.backend {
-            Backend::Memory(entries) => EntryMeta::of(&entries[id]),
+            Backend::Memory(entries) => {
+                let idx = entries
+                    .binary_search_by_key(&id, |e| e.id)
+                    .unwrap_or_else(|_| panic!("no entry with id {id}"));
+                EntryMeta::of(&entries[idx])
+            }
             Backend::Paged(pack) => pack.meta(id),
         }
     }
@@ -244,14 +300,37 @@ impl Repository {
     /// checksum, I/O failure, unparsable payload).
     pub fn try_get(&self, id: usize) -> Result<Option<&Entry>, StoreError> {
         match &self.backend {
-            Backend::Memory(entries) => Ok(entries.get(id)),
-            Backend::Paged(pack) => {
-                if id < pack.len() {
-                    pack.hydrate(id).map(Some)
-                } else {
-                    Ok(None)
-                }
-            }
+            Backend::Memory(entries) => Ok(entries
+                .binary_search_by_key(&id, |e| e.id)
+                .ok()
+                .map(|idx| &entries[idx])),
+            Backend::Paged(pack) => match pack.row_of(id) {
+                Some(row) => pack.hydrate_row(row).map(Some),
+                None => Ok(None),
+            },
+        }
+    }
+
+    /// Whether an entry with id `id` exists — no hydration on a paged
+    /// backend.
+    pub fn contains(&self, id: usize) -> bool {
+        match &self.backend {
+            Backend::Memory(entries) => entries.binary_search_by_key(&id, |e| e.id).is_ok(),
+            Backend::Paged(pack) => pack.row_of(id).is_some(),
+        }
+    }
+
+    /// The content hash (FNV-1a 64 of the canonical unnamed `.hg`
+    /// serialization) of entry `id`, or `None` when the id is absent.
+    /// A paged backend answers from its meta index without hydrating;
+    /// the memory backend serializes the resident hypergraph.
+    pub fn content_hash(&self, id: usize) -> Option<u64> {
+        match &self.backend {
+            Backend::Memory(entries) => entries
+                .binary_search_by_key(&id, |e| e.id)
+                .ok()
+                .map(|idx| store::pack::content_hash_of(&entries[idx].hypergraph)),
+            Backend::Paged(pack) => pack.row_of(id).map(|row| pack.content_hash_at_row(row).1),
         }
     }
 
@@ -387,8 +466,9 @@ impl Repository {
 
 /// The id scan order of a repository backend (see [`Repository::ids`]).
 enum IdIter<'a> {
-    /// In-memory backend: dense insertion order.
-    Range(std::ops::Range<usize>),
+    /// In-memory backend: insertion order (ids ascending, possibly
+    /// sparse after removals).
+    Entries(std::slice::Iter<'a, Entry>),
     /// Paged backend: the pack's sorted keyset index.
     Keyset(std::slice::Iter<'a, u64>),
 }
@@ -398,7 +478,7 @@ impl Iterator for IdIter<'_> {
 
     fn next(&mut self) -> Option<usize> {
         match self {
-            IdIter::Range(r) => r.next(),
+            IdIter::Entries(entries) => entries.next().map(|e| e.id),
             IdIter::Keyset(ids) => ids.next().map(|&id| id as usize),
         }
     }
@@ -526,6 +606,84 @@ mod tests {
         assert!(empty.entries.is_empty());
         assert_eq!(empty.total, 5);
         assert_eq!(empty.next_after, None);
+    }
+
+    #[test]
+    fn remove_leaves_sparse_ids_and_insert_never_reuses_them() {
+        let mut repo = Repository::new();
+        for _ in 0..4 {
+            repo.insert(triangle(), "SPARQL", "CQ Application");
+        }
+        let removed = repo.remove(1).unwrap();
+        assert_eq!(removed.id, 1);
+        assert_eq!(repo.len(), 3);
+        assert!(repo.get(1).is_none());
+        assert_eq!(
+            repo.metas().map(|m| m.id).collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        // Fresh ids continue past the high-water mark, never refilling.
+        assert_eq!(repo.insert(triangle(), "SPARQL", "CQ Application"), 4);
+        assert!(matches!(
+            repo.remove(1),
+            Err(StoreError::NoSuchEntry { id: 1 })
+        ));
+        // Keyset paging walks the sparse sequence in order.
+        let page = repo.select_after(&Filter::new(), Some(0), 2);
+        assert_eq!(
+            page.entries.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn replace_swaps_payload_in_place() {
+        let mut repo = Repository::new();
+        let id = repo.insert(triangle(), "SPARQL", "CQ Application");
+        repo.insert(triangle(), "TPC-H", "CQ Application");
+        let replacement = Entry {
+            id: 999, // overwritten by replace
+            collection: "LUBM".to_string(),
+            class: "CQ Application".to_string(),
+            hypergraph: hypergraph_from_edges(&[("e", &["x", "y"])]),
+            analysis: None,
+        };
+        repo.replace(id, replacement).unwrap();
+        let e = repo.entry(id);
+        assert_eq!(e.id, id);
+        assert_eq!(e.collection, "LUBM");
+        assert_eq!(e.hypergraph.num_edges(), 1);
+        assert!(matches!(
+            repo.replace(
+                7,
+                Entry {
+                    id: 7,
+                    collection: String::new(),
+                    class: String::new(),
+                    hypergraph: triangle(),
+                    analysis: None,
+                }
+            ),
+            Err(StoreError::NoSuchEntry { id: 7 })
+        ));
+    }
+
+    #[test]
+    fn insert_entry_requires_ascending_ids() {
+        let mut repo = Repository::new();
+        let mk = |id| Entry {
+            id,
+            collection: "SPARQL".to_string(),
+            class: "CQ Application".to_string(),
+            hypergraph: triangle(),
+            analysis: None,
+        };
+        repo.insert_entry(mk(3)).unwrap();
+        repo.insert_entry(mk(7)).unwrap();
+        assert!(repo.insert_entry(mk(7)).is_err());
+        assert!(repo.insert_entry(mk(2)).is_err());
+        assert_eq!(repo.metas().map(|m| m.id).collect::<Vec<_>>(), vec![3, 7]);
+        assert_eq!(repo.insert(triangle(), "SPARQL", "CQ Application"), 8);
     }
 
     #[test]

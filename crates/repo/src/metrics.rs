@@ -8,7 +8,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use hyperbench_telemetry::{global, Counter};
+use hyperbench_telemetry::{global, Counter, Gauge, Histogram};
 
 /// Handles to every pack-store metric; obtained via [`metrics`].
 #[derive(Debug)]
@@ -17,6 +17,25 @@ pub struct RepoMetrics {
     pub pack_page_hydrations: Arc<Counter>,
     /// Checksums verified (data pages plus index/section reads).
     pub pack_checksum_reads: Arc<Counter>,
+    /// WAL records appended (each one durable mutation).
+    pub wal_appends: Arc<Counter>,
+    /// `fdatasync` calls on the WAL (the commit points).
+    pub wal_fsyncs: Arc<Counter>,
+    /// Framed bytes appended to the WAL.
+    pub wal_append_bytes: Arc<Counter>,
+    /// Current WAL size in bytes (shrinks when checkpoints rewrite it).
+    pub wal_size_bytes: Arc<Gauge>,
+    /// Checkpoints completed (WAL folded into fresh pack pages).
+    pub wal_checkpoints: Arc<Counter>,
+    /// Checkpoint wall time, microseconds.
+    pub wal_checkpoint_us: Arc<Histogram>,
+    /// Commit sequence number of the current snapshot.
+    pub mvcc_snapshot_seq: Arc<Gauge>,
+    /// Snapshots alive (current + retained for cursor pinning).
+    pub mvcc_snapshots_active: Arc<Gauge>,
+    /// Age of the displaced snapshot at commit time, microseconds —
+    /// how long the previous generation stayed current.
+    pub mvcc_snapshot_age_us: Arc<Histogram>,
 }
 
 /// The process-wide [`RepoMetrics`] bundle (registered on first use).
@@ -32,6 +51,42 @@ pub fn metrics() -> &'static RepoMetrics {
             pack_checksum_reads: r.counter(
                 "hyperbench_pack_checksum_reads_total",
                 "checksums verified across page and section reads",
+            ),
+            wal_appends: r.counter(
+                "hyperbench_wal_appends_total",
+                "records appended to the write-ahead log",
+            ),
+            wal_fsyncs: r.counter(
+                "hyperbench_wal_fsyncs_total",
+                "fdatasync calls made durable on the write-ahead log",
+            ),
+            wal_append_bytes: r.counter(
+                "hyperbench_wal_append_bytes_total",
+                "framed bytes appended to the write-ahead log",
+            ),
+            wal_size_bytes: r.gauge(
+                "hyperbench_wal_size_bytes",
+                "current size of the write-ahead log in bytes",
+            ),
+            wal_checkpoints: r.counter(
+                "hyperbench_wal_checkpoints_total",
+                "checkpoints folding WAL records into pack pages",
+            ),
+            wal_checkpoint_us: r.histogram(
+                "hyperbench_wal_checkpoint_us",
+                "checkpoint wall time in microseconds",
+            ),
+            mvcc_snapshot_seq: r.gauge(
+                "hyperbench_mvcc_snapshot_seq",
+                "commit sequence number of the current snapshot",
+            ),
+            mvcc_snapshots_active: r.gauge(
+                "hyperbench_mvcc_snapshots_active",
+                "snapshots alive (current plus retained for cursors)",
+            ),
+            mvcc_snapshot_age_us: r.histogram(
+                "hyperbench_mvcc_snapshot_age_us",
+                "lifetime of each displaced snapshot in microseconds",
             ),
         }
     })

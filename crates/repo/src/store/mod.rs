@@ -20,9 +20,11 @@
 //! (file, page, offset) — never a panic and never a silent skip.
 
 mod codec;
+pub mod mvcc;
 pub mod pack;
 pub mod spill;
 mod tsv;
+pub mod wal;
 
 pub use tsv::{load, save};
 
@@ -65,6 +67,24 @@ pub enum StoreError {
         /// Byte offset of the first torn record.
         offset: u64,
     },
+    /// The write-ahead log ends in a torn (partially written) record.
+    WalTornTail {
+        /// Byte offset of the first torn record.
+        offset: u64,
+    },
+    /// A mutation addressed an entry id that does not exist.
+    NoSuchEntry {
+        /// The missing id.
+        id: usize,
+    },
+    /// A write was attempted on a store opened read-only.
+    ReadOnly,
+    /// A replace would duplicate content already live under another id
+    /// (inserts dedup idempotently; replaces conflict instead).
+    DuplicateContent {
+        /// The id already carrying this content hash.
+        id: usize,
+    },
 }
 
 impl From<io::Error> for StoreError {
@@ -96,6 +116,18 @@ impl std::fmt::Display for StoreError {
             ),
             StoreError::SpillTornTail { offset } => {
                 write!(f, "spill segment has a torn record at offset {offset}")
+            }
+            StoreError::WalTornTail { offset } => {
+                write!(f, "write-ahead log has a torn record at offset {offset}")
+            }
+            StoreError::NoSuchEntry { id } => {
+                write!(f, "no entry with id {id}")
+            }
+            StoreError::ReadOnly => {
+                write!(f, "repository is read-only (serve with --writable)")
+            }
+            StoreError::DuplicateContent { id } => {
+                write!(f, "identical hypergraph already stored under entry {id}")
             }
         }
     }

@@ -1,0 +1,1093 @@
+//! MVCC over a read-only base backend: durable writes through the
+//! [`super::wal`] write-ahead log, snapshot-isolated reads through
+//! immutable generations.
+//!
+//! ## Shape
+//!
+//! A [`MvccStore`] holds an immutable **base** [`Repository`] (memory
+//! or pack) plus a copy-on-write **overlay** of committed mutations.
+//! Every committed write produces a fresh [`Snapshot`] — `{seq, base,
+//! overlay}` — and swaps it in atomically; readers clone an `Arc` to
+//! whatever generation is current and keep reading it unperturbed while
+//! later commits land. In-flight keyset pages, filters, and analyses
+//! therefore never observe torn or half-applied state, and a cursor can
+//! pin the exact generation it started on ([`MvccStore::snapshot_at`])
+//! for as long as the store retains it.
+//!
+//! ## Commit protocol
+//!
+//! Writers serialize on one mutex. A commit (1) validates against the
+//! current snapshot, (2) appends one record to the WAL and `fdatasync`s
+//! it — *the* durability point: a crash after the sync preserves the
+//! write, a crash before it never acknowledged anything — then (3)
+//! publishes the next snapshot generation. Ids are assigned
+//! monotonically and never reused; inserts are idempotent by content
+//! hash (posting the same hypergraph twice returns the first id).
+//!
+//! ## Checkpoint = compaction
+//!
+//! A background checkpointer (or [`MvccStore::checkpoint_now`]) folds
+//! the current snapshot into a brand-new pack file — full rewrite,
+//! which is also exactly pack *compaction*: removed entries disappear,
+//! replaced ones are rewritten, pages are repacked densely. The store
+//! then swaps the new pack in as base, keeps only overlay entries
+//! committed after the checkpointed seq, and rewrites the WAL down to
+//! those, so the log stays proportional to un-checkpointed work. On
+//! open, a non-empty WAL is replayed over the base and (by default)
+//! immediately checkpointed into pack pages.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+use hyperbench_core::Hypergraph;
+use hyperbench_telemetry::{log_error, log_info};
+
+use crate::analysis::{aggregate_stats_from, RepoStats};
+use crate::filter::Filter;
+use crate::metrics::metrics;
+use crate::{Entry, EntryMeta, KeysetPage, Page, Repository};
+
+use super::pack::{self, content_hash_of, DEFAULT_PAGE_SIZE};
+use super::wal::{self, WalEntry, WalRecord, WalWriter};
+use super::StoreError;
+
+/// Tuning knobs for a writable store (see [`MvccStore::open`]).
+#[derive(Debug, Clone)]
+pub struct MvccOptions {
+    /// Path of the write-ahead log.
+    pub wal: PathBuf,
+    /// Pack file checkpoints rewrite. `None` disables checkpointing
+    /// (the WAL then grows until the process ends).
+    pub checkpoint_pack: Option<PathBuf>,
+    /// Overlay size that triggers a background checkpoint.
+    pub overlay_limit: usize,
+    /// Displaced snapshots kept alive for cursor pinning.
+    pub retained_snapshots: usize,
+    /// Fold a non-empty WAL into pack pages immediately at open.
+    pub checkpoint_on_open: bool,
+}
+
+impl MvccOptions {
+    /// Options for a WAL at `wal`, checkpointing into `pack`.
+    pub fn new(wal: PathBuf, pack: Option<PathBuf>) -> MvccOptions {
+        MvccOptions {
+            wal,
+            checkpoint_pack: pack,
+            overlay_limit: 1024,
+            retained_snapshots: 64,
+            checkpoint_on_open: true,
+        }
+    }
+}
+
+/// An overlay value: the commit that produced it, and the entry it
+/// committed (`None` is a tombstone).
+type Overlay = BTreeMap<usize, (u64, Option<Arc<Entry>>)>;
+
+/// One immutable generation of the repository: the base backend plus
+/// every overlay mutation committed up to `seq`. All read methods
+/// mirror [`Repository`]'s shapes, so handlers written against one work
+/// against the other.
+pub struct Snapshot {
+    seq: u64,
+    base: Arc<Repository>,
+    overlay: Overlay,
+    len: usize,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("seq", &self.seq)
+            .field("len", &self.len)
+            .field("overlay", &self.overlay.len())
+            .finish()
+    }
+}
+
+impl Snapshot {
+    fn new(base: Arc<Repository>, seq: u64, overlay: Overlay) -> Snapshot {
+        let mut len = base.len();
+        for (id, (_, entry)) in &overlay {
+            match (entry.is_some(), base.contains(*id)) {
+                (true, false) => len += 1,
+                (false, true) => len -= 1,
+                _ => {}
+            }
+        }
+        Snapshot {
+            seq,
+            base,
+            overlay,
+            len,
+        }
+    }
+
+    /// The commit sequence number this generation reflects.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether an entry with id `id` is live in this generation.
+    pub fn contains(&self, id: usize) -> bool {
+        match self.overlay.get(&id) {
+            Some((_, entry)) => entry.is_some(),
+            None => self.base.contains(id),
+        }
+    }
+
+    /// The content hash of entry `id`, or `None` when absent.
+    pub fn content_hash(&self, id: usize) -> Option<u64> {
+        match self.overlay.get(&id) {
+            Some((_, Some(e))) => Some(content_hash_of(&e.hypergraph)),
+            Some((_, None)) => None,
+            None => self.base.content_hash(id),
+        }
+    }
+
+    /// The metadata of every live entry, ascending by id — the base
+    /// scan merged with the overlay, tombstones skipped.
+    pub fn metas(&self) -> impl Iterator<Item = EntryMeta<'_>> {
+        let mut base = self.base.metas().peekable();
+        let mut over = self.overlay.iter().peekable();
+        std::iter::from_fn(move || loop {
+            match (base.peek(), over.peek()) {
+                (Some(b), Some((oid, _))) if b.id < **oid => return base.next(),
+                (Some(b), Some((oid, _))) if b.id == **oid => {
+                    base.next(); // shadowed by the overlay
+                    continue;
+                }
+                (_, Some(_)) => {
+                    let (id, (_, entry)) = over.next().expect("peeked");
+                    match entry {
+                        Some(e) => {
+                            let mut m = EntryMeta::of(e);
+                            m.id = *id;
+                            return Some(m);
+                        }
+                        None => continue, // tombstone
+                    }
+                }
+                (Some(_), None) => return base.next(),
+                (None, None) => return None,
+            }
+        })
+    }
+
+    /// One entry, `Ok(None)` when absent, or the base backend's
+    /// hydration error.
+    pub fn try_get(&self, id: usize) -> Result<Option<&Entry>, StoreError> {
+        match self.overlay.get(&id) {
+            Some((_, Some(e))) => Ok(Some(e)),
+            Some((_, None)) => Ok(None),
+            None => self.base.try_get(id),
+        }
+    }
+
+    /// One entry, or `None` when absent.
+    ///
+    /// # Panics
+    /// Panics when the base backend fails to hydrate.
+    pub fn get(&self, id: usize) -> Option<&Entry> {
+        self.try_get(id)
+            .unwrap_or_else(|e| panic!("snapshot read failed: {e}"))
+    }
+
+    /// Keyset pagination over this generation — same contract as
+    /// [`Repository::try_select_after`].
+    pub fn try_select_after(
+        &self,
+        filter: &Filter,
+        after: Option<usize>,
+        limit: usize,
+    ) -> Result<KeysetPage<'_>, StoreError> {
+        let mut total = 0usize;
+        let mut ids: Vec<usize> = Vec::new();
+        let mut has_more = false;
+        for meta in self.metas() {
+            if !filter.matches_meta(&meta) {
+                continue;
+            }
+            total += 1;
+            if after.is_some_and(|a| meta.id <= a) {
+                continue;
+            }
+            if ids.len() < limit {
+                ids.push(meta.id);
+            } else {
+                has_more = true;
+            }
+        }
+        let next_after = if has_more { ids.last().copied() } else { None };
+        let entries = self.hydrate_ids(&ids)?;
+        Ok(KeysetPage {
+            entries,
+            total,
+            next_after,
+        })
+    }
+
+    /// Offset pagination over this generation — same contract as
+    /// [`Repository::try_select_page`].
+    pub fn try_select_page(
+        &self,
+        filter: &Filter,
+        offset: usize,
+        limit: usize,
+    ) -> Result<Page<'_>, StoreError> {
+        let mut total = 0usize;
+        let mut ids = Vec::new();
+        for meta in self.metas() {
+            if !filter.matches_meta(&meta) {
+                continue;
+            }
+            if total >= offset && ids.len() < limit {
+                ids.push(meta.id);
+            }
+            total += 1;
+        }
+        let entries = self.hydrate_ids(&ids)?;
+        Ok(Page {
+            entries,
+            total,
+            offset,
+            limit,
+        })
+    }
+
+    /// Aggregates over this generation's metadata scan.
+    pub fn stats(&self) -> RepoStats {
+        aggregate_stats_from(self.metas())
+    }
+
+    /// Every live entry in ascending id order (hydrates the base).
+    pub fn try_entries(&self) -> Result<Vec<&Entry>, StoreError> {
+        let ids: Vec<usize> = self.metas().map(|m| m.id).collect();
+        self.hydrate_ids(&ids)
+    }
+
+    fn hydrate_ids(&self, ids: &[usize]) -> Result<Vec<&Entry>, StoreError> {
+        ids.iter()
+            .map(|&id| {
+                self.try_get(id)
+                    .map(|e| e.expect("id came from the metadata scan"))
+            })
+            .collect()
+    }
+}
+
+/// The outcome of [`MvccStore::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inserted {
+    /// A new entry was committed under this id at this seq.
+    Created { id: usize, seq: u64 },
+    /// An identical hypergraph (by content hash) already exists; no
+    /// write happened.
+    Existing { id: usize },
+}
+
+impl Inserted {
+    /// The id the caller should address, new or pre-existing.
+    pub fn id(&self) -> usize {
+        match self {
+            Inserted::Created { id, .. } | Inserted::Existing { id } => *id,
+        }
+    }
+
+    /// Whether this insert committed a new entry.
+    pub fn created(&self) -> bool {
+        matches!(self, Inserted::Created { .. })
+    }
+}
+
+/// Writer-side state, serialized under one mutex.
+struct Writer {
+    /// `None` on a read-only store.
+    wal: Option<WalWriter>,
+    /// Records since the last checkpoint (mirrors the WAL file).
+    pending: Vec<WalRecord>,
+    next_seq: u64,
+    next_id: usize,
+    /// content hash → live ids carrying it (idempotent-create index).
+    hashes: HashMap<u64, Vec<usize>>,
+    /// When the current snapshot became current (age metric).
+    current_since: Instant,
+}
+
+/// Signal block the background checkpointer sleeps on.
+struct CheckpointSignal {
+    requested: bool,
+}
+
+struct Inner {
+    current: RwLock<Arc<Snapshot>>,
+    retained: Mutex<VecDeque<Arc<Snapshot>>>,
+    writer: Mutex<Writer>,
+    signal: Mutex<CheckpointSignal>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    checkpoint_pack: Option<PathBuf>,
+    wal_path: Option<PathBuf>,
+    overlay_limit: usize,
+    retained_snapshots: usize,
+}
+
+/// A mutable repository: WAL-durable writes, snapshot-isolated reads,
+/// background checkpointing into pack pages. See the module docs for
+/// the full protocol.
+pub struct MvccStore {
+    inner: Arc<Inner>,
+    checkpointer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for MvccStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("MvccStore")
+            .field("seq", &snap.seq)
+            .field("len", &snap.len)
+            .field("writable", &self.writable())
+            .finish()
+    }
+}
+
+impl MvccStore {
+    /// Wraps a base repository read-only: snapshots work, writes return
+    /// [`StoreError::ReadOnly`]. This is what `serve` uses without
+    /// `--writable` — the server code runs one code path either way.
+    pub fn read_only(base: Repository) -> MvccStore {
+        let base = Arc::new(base);
+        let snapshot = Arc::new(Snapshot::new(Arc::clone(&base), 0, BTreeMap::new()));
+        let next_id = snapshot.metas().map(|m| m.id + 1).max().unwrap_or(0);
+        MvccStore {
+            inner: Arc::new(Inner {
+                current: RwLock::new(snapshot),
+                retained: Mutex::new(VecDeque::new()),
+                writer: Mutex::new(Writer {
+                    wal: None,
+                    pending: Vec::new(),
+                    next_seq: 1,
+                    next_id,
+                    hashes: HashMap::new(),
+                    current_since: Instant::now(),
+                }),
+                signal: Mutex::new(CheckpointSignal { requested: false }),
+                wake: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                checkpoint_pack: None,
+                wal_path: None,
+                overlay_limit: usize::MAX,
+                retained_snapshots: 0,
+            }),
+            checkpointer: Mutex::new(None),
+        }
+    }
+
+    /// Opens a writable store over `base`: recovers the WAL (dropping a
+    /// torn tail), replays committed records into the overlay, then —
+    /// when `checkpoint_on_open` and a pack path are set — folds the
+    /// replayed state straight into fresh pack pages. A background
+    /// checkpointer thread is started when a pack path is configured.
+    pub fn open(base: Repository, opts: MvccOptions) -> Result<MvccStore, StoreError> {
+        let base = Arc::new(base);
+        let recovery = wal::recover(&opts.wal)?;
+        if let Some(offset) = recovery.torn_tail {
+            log_info!("mvcc", "dropping torn WAL tail"; offset = offset);
+        }
+        // Build the idempotent-create index over the base…
+        let mut hashes: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut next_id = 0usize;
+        for m in base.metas() {
+            next_id = next_id.max(m.id + 1);
+            if let Some(h) = base.content_hash(m.id) {
+                hashes.entry(h).or_default().push(m.id);
+            }
+        }
+        // …then replay the log over it.
+        let mut overlay: Overlay = BTreeMap::new();
+        let mut seq = 0u64;
+        for record in recovery.records {
+            seq = record.seq();
+            match record.clone() {
+                WalRecord::Insert { seq, entry } | WalRecord::Replace { seq, entry } => {
+                    let id = entry.id as usize;
+                    let entry = Arc::new(entry.into_entry()?);
+                    next_id = next_id.max(id + 1);
+                    remove_hash(&mut hashes, overlay_hash(&overlay, &base, id), id);
+                    hashes
+                        .entry(content_hash_of(&entry.hypergraph))
+                        .or_default()
+                        .push(id);
+                    overlay.insert(id, (seq, Some(entry)));
+                }
+                WalRecord::Remove { seq, id } => {
+                    let id = id as usize;
+                    remove_hash(&mut hashes, overlay_hash(&overlay, &base, id), id);
+                    overlay.insert(id, (seq, None));
+                }
+            }
+        }
+        let replayed = wal::recover(&opts.wal)?.records;
+        let writer = WalWriter::open_append(&opts.wal, recovery.torn_tail)?;
+        metrics().wal_size_bytes.set(writer.size()? as i64);
+        let snapshot = Arc::new(Snapshot::new(Arc::clone(&base), seq, overlay));
+        let store = MvccStore {
+            inner: Arc::new(Inner {
+                current: RwLock::new(snapshot),
+                retained: Mutex::new(VecDeque::new()),
+                writer: Mutex::new(Writer {
+                    wal: Some(writer),
+                    pending: replayed,
+                    next_seq: seq + 1,
+                    next_id,
+                    hashes,
+                    current_since: Instant::now(),
+                }),
+                signal: Mutex::new(CheckpointSignal { requested: false }),
+                wake: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                checkpoint_pack: opts.checkpoint_pack.clone(),
+                wal_path: Some(opts.wal.clone()),
+                overlay_limit: opts.overlay_limit.max(1),
+                retained_snapshots: opts.retained_snapshots,
+            }),
+            checkpointer: Mutex::new(None),
+        };
+        metrics().mvcc_snapshot_seq.set(seq as i64);
+        if opts.checkpoint_on_open && opts.checkpoint_pack.is_some() {
+            // Replay lands in pack pages before the store serves a
+            // single request: restart-after-crash leaves no WAL debt.
+            run_checkpoint(&store.inner)?;
+        }
+        if opts.checkpoint_pack.is_some() {
+            let inner = Arc::clone(&store.inner);
+            let handle = std::thread::Builder::new()
+                .name("hyperbench-checkpointer".to_string())
+                .spawn(move || checkpointer_main(&inner))
+                .expect("spawn checkpointer thread");
+            *store.checkpointer.lock().expect("checkpointer") = Some(handle);
+        }
+        Ok(store)
+    }
+
+    /// Whether writes are accepted.
+    pub fn writable(&self) -> bool {
+        self.inner.wal_path.is_some()
+    }
+
+    /// The current generation. Readers hold the `Arc` for as long as
+    /// they page; later commits never disturb it.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.inner.current.read().expect("current snapshot"))
+    }
+
+    /// The generation at exactly `seq`, while the store still retains
+    /// it — the cursor-pinning lookup. Returns `None` once evicted
+    /// (callers fall back to [`MvccStore::snapshot`]).
+    pub fn snapshot_at(&self, seq: u64) -> Option<Arc<Snapshot>> {
+        let current = self.snapshot();
+        if current.seq == seq {
+            return Some(current);
+        }
+        self.inner
+            .retained
+            .lock()
+            .expect("retained snapshots")
+            .iter()
+            .find(|s| s.seq == seq)
+            .cloned()
+    }
+
+    /// Inserts a hypergraph, idempotently by content hash: when an
+    /// identical hypergraph is already live, no write happens and the
+    /// existing id comes back as [`Inserted::Existing`].
+    pub fn insert(
+        &self,
+        hypergraph: Hypergraph,
+        collection: impl Into<String>,
+        class: impl Into<String>,
+    ) -> Result<Inserted, StoreError> {
+        let collection = collection.into();
+        let class = class.into();
+        let hash = content_hash_of(&hypergraph);
+        self.commit(|writer, snapshot| {
+            if let Some(ids) = writer.hashes.get(&hash) {
+                if let Some(&id) = ids.iter().find(|&&id| snapshot.contains(id)) {
+                    return Ok(CommitPlan::NoOp(Inserted::Existing { id }));
+                }
+            }
+            let id = writer.next_id;
+            let entry = Entry {
+                id,
+                collection: collection.clone(),
+                class: class.clone(),
+                hypergraph: hypergraph.clone(),
+                analysis: None,
+            };
+            let seq = writer.next_seq;
+            Ok(CommitPlan::Write {
+                record: WalRecord::Insert {
+                    seq,
+                    entry: WalEntry::of(&entry),
+                },
+                apply: Apply {
+                    id,
+                    entry: Some(Arc::new(entry)),
+                    hash: Some(hash),
+                },
+                outcome: Inserted::Created { id, seq },
+            })
+        })
+    }
+
+    /// Replaces entry `id` wholesale (collection, class, hypergraph;
+    /// any analysis attached to the old payload is dropped — it
+    /// described the old hypergraph). [`StoreError::NoSuchEntry`] when
+    /// absent.
+    pub fn replace(
+        &self,
+        id: usize,
+        hypergraph: Hypergraph,
+        collection: impl Into<String>,
+        class: impl Into<String>,
+    ) -> Result<u64, StoreError> {
+        let collection = collection.into();
+        let class = class.into();
+        let hash = content_hash_of(&hypergraph);
+        let outcome = self.commit(|writer, snapshot| {
+            if !snapshot.contains(id) {
+                return Err(StoreError::NoSuchEntry { id });
+            }
+            // Content hashes stay unique among live entries (inserts
+            // dedup); a replace that would break that is a conflict.
+            if let Some(ids) = writer.hashes.get(&hash) {
+                if let Some(&other) = ids
+                    .iter()
+                    .find(|&&other| other != id && snapshot.contains(other))
+                {
+                    return Err(StoreError::DuplicateContent { id: other });
+                }
+            }
+            let entry = Entry {
+                id,
+                collection: collection.clone(),
+                class: class.clone(),
+                hypergraph: hypergraph.clone(),
+                analysis: None,
+            };
+            let seq = writer.next_seq;
+            Ok(CommitPlan::Write {
+                record: WalRecord::Replace {
+                    seq,
+                    entry: WalEntry::of(&entry),
+                },
+                apply: Apply {
+                    id,
+                    entry: Some(Arc::new(entry)),
+                    hash: Some(hash),
+                },
+                outcome: Inserted::Created { id, seq },
+            })
+        })?;
+        match outcome {
+            Inserted::Created { seq, .. } => Ok(seq),
+            Inserted::Existing { .. } => unreachable!("replace always writes"),
+        }
+    }
+
+    /// Removes entry `id`. [`StoreError::NoSuchEntry`] when absent.
+    pub fn remove(&self, id: usize) -> Result<u64, StoreError> {
+        let outcome = self.commit(|writer, snapshot| {
+            if !snapshot.contains(id) {
+                return Err(StoreError::NoSuchEntry { id });
+            }
+            let seq = writer.next_seq;
+            Ok(CommitPlan::Write {
+                record: WalRecord::Remove { seq, id: id as u64 },
+                apply: Apply {
+                    id,
+                    entry: None,
+                    hash: None,
+                },
+                outcome: Inserted::Created { id, seq },
+            })
+        })?;
+        match outcome {
+            Inserted::Created { seq, .. } => Ok(seq),
+            Inserted::Existing { .. } => unreachable!("remove always writes"),
+        }
+    }
+
+    /// Runs one checkpoint synchronously. Returns `true` when work was
+    /// done, `false` when the overlay was already empty. Requires a
+    /// configured checkpoint pack path.
+    pub fn checkpoint_now(&self) -> Result<bool, StoreError> {
+        run_checkpoint(&self.inner)
+    }
+
+    /// The single commit path: validate → WAL append + fsync →
+    /// publish the next generation.
+    fn commit(
+        &self,
+        plan: impl FnOnce(&Writer, &Snapshot) -> Result<CommitPlan, StoreError>,
+    ) -> Result<Inserted, StoreError> {
+        let mut writer = self.inner.writer.lock().expect("writer");
+        if writer.wal.is_none() {
+            return Err(StoreError::ReadOnly);
+        }
+        let snapshot = self.snapshot();
+        let (record, apply, outcome) = match plan(&writer, &snapshot)? {
+            CommitPlan::NoOp(outcome) => return Ok(outcome),
+            CommitPlan::Write {
+                record,
+                apply,
+                outcome,
+            } => (record, apply, outcome),
+        };
+        // Durability point: the record is on disk (and synced) before
+        // any reader can observe the new generation.
+        let wal = writer.wal.as_mut().expect("checked writable");
+        let bytes = wal.append(&record)?;
+        let m = metrics();
+        m.wal_appends.inc();
+        m.wal_fsyncs.inc();
+        m.wal_append_bytes.add(bytes as u64);
+        m.wal_size_bytes.add(bytes as i64);
+        let seq = record.seq();
+        writer.pending.push(record);
+        writer.next_seq = seq + 1;
+        if apply.id >= writer.next_id {
+            writer.next_id = apply.id + 1;
+        }
+        // Maintain the idempotent-create index.
+        remove_hash(
+            &mut writer.hashes,
+            snapshot.content_hash(apply.id),
+            apply.id,
+        );
+        if let Some(h) = apply.hash {
+            writer.hashes.entry(h).or_default().push(apply.id);
+        }
+        // Publish the next generation.
+        let mut overlay = snapshot.overlay.clone();
+        overlay.insert(apply.id, (seq, apply.entry));
+        let overlay_len = overlay.len();
+        let next = Arc::new(Snapshot::new(Arc::clone(&snapshot.base), seq, overlay));
+        let displaced = {
+            let mut current = self.inner.current.write().expect("current snapshot");
+            std::mem::replace(&mut *current, next)
+        };
+        m.mvcc_snapshot_age_us
+            .observe(writer.current_since.elapsed().as_micros() as u64);
+        writer.current_since = Instant::now();
+        let active = {
+            let mut retained = self.inner.retained.lock().expect("retained snapshots");
+            retained.push_back(displaced);
+            while retained.len() > self.inner.retained_snapshots {
+                retained.pop_front();
+            }
+            retained.len() + 1
+        };
+        m.mvcc_snapshot_seq.set(seq as i64);
+        m.mvcc_snapshots_active.set(active as i64);
+        drop(writer);
+        if overlay_len >= self.inner.overlay_limit && self.inner.checkpoint_pack.is_some() {
+            self.inner.signal.lock().expect("signal").requested = true;
+            self.inner.wake.notify_one();
+        }
+        Ok(outcome)
+    }
+}
+
+impl Drop for MvccStore {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.wake.notify_all();
+        if let Some(handle) = self.checkpointer.lock().expect("checkpointer").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// What a commit closure decided to do.
+//
+// The variants differ in size (a `WalRecord` embeds the full entry),
+// but a plan lives for one commit on the stack — boxing the record
+// would put an allocation on every write for nothing.
+#[allow(clippy::large_enum_variant)]
+enum CommitPlan {
+    /// Nothing to write (idempotent hit); answer immediately.
+    NoOp(Inserted),
+    /// Append `record`, apply `apply` to the overlay, answer `outcome`.
+    Write {
+        record: WalRecord,
+        apply: Apply,
+        outcome: Inserted,
+    },
+}
+
+/// The overlay mutation a committed record maps to.
+struct Apply {
+    id: usize,
+    entry: Option<Arc<Entry>>,
+    /// Content hash to index for the new value (`None` for removals).
+    hash: Option<u64>,
+}
+
+/// The hash an id currently carries, looking through `overlay` first.
+fn overlay_hash(overlay: &Overlay, base: &Repository, id: usize) -> Option<u64> {
+    match overlay.get(&id) {
+        Some((_, Some(e))) => Some(content_hash_of(&e.hypergraph)),
+        Some((_, None)) => None,
+        None => base.content_hash(id),
+    }
+}
+
+fn remove_hash(hashes: &mut HashMap<u64, Vec<usize>>, hash: Option<u64>, id: usize) {
+    if let Some(h) = hash {
+        if let Some(ids) = hashes.get_mut(&h) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                hashes.remove(&h);
+            }
+        }
+    }
+}
+
+/// The background checkpointer: sleeps on the signal block, runs a
+/// checkpoint whenever the overlay limit trips one, exits on shutdown.
+fn checkpointer_main(inner: &Inner) {
+    loop {
+        {
+            let mut signal = inner.signal.lock().expect("signal");
+            while !signal.requested && !inner.shutdown.load(Ordering::SeqCst) {
+                let (guard, _) = inner
+                    .wake
+                    .wait_timeout(signal, std::time::Duration::from_millis(200))
+                    .expect("signal wait");
+                signal = guard;
+            }
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            signal.requested = false;
+        }
+        if let Err(e) = run_checkpoint(inner) {
+            log_error!("mvcc", "background checkpoint failed"; error = e);
+        }
+    }
+}
+
+/// Folds the current snapshot into a fresh pack (full rewrite — also
+/// the pack's compaction), swaps it in as base, trims the overlay and
+/// WAL down to commits newer than the checkpointed seq.
+fn run_checkpoint(inner: &Inner) -> Result<bool, StoreError> {
+    let Some(pack_path) = inner.checkpoint_pack.as_ref() else {
+        return Err(StoreError::Corrupt(
+            "no checkpoint pack path configured".to_string(),
+        ));
+    };
+    let started = Instant::now();
+    // The expensive part — serializing every live entry into new pack
+    // pages — runs against a pinned snapshot, outside every lock:
+    // commits keep landing while the pack is written.
+    let snapshot = Arc::clone(&inner.current.read().expect("current snapshot"));
+    if snapshot.overlay.is_empty() {
+        return Ok(false);
+    }
+    let checkpoint_seq = snapshot.seq;
+    let entries = snapshot.try_entries()?;
+    pack::write_pack_entries(entries.into_iter(), pack_path, DEFAULT_PAGE_SIZE)?;
+    let new_base = Arc::new(Repository::open_pack(pack_path)?);
+    drop(snapshot);
+    // Swap under the writer lock so no commit interleaves with the
+    // WAL rewrite.
+    let mut writer = inner.writer.lock().expect("writer");
+    writer.pending.retain(|r| r.seq() > checkpoint_seq);
+    if let Some(path) = inner.wal_path.as_ref() {
+        writer.wal = Some(wal::rewrite(path, &writer.pending)?);
+        metrics()
+            .wal_size_bytes
+            .set(writer.wal.as_ref().expect("just set").size()? as i64);
+    }
+    {
+        let mut current = inner.current.write().expect("current snapshot");
+        let overlay: Overlay = current
+            .overlay
+            .iter()
+            .filter(|(_, (seq, _))| *seq > checkpoint_seq)
+            .map(|(id, v)| (*id, v.clone()))
+            .collect();
+        *current = Arc::new(Snapshot::new(new_base, current.seq, overlay));
+    }
+    drop(writer);
+    let m = metrics();
+    m.wal_checkpoints.inc();
+    m.wal_checkpoint_us
+        .observe(started.elapsed().as_micros() as u64);
+    log_info!("mvcc", "checkpoint complete"; seq = checkpoint_seq,
+        elapsed_us = started.elapsed().as_micros() as u64);
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperbench_core::builder::hypergraph_from_edges;
+    use std::path::Path;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "hyperbench-mvcc-test-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn triangle() -> Hypergraph {
+        hypergraph_from_edges(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])])
+    }
+
+    fn chain(n: usize) -> Hypergraph {
+        let names: Vec<String> = (0..=n).map(|i| format!("v{i}")).collect();
+        let mut b = hyperbench_core::HypergraphBuilder::new();
+        for i in 0..n {
+            b.add_edge(
+                &format!("e{i}"),
+                &[names[i].as_str(), names[i + 1].as_str()],
+            );
+        }
+        b.build()
+    }
+
+    fn writable_store(dir: &Path, base: Repository) -> MvccStore {
+        let opts = MvccOptions::new(dir.join("repo.wal"), Some(dir.join("repo.pack")));
+        MvccStore::open(base, opts).unwrap()
+    }
+
+    #[test]
+    fn writes_are_snapshot_isolated() {
+        let dir = tmpdir("isolation");
+        let store = writable_store(&dir, Repository::new());
+        let a = store.insert(triangle(), "gen", "CQ Application").unwrap();
+        assert!(a.created());
+        let pinned = store.snapshot();
+        assert_eq!(pinned.len(), 1);
+        let b = store.insert(chain(2), "gen", "CQ Application").unwrap();
+        store.remove(a.id()).unwrap();
+        // The pinned generation still sees exactly the world at its seq.
+        assert_eq!(pinned.len(), 1);
+        assert!(pinned.contains(a.id()));
+        assert!(!pinned.contains(b.id()));
+        // The current generation sees the later commits.
+        let now = store.snapshot();
+        assert_eq!(now.len(), 1);
+        assert!(!now.contains(a.id()));
+        assert!(now.contains(b.id()));
+        // Cursor pinning resolves retained generations by seq.
+        assert_eq!(store.snapshot_at(pinned.seq()).unwrap().seq(), pinned.seq());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn insert_is_idempotent_by_content_hash() {
+        let dir = tmpdir("idempotent");
+        let store = writable_store(&dir, Repository::new());
+        let first = store.insert(triangle(), "gen", "CQ Application").unwrap();
+        let again = store.insert(triangle(), "gen", "CQ Application").unwrap();
+        assert!(first.created());
+        assert_eq!(again, Inserted::Existing { id: first.id() });
+        assert_eq!(store.snapshot().len(), 1);
+        // Removing frees the hash for a fresh insert under a new id.
+        store.remove(first.id()).unwrap();
+        let third = store.insert(triangle(), "gen", "CQ Application").unwrap();
+        assert!(third.created());
+        assert!(third.id() > first.id(), "ids are never reused");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn committed_writes_survive_reopen_and_checkpoint_into_the_pack() {
+        let dir = tmpdir("reopen");
+        let wal = dir.join("repo.wal");
+        let pack = dir.join("repo.pack");
+        {
+            let mut opts = MvccOptions::new(wal.clone(), Some(pack.clone()));
+            opts.checkpoint_on_open = false;
+            let store = MvccStore::open(Repository::new(), opts).unwrap();
+            store.insert(triangle(), "gen", "CQ Application").unwrap();
+            store.insert(chain(3), "gen", "CQ Application").unwrap();
+            store.remove(0).unwrap();
+        }
+        assert!(!pack.exists(), "no checkpoint ran in the first lifetime");
+        // Reopen: WAL replays, checkpoint-on-open folds it into pages.
+        let store = writable_store(&dir, Repository::new());
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert!(snap.contains(1));
+        assert!(!snap.contains(0));
+        assert!(pack.exists(), "checkpoint-on-open wrote the pack");
+        // The WAL shrank to nothing; the pack alone carries the state.
+        assert!(wal::read_all(&wal).unwrap().is_empty());
+        let packed = Repository::open_pack(&pack).unwrap();
+        assert_eq!(packed.len(), 1);
+        assert_eq!(packed.entry(1).hypergraph.num_edges(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_preserves_pinned_snapshots_and_later_commits() {
+        let dir = tmpdir("ckpt");
+        let store = writable_store(&dir, Repository::new());
+        for i in 0..5 {
+            store.insert(chain(i + 1), "gen", "CQ Application").unwrap();
+        }
+        let pinned = store.snapshot();
+        assert!(store.checkpoint_now().unwrap());
+        // Post-checkpoint: same visible state, overlay folded away.
+        let now = store.snapshot();
+        assert_eq!(now.len(), 5);
+        assert_eq!(now.seq(), pinned.seq());
+        assert!(now.overlay.is_empty());
+        // The pinned pre-checkpoint snapshot still reads fine.
+        assert_eq!(pinned.len(), 5);
+        assert_eq!(
+            pinned.try_get(2).unwrap().unwrap().hypergraph.num_edges(),
+            3
+        );
+        // Writes after the checkpoint overlay the new base.
+        store.remove(0).unwrap();
+        assert_eq!(store.snapshot().len(), 4);
+        assert!(store.checkpoint_now().unwrap());
+        assert_eq!(store.snapshot().len(), 4);
+        assert!(!store.checkpoint_now().unwrap(), "empty overlay is a no-op");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_only_store_rejects_writes() {
+        let mut base = Repository::new();
+        base.insert(triangle(), "gen", "CQ Application");
+        let store = MvccStore::read_only(base);
+        assert!(!store.writable());
+        assert!(matches!(
+            store.insert(chain(2), "gen", "CQ Application"),
+            Err(StoreError::ReadOnly)
+        ));
+        assert!(matches!(store.remove(0), Err(StoreError::ReadOnly)));
+        assert_eq!(store.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn replace_is_visible_and_drops_stale_analysis() {
+        let dir = tmpdir("replace");
+        let mut base = Repository::new();
+        let id = base.insert(triangle(), "gen", "CQ Application");
+        base.set_analysis(
+            id,
+            crate::analysis::analyze_instance(
+                &triangle(),
+                &crate::analysis::AnalysisConfig::default(),
+            ),
+        );
+        let store = writable_store(&dir, base);
+        assert!(store.snapshot().get(id).unwrap().analysis.is_some());
+        store
+            .replace(id, chain(4), "regen", "CQ Application")
+            .unwrap();
+        let snap = store.snapshot();
+        let e = snap.get(id).unwrap();
+        assert_eq!(e.collection, "regen");
+        assert_eq!(e.hypergraph.num_edges(), 4);
+        assert!(e.analysis.is_none(), "analysis of the old payload dropped");
+        assert!(matches!(
+            store.replace(99, triangle(), "x", "y"),
+            Err(StoreError::NoSuchEntry { id: 99 })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replace_duplicating_another_live_entry_conflicts() {
+        let dir = tmpdir("conflict");
+        let store = writable_store(&dir, Repository::new());
+        let a = store.insert(triangle(), "gen", "CQ Application").unwrap();
+        let b = store.insert(chain(2), "gen", "CQ Application").unwrap();
+        // Making b identical to a would break hash uniqueness: conflict.
+        match store.replace(b.id(), triangle(), "gen", "CQ Application") {
+            Err(StoreError::DuplicateContent { id }) => assert_eq!(id, a.id()),
+            other => panic!("expected DuplicateContent, got {other:?}"),
+        }
+        // Replacing an entry with its own content is a legal rewrite.
+        store
+            .replace(a.id(), triangle(), "renamed", "CQ Application")
+            .unwrap();
+        assert_eq!(store.snapshot().get(a.id()).unwrap().collection, "renamed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_paging_merges_base_and_overlay() {
+        let dir = tmpdir("paging");
+        let mut base = Repository::new();
+        for i in 0..4 {
+            base.insert(chain(i + 1), "base", "CQ Application");
+        }
+        let store = writable_store(&dir, base);
+        store.insert(chain(9), "fresh", "CQ Application").unwrap();
+        store.remove(1).unwrap();
+        store
+            .replace(2, chain(7), "swapped", "CQ Application")
+            .unwrap();
+        let snap = store.snapshot();
+        // Live ids: 0 (base), 2 (replaced), 3 (base), 4 (inserted).
+        assert_eq!(
+            snap.metas().map(|m| m.id).collect::<Vec<_>>(),
+            vec![0, 2, 3, 4]
+        );
+        let page = snap.try_select_after(&Filter::new(), Some(0), 2).unwrap();
+        assert_eq!(
+            page.entries.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(page.total, 4);
+        assert_eq!(page.next_after, Some(3));
+        let rest = snap
+            .try_select_after(&Filter::new(), page.next_after, 10)
+            .unwrap();
+        assert_eq!(
+            rest.entries.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![4]
+        );
+        // Filters see overlay metadata (the replaced collection).
+        let swapped = snap
+            .try_select_after(&Filter::new().collection("swapped"), None, 10)
+            .unwrap();
+        assert_eq!(swapped.total, 1);
+        assert_eq!(swapped.entries[0].id, 2);
+        // Offset paging agrees with the same merged scan.
+        let legacy = snap.try_select_page(&Filter::new(), 1, 2).unwrap();
+        assert_eq!(
+            legacy.entries.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        // Stats aggregate the merged view.
+        assert_eq!(snap.stats().entries, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -16,11 +16,16 @@
 //! │ page table: one FNV-1a 64 checksum per data page             │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ meta section: per entry — id, record (offset,len),           │
-//! │   collection, class, vertex/edge/arity counts, analysis      │
+//! │   collection, class, vertex/edge/arity counts, content       │
+//! │   hash (FNV-1a 64 of the canonical .hg payload), analysis    │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ keyset index: entry ids, sorted ascending                    │
 //! └──────────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! Entry ids are strictly ascending but need not be dense: a pack
+//! written from a repository that saw removals simply has gaps, and
+//! id→row lookups binary-search the keyset.
 //!
 //! [`PackStore::open`] reads the header and the three index sections
 //! (small — no `.hg` payload is parsed), validates their checksums, and
@@ -49,10 +54,12 @@ use crate::{Entry, EntryMeta, Repository};
 use super::codec::{self, Reader};
 use super::StoreError;
 
-/// File magic: identifies a HyperBench pack, version 1.
+/// File magic: identifies a HyperBench pack.
 const MAGIC: [u8; 8] = *b"HBPACK1\n";
-/// Format version written by [`write_pack`].
-const VERSION: u32 = 1;
+/// Format version written by [`write_pack`]. Version 2 added the
+/// per-entry content hash to the meta section and allowed sparse
+/// (strictly ascending, non-dense) id sequences.
+const VERSION: u32 = 2;
 /// Fixed header length in bytes.
 const HEADER_LEN: u64 = 88;
 /// Default data page size. 4 KiB aligns with common filesystem blocks;
@@ -66,6 +73,7 @@ const MIN_PAGE_SIZE: u32 = 64;
 /// One decoded row of the meta section.
 #[derive(Debug)]
 struct MetaRow {
+    id: usize,
     rec_off: u64,
     rec_len: u64,
     collection: String,
@@ -73,6 +81,7 @@ struct MetaRow {
     vertices: usize,
     edges: usize,
     arity: usize,
+    content_hash: u64,
     analysis: Option<AnalysisRecord>,
 }
 
@@ -107,18 +116,49 @@ pub fn write_pack(repo: &Repository, path: &Path) -> Result<(), StoreError> {
 /// Writes `repo` as a pack file at `path` with an explicit page size
 /// (tests use tiny pages to exercise multi-page records).
 pub fn write_pack_with(repo: &Repository, path: &Path, page_size: u32) -> Result<(), StoreError> {
+    write_pack_entries(repo.entries(), path, page_size)
+}
+
+/// The content hash a pack stores per entry: FNV-1a 64 over the
+/// canonical unnamed `.hg` serialization, so two submissions that parse
+/// to the same hypergraph hash identically regardless of whitespace or
+/// edge naming in the source text.
+pub fn content_hash_of(h: &hyperbench_core::Hypergraph) -> u64 {
+    codec::fnv64(to_hg_unnamed(h).as_bytes())
+}
+
+/// Writes any ascending-id entry sequence as a pack file — the
+/// checkpointer's entry point, where the sequence is a base pack merged
+/// with an MVCC overlay rather than a whole resident repository.
+pub fn write_pack_entries<'a>(
+    entries: impl Iterator<Item = &'a Entry>,
+    path: &Path,
+    page_size: u32,
+) -> Result<(), StoreError> {
     if page_size < MIN_PAGE_SIZE {
         return Err(StoreError::Corrupt(format!(
             "page size {page_size} below the minimum of {MIN_PAGE_SIZE}"
         )));
     }
-    // Data region + meta rows.
+    // Data region + meta rows + keyset, in one ascending-id sweep.
     let mut data = Vec::new();
     let mut meta = Vec::new();
-    for e in repo.entries() {
+    let mut keyset = Vec::new();
+    let mut count: u64 = 0;
+    let mut last_id: Option<usize> = None;
+    for e in entries {
+        if last_id.is_some_and(|last| e.id <= last) {
+            return Err(StoreError::Corrupt(format!(
+                "pack writer: entry id {} not after {}",
+                e.id,
+                last_id.unwrap_or(0)
+            )));
+        }
+        last_id = Some(e.id);
+        let hg_text = to_hg_unnamed(&e.hypergraph);
         let rec_off = data.len() as u64;
         codec::put_str(&mut data, e.hypergraph.name());
-        codec::put_str(&mut data, &to_hg_unnamed(&e.hypergraph));
+        codec::put_str(&mut data, &hg_text);
         let rec_len = data.len() as u64 - rec_off;
         codec::put_u64(&mut meta, e.id as u64);
         codec::put_u64(&mut meta, rec_off);
@@ -128,6 +168,7 @@ pub fn write_pack_with(repo: &Repository, path: &Path, page_size: u32) -> Result
         codec::put_u64(&mut meta, e.hypergraph.num_vertices() as u64);
         codec::put_u64(&mut meta, e.hypergraph.num_edges() as u64);
         codec::put_u64(&mut meta, e.hypergraph.arity() as u64);
+        codec::put_u64(&mut meta, codec::fnv64(hg_text.as_bytes()));
         match &e.analysis {
             Some(rec) => {
                 codec::put_u8(&mut meta, 1);
@@ -135,6 +176,8 @@ pub fn write_pack_with(repo: &Repository, path: &Path, page_size: u32) -> Result
             }
             None => codec::put_u8(&mut meta, 0),
         }
+        codec::put_u64(&mut keyset, e.id as u64);
+        count += 1;
     }
     // Page table over the data region.
     let mut ptab = Vec::new();
@@ -142,13 +185,6 @@ pub fn write_pack_with(repo: &Repository, path: &Path, page_size: u32) -> Result
     codec::put_u64(&mut ptab, pages.len() as u64);
     for page in &pages {
         codec::put_u64(&mut ptab, codec::fnv64(page));
-    }
-    // Keyset index: ids sorted ascending.
-    let mut keyset = Vec::new();
-    let mut ids: Vec<u64> = (0..repo.len() as u64).collect();
-    ids.sort_unstable();
-    for id in &ids {
-        codec::put_u64(&mut keyset, *id);
     }
     // Trailing section checksums.
     for section in [&mut ptab, &mut meta, &mut keyset] {
@@ -164,7 +200,7 @@ pub fn write_pack_with(repo: &Repository, path: &Path, page_size: u32) -> Result
     header.extend_from_slice(&MAGIC);
     codec::put_u32(&mut header, VERSION);
     codec::put_u32(&mut header, page_size);
-    codec::put_u64(&mut header, repo.len() as u64);
+    codec::put_u64(&mut header, count);
     codec::put_u64(&mut header, data.len() as u64);
     codec::put_u64(&mut header, ptab_off);
     codec::put_u64(&mut header, ptab.len() as u64);
@@ -318,17 +354,22 @@ impl PackStore {
             page_sums.push(r.u64()?);
         }
 
-        // Meta section: ids must be dense and ascending (same contract
-        // as the TSV index), records within the data region.
+        // Meta section: ids must be strictly ascending (gaps are fine —
+        // removals leave the sequence sparse), records within the data
+        // region.
         let mut r = Reader::new(&meta, "pack meta section");
         let mut metas = Vec::with_capacity(entry_count);
-        for expected_id in 0..entry_count {
+        let mut last_id: Option<usize> = None;
+        for _ in 0..entry_count {
             let id = r.u64()? as usize;
-            if id != expected_id {
-                return Err(StoreError::Corrupt(format!(
-                    "pack meta section: id {id} out of order (expected {expected_id})"
-                )));
+            if let Some(last) = last_id {
+                if id <= last {
+                    return Err(StoreError::Corrupt(format!(
+                        "pack meta section: id {id} out of order (not after {last})"
+                    )));
+                }
             }
+            last_id = Some(id);
             let rec_off = r.u64()?;
             let rec_len = r.u64()?;
             if rec_off
@@ -347,6 +388,7 @@ impl PackStore {
             let vertices = r.u64()? as usize;
             let edges = r.u64()? as usize;
             let arity = r.u64()? as usize;
+            let content_hash = r.u64()?;
             let analysis = match r.u8()? {
                 0 => None,
                 1 => Some(codec::read_analysis(&mut r)?),
@@ -357,6 +399,7 @@ impl PackStore {
                 }
             };
             metas.push(MetaRow {
+                id,
                 rec_off,
                 rec_len,
                 collection,
@@ -364,21 +407,25 @@ impl PackStore {
                 vertices,
                 edges,
                 arity,
+                content_hash,
                 analysis,
             });
         }
 
-        // Keyset index: the ids again, sorted ascending.
+        // Keyset index: the same ids, in the same (ascending) order.
         let mut r = Reader::new(&keyset, "pack keyset index");
         let mut keyset_ids = Vec::with_capacity(entry_count);
         for _ in 0..entry_count {
             keyset_ids.push(r.u64()?);
         }
-        if !keyset_ids.windows(2).all(|w| w[0] < w[1])
-            || keyset_ids.iter().any(|&id| id as usize >= entry_count)
+        if keyset_ids.len() != metas.len()
+            || keyset_ids
+                .iter()
+                .zip(&metas)
+                .any(|(&k, m)| k as usize != m.id)
         {
             return Err(StoreError::Corrupt(
-                "pack keyset index is not a sorted permutation of the entry ids".to_string(),
+                "pack keyset index does not match the meta section's ids".to_string(),
             ));
         }
 
@@ -399,9 +446,21 @@ impl PackStore {
         self.metas.len()
     }
 
+    /// The row index of entry `id`, or `None` when the id is not in the
+    /// pack (ids are ascending but possibly sparse).
+    pub(crate) fn row_of(&self, id: usize) -> Option<usize> {
+        self.keyset.binary_search(&(id as u64)).ok()
+    }
+
     /// The metadata view of one entry — no disk access.
+    ///
+    /// # Panics
+    /// Panics when `id` is not in the pack.
     pub(crate) fn meta(&self, id: usize) -> EntryMeta<'_> {
-        let row = &self.metas[id];
+        let row = self
+            .row_of(id)
+            .unwrap_or_else(|| panic!("no entry with id {id}"));
+        let row = &self.metas[row];
         EntryMeta {
             id,
             collection: &row.collection,
@@ -413,20 +472,28 @@ impl PackStore {
         }
     }
 
+    /// The stored content hash (FNV-1a 64 of the canonical `.hg`
+    /// payload) of the entry at row `row` — no disk access.
+    pub(crate) fn content_hash_at_row(&self, row: usize) -> (usize, u64) {
+        let m = &self.metas[row];
+        (m.id, m.content_hash)
+    }
+
     /// The sorted keyset index: the id order every metadata scan (and
     /// therefore `select_after` cursor paging) runs in.
     pub(crate) fn keyset_ids(&self) -> std::slice::Iter<'_, u64> {
         self.keyset.iter()
     }
 
-    /// Returns the hydrated entry, reading and verifying exactly the
-    /// pages covering its record on first access.
-    pub(crate) fn hydrate(&self, id: usize) -> Result<&Entry, StoreError> {
-        if let Some(e) = self.slots[id].get() {
+    /// Returns the hydrated entry at row index `row`, reading and
+    /// verifying exactly the pages covering its record on first access.
+    pub(crate) fn hydrate_row(&self, row: usize) -> Result<&Entry, StoreError> {
+        if let Some(e) = self.slots[row].get() {
             return Ok(e);
         }
-        let row = &self.metas[id];
-        let bytes = self.read_record(row.rec_off, row.rec_len)?;
+        let meta = &self.metas[row];
+        let id = meta.id;
+        let bytes = self.read_record(meta.rec_off, meta.rec_len)?;
         let mut r = Reader::new(&bytes, "pack entry record");
         let name = r.str()?;
         let hg_text = r.str()?;
@@ -435,15 +502,15 @@ impl PackStore {
         })?;
         let entry = Entry {
             id,
-            collection: row.collection.clone(),
-            class: row.class.clone(),
+            collection: meta.collection.clone(),
+            class: meta.class.clone(),
             hypergraph,
-            analysis: row.analysis.clone(),
+            analysis: meta.analysis.clone(),
         };
         // A concurrent hydration may have won the race; either value is
         // identical, so whichever landed first is served.
-        let _ = self.slots[id].set(entry);
-        Ok(self.slots[id].get().expect("slot was just set"))
+        let _ = self.slots[row].set(entry);
+        Ok(self.slots[row].get().expect("slot was just set"))
     }
 
     /// Reads the logical byte range `[off, off+len)` of the data
@@ -599,6 +666,36 @@ mod tests {
             paged.metas().map(|m| m.id).collect::<Vec<_>>(),
             (0..repo.len()).collect::<Vec<_>>()
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sparse_ids_pack_and_reopen() {
+        let dir = tmpdir("sparse");
+        let pack = dir.join("repo.pack");
+        let mut repo = corpus();
+        repo.remove(2).unwrap();
+        repo.remove(5).unwrap();
+        write_pack(&repo, &pack).unwrap();
+        let paged = Repository::open_pack(&pack).unwrap();
+        assert_eq!(paged.len(), repo.len());
+        assert_eq!(
+            paged.metas().map(|m| m.id).collect::<Vec<_>>(),
+            vec![0, 1, 3, 4, 6],
+            "gaps survive the pack roundtrip"
+        );
+        assert!(paged.get(2).is_none(), "removed id stays absent");
+        assert_eq!(paged.entry(3).collection, repo.entry(3).collection);
+        // Content hashes ride the meta index (no hydration needed) and
+        // agree with the memory backend's computed ones.
+        for id in [0usize, 1, 3, 4, 6] {
+            assert_eq!(paged.content_hash(id), repo.content_hash(id), "id {id}");
+        }
+        assert_eq!(
+            paged.content_hash(0),
+            Some(content_hash_of(&repo.entry(0).hypergraph))
+        );
+        assert!(paged.content_hash(2).is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 

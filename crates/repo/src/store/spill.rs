@@ -91,19 +91,52 @@ impl SpillRecord {
 #[derive(Debug)]
 pub struct SpillWriter {
     file: File,
+    path: std::path::PathBuf,
 }
 
 impl SpillWriter {
     /// Opens (creating if missing) a segment for appending.
     pub fn open_append(path: &Path) -> std::io::Result<SpillWriter> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(SpillWriter { file })
+        Ok(SpillWriter {
+            file,
+            path: path.to_path_buf(),
+        })
     }
 
     /// Appends one record.
     pub fn append(&mut self, record: &SpillRecord) -> std::io::Result<()> {
         self.file.write_all(&record.encode())?;
         self.file.flush()
+    }
+
+    /// Rewrites the segment keeping only the records `keep` accepts
+    /// (atomically, temp file + rename), then reopens the writer on the
+    /// new segment. Any torn tail is dropped alongside. Returns how many
+    /// records were discarded — this is how the server scrubs spilled
+    /// analyses whose instance a `PUT`/`DELETE` invalidated.
+    pub fn retain(
+        &mut self,
+        mut keep: impl FnMut(&SpillRecord) -> bool,
+    ) -> Result<usize, StoreError> {
+        let (records, _tail) = recover(&self.path)?;
+        let total = records.len();
+        let mut out = Vec::new();
+        let mut kept = 0usize;
+        for r in &records {
+            if keep(r) {
+                out.extend_from_slice(&r.encode());
+                kept += 1;
+            }
+        }
+        let tmp = self.path.with_extension("spill.tmp");
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        Ok(total - kept)
     }
 }
 
@@ -297,6 +330,21 @@ mod tests {
         assert_eq!(back.len(), 2);
         let a = back.iter().find(|r| r.hash == 1).unwrap();
         assert_eq!(a.method, "ghd", "newest record per key must win");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn retain_drops_records_and_keeps_appending() {
+        let path = tmpfile("retain");
+        let mut w = SpillWriter::open_append(&path).unwrap();
+        w.append(&record(1, "doc-a")).unwrap();
+        w.append(&record(2, "doc-b")).unwrap();
+        assert_eq!(w.retain(|r| r.hash != 1).unwrap(), 1);
+        // The writer survives the rewrite: appends land in the new file.
+        w.append(&record(3, "doc-c")).unwrap();
+        drop(w);
+        let hashes: Vec<u64> = read_all(&path).unwrap().iter().map(|r| r.hash).collect();
+        assert_eq!(hashes, vec![2, 3]);
         std::fs::remove_file(&path).unwrap();
     }
 

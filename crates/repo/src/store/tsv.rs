@@ -17,7 +17,7 @@ use hyperbench_core::properties::StructuralProperties;
 use hyperbench_core::stats::SizeMetrics;
 
 use crate::analysis::AnalysisRecord;
-use crate::Repository;
+use crate::{Entry, Repository};
 
 use super::StoreError;
 
@@ -144,6 +144,7 @@ fn opt_field<T: std::str::FromStr>(
 pub fn load(dir: &Path) -> Result<Repository, StoreError> {
     let index = fs::read_to_string(dir.join("index.tsv"))?;
     let mut repo = Repository::new();
+    let mut last_id: Option<usize> = None;
     for (idx, line) in index.lines().enumerate().skip(1) {
         let lineno = idx + 1; // 1-based, including the header line.
         if line.trim().is_empty() {
@@ -165,13 +166,18 @@ pub fn load(dir: &Path) -> Result<Repository, StoreError> {
                 ),
             ));
         }
+        // Ids must be strictly ascending; gaps are fine (removals leave
+        // the sequence sparse, and save writes each entry's own id).
         let id: usize = field(lineno, schema::ID, cols[col(schema::ID)])?;
-        if id != repo.len() {
-            return Err(corrupt_row(
-                lineno,
-                format!("id {id} out of order (expected {})", repo.len()),
-            ));
+        if let Some(last) = last_id {
+            if id <= last {
+                return Err(corrupt_row(
+                    lineno,
+                    format!("id {id} out of order (not after {last})"),
+                ));
+            }
         }
+        last_id = Some(id);
         let file = cols[col(schema::FILE)];
         let text = fs::read_to_string(dir.join(file))?;
         // The name column restores the original hypergraph name; empty
@@ -184,7 +190,13 @@ pub fn load(dir: &Path) -> Result<Repository, StoreError> {
         };
         let h =
             parse_hg_named(&text, name).map_err(|e| corrupt_row(lineno, format!("{file}: {e}")))?;
-        let id = repo.insert(h, cols[col(schema::COLLECTION)], cols[col(schema::CLASS)]);
+        repo.insert_entry(Entry {
+            id,
+            collection: cols[col(schema::COLLECTION)].to_string(),
+            class: cols[col(schema::CLASS)].to_string(),
+            hypergraph: h,
+            analysis: None,
+        })?;
         // Rehydrate the analysis if present: `-` in the vertices column
         // marks an unanalyzed entry (save writes all-`-` metrics then).
         if cols[col(schema::VERTICES)] != "-" {
@@ -411,11 +423,34 @@ mod tests {
 
     #[test]
     fn out_of_order_id_is_rejected() {
-        let msg = corrupt_message(load_with_mangled_line("order", 1, |l| {
+        // The *second* row regressing below the first is non-ascending;
+        // a sparse (gapped) sequence is legal now that removals exist.
+        let msg = corrupt_message(load_with_mangled_line("order", 2, |l| {
             let mut cols: Vec<&str> = l.split('\t').collect();
-            cols[0] = "7";
+            cols[0] = "0";
             cols.join("\t")
         }));
-        assert!(msg.contains("id 7 out of order"), "message was: {msg}");
+        assert!(msg.contains("id 0 out of order"), "message was: {msg}");
+    }
+
+    #[test]
+    fn sparse_ids_roundtrip() {
+        let dir = tmpdir("sparse");
+        let mut repo = small_repo();
+        repo.insert(
+            hypergraph_from_edges(&[("g", &["p", "q"])]),
+            "xcsp",
+            "CSP Random",
+        );
+        repo.remove(1).unwrap();
+        save(&repo, &dir).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(
+            loaded.metas().map(|m| m.id).collect::<Vec<_>>(),
+            vec![0, 2],
+            "gap at id 1 survives save→load"
+        );
+        assert_eq!(loaded.entry(2).collection, "xcsp");
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

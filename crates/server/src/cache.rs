@@ -246,6 +246,44 @@ impl AnalysisCache {
         }
     }
 
+    /// Evicts every cached result whose analyzed hypergraph has the
+    /// repository's canonical content hash `hash` — called after a
+    /// `PUT`/`DELETE` replaced or removed the instance those results
+    /// described, so stale widths can never be served for the new
+    /// content. A spill-backed cache also scrubs its segment, keeping
+    /// the stale result from warm-loading back at the next restart.
+    /// Returns how many in-memory entries were dropped.
+    pub fn evict_content(&self, hash: u64) -> usize {
+        use hyperbench_repo::store::pack::content_hash_of;
+        let evicted = {
+            let mut inner = self.inner.lock().expect("cache lock");
+            let stale: Vec<ContentHash> = inner
+                .map
+                .iter()
+                .filter(|(_, (_, rec))| content_hash_of(&rec.hypergraph) == hash)
+                .map(|(k, _)| *k)
+                .collect();
+            for k in &stale {
+                inner.map.remove(k);
+            }
+            inner.order.retain(|k| !stale.contains(k));
+            stale.len()
+        };
+        if let Some(spill) = &self.spill {
+            // The segment can hold stale records the LRU already forgot,
+            // so the scrub runs even when nothing was resident.
+            let result = spill.lock().expect("spill lock").retain(|r| {
+                parse_hg(&r.hg_text)
+                    .map(|h| content_hash_of(&h) != hash)
+                    .unwrap_or(true)
+            });
+            if let Err(e) = result {
+                log_warn!("cache", "spill scrub after write failed"; error = e);
+            }
+        }
+        evicted
+    }
+
     /// A snapshot of the hit/miss/occupancy counters.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock");
@@ -402,6 +440,45 @@ mod tests {
         };
         assert_eq!(cache.warm_load([good, bad_method, bad_payload]), 1);
         assert_eq!(cache.stats().len, 1);
+    }
+
+    #[test]
+    fn evict_content_drops_memory_and_spill_entries() {
+        use hyperbench_repo::store::{pack::content_hash_of, spill};
+        let path = std::env::temp_dir().join(format!(
+            "hyperbench-cache-evict-test-{}.spill",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let cache =
+            AnalysisCache::new(8).with_spill(spill::SpillWriter::open_append(&path).unwrap());
+        // Two cached analyses of the same hypergraph under different
+        // options keys, plus one for an unrelated hypergraph.
+        let rec = record();
+        let target = content_hash_of(&rec.hypergraph);
+        cache.put(ContentHash(1), "hd\ne(a,b).\n".into(), Arc::clone(&rec));
+        cache.put(ContentHash(2), "ghd\ne(a,b).\n".into(), rec);
+        let other_h = hypergraph_from_edges(&[("f", &["x", "y", "z"])]);
+        let other = Arc::new(JobResult {
+            record: analyze_instance(&other_h, &AnalysisConfig::default()),
+            hypergraph: other_h,
+            method: AnalyzeMethod::Hd,
+            witness: None,
+            witness_dto: None,
+            fractional_width: None,
+        });
+        cache.put(ContentHash(3), "hd\nf(x,y,z).\n".into(), other);
+        assert_eq!(cache.evict_content(target), 2);
+        assert!(cache.get(ContentHash(1), "hd\ne(a,b).\n").is_none());
+        assert!(cache.get(ContentHash(2), "ghd\ne(a,b).\n").is_none());
+        assert!(cache.get(ContentHash(3), "hd\nf(x,y,z).\n").is_some());
+        drop(cache);
+        // The spill segment was scrubbed too: a warm reload cannot
+        // resurrect the stale results.
+        let survivors = spill::read_all(&path).unwrap();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].hash, 3);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -7,21 +7,23 @@
 //! original form. Every error answer — on both surfaces — is a
 //! structured [`ApiError`] with a stable code.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hyperbench_api::cursor::PageCursor;
 use hyperbench_api::dto::{
     AnalysisReport, AnalysisResource, AnalysisStatus, AnalyzeRequest, CacheStatsDto,
     DecompositionDto, EdgeDto, EntryDetail, EntrySummary, HistogramSummaryDto, JobStatsDto,
-    PageDto, RepoStatsDto, StatsDto, TelemetryDto,
+    PageDto, RepoStatsDto, StatsDto, TelemetryDto, WriteOutcome, WriteReceipt, WriteRequest,
 };
 use hyperbench_api::error::{ApiError, ErrorCode};
 use hyperbench_api::json::Json;
 use hyperbench_api::schema;
 use hyperbench_core::format::{parse_hg, to_hg};
 use hyperbench_core::Hypergraph;
-use hyperbench_repo::{AnalysisConfig, AnalysisRecord, Entry, Filter, Repository, StoreError};
+use hyperbench_repo::store::mvcc::{Inserted, MvccStore, Snapshot};
+use hyperbench_repo::store::pack::content_hash_of;
+use hyperbench_repo::{AnalysisConfig, AnalysisRecord, Entry, Filter, RepoStats, StoreError};
 use hyperbench_telemetry::metrics::{HistogramSummary, MetricSnapshot};
 
 use crate::cache::{canonicalize, content_hash, AnalysisCache, JobResult};
@@ -35,16 +37,17 @@ pub const DEFAULT_LIMIT: usize = 50;
 /// structured 400; the frozen legacy route keeps its PR-1 clamp.
 pub const MAX_LIMIT: usize = 1000;
 
-/// Everything the handlers share. The repository is immutable after
-/// load, so concurrent readers need no locking; mutability is confined
-/// to the job system and cache, which synchronize internally.
+/// Everything the handlers share. Reads run against MVCC snapshots, so
+/// concurrent readers need no locking; writes serialize inside the
+/// store, and the job system and cache synchronize internally.
 pub struct ServerState {
-    /// The loaded repository.
-    pub repo: Arc<Repository>,
-    /// Repository aggregates, computed once at bind time — the
-    /// repository never changes afterwards, so `GET /stats` must not
-    /// re-walk all entries per request.
-    pub repo_stats: hyperbench_repo::RepoStats,
+    /// The repository store: read-only, or WAL-backed writable when the
+    /// server was started with a WAL path (`serve --writable`). Every
+    /// handler reads through one [`Snapshot`] pinned for the request.
+    pub store: Arc<MvccStore>,
+    /// Repository aggregates, cached per snapshot generation: `GET
+    /// /stats` re-walks all entries only after a commit moved the seq.
+    pub repo_stats: Mutex<(u64, Arc<RepoStats>)>,
     /// Background analysis jobs.
     pub jobs: JobSystem,
     /// The analysis LRU (shared with `jobs`).
@@ -56,6 +59,18 @@ pub struct ServerState {
     pub started: Instant,
 }
 
+impl ServerState {
+    /// The aggregates of `snap`'s generation, recomputing only when a
+    /// commit has moved the store past the cached seq.
+    pub fn stats_of(&self, snap: &Snapshot) -> Arc<RepoStats> {
+        let mut cached = self.repo_stats.lock().expect("stats lock");
+        if cached.0 != snap.seq() {
+            *cached = (snap.seq(), Arc::new(snap.stats()));
+        }
+        Arc::clone(&cached.1)
+    }
+}
+
 /// Renders a structured error to its HTTP response.
 pub fn error_response(err: ApiError) -> Response {
     Response::json(err.http_status(), err.to_json())
@@ -63,10 +78,9 @@ pub fn error_response(err: ApiError) -> Response {
 
 /// The structured response for a request that could not be parsed, or
 /// `None` when there is nobody to answer (the peer disconnected before
-/// sending anything). One mapping shared by the blocking path and the
-/// reactor, so the two IO engines answer protocol abuse identically:
-/// oversized heads/bodies → 413, a request not delivered within the
-/// read deadline (slowloris) → 408, malformed bytes → 400.
+/// sending anything): oversized heads/bodies → 413, a request not
+/// delivered within the read deadline (slowloris) → 408, malformed
+/// bytes → 400.
 pub fn parse_error_response(e: &ParseError) -> Option<Response> {
     let err = match e {
         ParseError::ConnectionClosed => return None,
@@ -278,7 +292,7 @@ fn submit_error(e: SubmitError) -> Response {
 /// process-wide telemetry snapshot, all through the typed
 /// [`StatsDto`].
 pub fn get_stats(state: &ServerState) -> Response {
-    let repo_stats = &state.repo_stats;
+    let repo_stats = state.stats_of(&state.store.snapshot());
     let cache = state.cache.stats();
     let jobs = state.jobs.stats();
     let m = crate::metrics::metrics();
@@ -368,7 +382,7 @@ pub fn get_healthz(state: &ServerState) -> Response {
         200,
         Json::obj([
             (schema::STATUS, Json::str("ok")),
-            ("entries", Json::int(state.repo.len())),
+            ("entries", Json::int(state.store.snapshot().len())),
             (
                 "uptime_ms",
                 Json::int(state.started.elapsed().as_millis().min(i64::MAX as u128) as i64),
@@ -382,10 +396,14 @@ pub mod v1 {
     use super::*;
 
     /// `GET /v1/hypergraphs` — cursor-paginated, filterable summaries.
+    /// On a writable store, cursors pin the snapshot generation they
+    /// started on: a client paging through results sees one consistent
+    /// world even while writes land between its page fetches.
     pub fn list(state: &ServerState, req: &Request) -> Response {
         let mut filter = Filter::new();
         let mut limit = DEFAULT_LIMIT;
         let mut after = None;
+        let mut pinned: Option<Arc<Snapshot>> = None;
         for (key, value) in &req.query {
             match key.as_str() {
                 "limit" => match parse_limit(value) {
@@ -393,7 +411,13 @@ pub mod v1 {
                     Err(e) => return error_response(e),
                 },
                 "cursor" => match PageCursor::decode(value) {
-                    Ok(c) => after = Some(c.after_id),
+                    Ok(c) => {
+                        after = Some(c.after_id);
+                        // A generation the store no longer retains falls
+                        // back to current — ids only grow, so the keyset
+                        // scan stays correct, merely un-pinned.
+                        pinned = c.snapshot.and_then(|seq| state.store.snapshot_at(seq));
+                    }
                     Err(e) => {
                         return error_response(ApiError::new(
                             ErrorCode::InvalidCursor,
@@ -407,16 +431,23 @@ pub mod v1 {
                 },
             }
         }
-        let page = match state.repo.try_select_after(&filter, after, limit) {
+        let snap = pinned.unwrap_or_else(|| state.store.snapshot());
+        let page = match snap.try_select_after(&filter, after, limit) {
             Ok(page) => page,
             Err(e) => return storage_error(e),
         };
         let dto = PageDto {
             total: page.total,
             items: page.entries.iter().map(|e| summary_of(e)).collect(),
-            next_cursor: page
-                .next_after
-                .map(|after_id| PageCursor { after_id }.encode()),
+            next_cursor: page.next_after.map(|after_id| {
+                PageCursor {
+                    after_id,
+                    // Read-only stores keep emitting the legacy token
+                    // shape (nothing ever moves underneath a reader).
+                    snapshot: state.store.writable().then(|| snap.seq()),
+                }
+                .encode()
+            }),
         };
         Response::json(200, dto.to_json())
     }
@@ -427,7 +458,8 @@ pub mod v1 {
             Ok(id) => id,
             Err(e) => return error_response(e),
         };
-        match state.repo.try_get(id) {
+        let snap = state.store.snapshot();
+        match snap.try_get(id) {
             Ok(Some(e)) => Response::json(200, detail_of(e).to_json()),
             Ok(None) => error_response(ApiError::not_found(format!("no hypergraph with id {id}"))),
             Err(e) => storage_error(e),
@@ -440,10 +472,155 @@ pub mod v1 {
             Ok(id) => id,
             Err(e) => return error_response(e),
         };
-        match state.repo.try_get(id) {
+        let snap = state.store.snapshot();
+        match snap.try_get(id) {
             Ok(Some(e)) => Response::text(200, to_hg(&e.hypergraph)),
             Ok(None) => error_response(ApiError::not_found(format!("no hypergraph with id {id}"))),
             Err(e) => storage_error(e),
+        }
+    }
+
+    /// Parses a write-verb body into its request DTO and hypergraph:
+    /// malformed JSON or fields → 400, a syntactically valid request
+    /// whose `.hg` document does not parse → 422 `invalid_hypergraph`.
+    fn parse_write_request(req: &Request) -> Result<(WriteRequest, Hypergraph), Response> {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(s) if !s.trim().is_empty() => s,
+            Ok(_) => {
+                return Err(error_response(ApiError::bad_request(
+                    "empty body; expected a WriteRequest JSON document",
+                )))
+            }
+            Err(_) => return Err(error_response(ApiError::bad_request("body is not UTF-8"))),
+        };
+        let parsed = match Json::parse(body) {
+            Ok(j) => j,
+            Err(e) => {
+                return Err(error_response(ApiError::bad_request(format!(
+                    "body is not JSON: {e}"
+                ))))
+            }
+        };
+        let request = match WriteRequest::from_json(&parsed) {
+            Ok(r) => r,
+            Err(e) => return Err(error_response(ApiError::invalid_param(e.to_string()))),
+        };
+        match parse_hg(&request.hypergraph) {
+            Ok(h) => Ok((request, h)),
+            Err(e) => Err(error_response(ApiError::new(
+                ErrorCode::InvalidHypergraph,
+                format!("hypergraph does not parse: {e}"),
+            ))),
+        }
+    }
+
+    /// Maps a store-side write failure to its structured response.
+    fn write_error(e: StoreError) -> Response {
+        match e {
+            StoreError::ReadOnly => error_response(ApiError::new(
+                ErrorCode::ReadOnly,
+                "repository is read-only (serve with --writable)",
+            )),
+            StoreError::NoSuchEntry { id } => {
+                error_response(ApiError::not_found(format!("no hypergraph with id {id}")))
+            }
+            StoreError::DuplicateContent { id } => error_response(ApiError::new(
+                ErrorCode::Conflict,
+                format!("identical hypergraph already stored under entry {id}"),
+            )),
+            e => storage_error(e),
+        }
+    }
+
+    /// `POST /v1/hypergraphs` — store a new instance. Idempotent by
+    /// content hash: a duplicate of a live entry answers `200 exists`
+    /// with the original id, a fresh document commits and answers
+    /// `201 created` with its WAL seq.
+    pub fn post_hypergraphs(state: &ServerState, req: &Request) -> Response {
+        let (request, h) = match parse_write_request(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let hash = content_hash_of(&h);
+        match state.store.insert(h, request.collection, request.class) {
+            Ok(Inserted::Created { id, seq }) => {
+                let receipt = WriteReceipt {
+                    id,
+                    outcome: WriteOutcome::Created,
+                    seq: Some(seq),
+                    content_hash: Some(hash),
+                };
+                Response::json(201, receipt.to_json())
+            }
+            Ok(Inserted::Existing { id }) => {
+                let receipt = WriteReceipt {
+                    id,
+                    outcome: WriteOutcome::Exists,
+                    seq: None,
+                    content_hash: Some(hash),
+                };
+                Response::json(200, receipt.to_json())
+            }
+            Err(e) => write_error(e),
+        }
+    }
+
+    /// `PUT /v1/hypergraphs/{id}` — replace an entry wholesale.
+    /// Duplicating another live entry's content is a `409 conflict`;
+    /// analyses cached for the old content are evicted.
+    pub fn put_hypergraph(state: &ServerState, req: &Request, params: &Params) -> Response {
+        let id = match parse_entry_id(params) {
+            Ok(id) => id,
+            Err(e) => return error_response(e),
+        };
+        let (request, h) = match parse_write_request(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let hash = content_hash_of(&h);
+        let old_hash = state.store.snapshot().content_hash(id);
+        match state
+            .store
+            .replace(id, h, request.collection, request.class)
+        {
+            Ok(seq) => {
+                if let Some(old) = old_hash.filter(|&o| o != hash) {
+                    state.cache.evict_content(old);
+                }
+                let receipt = WriteReceipt {
+                    id,
+                    outcome: WriteOutcome::Replaced,
+                    seq: Some(seq),
+                    content_hash: Some(hash),
+                };
+                Response::json(200, receipt.to_json())
+            }
+            Err(e) => write_error(e),
+        }
+    }
+
+    /// `DELETE /v1/hypergraphs/{id}` — remove an entry; analyses cached
+    /// for its content are evicted.
+    pub fn delete_hypergraph(state: &ServerState, params: &Params) -> Response {
+        let id = match parse_entry_id(params) {
+            Ok(id) => id,
+            Err(e) => return error_response(e),
+        };
+        let old_hash = state.store.snapshot().content_hash(id);
+        match state.store.remove(id) {
+            Ok(seq) => {
+                if let Some(old) = old_hash {
+                    state.cache.evict_content(old);
+                }
+                let receipt = WriteReceipt {
+                    id,
+                    outcome: WriteOutcome::Removed,
+                    seq: Some(seq),
+                    content_hash: None,
+                };
+                Response::json(200, receipt.to_json())
+            }
+            Err(e) => write_error(e),
         }
     }
 
@@ -573,7 +750,8 @@ pub mod legacy {
                 },
             }
         }
-        let page = match state.repo.try_select_page(&filter, offset, limit) {
+        let snap = state.store.snapshot();
+        let page = match snap.try_select_page(&filter, offset, limit) {
             Ok(page) => page,
             Err(e) => return storage_error(e),
         };
@@ -603,7 +781,8 @@ pub mod legacy {
             Ok(id) => id,
             Err(e) => return error_response(e),
         };
-        let e = match state.repo.try_get(id) {
+        let snap = state.store.snapshot();
+        let e = match snap.try_get(id) {
             Ok(Some(e)) => e,
             Ok(None) => {
                 return error_response(ApiError::not_found(format!("no hypergraph with id {id}")))

@@ -4,13 +4,14 @@
 //! consumes whatever bytes are currently available and suspends with
 //! [`Parse::NeedMore`] when the buffer runs dry, so the epoll reactor
 //! ([`crate::reactor`]) can feed it one `EPOLLIN` burst at a time
-//! without ever blocking a thread. The historical blocking entry point
-//! [`read_request`] is a thin loop over the same machine, which keeps
-//! the two IO paths byte-for-byte equivalent by construction.
+//! without ever blocking a thread. [`read_request`] wraps the same
+//! machine in a synchronous loop so the unit tests can parse complete
+//! requests straight out of byte slices.
 //!
-//! Supported surface: GET/POST, `Content-Length` bodies, percent-decoded
-//! query strings, and HTTP/1.1 keep-alive semantics (persistent unless
-//! the client sends `Connection: close` or speaks HTTP/1.0).
+//! Supported surface: GET/POST/PUT/DELETE, `Content-Length` bodies,
+//! percent-decoded query strings, and HTTP/1.1 keep-alive semantics
+//! (persistent unless the client sends `Connection: close` or speaks
+//! HTTP/1.0).
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -39,6 +40,10 @@ pub enum Method {
     Get,
     /// `POST`
     Post,
+    /// `PUT`
+    Put,
+    /// `DELETE`
+    Delete,
 }
 
 impl Method {
@@ -46,16 +51,27 @@ impl Method {
         match s {
             "GET" => Some(Method::Get),
             "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
             _ => None,
         }
     }
 
-    /// The wire spelling (`GET`/`POST`), for log lines.
+    /// The wire spelling (`GET`/`POST`/`PUT`/`DELETE`), for log lines.
     pub fn as_str(&self) -> &'static str {
         match self {
             Method::Get => "GET",
             Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
         }
+    }
+
+    /// Whether this method mutates repository state. Mutating requests
+    /// (and only those) are offloaded to the worker pool by the reactor
+    /// and gated on the server being writable.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Method::Post | Method::Put | Method::Delete)
     }
 }
 
@@ -351,10 +367,11 @@ impl RequestParser {
 }
 
 /// Reads and parses one request from `stream`, blocking until it is
-/// complete: the thread-per-connection path's loop over the incremental
-/// [`RequestParser`]. A slow client is cut off by [`MAX_REQUEST_TIME`]
-/// (and by the socket read timeout the caller installed) with a
-/// [`ParseError::TimedOut`], which maps to a structured 408.
+/// complete: a synchronous loop over the incremental [`RequestParser`],
+/// used by the unit tests to drive the machine from byte slices. A slow
+/// client is cut off by [`MAX_REQUEST_TIME`] (and by the socket read
+/// timeout the caller installed) with a [`ParseError::TimedOut`], which
+/// maps to a structured 408.
 pub fn read_request<R: Read>(mut stream: R) -> Result<Request, ParseError> {
     let deadline = Instant::now() + MAX_REQUEST_TIME;
     let mut parser = RequestParser::new();
@@ -492,12 +509,16 @@ impl Response {
 pub fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         202 => "Accepted",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",

@@ -7,11 +7,18 @@
 //! * an event-driven epoll [`reactor`] owns the connection hot path:
 //!   a few event-loop threads drive non-blocking sockets through an
 //!   incremental HTTP parser and buffered writes, with HTTP/1.1
-//!   keep-alive and pipelining — concurrent-connection capacity is no
-//!   longer bounded by thread count (the legacy thread-per-connection
-//!   path survives one release behind `--blocking-io`),
+//!   keep-alive and pipelining — concurrent-connection capacity is not
+//!   bounded by thread count (the legacy thread-per-connection engine
+//!   is gone; the reactor is the one IO path),
 //! * a worker-side thread pool ([`pool`]) runs the slow handlers the
-//!   reactor offloads (POST bodies: `.hg` parsing, analysis submission),
+//!   reactor offloads (mutating requests: `.hg` parsing, analysis
+//!   submission, WAL commits),
+//! * writes are durable and isolated: with a WAL configured
+//!   ([`ServerConfig::wal`], `serve --writable`), `POST`/`PUT`/`DELETE`
+//!   on `/v1/hypergraphs` commit through the MVCC store
+//!   (`hyperbench_repo::store::mvcc`) — fsynced write-ahead records,
+//!   snapshot-isolated readers, background checkpointing into pack
+//!   pages,
 //! * a hand-rolled router maps paths to handlers ([`router`]),
 //! * the wire contract — typed DTOs, the JSON codec, cursors, and error
 //!   codes — lives in the shared `hyperbench-api` crate (re-exported
@@ -25,7 +32,10 @@
 //! | route | answer |
 //! |-------|--------|
 //! | `GET /v1/hypergraphs` | cursor-paginated, filterable summaries |
+//! | `POST /v1/hypergraphs` | store an instance (idempotent by content hash) |
 //! | `GET /v1/hypergraphs/{id}` | full entry + analysis as JSON |
+//! | `PUT /v1/hypergraphs/{id}` | replace an entry wholesale |
+//! | `DELETE /v1/hypergraphs/{id}` | remove an entry |
 //! | `GET /v1/hypergraphs/{id}/hg` | raw DetKDecomp-format text |
 //! | `POST /v1/analyses` | submit a typed `AnalyzeRequest` (hd/ghd/fhd) |
 //! | `GET /v1/analyses/{id}` | poll: report + witness decomposition tree |
@@ -65,13 +75,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hyperbench_api::{ApiError, ErrorCode};
+use hyperbench_repo::store::mvcc::{MvccOptions, MvccStore};
 use hyperbench_repo::{AnalysisConfig, Repository};
-use hyperbench_telemetry::{log_error, log_info, log_warn, next_request_id, trace, SpanTimer};
+use hyperbench_telemetry::{log_info, log_warn, trace, SpanTimer};
 
 use cache::AnalysisCache;
-use handlers::{error_response, parse_error_response, ServerState};
+use handlers::{error_response, ServerState};
 use http::{Method, Request, Response};
 use jobs::JobSystem;
+#[cfg(target_os = "linux")]
 use pool::ThreadPool;
 use router::{RouteMatch, Router};
 
@@ -81,11 +93,9 @@ pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:8080`. Port 0 picks an ephemeral
     /// port (see [`Server::local_addr`]).
     pub addr: String,
-    /// Serving-thread budget. The default event-driven path runs
-    /// `max(1, threads / 2)` reactor event loops plus that many offload
-    /// workers (override with [`Server::with_reactor_threads`]); the
-    /// legacy `--blocking-io` path spawns exactly this many
-    /// thread-per-connection handlers.
+    /// Serving-thread budget: the reactor runs `max(1, threads / 2)`
+    /// event loops plus that many offload workers (override with
+    /// [`Server::with_reactor_threads`]).
     pub threads: usize,
     /// Background analysis workers.
     pub analysis_workers: usize,
@@ -104,6 +114,16 @@ pub struct ServerConfig {
     /// per key, torn tail dropped) on every bind. `None` keeps the
     /// cache memory-only.
     pub spill: Option<std::path::PathBuf>,
+    /// Path of the write-ahead log. When set, the server accepts
+    /// `POST`/`PUT`/`DELETE` on `/v1/hypergraphs`: every commit is
+    /// appended and fsynced there before it is acknowledged, and the
+    /// log replays over the base repository at the next bind. `None`
+    /// serves read-only (writes answer a structured 403).
+    pub wal: Option<std::path::PathBuf>,
+    /// Pack file the background checkpointer folds committed WAL
+    /// records into (also the pack's compaction). `None` lets the WAL
+    /// carry all un-packed state. Only meaningful with [`Self::wal`].
+    pub checkpoint_pack: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -116,26 +136,19 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             analysis: AnalysisConfig::default(),
             spill: None,
+            wal: None,
+            checkpoint_pack: None,
         }
     }
-}
-
-/// Which connection-handling engine [`Server::run`] uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum IoMode {
-    /// The epoll reactor: event-loop threads, non-blocking sockets,
-    /// keep-alive. The default on Linux.
-    Reactor,
-    /// The legacy thread-per-connection pool (one request per
-    /// connection). Kept one release behind `--blocking-io`; also the
-    /// fallback on non-Linux targets.
-    Blocking,
 }
 
 pub(crate) enum Endpoint {
     // Versioned /v1 surface.
     V1List,
+    V1Create,
     V1Detail,
+    V1Replace,
+    V1Delete,
     V1RawHg,
     V1Analyses,
     V1Analysis,
@@ -157,7 +170,10 @@ fn build_router() -> Router<Endpoint> {
     let mut router = Router::new();
     router
         .add(Method::Get, "/v1/hypergraphs", Endpoint::V1List)
+        .add(Method::Post, "/v1/hypergraphs", Endpoint::V1Create)
         .add(Method::Get, "/v1/hypergraphs/{id}", Endpoint::V1Detail)
+        .add(Method::Put, "/v1/hypergraphs/{id}", Endpoint::V1Replace)
+        .add(Method::Delete, "/v1/hypergraphs/{id}", Endpoint::V1Delete)
         .add(Method::Get, "/v1/hypergraphs/{id}/hg", Endpoint::V1RawHg)
         .add(Method::Post, "/v1/analyses", Endpoint::V1Analyses)
         .add(Method::Get, "/v1/analyses/{id}", Endpoint::V1Analysis)
@@ -174,20 +190,6 @@ fn build_router() -> Router<Endpoint> {
     router
 }
 
-/// Resolves the default IO mode: the reactor, unless the platform lacks
-/// epoll or the `HYPERBENCH_BLOCKING_IO` environment variable opts the
-/// process out (how CI keeps the legacy path green without touching the
-/// test suites).
-fn default_io_mode() -> IoMode {
-    if cfg!(not(target_os = "linux")) {
-        return IoMode::Blocking;
-    }
-    match std::env::var("HYPERBENCH_BLOCKING_IO") {
-        Ok(v) if !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false") => IoMode::Blocking,
-        _ => IoMode::Reactor,
-    }
-}
-
 /// A bound, not-yet-running server: [`Server::bind`], then the blocking
 /// [`Server::run`] (tests run it on a thread and stop it through a
 /// [`ShutdownHandle`]).
@@ -198,8 +200,6 @@ pub struct Server {
     router: Arc<Router<Endpoint>>,
     shutdown: Arc<AtomicBool>,
     warm_cache_entries: usize,
-    threads: usize,
-    io_mode: IoMode,
     reactor_threads: usize,
     read_deadline: Duration,
     idle_timeout: Duration,
@@ -255,12 +255,27 @@ impl Server {
             Arc::clone(&cache),
             config.analysis,
         );
-        let repo_stats = hyperbench_repo::aggregate_stats(&repo);
+        // With a WAL configured the store opens writable: the log is
+        // recovered (torn tail dropped), replayed over the base, and —
+        // with a checkpoint pack — folded into fresh pack pages before
+        // the first request. Without one, the same store type serves
+        // read-only and write verbs answer a structured 403.
+        let store = match &config.wal {
+            Some(wal) => MvccStore::open(
+                repo,
+                MvccOptions::new(wal.clone(), config.checkpoint_pack.clone()),
+            )
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            None => MvccStore::read_only(repo),
+        };
+        let snap = store.snapshot();
+        let repo_stats = std::sync::Mutex::new((snap.seq(), Arc::new(snap.stats())));
+        drop(snap);
         Ok(Server {
             listener,
             local_addr,
             state: Arc::new(ServerState {
-                repo: Arc::new(repo),
+                store: Arc::new(store),
                 repo_stats,
                 jobs,
                 cache,
@@ -270,8 +285,6 @@ impl Server {
             router: Arc::new(build_router()),
             shutdown: Arc::new(AtomicBool::new(false)),
             warm_cache_entries,
-            threads: config.threads.max(1),
-            io_mode: default_io_mode(),
             reactor_threads: (config.threads / 2).max(1),
             read_deadline: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(30),
@@ -287,23 +300,6 @@ impl Server {
     /// cache at bind time (0 without a configured spill).
     pub fn warm_cache_entries(&self) -> usize {
         self.warm_cache_entries
-    }
-
-    /// The IO mode [`Server::run`] will use.
-    pub fn io_mode(&self) -> IoMode {
-        self.io_mode
-    }
-
-    /// Forces the legacy thread-per-connection path (or back to the
-    /// reactor with `false`; ignored off Linux, where blocking IO is the
-    /// only engine).
-    pub fn with_blocking_io(mut self, blocking: bool) -> Server {
-        self.io_mode = if blocking || cfg!(not(target_os = "linux")) {
-            IoMode::Blocking
-        } else {
-            IoMode::Reactor
-        };
-        self
     }
 
     /// Overrides the number of reactor event-loop threads (default:
@@ -335,25 +331,18 @@ impl Server {
         }
     }
 
-    /// Serves until a [`ShutdownHandle`] fires: the epoll reactor by
-    /// default, the legacy blocking pool when selected (see [`IoMode`]).
-    pub fn run(self) {
-        match self.io_mode {
-            IoMode::Reactor => self.run_reactor(),
-            IoMode::Blocking => self.run_blocking(),
-        }
-    }
-
+    /// Serves on the epoll reactor until a [`ShutdownHandle`] fires.
     #[cfg(target_os = "linux")]
-    fn run_reactor(self) {
+    pub fn run(self) {
         let opts = reactor::ReactorOptions {
             threads: self.reactor_threads,
             read_deadline: self.read_deadline,
             idle_timeout: self.idle_timeout,
         };
         // The offload pool is the worker side of the reactor: it runs
-        // the POST handlers (body parsing, analysis submission) so an
-        // expensive parse never stalls an event loop.
+        // the mutating handlers (body parsing, WAL commits, analysis
+        // submission) so an expensive parse or fsync never stalls an
+        // event loop.
         let offload = ThreadPool::new(self.reactor_threads);
         if let Err(e) = reactor::run_reactor(
             self.listener,
@@ -363,72 +352,19 @@ impl Server {
             offload,
             opts,
         ) {
-            log_error!("server", "reactor failed"; error = e);
+            hyperbench_telemetry::log_error!("server", "reactor failed"; error = e);
         }
     }
 
+    /// The reactor requires epoll; there is no serving engine on other
+    /// platforms (the legacy thread-per-connection pool was retired).
     #[cfg(not(target_os = "linux"))]
-    fn run_reactor(self) {
-        self.run_blocking()
-    }
-
-    /// Accepts connections until a [`ShutdownHandle`] fires, dispatching
-    /// each onto a fixed connection pool — the pre-reactor engine, kept
-    /// one release behind `--blocking-io`. Connections beyond the
-    /// pending bound are answered 503 on the accept thread instead of
-    /// queueing without limit — otherwise a stalled pool would
-    /// accumulate open sockets until fd exhaustion.
-    pub fn run_blocking(self) {
-        let pool = ThreadPool::new(self.threads);
-        let pending = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        let max_pending = pool.size() * 64;
-        let read_deadline = self.read_deadline;
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match stream {
-                Ok(mut stream) => {
-                    if pending.load(Ordering::SeqCst) >= max_pending {
-                        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-                        let _ = error_response(ApiError::new(
-                            ErrorCode::QueueFull,
-                            "server overloaded; retry later",
-                        ))
-                        .write_to(&mut stream);
-                        continue;
-                    }
-                    pending.fetch_add(1, Ordering::SeqCst);
-                    let state = Arc::clone(&self.state);
-                    let router = Arc::clone(&self.router);
-                    let guard = PendingGuard(Arc::clone(&pending));
-                    pool.execute(move || {
-                        // The guard releases the slot even if handling
-                        // panics (the pool catches the unwind).
-                        let _guard = guard;
-                        handle_connection(stream, &state, &router, read_deadline);
-                    });
-                }
-                Err(e) => {
-                    // Transient accept failures (EMFILE and friends) must
-                    // not kill the server — but retrying instantly would
-                    // spin hot while the condition persists, so back off
-                    // briefly before the next accept.
-                    log_warn!("server", "accept error; backing off"; error = e);
-                    std::thread::sleep(Duration::from_millis(50));
-                }
-            }
-        }
-    }
-}
-
-/// Decrements the pending-connection count on drop, so a panicking
-/// handler cannot leak its slot.
-struct PendingGuard(Arc<std::sync::atomic::AtomicUsize>);
-
-impl Drop for PendingGuard {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+    pub fn run(self) {
+        let _ = self.listener;
+        hyperbench_telemetry::log_error!(
+            "server",
+            "the epoll reactor requires Linux; refusing to serve"
+        );
     }
 }
 
@@ -449,38 +385,9 @@ impl ShutdownHandle {
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    state: &ServerState,
-    router: &Router<Endpoint>,
-    read_deadline: Duration,
-) {
-    // Slowloris guard: a connection gets a bounded window to deliver its
-    // request (each read is also individually bounded by the socket
-    // timeout, mapping to a structured 408).
-    let _ = stream.set_read_timeout(Some(read_deadline));
-    let _ = stream.set_write_timeout(Some(read_deadline.max(Duration::from_secs(10))));
-    let parse = SpanTimer::start();
-    let response = match http::read_request(&stream) {
-        Ok(mut request) => {
-            parse.observe(&metrics::metrics().http_parse_us);
-            request.trace_id = next_request_id();
-            dispatch(state, router, &request)
-        }
-        Err(e) => match parse_error_response(&e) {
-            Some(response) => response,
-            None => return, // peer went away before sending anything
-        },
-    };
-    let serialize = SpanTimer::start();
-    let mut stream = stream;
-    let _ = response.write_to(&mut stream);
-    serialize.observe(&metrics::metrics().http_serialize_us);
-}
-
-/// Routes one parsed request to its handler — shared verbatim by the
-/// reactor's event loops, the reactor's POST offload workers, and the
-/// legacy blocking path, so the three can never drift.
+/// Routes one parsed request to its handler — shared by the reactor's
+/// event loops and its write-offload workers, so the two can never
+/// drift.
 pub(crate) fn dispatch(
     state: &ServerState,
     router: &Router<Endpoint>,
@@ -495,7 +402,10 @@ pub(crate) fn dispatch(
         match router.route(request.method, &request.path) {
             RouteMatch::Found(endpoint, params) => match endpoint {
                 Endpoint::V1List => handlers::v1::list(state, request),
+                Endpoint::V1Create => handlers::v1::post_hypergraphs(state, request),
                 Endpoint::V1Detail => handlers::v1::get(state, &params),
+                Endpoint::V1Replace => handlers::v1::put_hypergraph(state, request, &params),
+                Endpoint::V1Delete => handlers::v1::delete_hypergraph(state, &params),
                 Endpoint::V1RawHg => handlers::v1::raw_hg(state, &params),
                 Endpoint::V1Analyses => handlers::v1::post_analyses(state, request),
                 Endpoint::V1Analysis => handlers::v1::get_analysis(state, &params),
@@ -550,35 +460,56 @@ pub fn serve_pack(pack: &std::path::Path, config: &ServerConfig) -> Result<(), S
     )
 }
 
-/// CLI-facing IO knobs for [`serve_dir_opts`] / [`serve_pack_opts`],
-/// kept off [`ServerConfig`] so its construction stays frozen.
+/// CLI-facing knobs for [`serve_dir_opts`] / [`serve_pack_opts`], kept
+/// off [`ServerConfig`] so its construction stays frozen.
 #[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
-    /// Use the legacy thread-per-connection engine (`--blocking-io`).
-    pub blocking_io: bool,
+    /// Accept writes (`--writable`): derives WAL and checkpoint paths
+    /// next to the served repository unless [`ServerConfig`] names them
+    /// explicitly.
+    pub writable: bool,
     /// Override the reactor event-loop thread count
     /// (`--reactor-threads N`; default `max(1, threads / 2)`).
     pub reactor_threads: Option<usize>,
 }
 
-/// [`serve_dir`] with explicit IO options.
+/// [`serve_dir`] with explicit serve options. `--writable` places the
+/// WAL at `<dir>/repo.wal` with no checkpoint pack: the TSV tree stays
+/// the base, and the log — replayed at every bind — carries all
+/// mutations (checkpointing into a pack would strand the writes, since
+/// the next bind would still load the TSV).
 pub fn serve_dir_opts(
     dir: &std::path::Path,
     config: &ServerConfig,
     opts: &ServeOptions,
 ) -> Result<(), String> {
     let repo = hyperbench_repo::store::load(dir).map_err(|e| e.to_string())?;
-    serve_repo(repo, &format!("{} (tsv)", dir.display()), config, opts)
+    let mut config = config.clone();
+    if opts.writable && config.wal.is_none() {
+        config.wal = Some(dir.join("repo.wal"));
+    }
+    serve_repo(repo, &format!("{} (tsv)", dir.display()), &config, opts)
 }
 
-/// [`serve_pack`] with explicit IO options.
+/// [`serve_pack`] with explicit serve options. `--writable` places the
+/// WAL at `<pack>.wal` and checkpoints back into the served pack file
+/// itself: the background checkpointer's atomic rewrite is exactly the
+/// pack's compaction, and the next bind opens the checkpointed state
+/// directly.
 pub fn serve_pack_opts(
     pack: &std::path::Path,
     config: &ServerConfig,
     opts: &ServeOptions,
 ) -> Result<(), String> {
     let repo = Repository::open_pack(pack).map_err(|e| e.to_string())?;
-    serve_repo(repo, &format!("{} (pack)", pack.display()), config, opts)
+    let mut config = config.clone();
+    if opts.writable && config.wal.is_none() {
+        let mut wal = pack.as_os_str().to_owned();
+        wal.push(".wal");
+        config.wal = Some(wal.into());
+        config.checkpoint_pack = Some(pack.to_path_buf());
+    }
+    serve_repo(repo, &format!("{} (pack)", pack.display()), &config, opts)
 }
 
 fn serve_repo(
@@ -589,29 +520,28 @@ fn serve_repo(
 ) -> Result<(), String> {
     let mut server =
         Server::bind(repo, config).map_err(|e| format!("bind {}: {e}", config.addr))?;
-    if opts.blocking_io {
-        server = server.with_blocking_io(true);
-    }
     if let Some(n) = opts.reactor_threads {
         server = server.with_reactor_threads(n);
     }
-    let io = match server.io_mode() {
-        IoMode::Reactor => format!("epoll reactor, {} event loops", server.reactor_threads),
-        IoMode::Blocking => format!("blocking IO, {} connection threads", server.threads),
+    let io = format!("epoll reactor, {} event loops", server.reactor_threads);
+    let mode = if server.state.store.writable() {
+        "writable"
+    } else {
+        "read-only"
     };
+    let entries = server.state.store.snapshot().len();
     // The startup banner stays on stdout (scripts read the bound
     // address from it); the structured line mirrors it for log capture.
     println!(
-        "hyperbench-server: {} entries from {source} on http://{} \
-         ({io}, {} analysis workers, {} warm cache entries)",
-        server.state.repo.len(),
+        "hyperbench-server: {entries} entries from {source} on http://{} \
+         ({io}, {mode}, {} analysis workers, {} warm cache entries)",
         server.local_addr(),
         config.analysis_workers,
         server.warm_cache_entries(),
     );
     log_info!("server", "serving";
-        entries = server.state.repo.len(), source = source, addr = server.local_addr(),
-        io = io, analysis_workers = config.analysis_workers,
+        entries = entries, source = source, addr = server.local_addr(),
+        io = io, mode = mode, analysis_workers = config.analysis_workers,
         warm_cache_entries = server.warm_cache_entries());
     server.run();
     Ok(())
@@ -683,13 +613,19 @@ mod tests {
     }
 
     #[test]
-    fn blocking_mode_still_serves() {
-        let (join, addr, shutdown) = test_server_with(|s| s.with_blocking_io(true));
+    fn write_verbs_are_forbidden_without_a_wal() {
+        let (join, addr, shutdown) = test_server();
+        let body = r#"{"hypergraph":"e(a,b)."}"#;
         let response = request(
             addr,
-            "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+            &format!(
+                "POST /v1/hypergraphs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{body}",
+                body.len()
+            ),
         );
-        assert!(response.starts_with("HTTP/1.1 200 OK"), "got: {response}");
+        assert!(response.starts_with("HTTP/1.1 403"), "got: {response}");
+        assert!(response.contains("\"read_only\""), "got: {response}");
         shutdown.shutdown();
         join.join().unwrap();
     }

@@ -1,8 +1,8 @@
 //! A fixed-size worker thread pool: one shared queue, graceful shutdown
 //! on drop. Since the epoll reactor took over the connection hot path,
-//! this pool is the *worker side* only: the reactor offloads slow (POST)
-//! handlers onto it, and the legacy `--blocking-io` engine still uses it
-//! as its thread-per-connection pool.
+//! this pool is the *worker side* only: the reactor offloads slow
+//! (mutating) handlers onto it — body parsing, WAL commits, analysis
+//! submission — so an event loop never waits on a parse or an fsync.
 
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};

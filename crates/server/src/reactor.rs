@@ -16,7 +16,8 @@
 //! * **every loop** reads, parses, dispatches *fast* requests (GETs:
 //!   repository lookups, stats, polls) inline, and serializes responses
 //!   into the connection's write buffer;
-//! * **slow requests** (POSTs: `.hg` parsing + analysis submission) are
+//! * **slow requests** (writes: `.hg` parsing, WAL commits, analysis
+//!   submission) are
 //!   handed to the worker-side [`crate::pool::ThreadPool`]; the worker
 //!   runs the handler — which enqueues onto the bounded job queue in
 //!   [`crate::jobs`] exactly as before — and wakes the owning loop
@@ -53,7 +54,7 @@ use hyperbench_api::{ApiError, ErrorCode};
 use hyperbench_telemetry::{log_error, log_warn, next_request_id, SpanTimer};
 
 use crate::handlers::{error_response, parse_error_response, ServerState};
-use crate::http::{Method, Parse, RequestParser, Response, MAX_BODY, MAX_HEAD};
+use crate::http::{Parse, RequestParser, Response, MAX_BODY, MAX_HEAD};
 use crate::metrics::metrics;
 use crate::pool::ThreadPool;
 use crate::router::Router;
@@ -474,9 +475,11 @@ impl EventLoop {
                     metrics().http_parse_us.observe(parse_us);
                     request.trace_id = next_request_id();
                     let keep_alive = request.keep_alive;
-                    if request.method == Method::Post {
-                        // Slow path: hand the request to the worker pool
-                        // and wait for its completion wake.
+                    if request.method.is_write() {
+                        // Slow path: mutating requests (body parsing,
+                        // WAL fsync, analysis submission) go to the
+                        // worker pool; the event loop waits for the
+                        // completion wake.
                         conn.awaiting = true;
                         conn.pending_keep_alive = keep_alive;
                         let generation = conn.generation;

@@ -6,8 +6,7 @@
 //!
 //! The metrics registry is process-global, so this binary holds exactly
 //! one `#[test]` — a sibling test recording into the same counters
-//! would break the exact assertions. The suite honours
-//! `HYPERBENCH_BLOCKING_IO`, so CI runs it against both IO engines.
+//! would break the exact assertions.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -52,6 +51,7 @@ fn start_pack_server() -> (std::thread::JoinHandle<()>, SocketAddr, ShutdownHand
             cache_capacity: 32,
             analysis: AnalysisConfig::default(),
             spill: None,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port")
@@ -102,18 +102,6 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
 
 fn json(body: &str) -> Json {
     Json::parse(body).unwrap_or_else(|e| panic!("bad JSON ({e}): {body}"))
-}
-
-/// Whether the server under test runs the legacy blocking engine (the
-/// same opt-out the server itself reads).
-fn blocking_io() -> bool {
-    if cfg!(not(target_os = "linux")) {
-        return true;
-    }
-    match std::env::var("HYPERBENCH_BLOCKING_IO") {
-        Ok(v) => !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"),
-        Err(_) => false,
-    }
 }
 
 /// Extracts the value of a `name value` line from Prometheus text.
@@ -268,12 +256,10 @@ fn metrics_reflect_a_known_request_mix() {
     assert!(stat_counter(&stats, "hyperbench_pack_page_hydrations_total") >= 1);
     assert!(stat_counter(&stats, "hyperbench_pack_checksum_reads_total") >= 1);
 
-    // Reactor family records only on the reactor engine.
-    if !blocking_io() {
-        assert!(stat_counter(&stats, "hyperbench_reactor_conns_accepted_total") >= 1);
-        assert!(stat_counter(&stats, "hyperbench_reactor_epoll_wakeups_total") >= 1);
-        assert!(stat_counter(&stats, "hyperbench_reactor_write_bytes_total") >= 1);
-    }
+    // The reactor is the only IO engine; its family always records.
+    assert!(stat_counter(&stats, "hyperbench_reactor_conns_accepted_total") >= 1);
+    assert!(stat_counter(&stats, "hyperbench_reactor_epoll_wakeups_total") >= 1);
+    assert!(stat_counter(&stats, "hyperbench_reactor_write_bytes_total") >= 1);
 
     // Legacy stats shape is still intact next to the telemetry section.
     let repo = stats.get("repository").expect("repository section");

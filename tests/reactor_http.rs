@@ -48,12 +48,10 @@ fn start_reactor(
             cache_capacity: 32,
             analysis: AnalysisConfig::default(),
             spill: None,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port")
-    // Force the reactor even when the environment (the CI blocking-IO
-    // matrix leg) opts the default into blocking mode.
-    .with_blocking_io(false)
     .with_reactor_threads(2)
     .with_read_deadline(read_deadline)
     .with_idle_timeout(Duration::from_secs(20));

@@ -47,6 +47,7 @@ fn start_server() -> (std::thread::JoinHandle<()>, SocketAddr, ShutdownHandle) {
             cache_capacity: 32,
             analysis: AnalysisConfig::default(),
             spill: None,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port");
