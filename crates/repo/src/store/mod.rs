@@ -29,6 +29,26 @@ pub mod wal;
 pub use tsv::{load, save};
 
 use std::io;
+use std::path::Path;
+
+/// Fsyncs the directory holding `path`, making a just-renamed (or
+/// just-created) directory entry durable. Atomic-replace via temp
+/// file and rename is only crash-safe once the *directory* is synced
+/// too; without it a power loss can roll the rename back even though
+/// the file data itself was fsynced. No-op off unix, where
+/// directories cannot be opened for fsync (the writable store is
+/// unix-only; see [`mvcc`]).
+pub(crate) fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
 
 /// Persistence errors. The pack- and spill-specific variants carry the
 /// diagnostics needed to locate the damage, mirroring the line/field

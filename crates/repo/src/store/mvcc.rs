@@ -313,6 +313,22 @@ impl Inserted {
     }
 }
 
+/// Receipt for a committed [`MvccStore::replace`] /
+/// [`MvccStore::remove`]: the commit seq plus the content hash the
+/// write displaced. The hash is captured *inside* the serialized
+/// commit (under the writer lock), so cache eviction keyed on it sees
+/// exactly the value this write overwrote — a snapshot read taken
+/// before the call could race a concurrent write to the same id and
+/// leave an intermediate hash's cached analyses un-evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Committed {
+    /// The WAL sequence number this write committed at.
+    pub seq: u64,
+    /// Content hash of the entry this write displaced (`None` when the
+    /// id had no live content hash).
+    pub displaced_hash: Option<u64>,
+}
+
 /// Writer-side state, serialized under one mutex.
 struct Writer {
     /// `None` on a read-only store.
@@ -416,31 +432,33 @@ impl MvccStore {
                 hashes.entry(h).or_default().push(m.id);
             }
         }
-        // …then replay the log over it.
+        // …then replay the log over it. Replay borrows the recovered
+        // records (cloning only each entry payload into the overlay)
+        // so the same `Vec` can seed `writer.pending` afterwards — the
+        // log is read and frame-decoded exactly once per open.
         let mut overlay: Overlay = BTreeMap::new();
         let mut seq = 0u64;
-        for record in recovery.records {
+        for record in &recovery.records {
             seq = record.seq();
-            match record.clone() {
+            match record {
                 WalRecord::Insert { seq, entry } | WalRecord::Replace { seq, entry } => {
                     let id = entry.id as usize;
-                    let entry = Arc::new(entry.into_entry()?);
+                    let entry = Arc::new(entry.clone().into_entry()?);
                     next_id = next_id.max(id + 1);
                     remove_hash(&mut hashes, overlay_hash(&overlay, &base, id), id);
                     hashes
                         .entry(content_hash_of(&entry.hypergraph))
                         .or_default()
                         .push(id);
-                    overlay.insert(id, (seq, Some(entry)));
+                    overlay.insert(id, (*seq, Some(entry)));
                 }
                 WalRecord::Remove { seq, id } => {
-                    let id = id as usize;
+                    let id = *id as usize;
                     remove_hash(&mut hashes, overlay_hash(&overlay, &base, id), id);
-                    overlay.insert(id, (seq, None));
+                    overlay.insert(id, (*seq, None));
                 }
             }
         }
-        let replayed = wal::recover(&opts.wal)?.records;
         let writer = WalWriter::open_append(&opts.wal, recovery.torn_tail)?;
         metrics().wal_size_bytes.set(writer.size()? as i64);
         let snapshot = Arc::new(Snapshot::new(Arc::clone(&base), seq, overlay));
@@ -450,7 +468,7 @@ impl MvccStore {
                 retained: Mutex::new(VecDeque::new()),
                 writer: Mutex::new(Writer {
                     wal: Some(writer),
-                    pending: replayed,
+                    pending: recovery.records,
                     next_seq: seq + 1,
                     next_id,
                     hashes,
@@ -523,7 +541,7 @@ impl MvccStore {
         let collection = collection.into();
         let class = class.into();
         let hash = content_hash_of(&hypergraph);
-        self.commit(|writer, snapshot| {
+        let (outcome, _) = self.commit(|writer, snapshot| {
             if let Some(ids) = writer.hashes.get(&hash) {
                 if let Some(&id) = ids.iter().find(|&&id| snapshot.contains(id)) {
                     return Ok(CommitPlan::NoOp(Inserted::Existing { id }));
@@ -550,24 +568,26 @@ impl MvccStore {
                 },
                 outcome: Inserted::Created { id, seq },
             })
-        })
+        })?;
+        Ok(outcome)
     }
 
     /// Replaces entry `id` wholesale (collection, class, hypergraph;
     /// any analysis attached to the old payload is dropped — it
     /// described the old hypergraph). [`StoreError::NoSuchEntry`] when
-    /// absent.
+    /// absent. The returned [`Committed`] carries the displaced
+    /// content hash for race-free cache eviction.
     pub fn replace(
         &self,
         id: usize,
         hypergraph: Hypergraph,
         collection: impl Into<String>,
         class: impl Into<String>,
-    ) -> Result<u64, StoreError> {
+    ) -> Result<Committed, StoreError> {
         let collection = collection.into();
         let class = class.into();
         let hash = content_hash_of(&hypergraph);
-        let outcome = self.commit(|writer, snapshot| {
+        let (outcome, displaced_hash) = self.commit(|writer, snapshot| {
             if !snapshot.contains(id) {
                 return Err(StoreError::NoSuchEntry { id });
             }
@@ -603,14 +623,19 @@ impl MvccStore {
             })
         })?;
         match outcome {
-            Inserted::Created { seq, .. } => Ok(seq),
+            Inserted::Created { seq, .. } => Ok(Committed {
+                seq,
+                displaced_hash,
+            }),
             Inserted::Existing { .. } => unreachable!("replace always writes"),
         }
     }
 
     /// Removes entry `id`. [`StoreError::NoSuchEntry`] when absent.
-    pub fn remove(&self, id: usize) -> Result<u64, StoreError> {
-        let outcome = self.commit(|writer, snapshot| {
+    /// The returned [`Committed`] carries the displaced content hash
+    /// for race-free cache eviction.
+    pub fn remove(&self, id: usize) -> Result<Committed, StoreError> {
+        let (outcome, displaced_hash) = self.commit(|writer, snapshot| {
             if !snapshot.contains(id) {
                 return Err(StoreError::NoSuchEntry { id });
             }
@@ -626,7 +651,10 @@ impl MvccStore {
             })
         })?;
         match outcome {
-            Inserted::Created { seq, .. } => Ok(seq),
+            Inserted::Created { seq, .. } => Ok(Committed {
+                seq,
+                displaced_hash,
+            }),
             Inserted::Existing { .. } => unreachable!("remove always writes"),
         }
     }
@@ -639,18 +667,20 @@ impl MvccStore {
     }
 
     /// The single commit path: validate → WAL append + fsync →
-    /// publish the next generation.
+    /// publish the next generation. Returns the outcome plus the
+    /// content hash the write displaced (captured under the writer
+    /// lock — see [`Committed`]).
     fn commit(
         &self,
         plan: impl FnOnce(&Writer, &Snapshot) -> Result<CommitPlan, StoreError>,
-    ) -> Result<Inserted, StoreError> {
+    ) -> Result<(Inserted, Option<u64>), StoreError> {
         let mut writer = self.inner.writer.lock().expect("writer");
         if writer.wal.is_none() {
             return Err(StoreError::ReadOnly);
         }
         let snapshot = self.snapshot();
         let (record, apply, outcome) = match plan(&writer, &snapshot)? {
-            CommitPlan::NoOp(outcome) => return Ok(outcome),
+            CommitPlan::NoOp(outcome) => return Ok((outcome, None)),
             CommitPlan::Write {
                 record,
                 apply,
@@ -672,12 +702,11 @@ impl MvccStore {
         if apply.id >= writer.next_id {
             writer.next_id = apply.id + 1;
         }
-        // Maintain the idempotent-create index.
-        remove_hash(
-            &mut writer.hashes,
-            snapshot.content_hash(apply.id),
-            apply.id,
-        );
+        // Maintain the idempotent-create index. The displaced hash is
+        // read here, inside the commit, so it names exactly the
+        // content this write overwrote.
+        let displaced_hash = snapshot.content_hash(apply.id);
+        remove_hash(&mut writer.hashes, displaced_hash, apply.id);
         if let Some(h) = apply.hash {
             writer.hashes.entry(h).or_default().push(apply.id);
         }
@@ -708,7 +737,7 @@ impl MvccStore {
             self.inner.signal.lock().expect("signal").requested = true;
             self.inner.wake.notify_one();
         }
-        Ok(outcome)
+        Ok((outcome, displaced_hash))
     }
 }
 
@@ -794,6 +823,19 @@ fn checkpointer_main(inner: &Inner) {
 /// Folds the current snapshot into a fresh pack (full rewrite — also
 /// the pack's compaction), swaps it in as base, trims the overlay and
 /// WAL down to commits newer than the checkpointed seq.
+///
+/// Durability order matters: [`pack::write_pack_entries`] fsyncs the
+/// new pack (data + directory entry) *before* this function rewrites
+/// the WAL, so a power loss can never discard checkpointed records
+/// while the pack that absorbed them is still volatile.
+///
+/// Portability note: the new pack is renamed over a path the current
+/// base [`pack::PackStore`] still holds open (serving checkpoints back
+/// into the served pack). That relies on POSIX rename-over-open-file
+/// semantics — on Windows the rename fails, every checkpoint errors,
+/// and the WAL grows without bound. The writable store is unix-only
+/// today; lifting that would need generation-numbered pack files plus
+/// a pointer swap instead of rename-in-place.
 fn run_checkpoint(inner: &Inner) -> Result<bool, StoreError> {
     let Some(pack_path) = inner.checkpoint_pack.as_ref() else {
         return Err(StoreError::Corrupt(
@@ -1019,6 +1061,25 @@ mod tests {
             store.replace(99, triangle(), "x", "y"),
             Err(StoreError::NoSuchEntry { id: 99 })
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replace_and_remove_report_the_displaced_hash() {
+        let dir = tmpdir("displaced");
+        let store = writable_store(&dir, Repository::new());
+        let a = store.insert(triangle(), "gen", "CQ Application").unwrap();
+        let triangle_hash = content_hash_of(&triangle());
+        // Replace reports the hash it overwrote, not the new one…
+        let c = store
+            .replace(a.id(), chain(4), "gen", "CQ Application")
+            .unwrap();
+        assert_eq!(c.displaced_hash, Some(triangle_hash));
+        // …and a chained remove reports the intermediate hash the
+        // replace installed — each write names exactly what it
+        // displaced, so hash-keyed cache eviction cannot skip a step.
+        let c = store.remove(a.id()).unwrap();
+        assert_eq!(c.displaced_hash, Some(content_hash_of(&chain(4))));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -218,10 +218,19 @@ pub fn write_pack_entries<'a>(
     out.extend_from_slice(&meta);
     out.extend_from_slice(&keyset);
     // Write via a temp file + rename so a crash mid-write never leaves
-    // a half-written pack under the final name.
+    // a half-written pack under the final name. The temp file is
+    // fsynced *before* the rename and the directory *after* it:
+    // callers (the MVCC checkpointer in particular) durably discard
+    // the WAL records this pack folds in as soon as we return, so a
+    // power loss must not be able to surface an old or torn pack.
     let tmp = path.with_extension("pack.tmp");
-    std::fs::write(&tmp, &out)?;
+    {
+        let mut f = File::create(&tmp)?;
+        std::io::Write::write_all(&mut f, &out)?;
+        f.sync_all()?;
+    }
     std::fs::rename(&tmp, path)?;
+    super::sync_parent_dir(path)?;
     Ok(())
 }
 

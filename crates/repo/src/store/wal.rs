@@ -17,7 +17,8 @@
 //! behind it — is real corruption and fails the open.
 //!
 //! After a checkpoint folds committed records into fresh pack pages,
-//! [`rewrite`] atomically replaces the log (temp file + fsync + rename)
+//! [`rewrite`] atomically replaces the log (temp file, fsync, rename,
+//! parent-directory fsync)
 //! with only the records newer than the checkpoint, so the log stays
 //! proportional to un-checkpointed work instead of total history.
 
@@ -348,7 +349,14 @@ impl WalWriter {
             f.set_len(offset)?;
             f.sync_data()?;
         }
+        let existed = path.exists();
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if !existed {
+            // A brand-new log's directory entry must be durable before
+            // any append is acknowledged, or a crash could drop the
+            // whole file along with every "synced" record in it.
+            super::sync_parent_dir(path)?;
+        }
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
@@ -386,9 +394,13 @@ pub fn rewrite(path: &Path, records: &[WalRecord]) -> Result<WalWriter, StoreErr
         for record in records {
             f.write_all(&encode(record))?;
         }
-        f.sync_data()?;
+        f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
+    // The rename itself must be durable: if the directory update were
+    // lost, a crash would resurrect the pre-checkpoint log, replaying
+    // records the pack already folded in (double-apply on sparse ids).
+    super::sync_parent_dir(path)?;
     WalWriter::open_append(path, None)
 }
 

@@ -578,19 +578,23 @@ pub mod v1 {
             Err(resp) => return resp,
         };
         let hash = content_hash_of(&h);
-        let old_hash = state.store.snapshot().content_hash(id);
         match state
             .store
             .replace(id, h, request.collection, request.class)
         {
-            Ok(seq) => {
-                if let Some(old) = old_hash.filter(|&o| o != hash) {
+            Ok(committed) => {
+                // The displaced hash comes out of the serialized
+                // commit, so concurrent writes to the same id each
+                // evict exactly the content they overwrote — a
+                // pre-write snapshot read could miss an intermediate
+                // hash.
+                if let Some(old) = committed.displaced_hash.filter(|&o| o != hash) {
                     state.cache.evict_content(old);
                 }
                 let receipt = WriteReceipt {
                     id,
                     outcome: WriteOutcome::Replaced,
-                    seq: Some(seq),
+                    seq: Some(committed.seq),
                     content_hash: Some(hash),
                 };
                 Response::json(200, receipt.to_json())
@@ -606,16 +610,15 @@ pub mod v1 {
             Ok(id) => id,
             Err(e) => return error_response(e),
         };
-        let old_hash = state.store.snapshot().content_hash(id);
         match state.store.remove(id) {
-            Ok(seq) => {
-                if let Some(old) = old_hash {
+            Ok(committed) => {
+                if let Some(old) = committed.displaced_hash {
                     state.cache.evict_content(old);
                 }
                 let receipt = WriteReceipt {
                     id,
                     outcome: WriteOutcome::Removed,
-                    seq: Some(seq),
+                    seq: Some(committed.seq),
                     content_hash: None,
                 };
                 Response::json(200, receipt.to_json())
