@@ -11,7 +11,8 @@ use std::time::{Duration, Instant};
 
 use crate::cursor::PageCursor;
 use crate::dto::{
-    AnalysisResource, AnalyzeRequest, EntryDetail, PageDto, WriteReceipt, WriteRequest,
+    AnalysisResource, AnalyzeRequest, EntryDetail, PageDto, QueryRequest, QueryResponse,
+    WriteReceipt, WriteRequest,
 };
 use crate::error::ApiError;
 use crate::json::Json;
@@ -238,6 +239,15 @@ impl Client {
             first.next_cursor = page.next_cursor;
         }
         Ok(first)
+    }
+
+    /// `POST /v1/query` — runs one HBQL query. Row-returning queries
+    /// page like [`Client::list`]; continue with
+    /// [`QueryRequest::cursor`] set to the previous page's
+    /// `next_cursor`.
+    pub fn query(&self, req: &QueryRequest) -> Result<QueryResponse, ClientError> {
+        let j = self.json("POST", "/v1/query", Some(&req.to_json().to_string()))?;
+        QueryResponse::from_json(&j).map_err(decode_err)
     }
 
     /// `GET /v1/hypergraphs/{id}` — the full entry.

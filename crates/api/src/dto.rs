@@ -327,6 +327,114 @@ impl PageDto {
     }
 }
 
+/// `POST /v1/query` request body: one HBQL query, plus an optional
+/// continuation cursor from a previous rows page of the same query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// The HBQL text, e.g. `SELECT * WHERE hw_upper <= 5 LIMIT 20`.
+    pub query: String,
+    /// Opaque cursor from a previous [`QueryResponse::Rows`] page.
+    pub cursor: Option<String>,
+}
+
+impl QueryRequest {
+    /// A request for the first page of `query`.
+    pub fn new(query: impl Into<String>) -> QueryRequest {
+        QueryRequest {
+            query: query.into(),
+            cursor: None,
+        }
+    }
+
+    /// Encodes to the wire shape.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![(schema::QUERY.to_string(), Json::str(&self.query))];
+        if let Some(cursor) = &self.cursor {
+            fields.push((schema::CURSOR.to_string(), Json::str(cursor)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes the wire shape.
+    pub fn from_json(j: &Json) -> Result<QueryRequest, DecodeError> {
+        let cursor = match j.get(schema::CURSOR) {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| missing(schema::CURSOR))?
+                    .to_string(),
+            ),
+        };
+        Ok(QueryRequest {
+            query: req_str(j, schema::QUERY)?,
+            cursor,
+        })
+    }
+}
+
+/// `POST /v1/query` response: rows for `SELECT *` queries, groups for
+/// aggregate queries. The wire shape carries a `kind` discriminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// A rows page — same page contract as `GET /v1/hypergraphs`.
+    Rows(PageDto),
+    /// Aggregate groups, in ascending key order.
+    Groups {
+        /// The `GROUP BY` field name, or `None` for the global group.
+        group_by: Option<String>,
+        /// One object per group, fields in select-list order.
+        groups: Vec<Json>,
+    },
+}
+
+impl QueryResponse {
+    /// Encodes to the wire shape.
+    pub fn to_json(&self) -> Json {
+        match self {
+            QueryResponse::Rows(page) => {
+                let mut fields = vec![(schema::KIND.to_string(), Json::str("rows"))];
+                if let Json::Obj(page_fields) = page.to_json() {
+                    fields.extend(page_fields);
+                }
+                Json::Obj(fields)
+            }
+            QueryResponse::Groups { group_by, groups } => Json::obj([
+                (schema::KIND, Json::str("groups")),
+                (
+                    schema::GROUP_BY,
+                    group_by.as_deref().map_or(Json::Null, Json::str),
+                ),
+                (schema::TOTAL, Json::int(groups.len())),
+                (schema::GROUPS, Json::Arr(groups.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes the wire shape by its `kind` discriminator.
+    pub fn from_json(j: &Json) -> Result<QueryResponse, DecodeError> {
+        match j.get(schema::KIND).and_then(Json::as_str) {
+            Some("rows") => Ok(QueryResponse::Rows(PageDto::from_json(j)?)),
+            Some("groups") => {
+                let group_by = match j.get(schema::GROUP_BY) {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .ok_or_else(|| missing(schema::GROUP_BY))?
+                            .to_string(),
+                    ),
+                };
+                let groups = j
+                    .get(schema::GROUPS)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| missing(schema::GROUPS))?
+                    .to_vec();
+                Ok(QueryResponse::Groups { group_by, groups })
+            }
+            _ => Err(missing(schema::KIND)),
+        }
+    }
+}
+
 /// `POST /v1/hypergraphs` and `PUT /v1/hypergraphs/{id}` request body:
 /// an `.hg` document plus its provenance labels.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -1388,9 +1496,47 @@ impl TelemetryDto {
     }
 }
 
+/// HBQL counters of the `GET /v1/stats` payload. The scanned/hydrated
+/// pair makes the executor's no-hydration invariant observable: every
+/// queryable field is index-resident, so `rows_hydrated` stays zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStatsDto {
+    /// Queries compiled (parse + resolve), successful or not.
+    pub queries: u64,
+    /// Queries rejected at lex, parse, or resolve time.
+    pub errors: u64,
+    /// Metadata rows visited by the executor.
+    pub rows_scanned: u64,
+    /// Rows whose evaluation hydrated the full entry.
+    pub rows_hydrated: u64,
+}
+
+impl QueryStatsDto {
+    /// Encodes into the `query` section.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("queries", Json::int(self.queries)),
+            ("errors", Json::int(self.errors)),
+            ("rows_scanned", Json::int(self.rows_scanned)),
+            ("rows_hydrated", Json::int(self.rows_hydrated)),
+        ])
+    }
+
+    /// Decodes the `query` section.
+    pub fn from_json(j: &Json) -> Result<QueryStatsDto, DecodeError> {
+        let u = |f| req_int(j, f).map(|n| n.max(0) as u64);
+        Ok(QueryStatsDto {
+            queries: u("queries")?,
+            errors: u("errors")?,
+            rows_scanned: u("rows_scanned")?,
+            rows_hydrated: u("rows_hydrated")?,
+        })
+    }
+}
+
 /// The full `GET /v1/stats` payload: repository aggregates, cache and
-/// job counters (version-stable since PR 1) plus the process-wide
-/// telemetry section.
+/// job counters (version-stable since PR 1), HBQL counters, plus the
+/// process-wide telemetry section.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsDto {
     /// Repository aggregates.
@@ -1399,6 +1545,8 @@ pub struct StatsDto {
     pub cache: CacheStatsDto,
     /// Job-system counters.
     pub jobs: JobStatsDto,
+    /// HBQL query counters.
+    pub query: QueryStatsDto,
     /// Process-wide telemetry snapshot.
     pub telemetry: TelemetryDto,
 }
@@ -1410,6 +1558,7 @@ impl StatsDto {
             (schema::REPOSITORY, self.repository.to_json()),
             (schema::CACHE, self.cache.to_json()),
             (schema::JOBS_SECTION, self.jobs.to_json()),
+            (schema::QUERY, self.query.to_json()),
             (schema::TELEMETRY, self.telemetry.to_json()),
         ])
     }
@@ -1428,6 +1577,13 @@ impl StatsDto {
                 j.get(schema::JOBS_SECTION)
                     .ok_or_else(|| missing(schema::JOBS_SECTION))?,
             )?,
+            // Tolerate pre-HBQL payloads: an absent section decodes to
+            // zeroes rather than failing the whole stats read.
+            query: j
+                .get(schema::QUERY)
+                .map(QueryStatsDto::from_json)
+                .transpose()?
+                .unwrap_or_default(),
             telemetry: TelemetryDto::from_json(
                 j.get(schema::TELEMETRY)
                     .ok_or_else(|| missing(schema::TELEMETRY))?,
@@ -1675,6 +1831,12 @@ mod tests {
                 done: 5,
                 failed: 1,
                 deduped: 2,
+            },
+            query: QueryStatsDto {
+                queries: 9,
+                errors: 1,
+                rows_scanned: 120,
+                rows_hydrated: 0,
             },
             telemetry: TelemetryDto {
                 counters: vec![("hyperbench_cache_hits_total".to_string(), 3)],

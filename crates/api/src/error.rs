@@ -36,6 +36,9 @@ pub enum ErrorCode {
     /// The request body parsed as JSON but does not describe a valid
     /// hypergraph.
     InvalidHypergraph,
+    /// An HBQL query failed to lex, parse, or type-check; the payload
+    /// carries a byte-offset `span` pointing at the offending text.
+    InvalidQuery,
     /// The server is running read-only; writes need `--writable`.
     ReadOnly,
     /// The bounded analysis queue is at capacity; retry later.
@@ -60,6 +63,7 @@ impl ErrorCode {
             ErrorCode::RequestTimeout => "request_timeout",
             ErrorCode::Conflict => "conflict",
             ErrorCode::InvalidHypergraph => "invalid_hypergraph",
+            ErrorCode::InvalidQuery => "invalid_query",
             ErrorCode::ReadOnly => "read_only",
             ErrorCode::QueueFull => "queue_full",
             ErrorCode::ShuttingDown => "shutting_down",
@@ -80,6 +84,7 @@ impl ErrorCode {
             "request_timeout" => ErrorCode::RequestTimeout,
             "conflict" => ErrorCode::Conflict,
             "invalid_hypergraph" => ErrorCode::InvalidHypergraph,
+            "invalid_query" => ErrorCode::InvalidQuery,
             "read_only" => ErrorCode::ReadOnly,
             "queue_full" => ErrorCode::QueueFull,
             "shutting_down" => ErrorCode::ShuttingDown,
@@ -101,7 +106,7 @@ impl ErrorCode {
             ErrorCode::Conflict => 409,
             ErrorCode::PayloadTooLarge => 413,
             ErrorCode::RequestTimeout => 408,
-            ErrorCode::InvalidHypergraph => 422,
+            ErrorCode::InvalidHypergraph | ErrorCode::InvalidQuery => 422,
             ErrorCode::QueueFull | ErrorCode::ShuttingDown => 503,
             ErrorCode::Internal => 500,
         }
@@ -196,6 +201,7 @@ mod tests {
             ErrorCode::RequestTimeout,
             ErrorCode::Conflict,
             ErrorCode::InvalidHypergraph,
+            ErrorCode::InvalidQuery,
             ErrorCode::ReadOnly,
             ErrorCode::QueueFull,
             ErrorCode::ShuttingDown,

@@ -40,8 +40,8 @@ pub use cursor::{CursorError, PageCursor};
 pub use dto::{
     AnalysisReport, AnalysisResource, AnalysisStatus, AnalyzeMethod, AnalyzeRequest, CacheStatsDto,
     CoverAtomDto, DecodeError, DecompNodeDto, DecompositionDto, EdgeDto, EntryDetail, EntrySummary,
-    HistogramSummaryDto, JobStatsDto, PageDto, RepoStatsDto, StatsDto, TelemetryDto, WriteOutcome,
-    WriteReceipt, WriteRequest,
+    HistogramSummaryDto, JobStatsDto, PageDto, QueryRequest, QueryResponse, QueryStatsDto,
+    RepoStatsDto, StatsDto, TelemetryDto, WriteOutcome, WriteReceipt, WriteRequest,
 };
 pub use error::{ApiError, ErrorCode};
 pub use json::Json;

@@ -103,6 +103,25 @@ pub const CODE: &str = "code";
 /// Error payloads: human-readable message (legacy-compatible key).
 pub const ERROR: &str = "error";
 
+// `POST /v1/query` field names (the HBQL surface).
+
+/// Query request: the HBQL text. Also the `query` stats section.
+pub const QUERY: &str = "query";
+/// Query request: continuation cursor from a previous rows page.
+pub const CURSOR: &str = "cursor";
+/// Query response: payload shape discriminator (`rows` / `groups`).
+pub const KIND: &str = "kind";
+/// Query response: the `GROUP BY` field (`null` for the global group).
+pub const GROUP_BY: &str = "group_by";
+/// Query response: the aggregate groups array.
+pub const GROUPS: &str = "groups";
+/// `invalid_query` payloads: byte-offset range of the offending text.
+pub const SPAN: &str = "span";
+/// Span object: first byte offset.
+pub const START: &str = "start";
+/// Span object: one past the last byte offset.
+pub const END: &str = "end";
+
 // `/v1/stats` field names (the telemetry section of the stats payload).
 
 /// Stats payload: the repository aggregates section.

@@ -33,6 +33,7 @@ USAGE:
              [--jobs N] [--spill FILE|off] [--reactor-threads N] [--writable]
   hyperbench put <FILE.hg> [--addr HOST:PORT] [--id N] [--collection C] [--class C]
   hyperbench rm <ID> [--addr HOST:PORT]
+  hyperbench query \"<HBQL>\" [--addr HOST:PORT] [--cursor TOKEN]
   hyperbench help
 
 Every command also accepts `--log-level error|warn|info|debug|trace|off`
@@ -54,6 +55,12 @@ committed writes back into their pages); without it, writes answer 403.
 `put` stores (or with `--id N` replaces) a hypergraph on a running
 writable server and prints the receipt; `rm` removes one by id. Both
 talk to `--addr` (default 127.0.0.1:8080).
+
+`query` runs one HBQL query against a running server, e.g.
+  hyperbench query 'SELECT * WHERE hw_upper <= 2 ORDER BY edges DESC LIMIT 5'
+  hyperbench query 'SELECT collection, COUNT(*), AVG(arity) GROUP BY collection'
+Row pages print a summary table plus the continuation cursor; aggregate
+queries print one JSON object per group.
 ";
 
 fn main() {
@@ -397,6 +404,59 @@ fn run(args: &[String]) -> Result<(), String> {
                 .delete(id)
                 .map_err(|e| e.to_string())?;
             print_receipt(&receipt);
+            Ok(())
+        }
+        "query" => {
+            let text = flags
+                .positional
+                .first()
+                .ok_or("HBQL query string required")?;
+            let mut request = hyperbench_api::QueryRequest::new(text.clone());
+            request.cursor = flags.get("cursor").map(str::to_string);
+            match write_client(&flags)?
+                .query(&request)
+                .map_err(|e| e.to_string())?
+            {
+                hyperbench_api::QueryResponse::Rows(page) => {
+                    println!(
+                        "{:>6}  {:<14} {:<18} {:>8} {:>6} {:>6} {:>9} {:>9}",
+                        "id",
+                        "collection",
+                        "class",
+                        "vertices",
+                        "edges",
+                        "arity",
+                        "hw_upper",
+                        "hw_lower"
+                    );
+                    for s in &page.items {
+                        println!(
+                            "{:>6}  {:<14} {:<18} {:>8} {:>6} {:>6} {:>9} {:>9}",
+                            s.id,
+                            s.collection,
+                            s.class,
+                            s.vertices,
+                            s.edges,
+                            s.arity,
+                            s.hw_upper.map_or("-".to_string(), |v| v.to_string()),
+                            s.hw_lower.map_or("-".to_string(), |v| v.to_string()),
+                        );
+                    }
+                    println!("total: {} match(es)", page.total);
+                    if let Some(cursor) = &page.next_cursor {
+                        println!("next page: --cursor {cursor}");
+                    }
+                }
+                hyperbench_api::QueryResponse::Groups { group_by, groups } => {
+                    match group_by {
+                        Some(field) => println!("{} group(s) by {field}:", groups.len()),
+                        None => println!("1 global group:"),
+                    }
+                    for g in &groups {
+                        println!("{g}");
+                    }
+                }
+            }
             Ok(())
         }
         "decompose" => {

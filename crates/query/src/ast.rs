@@ -1,0 +1,326 @@
+//! The typed HBQL abstract syntax tree and its canonical
+//! pretty-printer.
+//!
+//! `Display` emits the canonical spelling (uppercase keywords, `!=`,
+//! double-quoted strings, minimal parentheses), and re-parsing the
+//! printed form yields a structurally identical tree — property-tested
+//! in `lib.rs`. Node equality includes spans, so tests compare trees
+//! after [`Query::strip_spans`].
+
+use crate::token::Span;
+
+/// A parsed HBQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The select list: rows (`*`) or grouped aggregates.
+    pub select: Select,
+    /// The `WHERE` predicate, when present.
+    pub filter: Option<Expr>,
+    /// The `GROUP BY` field, when present.
+    pub group_by: Option<FieldRef>,
+    /// The `ORDER BY` keys, outermost first.
+    pub order_by: Vec<OrderKey>,
+    /// The `LIMIT` value, when present.
+    pub limit: Option<u64>,
+}
+
+/// What the query projects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Select {
+    /// `SELECT *` — entry-summary rows.
+    Rows,
+    /// An explicit select list of group keys and aggregates.
+    Items(Vec<SelectItem>),
+}
+
+/// One comma-separated entry of an explicit select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The projection.
+    pub kind: SelectItemKind,
+    /// Source location of the item.
+    pub span: Span,
+}
+
+/// The kinds of select-list entries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItemKind {
+    /// A bare field — only valid as the `GROUP BY` key column.
+    Column(String),
+    /// `COUNT(*)`.
+    Count,
+    /// `MIN(field)`.
+    Min(String),
+    /// `MAX(field)`.
+    Max(String),
+    /// `AVG(field)`.
+    Avg(String),
+}
+
+/// A field reference with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldRef {
+    /// The field name as written.
+    pub name: String,
+    /// Source location of the name.
+    pub span: Span,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The field to sort by.
+    pub field: FieldRef,
+    /// `true` for `DESC`.
+    pub desc: bool,
+}
+
+/// A boolean predicate over one entry's metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Both sides must hold.
+    And(Box<Expr>, Box<Expr>),
+    /// Either side must hold.
+    Or(Box<Expr>, Box<Expr>),
+    /// The inner predicate must not hold.
+    Not(Box<Expr>),
+    /// `field op literal`.
+    Cmp {
+        /// The compared field.
+        field: FieldRef,
+        /// The comparison operator.
+        op: CmpOp,
+        /// The literal to compare against.
+        value: Literal,
+        /// Source location of the literal.
+        value_span: Span,
+    },
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The canonical spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Whether the operator orders its operands (vs. pure equality).
+    pub fn is_ordering(&self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+    }
+}
+
+/// A literal value in a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A non-negative integer.
+    Int(i64),
+    /// A quoted string.
+    Str(String),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+}
+
+impl Query {
+    /// Returns a copy with every span zeroed — the shape tests compare
+    /// trees modulo source locations.
+    pub fn strip_spans(&self) -> Query {
+        fn strip_field(f: &FieldRef) -> FieldRef {
+            FieldRef {
+                name: f.name.clone(),
+                span: Span::default(),
+            }
+        }
+        fn strip_expr(e: &Expr) -> Expr {
+            match e {
+                Expr::And(l, r) => Expr::And(Box::new(strip_expr(l)), Box::new(strip_expr(r))),
+                Expr::Or(l, r) => Expr::Or(Box::new(strip_expr(l)), Box::new(strip_expr(r))),
+                Expr::Not(i) => Expr::Not(Box::new(strip_expr(i))),
+                Expr::Cmp {
+                    field, op, value, ..
+                } => Expr::Cmp {
+                    field: strip_field(field),
+                    op: *op,
+                    value: value.clone(),
+                    value_span: Span::default(),
+                },
+            }
+        }
+        Query {
+            select: match &self.select {
+                Select::Rows => Select::Rows,
+                Select::Items(items) => Select::Items(
+                    items
+                        .iter()
+                        .map(|i| SelectItem {
+                            kind: i.kind.clone(),
+                            span: Span::default(),
+                        })
+                        .collect(),
+                ),
+            },
+            filter: self.filter.as_ref().map(strip_expr),
+            group_by: self.group_by.as_ref().map(strip_field),
+            order_by: self
+                .order_by
+                .iter()
+                .map(|k| OrderKey {
+                    field: strip_field(&k.field),
+                    desc: k.desc,
+                })
+                .collect(),
+            limit: self.limit,
+        }
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    out
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Literal::Int(n) => write!(f, "{n}"),
+            Literal::Str(s) => write!(f, "{}", quote(s)),
+            Literal::Bool(true) => write!(f, "TRUE"),
+            Literal::Bool(false) => write!(f, "FALSE"),
+        }
+    }
+}
+
+impl Expr {
+    /// Binding strength, used by the printer for minimal parentheses.
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Or(..) => 1,
+            Expr::And(..) => 2,
+            Expr::Not(..) => 3,
+            Expr::Cmp { .. } => 4,
+        }
+    }
+
+    /// Prints with parentheses exactly where re-parsing needs them:
+    /// a child binding strictly weaker than its context, or an
+    /// equal-strength right child of a left-associative operator.
+    fn fmt_prec(&self, f: &mut std::fmt::Formatter<'_>, min: u8) -> std::fmt::Result {
+        let prec = self.precedence();
+        let parens = prec < min;
+        if parens {
+            write!(f, "(")?;
+        }
+        match self {
+            Expr::Or(l, r) => {
+                l.fmt_prec(f, prec)?;
+                write!(f, " OR ")?;
+                r.fmt_prec(f, prec + 1)?;
+            }
+            Expr::And(l, r) => {
+                l.fmt_prec(f, prec)?;
+                write!(f, " AND ")?;
+                r.fmt_prec(f, prec + 1)?;
+            }
+            Expr::Not(inner) => {
+                write!(f, "NOT ")?;
+                inner.fmt_prec(f, prec)?;
+            }
+            Expr::Cmp {
+                field, op, value, ..
+            } => {
+                write!(f, "{} {} {}", field.name, op.as_str(), value)?;
+            }
+        }
+        if parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl std::fmt::Display for SelectItemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectItemKind::Column(name) => write!(f, "{name}"),
+            SelectItemKind::Count => write!(f, "COUNT(*)"),
+            SelectItemKind::Min(name) => write!(f, "MIN({name})"),
+            SelectItemKind::Max(name) => write!(f, "MAX({name})"),
+            SelectItemKind::Avg(name) => write!(f, "AVG({name})"),
+        }
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SELECT ")?;
+        match &self.select {
+            Select::Rows => write!(f, "*")?,
+            Select::Items(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", item.kind)?;
+                }
+            }
+        }
+        if let Some(filter) = &self.filter {
+            write!(f, " WHERE {filter}")?;
+        }
+        if let Some(key) = &self.group_by {
+            write!(f, " GROUP BY {}", key.name)?;
+        }
+        for (i, key) in self.order_by.iter().enumerate() {
+            if i == 0 {
+                write!(f, " ORDER BY ")?;
+            } else {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", key.field.name)?;
+            if key.desc {
+                write!(f, " DESC")?;
+            }
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}

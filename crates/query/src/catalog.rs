@@ -1,0 +1,196 @@
+//! The field catalog: the one table tying HBQL names to wire schema
+//! constants and to the `EntryMeta` index.
+//!
+//! Every queryable field is a [`hyperbench_api::schema`] constant, so
+//! the wire DTOs, the store columns, and the query language share one
+//! vocabulary — renaming a field is a compile-error sweep, not a silent
+//! drift. Every field here is resolvable from [`EntryMeta`] alone,
+//! which is what lets the executor run without hydrating pack pages.
+
+use hyperbench_api::schema;
+use hyperbench_repo::EntryMeta;
+
+/// The type of a queryable field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldType {
+    /// Non-negative integer (counts, bounds, sizes).
+    Int,
+    /// String (collection / class labels).
+    Str,
+    /// Boolean flag.
+    Bool,
+}
+
+impl FieldType {
+    /// Human-readable name for error messages.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FieldType::Int => "integer",
+            FieldType::Str => "string",
+            FieldType::Bool => "boolean",
+        }
+    }
+}
+
+/// One catalog row.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldDef {
+    /// The field name (a `schema` constant).
+    pub name: &'static str,
+    /// The field's type.
+    pub ty: FieldType,
+}
+
+/// Every queryable field, in documentation order. Index into this table
+/// is the resolved field id used by plans.
+pub const FIELDS: [FieldDef; 16] = [
+    FieldDef {
+        name: schema::ID,
+        ty: FieldType::Int,
+    },
+    FieldDef {
+        name: schema::COLLECTION,
+        ty: FieldType::Str,
+    },
+    FieldDef {
+        name: schema::CLASS,
+        ty: FieldType::Str,
+    },
+    FieldDef {
+        name: schema::VERTICES,
+        ty: FieldType::Int,
+    },
+    FieldDef {
+        name: schema::EDGES,
+        ty: FieldType::Int,
+    },
+    FieldDef {
+        name: schema::ARITY,
+        ty: FieldType::Int,
+    },
+    FieldDef {
+        name: schema::DEGREE,
+        ty: FieldType::Int,
+    },
+    FieldDef {
+        name: schema::BIP,
+        ty: FieldType::Int,
+    },
+    FieldDef {
+        name: schema::BMIP3,
+        ty: FieldType::Int,
+    },
+    FieldDef {
+        name: schema::BMIP4,
+        ty: FieldType::Int,
+    },
+    FieldDef {
+        name: schema::VC_DIM,
+        ty: FieldType::Int,
+    },
+    FieldDef {
+        name: schema::HW_UPPER,
+        ty: FieldType::Int,
+    },
+    FieldDef {
+        name: schema::HW_LOWER,
+        ty: FieldType::Int,
+    },
+    FieldDef {
+        name: schema::ANALYZED,
+        ty: FieldType::Bool,
+    },
+    FieldDef {
+        name: schema::CYCLIC,
+        ty: FieldType::Bool,
+    },
+    FieldDef {
+        name: schema::HW_TIMED_OUT,
+        ty: FieldType::Bool,
+    },
+];
+
+/// Looks a field up by name, returning its catalog index.
+pub fn lookup(name: &str) -> Option<usize> {
+    FIELDS.iter().position(|f| f.name == name)
+}
+
+/// The comma-joined field names, for "valid fields are …" error
+/// messages.
+pub fn field_names() -> String {
+    FIELDS.iter().map(|f| f.name).collect::<Vec<_>>().join(", ")
+}
+
+/// A field's value on one entry. `None` means the value is absent —
+/// analysis-dependent fields on unanalyzed entries, or bounds the
+/// analyzer could not certify (`vc_dim` / `hw_upper` timeouts). Every
+/// comparison against an absent value is false, mirroring
+/// `Filter::matches_meta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue<'a> {
+    /// An integer value.
+    Int(i64),
+    /// A string value.
+    Str(&'a str),
+    /// A boolean value.
+    Bool(bool),
+}
+
+/// Evaluates catalog field `idx` on `meta`, without hydrating the
+/// entry.
+pub fn value_of<'a>(meta: &EntryMeta<'a>, idx: usize) -> Option<FieldValue<'a>> {
+    let int = |v: usize| Some(FieldValue::Int(v as i64));
+    let name = FIELDS[idx].name;
+    let rec = meta.analysis;
+    if name == schema::ID {
+        int(meta.id)
+    } else if name == schema::COLLECTION {
+        Some(FieldValue::Str(meta.collection))
+    } else if name == schema::CLASS {
+        Some(FieldValue::Str(meta.class))
+    } else if name == schema::VERTICES {
+        int(meta.vertices)
+    } else if name == schema::EDGES {
+        int(meta.edges)
+    } else if name == schema::ARITY {
+        int(meta.arity)
+    } else if name == schema::ANALYZED {
+        Some(FieldValue::Bool(rec.is_some()))
+    } else if name == schema::DEGREE {
+        rec.and_then(|r| int(r.properties.degree))
+    } else if name == schema::BIP {
+        rec.and_then(|r| int(r.properties.bip))
+    } else if name == schema::BMIP3 {
+        rec.and_then(|r| int(r.properties.bmip3))
+    } else if name == schema::BMIP4 {
+        rec.and_then(|r| int(r.properties.bmip4))
+    } else if name == schema::VC_DIM {
+        rec.and_then(|r| r.properties.vc_dim).and_then(int)
+    } else if name == schema::HW_UPPER {
+        rec.and_then(|r| r.hw_upper).and_then(int)
+    } else if name == schema::HW_LOWER {
+        rec.and_then(|r| int(r.hw_lower))
+    } else if name == schema::CYCLIC {
+        rec.map(|r| FieldValue::Bool(r.is_cyclic()))
+    } else if name == schema::HW_TIMED_OUT {
+        rec.map(|r| FieldValue::Bool(r.hw_timed_out))
+    } else {
+        unreachable!("field {name:?} missing from value_of")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_lookup_agrees() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, f) in FIELDS.iter().enumerate() {
+            assert!(seen.insert(f.name), "duplicate field {:?}", f.name);
+            assert_eq!(lookup(f.name), Some(i));
+        }
+        assert_eq!(lookup("nope"), None);
+        assert!(field_names().contains("hw_upper"));
+    }
+}

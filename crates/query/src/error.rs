@@ -1,0 +1,38 @@
+//! The error type shared by every HBQL stage (lex, parse, resolve).
+
+use crate::token::Span;
+
+/// A query rejection: what went wrong and where in the query text.
+///
+/// The span is a byte range into the original query string; the server
+/// forwards it verbatim in 422 payloads so clients can underline the
+/// offending characters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte range of the offending text.
+    pub span: Span,
+}
+
+impl QueryError {
+    /// Builds an error over `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> QueryError {
+        QueryError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (at bytes {}..{})",
+            self.message, self.span.start, self.span.end
+        )
+    }
+}
+
+impl std::error::Error for QueryError {}

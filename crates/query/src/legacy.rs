@@ -1,0 +1,194 @@
+//! Desugaring of the legacy `?key=value` filter params into HBQL.
+//!
+//! The PR-1/PR-6 filter vocabulary (`class`, `hw_le`, `cyclic`, …)
+//! compiles to the same AST the parser produces, so both list routes
+//! and `POST /v1/query` share one predicate-evaluation path. The
+//! mapping mirrors `Filter::with_param` condition-for-condition —
+//! `cyclic=false` / `analyzed=false` desugar to no conjunct at all,
+//! exactly as the old filter left the condition unset.
+
+use hyperbench_api::schema;
+
+use crate::ast::{CmpOp, Expr, FieldRef, Literal, Query, Select};
+use crate::token::Span;
+
+/// The legacy filter-param vocabulary, in documentation order.
+pub const PARAM_KEYS: [&str; 11] = [
+    "class",
+    "collection",
+    "min_edges",
+    "max_edges",
+    "min_arity",
+    "max_arity",
+    "hw_le",
+    "hw_ge",
+    "bip_le",
+    "cyclic",
+    "analyzed",
+];
+
+/// A rejected filter parameter. Unlike [`crate::QueryError`] there is
+/// no query text to point into, so the message carries everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError {
+    /// Human-readable description, listing the valid keys for unknown
+    /// parameters.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+fn cmp(field: &'static str, op: CmpOp, value: Literal) -> Expr {
+    Expr::Cmp {
+        field: FieldRef {
+            name: field.to_string(),
+            span: Span::default(),
+        },
+        op,
+        value,
+        value_span: Span::default(),
+    }
+}
+
+fn number(key: &str, value: &str) -> Result<i64, ParamError> {
+    value
+        .parse::<usize>()
+        .ok()
+        .and_then(|v| i64::try_from(v).ok())
+        .ok_or_else(|| ParamError {
+            message: format!("bad value {value:?} for filter parameter {key:?}"),
+        })
+}
+
+fn flag(key: &str, value: &str) -> Result<bool, ParamError> {
+    match value {
+        "true" | "1" => Ok(true),
+        "false" | "0" => Ok(false),
+        _ => Err(ParamError {
+            message: format!("bad value {value:?} for filter parameter {key:?}"),
+        }),
+    }
+}
+
+/// Compiles legacy filter params into a `SELECT *` query whose `WHERE`
+/// clause is the conjunction of the given conditions, in order.
+/// Pagination keys (`limit`, `offset`, `cursor`) are the route's
+/// business and must be stripped by the caller first.
+pub fn desugar_params<'a>(
+    params: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> Result<Query, ParamError> {
+    let mut filter: Option<Expr> = None;
+    let mut push = |e: Expr| {
+        filter = Some(match filter.take() {
+            None => e,
+            Some(f) => Expr::And(Box::new(f), Box::new(e)),
+        });
+    };
+    for (key, value) in params {
+        match key {
+            "class" => push(cmp(schema::CLASS, CmpOp::Eq, Literal::Str(value.into()))),
+            "collection" => push(cmp(
+                schema::COLLECTION,
+                CmpOp::Eq,
+                Literal::Str(value.into()),
+            )),
+            "min_edges" => push(cmp(
+                schema::EDGES,
+                CmpOp::Ge,
+                Literal::Int(number(key, value)?),
+            )),
+            "max_edges" => push(cmp(
+                schema::EDGES,
+                CmpOp::Le,
+                Literal::Int(number(key, value)?),
+            )),
+            "min_arity" => push(cmp(
+                schema::ARITY,
+                CmpOp::Ge,
+                Literal::Int(number(key, value)?),
+            )),
+            "max_arity" => push(cmp(
+                schema::ARITY,
+                CmpOp::Le,
+                Literal::Int(number(key, value)?),
+            )),
+            "hw_le" => push(cmp(
+                schema::HW_UPPER,
+                CmpOp::Le,
+                Literal::Int(number(key, value)?),
+            )),
+            "hw_ge" => push(cmp(
+                schema::HW_LOWER,
+                CmpOp::Ge,
+                Literal::Int(number(key, value)?),
+            )),
+            "bip_le" => push(cmp(
+                schema::BIP,
+                CmpOp::Le,
+                Literal::Int(number(key, value)?),
+            )),
+            "cyclic" => {
+                if flag(key, value)? {
+                    push(cmp(schema::CYCLIC, CmpOp::Eq, Literal::Bool(true)));
+                }
+            }
+            "analyzed" => {
+                if flag(key, value)? {
+                    push(cmp(schema::ANALYZED, CmpOp::Eq, Literal::Bool(true)));
+                }
+            }
+            _ => {
+                return Err(ParamError {
+                    message: format!(
+                        "unknown filter parameter {key:?}; valid parameters are: {}",
+                        PARAM_KEYS.join(", ")
+                    ),
+                })
+            }
+        }
+    }
+    Ok(Query {
+        select: Select::Rows,
+        filter,
+        group_by: None,
+        order_by: Vec::new(),
+        limit: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desugars_to_the_canonical_hbql_spelling() {
+        let q =
+            desugar_params([("collection", "TPC-H"), ("hw_le", "5"), ("cyclic", "true")]).unwrap();
+        assert_eq!(
+            q.to_string(),
+            "SELECT * WHERE collection = \"TPC-H\" AND hw_upper <= 5 AND cyclic = TRUE"
+        );
+    }
+
+    #[test]
+    fn false_flags_desugar_to_nothing() {
+        let q = desugar_params([("cyclic", "false"), ("analyzed", "0")]).unwrap();
+        assert_eq!(q.to_string(), "SELECT *");
+        assert!(q.filter.is_none());
+    }
+
+    #[test]
+    fn unknown_keys_list_the_vocabulary() {
+        let e = desugar_params([("hw_max", "5")]).unwrap_err();
+        assert!(e.message.contains("hw_max"));
+        assert!(e.message.contains("hw_le"), "lists keys: {}", e.message);
+        assert!(desugar_params([("hw_le", "five")]).is_err());
+        assert!(desugar_params([("cyclic", "maybe")]).is_err());
+    }
+}

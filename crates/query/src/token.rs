@@ -1,0 +1,432 @@
+//! The HBQL lexer: raw query text to a token stream with byte-offset
+//! spans.
+//!
+//! Keywords are case-insensitive (`select` ≡ `SELECT`); identifiers keep
+//! their case. String literals accept double or single quotes with `\\`
+//! and `\"`/`\'` escapes — the canonical pretty-printer always emits
+//! double quotes.
+
+use crate::error::QueryError;
+
+/// A half-open byte range `[start, end)` into the query text. Every
+/// error carries one so clients can point at the offending characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it sits in the query text.
+    pub span: Span,
+}
+
+/// The token vocabulary of HBQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `SELECT`
+    Select,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `GROUP`
+    Group,
+    /// `ORDER`
+    Order,
+    /// `BY`
+    By,
+    /// `LIMIT`
+    Limit,
+    /// `ASC`
+    Asc,
+    /// `DESC`
+    Desc,
+    /// `COUNT`
+    Count,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `AVG`
+    Avg,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    /// A field name (case preserved).
+    Ident(String),
+    /// A non-negative integer literal.
+    Int(i64),
+    /// A quoted string literal (unescaped).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier {s:?}"),
+            TokenKind::Int(n) => format!("integer {n}"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Eof => "end of query".to_string(),
+            TokenKind::Select => "SELECT".to_string(),
+            TokenKind::Where => "WHERE".to_string(),
+            TokenKind::And => "AND".to_string(),
+            TokenKind::Or => "OR".to_string(),
+            TokenKind::Not => "NOT".to_string(),
+            TokenKind::Group => "GROUP".to_string(),
+            TokenKind::Order => "ORDER".to_string(),
+            TokenKind::By => "BY".to_string(),
+            TokenKind::Limit => "LIMIT".to_string(),
+            TokenKind::Asc => "ASC".to_string(),
+            TokenKind::Desc => "DESC".to_string(),
+            TokenKind::Count => "COUNT".to_string(),
+            TokenKind::Min => "MIN".to_string(),
+            TokenKind::Max => "MAX".to_string(),
+            TokenKind::Avg => "AVG".to_string(),
+            TokenKind::True => "TRUE".to_string(),
+            TokenKind::False => "FALSE".to_string(),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::Ne => "`!=`".to_string(),
+            TokenKind::Lt => "`<`".to_string(),
+            TokenKind::Le => "`<=`".to_string(),
+            TokenKind::Gt => "`>`".to_string(),
+            TokenKind::Ge => "`>=`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+        }
+    }
+}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    // Keywords match case-insensitively; the table is uppercase.
+    Some(match word.to_ascii_uppercase().as_str() {
+        "SELECT" => TokenKind::Select,
+        "WHERE" => TokenKind::Where,
+        "AND" => TokenKind::And,
+        "OR" => TokenKind::Or,
+        "NOT" => TokenKind::Not,
+        "GROUP" => TokenKind::Group,
+        "ORDER" => TokenKind::Order,
+        "BY" => TokenKind::By,
+        "LIMIT" => TokenKind::Limit,
+        "ASC" => TokenKind::Asc,
+        "DESC" => TokenKind::Desc,
+        "COUNT" => TokenKind::Count,
+        "MIN" => TokenKind::Min,
+        "MAX" => TokenKind::Max,
+        "AVG" => TokenKind::Avg,
+        "TRUE" => TokenKind::True,
+        "FALSE" => TokenKind::False,
+        _ => return None,
+    })
+}
+
+/// Lexes `text` into tokens, ending with [`TokenKind::Eof`].
+pub fn lex(text: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        span: Span::new(start, start + 2),
+                    });
+                    i += 2;
+                } else {
+                    return Err(QueryError::new(
+                        "expected `!=`",
+                        Span::new(start, start + 1),
+                    ));
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        span: Span::new(start, start + 2),
+                    });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        span: Span::new(start, start + 2),
+                    });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        span: Span::new(start, start + 1),
+                    });
+                    i += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        span: Span::new(start, start + 2),
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        span: Span::new(start, start + 1),
+                    });
+                    i += 1;
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                i += 1;
+                let mut value = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(QueryError::new(
+                                "unterminated string literal",
+                                Span::new(start, bytes.len()),
+                            ))
+                        }
+                        Some(&c) if c == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => match bytes.get(i + 1) {
+                            Some(&c) if c == quote || c == b'\\' => {
+                                value.push(c as char);
+                                i += 2;
+                            }
+                            _ => {
+                                return Err(QueryError::new(
+                                    "unknown escape in string literal (only \\\\ and the quote character can be escaped)",
+                                    Span::new(i, (i + 2).min(bytes.len())),
+                                ))
+                            }
+                        },
+                        Some(_) => {
+                            // Consume one full UTF-8 scalar, not one byte.
+                            let rest = &text[i..];
+                            let ch = rest.chars().next().expect("in-bounds char");
+                            value.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(value),
+                    span: Span::new(start, i),
+                });
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let digits = &text[start..i];
+                let value: i64 = digits.parse().map_err(|_| {
+                    QueryError::new(
+                        format!("integer literal {digits:?} is out of range"),
+                        Span::new(start, i),
+                    )
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    span: Span::new(start, i),
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &text[start..i];
+                let kind = keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                let ch = text[start..].chars().next().expect("in-bounds char");
+                return Err(QueryError::new(
+                    format!("unexpected character {ch:?}"),
+                    Span::new(start, start + ch.len_utf8()),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(bytes.len(), bytes.len()),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<TokenKind> {
+        lex(text).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_full_query() {
+        let ks = kinds("SELECT * WHERE hw_upper <= 5 AND class = \"CSP\" LIMIT 10");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Select,
+                TokenKind::Star,
+                TokenKind::Where,
+                TokenKind::Ident("hw_upper".into()),
+                TokenKind::Le,
+                TokenKind::Int(5),
+                TokenKind::And,
+                TokenKind::Ident("class".into()),
+                TokenKind::Eq,
+                TokenKind::Str("CSP".into()),
+                TokenKind::Limit,
+                TokenKind::Int(10),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_sql_ne_spelling_works() {
+        assert_eq!(kinds("select"), vec![TokenKind::Select, TokenKind::Eof]);
+        assert_eq!(
+            kinds("a <> b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_support_both_quotes_and_escapes() {
+        assert_eq!(
+            kinds("'TPC-H'"),
+            vec![TokenKind::Str("TPC-H".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds(r#""a\"b\\c""#),
+            vec![TokenKind::Str("a\"b\\c".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_offsets() {
+        let toks = lex("SELECT  *").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 6));
+        assert_eq!(toks[1].span, Span::new(8, 9));
+        assert_eq!(toks[2].span, Span::new(9, 9)); // Eof
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let e = lex("a ? b").unwrap_err();
+        assert_eq!(e.span, Span::new(2, 3));
+        assert!(lex("\"open").is_err());
+        assert!(lex("!x").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

@@ -14,16 +14,18 @@ use hyperbench_api::cursor::PageCursor;
 use hyperbench_api::dto::{
     AnalysisReport, AnalysisResource, AnalysisStatus, AnalyzeRequest, CacheStatsDto,
     DecompositionDto, EdgeDto, EntryDetail, EntrySummary, HistogramSummaryDto, JobStatsDto,
-    PageDto, RepoStatsDto, StatsDto, TelemetryDto, WriteOutcome, WriteReceipt, WriteRequest,
+    PageDto, QueryRequest, QueryResponse, QueryStatsDto, RepoStatsDto, StatsDto, TelemetryDto,
+    WriteOutcome, WriteReceipt, WriteRequest,
 };
 use hyperbench_api::error::{ApiError, ErrorCode};
 use hyperbench_api::json::Json;
 use hyperbench_api::schema;
 use hyperbench_core::format::{parse_hg, to_hg};
 use hyperbench_core::Hypergraph;
+use hyperbench_query::QueryError;
 use hyperbench_repo::store::mvcc::{Inserted, MvccStore, Snapshot};
 use hyperbench_repo::store::pack::content_hash_of;
-use hyperbench_repo::{AnalysisConfig, AnalysisRecord, Entry, Filter, RepoStats, StoreError};
+use hyperbench_repo::{AnalysisConfig, AnalysisRecord, Entry, RepoStats, StoreError};
 use hyperbench_telemetry::metrics::{HistogramSummary, MetricSnapshot};
 
 use crate::cache::{canonicalize, content_hash, AnalysisCache, JobResult};
@@ -249,10 +251,40 @@ fn parse_entry_id(params: &Params) -> Result<usize, ApiError> {
         .map_err(|_| ApiError::invalid_param("hypergraph id must be a non-negative integer"))
 }
 
-fn filter_param(filter: Filter, key: &str, value: &str) -> Result<Filter, ApiError> {
-    filter
-        .with_param(key, value)
-        .map_err(|e| ApiError::invalid_param(e.to_string()))
+/// Compiles legacy `?key=value` filter params into an executable HBQL
+/// plan — the one predicate-evaluation path both list routes and
+/// `POST /v1/query` share. Unknown keys and bad values answer a
+/// structured 400 listing the valid vocabulary.
+fn compile_filter_params<'a>(
+    params: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> Result<hyperbench_query::Plan, ApiError> {
+    let query = hyperbench_query::legacy::desugar_params(params)
+        .map_err(|e| ApiError::invalid_param(e.to_string()))?;
+    // Desugared queries only reference catalog fields with matching
+    // types, so resolution cannot fail; a failure here is a bug.
+    hyperbench_query::resolve(&query).map_err(|e| {
+        ApiError::new(
+            ErrorCode::Internal,
+            format!("desugared filter failed to resolve: {e}"),
+        )
+    })
+}
+
+/// Renders an HBQL compile failure as a 422 `invalid_query` whose
+/// payload carries the byte-offset span of the offending query text.
+fn query_error_response(e: QueryError) -> Response {
+    let err = ApiError::new(ErrorCode::InvalidQuery, e.message.clone());
+    let mut j = err.to_json();
+    if let Json::Obj(fields) = &mut j {
+        fields.push((
+            schema::SPAN.to_string(),
+            Json::obj([
+                (schema::START, Json::int(e.span.start)),
+                (schema::END, Json::int(e.span.end)),
+            ]),
+        ));
+    }
+    Response::json(err.http_status(), j)
 }
 
 /// Parses, keys, and submits an analysis; shared by both API surfaces.
@@ -354,6 +386,15 @@ pub fn get_stats(state: &ServerState) -> Response {
             failed: jobs.failed,
             deduped: jobs.deduped,
         },
+        query: {
+            let q = hyperbench_query::metrics::metrics();
+            QueryStatsDto {
+                queries: q.queries.get(),
+                errors: q.errors.get(),
+                rows_scanned: q.rows_scanned.get(),
+                rows_hydrated: q.rows_hydrated.get(),
+            }
+        },
         telemetry: TelemetryDto {
             counters,
             gauges,
@@ -398,12 +439,14 @@ pub mod v1 {
     /// `GET /v1/hypergraphs` — cursor-paginated, filterable summaries.
     /// On a writable store, cursors pin the snapshot generation they
     /// started on: a client paging through results sees one consistent
-    /// world even while writes land between its page fetches.
+    /// world even while writes land between its page fetches. The
+    /// filter params desugar into HBQL and run on the same planner as
+    /// `POST /v1/query`, straight off the metadata index.
     pub fn list(state: &ServerState, req: &Request) -> Response {
-        let mut filter = Filter::new();
         let mut limit = DEFAULT_LIMIT;
         let mut after = None;
         let mut pinned: Option<Arc<Snapshot>> = None;
+        let mut params: Vec<(&str, &str)> = Vec::new();
         for (key, value) in &req.query {
             match key.as_str() {
                 "limit" => match parse_limit(value) {
@@ -425,20 +468,18 @@ pub mod v1 {
                         ))
                     }
                 },
-                _ => match filter_param(filter, key, value) {
-                    Ok(f) => filter = f,
-                    Err(e) => return error_response(e),
-                },
+                _ => params.push((key.as_str(), value.as_str())),
             }
         }
-        let snap = pinned.unwrap_or_else(|| state.store.snapshot());
-        let page = match snap.try_select_after(&filter, after, limit) {
-            Ok(page) => page,
-            Err(e) => return storage_error(e),
+        let plan = match compile_filter_params(params) {
+            Ok(p) => p,
+            Err(e) => return error_response(e),
         };
+        let snap = pinned.unwrap_or_else(|| state.store.snapshot());
+        let page = plan.execute_rows(snap.metas(), after, limit);
         let dto = PageDto {
             total: page.total,
-            items: page.entries.iter().map(|e| summary_of(e)).collect(),
+            items: page.items,
             next_cursor: page.next_after.map(|after_id| {
                 PageCursor {
                     after_id,
@@ -449,6 +490,95 @@ pub mod v1 {
                 .encode()
             }),
         };
+        Response::json(200, dto.to_json())
+    }
+
+    /// `POST /v1/query` — runs one HBQL query. Row queries answer the
+    /// `GET /v1/hypergraphs` page contract (keyset cursors, snapshot
+    /// pinning); aggregate queries answer their groups in ascending key
+    /// order. Compile failures are 422 `invalid_query` with a byte-
+    /// offset span into the query text.
+    pub fn post_query(state: &ServerState, req: &Request) -> Response {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(s) if !s.trim().is_empty() => s,
+            Ok(_) => {
+                return error_response(ApiError::bad_request(
+                    "empty body; expected a QueryRequest JSON document",
+                ))
+            }
+            Err(_) => return error_response(ApiError::bad_request("body is not UTF-8")),
+        };
+        let parsed = match Json::parse(body) {
+            Ok(j) => j,
+            Err(e) => {
+                return error_response(ApiError::bad_request(format!("body is not JSON: {e}")))
+            }
+        };
+        let request = match QueryRequest::from_json(&parsed) {
+            Ok(r) => r,
+            Err(e) => return error_response(ApiError::invalid_param(e.to_string())),
+        };
+        let plan = match hyperbench_query::compile(&request.query) {
+            Ok(p) => p,
+            Err(e) => return query_error_response(e),
+        };
+        if plan.is_aggregate() {
+            if request.cursor.is_some() {
+                return error_response(ApiError::invalid_param(
+                    "aggregate queries answer in one page and take no cursor",
+                ));
+            }
+            let snap = state.store.snapshot();
+            let result = plan.execute_groups(snap.metas());
+            let dto = QueryResponse::Groups {
+                group_by: result.group_by,
+                groups: result.groups,
+            };
+            return Response::json(200, dto.to_json());
+        }
+        let limit = match plan.limit() {
+            None => DEFAULT_LIMIT,
+            Some(l) if l <= MAX_LIMIT as u64 => l as usize,
+            Some(l) => {
+                return error_response(ApiError::invalid_param(format!(
+                    "LIMIT must be at most {MAX_LIMIT}, got {l}"
+                )))
+            }
+        };
+        let mut after = None;
+        let mut pinned: Option<Arc<Snapshot>> = None;
+        if let Some(cursor) = &request.cursor {
+            // An ORDER BY page is not in id order, so a keyset cursor
+            // cannot continue it.
+            if plan.has_order() {
+                return error_response(ApiError::invalid_param(
+                    "ORDER BY queries cannot be continued with a cursor; \
+                     raise LIMIT instead",
+                ));
+            }
+            match PageCursor::decode(cursor) {
+                Ok(c) => {
+                    after = Some(c.after_id);
+                    pinned = c.snapshot.and_then(|seq| state.store.snapshot_at(seq));
+                }
+                Err(e) => {
+                    return error_response(ApiError::new(ErrorCode::InvalidCursor, e.to_string()))
+                }
+            }
+        }
+        let snap = pinned.unwrap_or_else(|| state.store.snapshot());
+        let page = plan.execute_rows(snap.metas(), after, limit);
+        let dto = QueryResponse::Rows(PageDto {
+            total: page.total,
+            items: page.items,
+            next_cursor: page.next_after.map(|after_id| {
+                PageCursor {
+                    after_id,
+                    snapshot: state.store.writable().then(|| snap.seq()),
+                }
+                .encode()
+            }),
+        });
         Response::json(200, dto.to_json())
     }
 
@@ -729,10 +859,12 @@ pub mod legacy {
     use super::*;
 
     /// `GET /hypergraphs` — offset pagination + filter query params.
+    /// The params desugar into HBQL and run on the same planner as the
+    /// `/v1` routes; the offset-page payload shape stays frozen.
     pub fn list_hypergraphs(state: &ServerState, req: &Request) -> Response {
-        let mut filter = Filter::new();
         let mut offset = 0usize;
         let mut limit = DEFAULT_LIMIT;
+        let mut params: Vec<(&str, &str)> = Vec::new();
         for (key, value) in &req.query {
             match key.as_str() {
                 "offset" => match value.parse() {
@@ -747,17 +879,15 @@ pub mod legacy {
                     Ok(v) => limit = v,
                     Err(e) => return error_response(e),
                 },
-                _ => match filter_param(filter, key, value) {
-                    Ok(f) => filter = f,
-                    Err(e) => return error_response(e),
-                },
+                _ => params.push((key.as_str(), value.as_str())),
             }
         }
-        let snap = state.store.snapshot();
-        let page = match snap.try_select_page(&filter, offset, limit) {
-            Ok(page) => page,
-            Err(e) => return storage_error(e),
+        let plan = match compile_filter_params(params) {
+            Ok(p) => p,
+            Err(e) => return error_response(e),
         };
+        let snap = state.store.snapshot();
+        let page = plan.execute_rows_offset(snap.metas(), offset, limit);
         Response::json(
             200,
             Json::obj([
@@ -767,9 +897,9 @@ pub mod legacy {
                 (
                     schema::ITEMS,
                     Json::Arr(
-                        page.entries
+                        page.items
                             .iter()
-                            .map(|e| summary_of(e).to_legacy_json())
+                            .map(EntrySummary::to_legacy_json)
                             .collect(),
                     ),
                 ),

@@ -32,6 +32,7 @@
 //! | route | answer |
 //! |-------|--------|
 //! | `GET /v1/hypergraphs` | cursor-paginated, filterable summaries |
+//! | `POST /v1/query` | run one typed HBQL query (filters, `ORDER BY`, aggregates) |
 //! | `POST /v1/hypergraphs` | store an instance (idempotent by content hash) |
 //! | `GET /v1/hypergraphs/{id}` | full entry + analysis as JSON |
 //! | `PUT /v1/hypergraphs/{id}` | replace an entry wholesale |
@@ -150,6 +151,7 @@ pub(crate) enum Endpoint {
     V1Replace,
     V1Delete,
     V1RawHg,
+    V1Query,
     V1Analyses,
     V1Analysis,
     V1Stats,
@@ -175,6 +177,7 @@ fn build_router() -> Router<Endpoint> {
         .add(Method::Put, "/v1/hypergraphs/{id}", Endpoint::V1Replace)
         .add(Method::Delete, "/v1/hypergraphs/{id}", Endpoint::V1Delete)
         .add(Method::Get, "/v1/hypergraphs/{id}/hg", Endpoint::V1RawHg)
+        .add(Method::Post, "/v1/query", Endpoint::V1Query)
         .add(Method::Post, "/v1/analyses", Endpoint::V1Analyses)
         .add(Method::Get, "/v1/analyses/{id}", Endpoint::V1Analysis)
         .add(Method::Get, "/v1/stats", Endpoint::V1Stats)
@@ -407,6 +410,7 @@ pub(crate) fn dispatch(
                 Endpoint::V1Replace => handlers::v1::put_hypergraph(state, request, &params),
                 Endpoint::V1Delete => handlers::v1::delete_hypergraph(state, &params),
                 Endpoint::V1RawHg => handlers::v1::raw_hg(state, &params),
+                Endpoint::V1Query => handlers::v1::post_query(state, request),
                 Endpoint::V1Analyses => handlers::v1::post_analyses(state, request),
                 Endpoint::V1Analysis => handlers::v1::get_analysis(state, &params),
                 Endpoint::V1Stats | Endpoint::Stats => handlers::get_stats(state),
