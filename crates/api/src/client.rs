@@ -4,10 +4,27 @@
 //! so a schema change is a compile error on both sides instead of a
 //! runtime surprise. One request per connection (`Connection: close`),
 //! mirroring the server's HTTP/1.1 subset.
+//!
+//! # Resilience
+//!
+//! Connect and read timeouts are independent ([`Client::with_connect_timeout`],
+//! [`Client::with_read_timeout`]). Opting in with [`Client::with_retries`]
+//! adds capped exponential backoff with decorrelated jitter around
+//! transport failures and 429/503 refusals, honoring any `Retry-After`
+//! the server sent. Retries are gated to requests that are safe to
+//! replay: idempotent verbs (`GET`/`PUT`/`DELETE`) plus
+//! `POST /v1/hypergraphs`, which the server dedups by content hash, so
+//! a replayed create lands on the same id instead of a duplicate.
+//! Retry activity is metered (`hyperbench_client_retries_total`,
+//! `hyperbench_client_retry_giveups_total`).
 
+use std::hash::{BuildHasher, Hasher};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+use hyperbench_telemetry::metrics::{global, Counter};
 
 use crate::cursor::PageCursor;
 use crate::dto::{
@@ -122,37 +139,168 @@ impl ListQuery {
     }
 }
 
+/// Backoff parameters for [`Client::with_retries`].
+///
+/// The sleep before retry *n* is drawn uniformly from
+/// `[base, 3 × previous_sleep]` (decorrelated jitter), clamped to
+/// `cap` — and never shorter than a `Retry-After` the server sent.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 disables retries).
+    pub max_retries: u32,
+    /// Floor of every backoff sleep.
+    pub base: Duration,
+    /// Ceiling of the jittered backoff (a larger server `Retry-After`
+    /// still wins, bounded by [`RetryPolicy::MAX_RETRY_AFTER`]).
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// Upper bound honored for a server-sent `Retry-After`, so a
+    /// misbehaving server cannot park the client for minutes.
+    pub const MAX_RETRY_AFTER: Duration = Duration::from_secs(10);
+}
+
+impl Default for RetryPolicy {
+    /// Three retries, 25 ms floor, 1 s ceiling.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Client-side retry counters, registered once in the process-global
+/// registry (shared with any in-process server, which is exactly what
+/// the bench harness wants: one scrape sees both sides).
+struct ClientMetrics {
+    retries: Arc<Counter>,
+    giveups: Arc<Counter>,
+}
+
+fn client_metrics() -> &'static ClientMetrics {
+    static METRICS: OnceLock<ClientMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        ClientMetrics {
+            retries: r.counter(
+                "hyperbench_client_retries_total",
+                "Requests replayed by the client after a transport failure or 429/503",
+            ),
+            giveups: r.counter(
+                "hyperbench_client_retry_giveups_total",
+                "Requests that exhausted the retry budget and surfaced the last error",
+            ),
+        }
+    })
+}
+
+/// Xorshift64* — enough randomness to decorrelate backoff across
+/// concurrent clients without pulling in an RNG dependency. Seeded from
+/// the std hasher's per-process random keys.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new() -> Jitter {
+        let seed = std::collections::hash_map::RandomState::new()
+            .build_hasher()
+            .finish();
+        Jitter(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw from `[lo, hi]` (saturating when `lo >= hi`).
+    fn between(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// Whether a request is safe to replay: the verb is idempotent, or it
+/// is the content-hash-idempotent create endpoint (re-posting an
+/// identical document answers with the existing id).
+fn replay_safe(method: &str, path: &str) -> bool {
+    matches!(method, "GET" | "PUT" | "DELETE") || (method == "POST" && path == "/v1/hypergraphs")
+}
+
+/// One decoded HTTP exchange, before JSON interpretation.
+struct RawResponse {
+    status: u16,
+    body: String,
+    /// Parsed `Retry-After` header (seconds), when the server sent one.
+    retry_after: Option<u64>,
+}
+
 /// A `/v1` API client bound to one server address.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: SocketAddr,
-    timeout: Duration,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    retry: Option<RetryPolicy>,
 }
 
 impl Client {
-    /// A client for the given address with a 30 s per-request timeout.
+    /// A client for the given address with a 30 s connect and read
+    /// timeout and no retries.
     pub fn new(addr: SocketAddr) -> Client {
         Client {
             addr,
-            timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(30),
+            retry: None,
         }
     }
 
-    /// Overrides the per-request socket timeout.
+    /// Overrides both the connect and the read/write timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
-        self.timeout = timeout;
+        self.connect_timeout = timeout;
+        self.read_timeout = timeout;
         self
     }
 
-    fn request(
+    /// Overrides the TCP connect timeout alone (a down server fails
+    /// fast while slow responses still get the full read timeout).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Client {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Overrides the socket read/write timeout alone.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Client {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Enables retries with backoff for replay-safe requests (see the
+    /// module docs for the gating and backoff rules).
+    pub fn with_retries(mut self, policy: RetryPolicy) -> Client {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// One wire exchange, no retries.
+    fn request_once(
         &self,
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> Result<(u16, String), ClientError> {
-        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
+    ) -> Result<RawResponse, ClientError> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        stream.set_write_timeout(Some(self.read_timeout))?;
         let mut req =
             format!("{method} {path} HTTP/1.1\r\nHost: hyperbench\r\nConnection: close\r\n");
         if let Some(body) = body {
@@ -166,16 +314,86 @@ impl Client {
         stream.write_all(req.as_bytes())?;
         let mut response = String::new();
         stream.read_to_string(&mut response)?;
+        if response.is_empty() {
+            // The peer closed without answering — a transport failure
+            // (and thus retryable), not a malformed response.
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a response",
+            )));
+        }
         let status: u16 = response
             .split(' ')
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| decode_err(format!("bad status line in {response:?}")))?;
-        let body = response
+        let (head, body) = response
             .split_once("\r\n\r\n")
-            .map(|(_, b)| b.to_string())
-            .unwrap_or_default();
-        Ok((status, body))
+            .map(|(h, b)| (h.to_string(), b.to_string()))
+            .unwrap_or((response, String::new()));
+        let retry_after = head.lines().find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            if name.eq_ignore_ascii_case("retry-after") {
+                value.trim().parse().ok()
+            } else {
+                None
+            }
+        });
+        Ok(RawResponse {
+            status,
+            body,
+            retry_after,
+        })
+    }
+
+    /// The retrying transport: replays replay-safe requests around
+    /// transport failures and retryable refusals, then surfaces the
+    /// last outcome.
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        let policy = match &self.retry {
+            Some(p) if p.max_retries > 0 && replay_safe(method, path) => p,
+            _ => {
+                let r = self.request_once(method, path, body)?;
+                return Ok((r.status, r.body));
+            }
+        };
+        let mut jitter = Jitter::new();
+        let mut prev_sleep = policy.base;
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request_once(method, path, body);
+            let retry_after = match &outcome {
+                // 429 (shed) and 503 (queue full / degraded / draining)
+                // are the transient refusals; everything else — success
+                // or a request defect — returns immediately.
+                Ok(r) if matches!(r.status, 429 | 503) => r.retry_after,
+                Ok(r) => return Ok((r.status, r.body.clone())),
+                Err(ClientError::Io(_)) => None,
+                Err(_) => return outcome.map(|r| (r.status, r.body)),
+            };
+            if attempt >= policy.max_retries {
+                client_metrics().giveups.inc();
+                return outcome.map(|r| (r.status, r.body));
+            }
+            attempt += 1;
+            client_metrics().retries.inc();
+            // Decorrelated jitter: uniform in [base, 3 × previous],
+            // clamped to the cap...
+            let lo = policy.base.as_millis() as u64;
+            let hi = (prev_sleep.as_millis() as u64).saturating_mul(3).max(lo);
+            let mut sleep = Duration::from_millis(jitter.between(lo, hi)).min(policy.cap);
+            // ...unless the server asked for longer.
+            if let Some(secs) = retry_after {
+                sleep = sleep.max(Duration::from_secs(secs).min(RetryPolicy::MAX_RETRY_AFTER));
+            }
+            std::thread::sleep(sleep);
+            prev_sleep = sleep.max(policy.base);
+        }
     }
 
     /// Runs a request and decodes the body as JSON, mapping non-2xx
@@ -366,6 +584,27 @@ mod tests {
         assert_eq!(percent_encode("CSP Random"), "CSP%20Random");
         assert_eq!(percent_encode("a/b&c=d"), "a%2Fb%26c%3Dd");
         assert_eq!(percent_encode("plain-1_2.3~"), "plain-1_2.3~");
+    }
+
+    #[test]
+    fn replay_gating_covers_idempotent_verbs_and_content_hash_post() {
+        assert!(replay_safe("GET", "/v1/hypergraphs"));
+        assert!(replay_safe("PUT", "/v1/hypergraphs/3"));
+        assert!(replay_safe("DELETE", "/v1/hypergraphs/3"));
+        assert!(replay_safe("POST", "/v1/hypergraphs"));
+        assert!(!replay_safe("POST", "/v1/analyses"));
+        assert!(!replay_safe("POST", "/v1/query"));
+    }
+
+    #[test]
+    fn jitter_draws_stay_in_range() {
+        let mut j = Jitter::new();
+        for _ in 0..1000 {
+            let v = j.between(25, 75);
+            assert!((25..=75).contains(&v), "{v}");
+        }
+        assert_eq!(j.between(9, 9), 9);
+        assert_eq!(j.between(10, 3), 10, "inverted range saturates to lo");
     }
 
     #[test]

@@ -47,6 +47,14 @@ pub enum ErrorCode {
     ShuttingDown,
     /// Unexpected server-side failure.
     Internal,
+    /// Admission control shed the request before queuing it: the
+    /// predicted queue wait exceeds the service's bound. Answers 429
+    /// with a `Retry-After` derived from observed service time.
+    Overloaded,
+    /// The store degraded to read-only after a WAL failure; reads keep
+    /// working, writes answer 503 with `Retry-After` until the
+    /// supervisor rebuilds the log.
+    Degraded,
 }
 
 impl ErrorCode {
@@ -68,6 +76,8 @@ impl ErrorCode {
             ErrorCode::QueueFull => "queue_full",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Degraded => "degraded",
         }
     }
 
@@ -89,6 +99,8 @@ impl ErrorCode {
             "queue_full" => ErrorCode::QueueFull,
             "shutting_down" => ErrorCode::ShuttingDown,
             "internal" => ErrorCode::Internal,
+            "overloaded" => ErrorCode::Overloaded,
+            "degraded" => ErrorCode::Degraded,
             _ => return None,
         })
     }
@@ -107,9 +119,23 @@ impl ErrorCode {
             ErrorCode::PayloadTooLarge => 413,
             ErrorCode::RequestTimeout => 408,
             ErrorCode::InvalidHypergraph | ErrorCode::InvalidQuery => 422,
-            ErrorCode::QueueFull | ErrorCode::ShuttingDown => 503,
+            ErrorCode::Overloaded => 429,
+            ErrorCode::QueueFull | ErrorCode::ShuttingDown | ErrorCode::Degraded => 503,
             ErrorCode::Internal => 500,
         }
+    }
+
+    /// Whether a request refused with this code is worth retrying after
+    /// a backoff: the failure is a capacity/availability condition that
+    /// clears on its own, not a defect in the request.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded
+                | ErrorCode::QueueFull
+                | ErrorCode::Degraded
+                | ErrorCode::ShuttingDown
+        )
     }
 }
 
@@ -206,11 +232,13 @@ mod tests {
             ErrorCode::QueueFull,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
+            ErrorCode::Overloaded,
+            ErrorCode::Degraded,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
             assert!(matches!(
                 code.http_status(),
-                400 | 403 | 404 | 405 | 408 | 409 | 413 | 422 | 500 | 503
+                400 | 403 | 404 | 405 | 408 | 409 | 413 | 422 | 429 | 500 | 503
             ));
         }
         assert_eq!(ErrorCode::parse("nope"), None);

@@ -35,7 +35,7 @@ pub mod error;
 pub mod json;
 pub mod schema;
 
-pub use client::{Client, ClientError, ListQuery};
+pub use client::{Client, ClientError, ListQuery, RetryPolicy};
 pub use cursor::{CursorError, PageCursor};
 pub use dto::{
     AnalysisReport, AnalysisResource, AnalysisStatus, AnalyzeMethod, AnalyzeRequest, CacheStatsDto,

@@ -38,6 +38,10 @@ const READERS: usize = 8;
 const READS_PER_CONN: usize = 8;
 /// Background writer threads during `reads_under_writes`.
 const BACKGROUND_WRITERS: usize = 2;
+/// Read-latency samples per tail-latency phase (quiet and overloaded).
+const P99_SAMPLES: usize = 400;
+/// Analysis-spam threads saturating the job queue in the overload phase.
+const ANALYSIS_SPAMMERS: usize = 2;
 
 /// Monotonic document counter: rounds repeat, content must not.
 static NEXT_DOC: AtomicUsize = AtomicUsize::new(0);
@@ -63,6 +67,11 @@ fn start() -> (
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         wal: Some(dir.join("repo.wal")),
+        // A deliberately small analysis pool: the overload phase must be
+        // able to saturate it and measure the shed rate, not grind
+        // through an effectively unbounded queue.
+        analysis_workers: 1,
+        job_queue_capacity: 8,
         ..ServerConfig::default()
     };
     let server = Server::bind(repo, &config).expect("bind ephemeral port");
@@ -146,6 +155,60 @@ fn post_request(doc: &str) -> Vec<u8> {
 }
 
 const READ_REQUEST: &[u8] = b"GET /v1/hypergraphs/3 HTTP/1.1\r\nHost: bench\r\n\r\n";
+
+/// Measures `n` sequential keep-alive reads, returning each latency in
+/// nanoseconds.
+fn read_latencies(addr: SocketAddr, n: usize) -> Vec<u64> {
+    let mut stream = connect(addr);
+    let mut buf = Vec::with_capacity(4096);
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = std::time::Instant::now();
+        let status = exchange(&mut stream, READ_REQUEST, &mut buf);
+        samples.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(status, 200, "reads must keep answering");
+    }
+    samples
+}
+
+/// p99 over raw nanosecond samples.
+fn p99(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[(samples.len() * 99) / 100 - 1]
+}
+
+fn analyze_request(doc: &str) -> Vec<u8> {
+    let body = format!(
+        "{{\"hypergraph\":{}}}",
+        hyperbench_server::json::Json::Str(doc.to_string())
+    );
+    format!(
+        "POST /v1/analyses HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Appends one custom JSON line to the `CRITERION_SHIM_JSON` feed (the
+/// same file the shim's timing lines and the telemetry deltas go to).
+/// Missing or unwritable feeds never panic, matching the shim.
+fn emit_line(line: &str) {
+    let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write as _;
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = result {
+        eprintln!("bench emit: cannot append to {path}: {e}");
+    }
+}
 
 /// One write round: `WRITERS` keep-alive connections, each committing
 /// `WRITES_PER_CONN` fresh documents.
@@ -237,6 +300,81 @@ fn bench(c: &mut Criterion) {
         w.join().expect("background writer");
     }
     telemetry.emit("write_throughput/reads_under_writes");
+
+    // --- read tail latency: quiet baseline vs saturating load with ---
+    // --- shedding, the BENCH_PR9 resilience bar ---
+    //
+    // The overload phase runs background writers (durable commits) plus
+    // analysis spammers that saturate the deliberately small job queue,
+    // so admission control and the queue bound shed aggressively (429 /
+    // 503 + Retry-After) while inline reads keep being measured. The
+    // contract: shedding keeps the read p99 within a small multiple of
+    // the quiet baseline instead of letting the backlog eat it.
+    let quiet_p99_ns = p99(&mut read_latencies(addr, P99_SAMPLES));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let sheds = Arc::new(AtomicUsize::new(0));
+    let mut load = Vec::new();
+    for _ in 0..BACKGROUND_WRITERS {
+        let stop = Arc::clone(&stop);
+        load.push(std::thread::spawn(move || {
+            let mut stream = connect(addr);
+            let mut buf = Vec::with_capacity(4096);
+            while !stop.load(Ordering::Relaxed) {
+                for doc in unique_docs(4) {
+                    let status = exchange(&mut stream, &post_request(&doc), &mut buf);
+                    assert_eq!(status, 201);
+                }
+            }
+        }));
+    }
+    for _ in 0..ANALYSIS_SPAMMERS {
+        let stop = Arc::clone(&stop);
+        let attempts = Arc::clone(&attempts);
+        let sheds = Arc::clone(&sheds);
+        load.push(std::thread::spawn(move || {
+            let mut stream = connect(addr);
+            let mut buf = Vec::with_capacity(4096);
+            while !stop.load(Ordering::Relaxed) {
+                for doc in unique_docs(4) {
+                    let status = exchange(&mut stream, &analyze_request(&doc), &mut buf);
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    match status {
+                        200 | 202 => {}
+                        429 | 503 => {
+                            sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!(
+                            "overload must shed structurally, got {other}: {}",
+                            String::from_utf8_lossy(&buf)
+                        ),
+                    }
+                }
+            }
+        }));
+    }
+    let overload_p99_ns = p99(&mut read_latencies(addr, P99_SAMPLES));
+    stop.store(true, Ordering::Relaxed);
+    for t in load {
+        t.join().expect("load thread");
+    }
+    let (attempts, sheds) = (
+        attempts.load(Ordering::Relaxed),
+        sheds.load(Ordering::Relaxed),
+    );
+    let shed_rate = sheds as f64 / attempts.max(1) as f64;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "write_throughput/read_tail_latency       quiet_p99={quiet_p99_ns}ns \
+         overload_p99={overload_p99_ns}ns shed={sheds}/{attempts} ({shed_rate:.3})"
+    );
+    emit_line(&format!(
+        "{{\"bench\":\"write_throughput/read_tail_latency\",\"quiet_p99_ns\":{quiet_p99_ns},\
+         \"overload_p99_ns\":{overload_p99_ns},\"shed\":{sheds},\"attempts\":{attempts},\
+         \"shed_rate\":{shed_rate:.4},\"threads\":{threads}}}"
+    ));
+    telemetry.emit("write_throughput/read_tail_latency");
 
     shutdown.shutdown();
     join.join().expect("server");

@@ -36,6 +36,16 @@ pub struct RepoMetrics {
     /// Age of the displaced snapshot at commit time, microseconds —
     /// how long the previous generation stayed current.
     pub mvcc_snapshot_age_us: Arc<Histogram>,
+    /// Torn WAL tails dropped during recovery.
+    pub wal_torn_tail_recoveries: Arc<Counter>,
+    /// Whether the store is currently degraded (1) or healthy (0).
+    pub store_degraded: Arc<Gauge>,
+    /// Healthy→degraded transitions (a WAL append/fsync failure).
+    pub store_degraded_total: Arc<Counter>,
+    /// Degraded→healthy transitions (supervised WAL recovery).
+    pub store_recoveries: Arc<Counter>,
+    /// Writes refused because the store was degraded.
+    pub store_degraded_rejects: Arc<Counter>,
 }
 
 /// The process-wide [`RepoMetrics`] bundle (registered on first use).
@@ -87,6 +97,26 @@ pub fn metrics() -> &'static RepoMetrics {
             mvcc_snapshot_age_us: r.histogram(
                 "hyperbench_mvcc_snapshot_age_us",
                 "lifetime of each displaced snapshot in microseconds",
+            ),
+            wal_torn_tail_recoveries: r.counter(
+                "hyperbench_wal_torn_tail_recoveries_total",
+                "torn WAL tails dropped during recovery",
+            ),
+            store_degraded: r.gauge(
+                "hyperbench_store_degraded",
+                "1 while the store is degraded (read-only after a WAL failure), else 0",
+            ),
+            store_degraded_total: r.counter(
+                "hyperbench_store_degraded_total",
+                "healthy-to-degraded transitions after a WAL append/fsync failure",
+            ),
+            store_recoveries: r.counter(
+                "hyperbench_store_recoveries_total",
+                "degraded-to-healthy transitions via supervised WAL recovery",
+            ),
+            store_degraded_rejects: r.counter(
+                "hyperbench_store_degraded_rejects_total",
+                "writes refused while the store was degraded",
             ),
         }
     })

@@ -99,6 +99,11 @@ pub enum StoreError {
     },
     /// A write was attempted on a store opened read-only.
     ReadOnly,
+    /// The store degraded to read-only after a WAL append/fsync failure:
+    /// reads keep serving the last committed snapshot while the
+    /// supervised checkpointer tries to rebuild the log; writes are
+    /// refused until it succeeds. The message is the original failure.
+    Degraded(String),
     /// A replace would duplicate content already live under another id
     /// (inserts dedup idempotently; replaces conflict instead).
     DuplicateContent {
@@ -145,6 +150,12 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::ReadOnly => {
                 write!(f, "repository is read-only (serve with --writable)")
+            }
+            StoreError::Degraded(m) => {
+                write!(
+                    f,
+                    "store is degraded after a WAL failure ({m}); retry later"
+                )
             }
             StoreError::DuplicateContent { id } => {
                 write!(f, "identical hypergraph already stored under entry {id}")

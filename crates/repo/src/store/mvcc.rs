@@ -359,6 +359,27 @@ struct Inner {
     wal_path: Option<PathBuf>,
     overlay_limit: usize,
     retained_snapshots: usize,
+    /// `Some(reason)` while the store is degraded: a WAL append/fsync
+    /// failed, so writes are refused (503 at the HTTP layer) while
+    /// reads keep serving the last committed snapshot. The supervisor
+    /// thread clears it by rebuilding the log from `Writer::pending`.
+    degraded: Mutex<Option<String>>,
+}
+
+impl Inner {
+    /// Flips healthy→degraded (idempotent) with the WAL failure that
+    /// caused it, and wakes the supervisor to attempt recovery.
+    fn enter_degraded(&self, reason: String) {
+        let mut degraded = self.degraded.lock().expect("degraded flag");
+        if degraded.is_none() {
+            log_error!("mvcc", "WAL failure; store degraded to read-only"; error = reason);
+            let m = metrics();
+            m.store_degraded.set(1);
+            m.store_degraded_total.inc();
+            *degraded = Some(reason);
+            self.wake.notify_all();
+        }
+    }
 }
 
 /// A mutable repository: WAL-durable writes, snapshot-isolated reads,
@@ -407,6 +428,7 @@ impl MvccStore {
                 wal_path: None,
                 overlay_limit: usize::MAX,
                 retained_snapshots: 0,
+                degraded: Mutex::new(None),
             }),
             checkpointer: Mutex::new(None),
         }
@@ -419,10 +441,9 @@ impl MvccStore {
     /// checkpointer thread is started when a pack path is configured.
     pub fn open(base: Repository, opts: MvccOptions) -> Result<MvccStore, StoreError> {
         let base = Arc::new(base);
+        // `wal::recover` logs the byte offset + frame index of any torn
+        // tail it drops and counts it in `wal_torn_tail_recoveries_total`.
         let recovery = wal::recover(&opts.wal)?;
-        if let Some(offset) = recovery.torn_tail {
-            log_info!("mvcc", "dropping torn WAL tail"; offset = offset);
-        }
         // Build the idempotent-create index over the base…
         let mut hashes: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut next_id = 0usize;
@@ -481,6 +502,7 @@ impl MvccStore {
                 wal_path: Some(opts.wal.clone()),
                 overlay_limit: opts.overlay_limit.max(1),
                 retained_snapshots: opts.retained_snapshots,
+                degraded: Mutex::new(None),
             }),
             checkpointer: Mutex::new(None),
         };
@@ -490,7 +512,11 @@ impl MvccStore {
             // single request: restart-after-crash leaves no WAL debt.
             run_checkpoint(&store.inner)?;
         }
-        if opts.checkpoint_pack.is_some() {
+        // The supervisor thread runs for every writable store — with a
+        // pack it checkpoints, and in either configuration it is the
+        // degraded-state recovery path (rebuilding the WAL after an
+        // append/fsync failure), so it must exist even WAL-only.
+        {
             let inner = Arc::clone(&store.inner);
             let handle = std::thread::Builder::new()
                 .name("hyperbench-checkpointer".to_string())
@@ -499,6 +525,13 @@ impl MvccStore {
             *store.checkpointer.lock().expect("checkpointer") = Some(handle);
         }
         Ok(store)
+    }
+
+    /// `Some(reason)` while the store is degraded (writes refused after
+    /// a WAL failure; reads unaffected). Cleared by the supervisor once
+    /// it rebuilds the log.
+    pub fn degraded(&self) -> Option<String> {
+        self.inner.degraded.lock().expect("degraded flag").clone()
     }
 
     /// Whether writes are accepted.
@@ -678,6 +711,13 @@ impl MvccStore {
         if writer.wal.is_none() {
             return Err(StoreError::ReadOnly);
         }
+        // A degraded store refuses writes up front: the WAL is known
+        // broken, and appending behind an unsynced failure could
+        // acknowledge a write that never becomes durable.
+        if let Some(reason) = &*self.inner.degraded.lock().expect("degraded flag") {
+            metrics().store_degraded_rejects.inc();
+            return Err(StoreError::Degraded(reason.clone()));
+        }
         let snapshot = self.snapshot();
         let (record, apply, outcome) = match plan(&writer, &snapshot)? {
             CommitPlan::NoOp(outcome) => return Ok((outcome, None)),
@@ -690,7 +730,20 @@ impl MvccStore {
         // Durability point: the record is on disk (and synced) before
         // any reader can observe the new generation.
         let wal = writer.wal.as_mut().expect("checked writable");
-        let bytes = wal.append(&record)?;
+        let bytes = match wal.append(&record) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                // The append (or its fsync) failed: the log may hold a
+                // partial frame and the record was never acknowledged.
+                // Flip to the explicit degraded state — this write is
+                // lost (the client sees a retryable 503), reads keep
+                // serving, and the supervisor rebuilds the log from
+                // `pending` (which does not contain this record).
+                let reason = e.to_string();
+                self.inner.enter_degraded(reason.clone());
+                return Err(StoreError::Degraded(reason));
+            }
+        };
         let m = metrics();
         m.wal_appends.inc();
         m.wal_fsyncs.inc();
@@ -796,13 +849,18 @@ fn remove_hash(hashes: &mut HashMap<u64, Vec<usize>>, hash: Option<u64>, id: usi
     }
 }
 
-/// The background checkpointer: sleeps on the signal block, runs a
-/// checkpoint whenever the overlay limit trips one, exits on shutdown.
+/// The background checkpointer, doubling as the degraded-state
+/// supervisor: sleeps on the signal block, runs a checkpoint whenever
+/// the overlay limit trips one, retries WAL recovery while the store
+/// is degraded, exits on shutdown.
 fn checkpointer_main(inner: &Inner) {
     loop {
         {
             let mut signal = inner.signal.lock().expect("signal");
-            while !signal.requested && !inner.shutdown.load(Ordering::SeqCst) {
+            while !signal.requested
+                && !inner.shutdown.load(Ordering::SeqCst)
+                && inner.degraded.lock().expect("degraded flag").is_none()
+            {
                 let (guard, _) = inner
                     .wake
                     .wait_timeout(signal, std::time::Duration::from_millis(200))
@@ -814,10 +872,46 @@ fn checkpointer_main(inner: &Inner) {
             }
             signal.requested = false;
         }
+        if inner.degraded.lock().expect("degraded flag").is_some() {
+            if let Err(e) = recover_degraded(inner) {
+                log_error!("mvcc", "degraded-state recovery failed; will retry"; error = e);
+                // Back off before the next supervised attempt so a
+                // persistently broken disk does not spin this thread.
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            continue;
+        }
+        if inner.checkpoint_pack.is_none() {
+            continue; // WAL-only store: the thread only supervises.
+        }
         if let Err(e) = run_checkpoint(inner) {
             log_error!("mvcc", "background checkpoint failed"; error = e);
         }
     }
+}
+
+/// The supervised restart path out of the degraded state: rebuild the
+/// log atomically from `Writer::pending` (every acknowledged,
+/// un-checkpointed record — the failed append never joined it), swap
+/// in the fresh writer, and clear the flag. Runs under the writer lock
+/// so no commit can interleave with the rebuild.
+fn recover_degraded(inner: &Inner) -> Result<(), StoreError> {
+    let Some(path) = inner.wal_path.as_ref() else {
+        return Err(StoreError::Corrupt("degraded store has no WAL path".into()));
+    };
+    let mut writer = inner.writer.lock().expect("writer");
+    let fresh = wal::rewrite(path, &writer.pending)?;
+    let m = metrics();
+    m.wal_size_bytes.set(fresh.size()? as i64);
+    writer.wal = Some(fresh);
+    let mut degraded = inner.degraded.lock().expect("degraded flag");
+    if degraded.take().is_some() {
+        m.store_degraded.set(0);
+        m.store_recoveries.inc();
+        log_info!("mvcc", "store recovered from degraded state";
+            pending = writer.pending.len());
+    }
+    Ok(())
 }
 
 /// Folds the current snapshot into a fresh pack (full rewrite — also
@@ -837,6 +931,9 @@ fn checkpointer_main(inner: &Inner) {
 /// today; lifting that would need generation-numbered pack files plus
 /// a pointer swap instead of rename-in-place.
 fn run_checkpoint(inner: &Inner) -> Result<bool, StoreError> {
+    hyperbench_fault::fail_point!("checkpoint.run", |msg: String| Err(StoreError::Io(
+        std::io::Error::other(format!("failpoint checkpoint.run: {msg}"))
+    )));
     let Some(pack_path) = inner.checkpoint_pack.as_ref() else {
         return Err(StoreError::Corrupt(
             "no checkpoint pack path configured".to_string(),
@@ -1149,6 +1246,46 @@ mod tests {
         );
         // Stats aggregate the merged view.
         assert_eq!(snap.stats().entries, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A WAL append failure flips the store degraded (writes refused,
+    /// reads still served) and the supervisor recovers it by rebuilding
+    /// the log from `pending`. Needs `hyperbench-fault/failpoints`;
+    /// no-op otherwise.
+    #[test]
+    fn wal_failure_degrades_and_supervisor_recovers() {
+        if !hyperbench_fault::ENABLED {
+            return;
+        }
+        let dir = tmpdir("degraded");
+        let store = writable_store(&dir, Repository::new());
+        let a = store.insert(triangle(), "gen", "CQ Application").unwrap();
+        hyperbench_fault::configure("wal.fsync", "return(disk gone)").unwrap();
+        let err = store
+            .insert(chain(2), "gen", "CQ Application")
+            .expect_err("append must fail");
+        assert!(matches!(err, StoreError::Degraded(_)), "{err}");
+        assert!(store.degraded().is_some());
+        // Reads keep serving the last committed snapshot; further
+        // writes are refused without touching the WAL.
+        assert_eq!(store.snapshot().len(), 1);
+        assert!(store.snapshot().contains(a.id()));
+        let err = store
+            .insert(chain(3), "gen", "CQ Application")
+            .expect_err("degraded store refuses writes");
+        assert!(matches!(err, StoreError::Degraded(_)), "{err}");
+        // Heal the fault; the supervisor clears the flag within its
+        // 200ms poll interval and writes flow again.
+        hyperbench_fault::remove("wal.fsync");
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while store.degraded().is_some() && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(store.degraded().is_none(), "supervisor never recovered");
+        let b = store.insert(chain(2), "gen", "CQ Application").unwrap();
+        assert!(b.created());
+        assert_eq!(store.snapshot().len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -533,6 +533,9 @@ impl PackStore {
         let last_page = ((off + len - 1) / self.page_size) as usize;
         let mut out = Vec::with_capacity(len as usize);
         for page in first_page..=last_page {
+            hyperbench_fault::fail_point!("pack.read_page", |_msg: String| Err(
+                StoreError::BadPageChecksum { page }
+            ));
             let page_start = page as u64 * self.page_size;
             let page_len = (self.data_len - page_start).min(self.page_size) as usize;
             let bytes = read_at(&self.file, HEADER_LEN + page_start, page_len)?;

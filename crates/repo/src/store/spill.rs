@@ -106,6 +106,9 @@ impl SpillWriter {
 
     /// Appends one record.
     pub fn append(&mut self, record: &SpillRecord) -> std::io::Result<()> {
+        hyperbench_fault::fail_point!("spill.append", |msg: String| Err(std::io::Error::other(
+            format!("failpoint spill.append: {msg}")
+        )));
         self.file.write_all(&record.encode())?;
         self.file.flush()
     }

@@ -27,6 +27,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use hyperbench_core::format::{parse_hg_named, to_hg_unnamed};
+use hyperbench_fault::fail_point;
 
 use crate::analysis::AnalysisRecord;
 use crate::Entry;
@@ -311,10 +312,21 @@ pub fn recover(path: &Path) -> Result<Recovery, StoreError> {
             records,
             torn_tail: None,
         }),
-        Some(StoreError::WalTornTail { offset }) => Ok(Recovery {
-            records,
-            torn_tail: Some(offset),
-        }),
+        Some(StoreError::WalTornTail { offset }) => {
+            // The tear starts after `records.len()` intact frames: that
+            // count *is* the frame index of the truncation point. Both
+            // coordinates matter to an operator — the offset locates
+            // the damage in the file, the frame index says how many
+            // commits survived in front of it.
+            hyperbench_telemetry::log_warn!("wal", "dropping torn tail";
+                path = path.display(), offset = offset, frame = records.len(),
+                dropped_bytes = bytes.len() as u64 - offset);
+            crate::metrics::metrics().wal_torn_tail_recoveries.inc();
+            Ok(Recovery {
+                records,
+                torn_tail: Some(offset),
+            })
+        }
         Some(e) => Err(e),
     }
 }
@@ -366,8 +378,14 @@ impl WalWriter {
     /// Appends one record and makes it durable. Returns the framed size
     /// in bytes (for metrics).
     pub fn append(&mut self, record: &WalRecord) -> Result<usize, StoreError> {
+        fail_point!("wal.append", |msg: String| Err(StoreError::Io(
+            std::io::Error::other(format!("failpoint wal.append: {msg}"))
+        )));
         let framed = encode(record);
         self.file.write_all(&framed)?;
+        fail_point!("wal.fsync", |msg: String| Err(StoreError::Io(
+            std::io::Error::other(format!("failpoint wal.fsync: {msg}"))
+        )));
         self.file.sync_data()?;
         Ok(framed.len())
     }
@@ -388,6 +406,9 @@ impl WalWriter {
 /// is written to a temp file, fsynced, then renamed over the old log.
 /// Returns a fresh writer positioned at the new tail.
 pub fn rewrite(path: &Path, records: &[WalRecord]) -> Result<WalWriter, StoreError> {
+    fail_point!("wal.rewrite", |msg: String| Err(StoreError::Io(
+        std::io::Error::other(format!("failpoint wal.rewrite: {msg}"))
+    )));
     let tmp = path.with_extension("wal.tmp");
     {
         let mut f = File::create(&tmp)?;

@@ -295,6 +295,7 @@ fn submit_analysis(
     document: &str,
     options: AnalyzeOptions,
     trace_id: u64,
+    deadline: Option<Instant>,
 ) -> Result<Result<JobId, SubmitError>, String> {
     let hypergraph: Hypergraph = parse_hg(document).map_err(|e| format!("parse error: {e}"))?;
     // The options are folded into the cache/dedup identity so the same
@@ -303,15 +304,24 @@ fn submit_analysis(
     let hash = content_hash(&keyed);
     Ok(state
         .jobs
-        .submit_traced(hypergraph, hash, keyed, options, trace_id))
+        .submit_traced(hypergraph, hash, keyed, options, trace_id, deadline))
 }
 
 fn submit_error(e: SubmitError) -> Response {
     match e {
-        SubmitError::QueueFull { capacity } => error_response(ApiError::new(
+        SubmitError::QueueFull {
+            capacity,
+            retry_after,
+        } => error_response(ApiError::new(
             ErrorCode::QueueFull,
             format!("analysis queue full ({capacity} jobs); retry later"),
-        )),
+        ))
+        .with_retry_after(retry_after),
+        SubmitError::Overloaded { retry_after } => error_response(ApiError::new(
+            ErrorCode::Overloaded,
+            format!("analysis pool overloaded; retry in {retry_after}s"),
+        ))
+        .with_retry_after(retry_after),
         SubmitError::ShuttingDown => error_response(ApiError::new(
             ErrorCode::ShuttingDown,
             "server shutting down",
@@ -414,7 +424,41 @@ pub fn get_metrics() -> Response {
             .snapshot()
             .render_prometheus()
             .into_bytes(),
+        retry_after: None,
     }
+}
+
+/// `POST /debug/failpoints` — test-only fault-injection arming. The
+/// body is the same `name=spec;name2=spec` grammar as the
+/// `HYPERBENCH_FAILPOINTS` env var; an empty body disarms everything.
+/// Answers the armed set as JSON. In a binary built without
+/// `hyperbench-fault/failpoints` the route answers 404 — the constant
+/// gate below folds to `return` at compile time, so production builds
+/// carry no arming surface at all.
+pub fn post_failpoints(req: &Request) -> Response {
+    if !hyperbench_fault::ENABLED {
+        return error_response(ApiError::not_found(
+            "fault injection is compiled out of this binary",
+        ));
+    }
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s.trim(),
+        Err(_) => return error_response(ApiError::bad_request("body is not UTF-8")),
+    };
+    if body.is_empty() {
+        hyperbench_fault::clear();
+    } else if let Err(e) = hyperbench_fault::configure_all(body) {
+        return error_response(ApiError::invalid_param(format!(
+            "bad failpoint config: {e}"
+        )));
+    }
+    let armed = Json::Obj(
+        hyperbench_fault::list()
+            .into_iter()
+            .map(|(name, spec)| (name, Json::str(spec)))
+            .collect(),
+    );
+    Response::json(200, Json::obj([("failpoints", armed)]))
 }
 
 /// `GET /healthz` and `GET /v1/healthz` — liveness.
@@ -658,6 +702,14 @@ pub mod v1 {
                 ErrorCode::Conflict,
                 format!("identical hypergraph already stored under entry {id}"),
             )),
+            // The supervisor retries recovery every 200 ms, so "soon"
+            // is the honest hint: reads keep working, writes should
+            // back off briefly and come back.
+            StoreError::Degraded(reason) => error_response(ApiError::new(
+                ErrorCode::Degraded,
+                format!("store is degraded after a WAL failure ({reason}); writes refused while it recovers"),
+            ))
+            .with_retry_after(1),
             e => storage_error(e),
         }
     }
@@ -810,7 +862,8 @@ pub mod v1 {
                 .jobs
                 .map_or(jobs_ceiling, |j| j.clamp(1, jobs_ceiling)),
         };
-        match submit_analysis(state, &request.hypergraph, options, req.trace_id) {
+        let deadline = req.deadline().map(|d| Instant::now() + d);
+        match submit_analysis(state, &request.hypergraph, options, req.trace_id, deadline) {
             Err(message) => {
                 let id = state.jobs.submit_failed(message.clone());
                 let resource = AnalysisResource {
@@ -980,7 +1033,8 @@ pub mod legacy {
             Err(_) => return error_response(ApiError::bad_request("body is not UTF-8")),
         };
         let options = AnalyzeOptions::defaults(&state.analysis);
-        match submit_analysis(state, body, options, req.trace_id) {
+        let deadline = req.deadline().map(|d| Instant::now() + d);
+        match submit_analysis(state, body, options, req.trace_id, deadline) {
             Err(message) => {
                 // Record the failure so the job id remains pollable, but
                 // answer 400 immediately.

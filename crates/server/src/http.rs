@@ -98,6 +98,26 @@ pub struct Request {
     pub trace_id: u64,
 }
 
+/// The request-deadline header: the client's remaining budget in
+/// milliseconds. Propagated into the analysis [`Budget`] as a hard stop
+/// and checked before dispatch, so work the caller has already given up
+/// on is never started.
+///
+/// [`Budget`]: hyperbench_decomp::Budget
+pub const DEADLINE_HEADER: &str = "x-hyperbench-deadline-ms";
+
+impl Request {
+    /// The client's propagated deadline, parsed from
+    /// [`DEADLINE_HEADER`]. `None` when absent or unparsable (a garbage
+    /// value means no deadline rather than a rejection: the header is
+    /// advisory, and refusing the request outright would make a
+    /// misconfigured proxy fatal).
+    pub fn deadline(&self) -> Option<Duration> {
+        let ms: u64 = self.headers.get(DEADLINE_HEADER)?.trim().parse().ok()?;
+        Some(Duration::from_millis(ms))
+    }
+}
+
 /// Why a request could not be parsed; maps onto a 400/408/413/405.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
@@ -456,6 +476,11 @@ pub struct Response {
     pub content_type: &'static str,
     /// The body bytes.
     pub body: Vec<u8>,
+    /// Emits a `Retry-After: N` header (seconds) when set — attached to
+    /// every capacity refusal (429 shed, 503 queue-full/degraded) so
+    /// well-behaved clients back off by the observed service time
+    /// instead of guessing.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -465,6 +490,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.to_string().into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -474,7 +500,14 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
+            retry_after: None,
         }
+    }
+
+    /// Attaches a `Retry-After` hint (seconds, minimum 1).
+    pub fn with_retry_after(mut self, seconds: u32) -> Response {
+        self.retry_after = Some(seconds.max(1));
+        self
     }
 
     /// Serializes the response into `out` (appending), with keep-alive
@@ -484,13 +517,17 @@ impl Response {
     pub fn serialize_into(&self, keep_alive: bool, out: &mut Vec<u8>) {
         let _ = write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
+        if let Some(seconds) = self.retry_after {
+            let _ = write!(out, "Retry-After: {seconds}\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
     }
 
@@ -519,6 +556,7 @@ pub fn status_reason(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -718,6 +756,43 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_when_set() {
+        let mut out = Vec::new();
+        Response::json(429, "{}")
+            .with_retry_after(2)
+            .serialize_into(false, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+        // Zero rounds up: "retry immediately" is not a useful hint.
+        assert_eq!(
+            Response::json(503, "{}").with_retry_after(0).retry_after,
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn deadline_header_parses_and_tolerates_garbage() {
+        let raw = b"GET /x HTTP/1.1\r\nx-hyperbench-deadline-ms: 1500\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.deadline(), Some(Duration::from_millis(1500)));
+        let raw = b"GET /x HTTP/1.1\r\nX-HyperBench-Deadline-Ms: 25\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(
+            req.deadline(),
+            Some(Duration::from_millis(25)),
+            "headers lower-case"
+        );
+        let raw = b"GET /x HTTP/1.1\r\nx-hyperbench-deadline-ms: soon\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.deadline(), None, "garbage is advisory, not fatal");
     }
 
     #[test]

@@ -140,10 +140,28 @@ pub enum SubmitError {
     QueueFull {
         /// The configured bound.
         capacity: usize,
+        /// Seconds until the queue is predicted to have drained enough
+        /// to accept work again (from the observed service time).
+        retry_after: u32,
+    },
+    /// Admission control shed the submission: the predicted queue wait
+    /// (depth × observed service time ÷ workers) exceeds
+    /// [`MAX_PREDICTED_WAIT`]. Maps to 429 — the queue still has slots,
+    /// but a caller would wait longer than any sane deadline, so it is
+    /// cheaper for everyone to shed now. Distinct from `QueueFull`
+    /// (hard capacity) so dashboards can tell load shedding from
+    /// undersized queues.
+    Overloaded {
+        /// Seconds the caller should back off — the predicted wait.
+        retry_after: u32,
     },
     /// The system is shutting down.
     ShuttingDown,
 }
+
+/// Admission bound: a submission predicted to wait longer than this in
+/// the queue is shed with a 429 instead of being enqueued.
+pub const MAX_PREDICTED_WAIT: Duration = Duration::from_secs(10);
 
 struct QueueItem {
     id: JobId,
@@ -157,6 +175,9 @@ struct QueueItem {
     request_id: u64,
     /// When the item entered the queue — the queue-wait span.
     enqueued: Instant,
+    /// The client's propagated deadline: a job still queued past it is
+    /// dropped unstarted (the caller has already given up).
+    deadline: Option<Instant>,
 }
 
 struct JobState {
@@ -176,6 +197,10 @@ struct JobState {
     done: usize,
     failed: usize,
     deduped: usize,
+    /// EWMA of decompose service time in microseconds (0 until the
+    /// first job completes — admission control stays open cold so a
+    /// fresh server never sheds on a guess).
+    avg_service_us: f64,
 }
 
 impl JobState {
@@ -199,6 +224,7 @@ pub struct JobSystem {
     shutdown: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
     queue_capacity: usize,
+    worker_count: usize,
 }
 
 impl JobSystem {
@@ -222,6 +248,7 @@ impl JobSystem {
                 done: 0,
                 failed: 0,
                 deduped: 0,
+                avg_service_us: 0.0,
             }),
             Condvar::new(),
         ));
@@ -243,6 +270,7 @@ impl JobSystem {
             shutdown,
             workers: handles,
             queue_capacity: queue_capacity.max(1),
+            worker_count: workers.max(1),
         }
     }
 
@@ -265,12 +293,15 @@ impl JobSystem {
             canonical,
             options,
             trace::current_request_id(),
+            None,
         )
     }
 
-    /// [`JobSystem::submit`] with an explicit tracing id: the HTTP
-    /// layer passes the id assigned at accept so worker log lines and
-    /// the decomposition budget share the request's `req=` key.
+    /// [`JobSystem::submit`] with an explicit tracing id and propagated
+    /// client deadline: the HTTP layer passes the id assigned at accept
+    /// so worker log lines and the decomposition budget share the
+    /// request's `req=` key, and the deadline so a job the caller has
+    /// given up on is dropped instead of analyzed.
     pub fn submit_traced(
         &self,
         hypergraph: Hypergraph,
@@ -278,6 +309,7 @@ impl JobSystem {
         canonical: String,
         options: AnalyzeOptions,
         request_id: u64,
+        deadline: Option<Instant>,
     ) -> Result<JobId, SubmitError> {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
@@ -307,9 +339,26 @@ impl JobSystem {
                 return Ok(existing);
             }
         }
+        // Admission control: predict how long this submission would
+        // wait behind the queue at the observed service rate, and shed
+        // early when the wait exceeds the bound — a 429 now beats an
+        // answer after the caller gave up. Cold (no completed jobs yet)
+        // the prediction is zero, so a fresh server never sheds.
+        let predicted_wait = self.predicted_wait(&state);
+        if predicted_wait > MAX_PREDICTED_WAIT {
+            metrics().jobs_shed_total.inc();
+            log_warn!("jobs", "shedding submission";
+                req = request_id,
+                depth = state.queue.len(),
+                predicted_wait_ms = predicted_wait.as_millis() as u64);
+            return Err(SubmitError::Overloaded {
+                retry_after: retry_after_secs(predicted_wait),
+            });
+        }
         if state.queue.len() >= self.queue_capacity {
             return Err(SubmitError::QueueFull {
                 capacity: self.queue_capacity,
+                retry_after: retry_after_secs(predicted_wait),
             });
         }
         state.next_id += 1;
@@ -324,11 +373,20 @@ impl JobSystem {
             options,
             request_id,
             enqueued: Instant::now(),
+            deadline,
         });
         metrics().jobs_queue_depth.set(state.queue.len() as i64);
         log_debug!("jobs", "enqueued"; req = request_id, job = id, depth = state.queue.len());
         cvar.notify_one();
         Ok(id)
+    }
+
+    /// Predicted queue wait for a new submission: items ahead of it
+    /// spread over the workers, at the EWMA service time.
+    fn predicted_wait(&self, state: &JobState) -> Duration {
+        let ahead = state.queue.len() as f64;
+        let us = ahead * state.avg_service_us / self.worker_count as f64;
+        Duration::from_micros(us as u64)
     }
 
     /// Records a submission that failed before reaching the queue (e.g.
@@ -397,6 +455,15 @@ impl Drop for JobSystem {
     }
 }
 
+/// Rounds a predicted wait up to whole seconds for a `Retry-After`
+/// header, clamped to `[1, 60]` — long enough to matter, short enough
+/// that a recovered server is rediscovered quickly.
+fn retry_after_secs(wait: Duration) -> u32 {
+    u32::try_from(wait.as_secs().saturating_add(1))
+        .unwrap_or(60)
+        .clamp(1, 60)
+}
+
 fn worker_loop(
     state: &(Mutex<JobState>, Condvar),
     cache: &AnalysisCache,
@@ -422,6 +489,26 @@ fn worker_loop(
         };
         let queue_wait_us = u64::try_from(item.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
         metrics().jobs_queue_wait_us.observe(queue_wait_us);
+        // A job whose propagated deadline passed while it queued is
+        // dropped unstarted: the caller has already timed out, so the
+        // work would only steal service time from live requests.
+        if let Some(deadline) = item.deadline {
+            if Instant::now() >= deadline {
+                metrics().jobs_deadline_skipped_total.inc();
+                log_warn!("jobs", "dropping job past its deadline";
+                    req = item.request_id, job = item.id, queue_wait_us = queue_wait_us);
+                let mut guard = lock.lock().expect("job lock");
+                guard.running -= 1;
+                guard.inflight.remove(&item.hash);
+                guard.failed += 1;
+                guard.finish(
+                    item.id,
+                    JobStatus::Failed("deadline exceeded while queued".to_string()),
+                );
+                cvar.notify_all();
+                continue;
+            }
+        }
         // Run the analysis outside the lock — this is the long part.
         // Client-supplied hypergraphs reach deep into the decomposition
         // code; a panic there must fail the one job, not kill the
@@ -429,7 +516,14 @@ fn worker_loop(
         // hash stuck in the dedup map). The request id rides along as
         // the thread's ambient id so budgets created inside the engine
         // tag their log lines with it.
-        let cfg = item.options.config(config);
+        let mut cfg = item.options.config(config);
+        // Clamp the per-Check budget to the caller's remaining time: a
+        // hard stop at the deadline instead of polishing an answer
+        // nobody is waiting for.
+        if let Some(deadline) = item.deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            cfg.per_check = cfg.per_check.min(remaining);
+        }
         let decompose = SpanTimer::start();
         let outcome = trace::with_request_id(item.request_id, || {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -453,6 +547,17 @@ fn worker_loop(
         let mut guard = lock.lock().expect("job lock");
         guard.running -= 1;
         guard.inflight.remove(&item.hash);
+        // Fold the observed service time into the admission EWMA
+        // (α = 0.2: reactive to load shifts, stable against one
+        // outlier; seeded by the first sample).
+        guard.avg_service_us = if guard.avg_service_us == 0.0 {
+            decompose_us as f64
+        } else {
+            guard.avg_service_us * 0.8 + decompose_us as f64 * 0.2
+        };
+        metrics()
+            .jobs_service_avg_us
+            .set(guard.avg_service_us as i64);
         match outcome {
             Ok(analyzed) => {
                 // Serialize (and validate) the witness once, here, so
@@ -567,7 +672,7 @@ mod tests {
         let jobs = system(1, 1);
         let mut rejected = false;
         for i in 0..10 {
-            if let Err(SubmitError::QueueFull { capacity }) =
+            if let Err(SubmitError::QueueFull { capacity, .. }) =
                 jobs.submit(triangle(), ContentHash(100 + i), format!("t{i}"), opts())
             {
                 assert_eq!(capacity, 1);
@@ -616,6 +721,57 @@ mod tests {
         );
         assert!(deduped || cached, "resubmission spawned a duplicate job");
         assert!(matches!(jobs.wait(first), Some(JobStatus::Done { .. })));
+    }
+
+    #[test]
+    fn admission_sheds_on_predicted_wait() {
+        let jobs = system(1, 100);
+        // Stage an overloaded queue by hand: two items deep (pushed
+        // without notifying, so the worker stays asleep) at a learned
+        // service time of a minute per job → predicted wait 120 s.
+        {
+            let (lock, _) = &*jobs.state;
+            let mut state = lock.lock().unwrap();
+            state.avg_service_us = 60_000_000.0;
+            for i in 0..2 {
+                state.queue.push_back(QueueItem {
+                    id: 1000 + i,
+                    hypergraph: triangle(),
+                    hash: ContentHash(200 + i),
+                    canonical: format!("staged{i}"),
+                    options: opts(),
+                    request_id: 0,
+                    enqueued: Instant::now(),
+                    deadline: None,
+                });
+            }
+        }
+        match jobs.submit(triangle(), ContentHash(300), "fresh".into(), opts()) {
+            Err(SubmitError::Overloaded { retry_after }) => {
+                assert!(retry_after >= 1, "Retry-After must be actionable");
+            }
+            other => panic!("expected a shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_drops_the_job_unstarted() {
+        let jobs = system(1, 8);
+        let id = jobs
+            .submit_traced(
+                triangle(),
+                ContentHash(9),
+                "t".into(),
+                opts(),
+                0,
+                Some(Instant::now()),
+            )
+            .unwrap();
+        match jobs.wait(id) {
+            Some(JobStatus::Failed(msg)) => assert!(msg.contains("deadline"), "{msg}"),
+            other => panic!("unexpected status {other:?}"),
+        }
+        assert_eq!(jobs.stats().failed, 1);
     }
 
     #[test]

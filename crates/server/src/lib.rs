@@ -158,6 +158,9 @@ pub(crate) enum Endpoint {
     V1Health,
     // Unversioned telemetry scrape route (Prometheus text format).
     Metrics,
+    // Test-only fault-injection arming route; answers 404 unless the
+    // binary was built with `hyperbench-fault/failpoints`.
+    DebugFailpoints,
     // Deprecated unversioned PR-1 routes (adapters).
     List,
     Detail,
@@ -183,6 +186,7 @@ fn build_router() -> Router<Endpoint> {
         .add(Method::Get, "/v1/stats", Endpoint::V1Stats)
         .add(Method::Get, "/v1/healthz", Endpoint::V1Health)
         .add(Method::Get, "/metrics", Endpoint::Metrics)
+        .add(Method::Post, "/debug/failpoints", Endpoint::DebugFailpoints)
         .add(Method::Get, "/hypergraphs", Endpoint::List)
         .add(Method::Get, "/hypergraphs/{id}", Endpoint::Detail)
         .add(Method::Get, "/hypergraphs/{id}/hg", Endpoint::RawHg)
@@ -214,6 +218,12 @@ impl Server {
     /// is recovered (valid prefix of a torn file), compacted, and
     /// replayed into the analysis cache before the first request.
     pub fn bind(repo: Repository, config: &ServerConfig) -> io::Result<Server> {
+        // Arm any failpoints named in HYPERBENCH_FAILPOINTS. In a
+        // normal build `ENABLED` is a false constant and the whole
+        // branch (env read included) compiles out.
+        if hyperbench_fault::ENABLED {
+            hyperbench_fault::init_from_env();
+        }
         let listener =
             TcpListener::bind(config.addr.to_socket_addrs()?.next().ok_or_else(|| {
                 io::Error::new(io::ErrorKind::InvalidInput, "unresolvable addr")
@@ -416,6 +426,7 @@ pub(crate) fn dispatch(
                 Endpoint::V1Stats | Endpoint::Stats => handlers::get_stats(state),
                 Endpoint::V1Health | Endpoint::Health => handlers::get_healthz(state),
                 Endpoint::Metrics => handlers::get_metrics(),
+                Endpoint::DebugFailpoints => handlers::post_failpoints(request),
                 Endpoint::List => handlers::legacy::list_hypergraphs(state, request),
                 Endpoint::Detail => handlers::legacy::get_hypergraph(state, &params),
                 Endpoint::RawHg => handlers::legacy::get_hypergraph_raw(state, &params),

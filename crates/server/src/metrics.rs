@@ -58,6 +58,16 @@ pub struct ServerMetrics {
     pub cache_spill_appends: Arc<Counter>,
     /// Spill appends that failed (disk full, permissions, …).
     pub cache_spill_append_failures: Arc<Counter>,
+    /// Analysis submissions shed by admission control (429).
+    pub jobs_shed_total: Arc<Counter>,
+    /// EWMA of decompose service time driving admission (microseconds).
+    pub jobs_service_avg_us: Arc<Gauge>,
+    /// Write requests shed by the reactor's offload-backlog bound (429).
+    pub reactor_shed_total: Arc<Counter>,
+    /// Requests whose propagated deadline expired before dispatch (408).
+    pub deadline_expired_total: Arc<Counter>,
+    /// Jobs dropped unstarted because their deadline had passed.
+    pub jobs_deadline_skipped_total: Arc<Counter>,
 }
 
 /// The process-wide [`ServerMetrics`] bundle (registered on first use).
@@ -141,6 +151,26 @@ pub fn metrics() -> &'static ServerMetrics {
             cache_spill_append_failures: r.counter(
                 "hyperbench_cache_spill_append_failures_total",
                 "spill appends that failed and were dropped",
+            ),
+            jobs_shed_total: r.counter(
+                "hyperbench_jobs_shed_total",
+                "analysis submissions shed by admission control with a 429",
+            ),
+            jobs_service_avg_us: r.gauge(
+                "hyperbench_jobs_service_avg_us",
+                "EWMA of decompose service time driving admission control",
+            ),
+            reactor_shed_total: r.counter(
+                "hyperbench_reactor_shed_total",
+                "write requests shed by the reactor offload-backlog bound with a 429",
+            ),
+            deadline_expired_total: r.counter(
+                "hyperbench_deadline_expired_total",
+                "requests whose propagated deadline expired before dispatch",
+            ),
+            jobs_deadline_skipped_total: r.counter(
+                "hyperbench_jobs_deadline_skipped_total",
+                "queued jobs dropped unstarted because their deadline had passed",
             ),
         }
     })

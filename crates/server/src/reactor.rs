@@ -46,7 +46,7 @@ use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -127,6 +127,19 @@ impl Default for ReactorOptions {
 /// accepts are answered a best-effort 503 and dropped instead of growing
 /// without bound.
 const MAX_CONNS_PER_LOOP: usize = 8192;
+
+/// `Retry-After` seconds advertised on the conn-cap 503: connections
+/// churn fast, so a capped slab usually has room again within a beat.
+const CONN_CAP_RETRY_AFTER: u32 = 2;
+
+/// Cap on offloaded write requests in flight (queued or running on the
+/// worker pool) across all event loops. Past it, further writes are
+/// shed with a 429 *from the event loop* — the cheap place to say no —
+/// instead of piling latency onto a pool that is already behind.
+const MAX_OFFLOAD_INFLIGHT: usize = 512;
+
+/// `Retry-After` seconds advertised on the offload-backlog 429.
+const OFFLOAD_SHED_RETRY_AFTER: u32 = 1;
 
 /// Cap on *unparsed* buffered input per connection. A request can
 /// legitimately need a full head + body in flight; anything beyond that
@@ -301,10 +314,14 @@ struct EventLoop {
     state: Arc<ServerState>,
     router: Arc<Router<Endpoint>>,
     offload: Arc<ThreadPool>,
+    /// Offloaded requests queued or running, shared across loops; the
+    /// admission bound for [`MAX_OFFLOAD_INFLIGHT`].
+    offload_inflight: Arc<AtomicUsize>,
     opts: ReactorOptions,
 }
 
 impl EventLoop {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         id: usize,
         shared: Arc<LoopShared>,
@@ -312,6 +329,7 @@ impl EventLoop {
         state: Arc<ServerState>,
         router: Arc<Router<Endpoint>>,
         offload: Arc<ThreadPool>,
+        offload_inflight: Arc<AtomicUsize>,
         opts: ReactorOptions,
     ) -> io::Result<EventLoop> {
         let epoll = Epoll::new()?;
@@ -329,6 +347,7 @@ impl EventLoop {
             state,
             router,
             offload,
+            offload_inflight,
             opts,
         })
     }
@@ -346,6 +365,7 @@ impl EventLoop {
                 ErrorCode::QueueFull,
                 "server overloaded; retry later",
             ))
+            .with_retry_after(CONN_CAP_RETRY_AFTER)
             .serialize_into(false, &mut payload);
             let _ = (&stream).write(&payload);
             metrics().reactor_rejected_503.inc();
@@ -398,6 +418,7 @@ impl EventLoop {
     /// Drains the socket into the connection's read buffer and advances
     /// the parser over whatever arrived.
     fn on_readable(&mut self, slot: usize) -> Fate {
+        hyperbench_fault::fail_point!("reactor.read", |_msg: String| Fate::Close);
         let mut scratch = [0u8; 16 * 1024];
         loop {
             let Some(conn) = self.conns[slot].as_mut() else {
@@ -475,19 +496,56 @@ impl EventLoop {
                     metrics().http_parse_us.observe(parse_us);
                     request.trace_id = next_request_id();
                     let keep_alive = request.keep_alive;
+                    let generation = conn.generation;
+                    // The propagated budget anchors at parse completion:
+                    // whatever `x-hyperbench-deadline-ms` allowed starts
+                    // counting down now, across queues and handlers.
+                    let deadline_at = request.deadline().map(|d| Instant::now() + d);
                     if request.method.is_write() {
                         // Slow path: mutating requests (body parsing,
                         // WAL fsync, analysis submission) go to the
                         // worker pool; the event loop waits for the
                         // completion wake.
+                        let backlog = self.offload_inflight.fetch_add(1, Ordering::AcqRel);
+                        if backlog >= MAX_OFFLOAD_INFLIGHT {
+                            // The pool is already drowning; saying no
+                            // here costs microseconds instead of adding
+                            // this request's latency to everyone else's.
+                            self.offload_inflight.fetch_sub(1, Ordering::AcqRel);
+                            metrics().reactor_shed_total.inc();
+                            let response = error_response(ApiError::new(
+                                ErrorCode::Overloaded,
+                                "write backlog full; retry shortly",
+                            ))
+                            .with_retry_after(OFFLOAD_SHED_RETRY_AFTER);
+                            self.queue_response(slot, response, keep_alive);
+                            continue;
+                        }
+                        let Some(conn) = self.conns[slot].as_mut() else {
+                            self.offload_inflight.fetch_sub(1, Ordering::AcqRel);
+                            return Fate::Keep;
+                        };
                         conn.awaiting = true;
                         conn.pending_keep_alive = keep_alive;
-                        let generation = conn.generation;
                         let state = Arc::clone(&self.state);
                         let router = Arc::clone(&self.router);
                         let shared = Arc::clone(&self.shared);
+                        let inflight = Arc::clone(&self.offload_inflight);
                         self.offload.execute(move || {
-                            let response = dispatch(&state, &router, &request);
+                            let response = match deadline_at {
+                                Some(at) if Instant::now() >= at => {
+                                    // The client's budget ran out while
+                                    // the request sat in the backlog;
+                                    // doing the work now helps no one.
+                                    metrics().deadline_expired_total.inc();
+                                    error_response(ApiError::new(
+                                        ErrorCode::RequestTimeout,
+                                        "propagated deadline expired before dispatch",
+                                    ))
+                                }
+                                _ => dispatch(&state, &router, &request),
+                            };
+                            inflight.fetch_sub(1, Ordering::AcqRel);
                             shared
                                 .completions
                                 .lock()
@@ -501,7 +559,16 @@ impl EventLoop {
                         });
                         break;
                     }
-                    let response = dispatch(&self.state, &self.router, &request);
+                    let response = match deadline_at {
+                        Some(at) if Instant::now() >= at => {
+                            metrics().deadline_expired_total.inc();
+                            error_response(ApiError::new(
+                                ErrorCode::RequestTimeout,
+                                "propagated deadline expired before dispatch",
+                            ))
+                        }
+                        _ => dispatch(&self.state, &self.router, &request),
+                    };
                     self.queue_response(slot, response, keep_alive);
                 }
             }
@@ -564,6 +631,7 @@ impl EventLoop {
 
     /// Drains the write buffer until the socket pushes back.
     fn try_write(&mut self, slot: usize) -> Fate {
+        hyperbench_fault::fail_point!("reactor.write", |_msg: String| Fate::Close);
         let Some(conn) = self.conns[slot].as_mut() else {
             return Fate::Keep;
         };
@@ -719,6 +787,7 @@ pub(crate) fn run_reactor(
     let threads = opts.threads.max(1);
     listener.set_nonblocking(true)?;
     let offload = Arc::new(offload);
+    let offload_inflight = Arc::new(AtomicUsize::new(0));
     let mut shareds = Vec::with_capacity(threads);
     let mut wake_rxs = Vec::with_capacity(threads);
     for _ in 0..threads {
@@ -740,13 +809,23 @@ pub(crate) fn run_reactor(
             let router = Arc::clone(&router);
             let shutdown = Arc::clone(&shutdown);
             let offload = Arc::clone(&offload);
+            let offload_inflight = Arc::clone(&offload_inflight);
             let listener = if id == 0 { Some(&listener) } else { None };
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("hyperbench-reactor-{id}"))
                     .spawn_scoped(scope, move || {
                         event_loop_main(
-                            id, listener, &shareds, wake_rx, state, router, shutdown, offload, opts,
+                            id,
+                            listener,
+                            &shareds,
+                            wake_rx,
+                            state,
+                            router,
+                            shutdown,
+                            offload,
+                            offload_inflight,
+                            opts,
                         )
                     })
                     .expect("spawn reactor thread"),
@@ -769,10 +848,20 @@ fn event_loop_main(
     router: Arc<Router<Endpoint>>,
     shutdown: Arc<AtomicBool>,
     offload: Arc<ThreadPool>,
+    offload_inflight: Arc<AtomicUsize>,
     opts: ReactorOptions,
 ) {
     let shared = Arc::clone(&shareds[id]);
-    let mut el = match EventLoop::new(id, shared, wake_rx, state, router, offload, opts) {
+    let mut el = match EventLoop::new(
+        id,
+        shared,
+        wake_rx,
+        state,
+        router,
+        offload,
+        offload_inflight,
+        opts,
+    ) {
         Ok(el) => el,
         Err(e) => {
             log_error!("reactor", "event loop failed to start"; loop_id = id, error = e);
@@ -849,6 +938,9 @@ fn accept_burst(
     shareds: &[Arc<LoopShared>],
     next_loop: &mut usize,
 ) {
+    // A fired `return` skips this whole burst; pending connections stay
+    // in the kernel backlog and epoll re-announces them (level listener).
+    hyperbench_fault::fail_point!("reactor.accept", |_msg: String| ());
     loop {
         match listener.accept() {
             Ok((stream, _)) => {

@@ -340,3 +340,56 @@ fn http10_closes_after_response() {
     shutdown.shutdown();
     join.join().unwrap();
 }
+
+/// An already-expired propagated deadline (`x-hyperbench-deadline-ms: 0`
+/// on a write) is answered a structured 408 *before* the handler runs —
+/// the offload worker checks the budget at dispatch time. A generous
+/// budget passes through to the normal handler outcome.
+#[test]
+fn expired_propagated_deadline_is_answered_408_before_dispatch() {
+    let (join, addr, shutdown) = start_reactor(Duration::from_secs(10));
+    let body = r#"{"hypergraph":"p(a,b)."}"#;
+
+    let mut stream = connect(addr);
+    stream
+        .write_all(
+            format!(
+                "POST /v1/hypergraphs HTTP/1.1\r\nHost: t\r\n\
+                 x-hyperbench-deadline-ms: 0\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let (status, answer) = read_one_response(&mut stream);
+    assert_eq!(status, 408, "{answer}");
+    assert_eq!(
+        json(&answer).get("code").and_then(Json::as_str),
+        Some("request_timeout"),
+        "{answer}"
+    );
+
+    // Same request with a generous budget reaches the handler; this
+    // server is read-only, so the write path answers its normal 403.
+    stream
+        .write_all(
+            format!(
+                "POST /v1/hypergraphs HTTP/1.1\r\nHost: t\r\n\
+                 x-hyperbench-deadline-ms: 60000\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let (status, answer) = read_one_response(&mut stream);
+    assert_eq!(status, 403, "{answer}");
+    assert_eq!(
+        json(&answer).get("code").and_then(Json::as_str),
+        Some("read_only"),
+        "{answer}"
+    );
+    shutdown.shutdown();
+    join.join().unwrap();
+}
