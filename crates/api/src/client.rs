@@ -10,11 +10,12 @@
 //! Connect and read timeouts are independent ([`Client::with_connect_timeout`],
 //! [`Client::with_read_timeout`]). Opting in with [`Client::with_retries`]
 //! adds capped exponential backoff with decorrelated jitter around
-//! transport failures and 429/503 refusals, honoring any `Retry-After`
-//! the server sent. Retries are gated to requests that are safe to
-//! replay: idempotent verbs (`GET`/`PUT`/`DELETE`) plus
-//! `POST /v1/hypergraphs`, which the server dedups by content hash, so
-//! a replayed create lands on the same id instead of a duplicate.
+//! transport failures and 429/502/503 refusals, honoring any
+//! `Retry-After` the server sent. Retries are gated to requests that
+//! are safe to replay: idempotent verbs (`GET`/`PUT`/`DELETE`) plus
+//! two read-safe POSTs — `POST /v1/hypergraphs`, which the server
+//! dedups by content hash (a replayed create lands on the same id
+//! instead of a duplicate), and `POST /v1/query`, which only reads.
 //! Retry activity is metered (`hyperbench_client_retries_total`,
 //! `hyperbench_client_retry_giveups_total`).
 
@@ -229,10 +230,13 @@ impl Jitter {
 }
 
 /// Whether a request is safe to replay: the verb is idempotent, or it
-/// is the content-hash-idempotent create endpoint (re-posting an
-/// identical document answers with the existing id).
+/// is a POST that cannot double-apply — the content-hash-idempotent
+/// create endpoint (re-posting an identical document answers with the
+/// existing id) and `POST /v1/query`, which only reads (POST carries
+/// the query text, but the execution is side-effect-free).
 fn replay_safe(method: &str, path: &str) -> bool {
-    matches!(method, "GET" | "PUT" | "DELETE") || (method == "POST" && path == "/v1/hypergraphs")
+    matches!(method, "GET" | "PUT" | "DELETE")
+        || (method == "POST" && matches!(path, "/v1/hypergraphs" | "/v1/query"))
 }
 
 /// One decoded HTTP exchange, before JSON interpretation.
@@ -368,10 +372,12 @@ impl Client {
         loop {
             let outcome = self.request_once(method, path, body);
             let retry_after = match &outcome {
-                // 429 (shed) and 503 (queue full / degraded / draining)
-                // are the transient refusals; everything else — success
-                // or a request defect — returns immediately.
-                Ok(r) if matches!(r.status, 429 | 503) => r.retry_after,
+                // 429 (shed), 502 (router lost every upstream for a
+                // shard; a probe may revive one) and 503 (queue full /
+                // degraded / draining) are the transient refusals;
+                // everything else — success or a request defect —
+                // returns immediately.
+                Ok(r) if matches!(r.status, 429 | 502 | 503) => r.retry_after,
                 Ok(r) => return Ok((r.status, r.body.clone())),
                 Err(ClientError::Io(_)) => None,
                 Err(_) => return outcome.map(|r| (r.status, r.body)),
@@ -587,13 +593,13 @@ mod tests {
     }
 
     #[test]
-    fn replay_gating_covers_idempotent_verbs_and_content_hash_post() {
+    fn replay_gating_covers_idempotent_verbs_and_readonly_posts() {
         assert!(replay_safe("GET", "/v1/hypergraphs"));
         assert!(replay_safe("PUT", "/v1/hypergraphs/3"));
         assert!(replay_safe("DELETE", "/v1/hypergraphs/3"));
         assert!(replay_safe("POST", "/v1/hypergraphs"));
+        assert!(replay_safe("POST", "/v1/query"));
         assert!(!replay_safe("POST", "/v1/analyses"));
-        assert!(!replay_safe("POST", "/v1/query"));
     }
 
     #[test]

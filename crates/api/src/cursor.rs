@@ -112,6 +112,97 @@ impl PageCursor {
     }
 }
 
+/// One shard's position inside a [`ScatterCursor`].
+///
+/// `Start` is distinct from `Resume`: a shard whose fetched items all
+/// sorted *after* the merged page boundary has been read but not
+/// consumed, and must be re-fetched from the top on the next page —
+/// collapsing that to "resume after id 0" would skip its first entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSlot {
+    /// The shard has not contributed an item yet; fetch from the top.
+    Start,
+    /// Resume the shard's stream from its own cursor.
+    Resume(PageCursor),
+    /// The shard's stream is exhausted; skip it.
+    Done,
+}
+
+/// A scatter-gather cursor: the router's continuation token over a
+/// sharded fleet, encoding one per-shard position so the merged walk
+/// resumes every shard exactly where its stream stopped.
+///
+/// Slot `i` holds shard `i`'s own [`PageCursor`] (re-encoded verbatim
+/// on the next scatter), `Start` before the shard has contributed, or
+/// `Done` once its stream is exhausted. The wire form mirrors
+/// [`PageCursor`]: hex over an ASCII payload (`r1:<tok>,<tok>,…` with
+/// `s` marking unstarted and `x` marking exhausted shards) plus the
+/// same FNV-1a checksum, so a tampered or truncated token fails
+/// closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScatterCursor {
+    /// Per-shard continuation state, indexed by shard.
+    pub shards: Vec<ShardSlot>,
+}
+
+impl ScatterCursor {
+    /// Encodes into an opaque token.
+    pub fn encode(&self) -> String {
+        let tokens: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| match s {
+                ShardSlot::Start => "s".to_string(),
+                ShardSlot::Resume(cursor) => cursor.encode(),
+                ShardSlot::Done => "x".to_string(),
+            })
+            .collect();
+        let payload = format!("r1:{}", tokens.join(","));
+        let mut out = String::with_capacity(payload.len() * 2 + 8);
+        for b in payload.bytes() {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push_str(&format!("{:08x}", fnv1a(payload.as_bytes())));
+        out
+    }
+
+    /// Decodes and verifies a token produced by [`ScatterCursor::encode`].
+    pub fn decode(token: &str) -> Result<ScatterCursor, CursorError> {
+        let token = token.trim();
+        if token.len() < 8 + 2 || !token.len().is_multiple_of(2) {
+            return Err(CursorError::Malformed);
+        }
+        let (hex, check) = token.split_at(token.len() - 8);
+        let mut payload = Vec::with_capacity(hex.len() / 2);
+        for i in (0..hex.len()).step_by(2) {
+            let byte =
+                u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| CursorError::Malformed)?;
+            payload.push(byte);
+        }
+        let expected = u32::from_str_radix(check, 16).map_err(|_| CursorError::Malformed)?;
+        if fnv1a(&payload) != expected {
+            return Err(CursorError::Malformed);
+        }
+        let payload = String::from_utf8(payload).map_err(|_| CursorError::Malformed)?;
+        let Some(rest) = payload.strip_prefix("r1:") else {
+            let version = payload.split(':').next().unwrap_or("").to_string();
+            return Err(CursorError::UnknownVersion(version));
+        };
+        let shards = rest
+            .split(',')
+            .map(|tok| match tok {
+                "s" => Ok(ShardSlot::Start),
+                "x" => Ok(ShardSlot::Done),
+                tok => PageCursor::decode(tok).map(ShardSlot::Resume),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if shards.is_empty() {
+            return Err(CursorError::Malformed);
+        }
+        Ok(ScatterCursor { shards })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +241,33 @@ mod tests {
         assert!(PageCursor::decode(&token[..token.len() - 2]).is_err());
         assert!(PageCursor::decode("zzzz").is_err());
         assert!(PageCursor::decode("").is_err());
+    }
+
+    #[test]
+    fn scatter_roundtrip_and_tampering() {
+        let cursor = ScatterCursor {
+            shards: vec![
+                ShardSlot::Resume(PageCursor {
+                    after_id: 12,
+                    snapshot: Some(4),
+                }),
+                ShardSlot::Done,
+                ShardSlot::Start,
+                ShardSlot::Resume(PageCursor::after(0)),
+            ],
+        };
+        let token = cursor.encode();
+        assert!(token.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(ScatterCursor::decode(&token), Ok(cursor));
+        // A PageCursor token is not a ScatterCursor token and vice versa.
+        assert!(ScatterCursor::decode(&PageCursor::after(7).encode()).is_err());
+        assert!(PageCursor::decode(&token).is_err());
+        // Tampering fails closed.
+        let mut bad = token.clone().into_bytes();
+        bad[0] = if bad[0] == b'0' { b'1' } else { b'0' };
+        assert!(ScatterCursor::decode(std::str::from_utf8(&bad).unwrap()).is_err());
+        assert!(ScatterCursor::decode(&token[..token.len() - 2]).is_err());
+        assert!(ScatterCursor::decode("").is_err());
     }
 
     #[test]

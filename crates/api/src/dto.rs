@@ -284,22 +284,45 @@ pub struct PageDto {
     pub items: Vec<EntrySummary>,
     /// Token for the next page; `None` when this page is the last.
     pub next_cursor: Option<String>,
+    /// Shards missing from a scatter-gathered page (router responses
+    /// only, and only when the client opted in with
+    /// `x-hyperbench-allow-partial`). Empty means the page is complete;
+    /// single-server responses never set it, and the field stays off
+    /// the wire when empty.
+    pub partial: Vec<usize>,
 }
 
 impl PageDto {
+    /// A complete (non-partial) page.
+    pub fn new(total: usize, items: Vec<EntrySummary>, next_cursor: Option<String>) -> PageDto {
+        PageDto {
+            total,
+            items,
+            next_cursor,
+            partial: Vec::new(),
+        }
+    }
+
     /// Encodes to the wire shape.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            (schema::TOTAL, Json::int(self.total)),
+        let mut fields = vec![
+            (schema::TOTAL.to_string(), Json::int(self.total)),
             (
-                schema::ITEMS,
+                schema::ITEMS.to_string(),
                 Json::Arr(self.items.iter().map(EntrySummary::to_json).collect()),
             ),
             (
-                schema::NEXT_CURSOR,
+                schema::NEXT_CURSOR.to_string(),
                 self.next_cursor.as_deref().map_or(Json::Null, Json::str),
             ),
-        ])
+        ];
+        if !self.partial.is_empty() {
+            fields.push((
+                schema::PARTIAL.to_string(),
+                Json::Arr(self.partial.iter().copied().map(Json::int).collect()),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     /// Decodes the wire shape.
@@ -319,10 +342,24 @@ impl PageDto {
                     .to_string(),
             ),
         };
+        let partial = match j.get(schema::PARTIAL) {
+            None | Some(Json::Null) => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| missing(schema::PARTIAL))?
+                .iter()
+                .map(|s| {
+                    s.as_int()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| missing(schema::PARTIAL))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(PageDto {
             total: req_usize(j, schema::TOTAL)?,
             items,
             next_cursor,
+            partial,
         })
     }
 }
@@ -1684,6 +1721,7 @@ mod tests {
                 hw_lower: Some(2),
             }],
             next_cursor: Some(crate::cursor::PageCursor::after(0).encode()),
+            partial: Vec::new(),
         };
         let wire = page.to_json().to_string();
         assert_eq!(PageDto::from_json(&Json::parse(&wire).unwrap()), Ok(page));

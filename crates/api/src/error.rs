@@ -55,6 +55,10 @@ pub enum ErrorCode {
     /// working, writes answer 503 with `Retry-After` until the
     /// supervisor rebuilds the log.
     Degraded,
+    /// The router could not reach any live upstream for a shard: every
+    /// replica is dead or breaker-open. The message names the shard.
+    /// Answers 502; retryable — a probe may revive a replica.
+    BadUpstream,
 }
 
 impl ErrorCode {
@@ -78,6 +82,7 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Degraded => "degraded",
+            ErrorCode::BadUpstream => "bad_upstream",
         }
     }
 
@@ -101,6 +106,7 @@ impl ErrorCode {
             "internal" => ErrorCode::Internal,
             "overloaded" => ErrorCode::Overloaded,
             "degraded" => ErrorCode::Degraded,
+            "bad_upstream" => ErrorCode::BadUpstream,
             _ => return None,
         })
     }
@@ -122,6 +128,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => 429,
             ErrorCode::QueueFull | ErrorCode::ShuttingDown | ErrorCode::Degraded => 503,
             ErrorCode::Internal => 500,
+            ErrorCode::BadUpstream => 502,
         }
     }
 
@@ -135,6 +142,7 @@ impl ErrorCode {
                 | ErrorCode::QueueFull
                 | ErrorCode::Degraded
                 | ErrorCode::ShuttingDown
+                | ErrorCode::BadUpstream
         )
     }
 }
@@ -234,11 +242,12 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::Overloaded,
             ErrorCode::Degraded,
+            ErrorCode::BadUpstream,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
             assert!(matches!(
                 code.http_status(),
-                400 | 403 | 404 | 405 | 408 | 409 | 413 | 422 | 429 | 500 | 503
+                400 | 403 | 404 | 405 | 408 | 409 | 413 | 422 | 429 | 500 | 502 | 503
             ));
         }
         assert_eq!(ErrorCode::parse("nope"), None);

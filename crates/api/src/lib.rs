@@ -36,7 +36,7 @@ pub mod json;
 pub mod schema;
 
 pub use client::{Client, ClientError, ListQuery, RetryPolicy};
-pub use cursor::{CursorError, PageCursor};
+pub use cursor::{CursorError, PageCursor, ScatterCursor, ShardSlot};
 pub use dto::{
     AnalysisReport, AnalysisResource, AnalysisStatus, AnalyzeMethod, AnalyzeRequest, CacheStatsDto,
     CoverAtomDto, DecodeError, DecompNodeDto, DecompositionDto, EdgeDto, EntryDetail, EntrySummary,

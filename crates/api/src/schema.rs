@@ -102,6 +102,36 @@ pub const CONTENT_HASH: &str = "content_hash";
 pub const CODE: &str = "code";
 /// Error payloads: human-readable message (legacy-compatible key).
 pub const ERROR: &str = "error";
+/// Error payloads: the request's trace id (present inside a traced
+/// request), grep-able across router and shard logs.
+pub const REQUEST_ID: &str = "request_id";
+
+// Router (front tier) field names: topology reports and the
+// partial-result marker of scatter-gather responses.
+
+/// Scatter-gather pages: indexes of shards missing from the merge
+/// (present only when the client sent `x-hyperbench-allow-partial`).
+pub const PARTIAL: &str = "partial";
+/// Topology payload: the shards array.
+pub const SHARDS: &str = "shards";
+/// Topology payload: a shard's index in the map.
+pub const SHARD: &str = "shard";
+/// Topology payload: whether the shard is draining (or drained).
+pub const DRAINING: &str = "draining";
+/// Topology payload: a shard's upstreams array.
+pub const UPSTREAMS: &str = "upstreams";
+/// Topology upstream: the `host:port` address.
+pub const ADDR: &str = "addr";
+/// Topology upstream: `primary` or `replica`.
+pub const ROLE: &str = "role";
+/// Topology upstream: breaker state (`closed`/`open`/`half_open`).
+pub const BREAKER: &str = "breaker";
+/// Topology upstream: last active health probe verdict.
+pub const HEALTHY: &str = "healthy";
+/// Topology upstream: requests currently proxied to it.
+pub const IN_FLIGHT: &str = "in_flight";
+/// Topology upstream: consecutive failures feeding the breaker.
+pub const CONSECUTIVE_FAILURES: &str = "consecutive_failures";
 
 // `POST /v1/query` field names (the HBQL surface).
 

@@ -31,6 +31,9 @@ USAGE:
   hyperbench serve (--dir DIR | --pack FILE) [--addr HOST:PORT] [--threads N]
              [--workers N] [--queue N] [--cache N] [--timeout-ms N] [--kmax N]
              [--jobs N] [--spill FILE|off] [--reactor-threads N] [--writable]
+  hyperbench route --map FILE [--addr HOST:PORT] [--probe-interval-ms N]
+             [--breaker-threshold N] [--breaker-cooldown-ms N] [--no-hedge]
+             [--offload-threads N] [--reactor-threads N]
   hyperbench put <FILE.hg> [--addr HOST:PORT] [--id N] [--collection C] [--class C]
   hyperbench rm <ID> [--addr HOST:PORT]
   hyperbench query \"<HBQL>\" [--addr HOST:PORT] [--cursor TOKEN]
@@ -51,6 +54,15 @@ event loops (override with `--reactor-threads N`). `--writable` accepts
 `POST`/`PUT`/`DELETE` on `/v1/hypergraphs`, committing through a
 fsynced write-ahead log next to the repository (packs also checkpoint
 committed writes back into their pages); without it, writes answer 403.
+
+`route` runs the sharding front tier over a static shard map: one line
+per shard listing its upstream `host:port` addresses (first = primary,
+the rest read replicas; `#` starts a comment). The router speaks the
+same /v1 contract, hash-partitions ids across the shards, fails reads
+over to healthy replicas (hedging slow ones unless --no-hedge), routes
+writes to the shard primary, and merges list/query pages across the
+fleet. `POST /admin/drain/{shard}` removes a shard without dropping
+in-flight requests; `GET /admin/topology` reports per-upstream health.
 
 `put` stores (or with `--id N` replaces) a hypergraph on a running
 writable server and prints the receipt; `rm` removes one by id. Both
@@ -79,7 +91,7 @@ fn main() {
 /// Flags that are switches: present means "true", and they never
 /// consume the following argument. Everything else keeps the historical
 /// "--flag VALUE" shape with its clear missing-value error.
-const BOOLEAN_FLAGS: &[&str] = &["writable"];
+const BOOLEAN_FLAGS: &[&str] = &["writable", "no-hedge"];
 
 struct Flags {
     values: Vec<(String, String)>,
@@ -141,6 +153,39 @@ fn write_client(flags: &Flags) -> Result<hyperbench_api::Client, String> {
         .next()
         .ok_or_else(|| format!("cannot resolve {addr}"))?;
     Ok(hyperbench_api::Client::new(resolved))
+}
+
+/// Binds and runs the sharding front tier (Linux-only: it rides the
+/// epoll reactor). Prints `ADDR <ip:port>` before serving, same
+/// contract as the server binaries, so harnesses can parse the port.
+#[cfg(target_os = "linux")]
+fn route(
+    flags: &Flags,
+    map: &hyperbench_router::ShardMap,
+    opts: hyperbench_router::RouterOptions,
+) -> Result<(), String> {
+    use std::io::Write;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:8080");
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let reactor = hyperbench_server::reactor::ReactorOptions {
+        threads: flags.get_parsed("reactor-threads", 2)?,
+        ..Default::default()
+    };
+    let offload_threads = flags.get_parsed("offload-threads", 16)?;
+    println!("ADDR {}", listener.local_addr().map_err(|e| e.to_string())?);
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let shutdown = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    hyperbench_router::serve(listener, map, opts, reactor, offload_threads, shutdown)
+        .map_err(|e| e.to_string())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn route(
+    _flags: &Flags,
+    _map: &hyperbench_router::ShardMap,
+    _opts: hyperbench_router::RouterOptions,
+) -> Result<(), String> {
+    Err("`hyperbench route` requires Linux (the epoll reactor)".to_string())
 }
 
 fn print_receipt(receipt: &hyperbench_api::WriteReceipt) {
@@ -368,6 +413,24 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 (None, None) => Err("--dir DIR or --pack FILE required".to_string()),
             }
+        }
+        "route" => {
+            let map_path = PathBuf::from(flags.get("map").ok_or("--map FILE required")?);
+            let map = hyperbench_router::ShardMap::load(&map_path).map_err(|e| e.to_string())?;
+            let d = hyperbench_router::RouterOptions::default();
+            let opts = hyperbench_router::RouterOptions {
+                breaker_threshold: flags.get_parsed("breaker-threshold", d.breaker_threshold)?,
+                breaker_cooldown: Duration::from_millis(
+                    flags
+                        .get_parsed("breaker-cooldown-ms", d.breaker_cooldown.as_millis() as u64)?,
+                ),
+                probe_interval: Duration::from_millis(
+                    flags.get_parsed("probe-interval-ms", d.probe_interval.as_millis() as u64)?,
+                ),
+                hedge: !matches!(flags.get("no-hedge"), Some("true") | Some("1")),
+                ..d
+            };
+            route(&flags, &map, opts)
         }
         "put" => {
             let file = flags.positional.first().ok_or("FILE.hg required")?;

@@ -1,0 +1,248 @@
+//! Per-upstream circuit breakers: pure state math, no clocks or sockets.
+//!
+//! Every upstream carries one [`Breaker`]. The proxy path feeds it
+//! passive outcomes (each exchange's success or failure) and the
+//! health prober feeds it active ones; both go through the same two
+//! entry points. All methods take the current [`Instant`] as an
+//! argument — the breaker never reads a clock — so tests script exact
+//! timelines.
+//!
+//! State machine:
+//!
+//! ```text
+//! Closed --(threshold consecutive failures)--> Open
+//! Open   --(cooldown elapsed, one caller admitted)--> HalfOpen
+//! HalfOpen --(that probe succeeds)--> Closed
+//! HalfOpen --(that probe fails)--> Open (cooldown restarts)
+//! ```
+//!
+//! `Open` fails fast: [`Breaker::allow`] answers `false` without
+//! touching the upstream. The first `allow` after the cooldown flips
+//! to `HalfOpen` and admits exactly one trial request; everyone else
+//! keeps failing fast until that trial settles.
+
+use std::time::{Duration, Instant};
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Traffic flows; failures are counted.
+    Closed,
+    /// Failing fast; no traffic until the cooldown elapses.
+    Open,
+    /// One trial request is in flight; everyone else fails fast.
+    HalfOpen,
+}
+
+impl State {
+    /// The topology-report spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            State::Closed => "closed",
+            State::Open => "open",
+            State::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// A state transition, reported so the caller can count it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The state left.
+    pub from: State,
+    /// The state entered.
+    pub to: State,
+}
+
+/// One upstream's circuit breaker.
+#[derive(Debug)]
+pub struct Breaker {
+    state: State,
+    /// Consecutive failures while `Closed`.
+    consecutive_failures: u32,
+    /// Failures that trip `Closed` → `Open`.
+    threshold: u32,
+    /// How long `Open` fails fast before admitting a trial.
+    cooldown: Duration,
+    /// When the breaker opened (meaningful in `Open`).
+    opened_at: Option<Instant>,
+}
+
+impl Breaker {
+    /// A closed breaker tripping after `threshold` consecutive
+    /// failures and cooling down for `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            state: State::Closed,
+            consecutive_failures: 0,
+            threshold: threshold.max(1),
+            cooldown,
+            opened_at: None,
+        }
+    }
+
+    /// The current state (after any cooldown-driven flip would apply
+    /// on the next [`Breaker::allow`]; this is the stored state).
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Consecutive failures counted toward the trip threshold.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Whether a request may be sent now. The first call after an
+    /// `Open` cooldown flips to `HalfOpen` and admits the caller as
+    /// the single trial; the returned transition (if any) lets the
+    /// caller count flips.
+    pub fn allow(&mut self, now: Instant) -> (bool, Option<Transition>) {
+        match self.state {
+            State::Closed => (true, None),
+            State::HalfOpen => (false, None),
+            State::Open => {
+                let elapsed = self
+                    .opened_at
+                    .map(|t| now.saturating_duration_since(t))
+                    .unwrap_or(Duration::ZERO);
+                if elapsed >= self.cooldown {
+                    let t = self.flip(State::HalfOpen);
+                    (true, t)
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Records a successful exchange (or probe).
+    pub fn on_success(&mut self, _now: Instant) -> Option<Transition> {
+        self.consecutive_failures = 0;
+        match self.state {
+            State::Closed => None,
+            // A half-open trial succeeded — close. A success observed
+            // while Open (e.g. an exchange that started before the
+            // trip) also closes: the upstream is demonstrably alive.
+            State::HalfOpen | State::Open => {
+                self.opened_at = None;
+                self.flip(State::Closed)
+            }
+        }
+    }
+
+    /// Records a failed exchange (or probe).
+    pub fn on_failure(&mut self, now: Instant) -> Option<Transition> {
+        match self.state {
+            State::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.opened_at = Some(now);
+                    self.flip(State::Open)
+                } else {
+                    None
+                }
+            }
+            State::HalfOpen => {
+                // The trial failed — reopen and restart the cooldown.
+                self.opened_at = Some(now);
+                self.flip(State::Open)
+            }
+            State::Open => {
+                // A straggler from before the trip; stay open but do
+                // not extend the cooldown (that would let a burst of
+                // stale failures pin the breaker open forever).
+                None
+            }
+        }
+    }
+
+    fn flip(&mut self, to: State) -> Option<Transition> {
+        let from = self.state;
+        if from == to {
+            return None;
+        }
+        self.state = to;
+        Some(Transition { from, to })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COOLDOWN: Duration = Duration::from_millis(100);
+
+    fn breaker() -> (Breaker, Instant) {
+        (Breaker::new(3, COOLDOWN), Instant::now())
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let (mut b, t0) = breaker();
+        assert_eq!(b.on_failure(t0), None);
+        assert_eq!(b.on_failure(t0), None);
+        assert_eq!(b.state(), State::Closed);
+        assert!(b.allow(t0).0);
+        let t = b.on_failure(t0).unwrap();
+        assert_eq!((t.from, t.to), (State::Closed, State::Open));
+        assert!(!b.allow(t0).0);
+    }
+
+    #[test]
+    fn a_success_resets_the_failure_streak() {
+        let (mut b, t0) = breaker();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        b.on_success(t0);
+        assert_eq!(b.consecutive_failures(), 0);
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.state(), State::Closed, "streak restarted after success");
+    }
+
+    #[test]
+    fn cooldown_admits_exactly_one_half_open_trial() {
+        let (mut b, t0) = breaker();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        // Before the cooldown: fail fast.
+        assert!(!b.allow(t0 + COOLDOWN / 2).0);
+        // After: the first caller is the trial, the second is refused.
+        let (ok, t) = b.allow(t0 + COOLDOWN);
+        assert!(ok);
+        assert_eq!(t.unwrap().to, State::HalfOpen);
+        assert!(!b.allow(t0 + COOLDOWN).0);
+    }
+
+    #[test]
+    fn half_open_trial_outcome_closes_or_reopens() {
+        let (mut b, t0) = breaker();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        b.allow(t0 + COOLDOWN);
+        // Trial fails: back to Open, cooldown restarts from now.
+        let t = b.on_failure(t0 + COOLDOWN).unwrap();
+        assert_eq!((t.from, t.to), (State::HalfOpen, State::Open));
+        assert!(!b.allow(t0 + COOLDOWN + COOLDOWN / 2).0);
+        // Next trial succeeds: closed, traffic flows.
+        assert!(b.allow(t0 + COOLDOWN * 2).0);
+        let t = b.on_success(t0 + COOLDOWN * 2).unwrap();
+        assert_eq!((t.from, t.to), (State::HalfOpen, State::Closed));
+        assert!(b.allow(t0 + COOLDOWN * 2).0);
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn stale_failures_while_open_do_not_extend_the_cooldown() {
+        let (mut b, t0) = breaker();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        // Stragglers land mid-cooldown.
+        assert_eq!(b.on_failure(t0 + COOLDOWN / 2), None);
+        // The trial still opens on the original schedule.
+        assert!(b.allow(t0 + COOLDOWN).0);
+    }
+}

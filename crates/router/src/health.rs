@@ -1,0 +1,266 @@
+//! Live upstream state: health probes, passive failure accounting,
+//! in-flight counts, and the latency window behind hedge delays.
+//!
+//! Each upstream of each shard carries one [`Upstream`]: a connection
+//! pool, a circuit [`Breaker`], the last active-probe verdict, an
+//! in-flight gauge (drains wait on it), and a ring of recent read
+//! latencies whose p95 sets the hedge delay. The proxy path feeds the
+//! breaker passively on every exchange; a background prober hits
+//! `GET /v1/healthz` on every upstream each interval, so a dead
+//! upstream is discovered (and a revived one re-admitted) even with
+//! zero client traffic.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hyperbench_server::upstream::UpstreamPool;
+
+use crate::breaker::{Breaker, State};
+use crate::metrics::metrics;
+
+/// An upstream's role within its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The shard's write target (`upstreams[0]` in the map).
+    Primary,
+    /// A read-only copy.
+    Replica,
+}
+
+impl Role {
+    /// The topology-report spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Replica => "replica",
+        }
+    }
+}
+
+/// Recent exchange latencies (microseconds), a fixed ring.
+#[derive(Debug, Default)]
+struct LatencyWindow {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+const WINDOW: usize = 64;
+
+impl LatencyWindow {
+    fn record(&mut self, micros: u64) {
+        if self.samples.len() < WINDOW {
+            self.samples.push(micros);
+        } else {
+            self.samples[self.next] = micros;
+        }
+        self.next = (self.next + 1) % WINDOW;
+    }
+
+    fn p95(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)])
+    }
+}
+
+/// One upstream's live state.
+#[derive(Debug)]
+pub struct Upstream {
+    /// The keep-alive connection pool to this upstream.
+    pub pool: UpstreamPool,
+    /// Primary or replica.
+    pub role: Role,
+    breaker: Mutex<Breaker>,
+    healthy: AtomicBool,
+    in_flight: AtomicUsize,
+    latencies: Mutex<LatencyWindow>,
+}
+
+impl Upstream {
+    /// A fresh upstream: optimistically healthy (the first probe
+    /// corrects within one interval), breaker closed.
+    pub fn new(pool: UpstreamPool, role: Role, threshold: u32, cooldown: Duration) -> Upstream {
+        metrics().upstreams_healthy.add(1);
+        Upstream {
+            pool,
+            role,
+            breaker: Mutex::new(Breaker::new(threshold, cooldown)),
+            healthy: AtomicBool::new(true),
+            in_flight: AtomicUsize::new(0),
+            latencies: Mutex::new(LatencyWindow::default()),
+        }
+    }
+
+    /// Whether the breaker admits a request right now. The first call
+    /// after an open breaker's cooldown is admitted as the half-open
+    /// trial.
+    pub fn allow(&self) -> bool {
+        let (ok, transition) = self.breaker.lock().unwrap().allow(Instant::now());
+        if transition.is_some() {
+            metrics().breaker_transitions.inc();
+        }
+        ok
+    }
+
+    /// Feeds one successful exchange into the breaker and the latency
+    /// window.
+    pub fn record_success(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.latencies.lock().unwrap().record(micros);
+        if self
+            .breaker
+            .lock()
+            .unwrap()
+            .on_success(Instant::now())
+            .is_some()
+        {
+            metrics().breaker_transitions.inc();
+        }
+    }
+
+    /// Feeds one failed exchange into the breaker.
+    pub fn record_failure(&self) {
+        if self
+            .breaker
+            .lock()
+            .unwrap()
+            .on_failure(Instant::now())
+            .is_some()
+        {
+            metrics().breaker_transitions.inc();
+        }
+    }
+
+    /// The last active-probe verdict.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Acquire)
+    }
+
+    /// Records a probe verdict, keeping the fleet-healthy gauge true.
+    pub fn set_healthy(&self, verdict: bool) {
+        let was = self.healthy.swap(verdict, Ordering::AcqRel);
+        if was != verdict {
+            metrics()
+                .upstreams_healthy
+                .add(if verdict { 1 } else { -1 });
+        }
+    }
+
+    /// Requests currently proxied to this upstream.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Counts a request against this upstream until the guard drops.
+    pub fn track(self: &Arc<Upstream>) -> InFlight {
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        InFlight {
+            upstream: Arc::clone(self),
+        }
+    }
+
+    /// The p95 of recent exchange latencies.
+    pub fn p95(&self) -> Option<Duration> {
+        self.latencies
+            .lock()
+            .unwrap()
+            .p95()
+            .map(Duration::from_micros)
+    }
+
+    /// The breaker's state and failure streak, for topology reports.
+    pub fn breaker_view(&self) -> (State, u32) {
+        let b = self.breaker.lock().unwrap();
+        (b.state(), b.consecutive_failures())
+    }
+}
+
+/// RAII in-flight count held while a request rides an upstream.
+#[derive(Debug)]
+pub struct InFlight {
+    upstream: Arc<Upstream>,
+}
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        self.upstream.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// One active probe round: `GET /v1/healthz` against the upstream,
+/// feeding both the healthy flag and the breaker. Success is any
+/// decoded HTTP answer — a 503 from a degraded shard still proves the
+/// upstream process is alive and routable.
+pub fn probe(upstream: &Upstream) -> bool {
+    let started = Instant::now();
+    match upstream.pool.exchange("GET", "/v1/healthz", &[], &[]) {
+        Ok(_) => {
+            upstream.record_success(started.elapsed());
+            upstream.set_healthy(true);
+            true
+        }
+        Err(_) => {
+            upstream.record_failure();
+            upstream.set_healthy(false);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upstream() -> Upstream {
+        let addr = "127.0.0.1:1".parse().unwrap();
+        Upstream::new(
+            UpstreamPool::new(addr),
+            Role::Replica,
+            3,
+            Duration::from_millis(50),
+        )
+    }
+
+    #[test]
+    fn latency_window_p95_tracks_the_tail() {
+        let u = upstream();
+        for i in 1..=100u64 {
+            u.record_success(Duration::from_micros(i));
+        }
+        // Only the last 64 samples (37..=100) are retained.
+        let p95 = u.p95().unwrap().as_micros() as u64;
+        assert!((95..=100).contains(&p95), "p95={p95}");
+    }
+
+    #[test]
+    fn in_flight_guard_counts_and_releases() {
+        let u = Arc::new(upstream());
+        let g1 = u.track();
+        let g2 = u.track();
+        assert_eq!(u.in_flight(), 2);
+        drop(g1);
+        assert_eq!(u.in_flight(), 1);
+        drop(g2);
+        assert_eq!(u.in_flight(), 0);
+    }
+
+    #[test]
+    fn passive_failures_open_the_breaker_and_block_traffic() {
+        let u = upstream();
+        assert!(u.allow());
+        for _ in 0..3 {
+            u.record_failure();
+        }
+        assert!(!u.allow());
+        // After the cooldown one trial is admitted; success closes.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(u.allow());
+        assert!(!u.allow(), "half-open admits exactly one");
+        u.record_success(Duration::from_millis(1));
+        assert!(u.allow());
+    }
+}

@@ -1,0 +1,112 @@
+//! The static shard map: which upstreams serve which shard.
+//!
+//! The map is a plain text file, one line per shard. Each line lists
+//! the shard's upstream addresses separated by whitespace or commas;
+//! the **first** address is the primary (the only write target), the
+//! rest are read replicas. Blank lines and `#` comments are skipped.
+//!
+//! ```text
+//! # shard 0
+//! 127.0.0.1:8081 127.0.0.1:8082
+//! # shard 1
+//! 127.0.0.1:8083, 127.0.0.1:8084
+//! ```
+//!
+//! Shard indexes are positional and permanent: ids are partitioned by
+//! `global_id % shard_count`, so reordering or removing a line changes
+//! which shard owns which id. Take a shard out of rotation with the
+//! drain endpoint, not by editing the map.
+
+use std::net::SocketAddr;
+
+/// One shard's upstream set; `upstreams[0]` is the primary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// The shard's upstream addresses (primary first).
+    pub upstreams: Vec<SocketAddr>,
+}
+
+/// The parsed shard map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Shards in partition order (`global_id % shards.len()` owns an id).
+    pub shards: Vec<Shard>,
+}
+
+impl ShardMap {
+    /// Parses the one-line-per-shard map format.
+    pub fn parse(text: &str) -> Result<ShardMap, String> {
+        let mut shards = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut upstreams = Vec::new();
+            for word in line.split(|c: char| c.is_whitespace() || c == ',') {
+                if word.is_empty() {
+                    continue;
+                }
+                let addr: SocketAddr = word
+                    .parse()
+                    .map_err(|e| format!("line {}: bad address {word:?}: {e}", lineno + 1))?;
+                if upstreams.contains(&addr) {
+                    return Err(format!("line {}: duplicate address {addr}", lineno + 1));
+                }
+                upstreams.push(addr);
+            }
+            shards.push(Shard { upstreams });
+        }
+        if shards.is_empty() {
+            return Err("shard map has no shards".to_string());
+        }
+        Ok(ShardMap { shards })
+    }
+
+    /// Reads and parses a map file.
+    pub fn load(path: &std::path::Path) -> Result<ShardMap, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read shard map {}: {e}", path.display()))?;
+        ShardMap::parse(&text)
+    }
+
+    /// The number of shards (the modulus of the id partition).
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the map is empty (never true after a successful parse).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_separators() {
+        let map = ShardMap::parse(
+            "# front matter\n\
+             127.0.0.1:8081 127.0.0.1:8082\n\
+             \n\
+             127.0.0.1:8083, 127.0.0.1:8084 # shard 1\n",
+        )
+        .unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.shards[0].upstreams.len(), 2);
+        assert_eq!(
+            map.shards[1].upstreams[1],
+            "127.0.0.1:8084".parse().unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_duplicates_and_empty_maps() {
+        assert!(ShardMap::parse("not-an-addr").is_err());
+        assert!(ShardMap::parse("127.0.0.1:1 127.0.0.1:1").is_err());
+        assert!(ShardMap::parse("# only comments\n").is_err());
+        assert!(ShardMap::parse("").is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! The router's metric handles (`hyperbench_router_*`), registered
+//! once in the process-global [`hyperbench_telemetry`] registry —
+//! same bundle pattern as the server's `metrics` module, distinct
+//! name family so a scrape of a router process is unambiguous.
+
+use std::sync::{Arc, OnceLock};
+
+use hyperbench_telemetry::{global, Counter, Gauge, Histogram};
+
+/// Handles to every router-side metric; obtained via [`metrics`].
+#[derive(Debug)]
+pub struct RouterMetrics {
+    /// Requests dispatched by the router (all routes).
+    pub requests: Arc<Counter>,
+    /// Upstreams currently passing health probes, fleet-wide.
+    pub upstreams_healthy: Arc<Gauge>,
+    /// Reads that failed over to another replica after a failure.
+    pub failovers: Arc<Counter>,
+    /// Hedged reads launched (a second attempt was actually sent).
+    pub hedges: Arc<Counter>,
+    /// Hedged reads where the second attempt answered first.
+    pub hedge_wins: Arc<Counter>,
+    /// Hedge losers cancelled after the other attempt answered.
+    pub hedges_cancelled: Arc<Counter>,
+    /// Circuit-breaker state transitions, fleet-wide.
+    pub breaker_transitions: Arc<Counter>,
+    /// Shards fetched per scatter-gather round.
+    pub scatter_fanout: Arc<Histogram>,
+    /// Requests answered 502 `bad_upstream` (no live upstream).
+    pub bad_upstream: Arc<Counter>,
+    /// Scatter pages served partial under `x-hyperbench-allow-partial`.
+    pub partial_pages: Arc<Counter>,
+    /// Requests refused because the target shard is draining/drained.
+    pub drain_refusals: Arc<Counter>,
+}
+
+/// The process-wide [`RouterMetrics`] bundle (registered on first use).
+pub fn metrics() -> &'static RouterMetrics {
+    static METRICS: OnceLock<RouterMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        RouterMetrics {
+            requests: r.counter(
+                "hyperbench_router_requests_total",
+                "requests dispatched by the router",
+            ),
+            upstreams_healthy: r.gauge(
+                "hyperbench_router_upstreams_healthy",
+                "upstreams currently passing health probes",
+            ),
+            failovers: r.counter(
+                "hyperbench_router_failovers_total",
+                "reads failed over to another replica after an upstream failure",
+            ),
+            hedges: r.counter(
+                "hyperbench_router_hedges_total",
+                "hedged reads that launched a second attempt",
+            ),
+            hedge_wins: r.counter(
+                "hyperbench_router_hedge_wins_total",
+                "hedged reads won by the second attempt",
+            ),
+            hedges_cancelled: r.counter(
+                "hyperbench_router_hedges_cancelled_total",
+                "hedge losers cancelled after the winner answered",
+            ),
+            breaker_transitions: r.counter(
+                "hyperbench_router_breaker_transitions_total",
+                "circuit-breaker state transitions across all upstreams",
+            ),
+            scatter_fanout: r.histogram(
+                "hyperbench_router_scatter_fanout",
+                "shards fetched per scatter-gather round",
+            ),
+            bad_upstream: r.counter(
+                "hyperbench_router_bad_upstream_total",
+                "requests answered 502 because a shard had no live upstream",
+            ),
+            partial_pages: r.counter(
+                "hyperbench_router_partial_pages_total",
+                "scatter pages served partial under x-hyperbench-allow-partial",
+            ),
+            drain_refusals: r.counter(
+                "hyperbench_router_drain_refusals_total",
+                "requests refused because the target shard is draining",
+            ),
+        }
+    })
+}

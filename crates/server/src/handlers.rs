@@ -73,9 +73,23 @@ impl ServerState {
     }
 }
 
-/// Renders a structured error to its HTTP response.
+/// Renders a structured error to its HTTP response. Inside a traced
+/// request, the payload carries the trace id as `request_id`, so a
+/// failure logged by a shard and surfaced by the router greps to the
+/// same id on both sides of the fleet.
 pub fn error_response(err: ApiError) -> Response {
-    Response::json(err.http_status(), err.to_json())
+    let status = err.http_status();
+    let mut json = err.to_json();
+    let request_id = hyperbench_telemetry::trace::current_request_id();
+    if request_id != 0 {
+        if let Json::Obj(fields) = &mut json {
+            fields.push((
+                schema::REQUEST_ID.to_string(),
+                Json::int(request_id as usize),
+            ));
+        }
+    }
+    Response::json(status, json)
 }
 
 /// The structured response for a request that could not be parsed, or
@@ -522,6 +536,7 @@ pub mod v1 {
         let snap = pinned.unwrap_or_else(|| state.store.snapshot());
         let page = plan.execute_rows(snap.metas(), after, limit);
         let dto = PageDto {
+            partial: Vec::new(),
             total: page.total,
             items: page.items,
             next_cursor: page.next_after.map(|after_id| {
@@ -613,6 +628,7 @@ pub mod v1 {
         let snap = pinned.unwrap_or_else(|| state.store.snapshot());
         let page = plan.execute_rows(snap.metas(), after, limit);
         let dto = QueryResponse::Rows(PageDto {
+            partial: Vec::new(),
             total: page.total,
             items: page.items,
             next_cursor: page.next_after.map(|after_id| {

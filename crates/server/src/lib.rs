@@ -66,6 +66,7 @@ pub mod pool;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 pub mod router;
+pub mod upstream;
 
 pub use hyperbench_api::json;
 
@@ -357,14 +358,13 @@ impl Server {
         // submission) so an expensive parse or fsync never stalls an
         // event loop.
         let offload = ThreadPool::new(self.reactor_threads);
-        if let Err(e) = reactor::run_reactor(
-            self.listener,
-            self.state,
-            self.router,
-            self.shutdown,
-            offload,
-            opts,
-        ) {
+        let dispatcher: Arc<dyn Dispatch> = Arc::new(ServerDispatch {
+            state: self.state,
+            router: self.router,
+        });
+        if let Err(e) =
+            reactor::run_reactor(self.listener, dispatcher, self.shutdown, offload, opts)
+        {
             hyperbench_telemetry::log_error!("server", "reactor failed"; error = e);
         }
     }
@@ -379,6 +379,58 @@ impl Server {
             "the epoll reactor requires Linux; refusing to serve"
         );
     }
+}
+
+/// What the reactor serves: anything that can turn one parsed request
+/// into a response.
+///
+/// The epoll reactor owns sockets, parsing, buffering, and overload
+/// bounds; *what* a request means is behind this trait. The stock
+/// server wires it to the repository handlers; `hyperbench-router`
+/// wires the identical connection machinery to upstream proxying — one
+/// hot path, two tiers.
+pub trait Dispatch: Send + Sync + 'static {
+    /// Handles one fully-parsed request. Runs on an event-loop thread
+    /// unless [`Dispatch::offload`] said otherwise — implementations
+    /// that block (disk, upstream sockets) must offload.
+    fn dispatch(&self, request: &Request) -> Response;
+
+    /// Whether this request must run on the worker pool instead of the
+    /// event loop. The default offloads mutating verbs, matching the
+    /// stock server (GETs answer from memory; writes parse bodies and
+    /// fsync).
+    fn offload(&self, request: &Request) -> bool {
+        request.method.is_write()
+    }
+}
+
+/// The stock dispatcher: repository state behind the route table.
+struct ServerDispatch {
+    state: Arc<ServerState>,
+    router: Arc<Router<Endpoint>>,
+}
+
+impl Dispatch for ServerDispatch {
+    fn dispatch(&self, request: &Request) -> Response {
+        dispatch(&self.state, &self.router, request)
+    }
+}
+
+/// Runs the epoll reactor over an arbitrary [`Dispatch`] until
+/// `shutdown` flips — the entry point for front tiers (the router)
+/// that reuse the server's connection machinery without its repository
+/// state. `offload_threads` sizes the worker pool that runs offloaded
+/// requests.
+#[cfg(target_os = "linux")]
+pub fn run_dispatcher(
+    listener: TcpListener,
+    dispatcher: Arc<dyn Dispatch>,
+    shutdown: Arc<AtomicBool>,
+    opts: reactor::ReactorOptions,
+    offload_threads: usize,
+) -> io::Result<()> {
+    let offload = ThreadPool::new(offload_threads.max(1));
+    reactor::run_reactor(listener, dispatcher, shutdown, offload, opts)
 }
 
 /// Stops a running server: sets the flag and pokes the listener so the

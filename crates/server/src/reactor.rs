@@ -53,12 +53,11 @@ use std::time::{Duration, Instant};
 use hyperbench_api::{ApiError, ErrorCode};
 use hyperbench_telemetry::{log_error, log_warn, next_request_id, SpanTimer};
 
-use crate::handlers::{error_response, parse_error_response, ServerState};
+use crate::handlers::{error_response, parse_error_response};
 use crate::http::{Parse, RequestParser, Response, MAX_BODY, MAX_HEAD};
 use crate::metrics::metrics;
 use crate::pool::ThreadPool;
-use crate::router::Router;
-use crate::{dispatch, Endpoint};
+use crate::Dispatch;
 
 /// Thin FFI shim over the epoll syscalls. The symbols resolve against
 /// the C library the Rust standard library already links — this adds no
@@ -140,6 +139,11 @@ const MAX_OFFLOAD_INFLIGHT: usize = 512;
 
 /// `Retry-After` seconds advertised on the offload-backlog 429.
 const OFFLOAD_SHED_RETRY_AFTER: u32 = 1;
+
+/// `Retry-After` seconds advertised on a propagated-deadline 408: the
+/// request itself was fine — only its budget ran out in our backlog —
+/// so an immediate retry with a fresh budget is reasonable.
+const DEADLINE_EXPIRED_RETRY_AFTER: u32 = 1;
 
 /// Cap on *unparsed* buffered input per connection. A request can
 /// legitimately need a full head + body in flight; anything beyond that
@@ -311,8 +315,7 @@ struct EventLoop {
     generations: Vec<u32>,
     free: Vec<usize>,
     live: usize,
-    state: Arc<ServerState>,
-    router: Arc<Router<Endpoint>>,
+    dispatcher: Arc<dyn Dispatch>,
     offload: Arc<ThreadPool>,
     /// Offloaded requests queued or running, shared across loops; the
     /// admission bound for [`MAX_OFFLOAD_INFLIGHT`].
@@ -321,13 +324,11 @@ struct EventLoop {
 }
 
 impl EventLoop {
-    #[allow(clippy::too_many_arguments)]
     fn new(
         id: usize,
         shared: Arc<LoopShared>,
         wake_rx: UnixStream,
-        state: Arc<ServerState>,
-        router: Arc<Router<Endpoint>>,
+        dispatcher: Arc<dyn Dispatch>,
         offload: Arc<ThreadPool>,
         offload_inflight: Arc<AtomicUsize>,
         opts: ReactorOptions,
@@ -344,8 +345,7 @@ impl EventLoop {
             generations: Vec::new(),
             free: Vec::new(),
             live: 0,
-            state,
-            router,
+            dispatcher,
             offload,
             offload_inflight,
             opts,
@@ -501,9 +501,10 @@ impl EventLoop {
                     // whatever `x-hyperbench-deadline-ms` allowed starts
                     // counting down now, across queues and handlers.
                     let deadline_at = request.deadline().map(|d| Instant::now() + d);
-                    if request.method.is_write() {
-                        // Slow path: mutating requests (body parsing,
-                        // WAL fsync, analysis submission) go to the
+                    if self.dispatcher.offload(&request) {
+                        // Slow path: requests the dispatcher declares
+                        // slow (body parsing, WAL fsync, analysis
+                        // submission, upstream proxying) go to the
                         // worker pool; the event loop waits for the
                         // completion wake.
                         let backlog = self.offload_inflight.fetch_add(1, Ordering::AcqRel);
@@ -527,8 +528,7 @@ impl EventLoop {
                         };
                         conn.awaiting = true;
                         conn.pending_keep_alive = keep_alive;
-                        let state = Arc::clone(&self.state);
-                        let router = Arc::clone(&self.router);
+                        let dispatcher = Arc::clone(&self.dispatcher);
                         let shared = Arc::clone(&self.shared);
                         let inflight = Arc::clone(&self.offload_inflight);
                         self.offload.execute(move || {
@@ -542,8 +542,9 @@ impl EventLoop {
                                         ErrorCode::RequestTimeout,
                                         "propagated deadline expired before dispatch",
                                     ))
+                                    .with_retry_after(DEADLINE_EXPIRED_RETRY_AFTER)
                                 }
-                                _ => dispatch(&state, &router, &request),
+                                _ => dispatcher.dispatch(&request),
                             };
                             inflight.fetch_sub(1, Ordering::AcqRel);
                             shared
@@ -566,8 +567,9 @@ impl EventLoop {
                                 ErrorCode::RequestTimeout,
                                 "propagated deadline expired before dispatch",
                             ))
+                            .with_retry_after(DEADLINE_EXPIRED_RETRY_AFTER)
                         }
-                        _ => dispatch(&self.state, &self.router, &request),
+                        _ => self.dispatcher.dispatch(&request),
                     };
                     self.queue_response(slot, response, keep_alive);
                 }
@@ -778,8 +780,7 @@ impl EventLoop {
 /// round-robin. Blocks until every loop has exited.
 pub(crate) fn run_reactor(
     listener: TcpListener,
-    state: Arc<ServerState>,
-    router: Arc<Router<Endpoint>>,
+    dispatcher: Arc<dyn Dispatch>,
     shutdown: Arc<AtomicBool>,
     offload: ThreadPool,
     opts: ReactorOptions,
@@ -805,8 +806,7 @@ pub(crate) fn run_reactor(
         let mut handles = Vec::new();
         for (id, wake_rx) in wake_rxs.into_iter().enumerate() {
             let shareds = Arc::clone(&shareds);
-            let state = Arc::clone(&state);
-            let router = Arc::clone(&router);
+            let dispatcher = Arc::clone(&dispatcher);
             let shutdown = Arc::clone(&shutdown);
             let offload = Arc::clone(&offload);
             let offload_inflight = Arc::clone(&offload_inflight);
@@ -820,8 +820,7 @@ pub(crate) fn run_reactor(
                             listener,
                             &shareds,
                             wake_rx,
-                            state,
-                            router,
+                            dispatcher,
                             shutdown,
                             offload,
                             offload_inflight,
@@ -844,8 +843,7 @@ fn event_loop_main(
     listener: Option<&TcpListener>,
     shareds: &[Arc<LoopShared>],
     wake_rx: UnixStream,
-    state: Arc<ServerState>,
-    router: Arc<Router<Endpoint>>,
+    dispatcher: Arc<dyn Dispatch>,
     shutdown: Arc<AtomicBool>,
     offload: Arc<ThreadPool>,
     offload_inflight: Arc<AtomicUsize>,
@@ -856,8 +854,7 @@ fn event_loop_main(
         id,
         shared,
         wake_rx,
-        state,
-        router,
+        dispatcher,
         offload,
         offload_inflight,
         opts,
